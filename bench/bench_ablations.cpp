@@ -1,0 +1,166 @@
+// Ablations over the constructions' tunable constants — the design choices
+// DESIGN.md calls out:
+//   * RWtoLeaf truncation constant (Remark 3.11): where does whp kick in?
+//   * way-point sampling constant c (Prop. 5.14): validity vs volume;
+//   * shallow/deep window multiplier (Def. 5.10's 2·n^{1/k} threshold):
+//     smaller windows cut volume until they start declaring real components
+//     deep, larger ones explore more for no benefit.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "labels/generators.hpp"
+#include "lcl/algorithms/hthc_algos.hpp"
+#include "lcl/algorithms/leaf_coloring_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "lcl/problems/cp_thc.hpp"
+#include "lcl/problems/hierarchical_thc.hpp"
+#include "lcl/problems/leaf_coloring.hpp"
+#include "runtime/success.hpp"
+
+namespace volcal::bench {
+namespace {
+
+void truncation_ablation() {
+  print_header("Ablation — RWtoLeaf truncation budget (multiples of log2 n)");
+  stats::Table table({"multiplier", "success rate (12 tapes, all nodes)", "max volume"});
+  auto inst = make_complete_binary_tree(12, Color::Red, Color::Blue);
+  LeafColoringProblem problem;
+  const double logn = std::log2(static_cast<double>(inst.node_count()));
+  for (const double mult : {0.5, 1.0, 1.5, 2.0, 4.0, 16.0}) {
+    const auto budget = static_cast<std::int64_t>(mult * logn);
+    auto est = estimate_success(
+        problem, inst,
+        [&](RandomTape& tape) {
+          return [&inst, &tape, budget](Execution& exec) {
+            InstanceSource<ColoredTreeLabeling> src(inst, exec);
+            return rw_to_leaf(src, tape, budget);
+          };
+        },
+        /*trials=*/12);
+    char m[16], r[24];
+    std::snprintf(m, sizeof m, "%.1f", mult);
+    std::snprintf(r, sizeof r, "%d/%d", est.successes, est.trials);
+    table.add_row({m, r, fmt_int(est.max_volume)});
+  }
+  table.print();
+  std::printf(
+      "\nBelow ~1x log2 n the walk cannot even reach depth; Prop. 3.10's\n"
+      "16·log n is far into the safe regime — the proof constant is loose,\n"
+      "as expected of a Chernoff argument.\n");
+}
+
+void waypoint_constant_ablation() {
+  print_header("Ablation — way-point constant c (p = c·log n / n^{1/k}), k = 2 deep top");
+  stats::Table table({"c", "p", "valid", "max volume (sampled starts)"});
+  auto inst = make_hierarchical_instance_lens({6, 900}, 7);
+  const auto n = inst.node_count();
+  HierarchicalTHCProblem problem(inst, 2);
+  for (const double c : {0.005, 0.02, 0.1, 0.5, 3.0}) {
+    RandomTape tape(inst.ids, 31);
+    auto cfg = HthcConfig::make(2, n, true, &tape, c);
+    // Global outputs for validity.
+    FreeSource<ColoredTreeLabeling> src(inst);
+    HthcSolver<FreeSource<ColoredTreeLabeling>> solver(src, cfg);
+    std::vector<ThcColor> out(n);
+    for (NodeIndex v = 0; v < n; ++v) out[v] = solver.solve_at(v);
+    const bool ok = verify_all(problem, inst, out).ok;
+    // Metered volume from sampled starts.
+    std::int64_t max_vol = 0;
+    for (NodeIndex v : sampled_starts(n, 16)) {
+      Execution exec(inst.graph, inst.ids, v);
+      InstanceSource<ColoredTreeLabeling> paid(inst, exec);
+      HthcSolver<InstanceSource<ColoredTreeLabeling>> metered(paid, cfg);
+      metered.solve();
+      max_vol = std::max(max_vol, exec.volume());
+    }
+    char cb[16], pb[16];
+    std::snprintf(cb, sizeof cb, "%.2f", c);
+    std::snprintf(pb, sizeof pb, "%.3f", cfg.waypoint_p(n));
+    table.add_row({cb, pb, ok ? "yes" : "NO", fmt_int(max_vol)});
+  }
+  table.print();
+  std::printf(
+      "\nSmaller c means sparser way-points: volume falls until the gaps\n"
+      "between certifying way-points exceed the window and validity breaks —\n"
+      "the Lemma 5.18 trade-off, live.\n");
+}
+
+void window_ablation() {
+  print_header("Ablation — shallow/deep window multiplier (baseline 2·n^{1/k})");
+  stats::Table table({"multiplier", "window", "valid", "max volume", "declines"});
+  auto inst = make_hierarchical_instance(2, 40, 9);  // b = 40 ≈ n^{1/2}
+  const auto n = inst.node_count();
+  HierarchicalTHCProblem problem(inst, 2);
+  for (const double mult : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    auto cfg = HthcConfig::make(2, n, false, nullptr);
+    cfg.window = std::max<std::int64_t>(2, static_cast<std::int64_t>(cfg.window * mult));
+    FreeSource<ColoredTreeLabeling> src(inst);
+    HthcSolver<FreeSource<ColoredTreeLabeling>> solver(src, cfg);
+    std::vector<ThcColor> out(n);
+    std::int64_t declines = 0;
+    for (NodeIndex v = 0; v < n; ++v) {
+      out[v] = solver.solve_at(v);
+      declines += out[v] == ThcColor::D ? 1 : 0;
+    }
+    const bool ok = verify_all(problem, inst, out).ok;
+    std::int64_t max_vol = 0;
+    for (NodeIndex v : sampled_starts(n, 16)) {
+      Execution exec(inst.graph, inst.ids, v);
+      InstanceSource<ColoredTreeLabeling> paid(inst, exec);
+      HthcSolver<InstanceSource<ColoredTreeLabeling>> metered(paid, cfg);
+      metered.solve();
+      max_vol = std::max(max_vol, exec.volume());
+    }
+    char m[16];
+    std::snprintf(m, sizeof m, "%.2f", mult);
+    table.add_row({m, fmt_int(cfg.window), ok ? "yes" : "NO", fmt_int(max_vol),
+                   fmt_int(declines)});
+  }
+  table.print();
+  std::printf(
+      "\nAt multiplier < 1 the solver misclassifies genuine n^{1/2}-length\n"
+      "backbones as deep; level-1 components then decline and the level-k\n"
+      "scan must cover them — more volume and, once scans fail, invalid D's.\n"
+      "The paper's 2·n^{1/k} is the smallest window that keeps the balanced\n"
+      "family shallow.\n");
+}
+
+void remark57_ablation() {
+  print_header(
+      "Ablation — Remark 5.7: the paper's relaxed exemption vs Chang-Pettie-style "
+      "mandatory exemption");
+  stats::Table table({"rules", "way-point outputs valid", "violations"});
+  auto inst = make_hierarchical_instance_lens({6, 900}, 7);
+  const auto n = inst.node_count();
+  RandomTape tape(inst.ids, 31);
+  auto cfg = HthcConfig::make(2, n, true, &tape, 0.5);
+  FreeSource<ColoredTreeLabeling> src(inst);
+  HthcSolver<FreeSource<ColoredTreeLabeling>> solver(src, cfg);
+  std::vector<ThcColor> out(n);
+  for (NodeIndex v = 0; v < n; ++v) out[v] = solver.solve_at(v);
+
+  HierarchicalTHCProblem relaxed(inst, 2);
+  const auto rv = verify_all(relaxed, inst, out);
+  CpTHCProblem cp(inst, 2);
+  const auto cv = verify_all(cp, inst, out);
+  table.add_row({"paper (relaxed, allows X)", rv.ok ? "yes" : "NO", fmt_int(rv.violations)});
+  table.add_row({"CP-style (mandatory X)", cv.ok ? "yes" : "NO", fmt_int(cv.violations)});
+  table.print();
+  std::printf(
+      "\nUnder mandatory exemption every node's output reveals whether its\n"
+      "subtree solved, so the sampled (way-point) outputs are rejected and a\n"
+      "correct algorithm must recurse below every scanned node — Remark 5.7's\n"
+      "\"our modification seems necessary\" as a measurement.\n");
+}
+
+}  // namespace
+}  // namespace volcal::bench
+
+int main() {
+  volcal::bench::truncation_ablation();
+  volcal::bench::waypoint_constant_ablation();
+  volcal::bench::window_ablation();
+  volcal::bench::remark57_ablation();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared measurement helpers for the bench binaries.  Each bench binary
+// regenerates one table/figure of the paper: it prints the paper's claimed
+// Θ-class next to the measured cost curve and the growth class fitted by
+// stats::classify_growth.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "labels/ids.hpp"
+#include "runtime/execution.hpp"
+#include "stats/growth.hpp"
+#include "stats/table.hpp"
+#include "util/hash.hpp"
+
+namespace volcal::bench {
+
+struct Cost {
+  std::int64_t max_volume = 0;
+  std::int64_t max_distance = 0;
+  std::int64_t starts = 0;
+};
+
+// Evenly spread sample of start nodes (always includes node 0 — the root of
+// every generated instance — which is the worst case for the tree families).
+inline std::vector<NodeIndex> sampled_starts(NodeIndex n, NodeIndex count) {
+  std::vector<NodeIndex> out;
+  const NodeIndex step = std::max<NodeIndex>(1, n / std::max<NodeIndex>(1, count));
+  for (NodeIndex v = 0; v < n; v += step) out.push_back(v);
+  return out;
+}
+
+// Runs `solve(Execution&)` from each start and aggregates sup-costs
+// (Defs. 2.1-2.2 restricted to the sample).
+template <typename Fn>
+Cost measure(const Graph& g, const IdAssignment& ids, const std::vector<NodeIndex>& starts,
+             Fn&& solve) {
+  Cost cost;
+  for (const NodeIndex v : starts) {
+    Execution exec(g, ids, v);
+    solve(exec);
+    cost.max_volume = std::max(cost.max_volume, exec.volume());
+    cost.max_distance = std::max(cost.max_distance, exec.distance());
+    ++cost.starts;
+  }
+  return cost;
+}
+
+struct Curve {
+  std::vector<double> ns;
+  std::vector<double> costs;
+
+  void add(double n, double cost) {
+    ns.push_back(n);
+    costs.push_back(cost);
+  }
+  std::string fitted() const {
+    if (ns.size() < 3) return "(n/a)";
+    return stats::classify_growth(ns, costs).label;
+  }
+};
+
+inline std::string fmt_int(std::int64_t v) { return std::to_string(v); }
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace volcal::bench

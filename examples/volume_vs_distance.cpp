@@ -1,0 +1,56 @@
+// "Seeing far vs. seeing wide": the paper's headline separation, live.
+//
+// LeafColoring solved four ways across a size sweep; the printed curves show
+// that looking FAR (distance) costs Θ(log n) no matter what, while looking
+// WIDE (volume) costs Θ(n) deterministically but only Θ(log n) with
+// randomness — the exponential gap of Theorem 3.6.
+#include <cmath>
+#include <cstdio>
+
+#include "labels/generators.hpp"
+#include "lcl/algorithms/leaf_coloring_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "lcl/problems/leaf_coloring.hpp"
+#include "runtime/runner.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace volcal;
+  stats::Table table({"n", "D-DIST (nearest leaf)", "D-VOL (nearest leaf)",
+                      "R-VOL (RWtoLeaf)", "log2 n"});
+  for (int depth : {8, 10, 12, 14, 16}) {
+    auto inst = make_complete_binary_tree(depth, Color::Red, Color::Blue);
+    const auto n = inst.node_count();
+
+    // Deterministic: explore descendants to the nearest leaf (Prop. 3.9).
+    // From the root this reads the whole tree, but never looks farther than
+    // depth hops: small distance, huge volume.
+    Execution det(inst.graph, inst.ids, 0);
+    {
+      InstanceSource<ColoredTreeLabeling> src(inst, det);
+      leafcoloring_nearest_leaf(src);
+    }
+
+    // Randomized: one coin per node steers a walk to a leaf (Algorithm 1):
+    // small distance AND small volume, with high probability.
+    RandomTape tape(inst.ids, 7);
+    std::int64_t rvol = 0;
+    for (NodeIndex v = 0; v < n; v += std::max<NodeIndex>(1, n / 128)) {
+      Execution exec(inst.graph, inst.ids, v);
+      InstanceSource<ColoredTreeLabeling> src(inst, exec);
+      rw_to_leaf(src, tape);
+      rvol = std::max(rvol, exec.volume());
+    }
+
+    char logn[16];
+    std::snprintf(logn, sizeof logn, "%.0f", std::log2(static_cast<double>(n)));
+    table.add_row({std::to_string(n), std::to_string(det.distance()),
+                   std::to_string(det.volume()), std::to_string(rvol), logn});
+  }
+  table.print();
+  std::printf(
+      "\nD-DIST tracks log2 n (seeing far is cheap), D-VOL tracks n (a\n"
+      "deterministic algorithm must see wide — Prop. 3.13 proves no trick\n"
+      "avoids it), R-VOL tracks log n again (randomness collapses the width).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "comm/disjointness.hpp"
+
+namespace volcal {
+
+CommAccountant::CommAccountant(const DisjInstance& embedding) : embedding_(&embedding) {
+  pair_of_.assign(embedding.instance.node_count(), -1);
+  for (std::size_t i = 0; i < embedding.u.size(); ++i) {
+    pair_of_[embedding.u[i]] = static_cast<std::int64_t>(i);
+    pair_of_[embedding.w[i]] = static_cast<std::int64_t>(i);
+  }
+}
+
+std::int64_t CommAccountant::bits_for(const Execution& exec) const {
+  // Charge 2 bits per visited pair member: answering any query that reveals
+  // u_i's or w_i's labels requires knowing both a_i and b_i (Prop. 4.9).
+  std::int64_t bits = 0;
+  for (const NodeIndex v : exec.visited_nodes()) {
+    if (pair_of_[v] >= 0) bits += 2;
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> CommAccountant::pairs_touched(const Execution& exec) const {
+  std::vector<std::uint8_t> touched(embedding_->u.size(), 0);
+  for (const NodeIndex v : exec.visited_nodes()) {
+    if (pair_of_[v] >= 0) touched[static_cast<std::size_t>(pair_of_[v])] = 1;
+  }
+  return touched;
+}
+
+FoolingResult duel_balancedtree_volume(const RootedBtAlgorithm& algorithm, int depth,
+                                       std::int64_t budget) {
+  FoolingResult result;
+  const auto big_n = std::size_t{1} << (depth - 1);
+  const std::vector<std::uint8_t> zeros(big_n, 0);
+  DisjInstance base = make_disj_embedding(depth, zeros, zeros);
+  CommAccountant accountant(base);
+
+  Execution exec(base.instance.graph, base.instance.ids, base.root, budget);
+  try {
+    result.base_output = algorithm(base.instance, exec);
+  } catch (const QueryBudgetExceeded&) {
+    result.algorithm_exceeded_budget = true;
+    return result;
+  }
+  result.bits_used = accountant.bits_for(exec);
+  result.volume_used = exec.volume();
+
+  const auto touched = accountant.pairs_touched(exec);
+  std::int64_t untouched = -1;
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    if (!touched[i]) {
+      untouched = static_cast<std::int64_t>(i);
+      break;
+    }
+  }
+  if (untouched < 0) return result;  // algorithm saw every pair: not fooled
+  result.pair_index = untouched;
+
+  // Plant the intersection at the untouched index; the deterministic
+  // algorithm's view is unchanged so its answer cannot change.
+  std::vector<std::uint8_t> a(big_n, 0), b(big_n, 0);
+  a[static_cast<std::size_t>(untouched)] = 1;
+  b[static_cast<std::size_t>(untouched)] = 1;
+  DisjInstance planted = make_disj_embedding(depth, a, b);
+  Execution exec2(planted.instance.graph, planted.instance.ids, planted.root, budget);
+  try {
+    result.planted_output = algorithm(planted.instance, exec2);
+  } catch (const QueryBudgetExceeded&) {
+    result.algorithm_exceeded_budget = true;
+    return result;
+  }
+
+  // Truth: E(0,0) is globally compatible => root must say Balanced (Lemma
+  // 4.7); E(e_i, e_i) has an incompatible v_i below the root => root must say
+  // Unbalanced.  Identical answers are wrong on one side; differing answers
+  // would contradict determinism (the executions see identical labels).
+  const bool base_right = result.base_output.beta == Balance::Balanced;
+  const bool planted_right = result.planted_output.beta == Balance::Unbalanced;
+  result.fooled = !(base_right && planted_right);
+  return result;
+}
+
+}  // namespace volcal

@@ -1,0 +1,76 @@
+// Communication-complexity lower-bound machinery (paper Section 2.5 and
+// Proposition 4.9).
+//
+// The embedding (E, g) of DISJ into BalancedTree: E(a, b) is the Fig.-5
+// instance, g reads the root's output — g = 1 ("balanced") iff disj(a,b) = 1.
+// Every query has communication cost 0 except queries revealing a leaf pair
+// (u_i, w_i)'s lateral labels, which cost 2 bits (Alice and Bob exchange a_i
+// and b_i).  Theorem 2.9 then turns the Ω(N) randomized communication bound
+// for DISJ into an Ω(n) volume bound.
+//
+// We reproduce the *reduction*: CommAccountant charges exactly those bits to
+// any algorithm's execution, and the fooling-pair duel demonstrates the lower
+// bound mechanism executably against deterministic algorithms with a sublinear
+// budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "labels/generators.hpp"
+#include "lcl/problems/balanced_tree.hpp"
+#include "runtime/execution.hpp"
+
+namespace volcal {
+
+inline bool disj(const std::vector<std::uint8_t>& a, const std::vector<std::uint8_t>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] && b[i]) return false;  // disj = 0 when the sets intersect
+  }
+  return true;
+}
+
+// Per-query communication accounting over a DISJ embedding: counts 2 bits for
+// every *first* visit of a u_i or w_i (the only nodes whose labels depend on
+// (a_i, b_i)); everything else is simulated for free (Prop. 4.9).
+class CommAccountant {
+ public:
+  explicit CommAccountant(const DisjInstance& embedding);
+
+  // Total bits Alice and Bob exchange to answer the queries recorded in
+  // `exec` (call after the algorithm has run).
+  std::int64_t bits_for(const Execution& exec) const;
+
+  // Indices i whose leaf pair was (at least partly) visited.
+  std::vector<std::uint8_t> pairs_touched(const Execution& exec) const;
+
+ private:
+  const DisjInstance* embedding_;
+  std::vector<std::int64_t> pair_of_;  // node -> pair index, -1 otherwise
+};
+
+// A deterministic BalancedTree algorithm from the root, given a query budget.
+// Returns the root's output.
+using RootedBtAlgorithm =
+    std::function<BtOutput(const BalancedTreeInstance&, Execution&)>;
+
+struct FoolingResult {
+  bool algorithm_exceeded_budget = false;
+  bool fooled = false;              // found an instance pair the algorithm gets wrong
+  std::int64_t pair_index = -1;     // the untouched index used for fooling
+  std::int64_t bits_used = 0;       // communication bits on the base instance
+  std::int64_t volume_used = 0;
+  BtOutput base_output;             // on E(0,0) (compatible; truth = Balanced)
+  BtOutput planted_output;          // on E(e_i,e_i) (incompatible at v_i; truth = Unbalanced)
+};
+
+// The executable lower-bound mechanism (Prop. 4.9 via fooling pairs): run the
+// algorithm from the root of E(0,0) within `budget` volume; if some leaf pair
+// i was never visited, plant an intersection at i — the algorithm's execution
+// is unchanged, so its (identical) answer is wrong on one of the two
+// instances.
+FoolingResult duel_balancedtree_volume(const RootedBtAlgorithm& algorithm, int depth,
+                                       std::int64_t budget);
+
+}  // namespace volcal

@@ -1,0 +1,88 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace volcal {
+
+std::vector<std::int64_t> bfs_distances(const Graph& g, NodeIndex source) {
+  std::vector<std::int64_t> dist(g.node_count(), kUnreachable);
+  std::deque<NodeIndex> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    NodeIndex v = frontier.front();
+    frontier.pop_front();
+    for (NodeIndex w : g.neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+BallWithDistances ball_with_distances(const Graph& g, NodeIndex center, std::int64_t radius) {
+  BallWithDistances out;
+  if (radius < 0) return out;
+  // Local visited map keyed by node; a full vector<bool> of size n would make
+  // small-ball extraction O(n), defeating the point of volume accounting.
+  // We use a sorted probe into `out.nodes` only when balls are tiny, otherwise
+  // a per-call hash would be fine; in practice balls here are small relative
+  // to n, but a vector<char> is simplest and BFS callers amortize it.
+  std::vector<char> seen(g.node_count(), 0);
+  std::deque<NodeIndex> frontier{center};
+  seen[center] = 1;
+  out.nodes.push_back(center);
+  out.dist.push_back(0);
+  std::size_t head = 0;
+  while (head < out.nodes.size()) {
+    NodeIndex v = out.nodes[head];
+    std::int64_t dv = out.dist[head];
+    ++head;
+    if (dv == radius) continue;
+    for (NodeIndex w : g.neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        out.nodes.push_back(w);
+        out.dist.push_back(dv + 1);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeIndex> ball(const Graph& g, NodeIndex center, std::int64_t radius) {
+  return ball_with_distances(g, center, radius).nodes;
+}
+
+std::int64_t eccentricity(const Graph& g, NodeIndex source) {
+  auto dist = bfs_distances(g, source);
+  std::int64_t ecc = 0;
+  for (auto d : dist) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+Components connected_components(const Graph& g) {
+  Components out;
+  out.component_of.assign(g.node_count(), -1);
+  for (NodeIndex v = 0; v < g.node_count(); ++v) {
+    if (out.component_of[v] != -1) continue;
+    std::deque<NodeIndex> frontier{v};
+    out.component_of[v] = out.count;
+    while (!frontier.empty()) {
+      NodeIndex u = frontier.front();
+      frontier.pop_front();
+      for (NodeIndex w : g.neighbors(u)) {
+        if (out.component_of[w] == -1) {
+          out.component_of[w] = out.count;
+          frontier.push_back(w);
+        }
+      }
+    }
+    ++out.count;
+  }
+  return out;
+}
+
+}  // namespace volcal

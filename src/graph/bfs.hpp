@@ -1,0 +1,41 @@
+// Breadth-first search utilities: distance layers, balls N_v(d), and
+// connected components.  These back both the LOCAL-model simulator (a
+// distance-T algorithm sees exactly the ball N_v(T)) and the LCL checker
+// (which inspects radius-c balls).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace volcal {
+
+// Distances from `source` to every node, kUnreachable where disconnected.
+inline constexpr std::int64_t kUnreachable = -1;
+std::vector<std::int64_t> bfs_distances(const Graph& g, NodeIndex source);
+
+// Nodes within distance `radius` of `center`, in BFS (hence distance) order.
+// This is the vertex set of the paper's N_v(d).
+std::vector<NodeIndex> ball(const Graph& g, NodeIndex center, std::int64_t radius);
+
+// Like `ball` but also reports each node's distance from the center
+// (parallel arrays: result.nodes[i] is at distance result.dist[i]).
+struct BallWithDistances {
+  std::vector<NodeIndex> nodes;
+  std::vector<std::int64_t> dist;
+};
+BallWithDistances ball_with_distances(const Graph& g, NodeIndex center, std::int64_t radius);
+
+// Eccentricity of `source` within its connected component.
+std::int64_t eccentricity(const Graph& g, NodeIndex source);
+
+// component_of[v] = id of v's connected component (ids are 0-based, assigned
+// in order of smallest contained node index).
+struct Components {
+  std::vector<std::int64_t> component_of;
+  std::int64_t count = 0;
+};
+Components connected_components(const Graph& g);
+
+}  // namespace volcal

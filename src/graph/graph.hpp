@@ -1,0 +1,122 @@
+// Bounded-degree port-numbered graphs (paper Section 2.1).
+//
+// A Graph is an undirected simple graph where each node v orders its incident
+// edges by "ports" 1..deg(v).  Port numbers are the only way algorithms in the
+// query model address edges, so they are first-class here: neighbor(v, p)
+// answers "who is v's p-th neighbor" in O(1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace volcal {
+
+using NodeIndex = std::int64_t;
+using Port = int;  // 1-based; 0 is reserved for "no port" (the label ⊥)
+
+inline constexpr NodeIndex kNoNode = -1;
+inline constexpr Port kNoPort = 0;
+
+class Graph {
+ public:
+  class Builder;
+
+  Graph() = default;
+
+  NodeIndex node_count() const { return static_cast<NodeIndex>(offsets_.size()) - 1; }
+  std::int64_t edge_count() const { return static_cast<std::int64_t>(adjacency_.size()) / 2; }
+
+  int degree(NodeIndex v) const {
+    check_node(v);
+    return static_cast<int>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  int max_degree() const { return max_degree_; }
+
+  // v's neighbor on port p (1-based).  Throws on an out-of-range port: in the
+  // query model a malformed query is a programming error of the algorithm.
+  NodeIndex neighbor(NodeIndex v, Port p) const {
+    check_node(v);
+    if (p < 1 || p > degree(v)) {
+      throw std::out_of_range("Graph::neighbor: port " + std::to_string(p) +
+                              " out of range for node " + std::to_string(v) +
+                              " with degree " + std::to_string(degree(v)));
+    }
+    return adjacency_[offsets_[v] + p - 1];
+  }
+
+  // All neighbors of v in port order.
+  std::span<const NodeIndex> neighbors(NodeIndex v) const {
+    check_node(v);
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  // The port number p with neighbor(v, p) == w, or kNoPort if w is not
+  // adjacent to v.  Linear in deg(v), which is O(Δ) = O(1).
+  Port port_to(NodeIndex v, NodeIndex w) const {
+    check_node(v);
+    auto nbrs = neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] == w) return static_cast<Port>(i + 1);
+    }
+    return kNoPort;
+  }
+
+  bool adjacent(NodeIndex v, NodeIndex w) const { return port_to(v, w) != kNoPort; }
+
+  bool valid_node(NodeIndex v) const { return v >= 0 && v < node_count(); }
+
+ private:
+  void check_node(NodeIndex v) const {
+    if (!valid_node(v)) {
+      throw std::out_of_range("Graph: node " + std::to_string(v) + " out of range");
+    }
+  }
+
+  // CSR layout: neighbors of v are adjacency_[offsets_[v] .. offsets_[v+1]),
+  // stored in port order (port p at offset p-1).
+  std::vector<std::size_t> offsets_{0};
+  std::vector<NodeIndex> adjacency_;
+  int max_degree_ = 0;
+
+  friend class Builder;
+};
+
+// Incremental construction.  Edges may be added with explicit ports or with
+// ports assigned in insertion order; the two styles can be mixed as long as
+// the final port assignment is a bijection onto 1..deg(v) at every node.
+class Graph::Builder {
+ public:
+  explicit Builder(NodeIndex node_count) : ports_(node_count) {}
+
+  NodeIndex node_count() const { return static_cast<NodeIndex>(ports_.size()); }
+
+  NodeIndex add_node() {
+    ports_.emplace_back();
+    return static_cast<NodeIndex>(ports_.size()) - 1;
+  }
+
+  // Add edge {v, w}; ports are appended after the largest port used so far at
+  // each endpoint.  Returns the pair of assigned ports (port at v, port at w).
+  std::pair<Port, Port> add_edge(NodeIndex v, NodeIndex w);
+
+  // Add edge {v, w} with explicit port numbers pv (at v) and pw (at w).
+  void add_edge_with_ports(NodeIndex v, NodeIndex w, Port pv, Port pw);
+
+  // Validates port bijectivity and freezes the structure.
+  Graph build() &&;
+
+ private:
+  struct PortedEdge {
+    Port port;
+    NodeIndex to;
+  };
+  void check_node(NodeIndex v) const;
+
+  std::vector<std::vector<PortedEdge>> ports_;
+};
+
+}  // namespace volcal

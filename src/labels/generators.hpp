@@ -1,0 +1,128 @@
+// Instance generators: every workload family used by the paper's
+// constructions, proofs, and our benchmarks.
+//
+// Port conventions: generators assign contiguous ports (the model requires a
+// bijection onto [deg(v)]) and then derive the label values from the actual
+// assigned ports, so instances are always well-formed regardless of node
+// degree at the boundary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "labels/instances.hpp"
+
+namespace volcal {
+
+// --- Section 3: LeafColoring workloads --------------------------------------
+
+// Complete (rooted) binary tree of the given depth with the canonical labeling
+// of Prop. 3.12: heap-ordered IDs (root = 1), parent on port 1, children on
+// ports 2/3 (1/2 at the root).  Internal nodes colored `internal_color`,
+// leaves colored `leaf_color`.
+LeafColoringInstance make_complete_binary_tree(int depth, Color internal_color,
+                                               Color leaf_color);
+
+// Random full binary tree (every internal node has exactly two children) on
+// ~n_target nodes; colors iid Red with probability p_red.  Deterministic in
+// seed.
+LeafColoringInstance make_random_full_binary_tree(NodeIndex n_target, std::uint64_t seed,
+                                                  double p_red = 0.5);
+
+// Pseudo-tree whose G_T contains one directed cycle of `cycle_len` internal
+// nodes, each hanging a full binary subtree of depth `hang_depth` off its
+// right child (exercises the cycle branch of RWtoLeaf, Alg. 1 line 4).
+LeafColoringInstance make_cycle_pseudotree(int cycle_len, int hang_depth, std::uint64_t seed);
+
+// Caterpillar: a spine of internal nodes, each with one leaf child; depth
+// Θ(n) but every node is within distance 1 of a leaf.
+LeafColoringInstance make_caterpillar(NodeIndex spine_len, std::uint64_t seed);
+
+// Arbitrary (generally inconsistent) tree labeling on a random bounded-degree
+// graph: used by classification property tests — nothing about the labels is
+// guaranteed.
+LeafColoringInstance make_noise_instance(NodeIndex n, int max_degree, std::uint64_t seed);
+
+// --- Section 4: BalancedTree workloads --------------------------------------
+
+// The lateral structure of Fig. 5: a complete binary tree of the given depth
+// with lateral edges between consecutive same-depth nodes and LN/RN labels
+// filled in, globally compatible (every consistent node satisfies Def. 4.2).
+BalancedTreeInstance make_balanced_instance(int depth);
+
+// Same skeleton, but the subtree under one node at `defect_depth` is pruned
+// one level short, creating incompatible nodes (exercises Lemma 4.6 and
+// output case (U, ·)).
+BalancedTreeInstance make_unbalanced_instance(int depth, int defect_depth, std::uint64_t seed);
+
+// The disjointness embedding E(a, b) of Prop. 4.9.  |a| = |b| = 2^(depth-1).
+// Records the index of each v_i (depth-(k-1) node) and its children u_i, w_i
+// so the communication accounting can identify the charged queries.
+struct DisjInstance {
+  BalancedTreeInstance instance;
+  std::vector<NodeIndex> v;  // v_i, i = 0..N-1
+  std::vector<NodeIndex> u;  // u_i = LC(v_i)
+  std::vector<NodeIndex> w;  // w_i = RC(v_i)
+  NodeIndex root = kNoNode;
+};
+DisjInstance make_disj_embedding(int depth, const std::vector<std::uint8_t>& a,
+                                 const std::vector<std::uint8_t>& b);
+
+// --- Section 5: Hierarchical-THC workloads ----------------------------------
+
+// The "balanced instance" of Prop. 5.13: k levels of backbones, every backbone
+// a path of length `backbone_len`, level-(ℓ-1) components hanging under every
+// level-ℓ backbone node.  n ≈ backbone_len^k.  Colors iid in seed.
+HierarchicalInstance make_hierarchical_instance(int k, NodeIndex backbone_len,
+                                                std::uint64_t seed);
+
+// Variant with per-level backbone lengths (lens[ℓ-1] = length of level-ℓ
+// backbones); mixes shallow and deep components for solver stress tests.
+HierarchicalInstance make_hierarchical_instance_lens(const std::vector<NodeIndex>& lens,
+                                                     std::uint64_t seed);
+
+// Variant whose *top* backbone is a cycle of length cycle_len (Obs. 5.4:
+// equal-level components may be cycles); every cycle node hangs a regular
+// level-(k-1) component of backbone length `backbone_len` (k >= 2,
+// cycle_len >= 3).  Exercises the solvers' min-ID unanimity rule.
+HierarchicalInstance make_hierarchical_cycle_instance(int k, NodeIndex cycle_len,
+                                                      NodeIndex backbone_len,
+                                                      std::uint64_t seed);
+
+// --- Section 6: Hybrid and HH workloads -------------------------------------
+
+// Hybrid-THC(k): levels 2..k form hierarchical backbones of length
+// `backbone_len`; below every level-2 node hangs a BalancedTree instance
+// (complete, compatible, depth `bt_depth`).  level_in is set explicitly.
+HybridInstance make_hybrid_instance(int k, NodeIndex backbone_len, int bt_depth,
+                                    std::uint64_t seed);
+
+// HH-THC(k, ℓ): disjoint union of a Hierarchical-THC(ℓ) instance (side bit 0)
+// and a Hybrid-THC(k) instance (side bit 1), each sized ~n_half.
+HHInstance make_hh_instance(int k, int l, NodeIndex n_half_target, std::uint64_t seed);
+
+// --- Section 7 gadgets -------------------------------------------------------
+
+// Example 7.6: two complete binary trees of the given depth with roots joined
+// by a single edge; each leaf v_i of the second tree holds an input bit b_i,
+// and each leaf u_i of the first tree must output b_i.
+struct TwoTreeGadget {
+  Graph graph;
+  IdAssignment ids;
+  std::vector<NodeIndex> u_leaves;  // leaves under the first root, left to right
+  std::vector<NodeIndex> v_leaves;  // leaves under the second root
+  std::vector<std::uint8_t> bits;   // bits[i] lives at v_leaves[i]
+  NodeIndex root_u = kNoNode;
+  NodeIndex root_v = kNoNode;
+};
+TwoTreeGadget make_two_tree_gadget(int depth, std::uint64_t seed);
+
+// Directed ring (cycle) on n nodes for Cole-Vishkin coloring; port 1 =
+// successor, port 2 = predecessor.  IDs shuffled by seed.
+struct RingInstance {
+  Graph graph;
+  IdAssignment ids;
+};
+RingInstance make_ring(NodeIndex n, std::uint64_t seed);
+
+}  // namespace volcal

@@ -1,0 +1,36 @@
+// Unique node identifiers (paper Section 2.1): every node carries a unique ID
+// from [n^alpha] for a fixed alpha >= 1.  IDs are the names algorithms see;
+// NodeIndex is the internal array index and is never revealed by the query
+// model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace volcal {
+
+using NodeId = std::uint64_t;
+
+class IdAssignment {
+ public:
+  IdAssignment() = default;
+  explicit IdAssignment(std::vector<NodeId> ids);
+
+  NodeId id_of(NodeIndex v) const { return ids_[v]; }
+  NodeIndex node_count() const { return static_cast<NodeIndex>(ids_.size()); }
+
+  // Sequential IDs 1..n (the canonical assignment used in the paper's
+  // lower-bound constructions, e.g. Prop. 3.12 where the root has ID 1).
+  static IdAssignment sequential(NodeIndex n);
+
+  // A pseudorandom permutation of 1..ceil(n^alpha) restricted to n values;
+  // deterministic in `seed`.
+  static IdAssignment shuffled(NodeIndex n, std::uint64_t seed, double alpha = 1.0);
+
+ private:
+  std::vector<NodeId> ids_;
+};
+
+}  // namespace volcal

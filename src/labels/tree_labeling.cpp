@@ -1,0 +1,158 @@
+#include "labels/tree_labeling.hpp"
+
+#include <deque>
+
+namespace volcal {
+
+bool is_internal(const Graph& g, const TreeLabeling& l, NodeIndex v) {
+  const NodeIndex lc = left_child_of(g, l, v);
+  const NodeIndex rc = right_child_of(g, l, v);
+  if (lc == kNoNode || parent_of(g, l, lc) != v) return false;  // Def 3.3(1)
+  if (rc == kNoNode || parent_of(g, l, rc) != v) return false;  // Def 3.3(2)
+  if (lc == rc) return false;                                   // Def 3.3(3)
+  const NodeIndex p = parent_of(g, l, v);
+  if (p != kNoNode && (p == lc || p == rc)) return false;       // Def 3.3(4)
+  // Port-level collision P(v) = LC(v) or P(v) = RC(v) also violates (4) even
+  // when the resolved nodes coincide by a dangling claim; ports are what the
+  // definition compares.
+  if (l.parent[v] != kNoPort && (l.parent[v] == l.left[v] || l.parent[v] == l.right[v])) {
+    return false;
+  }
+  return true;
+}
+
+bool is_leaf(const Graph& g, const TreeLabeling& l, NodeIndex v) {
+  if (is_internal(g, l, v)) return false;
+  const NodeIndex p = parent_of(g, l, v);
+  return p != kNoNode && is_internal(g, l, p);
+}
+
+bool is_consistent(const Graph& g, const TreeLabeling& l, NodeIndex v) {
+  return is_internal(g, l, v) || is_leaf(g, l, v);
+}
+
+NodeKind classify(const Graph& g, const TreeLabeling& l, NodeIndex v) {
+  if (is_internal(g, l, v)) return NodeKind::Internal;
+  if (is_leaf(g, l, v)) return NodeKind::Leaf;
+  return NodeKind::Inconsistent;
+}
+
+PseudoForest build_pseudo_forest(const Graph& g, const TreeLabeling& l) {
+  const NodeIndex n = l.node_count();
+  PseudoForest f;
+  f.lc.assign(n, kNoNode);
+  f.rc.assign(n, kNoNode);
+  f.up.assign(n, kNoNode);
+  f.kind.resize(n);
+  for (NodeIndex v = 0; v < n; ++v) f.kind[v] = classify(g, l, v);
+  for (NodeIndex u = 0; u < n; ++u) {
+    if (f.kind[u] != NodeKind::Internal) continue;
+    // Edges of G_T run from an internal node u to each child v that is itself
+    // in V_T (internal or leaf) and acknowledges u as parent (Obs. 3.7).
+    for (NodeIndex child : {left_child_of(g, l, u), right_child_of(g, l, u)}) {
+      if (child == kNoNode) continue;
+      if (f.kind[child] == NodeKind::Inconsistent) continue;
+      if (parent_of(g, l, child) != u) continue;
+      if (child == left_child_of(g, l, u) && f.lc[u] == kNoNode) {
+        f.lc[u] = child;
+      } else {
+        f.rc[u] = child;
+      }
+      f.up[child] = u;
+    }
+  }
+  return f;
+}
+
+std::optional<NodeIndex> pseudo_forest_violation(const PseudoForest& f) {
+  const NodeIndex n = f.node_count();
+  std::vector<int> indeg(n, 0);
+  for (NodeIndex v = 0; v < n; ++v) {
+    if (!f.in_forest(v)) continue;
+    const int out = (f.lc[v] != kNoNode ? 1 : 0) + (f.rc[v] != kNoNode ? 1 : 0);
+    if (f.kind[v] == NodeKind::Internal && out != 2 && out != 0) {
+      // An internal node whose children are inconsistent has out-degree 0 in
+      // G_T restricted to V_T; mixed degree 1 breaks Obs. 3.7.
+      return v;
+    }
+    if (f.kind[v] == NodeKind::Leaf && out != 0) return v;
+    if (f.lc[v] != kNoNode) ++indeg[f.lc[v]];
+    if (f.rc[v] != kNoNode) ++indeg[f.rc[v]];
+  }
+  for (NodeIndex v = 0; v < n; ++v) {
+    if (f.in_forest(v) && indeg[v] > 1) return v;
+  }
+  return std::nullopt;
+}
+
+std::vector<char> on_cycle_mask(const PseudoForest& f) {
+  // Peel nodes of (residual) out-degree 0 repeatedly; what survives lies on a
+  // directed cycle.  Works because out-degree <= 2 and in-degree <= 1 make the
+  // functional-graph argument on the reversed parent pointers unnecessary: a
+  // node is on a cycle iff every suffix of some child-path returns to it, and
+  // peeling sinks removes exactly the non-cycle nodes of a pseudo-forest.
+  const NodeIndex n = f.node_count();
+  std::vector<int> live_out(n, 0);
+  std::vector<char> on_cycle(n, 0);
+  std::deque<NodeIndex> queue;
+  for (NodeIndex v = 0; v < n; ++v) {
+    if (!f.in_forest(v)) continue;
+    on_cycle[v] = 1;
+    live_out[v] = (f.lc[v] != kNoNode ? 1 : 0) + (f.rc[v] != kNoNode ? 1 : 0);
+    if (live_out[v] == 0) queue.push_back(v);
+  }
+  while (!queue.empty()) {
+    NodeIndex v = queue.front();
+    queue.pop_front();
+    on_cycle[v] = 0;
+    NodeIndex p = f.up[v];
+    if (p != kNoNode && on_cycle[p]) {
+      if (--live_out[p] == 0) queue.push_back(p);
+    }
+  }
+  return on_cycle;
+}
+
+std::vector<std::int64_t> reachable_counts(const PseudoForest& f) {
+  const NodeIndex n = f.node_count();
+  std::vector<std::int64_t> count(n, 0);
+  std::vector<int> state(n, 0);  // 0 = unvisited, 1 = on stack, 2 = done
+  // Iterative DFS with an explicit stack; recursion would overflow on the
+  // deep instances (depth can be Θ(n)).
+  struct Frame {
+    NodeIndex v;
+    int stage;
+  };
+  const auto cycle = on_cycle_mask(f);
+  std::vector<Frame> stack;
+  for (NodeIndex root = 0; root < n; ++root) {
+    if (!f.in_forest(root) || state[root] != 0) continue;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      auto& [v, stage] = stack.back();
+      if (stage == 0) {
+        stage = 1;
+        state[v] = 1;
+        for (NodeIndex c : {f.lc[v], f.rc[v]}) {
+          if (c != kNoNode && state[c] == 0) stack.push_back({c, 0});
+        }
+      } else {
+        std::int64_t total = 1;
+        for (NodeIndex c : {f.lc[v], f.rc[v]}) {
+          if (c != kNoNode) total += count[c];
+        }
+        count[v] = total;
+        state[v] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  // On the (at most one per component) cycle the tree recurrence double-counts
+  // nothing but does not mean "reachable set size"; callers that care about
+  // cycles mask them out.  We still expose cycle membership implicitly by
+  // leaving the DFS value, which is an upper bound there.
+  (void)cycle;
+  return count;
+}
+
+}  // namespace volcal

@@ -1,0 +1,335 @@
+#include "lcl/adversary/hthc_adversary.hpp"
+
+#include <stdexcept>
+
+namespace volcal {
+
+HthcAdversarySource::HthcAdversarySource(int k, std::int64_t declared_n, std::int64_t budget)
+    : k_(k), declared_n_(declared_n), budget_(budget) {
+  if (k < 1) throw std::invalid_argument("hthc adversary: k >= 1");
+}
+
+void HthcAdversarySource::check_budget() const {
+  if (budget_ > 0 && nodes_spawned() >= budget_) {
+    throw QueryBudgetExceeded("hthc adversary: node budget exhausted");
+  }
+}
+
+NodeIndex HthcAdversarySource::spawn(int level, Color color, bool leaf) {
+  check_budget();
+  nodes_.push_back({level, color, leaf, kNoNode, kNoNode, kNoNode});
+  return nodes_spawned() - 1;
+}
+
+NodeIndex HthcAdversarySource::make_seed(int level, Color paint) {
+  return spawn(level, paint, false);
+}
+
+NodeIndex HthcAdversarySource::append_leaf(NodeIndex tail, Color chi) {
+  if (nodes_[tail].lc != kNoNode || nodes_[tail].leaf) {
+    throw std::logic_error("hthc adversary: tail LC already assigned");
+  }
+  const NodeIndex leaf = spawn(nodes_[tail].level, chi, true);
+  nodes_[tail].lc = leaf;
+  nodes_[leaf].parent = tail;
+  return leaf;
+}
+
+// Port layout (labels are per-node, so conventions may differ by role):
+//   interior, level >= 2: P=1, LC=2, RC=3 (degree 3)
+//   interior, level == 1: P=1, LC=2       (degree 2)
+//   leaf,     level >= 2: P=1, RC=2       (degree 2)
+//   leaf,     level == 1: P=1             (degree 1)
+int HthcAdversarySource::degree(NodeIndex v) const {
+  const NodeRec& r = nodes_[v];
+  if (r.leaf) return r.level >= 2 ? 2 : 1;
+  return r.level >= 2 ? 3 : 2;
+}
+Port HthcAdversarySource::parent_port(NodeIndex) const { return 1; }
+Port HthcAdversarySource::left_port(NodeIndex v) const {
+  return nodes_[v].leaf ? kNoPort : 2;
+}
+Port HthcAdversarySource::right_port(NodeIndex v) const {
+  const NodeRec& r = nodes_[v];
+  if (r.level < 2) return kNoPort;
+  return r.leaf ? 2 : 3;
+}
+
+NodeIndex HthcAdversarySource::query(NodeIndex v, Port p) {
+  if (v < 0 || v >= nodes_spawned()) {
+    throw std::logic_error("hthc adversary: query from unrevealed node");
+  }
+  if (p < 1 || p > degree(v)) throw std::out_of_range("hthc adversary: bad port");
+  NodeRec& r = nodes_[v];
+  const bool is_rc_port = (p == right_port(v));
+  if (p == 1) {
+    // Parent: extend the backbone upward — the explored region never shows a
+    // level root.  (New parent is an interior same-level node whose LC is v.)
+    if (r.parent == kNoNode) {
+      const NodeIndex up = spawn(r.level, r.color, false);
+      // Re-fetch: spawn may reallocate nodes_.
+      nodes_[up].lc = v;
+      nodes_[v].parent = up;
+    }
+    return nodes_[v].parent;
+  }
+  if (!r.leaf && p == 2) {
+    // LC: extend the backbone downward.
+    if (r.lc == kNoNode) {
+      const NodeIndex down = spawn(r.level, r.color, false);
+      nodes_[down].parent = v;
+      nodes_[v].lc = down;
+    }
+    return nodes_[v].lc;
+  }
+  if (is_rc_port) {
+    // RC: root of a fresh level-(ℓ-1) component.
+    if (r.rc == kNoNode) {
+      const NodeIndex below = spawn(r.level - 1, r.color, false);
+      nodes_[below].parent = v;
+      nodes_[v].rc = below;
+    }
+    return nodes_[v].rc;
+  }
+  throw std::logic_error("hthc adversary: unreachable port");
+}
+
+NodeIndex HthcAdversarySource::backbone_tail(NodeIndex v) const {
+  NodeIndex cur = v;
+  while (nodes_[cur].lc != kNoNode) cur = nodes_[cur].lc;
+  return cur;
+}
+
+std::vector<NodeIndex> HthcAdversarySource::chain(NodeIndex a, NodeIndex b) const {
+  std::vector<NodeIndex> out{a};
+  NodeIndex cur = a;
+  while (cur != b) {
+    cur = nodes_[cur].lc;
+    if (cur == kNoNode) throw std::logic_error("hthc adversary: b not below a");
+    out.push_back(cur);
+  }
+  return out;
+}
+
+HierarchicalInstance HthcAdversarySource::materialize() const {
+  // Working copy of the records; completion appends never-revealed nodes.
+  struct Rec {
+    int level;
+    Color color;
+    bool leaf;     // revealed leaf layout (no LC port)
+    bool root;     // completion-only: no parent port (degree shrinks by one)
+    NodeIndex parent = kNoNode, lc = kNoNode, rc = kNoNode;
+  };
+  std::vector<Rec> recs;
+  recs.reserve(nodes_.size());
+  for (const auto& r : nodes_) {
+    recs.push_back({r.level, r.color, r.leaf, false, r.parent, r.lc, r.rc});
+  }
+  const auto revealed = static_cast<NodeIndex>(recs.size());
+
+  // A "leaf spine": a level-ℓ leaf-type node whose RC chain descends to level
+  // 1 — the cheapest completion that keeps level arithmetic consistent.
+  // Returns the spine's top node.
+  auto append_spine = [&recs](int level, Color color, NodeIndex parent) {
+    const auto top = static_cast<NodeIndex>(recs.size());
+    NodeIndex up = parent;
+    for (int l = level; l >= 1; --l) {
+      const auto idx = static_cast<NodeIndex>(recs.size());
+      recs.push_back({l, color, /*leaf=*/true, /*root=*/false, up, kNoNode, kNoNode});
+      if (l > 1) recs[idx].rc = idx + 1;  // next spine node, created next turn
+      up = idx;
+    }
+    return top;
+  };
+
+  // Close every unassigned port of revealed nodes.
+  for (NodeIndex v = 0; v < revealed; ++v) {
+    const int level = recs[v].level;
+    const Color color = recs[v].color;
+    if (recs[v].parent == kNoNode) {
+      // Root-type parent (never revealed): v hangs off its LC; its RC gets a
+      // spine one level down when needed.
+      const auto p = static_cast<NodeIndex>(recs.size());
+      recs.push_back({level, color, /*leaf=*/false, /*root=*/true, kNoNode, v, kNoNode});
+      recs[v].parent = p;
+      if (level >= 2) recs[p].rc = append_spine(level - 1, color, p);
+    }
+    if (!recs[v].leaf && recs[v].lc == kNoNode) {
+      recs[v].lc = append_spine(level, color, v);
+    }
+    if (level >= 2 && recs[v].rc == kNoNode) {
+      recs[v].rc = append_spine(level - 1, color, v);
+    }
+  }
+
+  // Materialize graph + labels.  Port layout per node kind:
+  //   interior non-root: P=1, LC=2, RC=3 (level 1: no RC)
+  //   interior root:           LC=1, RC=2
+  //   leaf-type:         P=1,        RC=2 (level 1: P only)
+  const auto n = static_cast<NodeIndex>(recs.size());
+  Graph::Builder builder(n);
+  ColoredTreeLabeling labels(n);
+  for (NodeIndex v = 0; v < n; ++v) {
+    const Rec& r = recs[v];
+    Port next = 1;
+    if (!r.root) labels.tree.parent[v] = next++;
+    if (!r.leaf) {
+      labels.tree.left[v] = next++;
+      // Children claim their parent on port 1 (they are never root-type).
+      builder.add_edge_with_ports(v, r.lc, labels.tree.left[v], 1);
+    }
+    if (r.level >= 2) {
+      labels.tree.right[v] = next++;
+      builder.add_edge_with_ports(v, r.rc, labels.tree.right[v], 1);
+    }
+    labels.color[v] = r.color;
+  }
+  return {std::move(builder).build(), IdAssignment::sequential(n), std::move(labels)};
+}
+
+// ---------------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Color opposite(ThcColor c) { return c == ThcColor::R ? Color::Blue : Color::Red; }
+
+struct Driver {
+  const HthcCandidate* algorithm;
+  HthcAdversarySource* src;
+  HthcDuelResult result;
+
+  ThcColor simulate(NodeIndex v) {
+    src->set_start(v);
+    ++result.simulations;
+    const ThcColor out = (*algorithm)(*src);
+    result.committed.emplace_back(v, out);
+    return out;
+  }
+
+  void defeat(int level, std::string why, NodeIndex a = kNoNode, NodeIndex b = kNoNode) {
+    result.defeated = true;
+    result.defeat_level = level;
+    result.verdict = std::move(why);
+    result.witness_a = a;
+    result.witness_b = b;
+  }
+
+  // Both endpoints committed with distinct non-X outputs on one backbone:
+  // close in on an adjacent violating pair, or find an X and descend.
+  void binary_search(int level, NodeIndex a, ThcColor oa, NodeIndex b, ThcColor ob) {
+    auto nodes = src->chain(a, b);
+    std::size_t ia = 0, ib = nodes.size() - 1;
+    while (ib - ia > 1) {
+      const std::size_t im = (ia + ib) / 2;
+      const ThcColor om = simulate(nodes[im]);
+      if (om == ThcColor::X) {
+        descend(level, nodes[im]);
+        return;
+      }
+      if (om == oa) {
+        ia = im;
+      } else {
+        ib = im;
+        ob = om;
+      }
+    }
+    defeat(level,
+           "adjacent backbone nodes committed to '" + std::string(1, thc_char(oa)) +
+               "' and '" + std::string(1, thc_char(ob)) +
+               "' with no exemption between them (conditions 3(b)/4/5(b))",
+           nodes[ia], nodes[ib]);
+  }
+
+  // x_node committed to X at `level`: condition 4(b)/5(a) commits RC(x) to a
+  // non-D output — recurse one level down.
+  void descend(int level, NodeIndex x_node) {
+    if (level == 1) {
+      defeat(1, "level-1 node committed to X (condition 3(a) forbids exemption)", x_node);
+      return;
+    }
+    const NodeIndex below = src->query(x_node, src->right_port(x_node));
+    phase(level - 1, below, /*under_x=*/true);
+  }
+
+  // Simulate at v (level ℓ); under_x marks that v's parent committed to X.
+  void phase(int level, NodeIndex v, bool under_x) {
+    const ThcColor o = simulate(v);
+    if (result.defeated) return;
+    if (o == ThcColor::X) {
+      if (level == 1) {
+        defeat(1, "level-1 node output X (condition 3(a))", v);
+        return;
+      }
+      descend(level, v);
+      return;
+    }
+    if (o == ThcColor::D) {
+      if (level == src->k()) {
+        defeat(level, "level-k node output D (condition 5 allows only R/B/X)", v);
+        return;
+      }
+      if (under_x) {
+        defeat(level + 1,
+               "component under an exempt node declined (condition 4(b)/5(a) "
+               "requires its output in {R,B,X})",
+               v);
+        return;
+      }
+      // Unreachable in this driver: phases below the top are always entered
+      // under a committed X.
+      defeat(level, "unexpected decline at a fresh component", v);
+      return;
+    }
+    // A color: the leaf trick.  The algorithm committed to `o` having seen a
+    // monochromatic region with no backbone ends; append a level-ℓ leaf of
+    // the *opposite* input color below everything it explored.
+    const NodeIndex tail = src->backbone_tail(v);
+    const NodeIndex leaf = src->append_leaf(tail, opposite(o));
+    const ThcColor q = simulate(leaf);
+    if (result.defeated) return;
+    if (q == o) {
+      defeat(level,
+             "level leaf echoed the backbone color instead of its own "
+             "input color (condition 2)",
+             leaf);
+      return;
+    }
+    if (q == ThcColor::X) {
+      if (level == 1) {
+        defeat(1, "level-1 leaf output X (condition 3(a))", leaf);
+        return;
+      }
+      descend(level, leaf);
+      return;
+    }
+    if (q == ThcColor::D && level == src->k()) {
+      defeat(level, "level-k leaf declined (condition 5)", leaf);
+      return;
+    }
+    // q ∈ {opposite color, D}: two committed distinct non-X outputs on one
+    // backbone — a violating adjacent pair exists between them.
+    binary_search(level, v, o, leaf, q);
+  }
+};
+
+}  // namespace
+
+HthcDuelResult duel_hthc_adversary(const HthcCandidate& algorithm, int k,
+                                   std::int64_t declared_n, std::int64_t budget) {
+  HthcAdversarySource src(k, declared_n, budget);
+  Driver driver{&algorithm, &src, {}};
+  try {
+    // Phase k: a fresh blue component at the top level.
+    const NodeIndex seed = src.make_seed(k, Color::Blue);
+    driver.phase(k, seed, /*under_x=*/false);
+  } catch (const QueryBudgetExceeded&) {
+    driver.result.exceeded_budget = true;
+    driver.result.verdict = "algorithm exhausted the volume budget before committing";
+  }
+  driver.result.nodes_spawned = src.nodes_spawned();
+  return driver.result;
+}
+
+}  // namespace volcal

@@ -1,0 +1,120 @@
+// The multi-phase adversary process P of Proposition 5.20:
+// D-VOL(Hierarchical-THC(k)) = Ω(n / (k log n)).
+//
+// P builds a colored tree labeling with level structure adaptively.  Every
+// query for an unassigned port spawns a fresh node: parents and LC-children
+// extend the current backbone (same level), RC-children root a fresh
+// level-(ℓ-1) component.  Within the explored region there are never level
+// roots or leaves, and colors are monochromatic per component — so a
+// deterministic algorithm that answers after o(n) queries has committed to
+// an output that some completion contradicts.
+//
+// The driver descends through the phases of the paper's proof:
+//   * a D at level k, an X at level 1, or a D below a committed X are
+//     immediate local violations;
+//   * a color answer triggers the leaf trick: P appends a level-ℓ leaf with
+//     the *opposite* input color below the explored backbone and simulates
+//     the algorithm there — echo, decline, and exempt answers each close a
+//     case (adjacent distinct non-X outputs violate conditions 3(b)/4/5(b));
+//   * an X answer descends to the component below (condition 4(b)/5(a)
+//     commits the RC child to a non-D output), losing one level — after at
+//     most k descents phase 1 always convicts.
+//
+// All committed outputs come from simulations against the one growing
+// instance, so they are exactly what the deterministic algorithm outputs on
+// any completion — the violations are completion-independent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "labels/instances.hpp"
+#include "lcl/problems/hierarchical_thc.hpp"
+#include "runtime/execution.hpp"
+
+namespace volcal {
+
+class HthcAdversarySource {
+ public:
+  HthcAdversarySource(int k, std::int64_t declared_n, std::int64_t budget);
+
+  // --- TreeSource interface --------------------------------------------------
+  NodeIndex start() const { return start_; }
+  std::int64_t n() const { return declared_n_; }
+  int degree(NodeIndex v) const;
+  NodeIndex query(NodeIndex v, Port p);
+  Port parent_port(NodeIndex v) const;
+  Port left_port(NodeIndex v) const;
+  Port right_port(NodeIndex v) const;
+  Color color(NodeIndex v) const { return nodes_[v].color; }
+  NodeId id(NodeIndex v) const { return static_cast<NodeId>(v) + 1; }
+
+  // --- adversary controls ----------------------------------------------------
+  void set_start(NodeIndex v) { start_ = v; }
+  // Fresh interior node at `level` seeding a new component of `paint` color.
+  NodeIndex make_seed(int level, Color paint);
+  // Append a level-`level(of tail)` leaf below the backbone tail (the tail's
+  // LC port must be unassigned) with the given input color.
+  NodeIndex append_leaf(NodeIndex tail, Color chi);
+  // The materialized LC-chain from `a` downward to `b` (inclusive); both must
+  // lie on one backbone.
+  std::vector<NodeIndex> chain(NodeIndex a, NodeIndex b) const;
+  // Deepest LC-descendant of v spawned so far (v itself if none).
+  NodeIndex backbone_tail(NodeIndex v) const;
+
+  int level_of(NodeIndex v) const { return nodes_[v].level; }
+  bool is_leaf_node(NodeIndex v) const { return nodes_[v].leaf; }
+  std::int64_t nodes_spawned() const { return static_cast<std::int64_t>(nodes_.size()); }
+  int k() const { return k_; }
+
+  // Complete the adaptively-built structure into a well-formed instance:
+  // every unassigned port of a *revealed* node gets a real edge (so the
+  // degrees and levels the algorithm observed stay true), closed off with
+  // never-revealed leaf spines and root-type parents.  Spawned nodes keep
+  // their indices; the returned instance extends them.
+  HierarchicalInstance materialize() const;
+
+ private:
+  struct NodeRec {
+    int level = 1;
+    Color color = Color::Red;
+    bool leaf = false;
+    NodeIndex parent = kNoNode;  // node the P port leads to
+    NodeIndex lc = kNoNode;
+    NodeIndex rc = kNoNode;
+  };
+  NodeIndex spawn(int level, Color color, bool leaf);
+  void check_budget() const;
+
+  int k_;
+  std::int64_t declared_n_;
+  std::int64_t budget_;
+  NodeIndex start_ = kNoNode;
+  std::vector<NodeRec> nodes_;
+};
+
+// A deterministic algorithm under test: produces the output of the node the
+// source currently starts at.
+using HthcCandidate = std::function<ThcColor(HthcAdversarySource&)>;
+
+struct HthcDuelResult {
+  bool exceeded_budget = false;  // consistent with the Ω̃(n) bound
+  bool defeated = false;         // a committed local violation was exhibited
+  std::string verdict;           // human-readable account of the violation
+  int defeat_level = 0;          // level at which the contradiction closed
+  std::int64_t nodes_spawned = 0;
+  std::int64_t simulations = 0;  // number of times the algorithm was invoked
+  // Every output the deterministic algorithm committed to (node, output),
+  // and the node(s) whose validity the completion contradicts (witness_b may
+  // be kNoNode for single-node violations).
+  std::vector<std::pair<NodeIndex, ThcColor>> committed;
+  NodeIndex witness_a = kNoNode;
+  NodeIndex witness_b = kNoNode;
+};
+
+HthcDuelResult duel_hthc_adversary(const HthcCandidate& algorithm, int k,
+                                   std::int64_t declared_n, std::int64_t budget);
+
+}  // namespace volcal

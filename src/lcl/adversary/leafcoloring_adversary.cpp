@@ -1,0 +1,110 @@
+#include "lcl/adversary/leafcoloring_adversary.hpp"
+
+#include <stdexcept>
+
+#include "lcl/problems/leaf_coloring.hpp"
+
+namespace volcal {
+
+LeafColoringAdversarySource::LeafColoringAdversarySource(std::int64_t declared_n,
+                                                         std::int64_t budget)
+    : declared_n_(declared_n), budget_(budget) {
+  nodes_.push_back({});  // v0, the root: ID 0 in the paper; index 0 here
+}
+
+NodeIndex LeafColoringAdversarySource::query(NodeIndex v, Port p) {
+  if (v < 0 || v >= nodes_spawned()) {
+    throw std::logic_error("adversary: query from unrevealed node");
+  }
+  if (p < 1 || p > degree(v)) {
+    throw std::out_of_range("adversary: port out of range");
+  }
+  if (v != 0 && p == 1) {
+    // Parent port.  The root of the construction has no parent; for every
+    // other node the parent is whoever spawned it.
+    return nodes_[v].parent;
+  }
+  const bool left = (v == 0 ? p == 1 : p == 2);
+  const NodeIndex existing = left ? nodes_[v].lc : nodes_[v].rc;
+  if (existing != kNoNode) return existing;  // previously spawned
+  if (budget_ > 0 && nodes_spawned() >= budget_) {
+    throw QueryBudgetExceeded("leafcoloring adversary: node budget exhausted");
+  }
+  // Spawn a fresh node that looks internal (P=1, LC=2, RC=3, color Red).
+  // Note: push_back may reallocate, so record into nodes_[v] afterwards.
+  const NodeIndex child = nodes_spawned();
+  nodes_.push_back({v, kNoNode, kNoNode});
+  (left ? nodes_[v].lc : nodes_[v].rc) = child;
+  return child;
+}
+
+LeafColoringInstance LeafColoringAdversarySource::materialize(Color leaf_color) const {
+  // Explored nodes keep their claimed labels; every unassigned child port
+  // receives a fresh leaf with χ_in = leaf_color.
+  const auto explored = nodes_spawned();
+  std::int64_t leaves = 0;
+  for (const auto& rec : nodes_) {
+    leaves += (rec.lc == kNoNode ? 1 : 0) + (rec.rc == kNoNode ? 1 : 0);
+  }
+  const NodeIndex n = explored + leaves;
+  Graph::Builder builder(n);
+  ColoredTreeLabeling labels(n);
+  NodeIndex next_leaf = explored;
+  for (NodeIndex v = 0; v < explored; ++v) {
+    labels.tree.parent[v] = parent_port(v);
+    labels.tree.left[v] = left_port(v);
+    labels.tree.right[v] = right_port(v);
+    labels.color[v] = Color::Red;
+    for (const bool left : {true, false}) {
+      NodeIndex child = left ? nodes_[v].lc : nodes_[v].rc;
+      const Port pv = left ? left_port(v) : right_port(v);
+      if (child == kNoNode) {
+        child = next_leaf++;
+        labels.tree.parent[child] = 1;
+        labels.tree.left[child] = kNoPort;
+        labels.tree.right[child] = kNoPort;
+        labels.color[child] = leaf_color;
+        builder.add_edge_with_ports(v, child, pv, 1);
+      } else {
+        builder.add_edge_with_ports(v, child, pv, 1);
+      }
+    }
+  }
+  return {std::move(builder).build(), IdAssignment::sequential(n), std::move(labels)};
+}
+
+AdversaryDuelResult duel_leafcoloring_adversary(
+    const std::function<Color(LeafColoringAdversarySource&)>& algorithm,
+    std::int64_t declared_n, std::int64_t budget) {
+  AdversaryDuelResult result;
+  LeafColoringAdversarySource source(declared_n, budget);
+  Color out;
+  try {
+    out = algorithm(source);
+  } catch (const QueryBudgetExceeded&) {
+    result.algorithm_exceeded_budget = true;
+    result.algorithm_failed = false;
+    result.nodes_spawned = source.nodes_spawned();
+    return result;
+  }
+  result.root_output = out;
+  result.nodes_spawned = source.nodes_spawned();
+  // The adversary colors every completion leaf with the color the root did
+  // NOT output.  In the completed tree, all leaves carry that color, so the
+  // unique valid output colors every node with it — the root is wrong.
+  const Color opposite = (out == Color::Red) ? Color::Blue : Color::Red;
+  result.instance = source.materialize(opposite);
+  result.instance_size = result.instance.node_count();
+  // Demonstrate the forced failure: any global output extending
+  // χ_out(v0) = out violates validity somewhere.  Take the *best case* for
+  // the algorithm — all other nodes answer with the unique valid color —
+  // and verify that the labeling still fails.
+  LeafColoringProblem problem;
+  std::vector<Color> output(result.instance.node_count(), opposite);
+  output[0] = out;
+  const auto verdict = verify_all(problem, result.instance, output);
+  result.algorithm_failed = !verdict.ok;
+  return result;
+}
+
+}  // namespace volcal

@@ -1,0 +1,76 @@
+// The adversary process P of Proposition 3.13: against any deterministic
+// algorithm that halts within a query budget, P adaptively constructs a
+// binary tree in which the algorithm never sees a leaf, then completes the
+// tree with leaves colored opposite to the algorithm's output — forcing an
+// invalid answer on an instance of ~3x the budget's size.
+//
+// The adversary presents a TreeSource (see local_view.hpp): every node it
+// reveals claims P = 1, LC = 2, RC = 3 (LC = 1, RC = 2 at the root), has
+// degree 3 (2 at the root), and input color Red.  Querying an unexplored
+// child port spawns a fresh internal-looking node; the parent port returns
+// the spawning node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "labels/instances.hpp"
+#include "runtime/execution.hpp"
+
+namespace volcal {
+
+class LeafColoringAdversarySource {
+ public:
+  // budget: maximum number of *nodes* the algorithm may cause to exist; a
+  // query that would spawn past the budget throws QueryBudgetExceeded (the
+  // algorithm "used too many queries" and the adversary gives up).
+  explicit LeafColoringAdversarySource(std::int64_t declared_n, std::int64_t budget);
+
+  // --- TreeSource interface -------------------------------------------------
+  NodeIndex start() const { return 0; }
+  std::int64_t n() const { return declared_n_; }
+  int degree(NodeIndex v) const { return v == 0 ? 2 : 3; }
+  NodeIndex query(NodeIndex v, Port p);
+  Port parent_port(NodeIndex v) const { return v == 0 ? kNoPort : 1; }
+  Port left_port(NodeIndex v) const { return v == 0 ? 1 : 2; }
+  Port right_port(NodeIndex v) const { return v == 0 ? 2 : 3; }
+  Color color(NodeIndex) const { return Color::Red; }
+
+  std::int64_t nodes_spawned() const { return static_cast<std::int64_t>(nodes_.size()); }
+
+  // Materialize the final instance G_A: explored nodes keep their labels;
+  // every unassigned child port receives a fresh leaf with input color
+  // `leaf_color` (the adversary picks the color the algorithm did NOT
+  // output at the root).
+  LeafColoringInstance materialize(Color leaf_color) const;
+
+ private:
+  struct NodeRec {
+    NodeIndex parent = kNoNode;
+    NodeIndex lc = kNoNode;
+    NodeIndex rc = kNoNode;
+  };
+  std::int64_t declared_n_;
+  std::int64_t budget_;
+  std::vector<NodeRec> nodes_;
+};
+
+struct AdversaryDuelResult {
+  bool algorithm_exceeded_budget = false;
+  bool algorithm_failed = true;  // the adversary's claim: output invalid
+  Color root_output = Color::Red;
+  std::int64_t nodes_spawned = 0;
+  std::int64_t instance_size = 0;  // |G_A| after completion
+  LeafColoringInstance instance;   // the defeating instance (when failed)
+};
+
+// Runs `algorithm` (deterministic, Color(LeafColoringAdversarySource&))
+// against the adversary with the given node budget, materializes the
+// defeating instance, and checks that no completion-consistent output can
+// make the root's answer valid.
+AdversaryDuelResult duel_leafcoloring_adversary(
+    const std::function<Color(LeafColoringAdversarySource&)>& algorithm,
+    std::int64_t declared_n, std::int64_t budget);
+
+}  // namespace volcal

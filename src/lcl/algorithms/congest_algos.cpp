@@ -1,0 +1,299 @@
+#include "lcl/algorithms/congest_algos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/bfs.hpp"
+#include "lcl/problems/balanced_tree.hpp"
+#include "runtime/execution.hpp"
+
+namespace volcal {
+
+BtFloodResult congest_balancedtree_flood(const BalancedTreeInstance& inst, int bandwidth_bits,
+                                         int max_rounds) {
+  const Graph& g = inst.graph;
+  const NodeIndex n = g.node_count();
+  BtFloodResult out;
+  out.defect_below.assign(n, 0);
+
+  // Round 0 (local): every node knows whether it is itself a defect.
+  std::vector<std::uint8_t> defect(n, 0);
+  for (NodeIndex v = 0; v < n; ++v) {
+    if (is_consistent(g, inst.labels.tree, v) && !bt_compatible(g, inst.labels, v)) {
+      defect[v] = 1;
+      out.defect_below[v] = 1;
+    }
+  }
+
+  // Flood "defect below" claims upward along parent claims: each node that
+  // learns of a defect in its subtree tells its parent with a 1-bit message.
+  std::vector<std::uint8_t> announced(n, 0);
+  CongestSim sim(g, bandwidth_bits);
+  auto step = [&](NodeIndex v, int, const CongestSim::PortMessages& inbox)
+      -> CongestSim::PortMessages {
+    CongestSim::PortMessages outbox(g.degree(v));
+    // Any inbound defect bit from a child port marks the subtree dirty.
+    for (std::size_t pi = 0; pi < inbox.size(); ++pi) {
+      if (!inbox[pi].empty() && inbox[pi][0] == 1) {
+        const NodeIndex sender = g.neighbor(v, static_cast<Port>(pi + 1));
+        // Count it only if the sender claims v as parent (an upward edge).
+        if (parent_of(g, inst.labels.tree, sender) == v) out.defect_below[v] = 1;
+      }
+    }
+    if (out.defect_below[v] && !announced[v]) {
+      announced[v] = 1;
+      const Port pp = inst.labels.tree.parent[v];
+      if (pp >= 1 && pp <= g.degree(v)) outbox[pp - 1] = {1};
+    }
+    return outbox;
+  };
+  int rounds = sim.run(step, [] { return false; }, max_rounds);
+  out.stats.rounds = rounds;
+  out.stats.total_bits = sim.total_bits_sent();
+  out.stats.solved = true;
+  return out;
+}
+
+BtCongestSolveResult congest_balancedtree_solve(const BalancedTreeInstance& inst,
+                                                int bandwidth_bits, int max_rounds) {
+  const Graph& g = inst.graph;
+  const BalancedTreeLabeling& l = inst.labels;
+  const NodeIndex n = g.node_count();
+  auto flood = congest_balancedtree_flood(inst, bandwidth_bits, max_rounds);
+  BtCongestSolveResult out;
+  out.stats = flood.stats;
+  out.output.assign(n, BtOutput{Balance::Unbalanced, kNoPort});
+  for (NodeIndex v = 0; v < n; ++v) {
+    if (!is_consistent(g, l.tree, v)) continue;  // unconstrained
+    if (!bt_compatible(g, l, v)) continue;       // (U, ⊥) already set
+    if (is_leaf(g, l.tree, v)) {
+      out.output[v] = {Balance::Balanced, l.tree.parent[v]};
+      continue;
+    }
+    // Internal compatible: point at a child whose subtree flooded a defect;
+    // no defect below means the subtree is a balanced binary tree (Lemma
+    // 4.6), so pass (B, P) upward.
+    const NodeIndex lc = left_child_of(g, l.tree, v);
+    const NodeIndex rc = right_child_of(g, l.tree, v);
+    if (lc != kNoNode && flood.defect_below[lc]) {
+      out.output[v] = {Balance::Unbalanced, l.tree.left[v]};
+    } else if (rc != kNoNode && flood.defect_below[rc]) {
+      out.output[v] = {Balance::Unbalanced, l.tree.right[v]};
+    } else {
+      out.output[v] = {Balance::Balanced, l.tree.parent[v]};
+    }
+  }
+  return out;
+}
+
+TwoTreeResult congest_two_tree_relay(const TwoTreeGadget& gadget, int bandwidth_bits,
+                                     int max_rounds) {
+  const Graph& g = gadget.graph;
+  const NodeIndex n = g.node_count();
+  const auto leaf_count = static_cast<std::int64_t>(gadget.v_leaves.size());
+
+  // Node roles: leaf index for v-leaves (bit sources) and u-leaves (sinks).
+  std::vector<std::int64_t> v_leaf_index(n, -1), u_leaf_index(n, -1);
+  for (std::size_t i = 0; i < gadget.v_leaves.size(); ++i) {
+    v_leaf_index[gadget.v_leaves[i]] = static_cast<std::int64_t>(i);
+    u_leaf_index[gadget.u_leaves[i]] = static_cast<std::int64_t>(i);
+  }
+
+  // Message format: repeated records of (index, bit); the index takes
+  // ceil(log2 N) bits — CONGEST's canonical O(log n)-bit word.
+  int idx_bits = 1;
+  while ((std::int64_t{1} << idx_bits) < leaf_count) ++idx_bits;
+  const int record_bits = idx_bits + 1;
+  const int records_per_msg = std::max(1, bandwidth_bits / record_bits);
+
+  struct NodeState {
+    std::vector<std::pair<std::int64_t, std::uint8_t>> pending_up;    // toward own root
+    std::vector<std::pair<std::int64_t, std::uint8_t>> pending_down;  // toward u-leaves
+  };
+  std::vector<NodeState> state(n);
+  for (std::size_t i = 0; i < gadget.v_leaves.size(); ++i) {
+    state[gadget.v_leaves[i]].pending_up.emplace_back(static_cast<std::int64_t>(i),
+                                                      gadget.bits[i]);
+  }
+
+  TwoTreeResult result;
+  result.learned.assign(gadget.u_leaves.size(), 2);  // 2 = unknown
+  std::int64_t delivered = 0;
+
+  // Routing: in the v-tree, "up" is port 1 (root edge at the root); in the
+  // u-tree, a record for leaf index i descends left/right by index range.
+  const NodeIndex tree_n = gadget.root_v;  // == nodes per tree
+  auto in_u_tree = [&](NodeIndex v) { return v < tree_n; };
+
+  auto encode = [&](std::vector<std::pair<std::int64_t, std::uint8_t>>& queue)
+      -> CongestSim::Message {
+    CongestSim::Message msg;
+    const int take = std::min<std::int64_t>(records_per_msg,
+                                            static_cast<std::int64_t>(queue.size()));
+    for (int r = 0; r < take; ++r) {
+      auto [idx, bit] = queue[static_cast<std::size_t>(r)];
+      for (int b = 0; b < idx_bits; ++b) msg.push_back((idx >> b) & 1);
+      msg.push_back(bit);
+    }
+    queue.erase(queue.begin(), queue.begin() + take);
+    return msg;
+  };
+  auto decode = [&](const CongestSim::Message& msg) {
+    std::vector<std::pair<std::int64_t, std::uint8_t>> records;
+    const auto rb = static_cast<std::size_t>(record_bits);
+    for (std::size_t off = 0; off + rb <= msg.size(); off += rb) {
+      std::int64_t idx = 0;
+      for (int b = 0; b < idx_bits; ++b) idx |= static_cast<std::int64_t>(msg[off + b]) << b;
+      records.emplace_back(idx, msg[off + static_cast<std::size_t>(idx_bits)]);
+    }
+    return records;
+  };
+
+  // u-tree leaf index ranges for downward routing: leaf i sits under the
+  // child whose heap subtree contains heap index first_leaf + i.
+  const NodeIndex first_leaf = gadget.u_leaves.front();
+
+  CongestSim sim(g, bandwidth_bits);
+  auto step = [&](NodeIndex v, int, const CongestSim::PortMessages& inbox)
+      -> CongestSim::PortMessages {
+    CongestSim::PortMessages outbox(g.degree(v));
+    for (const auto& msg : inbox) {
+      if (msg.empty()) continue;
+      for (auto [idx, bit] : decode(msg)) {
+        if (!in_u_tree(v)) {
+          state[v].pending_up.emplace_back(idx, bit);  // still in the v-tree
+        } else if (u_leaf_index[v] >= 0) {
+          if (result.learned[static_cast<std::size_t>(idx)] == 2) {
+            result.learned[static_cast<std::size_t>(idx)] = bit;
+            ++delivered;
+          }
+        } else {
+          state[v].pending_down.emplace_back(idx, bit);
+        }
+      }
+    }
+    if (!in_u_tree(v)) {
+      // Send up toward the v-root; the v-root sends across the root edge.
+      if (!state[v].pending_up.empty()) {
+        outbox[0] = encode(state[v].pending_up);  // port 1 = parent / root edge
+      }
+    } else {
+      // Route records down by leaf index range.
+      auto& queue = state[v].pending_down;
+      if (!queue.empty()) {
+        // Partition up to one message per child port (2 = left, 3 = right).
+        std::vector<std::pair<std::int64_t, std::uint8_t>> left_q, right_q, rest;
+        for (auto rec : queue) {
+          // Walk the heap path from v to leaf first_leaf + rec.first.
+          NodeIndex target = first_leaf + rec.first;
+          NodeIndex cur = target;
+          NodeIndex hop = target;
+          while (cur != v && cur != 0) {
+            hop = cur;
+            cur = (cur - 1) / 2;
+          }
+          if (cur != v) continue;  // mis-routed; drop (cannot happen from root path)
+          (hop == 2 * v + 1 ? left_q : right_q).push_back(rec);
+        }
+        CongestSim::Message lm = encode(left_q), rm = encode(right_q);
+        if (!lm.empty()) outbox[1] = std::move(lm);
+        if (!rm.empty()) outbox[2] = std::move(rm);
+        rest = std::move(left_q);
+        rest.insert(rest.end(), right_q.begin(), right_q.end());
+        queue = std::move(rest);
+      }
+    }
+    return outbox;
+  };
+  const int rounds =
+      sim.run(step, [&] { return delivered == leaf_count; }, max_rounds);
+  result.stats.rounds = rounds;
+  result.stats.total_bits = sim.total_bits_sent();
+  result.stats.solved = delivered == leaf_count;
+  return result;
+}
+
+LeafColoringCongestResult congest_leafcoloring(const LeafColoringInstance& inst,
+                                               int bandwidth_bits, int max_rounds) {
+  const Graph& g = inst.graph;
+  const NodeIndex n = g.node_count();
+  LeafColoringCongestResult out;
+  out.output.assign(n, Color::Red);
+
+  // Role assignment (local, round 0).
+  std::vector<std::uint8_t> decided(n, 0);
+  std::vector<std::uint8_t> pending(n, 0);  // has an announcement to send up
+  for (NodeIndex v = 0; v < n; ++v) {
+    if (!is_internal(g, inst.labels.tree, v)) {
+      out.output[v] = inst.labels.color[v];  // leaf/inconsistent echoes χ_in
+      decided[v] = 1;
+      if (is_leaf(g, inst.labels.tree, v)) pending[v] = 1;
+    }
+  }
+
+  // Message: one bit, the announced color (R=0, B=1).  A node relays the
+  // color to its claimed parent; internal nodes adopt the first announcement
+  // arriving from an acknowledged child (lowest port on ties).
+  std::int64_t undecided = 0;
+  for (NodeIndex v = 0; v < n; ++v) undecided += decided[v] ? 0 : 1;
+  CongestSim sim(g, bandwidth_bits);
+  auto step = [&](NodeIndex v, int, const CongestSim::PortMessages& inbox)
+      -> CongestSim::PortMessages {
+    CongestSim::PortMessages outbox(g.degree(v));
+    if (!decided[v]) {
+      for (std::size_t pi = 0; pi < inbox.size(); ++pi) {
+        if (inbox[pi].empty()) continue;
+        const NodeIndex sender = g.neighbor(v, static_cast<Port>(pi + 1));
+        // Only child announcements count (the child names v as parent and v
+        // claims it as a child) — exactly the G_T edges of Obs. 3.7.
+        if (parent_of(g, inst.labels.tree, sender) != v) continue;
+        if (left_child_of(g, inst.labels.tree, v) != sender &&
+            right_child_of(g, inst.labels.tree, v) != sender) {
+          continue;
+        }
+        out.output[v] = inbox[pi][0] ? Color::Blue : Color::Red;
+        decided[v] = 1;
+        pending[v] = 1;
+        --undecided;
+        break;
+      }
+    }
+    if (pending[v] && decided[v]) {
+      const Port pp = inst.labels.tree.parent[v];
+      if (pp >= 1 && pp <= g.degree(v)) {
+        outbox[pp - 1] = {static_cast<std::uint8_t>(out.output[v] == Color::Blue)};
+      }
+      pending[v] = 0;
+    }
+    return outbox;
+  };
+  const int rounds = sim.run(step, [&] { return undecided == 0; }, max_rounds);
+  out.stats.rounds = rounds;
+  out.stats.total_bits = sim.total_bits_sent();
+  out.stats.solved = undecided == 0;
+  out.all_decided = undecided == 0;
+  return out;
+}
+
+std::uint8_t query_two_tree_bit(const TwoTreeGadget& gadget, NodeIndex u_leaf,
+                                std::int64_t* volume_out) {
+  Execution exec(gadget.graph, gadget.ids, u_leaf);
+  // Walk up to the u-root (heap parent steps), across, then descend the
+  // v-tree mirroring the heap path.
+  std::vector<Port> path_down;  // child ports (2 = left, 3 = right), root first
+  NodeIndex cur = u_leaf;
+  while (cur != 0) {
+    const NodeIndex parent = (cur - 1) / 2;
+    path_down.push_back(cur == 2 * parent + 1 ? 2 : 3);
+    cur = exec.query(cur, 1);  // port 1 = parent (root edge at the root)
+  }
+  std::reverse(path_down.begin(), path_down.end());
+  NodeIndex mirror = exec.query(0, 1);  // across the root-root edge
+  for (const Port p : path_down) mirror = exec.query(mirror, p);
+  if (volume_out != nullptr) *volume_out = exec.volume();
+  // The bit lives in the gadget's side table (it is the mirrored leaf's input).
+  const auto it = std::find(gadget.v_leaves.begin(), gadget.v_leaves.end(), mirror);
+  return gadget.bits[static_cast<std::size_t>(it - gadget.v_leaves.begin())];
+}
+
+}  // namespace volcal

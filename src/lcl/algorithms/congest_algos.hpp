@@ -1,0 +1,78 @@
+// Concrete CONGEST algorithms (paper Section 7.3).
+//
+//  * BalancedTree flooding (Observation 7.4): every incompatible /
+//    inconsistent node announces a defect; nodes rebroadcast for O(log n)
+//    rounds; a node outputs Unbalanced iff a defect announcement reached it
+//    from below.  Rounds O(log n) with 1-bit messages — contrasted with the
+//    Ω(n) query lower bound.
+//  * Two-tree bit relay (Example 7.6): each u-leaf must output the bit held
+//    by the mirrored v-leaf; all traffic crosses the single root-root edge,
+//    forcing Θ(depth + 2^depth / B) rounds under bandwidth B — contrasted
+//    with O(log n) volume for the same problem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "labels/generators.hpp"
+#include "lcl/problems/balanced_tree.hpp"
+#include "runtime/congest.hpp"
+
+namespace volcal {
+
+struct CongestRunStats {
+  int rounds = 0;
+  std::int64_t total_bits = 0;
+  bool solved = false;
+};
+
+// Runs defect flooding on a BalancedTree instance; returns per-node
+// "defect reached me from my subtree" flags and the round count.  A correct
+// output for BalancedTree follows by combining the flag with local state.
+struct BtFloodResult {
+  CongestRunStats stats;
+  std::vector<std::uint8_t> defect_below;  // 1 if some defect is in v's subtree
+};
+BtFloodResult congest_balancedtree_flood(const BalancedTreeInstance& inst, int bandwidth_bits,
+                                         int max_rounds);
+
+// The full Observation 7.4 solver: runs the defect flood and derives every
+// node's (β, p) output — compatible leaves pass up, internal nodes point at
+// the child whose subtree reported a defect.  O(log n) rounds with 1-bit
+// messages, versus the Ω(n) query volume of Prop. 4.9.
+struct BtCongestSolveResult {
+  CongestRunStats stats;
+  std::vector<BtOutput> output;
+};
+BtCongestSolveResult congest_balancedtree_solve(const BalancedTreeInstance& inst,
+                                                int bandwidth_bits, int max_rounds);
+
+// Solves the two-tree gadget: every u-leaf learns its mirrored bit.  Bits are
+// pipelined up the v-tree, across the root edge (B per round), and down the
+// u-tree.  Returns the rounds needed until all u-leaves hold their bit.
+struct TwoTreeResult {
+  CongestRunStats stats;
+  std::vector<std::uint8_t> learned;  // learned[i] = bit delivered to u_leaves[i]
+};
+TwoTreeResult congest_two_tree_relay(const TwoTreeGadget& gadget, int bandwidth_bits,
+                                     int max_rounds);
+
+// The same two-tree problem in the query model: each u-leaf walks up to the
+// roots and down to its mirror — volume O(depth) = O(log n).
+std::uint8_t query_two_tree_bit(const TwoTreeGadget& gadget, NodeIndex u_leaf,
+                                std::int64_t* volume_out);
+
+// LeafColoring in CONGEST (the Obs. 7.4 pattern applied to §3): each leaf
+// starts a 2-bit announcement of its χ_in; internal nodes adopt the first
+// child announcement they hear (deterministic tie-break on port order) and
+// forward it upward.  O(log n) rounds on instances whose nearest-leaf depth
+// is O(log n) — matching D-DIST, far below the Θ(n) query volume.
+struct LeafColoringCongestResult {
+  CongestRunStats stats;
+  std::vector<Color> output;
+  bool all_decided = false;
+};
+LeafColoringCongestResult congest_leafcoloring(const LeafColoringInstance& inst,
+                                               int bandwidth_bits, int max_rounds);
+
+}  // namespace volcal

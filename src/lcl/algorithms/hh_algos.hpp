@@ -1,0 +1,49 @@
+// HH-THC(k, ℓ) solvers (paper Section 6.1): per-node dispatch on the selector
+// bit — side 0 runs the Hierarchical-THC(ℓ) machinery, side 1 runs the
+// Hybrid-THC(k) machinery.  Costs combine as maxima (Thm. 6.5).
+#pragma once
+
+#include "lcl/algorithms/hthc_algos.hpp"
+#include "lcl/algorithms/hybrid_algos.hpp"
+#include "lcl/problems/hh_thc.hpp"
+
+namespace volcal {
+
+struct HHConfig {
+  HthcConfig hier;     // parameter ℓ side
+  HybridConfig hybrid;  // parameter k side
+
+  static HHConfig make(int k, int l, std::int64_t n, bool waypoints = false,
+                       RandomTape* tape = nullptr) {
+    HHConfig cfg;
+    cfg.hier = HthcConfig::make(l, n, waypoints, tape);
+    cfg.hybrid = HybridConfig::make(k, n, waypoints, tape);
+    return cfg;
+  }
+};
+
+// Distance flavor: side 0 deterministic RecursiveHTHC (Θ(n^{1/ℓ}) distance),
+// side 1 the Θ(log n) hybrid distance solver.
+template <typename Source>
+HybridOutput hh_solve_distance(Source& src, const HHConfig& cfg) {
+  const NodeIndex v = src.start();
+  if (src.side(v) == 0) {
+    HthcConfig hier = cfg.hier;
+    hier.use_waypoints = false;
+    return HybridOutput::symbol(hthc_solve(src, hier));
+  }
+  return hybrid_solve_distance(src, cfg.hybrid);
+}
+
+// Volume flavor: both sides use their waypoint machinery (Θ̃(n^{1/k})
+// randomized volume overall, the hybrid side dominating when k <= ℓ).
+template <typename Source>
+HybridOutput hh_solve_volume(Source& src, const HHConfig& cfg) {
+  const NodeIndex v = src.start();
+  if (src.side(v) == 0) {
+    return HybridOutput::symbol(hthc_solve(src, cfg.hier));
+  }
+  return hybrid_solve_volume(src, cfg.hybrid);
+}
+
+}  // namespace volcal

@@ -1,0 +1,378 @@
+// Hierarchical-THC(k) algorithms (paper Section 5).
+//
+// One memoized solver implements both variants:
+//  * deterministic RecursiveHTHC (Algorithm 2, Prop. 5.12): every backbone
+//    node's RC-subtree may be recursed into — distance O(k·n^{1/k}),
+//    volume Θ̃(n) in the worst case;
+//  * randomized waypoint variant (Prop. 5.14): recursion is attempted only at
+//    way-points, sampled from each node's *own* random string (footnote 3)
+//    with probability p = c·log n / n^{1/k} — volume O(n^{1/k} · log^{O(k)} n)
+//    with high probability.
+//
+// HierView recomputes levels and hierarchy links locally through queries,
+// mirroring labels/hierarchy.hpp's global semantics (Obs. 5.3).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "lcl/algorithms/local_view.hpp"
+#include "lcl/problems/hierarchical_thc.hpp"
+#include "runtime/randomness.hpp"
+
+namespace volcal {
+
+// Query-side mirror of the Hierarchy link/level structure.
+template <typename Source>
+class HierView {
+ public:
+  // `level_override` (optional) replaces the RC-chain level computation with
+  // an externally supplied one — Hybrid-THC's explicit level(v) input labels
+  // (Def. 6.1).  The override is responsible for its own label-access costs.
+  HierView(Source& src, int cap, std::function<int(NodeIndex)> level_override = nullptr)
+      : src_(&src), tree_(src), cap_(cap), level_override_(std::move(level_override)) {}
+
+  int cap() const { return cap_; }
+  TreeView<Source>& tree() { return tree_; }
+
+  NodeIndex link_lc(NodeIndex v) {
+    const Port pl = src_->left_port(v);
+    const Port pr = src_->right_port(v);
+    const Port pp = src_->parent_port(v);
+    if (pl == kNoPort || pl == pr) return kNoNode;
+    if (pp != kNoPort && pp == pl) return kNoNode;
+    const NodeIndex u = tree_.follow(v, pl);
+    if (u == kNoNode || u == v || tree_.parent(u) != v) return kNoNode;
+    return u;
+  }
+
+  NodeIndex link_rc(NodeIndex v) {
+    const Port pl = src_->left_port(v);
+    const Port pr = src_->right_port(v);
+    const Port pp = src_->parent_port(v);
+    if (pr == kNoPort || pl == pr) return kNoNode;
+    if (pp != kNoPort && pp == pr) return kNoNode;
+    const NodeIndex u = tree_.follow(v, pr);
+    if (u == kNoNode || u == v || tree_.parent(u) != v) return kNoNode;
+    if (u == link_lc(v)) return kNoNode;
+    return u;
+  }
+
+  NodeIndex link_up(NodeIndex v) {
+    const NodeIndex p = tree_.parent(v);
+    if (p == kNoNode) return kNoNode;
+    if (link_lc(p) == v || link_rc(p) == v) return p;
+    return kNoNode;
+  }
+
+  // Capped RC-chain level (memoized).  A value of cap() means "> k".
+  int level(NodeIndex v) {
+    if (level_override_) return std::clamp(level_override_(v), 1, cap_);
+    auto it = level_memo_.find(v);
+    if (it != level_memo_.end()) return it->second;
+    std::vector<NodeIndex> chain;
+    NodeIndex cur = v;
+    int base;
+    while (true) {
+      auto hit = level_memo_.find(cur);
+      if (hit != level_memo_.end()) {
+        base = hit->second;
+        break;
+      }
+      if (static_cast<int>(chain.size()) > cap_) {
+        base = cap_;
+        break;
+      }
+      chain.push_back(cur);
+      const NodeIndex rc = link_rc(cur);
+      if (rc == kNoNode) {
+        base = 0;  // cur itself has level 1
+        break;
+      }
+      cur = rc;
+    }
+    while (!chain.empty()) {
+      base = std::min(base + 1, cap_);
+      level_memo_[chain.back()] = base;
+      chain.pop_back();
+    }
+    return level_memo_.at(v);
+  }
+
+  bool in_hierarchy(NodeIndex v) { return level(v) < cap_; }
+
+  NodeIndex backbone_next(NodeIndex v) {
+    if (!in_hierarchy(v)) return kNoNode;
+    const NodeIndex lc = link_lc(v);
+    if (lc == kNoNode || level(lc) != level(v)) return kNoNode;
+    return lc;
+  }
+
+  NodeIndex backbone_prev(NodeIndex v) {
+    if (!in_hierarchy(v)) return kNoNode;
+    const NodeIndex p = link_up(v);
+    if (p == kNoNode || level(p) != level(v) || link_lc(p) != v) return kNoNode;
+    return p;
+  }
+
+  NodeIndex down(NodeIndex v) {
+    if (!in_hierarchy(v)) return kNoNode;
+    const NodeIndex rc = link_rc(v);
+    if (rc == kNoNode || level(rc) != level(v) - 1) return kNoNode;
+    return rc;
+  }
+
+  bool is_level_leaf(NodeIndex v) { return in_hierarchy(v) && backbone_next(v) == kNoNode; }
+
+  bool is_level_root(NodeIndex v) {
+    if (!in_hierarchy(v)) return false;
+    const NodeIndex p = link_up(v);
+    if (p == kNoNode) return true;
+    if (link_rc(p) == v) return true;
+    return backbone_prev(v) == kNoNode && level(p) != level(v);
+  }
+
+ private:
+  Source* src_;
+  TreeView<Source> tree_;
+  int cap_;
+  std::function<int(NodeIndex)> level_override_;
+  std::unordered_map<NodeIndex, int> level_memo_;
+};
+
+struct HthcConfig {
+  int k = 2;
+  // Component-size threshold of Def. 5.10: components larger than `window`
+  // (= 2·ceil(n^{1/k})) are deep.  Filled by make() if left 0.
+  std::int64_t window = 0;
+  // Randomized (Prop. 5.14) vs deterministic (Prop. 5.12) recursion gating.
+  bool use_waypoints = false;
+  double waypoint_c = 3.0;   // p = min(1, c·log2(n) / n^{1/k})
+  RandomTape* tape = nullptr;
+  // Bit position in each node's string reserved for the way-point coin.
+  std::uint64_t waypoint_bit_base = 128;
+  // Hybrid-THC hooks (Def. 6.1): explicit input levels, and the level-2
+  // exemption certificate "the BalancedTree component below u solves".
+  std::function<int(NodeIndex)> level_override;
+  std::function<bool(NodeIndex)> level2_certifier;
+
+  static HthcConfig make(int k, std::int64_t n, bool waypoints = false,
+                         RandomTape* tape = nullptr, double c = 3.0) {
+    HthcConfig cfg;
+    cfg.k = k;
+    const double root = std::pow(static_cast<double>(n), 1.0 / static_cast<double>(k));
+    cfg.window = 2 * static_cast<std::int64_t>(std::ceil(root));
+    cfg.use_waypoints = waypoints;
+    cfg.tape = tape;
+    cfg.waypoint_c = c;
+    return cfg;
+  }
+
+  double waypoint_p(std::int64_t n) const {
+    const double root = std::pow(static_cast<double>(n), 1.0 / static_cast<double>(k));
+    return std::min(1.0, waypoint_c * std::log2(std::max<double>(n, 2)) / root);
+  }
+};
+
+// Per-solver instrumentation: how the work of Prop. 5.12/5.14 splits up.
+struct HthcStats {
+  std::int64_t computes = 0;        // distinct component_color evaluations
+  std::int64_t shallow_hits = 0;    // line 2-4 shortcut taken
+  std::int64_t level1_declines = 0; // line 5-6
+  std::int64_t scans = 0;           // line 10-18 executed
+  std::int64_t scan_steps = 0;      // backbone nodes examined across scans
+  std::int64_t certify_calls = 0;   // rc_certifies with a recursion attempted
+  std::int64_t waypoint_skips = 0;  // rc_certifies gated off by sampling
+  std::int64_t memo_hits = 0;
+};
+
+// The memoized RecursiveHTHC engine.  A solver object persists across start
+// nodes (share it via FreeSource for the global output pass; use a fresh one
+// per Execution for cost measurement).
+template <typename Source>
+class HthcSolver {
+ public:
+  HthcSolver(Source& src, const HthcConfig& cfg)
+      : src_(&src),
+        view_(src, cfg.k + 1, cfg.level_override),
+        cfg_(cfg),
+        p_(cfg.waypoint_p(src.n())) {}
+
+  HierView<Source>& view() { return view_; }
+
+  // Output of the node the source currently starts at.
+  ThcColor solve() { return solve_at(src_->start()); }
+
+  // Output of an already-visited node v.
+  ThcColor solve_at(NodeIndex v) {
+    auto it = memo_.find(v);
+    if (it != memo_.end()) {
+      ++stats_.memo_hits;
+      return it->second;
+    }
+    ++stats_.computes;
+    const ThcColor result = compute(v);
+    memo_.emplace(v, result);
+    return result;
+  }
+
+  const HthcStats& stats() const { return stats_; }
+
+ private:
+  bool is_waypoint(NodeIndex u) {
+    if (!cfg_.use_waypoints) return true;  // deterministic: everyone recurses
+    return cfg_.tape->unit(u, u, cfg_.waypoint_bit_base) < p_;
+  }
+
+  // Does the component below u certify u's exemption?  (RecursiveHTHC lines
+  // 7/12/15/23: the recursive call returns a value in {R, B, X}.)  In the
+  // randomized variant only way-points pay for the recursion; everyone else
+  // pessimistically assumes D (Prop. 5.14).
+  bool rc_certifies(NodeIndex u) {
+    const NodeIndex d = view_.down(u);
+    if (d == kNoNode) return false;
+    if (!is_waypoint(u)) {
+      ++stats_.waypoint_skips;
+      return false;
+    }
+    ++stats_.certify_calls;
+    if (view_.level(u) == 2 && cfg_.level2_certifier) {
+      return cfg_.level2_certifier(u);  // Hybrid-THC: BalancedTree certificate
+    }
+    const ThcColor r = solve_at(d);
+    return r == ThcColor::R || r == ThcColor::B || r == ThcColor::X;
+  }
+
+  ThcColor compute(NodeIndex v) {
+    const int level = view_.level(v);
+    if (level > cfg_.k) return ThcColor::X;  // condition 1
+
+    // Algorithm 2 line 1: discover the backbone component C around v.  Both
+    // directions get their own window-sized budget — the downward walk also
+    // serves the u-scan and the upward walk the w-scan (lines 10-18), so
+    // exhausting one budget must not starve the other.
+    std::vector<NodeIndex> below{};  // successors of v in order
+    NodeIndex cur = v;
+    bool cycle = false;
+    while (static_cast<std::int64_t>(below.size()) <= cfg_.window + 1) {
+      const NodeIndex nxt = view_.backbone_next(cur);
+      if (nxt == kNoNode) break;
+      if (nxt == v) {
+        cycle = true;
+        break;
+      }
+      below.push_back(nxt);
+      cur = nxt;
+    }
+    std::vector<NodeIndex> above{};
+    if (!cycle) {
+      cur = v;
+      while (static_cast<std::int64_t>(above.size()) <= cfg_.window + 1) {
+        const NodeIndex prv = view_.backbone_prev(cur);
+        if (prv == kNoNode) break;
+        above.push_back(prv);
+        cur = prv;
+      }
+    }
+    const std::int64_t seen = 1 + static_cast<std::int64_t>(below.size() + above.size());
+    const bool shallow = cycle ? seen <= cfg_.window
+                               : (seen <= cfg_.window &&
+                                  (below.empty() || view_.backbone_next(below.back()) == kNoNode) &&
+                                  (above.empty() ? view_.backbone_prev(v) == kNoNode
+                                                 : view_.backbone_prev(above.back()) == kNoNode));
+
+    if (shallow) {
+      ++stats_.shallow_hits;
+      // Line 2-4: unanimous color from the canonical representative u0 —
+      // the (unique) level leaf of a path, or the minimum-ID node of a cycle.
+      NodeIndex u0;
+      if (cycle) {
+        u0 = v;
+        NodeId best = src_->id(v);
+        for (const NodeIndex w : below) {
+          if (src_->id(w) < best) {
+            best = src_->id(w);
+            u0 = w;
+          }
+        }
+      } else {
+        u0 = below.empty() ? v : below.back();
+      }
+      return to_thc(src_->color(u0));
+    }
+
+    if (level == 1) {
+      ++stats_.level1_declines;  // line 5-6: deep level-1 components decline
+      return ThcColor::D;
+    }
+
+    // Line 7-9: exempt if own subtree certifies.
+    if (rc_certifies(v)) return ThcColor::X;
+
+    // Lines 10-18: scan for the nearest qualifying descendant u (level leaf
+    // or certifying) and ancestor w (level root or certifying).
+    ++stats_.scans;
+    std::int64_t du = -1, dw = -1;
+    NodeIndex u = kNoNode;
+    if (view_.is_level_leaf(v)) {
+      u = v;
+      du = 0;
+    } else {
+      for (std::size_t i = 0; i < below.size(); ++i) {
+        const NodeIndex cand = below[i];
+        ++stats_.scan_steps;
+        if (view_.is_level_leaf(cand) || rc_certifies(cand)) {
+          u = cand;
+          du = static_cast<std::int64_t>(i) + 1;
+          break;
+        }
+      }
+    }
+    if (view_.is_level_root(v)) {
+      dw = 0;
+    } else {
+      for (std::size_t i = 0; i < above.size(); ++i) {
+        const NodeIndex cand = above[i];
+        ++stats_.scan_steps;
+        if (view_.is_level_root(cand) || rc_certifies(cand)) {
+          dw = static_cast<std::int64_t>(i) + 1;
+          break;
+        }
+      }
+    }
+
+    // Lines 22-29.
+    if (du >= 0 && dw >= 0 && du + dw <= cfg_.window) {
+      if (u != kNoNode && rc_certifies(u)) {
+        // u will output X; the segment adopts χ_in of u's backbone parent.
+        const NodeIndex pu = du == 0 ? kNoNode : (du == 1 ? v : below[du - 2]);
+        if (pu != kNoNode) return to_thc(src_->color(pu));
+        // du == 0: v itself certifies — handled above; defensive fallthrough.
+        return to_thc(src_->color(v));
+      }
+      // u is a level leaf (or absent when v is both leaf & root): echo χ_in.
+      return to_thc(src_->color(u == kNoNode ? v : u));
+    }
+    return ThcColor::D;  // line 29
+  }
+
+  Source* src_;
+  HierView<Source> view_;
+  HthcConfig cfg_;
+  double p_;
+  std::unordered_map<NodeIndex, ThcColor> memo_;
+  HthcStats stats_;
+};
+
+// Convenience single-shot solves.
+template <typename Source>
+ThcColor hthc_solve(Source& src, const HthcConfig& cfg) {
+  HthcSolver<Source> solver(src, cfg);
+  return solver.solve();
+}
+
+}  // namespace volcal

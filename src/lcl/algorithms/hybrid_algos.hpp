@@ -1,0 +1,132 @@
+// Hybrid-THC(k) algorithms (paper Section 6).
+//
+//  * Distance solver (Θ(log n), Thm. 6.3): BalancedTree is always solvable,
+//    so every level-1 node solves its component with the Prop.-4.8 algorithm
+//    and every node at level >= 2 goes exempt after an O(1) certificate check
+//    — "every node at any level >= 2 can simply output X, knowing that every
+//    level-1 sub-instance can be solved".
+//  * Volume solver (Θ̃(n^{1/k}) randomized): the Section-5 waypoint machinery
+//    with the recursion floor replaced by budgeted BalancedTree solving —
+//    level-1 components are solved exhaustively iff they are light
+//    (<= bt_limit nodes); heavy components decline unanimously.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "lcl/algorithms/balanced_tree_algos.hpp"
+#include "lcl/algorithms/hthc_algos.hpp"
+#include "lcl/problems/hybrid_thc.hpp"
+
+namespace volcal {
+
+// Size of v's level-1 component discovered by BFS over hierarchy links,
+// stopping early at `limit` (returns limit+1 when the component is larger).
+// Also reports the component's node set when within the limit.
+template <typename Source>
+std::int64_t level1_component(HierView<Source>& view, NodeIndex v, std::int64_t limit,
+                              std::vector<NodeIndex>* nodes_out = nullptr) {
+  std::deque<NodeIndex> frontier{v};
+  std::unordered_set<NodeIndex> seen{v};
+  while (!frontier.empty()) {
+    const NodeIndex u = frontier.front();
+    frontier.pop_front();
+    for (const NodeIndex nb : {view.link_up(u), view.link_lc(u), view.link_rc(u)}) {
+      if (nb == kNoNode || view.level(nb) != 1 || !seen.insert(nb).second) continue;
+      if (static_cast<std::int64_t>(seen.size()) > limit) return limit + 1;
+      frontier.push_back(nb);
+    }
+  }
+  if (nodes_out != nullptr) nodes_out->assign(seen.begin(), seen.end());
+  return static_cast<std::int64_t>(seen.size());
+}
+
+struct HybridConfig {
+  HthcConfig thc;            // window etc. for levels >= 2
+  std::int64_t bt_limit = 0; // level-1 lightness threshold (4·ceil(n^{1/k}))
+  std::int64_t bt_depth_limit = 0;  // 0 = unbounded BalancedTree search
+
+  static HybridConfig make(int k, std::int64_t n, bool waypoints = false,
+                           RandomTape* tape = nullptr) {
+    HybridConfig cfg;
+    cfg.thc = HthcConfig::make(k, n, waypoints, tape);
+    cfg.bt_limit = 2 * cfg.thc.window;  // = 4·ceil(n^{1/k})
+    return cfg;
+  }
+};
+
+// Distance-optimal solver (Thm. 6.3 upper bound).
+template <typename Source>
+HybridOutput hybrid_solve_distance(Source& src, const HybridConfig& cfg) {
+  const NodeIndex v = src.start();
+  auto level_of = [&src](NodeIndex u) { return src.level_in(u); };
+  HierView<Source> view(src, cfg.thc.k + 1, level_of);
+  const int level = view.level(v);
+  if (level == 1) {
+    const std::int64_t depth_limit =
+        cfg.bt_depth_limit > 0
+            ? cfg.bt_depth_limit
+            : static_cast<std::int64_t>(std::ceil(std::log2(std::max<double>(src.n(), 2)))) + 4;
+    return HybridOutput::balanced(balancedtree_solve(src, depth_limit));
+  }
+  // Level >= 2 (or exempt): X is always feasible because BalancedTree always
+  // solves below; at level 2 we verify the certificate link exists (O(1)).
+  if (level == 2 && view.down(v) == kNoNode) {
+    return HybridOutput::symbol(ThcColor::D);  // corrupt input: decline
+  }
+  return HybridOutput::symbol(ThcColor::X);
+}
+
+// Volume solver: the waypoint HthcSolver over explicit levels, with the
+// level-2 certificate "the BalancedTree component below is light" and a
+// level-1 floor that solves light components and declines heavy ones.
+template <typename Source>
+class HybridVolumeSolver {
+ public:
+  HybridVolumeSolver(Source& src, const HybridConfig& cfg) : src_(&src), cfg_(cfg) {
+    HthcConfig thc = cfg.thc;
+    thc.level_override = [this](NodeIndex u) { return src_->level_in(u); };
+    thc.level2_certifier = [this](NodeIndex u) { return certify_level2(u); };
+    solver_.emplace(src, thc);
+  }
+
+  HybridOutput solve() { return solve_at(src_->start()); }
+
+  HybridOutput solve_at(NodeIndex v) {
+    if (src_->level_in(v) == 1) {
+      HierView<Source>& view = solver_->view();
+      const std::int64_t size = level1_component(view, v, cfg_.bt_limit);
+      if (size > cfg_.bt_limit) {
+        return HybridOutput::symbol(ThcColor::D);  // heavy: decline unanimously
+      }
+      return HybridOutput::balanced(balancedtree_solve(*src_, /*depth_limit=*/0, v));
+    }
+    return HybridOutput::symbol(solver_->solve_at(v));
+  }
+
+ private:
+  bool certify_level2(NodeIndex u) {
+    // The component below u certifies exemption iff it is light — exactly the
+    // decision its own nodes make, so the certificate agrees with their
+    // outputs (solved vs declined).
+    HierView<Source>& view = solver_->view();
+    const NodeIndex d = view.down(u);
+    if (d == kNoNode) return false;
+    return level1_component(view, d, cfg_.bt_limit) <= cfg_.bt_limit;
+  }
+
+  Source* src_;
+  HybridConfig cfg_;
+  std::optional<HthcSolver<Source>> solver_;
+};
+
+template <typename Source>
+HybridOutput hybrid_solve_volume(Source& src, const HybridConfig& cfg) {
+  HybridVolumeSolver<Source> solver(src, cfg);
+  return solver.solve();
+}
+
+}  // namespace volcal

@@ -1,0 +1,216 @@
+// Query-side sources and views.
+//
+// Algorithms in this library are written against a *source* — the query
+// interface of Section 2.2 — rather than a concrete graph, so that the same
+// algorithm code runs both on materialized instances (via Execution) and
+// against the adaptive adversaries of Props. 3.13 / 5.20, which invent the
+// graph in response to queries.
+//
+// TreeSource concept (duck-typed):
+//   NodeIndex start();
+//   std::int64_t n();                  // number of nodes, known to all (§2.1)
+//   int degree(NodeIndex v);           // of a visited node
+//   NodeIndex query(NodeIndex v, Port p);
+//   Port parent_port/left_port/right_port(NodeIndex v);
+//   Color color(NodeIndex v);
+//
+// TreeView<Source> layers the O(1)-query local classification primitives of
+// Def. 3.3 on top ("in O(1) rounds, v determines if it is internal, a leaf,
+// or inconsistent" — Prop. 3.9 and friends).
+#pragma once
+
+#include <cstdint>
+
+#include "labels/instances.hpp"
+#include "labels/tree_labeling.hpp"
+#include "runtime/execution.hpp"
+
+namespace volcal {
+
+// Source backed by a materialized instance + cost-accounting Execution.
+// Works for any Labels type that embeds a TreeLabeling reachable via
+// `tree_of()` and a color vector via `colors_of()` (overloads below).
+inline const TreeLabeling& tree_of(const ColoredTreeLabeling& l) { return l.tree; }
+inline const TreeLabeling& tree_of(const BalancedTreeLabeling& l) { return l.tree; }
+inline const TreeLabeling& tree_of(const HybridLabeling& l) { return l.bal.tree; }
+inline const TreeLabeling& tree_of(const HHLabeling& l) { return l.hybrid.bal.tree; }
+
+template <typename Labels>
+class InstanceSource {
+ public:
+  InstanceSource(const Instance<Labels>& inst, Execution& exec)
+      : inst_(&inst), exec_(&exec) {}
+
+  const Instance<Labels>& instance() const { return *inst_; }
+  Execution& execution() const { return *exec_; }
+
+  NodeIndex start() const { return exec_->start(); }
+  std::int64_t n() const { return inst_->node_count(); }
+  int degree(NodeIndex v) const { return exec_->degree(v); }
+  NodeIndex query(NodeIndex v, Port p) const { return exec_->query(v, p); }
+  NodeId id(NodeIndex v) const { return exec_->id(v); }
+
+  Port parent_port(NodeIndex v) const { return labels_checked(v).parent[v]; }
+  Port left_port(NodeIndex v) const { return labels_checked(v).left[v]; }
+  Port right_port(NodeIndex v) const { return labels_checked(v).right[v]; }
+
+  Color color(NodeIndex v) const {
+    exec_->require_visited(v);
+    if constexpr (requires { inst_->labels.color; }) {
+      return inst_->labels.color[v];
+    } else if constexpr (requires { inst_->labels.hybrid.color; }) {
+      return inst_->labels.hybrid.color[v];
+    } else {
+      return Color::Red;
+    }
+  }
+
+  // Balanced-labeling accessors (only instantiated when present).
+  Port ln_port(NodeIndex v) const {
+    exec_->require_visited(v);
+    return balanced_labels().left_nbr[v];
+  }
+  Port rn_port(NodeIndex v) const {
+    exec_->require_visited(v);
+    return balanced_labels().right_nbr[v];
+  }
+
+  // Hybrid/HH accessors.
+  int level_in(NodeIndex v) const {
+    exec_->require_visited(v);
+    if constexpr (requires { inst_->labels.level_in; }) {
+      return inst_->labels.level_in[v];
+    } else {
+      return inst_->labels.hybrid.level_in[v];
+    }
+  }
+  int side(NodeIndex v) const {
+    exec_->require_visited(v);
+    return inst_->labels.side[v];
+  }
+
+ private:
+  const TreeLabeling& labels_checked(NodeIndex v) const {
+    exec_->require_visited(v);
+    return tree_of(inst_->labels);
+  }
+  const BalancedTreeLabeling& balanced_labels() const {
+    if constexpr (requires { inst_->labels.left_nbr; }) {
+      return inst_->labels;
+    } else if constexpr (requires { inst_->labels.bal; }) {
+      return inst_->labels.bal;
+    } else {
+      return inst_->labels.hybrid.bal;
+    }
+  }
+
+  const Instance<Labels>* inst_;
+  Execution* exec_;
+};
+
+// Cost-free source over a materialized instance: same interface as
+// InstanceSource but with no Execution, no budget and a movable start.  Used
+// for the "global output pass" — computing every node's output of a memoized
+// algorithm in amortized linear time so the LCL checker can verify runs whose
+// per-node query cost would make an all-nodes sweep quadratic.
+template <typename Labels>
+class FreeSource {
+ public:
+  explicit FreeSource(const Instance<Labels>& inst) : inst_(&inst) {}
+
+  void set_start(NodeIndex v) { start_ = v; }
+  NodeIndex start() const { return start_; }
+  std::int64_t n() const { return inst_->node_count(); }
+  int degree(NodeIndex v) const { return inst_->graph.degree(v); }
+  NodeIndex query(NodeIndex v, Port p) const { return inst_->graph.neighbor(v, p); }
+  NodeId id(NodeIndex v) const { return inst_->ids.id_of(v); }
+
+  Port parent_port(NodeIndex v) const { return tree_of(inst_->labels).parent[v]; }
+  Port left_port(NodeIndex v) const { return tree_of(inst_->labels).left[v]; }
+  Port right_port(NodeIndex v) const { return tree_of(inst_->labels).right[v]; }
+
+  Color color(NodeIndex v) const {
+    if constexpr (requires { inst_->labels.color; }) {
+      return inst_->labels.color[v];
+    } else if constexpr (requires { inst_->labels.hybrid.color; }) {
+      return inst_->labels.hybrid.color[v];
+    } else {
+      return Color::Red;
+    }
+  }
+  Port ln_port(NodeIndex v) const { return balanced_labels().left_nbr[v]; }
+  Port rn_port(NodeIndex v) const { return balanced_labels().right_nbr[v]; }
+  int level_in(NodeIndex v) const {
+    if constexpr (requires { inst_->labels.level_in; }) {
+      return inst_->labels.level_in[v];
+    } else {
+      return inst_->labels.hybrid.level_in[v];
+    }
+  }
+  int side(NodeIndex v) const { return inst_->labels.side[v]; }
+
+ private:
+  const BalancedTreeLabeling& balanced_labels() const {
+    if constexpr (requires { inst_->labels.left_nbr; }) {
+      return inst_->labels;
+    } else if constexpr (requires { inst_->labels.bal; }) {
+      return inst_->labels.bal;
+    } else {
+      return inst_->labels.hybrid.bal;
+    }
+  }
+
+  const Instance<Labels>* inst_;
+  NodeIndex start_ = 0;
+};
+
+// O(1)-query classification of Def. 3.3 over any TreeSource.
+template <typename Source>
+class TreeView {
+ public:
+  explicit TreeView(Source& src) : src_(&src) {}
+
+  Source& source() const { return *src_; }
+
+  NodeIndex follow(NodeIndex v, Port p) const {
+    if (p == kNoPort) return kNoNode;
+    if (p < 1 || p > src_->degree(v)) return kNoNode;  // dangling claim
+    return src_->query(v, p);
+  }
+
+  NodeIndex parent(NodeIndex v) const { return follow(v, src_->parent_port(v)); }
+  NodeIndex left(NodeIndex v) const { return follow(v, src_->left_port(v)); }
+  NodeIndex right(NodeIndex v) const { return follow(v, src_->right_port(v)); }
+
+  bool internal(NodeIndex v) const {
+    const Port pl = src_->left_port(v);
+    const Port pr = src_->right_port(v);
+    const Port pp = src_->parent_port(v);
+    if (pl == kNoPort || pr == kNoPort || pl == pr) return false;
+    if (pp != kNoPort && (pp == pl || pp == pr)) return false;
+    const NodeIndex lc = follow(v, pl);
+    const NodeIndex rc = follow(v, pr);
+    if (lc == kNoNode || rc == kNoNode || lc == rc || lc == v || rc == v) return false;
+    if (parent(lc) != v || parent(rc) != v) return false;
+    const NodeIndex p = follow(v, pp);
+    if (p != kNoNode && (p == lc || p == rc)) return false;
+    return true;
+  }
+
+  bool leaf(NodeIndex v) const {
+    if (internal(v)) return false;
+    const NodeIndex p = parent(v);
+    return p != kNoNode && internal(p);
+  }
+
+  NodeKind kind(NodeIndex v) const {
+    if (internal(v)) return NodeKind::Internal;
+    if (leaf(v)) return NodeKind::Leaf;
+    return NodeKind::Inconsistent;
+  }
+
+ private:
+  Source* src_;
+};
+
+}  // namespace volcal

@@ -1,0 +1,48 @@
+#include "lcl/description.hpp"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+namespace volcal {
+
+std::string ball_signature(const Graph& g, NodeIndex center, int radius,
+                           const NodeLabelFn& label) {
+  // Port-ordered BFS gives a canonical local numbering: the same labeled
+  // ball always serializes identically, independent of global indices.
+  std::vector<NodeIndex> order{center};
+  std::unordered_map<NodeIndex, std::int64_t> local{{center, 0}};
+  std::deque<std::pair<NodeIndex, int>> frontier{{center, 0}};
+  while (!frontier.empty()) {
+    const auto [v, d] = frontier.front();
+    frontier.pop_front();
+    if (d == radius) continue;
+    const int deg = g.degree(v);
+    for (Port p = 1; p <= deg; ++p) {
+      const NodeIndex w = g.neighbor(v, p);
+      if (local.emplace(w, static_cast<std::int64_t>(order.size())).second) {
+        order.push_back(w);
+        frontier.emplace_back(w, d + 1);
+      }
+    }
+  }
+  std::ostringstream os;
+  os << "r" << radius << ";";
+  for (const NodeIndex v : order) {
+    os << "[d" << g.degree(v) << "|" << label(v) << "|";
+    const int deg = g.degree(v);
+    for (Port p = 1; p <= deg; ++p) {
+      const NodeIndex w = g.neighbor(v, p);
+      const auto it = local.find(w);
+      if (it == local.end()) {
+        os << ". ";  // outside the ball: the predicate may not depend on it
+      } else {
+        os << it->second << ' ';
+      }
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+}  // namespace volcal

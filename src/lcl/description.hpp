@@ -1,0 +1,104 @@
+// The finite-description view of LCLs (paper Section 2.4): "every LCL has a
+// finite description: it is enough to enumerate every possible input labeling
+// of every c-radius neighborhood of a node, together with the list of valid
+// output labelings".
+//
+// ball_signature canonically encodes the radius-c labeled ball around a node
+// — structure (port-ordered BFS), degrees, and the input/output labels each
+// problem supplies through a callback.  A DescriptionTable accumulates
+// (signature -> valid-at-center) entries; because an LCL's validity predicate
+// is a function of the ball, two occurrences of the same signature must agree
+// — the table throws on conflict, so building it over many instances is an
+// executable proof of local checkability (complementing the mutation audits
+// in lcl_locality_test), and the resulting table IS the problem's finite
+// description restricted to the neighborhoods seen.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace volcal {
+
+// Produces the label text of a node (input and/or output parts); must not
+// depend on node identity, only on labels — LCL descriptions are
+// ID-independent.
+using NodeLabelFn = std::function<std::string(NodeIndex)>;
+
+// Canonical encoding of N_center(radius): nodes are numbered in port-ordered
+// BFS discovery order; for every ball node we record its degree, its label
+// text, and its neighbor list as local indices (or '.' for neighbors outside
+// the ball, whose labels the predicate must not need).
+std::string ball_signature(const Graph& g, NodeIndex center, int radius,
+                           const NodeLabelFn& label);
+
+class DescriptionTable {
+ public:
+  struct Stats {
+    std::size_t entries = 0;
+    std::int64_t records = 0;
+    std::int64_t valid_entries = 0;
+  };
+
+  // Records one observation; throws std::logic_error on a conflicting
+  // revisit (which would disprove radius-c checkability).
+  void record(const std::string& signature, bool valid_at_center) {
+    auto [it, inserted] = table_.emplace(signature, valid_at_center);
+    if (!inserted && it->second != valid_at_center) {
+      throw std::logic_error(
+          "DescriptionTable: conflicting validity for one neighborhood — the "
+          "predicate is not a function of the radius-c ball");
+    }
+    ++records_;
+  }
+
+  std::optional<bool> lookup(const std::string& signature) const {
+    auto it = table_.find(signature);
+    if (it == table_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.entries = table_.size();
+    s.records = records_;
+    for (const auto& [sig, valid] : table_) s.valid_entries += valid ? 1 : 0;
+    return s;
+  }
+
+ private:
+  std::unordered_map<std::string, bool> table_;
+  std::int64_t records_ = 0;
+};
+
+// Convenience: sweep a whole instance+output into a table (or validate an
+// output against an existing table, returning the number of novel
+// neighborhoods that had to fall back to `direct`).
+template <typename DirectValidFn>
+std::int64_t table_check(const Graph& g, int radius, const NodeLabelFn& label,
+                         DescriptionTable& table, DirectValidFn&& direct,
+                         bool record_new = true) {
+  std::int64_t novel = 0;
+  for (NodeIndex v = 0; v < g.node_count(); ++v) {
+    const std::string sig = ball_signature(g, v, radius, label);
+    const auto known = table.lookup(sig);
+    const bool valid = direct(v);
+    if (known.has_value()) {
+      if (*known != valid) {
+        throw std::logic_error("DescriptionTable: table disagrees with direct checker");
+      }
+    } else {
+      ++novel;
+      if (record_new) table.record(sig, valid);
+    }
+  }
+  return novel;
+}
+
+}  // namespace volcal

@@ -1,0 +1,46 @@
+// LCL framework (paper Definition 2.6 and Section 2.4).
+//
+// A locally checkable labeling problem over finite input/output alphabets is
+// characterized by a constant radius c and a per-node validity predicate that
+// depends only on the radius-c ball around the node.  Each concrete problem
+// in lcl/problems/ supplies:
+//   * an Instance type (graph + input labeling),
+//   * an Output label type,
+//   * int radius(),
+//   * bool valid_at(instance, output, v)  — the local predicate,
+// and the framework provides the global verifier (conjunction over nodes) and
+// the "locality audit" used by tests: valid_at must be invariant under any
+// mutation of labels outside N_v(c).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace volcal {
+
+struct VerifyResult {
+  bool ok = true;
+  NodeIndex first_bad = kNoNode;
+  std::int64_t violations = 0;
+};
+
+// Global verification: output O is feasible iff it is feasible at every node
+// (Def. 2.6).  `Problem` supplies valid_at(instance, output, v).
+template <typename Problem, typename Instance, typename Output>
+VerifyResult verify_all(const Problem& problem, const Instance& instance,
+                        const Output& output) {
+  VerifyResult r;
+  for (NodeIndex v = 0; v < instance.node_count(); ++v) {
+    if (!problem.valid_at(instance, output, v)) {
+      if (r.ok) r.first_bad = v;
+      r.ok = false;
+      ++r.violations;
+    }
+  }
+  return r;
+}
+
+}  // namespace volcal

@@ -1,0 +1,95 @@
+#include "lcl/problems/balanced_tree.hpp"
+
+namespace volcal {
+
+namespace {
+
+NodeIndex ln_of(const Graph& g, const BalancedTreeLabeling& l, NodeIndex v) {
+  return v == kNoNode ? kNoNode : resolve(g, v, l.left_nbr[v]);
+}
+NodeIndex rn_of(const Graph& g, const BalancedTreeLabeling& l, NodeIndex v) {
+  return v == kNoNode ? kNoNode : resolve(g, v, l.right_nbr[v]);
+}
+
+}  // namespace
+
+bool bt_compatible(const Graph& g, const BalancedTreeLabeling& l, NodeIndex v) {
+  const TreeLabeling& t = l.tree;
+  if (!is_consistent(g, t, v)) return false;
+  const bool v_internal = is_internal(g, t, v);
+  const NodeIndex ln = ln_of(g, l, v);
+  const NodeIndex rn = rn_of(g, l, v);
+
+  // type-preserving (covers the redundant `leaves` condition too): lateral
+  // neighbors must share v's internal/leaf status or be absent.
+  if (l.left_nbr[v] != kNoPort) {
+    if (ln == kNoNode) return false;  // dangling lateral claim
+    if (v_internal ? !is_internal(g, t, ln) : !is_leaf(g, t, ln)) return false;
+  }
+  if (l.right_nbr[v] != kNoPort) {
+    if (rn == kNoNode) return false;
+    if (v_internal ? !is_internal(g, t, rn) : !is_leaf(g, t, rn)) return false;
+  }
+
+  // agreement: LN(v) ≠ ⊥ => RN(LN(v)) = v; RN(v) ≠ ⊥ => LN(RN(v)) = v.
+  if (ln != kNoNode && rn_of(g, l, ln) != v) return false;
+  if (rn != kNoNode && ln_of(g, l, rn) != v) return false;
+
+  if (v_internal) {
+    const NodeIndex lc = left_child_of(g, t, v);
+    const NodeIndex rc = right_child_of(g, t, v);
+    // siblings: RN(LC(v)) = RC(v) and LN(RC(v)) = LC(v).
+    if (rn_of(g, l, lc) != rc || ln_of(g, l, rc) != lc) return false;
+    // persistence: w = RN(v) ≠ ⊥ => w internal and the child-level lateral
+    // chain continues across the sibling groups: RN(RC(v)) = LC(w) (and v's
+    // rightmost child is LC(w)'s left neighbor).  The paper prints this as
+    // "RN(RC(v)) = LN(LC(w))", which is false on the genuine balanced
+    // structure (there RN(RC(v)) = LC(w) while LN(LC(w)) = RC(v)); we
+    // implement the evident intent.  Symmetrically for u = LN(v).
+    if (rn != kNoNode) {
+      if (!is_internal(g, t, rn)) return false;
+      const NodeIndex wl = left_child_of(g, t, rn);
+      if (rn_of(g, l, rc) != wl || ln_of(g, l, wl) != rc) return false;
+    }
+    if (ln != kNoNode) {
+      if (!is_internal(g, t, ln)) return false;
+      const NodeIndex ur = right_child_of(g, t, ln);
+      if (ln_of(g, l, lc) != ur || rn_of(g, l, ur) != lc) return false;
+    }
+  }
+  return true;
+}
+
+bool BalancedTreeProblem::valid_at(const InstanceType& inst, const Output& out,
+                                   NodeIndex v) const {
+  const Graph& g = inst.graph;
+  const BalancedTreeLabeling& l = inst.labels;
+  if (!is_consistent(g, l.tree, v)) return true;  // Def. 4.3 constrains consistent nodes
+  const BtOutput& o = out[v];
+  if (!bt_compatible(g, l, v)) {
+    return o == BtOutput{Balance::Unbalanced, kNoPort};  // condition 1
+  }
+  if (is_leaf(g, l.tree, v)) {
+    return o == BtOutput{Balance::Balanced, l.tree.parent[v]};  // condition 2
+  }
+  // Compatible internal node: condition 3.
+  const NodeIndex lc = left_child_of(g, l.tree, v);
+  const NodeIndex rc = right_child_of(g, l.tree, v);
+  const BtOutput& ol = out[lc];
+  const BtOutput& orr = out[rc];
+  const bool children_balanced = ol == BtOutput{Balance::Balanced, l.tree.parent[lc]} &&
+                                 orr == BtOutput{Balance::Balanced, l.tree.parent[rc]};
+  if (children_balanced) {
+    return o == BtOutput{Balance::Balanced, l.tree.parent[v]};  // condition 3(a)
+  }
+  // Condition 3(b): point at an Unbalanced child.
+  if (ol.beta == Balance::Unbalanced && o == BtOutput{Balance::Unbalanced, l.tree.left[v]}) {
+    return true;
+  }
+  if (orr.beta == Balance::Unbalanced && o == BtOutput{Balance::Unbalanced, l.tree.right[v]}) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace volcal

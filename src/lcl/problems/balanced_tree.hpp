@@ -1,0 +1,48 @@
+// BalancedTree (paper Section 4, Definitions 4.1-4.3).
+//
+// Input:  a balanced tree labeling (tree claims + lateral LN/RN claims).
+// Output: (β, p) ∈ {B, U} × P per node — "my subtree is a balanced binary
+//         tree, continue upward via p" or "unbalanced, defect is via p".
+// Valid:  Definition 4.3 — incompatible nodes declare (U, ⊥); compatible
+//         leaves pass (B, P(v)) up; compatible internal nodes aggregate.
+//
+// The separation it witnesses (Thm. 4.5): DIST = Θ(log n) for both models,
+// but *both* R-VOL and D-VOL are Θ(n) — by reduction from two-party set
+// disjointness (Prop. 4.9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "labels/instances.hpp"
+#include "labels/tree_labeling.hpp"
+#include "lcl/lcl.hpp"
+
+namespace volcal {
+
+enum class Balance : std::uint8_t { Balanced, Unbalanced };
+
+struct BtOutput {
+  Balance beta = Balance::Unbalanced;
+  Port p = kNoPort;
+
+  friend bool operator==(const BtOutput&, const BtOutput&) = default;
+};
+
+// Definition 4.2 evaluated globally (the checker's view; solvers re-derive it
+// through queries).  Only meaningful for consistent v.
+bool bt_compatible(const Graph& g, const BalancedTreeLabeling& l, NodeIndex v);
+
+class BalancedTreeProblem {
+ public:
+  using InstanceType = BalancedTreeInstance;
+  using Output = std::vector<BtOutput>;
+
+  // Compatibility inspects labels of lateral neighbors' neighbors plus the
+  // internal-status of adjacent nodes: a radius-3 predicate (Lemma 4.4).
+  static constexpr int radius() { return 3; }
+
+  bool valid_at(const InstanceType& inst, const Output& out, NodeIndex v) const;
+};
+
+}  // namespace volcal

@@ -1,0 +1,48 @@
+#include "lcl/problems/cp_thc.hpp"
+
+namespace volcal {
+
+namespace {
+
+bool is_color(ThcColor c) { return c == ThcColor::R || c == ThcColor::B; }
+
+}  // namespace
+
+bool CpTHCProblem::valid_at(const InstanceType& inst, const Output& out,
+                            NodeIndex v) const {
+  const Hierarchy& h = *hierarchy_;
+  const int level = h.level(v);
+  if (level > k_) return out[v] == ThcColor::X;  // exempt above the hierarchy
+
+  const NodeIndex next = h.backbone_next(v);
+  const NodeIndex down = h.down(v);
+  const bool leaf = h.is_level_leaf(v);
+
+  // Mandatory exemption (the first Remark-5.7 difference): a certifying
+  // component below forces X; conversely X still requires the certificate.
+  if (level >= 2 && down != kNoNode) {
+    const bool certified = out[down] != ThcColor::D;
+    if (certified && out[v] != ThcColor::X) return false;
+    if (!certified && out[v] == ThcColor::X) return false;
+  } else if (out[v] == ThcColor::X) {
+    return false;  // no component below: nothing can exempt v (incl. level 1)
+  }
+  if (out[v] == ThcColor::X) return true;
+
+  // Leaves echo their input color or decline.
+  if (leaf) {
+    return out[v] == to_thc(inst.labels.color[v]) || out[v] == ThcColor::D;
+  }
+
+  // Non-exempt interior nodes: unanimous D with the successor, or a *proper*
+  // 2-coloring across the successor (the second Remark-5.7 difference).
+  if (out[v] == ThcColor::D) {
+    return next != kNoNode && (out[next] == ThcColor::D || out[next] == ThcColor::X);
+  }
+  if (!is_color(out[v])) return false;
+  if (next == kNoNode) return false;  // non-leaf must have a successor
+  if (out[next] == ThcColor::X) return true;  // segment ends at an exemption
+  return is_color(out[next]) && out[next] != out[v];  // properly colored
+}
+
+}  // namespace volcal

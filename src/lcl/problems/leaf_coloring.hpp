@@ -1,0 +1,44 @@
+// LeafColoring (paper Section 3, Definition 3.4).
+//
+// Input:  a colored tree labeling (P/LC/RC port claims + χ_in ∈ {R,B}).
+// Output: χ_out ∈ {R,B} per node.
+// Valid:  leaves and inconsistent nodes echo their input color; every
+//         internal node outputs the color of one of its two children.
+//
+// The separation it witnesses (Thm. 3.6): all of R-DIST, D-DIST, R-VOL are
+// Θ(log n), yet D-VOL = Θ(n) — randomness helps volume exponentially even
+// though it cannot help distance here.
+#pragma once
+
+#include <vector>
+
+#include "labels/instances.hpp"
+#include "labels/tree_labeling.hpp"
+#include "lcl/lcl.hpp"
+
+namespace volcal {
+
+class LeafColoringProblem {
+ public:
+  using InstanceType = LeafColoringInstance;
+  using Output = std::vector<Color>;
+
+  // Checkability radius: "is v a leaf" needs the internal-status of v's
+  // claimed parent, whose own check looks one hop further (Lemma 3.5).
+  static constexpr int radius() { return 2; }
+
+  bool valid_at(const InstanceType& inst, const Output& out, NodeIndex v) const {
+    const Graph& g = inst.graph;
+    const ColoredTreeLabeling& l = inst.labels;
+    if (is_internal(g, l.tree, v)) {
+      // χ_out(v) ∈ {χ_out(LC(v)), χ_out(RC(v))}.
+      const NodeIndex lc = left_child_of(g, l.tree, v);
+      const NodeIndex rc = right_child_of(g, l.tree, v);
+      return (lc != kNoNode && out[v] == out[lc]) || (rc != kNoNode && out[v] == out[rc]);
+    }
+    // Leaf or inconsistent: echo the input color.
+    return out[v] == l.color[v];
+  }
+};
+
+}  // namespace volcal

@@ -1,0 +1,115 @@
+// Maximal matching — the third stock LCL of Def. 2.6 ("k-coloring, maximal
+// independent set, and maximal matching") and a standard target of the LCA
+// literature ([30] Mansour-Vardi, [31] Mansour et al.).
+//
+// Output encoding: each node names the port of its matched edge (kNoPort if
+// single).  Validity (radius 1): matched ports must be mutual, and no edge
+// may have both endpoints single (maximality).
+//
+// Query-model algorithm: random edge priorities (derived from both
+// endpoints' random strings, symmetric in the endpoints so the two sides
+// agree), greedy rule evaluated recursively:
+//
+//   InMatching(e)  <=>  no adjacent edge f with priority(f) > priority(e)
+//                       has InMatching(f).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "labels/ids.hpp"
+#include "runtime/execution.hpp"
+#include "runtime/randomness.hpp"
+#include "util/hash.hpp"
+
+namespace volcal {
+
+struct MatchingProblem {
+  static constexpr int radius() { return 1; }
+
+  static bool valid(const Graph& g, const std::vector<Port>& match_port) {
+    for (NodeIndex v = 0; v < g.node_count(); ++v) {
+      const Port p = match_port[v];
+      if (p != kNoPort) {
+        if (p < 1 || p > g.degree(v)) return false;
+        const NodeIndex w = g.neighbor(v, p);
+        if (match_port[w] == kNoPort || g.neighbor(w, match_port[w]) != v) {
+          return false;  // matching must be mutual
+        }
+      } else {
+        // Maximality: some neighbor must be matched (to anyone).
+        for (NodeIndex w : g.neighbors(v)) {
+          if (match_port[w] == kNoPort) return false;
+        }
+      }
+    }
+    return true;
+  }
+};
+
+// Per-execution matching LCA.  Edges are keyed by their (unordered) endpoint
+// pair; priorities mix both endpoints' tape words so every execution that
+// evaluates an edge sees the same coin.
+class MatchingLca {
+ public:
+  MatchingLca(Execution& exec, RandomTape& tape) : exec_(&exec), tape_(&tape) {}
+
+  // The port v is matched through, or kNoPort.  v must be visited.
+  Port matched_port(NodeIndex v) {
+    const int deg = exec_->degree(v);
+    for (Port p = 1; p <= deg; ++p) {
+      const NodeIndex w = exec_->query(v, p);
+      if (in_matching(v, w)) return p;
+    }
+    return kNoPort;
+  }
+
+ private:
+  using EdgeKey = std::pair<NodeIndex, NodeIndex>;  // ordered (min, max)
+
+  static EdgeKey key(NodeIndex a, NodeIndex b) {
+    return a < b ? EdgeKey{a, b} : EdgeKey{b, a};
+  }
+
+  std::pair<std::uint64_t, std::uint64_t> priority(NodeIndex a, NodeIndex b) {
+    const auto [lo, hi] = key(a, b);
+    // Symmetric in the endpoints; position 320 keeps clear of the other
+    // consumers of the tape.
+    const std::uint64_t word = mix64(tape_->word(exec_->start(), lo, 320),
+                                     tape_->word(exec_->start(), hi, 320));
+    return {word, static_cast<std::uint64_t>(exec_->id(lo)) << 20 ^ exec_->id(hi)};
+  }
+
+  bool in_matching(NodeIndex a, NodeIndex b) {
+    const EdgeKey e = key(a, b);
+    auto it = memo_.find(e);
+    if (it != memo_.end()) return it->second;
+    memo_[e] = false;  // never observed: recursion ascends in priority
+    const auto pe = priority(a, b);
+    bool in = true;
+    for (const NodeIndex endpoint : {a, b}) {
+      const int deg = exec_->degree(endpoint);
+      for (Port p = 1; p <= deg && in; ++p) {
+        const NodeIndex other = exec_->query(endpoint, p);
+        if (key(endpoint, other) == e) continue;
+        if (priority(endpoint, other) > pe && in_matching(endpoint, other)) in = false;
+      }
+      if (!in) break;
+    }
+    memo_[e] = in;
+    return in;
+  }
+
+  Execution* exec_;
+  RandomTape* tape_;
+  std::map<EdgeKey, bool> memo_;
+};
+
+inline Port matching_lca_query(Execution& exec, RandomTape& tape) {
+  MatchingLca lca(exec, tape);
+  return lca.matched_port(exec.start());
+}
+
+}  // namespace volcal

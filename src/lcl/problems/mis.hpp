@@ -1,0 +1,83 @@
+// Maximal independent set — one of the paper's stock examples of an LCL
+// (Def. 2.6 names it alongside k-coloring and maximal matching) and the
+// flagship problem of the local computation algorithms literature the volume
+// model formalizes ([39] Rubinfeld et al., [1] Alon et al.).
+//
+// Query-model algorithm: the classic random-priority LCA.  Each node draws a
+// priority from its own random string; membership is the greedy rule
+//
+//   InMIS(v)  <=>  no neighbor w with higher priority has InMIS(w),
+//
+// evaluated recursively.  On bounded-degree graphs the dependency chains are
+// short with high probability, so the volume is polylogarithmic — a class-A/B
+// style landscape point for Figure 2's volume axis.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "labels/ids.hpp"
+#include "runtime/execution.hpp"
+#include "runtime/randomness.hpp"
+
+namespace volcal {
+
+struct MisProblem {
+  // Independence + maximality are radius-1 checkable.
+  static constexpr int radius() { return 1; }
+
+  static bool valid(const Graph& g, const std::vector<std::uint8_t>& in_set) {
+    for (NodeIndex v = 0; v < g.node_count(); ++v) {
+      bool dominated = in_set[v] != 0;
+      for (NodeIndex w : g.neighbors(v)) {
+        if (in_set[v] && in_set[w]) return false;  // independence
+        dominated |= in_set[w] != 0;
+      }
+      if (!dominated) return false;  // maximality
+    }
+    return true;
+  }
+};
+
+// One membership query through the cost-metered query interface.  The
+// per-execution memo keeps the recursion a DAG walk; ties are broken by node
+// ID, so priorities form a total order and the recursion terminates.
+class MisLca {
+ public:
+  MisLca(Execution& exec, RandomTape& tape) : exec_(&exec), tape_(&tape) {}
+
+  bool in_mis(NodeIndex v) {
+    auto it = memo_.find(v);
+    if (it != memo_.end()) return it->second;
+    // Mark in-progress defensively; the priority order makes recursion
+    // acyclic, so this value is never observed.
+    memo_[v] = false;
+    const auto pv = priority(v);
+    bool in = true;
+    const int deg = exec_->degree(v);
+    for (Port p = 1; p <= deg && in; ++p) {
+      const NodeIndex w = exec_->query(v, p);
+      if (priority(w) > pv && in_mis(w)) in = false;
+    }
+    memo_[v] = in;
+    return in;
+  }
+
+ private:
+  std::pair<std::uint64_t, NodeId> priority(NodeIndex v) {
+    return {tape_->word(exec_->start(), v, 256), exec_->id(v)};
+  }
+
+  Execution* exec_;
+  RandomTape* tape_;
+  std::unordered_map<NodeIndex, bool> memo_;
+};
+
+inline bool mis_lca_query(Execution& exec, RandomTape& tape) {
+  MisLca lca(exec, tape);
+  return lca.in_mis(exec.start());
+}
+
+}  // namespace volcal

@@ -1,0 +1,67 @@
+// Promise-LeafColoring (paper §7.4): LeafColoring restricted to inputs whose
+// leaves all carry the same color.  This is the paper's example of a problem
+// where *secret* randomness already beats determinism: any leaf answers, so
+// each internal node can walk down using only its own coins — no
+// coordination between executions is needed, unlike general LeafColoring
+// where Algorithm 1's walks must coalesce via visit-shared bits.
+#pragma once
+
+#include "labels/instances.hpp"
+#include "labels/tree_labeling.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "lcl/problems/leaf_coloring.hpp"
+#include "runtime/randomness.hpp"
+
+namespace volcal {
+
+// Whether the instance satisfies the promise.
+inline bool satisfies_leaf_promise(const LeafColoringInstance& inst) {
+  bool seen = false;
+  Color common = Color::Red;
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    if (!is_leaf(inst.graph, inst.labels.tree, v)) continue;
+    if (!seen) {
+      common = inst.labels.color[v];
+      seen = true;
+    } else if (inst.labels.color[v] != common) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The promise problem shares LeafColoring's validity conditions; only the
+// admissible inputs shrink.  (On promise inputs the unique valid output is
+// the unanimous leaf color, by the Prop. 3.12 induction.)
+struct PromiseLeafColoringProblem : LeafColoringProblem {
+  using LeafColoringProblem::valid_at;
+  static bool admissible(const LeafColoringInstance& inst) {
+    return satisfies_leaf_promise(inst);
+  }
+};
+
+// Secret-coin downward walk: step i of the walk started at v0 is decided by
+// r_{v0}(i) alone, so it is legal under RandomnessModel::Secret.  Terminates
+// at *a* leaf in O(log n) steps whp (same analysis as Prop. 3.10 — every
+// step has probability >= 1/2 of halving the reachable set); under the
+// promise, any leaf is the right answer.
+template <typename Source>
+Color promise_rw_secret(Source& src, RandomTape& tape, std::int64_t max_steps = 0) {
+  TreeView<Source> view(src);
+  const NodeIndex v0 = src.start();
+  NodeIndex cur = v0;
+  std::uint64_t step = 0;
+  while (view.internal(cur)) {
+    if (max_steps > 0 && static_cast<std::int64_t>(step) >= max_steps) break;
+    const bool b = tape.bit(v0, v0, step++);
+    const NodeIndex next = b ? view.right(cur) : view.left(cur);
+    if (next == kNoNode) break;
+    // Escape hatch for the (unique) pseudo-tree cycle: after revisiting the
+    // start, bias away from the branch taken first (mirrors Alg. 1 line 4
+    // but with the start's own coins).
+    cur = next;
+  }
+  return src.color(cur);
+}
+
+}  // namespace volcal

@@ -1,0 +1,105 @@
+#include "lcl/problems/ring_coloring.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+namespace volcal {
+
+namespace {
+
+// One Cole-Vishkin reduction step: from the pair (own color, successor
+// color), produce 2i + bit_i(own), where i is the lowest differing bit.
+std::uint64_t cv_step(std::uint64_t own, std::uint64_t next) {
+  const std::uint64_t diff = own ^ next;
+  const int i = std::countr_zero(diff == 0 ? std::uint64_t{1} : diff);
+  return 2 * static_cast<std::uint64_t>(i) + ((own >> i) & 1);
+}
+
+// Rounds until 64-bit colors stabilize at 3 bits (colors 0..7).
+int cv_core_rounds() {
+  int rounds = 0;
+  int bits = 64;
+  while (bits > 3) {
+    int next = 1;
+    while ((1 << next) < bits) ++next;  // ceil(log2(bits))
+    bits = next + 1;
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace
+
+int ring_cv_rounds(std::int64_t) {
+  // IDs fit in 64 bits for every n we run; the classical bound is
+  // log*(n) + O(1) and our fixed-width tape realizes it as a constant-ish
+  // value — the bench tables report the *measured volume*, which is what
+  // exhibits the Θ(log* n) landscape point.
+  return cv_core_rounds() + 5;  // + five 8->3 recoloring rounds
+}
+
+int ring_color_cole_vishkin(const RingInstance& /*inst*/, Execution& exec) {
+  const int core = cv_core_rounds();
+  constexpr int kRecolor = 5;   // retire colors 7,6,5,4,3
+  constexpr int kMargin = kRecolor + 2;  // keep start comfortably interior
+  // Gather the ID chain positions -kMargin .. core + kMargin around start
+  // (port 1 = successor, port 2 = predecessor).
+  std::vector<NodeIndex> chain;  // position p stored at index p + kMargin
+  {
+    std::vector<NodeIndex> back;
+    NodeIndex cur = exec.start();
+    for (int i = 0; i < kMargin; ++i) {
+      cur = exec.query(cur, 2);
+      back.push_back(cur);
+    }
+    chain.assign(back.rbegin(), back.rend());
+    chain.push_back(exec.start());
+    cur = exec.start();
+    for (int i = 0; i < core + kMargin; ++i) {
+      cur = exec.query(cur, 1);
+      chain.push_back(cur);
+    }
+  }
+  // Core reduction: after r rounds, colors are defined for chain indices
+  // [0, len - 1 - r].
+  std::vector<std::uint64_t> color(chain.size());
+  for (std::size_t i = 0; i < chain.size(); ++i) color[i] = exec.id(chain[i]);
+  std::size_t live = chain.size();
+  for (int r = 0; r < core; ++r) {
+    for (std::size_t i = 0; i + 1 < live; ++i) color[i] = cv_step(color[i], color[i + 1]);
+    --live;
+  }
+  // Shift-down-free recoloring: retire colors 7..3 one per round; a node of
+  // the retired color picks the smallest of {0,1,2} unused by its neighbors.
+  // Each round shrinks the valid window by one on both sides.
+  std::size_t lo = 0, hi = live - 1;
+  for (int retired = 7; retired >= 3; --retired) {
+    std::vector<std::uint64_t> next_color(color);
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      if (color[i] == static_cast<std::uint64_t>(retired)) {
+        for (std::uint64_t c = 0; c < 3; ++c) {
+          if (color[i - 1] != c && color[i + 1] != c) {
+            next_color[i] = c;
+            break;
+          }
+        }
+      }
+    }
+    color = std::move(next_color);
+    ++lo;
+    --hi;
+  }
+  return static_cast<int>(color[kMargin]);
+}
+
+bool sinkless_orientation_valid(const Graph& g, const std::vector<Port>& out_port) {
+  for (NodeIndex v = 0; v < g.node_count(); ++v) {
+    if (g.degree(v) < 3) continue;
+    const Port p = out_port[v];
+    if (p < 1 || p > g.degree(v)) return false;  // degree->=3 nodes need an out-edge
+  }
+  return true;
+}
+
+}  // namespace volcal

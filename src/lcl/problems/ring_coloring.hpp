@@ -1,0 +1,63 @@
+// Landscape examples (paper Figures 1-2).
+//
+//  * RingColoring: proper 3-coloring of a directed ring — the canonical
+//    class-B ("symmetry breaking") LCL, solvable in Θ(log* n) distance and,
+//    via Even et al.'s technique cited in §1.2, Θ(log* n) volume.  We
+//    implement the classic Cole-Vishkin color reduction through the query
+//    interface: each node reads the IDs of O(log* n) successors.
+//  * TrivialParity: class A — each node outputs its degree parity; volume
+//    and distance Θ(1).
+//  * SinklessOrientation: checker only (its volume complexity is the open
+//    Question 7.3); included so the landscape benches can tabulate it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "labels/generators.hpp"
+#include "labels/ids.hpp"
+#include "runtime/execution.hpp"
+
+namespace volcal {
+
+// --- Ring 3-coloring ---------------------------------------------------------
+
+struct RingColoringProblem {
+  // Proper coloring is radius-1 checkable.
+  static constexpr int radius() { return 1; }
+
+  static bool valid(const Graph& g, const std::vector<int>& colors) {
+    for (NodeIndex v = 0; v < g.node_count(); ++v) {
+      if (colors[v] < 0 || colors[v] > 2) return false;
+      for (NodeIndex w : g.neighbors(v)) {
+        if (colors[v] == colors[w]) return false;
+      }
+    }
+    return true;
+  }
+};
+
+// Cole-Vishkin on a ring through the query interface.  Port 1 = successor.
+// Each node gathers the ID chain of its next O(log* n) successors, runs the
+// bit-index color reduction locally down to 6 colors, then three shift-down
+// rounds to 3.  Deterministic; volume = distance = O(log* n).
+int ring_color_cole_vishkin(const RingInstance& inst, Execution& exec);
+
+// Number of successor IDs the CV reduction needs for rings of n nodes
+// (the simulated round count; exposed for the bench tables).
+int ring_cv_rounds(std::int64_t n);
+
+// --- Trivial class-A example -------------------------------------------------
+
+// Output = parity of own degree; checkable and solvable at radius 0.
+inline int trivial_parity(const Graph& g, NodeIndex v) { return g.degree(v) % 2; }
+
+// --- Sinkless orientation (checker only, §7.2) -------------------------------
+
+// Output: for each node, the port of the out-edge it "owns" (0 = none).  An
+// orientation is sinkless if every node of degree >= 3 has at least one
+// outgoing edge.  (Formally SO is stated for d-regular graphs with d >= 3.)
+bool sinkless_orientation_valid(const Graph& g, const std::vector<Port>& out_port);
+
+}  // namespace volcal

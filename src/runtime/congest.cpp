@@ -1,0 +1,42 @@
+#include "runtime/congest.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace volcal {
+
+int CongestSim::run(const StepFn& step, const DoneFn& done, int max_rounds) {
+  const Graph& g = *g_;
+  const NodeIndex n = g.node_count();
+  std::vector<PortMessages> inbox(n);
+  for (NodeIndex v = 0; v < n; ++v) inbox[v].resize(g.degree(v));
+  for (int round = 1; round <= max_rounds; ++round) {
+    std::vector<PortMessages> next(n);
+    for (NodeIndex v = 0; v < n; ++v) next[v].resize(g.degree(v));
+    for (NodeIndex v = 0; v < n; ++v) {
+      PortMessages out = step(v, round, inbox[v]);
+      if (static_cast<int>(out.size()) > g.degree(v)) {
+        throw std::logic_error("CongestSim: outbox larger than degree");
+      }
+      for (std::size_t pi = 0; pi < out.size(); ++pi) {
+        if (out[pi].empty()) continue;
+        const auto bits = static_cast<std::int64_t>(out[pi].size());
+        if (bits > bandwidth_) {
+          throw std::logic_error("CongestSim: message of " + std::to_string(bits) +
+                                 " bits exceeds bandwidth " + std::to_string(bandwidth_));
+        }
+        total_bits_ += bits;
+        max_message_bits_ = std::max(max_message_bits_, bits);
+        const NodeIndex w = g.neighbor(v, static_cast<Port>(pi + 1));
+        const Port back = g.port_to(w, v);
+        next[w][back - 1] = std::move(out[pi]);
+      }
+    }
+    inbox = std::move(next);
+    if (done()) return round;
+  }
+  return max_rounds;
+}
+
+}  // namespace volcal

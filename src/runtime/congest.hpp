@@ -1,0 +1,46 @@
+// Synchronous CONGEST-model simulator (paper Section 7.3): per round, every
+// node may send at most B bits along each incident edge.  Used to reproduce
+// Observation 7.4 (BalancedTree solvable in O(log n) CONGEST rounds) and
+// Example 7.6 (a problem with O(log n) volume but Ω(n/B) CONGEST rounds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace volcal {
+
+class CongestSim {
+ public:
+  // A message is a bit string; one slot per port (index p-1), empty = no
+  // message on that edge this round.
+  using Message = std::vector<std::uint8_t>;        // one 0/1 per element
+  using PortMessages = std::vector<Message>;        // indexed by port-1
+  // step(v, round, inbox) -> outbox.  inbox[p-1] holds what arrived on port p.
+  using StepFn = std::function<PortMessages(NodeIndex, int, const PortMessages&)>;
+  // done() is evaluated after each round; simulation stops when it returns
+  // true or max_rounds elapse.
+  using DoneFn = std::function<bool()>;
+
+  CongestSim(const Graph& g, int bandwidth_bits)
+      : g_(&g), bandwidth_(bandwidth_bits) {}
+
+  int bandwidth_bits() const { return bandwidth_; }
+
+  // Runs and returns the number of rounds executed (== max_rounds if done()
+  // never fired).  Throws if any message exceeds the bandwidth.
+  int run(const StepFn& step, const DoneFn& done, int max_rounds);
+
+  std::int64_t total_bits_sent() const { return total_bits_; }
+  std::int64_t max_message_bits() const { return max_message_bits_; }
+
+ private:
+  const Graph* g_;
+  int bandwidth_;
+  std::int64_t total_bits_ = 0;
+  std::int64_t max_message_bits_ = 0;
+};
+
+}  // namespace volcal

@@ -1,0 +1,28 @@
+#include "runtime/execution.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+namespace volcal {
+
+std::vector<NodeIndex> explore_ball(Execution& exec, std::int64_t radius) {
+  std::vector<NodeIndex> order{exec.start()};
+  std::deque<std::pair<NodeIndex, std::int64_t>> frontier{{exec.start(), 0}};
+  std::unordered_set<NodeIndex> seen{exec.start()};
+  while (!frontier.empty()) {
+    auto [v, d] = frontier.front();
+    frontier.pop_front();
+    if (d == radius) continue;
+    const int deg = exec.degree(v);
+    for (Port p = 1; p <= deg; ++p) {
+      const NodeIndex u = exec.query(v, p);
+      if (seen.insert(u).second) {
+        order.push_back(u);
+        frontier.emplace_back(u, d + 1);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace volcal

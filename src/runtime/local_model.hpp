@@ -1,0 +1,58 @@
+// The LOCAL model as a view over the query model (paper Remark 2.3 and the
+// simulation arguments of §1.2 / Lemma 2.5).
+//
+// A distance-T LOCAL algorithm is a function of the radius-T ball around the
+// initiating node.  run_local materializes that ball through the query
+// interface (so the run is charged exactly |N_v(T)| volume and T distance)
+// and hands the algorithm a BallView.
+//
+// The two simulation directions of Lemma 2.5 are exposed as adapters:
+//   * any volume-m algorithm already runs within distance m (no adapter
+//     needed — the cost meter shows it);
+//   * any distance-T algorithm runs within volume Δ^T + 1 via run_local.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/execution.hpp"
+
+namespace volcal {
+
+// The radius-T ball gathered by one LOCAL run: nodes in BFS order with their
+// layer, plus membership lookup.  Input labels are read by the algorithm
+// through its own instance reference (guarded by Execution's visited check).
+class BallView {
+ public:
+  BallView(Execution& exec, std::int64_t radius)
+      : exec_(&exec), radius_(radius), nodes_(explore_ball(exec, radius)) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      index_[nodes_[i]] = static_cast<std::int64_t>(i);
+    }
+  }
+
+  Execution& execution() const { return *exec_; }
+  NodeIndex center() const { return exec_->start(); }
+  std::int64_t radius() const { return radius_; }
+  const std::vector<NodeIndex>& nodes() const { return nodes_; }
+  bool contains(NodeIndex v) const { return index_.contains(v); }
+  std::int64_t size() const { return static_cast<std::int64_t>(nodes_.size()); }
+
+ private:
+  Execution* exec_;
+  std::int64_t radius_;
+  std::vector<NodeIndex> nodes_;
+  std::unordered_map<NodeIndex, std::int64_t> index_;
+};
+
+// Runs a LOCAL algorithm of radius T: fn receives the materialized ball.
+// The Execution's meters afterwards satisfy distance() <= T and
+// volume() <= Δ^T + 1 — the second Lemma 2.5 inequality by construction.
+template <typename Fn>
+auto run_local(Execution& exec, std::int64_t radius, Fn&& fn) {
+  BallView ball(exec, radius);
+  return fn(ball);
+}
+
+}  // namespace volcal

@@ -1,0 +1,98 @@
+// Per-node random strings (paper Section 2.2 and the discussion in §7.4).
+//
+// Each node v carries an infinite random string r_v : N -> {0,1}; r_v is part
+// of v's *input*, so every execution that queries v sees the same bits.  We
+// realize r_v(i) as a deterministic hash of (seed, id(v), i): reproducible,
+// independent across nodes and positions for all statistical purposes here,
+// and trivially shared between the many per-node executions of a run.
+//
+// Bit-usage accounting: the model (§2.2, footnote 1) assumes bits are read
+// sequentially and that the number of accessed bits is bounded whp.  The tape
+// records the high-water mark per node so tests can assert the bound.
+//
+// Three access disciplines (§7.4):
+//   * private  — any execution may read any visited node's tape (the paper's
+//                main model),
+//   * public   — one global tape, node-independent,
+//   * secret   — an execution may only read the tape of its *initiating*
+//                node.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/graph.hpp"
+#include "labels/ids.hpp"
+#include "util/hash.hpp"
+
+namespace volcal {
+
+enum class RandomnessModel : std::uint8_t { Private, Public, Secret };
+
+class RandomTape {
+ public:
+  RandomTape(const IdAssignment& ids, std::uint64_t seed,
+             RandomnessModel model = RandomnessModel::Private)
+      : ids_(&ids), seed_(seed), model_(model) {}
+
+  RandomnessModel model() const { return model_; }
+  std::uint64_t seed() const { return seed_; }
+
+  // r_v(i): the i-th bit of node v's random string.  `reader` is the node
+  // whose execution is asking; the secret model rejects cross-node reads.
+  bool bit(NodeIndex reader, NodeIndex v, std::uint64_t i) {
+    check_access(reader, v);
+    note_use(v, i);
+    const NodeIndex key = (model_ == RandomnessModel::Public) ? 0 : v;
+    const std::uint64_t id =
+        (model_ == RandomnessModel::Public) ? 0 : ids_->id_of(key);
+    return (mix64(seed_, id, i) & 1) != 0;
+  }
+
+  // A uniform word built from 64 consecutive bits starting at position i
+  // (positions i..i+63 count as used).
+  std::uint64_t word(NodeIndex reader, NodeIndex v, std::uint64_t i) {
+    check_access(reader, v);
+    note_use(v, i + 63);
+    const std::uint64_t id =
+        (model_ == RandomnessModel::Public) ? 0 : ids_->id_of(v);
+    return mix64(seed_, id, 0x9000 + i);
+  }
+
+  // Uniform double in [0,1) consuming 64 bits at position i.
+  double unit(NodeIndex reader, NodeIndex v, std::uint64_t i) {
+    return to_unit_double(word(reader, v, i));
+  }
+
+  // High-water mark of accessed positions on v's string (+1), i.e. the number
+  // of consumed bits under sequential access.  0 if untouched.
+  std::uint64_t bits_used(NodeIndex v) const {
+    auto it = used_.find(v);
+    return it == used_.end() ? 0 : it->second;
+  }
+  std::uint64_t max_bits_used_anywhere() const {
+    std::uint64_t m = 0;
+    for (const auto& [node, bits] : used_) m = std::max(m, bits);
+    return m;
+  }
+
+ private:
+  void check_access(NodeIndex reader, NodeIndex v) const {
+    if (model_ == RandomnessModel::Secret && reader != v) {
+      throw std::logic_error("RandomTape: secret-randomness violation: node " +
+                             std::to_string(reader) + " read tape of " + std::to_string(v));
+    }
+  }
+  void note_use(NodeIndex v, std::uint64_t i) {
+    auto& hw = used_[model_ == RandomnessModel::Public ? 0 : v];
+    hw = std::max(hw, i + 1);
+  }
+
+  const IdAssignment* ids_;
+  std::uint64_t seed_;
+  RandomnessModel model_;
+  std::unordered_map<NodeIndex, std::uint64_t> used_;
+};
+
+}  // namespace volcal

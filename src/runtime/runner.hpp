@@ -1,0 +1,80 @@
+// Whole-graph execution driver.  A "solver" is a callable
+// Label(Execution&) producing the initiating node's output; the runner
+// executes it once per node (each with a fresh Execution, as the model is
+// stateless across nodes) and aggregates the costs of Definitions 2.1-2.2:
+//
+//   DIST_n(A) = sup over start nodes of the distance cost,
+//   VOL_n(A)  = sup over start nodes of the volume cost.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "runtime/execution.hpp"
+
+namespace volcal {
+
+template <typename Label>
+struct RunResult {
+  std::vector<Label> output;
+  std::vector<std::int64_t> volume;    // per start node
+  std::vector<std::int64_t> distance;  // per start node
+  std::int64_t max_volume = 0;         // VOL_n(A) on this instance
+  std::int64_t max_distance = 0;       // DIST_n(A) on this instance
+  std::int64_t total_queries = 0;
+  // Nodes whose execution blew the query budget (their output is the
+  // solver's fallback, or default Label if the solver rethrew).
+  std::int64_t truncated = 0;
+};
+
+template <typename Solver>
+auto run_at_all_nodes(const Graph& g, const IdAssignment& ids, Solver&& solver,
+                      std::int64_t budget = 0) {
+  using Label = decltype(solver(std::declval<Execution&>()));
+  RunResult<Label> result;
+  const NodeIndex n = g.node_count();
+  result.output.resize(n);
+  result.volume.resize(n);
+  result.distance.resize(n);
+  for (NodeIndex v = 0; v < n; ++v) {
+    Execution exec(g, ids, v, budget);
+    try {
+      result.output[v] = solver(exec);
+    } catch (const QueryBudgetExceeded&) {
+      ++result.truncated;
+      result.output[v] = Label{};  // arbitrary output per Remark 3.11
+    }
+    result.volume[v] = exec.volume();
+    result.distance[v] = exec.distance();
+    result.max_volume = std::max(result.max_volume, exec.volume());
+    result.max_distance = std::max(result.max_distance, exec.distance());
+    result.total_queries += exec.query_count();
+  }
+  return result;
+}
+
+// Lemma 2.5 sanity check on a completed run:
+// DIST <= VOL and VOL <= Δ^DIST + 1 (the latter evaluated with overflow
+// guard).  Returns true iff both inequalities hold for every node.
+template <typename Label>
+bool satisfies_lemma_2_5(const Graph& g, const RunResult<Label>& r) {
+  const double delta = std::max(2, g.max_degree());
+  for (std::size_t i = 0; i < r.volume.size(); ++i) {
+    // DIST <= VOL: a connected visited set of m nodes spans distance <= m.
+    if (r.distance[i] > r.volume[i]) return false;
+    // VOL <= Δ^DIST + 1 (paper's ball bound); guard the power vs. overflow —
+    // when Δ^DIST would exceed 2^62 the inequality is vacuously true.
+    const double bound_log = static_cast<double>(r.distance[i]) * std::log2(delta);
+    if (bound_log < 62.0) {
+      const auto bound =
+          static_cast<std::int64_t>(std::pow(delta, static_cast<double>(r.distance[i]))) + 1;
+      if (r.volume[i] > bound) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace volcal

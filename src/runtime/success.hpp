@@ -1,0 +1,47 @@
+// Success-probability estimation for randomized algorithms (Definition 2.4:
+// a randomized algorithm solves Π if the joint output is feasible with
+// probability 1 - O(1/n) over every node's randomness).
+//
+// We estimate the success rate by re-running the whole-graph solve under
+// `trials` independent tapes and verifying each joint output.
+#pragma once
+
+#include <cstdint>
+
+#include "lcl/lcl.hpp"
+#include "runtime/randomness.hpp"
+#include "runtime/runner.hpp"
+#include "util/hash.hpp"
+
+namespace volcal {
+
+struct SuccessEstimate {
+  int trials = 0;
+  int successes = 0;
+  std::int64_t max_volume = 0;
+  std::int64_t max_distance = 0;
+
+  double rate() const { return trials == 0 ? 0.0 : static_cast<double>(successes) / trials; }
+};
+
+// solver_factory(tape) must return a callable Label(Execution&) using that
+// tape; problem/instance as in verify_all.
+template <typename Problem, typename Instance, typename SolverFactory>
+SuccessEstimate estimate_success(const Problem& problem, const Instance& instance,
+                                 SolverFactory&& solver_factory, int trials,
+                                 std::uint64_t seed_base = 0x5eed,
+                                 RandomnessModel model = RandomnessModel::Private) {
+  SuccessEstimate est;
+  est.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    RandomTape tape(instance.ids, mix64(seed_base, static_cast<std::uint64_t>(t)), model);
+    auto solver = solver_factory(tape);
+    auto result = run_at_all_nodes(instance.graph, instance.ids, solver);
+    if (verify_all(problem, instance, result.output).ok) ++est.successes;
+    est.max_volume = std::max(est.max_volume, result.max_volume);
+    est.max_distance = std::max(est.max_distance, result.max_distance);
+  }
+  return est;
+}
+
+}  // namespace volcal

@@ -1,0 +1,60 @@
+// Minimal fixed-width table renderer for the bench binaries' paper-style
+// output (Table 1 rows, Figure 3 series).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace volcal::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&width](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], display_width(row[i]));
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+    print_row(os, header_, width);
+    std::string rule;
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      rule += std::string(width[i] + 2, '-');
+      if (i + 1 < width.size()) rule += "+";
+    }
+    os << rule << "\n";
+    for (const auto& r : rows_) print_row(os, r, width);
+  }
+
+ private:
+  // UTF-8 aware enough for our Θ/Õ/·: counts code points, not bytes.
+  static std::size_t display_width(const std::string& s) {
+    std::size_t w = 0;
+    for (unsigned char c : s) {
+      if ((c & 0xC0) != 0x80) ++w;
+    }
+    return w;
+  }
+
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      os << " " << cell << std::string(width[i] - display_width(cell) + 1, ' ');
+      if (i + 1 < width.size()) os << "|";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace volcal::stats

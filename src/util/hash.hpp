@@ -1,0 +1,34 @@
+// Deterministic mixing functions used wherever the library needs reproducible
+// pseudorandomness keyed by (seed, node, position): random tapes, shuffled ID
+// assignments, random instance generators.  splitmix64-style finalizer.
+#pragma once
+
+#include <cstdint>
+
+namespace volcal {
+
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(splitmix64(a) ^ (0x9e3779b97f4a7c15ull + b));
+}
+
+inline std::uint64_t mix64(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return mix64(mix64(a, b), c);
+}
+
+inline std::uint64_t mix64(std::uint64_t a, std::uint64_t b, std::uint64_t c, std::uint64_t d) {
+  return mix64(mix64(a, b, c), d);
+}
+
+// Uniform double in [0, 1) from a mixed word.
+inline double to_unit_double(std::uint64_t word) {
+  return static_cast<double>(word >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace volcal

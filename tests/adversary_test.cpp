@@ -1,0 +1,126 @@
+#include "lcl/adversary/leafcoloring_adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lcl/algorithms/leaf_coloring_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "lcl/problems/leaf_coloring.hpp"
+#include "runtime/runner.hpp"
+
+namespace volcal {
+namespace {
+
+using AdvSrc = LeafColoringAdversarySource;
+
+// The candidate portfolio: the paper's own deterministic strategies, run
+// against the adaptive process P of Prop. 3.13.
+Color candidate_nearest_leaf(AdvSrc& src) { return leafcoloring_nearest_leaf(src); }
+Color candidate_leftmost(AdvSrc& src) { return leafcoloring_leftmost_descent(src); }
+Color candidate_lazy(AdvSrc& src) {
+  // Reads only its own input.
+  return src.color(src.start());
+}
+Color candidate_sampler(AdvSrc& src) {
+  // Probes a few fixed root-to-"depth" paths, then answers with the majority
+  // of the colors it saw.
+  TreeView<AdvSrc> view(src);
+  int red = 0, total = 0;
+  for (const Port first : {1, 2}) {
+    NodeIndex cur = src.query(src.start(), first);
+    for (int step = 0; step < 10; ++step) {
+      ++total;
+      red += src.color(cur) == Color::Red;
+      if (!view.internal(cur)) break;
+      cur = view.left(cur);
+    }
+  }
+  return red * 2 >= total ? Color::Red : Color::Blue;
+}
+
+class AdversaryDefeats
+    : public ::testing::TestWithParam<std::pair<const char*, Color (*)(AdvSrc&)>> {};
+
+TEST_P(AdversaryDefeats, WithinBudgetAlgorithmsFail) {
+  const auto& [name, algo] = GetParam();
+  const std::int64_t declared_n = 4096;
+  auto result = duel_leafcoloring_adversary(algo, declared_n, declared_n / 3);
+  if (result.algorithm_exceeded_budget) {
+    // Exceeding n/3 nodes is consistent with the Ω(n) bound; nothing to check.
+    SUCCEED() << name << " exceeded the budget (used > n/3 volume)";
+    return;
+  }
+  EXPECT_TRUE(result.algorithm_failed) << name;
+  // The defeating instance is roughly three nodes per spawned node.
+  EXPECT_LE(result.instance_size, 3 * result.nodes_spawned + 2) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Portfolio, AdversaryDefeats,
+    ::testing::Values(std::make_pair("nearest_leaf", &candidate_nearest_leaf),
+                      std::make_pair("leftmost", &candidate_leftmost),
+                      std::make_pair("lazy", &candidate_lazy),
+                      std::make_pair("sampler", &candidate_sampler)));
+
+TEST(Adversary, NearestLeafNeverSeesALeafSoBudgetBinds) {
+  // Against the adversary, every revealed node looks internal: the BFS
+  // strategy keeps spawning until the budget stops it.
+  auto result = duel_leafcoloring_adversary(&candidate_nearest_leaf, 4096, 300);
+  EXPECT_TRUE(result.algorithm_exceeded_budget);
+  EXPECT_GE(result.nodes_spawned, 300);
+}
+
+TEST(Adversary, MaterializedInstanceIsWellFormed) {
+  // Use a candidate that halts (leftmost/nearest never see a leaf against
+  // the adversary and run to the budget).
+  auto result = duel_leafcoloring_adversary(&candidate_sampler, 4096, 512);
+  ASSERT_FALSE(result.algorithm_exceeded_budget);
+  const auto& inst = result.instance;
+  // Every explored node is internal; every appended node is a leaf.
+  std::int64_t internals = 0, leaves = 0;
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    switch (classify(inst.graph, inst.labels.tree, v)) {
+      case NodeKind::Internal: ++internals; break;
+      case NodeKind::Leaf: ++leaves; break;
+      case NodeKind::Inconsistent: FAIL() << "inconsistent node " << v;
+    }
+  }
+  EXPECT_EQ(internals + leaves, inst.node_count());
+  EXPECT_EQ(leaves, internals + 1);  // full binary tree
+}
+
+TEST(Adversary, HonestUnboundedAlgorithmSolvesTheMaterializedInstance) {
+  // Fairness check: the defeating instance is a legitimate LeafColoring
+  // input — an unbounded solver handles it.
+  auto duel = duel_leafcoloring_adversary(&candidate_sampler, 4096, 512);
+  ASSERT_FALSE(duel.algorithm_exceeded_budget);
+  const auto& inst = duel.instance;
+  auto result = run_at_all_nodes(inst.graph, inst.ids, [&inst](Execution& exec) {
+    InstanceSource<ColoredTreeLabeling> src(inst, exec);
+    return leafcoloring_nearest_leaf(src);
+  });
+  LeafColoringProblem problem;
+  EXPECT_TRUE(verify_all(problem, inst, result.output).ok);
+}
+
+TEST(Adversary, ParentQueriesReturnSpawner) {
+  AdvSrc src(1024, 64);
+  const NodeIndex child = src.query(0, 1);
+  EXPECT_EQ(src.query(child, 1), 0);   // parent port
+  EXPECT_EQ(src.query(0, 1), child);   // re-query returns the same node
+  const NodeIndex grand = src.query(child, 2);
+  EXPECT_EQ(src.query(grand, 1), child);
+  EXPECT_EQ(src.nodes_spawned(), 3);
+}
+
+TEST(Adversary, RootHasTwoPortsOthersThree) {
+  AdvSrc src(64, 16);
+  EXPECT_EQ(src.degree(0), 2);
+  EXPECT_EQ(src.parent_port(0), kNoPort);
+  const NodeIndex c = src.query(0, 2);
+  EXPECT_EQ(src.degree(c), 3);
+  EXPECT_EQ(src.parent_port(c), 1);
+  EXPECT_THROW(src.query(0, 3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,293 @@
+#include "lcl/problems/balanced_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/disjointness.hpp"
+#include "labels/generators.hpp"
+#include "lcl/algorithms/balanced_tree_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "runtime/runner.hpp"
+
+namespace volcal {
+namespace {
+
+using Src = InstanceSource<BalancedTreeLabeling>;
+
+std::vector<BtOutput> solve_all(const BalancedTreeInstance& inst, std::int64_t depth_limit,
+                                RunResult<BtOutput>* costs_out = nullptr) {
+  auto result = run_at_all_nodes(inst.graph, inst.ids, [&](Execution& exec) {
+    Src src(inst, exec);
+    return balancedtree_solve(src, depth_limit);
+  });
+  if (costs_out != nullptr) *costs_out = result;
+  return result.output;
+}
+
+// ---------------------------------------------------------------------------
+// Compatibility (Def. 4.2)
+// ---------------------------------------------------------------------------
+
+class CompatDepths : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompatDepths, BalancedInstanceGloballyCompatible) {
+  auto inst = make_balanced_instance(GetParam());
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    ASSERT_TRUE(is_consistent(inst.graph, inst.labels.tree, v)) << v;
+    EXPECT_TRUE(bt_compatible(inst.graph, inst.labels, v)) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, CompatDepths, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(Compat, UnbalancedInstanceHasIncompatibleNodes) {
+  auto inst = make_unbalanced_instance(4, 3, 7);
+  std::int64_t incompatible = 0;
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    if (is_consistent(inst.graph, inst.labels.tree, v) &&
+        !bt_compatible(inst.graph, inst.labels, v)) {
+      ++incompatible;
+    }
+  }
+  EXPECT_GT(incompatible, 0);
+}
+
+TEST(Compat, BrokenAgreementDetected) {
+  auto inst = make_balanced_instance(3);
+  // Find a node with a right neighbor and break the reciprocal claim.
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    const NodeIndex rn = resolve(inst.graph, v, inst.labels.right_nbr[v]);
+    if (rn != kNoNode) {
+      inst.labels.left_nbr[rn] = kNoPort;
+      EXPECT_FALSE(bt_compatible(inst.graph, inst.labels, v));
+      return;
+    }
+  }
+  FAIL() << "no lateral edge found";
+}
+
+TEST(Compat, QueryVersionMatchesGlobal) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    auto inst = make_unbalanced_instance(4, 2, seed);
+    for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+      if (!is_consistent(inst.graph, inst.labels.tree, v)) continue;
+      Execution exec(inst.graph, inst.ids, v);
+      Src src(inst, exec);
+      EXPECT_EQ(query_bt_compatible(src, v), bt_compatible(inst.graph, inst.labels, v))
+          << v;
+      EXPECT_LE(exec.volume(), 40) << v;  // constant-radius check
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Solver validity (Prop. 4.8) and the aggregate output semantics (Lemma 4.7)
+// ---------------------------------------------------------------------------
+
+TEST(BalancedTreeSolver, BalancedInstanceAllBalanced) {
+  auto inst = make_balanced_instance(5);
+  RunResult<BtOutput> costs;
+  auto out = solve_all(inst, 0, &costs);
+  BalancedTreeProblem problem;
+  auto verdict = verify_all(problem, inst, out);
+  EXPECT_TRUE(verdict.ok) << "first bad " << verdict.first_bad;
+  // Lemma 4.7: globally compatible => every consistent node outputs (B, P).
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    EXPECT_EQ(out[v].beta, Balance::Balanced) << v;
+    EXPECT_EQ(out[v].p, inst.labels.tree.parent[v]) << v;
+  }
+  EXPECT_TRUE(satisfies_lemma_2_5(inst.graph, costs));
+}
+
+class UnbalancedSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnbalancedSeeds, SolverValidAndRootUnbalanced) {
+  auto inst = make_unbalanced_instance(5, 3, GetParam());
+  auto out = solve_all(inst, 0);
+  BalancedTreeProblem problem;
+  auto verdict = verify_all(problem, inst, out);
+  EXPECT_TRUE(verdict.ok) << "first bad " << verdict.first_bad;
+  // Lemma 4.7 converse: the root has an incompatible descendant, so it must
+  // output (U, ·).
+  EXPECT_EQ(out[0].beta, Balance::Unbalanced);
+  EXPECT_NE(out[0].p, kNoPort);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnbalancedSeeds, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(BalancedTreeSolver, DepthLimitedVariantAgrees) {
+  auto inst = make_balanced_instance(5);
+  const auto limit =
+      static_cast<std::int64_t>(std::ceil(std::log2(inst.node_count()))) + 2;
+  auto out = solve_all(inst, limit);
+  BalancedTreeProblem problem;
+  EXPECT_TRUE(verify_all(problem, inst, out).ok);
+}
+
+TEST(BalancedTreeSolver, DistanceLogarithmicVolumeLinear) {
+  for (int depth : {5, 7, 9}) {
+    auto inst = make_balanced_instance(depth);
+    RunResult<BtOutput> costs;
+    solve_all(inst, 0, &costs);
+    EXPECT_LE(costs.max_distance, depth + 4) << depth;  // O(log n)
+    EXPECT_GE(costs.max_volume, (NodeIndex{1} << depth) - 1) << depth;  // Θ(n) from root
+  }
+}
+
+TEST(BalancedTreeChecker, RejectsRootClaimingBalancedOverDefect) {
+  auto inst = make_unbalanced_instance(4, 2, 9);
+  auto out = solve_all(inst, 0);
+  BalancedTreeProblem problem;
+  ASSERT_TRUE(verify_all(problem, inst, out).ok);
+  out[0] = {Balance::Balanced, inst.labels.tree.parent[0]};
+  EXPECT_FALSE(verify_all(problem, inst, out).ok);
+}
+
+TEST(BalancedTreeChecker, RejectsWrongPortOnBalanced) {
+  auto inst = make_balanced_instance(3);
+  auto out = solve_all(inst, 0);
+  BalancedTreeProblem problem;
+  out[3].p = static_cast<Port>(out[3].p + 1);
+  EXPECT_FALSE(verify_all(problem, inst, out).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Section 2.5 machinery: the disjointness embedding of Prop. 4.9
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> bits_from(std::uint64_t word, int n) {
+  std::vector<std::uint8_t> out(n);
+  for (int i = 0; i < n; ++i) out[i] = (word >> i) & 1;
+  return out;
+}
+
+class DisjEmbedding : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DisjEmbedding, CompatibleIffDisjoint) {
+  const int depth = 4;
+  const int big_n = 1 << (depth - 1);
+  const auto a = bits_from(GetParam() * 2654435761u, big_n);
+  const auto b = bits_from(GetParam() * 40503u + 17, big_n);
+  auto emb = make_disj_embedding(depth, a, b);
+  bool all_compatible = true;
+  for (NodeIndex v = 0; v < emb.instance.node_count(); ++v) {
+    if (is_consistent(emb.instance.graph, emb.instance.labels.tree, v)) {
+      all_compatible &= bt_compatible(emb.instance.graph, emb.instance.labels, v);
+    }
+  }
+  EXPECT_EQ(all_compatible, disj(a, b));
+}
+
+TEST_P(DisjEmbedding, RootOutputComputesDisj) {
+  // g(E(a,b)) = [root outputs Balanced] must equal disj(a,b) — the embedding
+  // property f(x,y) = g(E(x,y)) of Def. 2.7.
+  const int depth = 4;
+  const int big_n = 1 << (depth - 1);
+  const auto a = bits_from(GetParam() * 97u + 5, big_n);
+  const auto b = bits_from(GetParam() * 31u + 3, big_n);
+  auto emb = make_disj_embedding(depth, a, b);
+  Execution exec(emb.instance.graph, emb.instance.ids, emb.root);
+  Src src(emb.instance, exec);
+  const BtOutput out = balancedtree_solve(src);
+  EXPECT_EQ(out.beta == Balance::Balanced, disj(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Words, DisjEmbedding,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(DisjEmbedding, SingleIntersectionPromise) {
+  // Thm. 2.10 holds under the promise |a ∧ b| <= 1; check both promise sides.
+  const int depth = 5;
+  const int big_n = 1 << (depth - 1);
+  std::vector<std::uint8_t> a(big_n, 0), b(big_n, 0);
+  a[5] = 1;
+  b[5] = 1;
+  auto emb = make_disj_embedding(depth, a, b);
+  Execution exec(emb.instance.graph, emb.instance.ids, emb.root);
+  Src src(emb.instance, exec);
+  EXPECT_EQ(balancedtree_solve(src).beta, Balance::Unbalanced);
+}
+
+TEST(CommAccounting, OnlyLeafPairQueriesCharged) {
+  const int depth = 4;
+  const int big_n = 1 << (depth - 1);
+  const std::vector<std::uint8_t> zeros(big_n, 0);
+  auto emb = make_disj_embedding(depth, zeros, zeros);
+  CommAccountant acc(emb);
+  // Exploring only the top of the tree costs zero communication.
+  {
+    Execution exec(emb.instance.graph, emb.instance.ids, emb.root);
+    explore_ball(exec, depth - 1);
+    EXPECT_EQ(acc.bits_for(exec), 0);
+  }
+  // Exploring everything costs exactly 2 bits per leaf-pair member = 4N.
+  {
+    Execution exec(emb.instance.graph, emb.instance.ids, emb.root);
+    explore_ball(exec, depth + 1);
+    EXPECT_EQ(acc.bits_for(exec), 4 * big_n);
+    auto touched = acc.pairs_touched(exec);
+    for (auto t : touched) EXPECT_EQ(t, 1);
+  }
+}
+
+TEST(CommAccounting, SolverOnFullInstancePaysLinearBits) {
+  // Theorem 2.9 mechanism: our solver answers DISJ, so it must pay Ω(N) bits.
+  const int depth = 6;
+  const int big_n = 1 << (depth - 1);
+  const std::vector<std::uint8_t> zeros(big_n, 0);
+  auto emb = make_disj_embedding(depth, zeros, zeros);
+  CommAccountant acc(emb);
+  Execution exec(emb.instance.graph, emb.instance.ids, emb.root);
+  Src src(emb.instance, exec);
+  const BtOutput out = balancedtree_solve(src);
+  EXPECT_EQ(out.beta, Balance::Balanced);
+  EXPECT_GE(acc.bits_for(exec), 2 * big_n);  // touched every pair
+}
+
+// ---------------------------------------------------------------------------
+// The executable volume lower bound (fooling pairs)
+// ---------------------------------------------------------------------------
+
+TEST(FoolingDuel, BudgetLimitedSolverIsFooled) {
+  RootedBtAlgorithm algo = [](const BalancedTreeInstance& inst, Execution& exec) {
+    Src src(inst, exec);
+    return balancedtree_solve(src);
+  };
+  // Budget = half the leaves: some pair is necessarily untouched.
+  const int depth = 6;
+  const std::int64_t n = (std::int64_t{1} << (depth + 1)) - 1;
+  auto result = duel_balancedtree_volume(algo, depth, n / 2);
+  ASSERT_FALSE(result.algorithm_exceeded_budget ? false : !result.fooled &&
+               result.pair_index < 0)
+      << "solver claimed to see every pair within half budget";
+  if (!result.algorithm_exceeded_budget) {
+    EXPECT_TRUE(result.fooled);
+    EXPECT_GE(result.pair_index, 0);
+  }
+}
+
+TEST(FoolingDuel, FullBudgetSolverSurvives) {
+  RootedBtAlgorithm algo = [](const BalancedTreeInstance& inst, Execution& exec) {
+    Src src(inst, exec);
+    return balancedtree_solve(src);
+  };
+  auto result = duel_balancedtree_volume(algo, 5, 0);  // unlimited
+  EXPECT_FALSE(result.algorithm_exceeded_budget);
+  EXPECT_FALSE(result.fooled);
+  EXPECT_EQ(result.base_output.beta, Balance::Balanced);
+}
+
+TEST(FoolingDuel, LazyAlgorithmAlwaysFooled) {
+  // A (wrong) algorithm that answers from the top alone.
+  RootedBtAlgorithm lazy = [](const BalancedTreeInstance& inst, Execution& exec) {
+    Src src(inst, exec);
+    explore_ball(exec, 2);
+    return BtOutput{Balance::Balanced, inst.labels.tree.parent[exec.start()]};
+  };
+  auto result = duel_balancedtree_volume(lazy, 5, 0);
+  EXPECT_TRUE(result.fooled);
+}
+
+}  // namespace
+}  // namespace volcal

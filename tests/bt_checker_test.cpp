@@ -1,0 +1,182 @@
+// Per-condition coverage of the BalancedTree validity rules (Def. 4.3) and
+// each clause of compatibility (Def. 4.2).
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "labels/generators.hpp"
+#include "lcl/algorithms/balanced_tree_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "lcl/problems/balanced_tree.hpp"
+#include "runtime/runner.hpp"
+
+namespace volcal {
+namespace {
+
+std::vector<BtOutput> valid_output(const BalancedTreeInstance& inst) {
+  auto result = run_at_all_nodes(inst.graph, inst.ids, [&](Execution& exec) {
+    InstanceSource<BalancedTreeLabeling> src(inst, exec);
+    return balancedtree_solve(src);
+  });
+  return result.output;
+}
+
+// --- Def. 4.2 clause-by-clause ------------------------------------------------
+
+TEST(BtCompatibility, TypePreservingViolation) {
+  auto inst = make_balanced_instance(3);
+  // Make an internal node's lateral neighbor a leaf by demoting the neighbor.
+  // Node 1 (depth 1) has RN = node 2; drop node 2's children claims.
+  inst.labels.tree.left[2] = kNoPort;
+  inst.labels.tree.right[2] = kNoPort;
+  EXPECT_FALSE(bt_compatible(inst.graph, inst.labels, 1));
+}
+
+TEST(BtCompatibility, AgreementViolation) {
+  auto inst = make_balanced_instance(3);
+  const NodeIndex v = 1;
+  const NodeIndex rn = resolve(inst.graph, v, inst.labels.right_nbr[v]);
+  ASSERT_NE(rn, kNoNode);
+  inst.labels.left_nbr[rn] = kNoPort;  // RN(v) no longer points back
+  EXPECT_FALSE(bt_compatible(inst.graph, inst.labels, v));
+}
+
+TEST(BtCompatibility, SiblingsViolation) {
+  auto inst = make_balanced_instance(3);
+  const NodeIndex v = 1;
+  const NodeIndex lc = left_child_of(inst.graph, inst.labels.tree, v);
+  ASSERT_NE(lc, kNoNode);
+  inst.labels.right_nbr[lc] = kNoPort;  // LC(v) forgets its sibling
+  EXPECT_FALSE(bt_compatible(inst.graph, inst.labels, v));
+}
+
+TEST(BtCompatibility, PersistenceViolation) {
+  auto inst = make_balanced_instance(3);
+  const NodeIndex v = 1;
+  const NodeIndex rc = right_child_of(inst.graph, inst.labels.tree, v);
+  ASSERT_NE(rc, kNoNode);
+  // RC(v)'s lateral chain no longer continues into RN(v)'s children.
+  inst.labels.right_nbr[rc] = kNoPort;
+  EXPECT_FALSE(bt_compatible(inst.graph, inst.labels, v));
+  // The query-side evaluation agrees.
+  Execution exec(inst.graph, inst.ids, v);
+  InstanceSource<BalancedTreeLabeling> src(inst, exec);
+  EXPECT_FALSE(query_bt_compatible(src, v));
+}
+
+TEST(BtCompatibility, LeafLateralToInternalViolation) {
+  auto inst = make_balanced_instance(2);
+  // Point a leaf's RN at an internal node via a bogus port: leaves' laterals
+  // must be leaves.
+  const NodeIndex leaf = inst.node_count() - 1;
+  inst.labels.right_nbr[leaf] = inst.labels.tree.parent[leaf];
+  EXPECT_FALSE(bt_compatible(inst.graph, inst.labels, leaf));
+}
+
+TEST(BtCompatibility, RootWithoutLateralsCompatible) {
+  auto inst = make_balanced_instance(2);
+  EXPECT_TRUE(bt_compatible(inst.graph, inst.labels, 0));
+}
+
+// --- Def. 4.3 conditions --------------------------------------------------------
+
+TEST(BtValidity, Condition1IncompatibleMustDeclareU) {
+  auto inst = make_unbalanced_instance(4, 2, 5);
+  auto out = valid_output(inst);
+  BalancedTreeProblem problem;
+  ASSERT_TRUE(verify_all(problem, inst, out).ok);
+  // Find an incompatible node; its only valid output is (U, ⊥).
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    if (is_consistent(inst.graph, inst.labels.tree, v) &&
+        !bt_compatible(inst.graph, inst.labels, v)) {
+      EXPECT_EQ(out[v], (BtOutput{Balance::Unbalanced, kNoPort}));
+      auto mutated = out;
+      mutated[v] = {Balance::Balanced, inst.labels.tree.parent[v]};
+      EXPECT_FALSE(problem.valid_at(inst, mutated, v));
+      mutated[v] = {Balance::Unbalanced, 1};
+      EXPECT_FALSE(problem.valid_at(inst, mutated, v));
+      return;
+    }
+  }
+  FAIL() << "no incompatible node found";
+}
+
+TEST(BtValidity, Condition2LeafMustPassUp) {
+  auto inst = make_balanced_instance(3);
+  auto out = valid_output(inst);
+  BalancedTreeProblem problem;
+  const NodeIndex leaf = inst.node_count() - 1;
+  auto mutated = out;
+  mutated[leaf] = {Balance::Unbalanced, kNoPort};
+  EXPECT_FALSE(problem.valid_at(inst, mutated, leaf));
+}
+
+TEST(BtValidity, Condition3bPointsAtUnbalancedChild) {
+  auto inst = make_unbalanced_instance(4, 2, 7);
+  auto out = valid_output(inst);
+  BalancedTreeProblem problem;
+  ASSERT_TRUE(verify_all(problem, inst, out).ok);
+  // The root is compatible but has an unbalanced descendant: its output must
+  // name the port of a child that declared Unbalanced.
+  ASSERT_EQ(out[0].beta, Balance::Unbalanced);
+  const NodeIndex named = resolve(inst.graph, 0, out[0].p);
+  ASSERT_NE(named, kNoNode);
+  EXPECT_EQ(out[named].beta, Balance::Unbalanced);
+  // Pointing at the *other* (balanced) child is invalid.
+  const NodeIndex lc = left_child_of(inst.graph, inst.labels.tree, 0);
+  const NodeIndex rc = right_child_of(inst.graph, inst.labels.tree, 0);
+  const NodeIndex other = named == lc ? rc : lc;
+  if (out[other].beta == Balance::Balanced) {
+    auto mutated = out;
+    mutated[0].p = inst.graph.port_to(0, other);
+    EXPECT_FALSE(problem.valid_at(inst, mutated, 0));
+  }
+}
+
+TEST(BtValidity, InconsistentNodesUnconstrained) {
+  auto inst = make_balanced_instance(3);
+  // Corrupt one node into inconsistency; any output there is accepted.
+  inst.labels.tree.parent[5] = inst.labels.tree.left[5];
+  ASSERT_FALSE(is_consistent(inst.graph, inst.labels.tree, 5));
+  BalancedTreeProblem problem;
+  std::vector<BtOutput> out(inst.node_count(), BtOutput{Balance::Unbalanced, kNoPort});
+  EXPECT_TRUE(problem.valid_at(inst, out, 5));
+  out[5] = {Balance::Balanced, 3};
+  EXPECT_TRUE(problem.valid_at(inst, out, 5));
+}
+
+// Lemma 4.6 executable: an unbalanced subtree has an incompatible node within
+// nearest-leaf distance.
+TEST(BtValidity, Lemma46DefectWithinLeafDepth) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    auto inst = make_unbalanced_instance(5, 3, seed);
+    auto f = build_pseudo_forest(inst.graph, inst.labels.tree);
+    // Nearest-leaf depth from the root.
+    std::int64_t leaf_depth = -1;
+    {
+      std::vector<std::pair<NodeIndex, std::int64_t>> frontier{{0, 0}};
+      std::size_t head = 0;
+      while (head < frontier.size() && leaf_depth < 0) {
+        auto [v, d] = frontier[head++];
+        for (NodeIndex c : {f.lc[v], f.rc[v]}) {
+          if (c == kNoNode) continue;
+          if (f.kind[c] == NodeKind::Leaf) leaf_depth = d + 1;
+          frontier.emplace_back(c, d + 1);
+        }
+      }
+    }
+    ASSERT_GT(leaf_depth, 0);
+    // Some incompatible node within that depth from the root.
+    bool found = false;
+    auto dist = bfs_distances(inst.graph, 0);
+    for (NodeIndex v = 0; v < inst.node_count() && !found; ++v) {
+      if (is_consistent(inst.graph, inst.labels.tree, v) &&
+          !bt_compatible(inst.graph, inst.labels, v)) {
+        found = dist[v] <= leaf_depth;
+      }
+    }
+    EXPECT_TRUE(found) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,122 @@
+// Remark 5.7 executable: the Chang-Pettie-flavored variant (proper colors +
+// mandatory exemption) versus the paper's relaxed Hierarchical-THC.
+#include "lcl/problems/cp_thc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labels/generators.hpp"
+#include "lcl/algorithms/hthc_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+
+namespace volcal {
+namespace {
+
+using Free = FreeSource<ColoredTreeLabeling>;
+
+std::vector<ThcColor> cp_outputs(const HierarchicalInstance& inst, const HthcConfig& cfg) {
+  Free src(inst);
+  CpSolver<Free> solver(src, cfg);
+  std::vector<ThcColor> out(inst.node_count());
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) out[v] = solver.solve_at(v);
+  return out;
+}
+
+struct CpParam {
+  int k;
+  NodeIndex backbone;
+  std::uint64_t seed;
+};
+
+class CpSolve : public ::testing::TestWithParam<CpParam> {};
+
+TEST_P(CpSolve, DeterministicSolverValidOnBalancedFamily) {
+  const auto [k, b, seed] = GetParam();
+  auto inst = make_hierarchical_instance(k, b, seed);
+  auto cfg = HthcConfig::make(k, inst.node_count(), false, nullptr);
+  auto out = cp_outputs(inst, cfg);
+  CpTHCProblem problem(inst, k);
+  auto verdict = verify_all(problem, inst, out);
+  EXPECT_TRUE(verdict.ok) << "first bad " << verdict.first_bad;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CpSolve,
+                         ::testing::Values(CpParam{2, 5, 1}, CpParam{2, 9, 2},
+                                           CpParam{3, 4, 3}, CpParam{3, 6, 4},
+                                           CpParam{4, 3, 5}));
+
+TEST(CpSolve, CycleBackbonesDeclineOrExempt) {
+  auto inst = make_hierarchical_cycle_instance(2, 7, 4, 3);
+  auto cfg = HthcConfig::make(2, inst.node_count(), false, nullptr);
+  auto out = cp_outputs(inst, cfg);
+  CpTHCProblem problem(inst, 2);
+  EXPECT_TRUE(verify_all(problem, inst, out).ok);
+  // The cycle nodes all certify (their level-1 components are shallow), so
+  // mandatory exemption puts every cycle node at X.
+  for (NodeIndex v = 0; v < 7; ++v) EXPECT_EQ(out[v], ThcColor::X) << v;
+}
+
+TEST(CpChecker, ProperColoringEnforced) {
+  auto inst = make_hierarchical_instance(1, 6, 7);
+  auto cfg = HthcConfig::make(1, inst.node_count(), false, nullptr);
+  auto out = cp_outputs(inst, cfg);
+  CpTHCProblem problem(inst, 1);
+  ASSERT_TRUE(verify_all(problem, inst, out).ok);
+  // Forcing two adjacent level-1 nodes to the same color breaks properness.
+  Hierarchy h(inst.graph, inst.labels.tree, 2);
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    const NodeIndex next = h.backbone_next(v);
+    if (next == kNoNode) continue;
+    auto mutated = out;
+    mutated[v] = mutated[next];
+    EXPECT_FALSE(problem.valid_at(inst, mutated, v));
+    return;
+  }
+  FAIL();
+}
+
+TEST(CpChecker, MandatoryExemptionEnforced) {
+  auto inst = make_hierarchical_instance(2, 5, 9);
+  auto cfg = HthcConfig::make(2, inst.node_count(), false, nullptr);
+  auto out = cp_outputs(inst, cfg);
+  CpTHCProblem problem(inst, 2);
+  ASSERT_TRUE(verify_all(problem, inst, out).ok);
+  Hierarchy h(inst.graph, inst.labels.tree, 3);
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    if (h.level(v) == 2 && out[h.down(v)] != ThcColor::D) {
+      ASSERT_EQ(out[v], ThcColor::X);
+      auto mutated = out;
+      mutated[v] = ThcColor::R;  // refuse the mandatory exemption
+      EXPECT_FALSE(problem.valid_at(inst, mutated, v));
+      return;
+    }
+  }
+  FAIL();
+}
+
+// The Remark-5.7 claim, executable: the paper's way-point algorithm samples
+// which subtrees to certify, so under the CP rules its colored outputs sit on
+// certifying-but-unsampled nodes — mandatory exemption rejects them, while
+// the same outputs are VALID for the paper's relaxed problem.
+TEST(Remark57, WaypointOutputsValidRelaxedInvalidCp) {
+  auto inst = make_hierarchical_instance_lens({6, 900}, 7);
+  RandomTape tape(inst.ids, 31);
+  auto cfg = HthcConfig::make(2, inst.node_count(), true, &tape, /*c=*/0.5);
+  ASSERT_LT(cfg.waypoint_p(inst.node_count()), 0.2);
+  Free src(inst);
+  HthcSolver<Free> solver(src, cfg);
+  std::vector<ThcColor> out(inst.node_count());
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) out[v] = solver.solve_at(v);
+
+  HierarchicalTHCProblem relaxed(inst, 2);
+  EXPECT_TRUE(verify_all(relaxed, inst, out).ok);
+
+  CpTHCProblem cp(inst, 2);
+  const auto verdict = verify_all(cp, inst, out);
+  EXPECT_FALSE(verdict.ok);
+  // The violations are exactly the mandatory-exemption kind: colored top
+  // nodes over certifying (shallow, solvable) level-1 components.
+  EXPECT_GT(verdict.violations, 10);
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,178 @@
+#include "lcl/description.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labels/generators.hpp"
+#include "lcl/algorithms/balanced_tree_algos.hpp"
+#include "lcl/algorithms/leaf_coloring_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "lcl/problems/balanced_tree.hpp"
+#include "lcl/problems/leaf_coloring.hpp"
+#include "runtime/runner.hpp"
+#include "util/hash.hpp"
+
+namespace volcal {
+namespace {
+
+// Label encoder for LeafColoring: input tree claims + χ_in + the output.
+NodeLabelFn leafcoloring_label(const LeafColoringInstance& inst,
+                               const std::vector<Color>& out) {
+  return [&inst, &out](NodeIndex v) {
+    std::string s;
+    s += 'p' + std::to_string(inst.labels.tree.parent[v]);
+    s += 'l' + std::to_string(inst.labels.tree.left[v]);
+    s += 'r' + std::to_string(inst.labels.tree.right[v]);
+    s += 'c';
+    s += color_char(inst.labels.color[v]);
+    s += 'o';
+    s += color_char(out[v]);
+    return s;
+  };
+}
+
+std::vector<Color> solve(const LeafColoringInstance& inst) {
+  auto result = run_at_all_nodes(inst.graph, inst.ids, [&inst](Execution& exec) {
+    InstanceSource<ColoredTreeLabeling> src(inst, exec);
+    return leafcoloring_nearest_leaf(src);
+  });
+  return result.output;
+}
+
+TEST(BallSignature, CanonicalAcrossIsomorphicPositions) {
+  // All leaves of a complete tree at the same depth with the same labels have
+  // identical radius-2 signatures.
+  auto inst = make_complete_binary_tree(4, Color::Red, Color::Blue);
+  auto out = solve(inst);
+  auto label = leafcoloring_label(inst, out);
+  const NodeIndex first_leaf = 15;
+  // Interior leaves (not the left/rightmost, whose grandparent shape is the
+  // same here anyway) share signatures.
+  const std::string sig_a = ball_signature(inst.graph, first_leaf + 1, 2, label);
+  const std::string sig_b = ball_signature(inst.graph, first_leaf + 5, 2, label);
+  EXPECT_EQ(sig_a, sig_b);
+}
+
+TEST(BallSignature, DistinguishesLabelChange) {
+  auto inst = make_complete_binary_tree(3, Color::Red, Color::Blue);
+  auto out = solve(inst);
+  auto label = leafcoloring_label(inst, out);
+  const std::string before = ball_signature(inst.graph, 3, 2, label);
+  out[3] = Color::Red;
+  auto label2 = leafcoloring_label(inst, out);
+  const std::string after = ball_signature(inst.graph, 3, 2, label2);
+  EXPECT_NE(before, after);
+}
+
+TEST(BallSignature, RadiusZeroIsJustTheNode) {
+  auto inst = make_complete_binary_tree(2, Color::Red, Color::Blue);
+  auto out = solve(inst);
+  auto label = leafcoloring_label(inst, out);
+  const std::string sig = ball_signature(inst.graph, 0, 0, label);
+  EXPECT_NE(sig.find("d2"), std::string::npos);
+  EXPECT_EQ(sig.find("]["), std::string::npos);  // single node block
+}
+
+TEST(DescriptionTable, ConflictDetected) {
+  DescriptionTable table;
+  table.record("sig-1", true);
+  table.record("sig-1", true);  // consistent revisit OK
+  EXPECT_THROW(table.record("sig-1", false), std::logic_error);
+  EXPECT_EQ(table.stats().entries, 1u);
+  EXPECT_EQ(table.stats().records, 2);
+}
+
+// The headline test: build LeafColoring's finite description from a corpus of
+// instances with valid AND corrupted outputs, then validate fresh instances
+// table-first.  No conflicts and no table/direct disagreements means the
+// predicate really is a function of the radius-2 ball (Lemma 3.5 executable).
+TEST(DescriptionTable, LeafColoringDescriptionConsistent) {
+  LeafColoringProblem problem;
+  DescriptionTable table;
+  const int radius = LeafColoringProblem::radius();
+
+  auto ingest = [&](const LeafColoringInstance& inst, std::vector<Color> out) {
+    auto label = leafcoloring_label(inst, out);
+    table_check(
+        inst.graph, radius, label, table,
+        [&](NodeIndex v) { return problem.valid_at(inst, out, v); });
+  };
+
+  // Training corpus: valid outputs plus systematic corruptions.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    auto inst = make_random_full_binary_tree(151, seed);
+    auto out = solve(inst);
+    ingest(inst, out);
+    for (NodeIndex v = 0; v < inst.node_count(); v += 3) {
+      auto corrupted = out;
+      corrupted[v] = corrupted[v] == Color::Red ? Color::Blue : Color::Red;
+      ingest(inst, corrupted);
+    }
+  }
+  const auto trained = table.stats();
+  EXPECT_GT(trained.entries, 10u);
+  EXPECT_GT(trained.valid_entries, 0);
+  EXPECT_LT(trained.valid_entries, static_cast<std::int64_t>(trained.entries));
+
+  // Held-out instances: every signature already present must agree with the
+  // direct checker (table_check throws otherwise).
+  for (std::uint64_t seed : {7u, 8u}) {
+    auto inst = make_random_full_binary_tree(151, seed);
+    auto out = solve(inst);
+    EXPECT_NO_THROW(ingest(inst, out));
+  }
+  // The complete tree reuses neighborhoods heavily: few novel signatures.
+  auto inst = make_complete_binary_tree(6, Color::Red, Color::Blue);
+  auto out = solve(inst);
+  auto label = leafcoloring_label(inst, out);
+  const std::int64_t novel =
+      table_check(inst.graph, radius, label, table,
+                  [&](NodeIndex v) { return problem.valid_at(inst, out, v); });
+  EXPECT_LT(novel, inst.node_count() / 4);
+}
+
+// Same exercise for BalancedTree at radius 3 (Lemma 4.4 executable).
+TEST(DescriptionTable, BalancedTreeDescriptionConsistent) {
+  BalancedTreeProblem problem;
+  DescriptionTable table;
+  const int radius = BalancedTreeProblem::radius();
+
+  auto make_label = [](const BalancedTreeInstance& inst,
+                       const std::vector<BtOutput>& out) -> NodeLabelFn {
+    return [&inst, &out](NodeIndex v) {
+      std::string s;
+      s += 'p' + std::to_string(inst.labels.tree.parent[v]);
+      s += 'l' + std::to_string(inst.labels.tree.left[v]);
+      s += 'r' + std::to_string(inst.labels.tree.right[v]);
+      s += 'n' + std::to_string(inst.labels.left_nbr[v]);
+      s += 'm' + std::to_string(inst.labels.right_nbr[v]);
+      s += out[v].beta == Balance::Balanced ? 'B' : 'U';
+      s += std::to_string(out[v].p);
+      return s;
+    };
+  };
+  for (std::uint64_t seed : {1u, 2u}) {
+    auto inst = make_unbalanced_instance(4, 2, seed);
+    auto result = run_at_all_nodes(inst.graph, inst.ids, [&inst](Execution& exec) {
+      InstanceSource<BalancedTreeLabeling> src(inst, exec);
+      return balancedtree_solve(src);
+    });
+    auto out = result.output;
+    auto label = make_label(inst, out);
+    EXPECT_NO_THROW(table_check(
+        inst.graph, radius, label, table,
+        [&](NodeIndex v) { return problem.valid_at(inst, out, v); }));
+    // Corrupt a few outputs too.
+    for (NodeIndex v = 0; v < inst.node_count(); v += 5) {
+      auto corrupted = out;
+      corrupted[v] = {Balance::Unbalanced, static_cast<Port>(mix64(seed, v) % 4)};
+      auto clabel = make_label(inst, corrupted);
+      EXPECT_NO_THROW(table_check(
+          inst.graph, radius, clabel, table,
+          [&](NodeIndex v2) { return problem.valid_at(inst, corrupted, v2); }));
+    }
+  }
+  EXPECT_GT(table.stats().entries, 10u);
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,481 @@
+#include "lcl/problems/hierarchical_thc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labels/generators.hpp"
+#include "lcl/algorithms/hthc_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "runtime/runner.hpp"
+
+namespace volcal {
+namespace {
+
+using Free = FreeSource<ColoredTreeLabeling>;
+using Src = InstanceSource<ColoredTreeLabeling>;
+
+// Global output pass: one shared memoized solver over a cost-free source.
+std::vector<ThcColor> outputs_all(const HierarchicalInstance& inst, const HthcConfig& cfg) {
+  Free src(inst);
+  HthcSolver<Free> solver(src, cfg);
+  std::vector<ThcColor> out(inst.node_count());
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) out[v] = solver.solve_at(v);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// HierView (query side) mirrors Hierarchy (global side)
+// ---------------------------------------------------------------------------
+
+struct ViewParam {
+  int k;
+  NodeIndex backbone;
+  std::uint64_t seed;
+};
+
+class HierViewMatches : public ::testing::TestWithParam<ViewParam> {};
+
+TEST_P(HierViewMatches, LevelsLinksLeavesRoots) {
+  const auto [k, b, seed] = GetParam();
+  auto inst = make_hierarchical_instance(k, b, seed);
+  Hierarchy h(inst.graph, inst.labels.tree, k + 1);
+  Free src(inst);
+  HierView<Free> view(src, k + 1);
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    EXPECT_EQ(view.level(v), h.level(v)) << v;
+    EXPECT_EQ(view.backbone_next(v), h.backbone_next(v)) << v;
+    EXPECT_EQ(view.backbone_prev(v), h.backbone_prev(v)) << v;
+    EXPECT_EQ(view.down(v), h.down(v)) << v;
+    EXPECT_EQ(view.is_level_leaf(v), h.is_level_leaf(v)) << v;
+    EXPECT_EQ(view.is_level_root(v), h.is_level_root(v)) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HierViewMatches,
+                         ::testing::Values(ViewParam{2, 5, 1}, ViewParam{3, 4, 2},
+                                           ViewParam{4, 3, 3}));
+
+TEST(HierViewMatchesNoise, ArbitraryLabels) {
+  auto inst = make_noise_instance(150, 4, 77);
+  Hierarchy h(inst.graph, inst.labels.tree, 4);
+  Free src(inst);
+  HierView<Free> view(src, 4);
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    EXPECT_EQ(view.level(v), h.level(v)) << v;
+    EXPECT_EQ(view.down(v), h.down(v)) << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Solver validity (Prop. 5.12 deterministic, Prop. 5.14 randomized)
+// ---------------------------------------------------------------------------
+
+struct SolveParam {
+  int k;
+  NodeIndex backbone;
+  std::uint64_t seed;
+  bool waypoints;
+};
+
+class HthcSolve : public ::testing::TestWithParam<SolveParam> {};
+
+TEST_P(HthcSolve, OutputsValid) {
+  const auto [k, b, seed, waypoints] = GetParam();
+  auto inst = make_hierarchical_instance(k, b, seed);
+  RandomTape tape(inst.ids, seed * 1001 + 7);
+  auto cfg = HthcConfig::make(k, inst.node_count(), waypoints, &tape);
+  auto out = outputs_all(inst, cfg);
+  HierarchicalTHCProblem problem(inst, k);
+  auto verdict = verify_all(problem, inst, out);
+  EXPECT_TRUE(verdict.ok) << "k=" << k << " b=" << b << " first bad "
+                          << verdict.first_bad;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Balanced, HthcSolve,
+    ::testing::Values(SolveParam{2, 5, 1, false}, SolveParam{2, 12, 2, false},
+                      SolveParam{3, 4, 3, false}, SolveParam{3, 7, 4, false},
+                      SolveParam{4, 3, 5, false}, SolveParam{2, 12, 6, true},
+                      SolveParam{3, 6, 7, true}, SolveParam{4, 3, 8, true},
+                      SolveParam{2, 30, 9, true}, SolveParam{3, 10, 10, true}));
+
+// Lens instances: deep and shallow backbones mixed.
+struct LensParam {
+  std::vector<NodeIndex> lens;
+  std::uint64_t seed;
+  bool waypoints;
+};
+
+class HthcLens : public ::testing::TestWithParam<LensParam> {};
+
+TEST_P(HthcLens, OutputsValid) {
+  const auto& p = GetParam();
+  auto inst = make_hierarchical_instance_lens(p.lens, p.seed);
+  const int k = static_cast<int>(p.lens.size());
+  RandomTape tape(inst.ids, p.seed * 31 + 5);
+  auto cfg = HthcConfig::make(k, inst.node_count(), p.waypoints, &tape);
+  auto out = outputs_all(inst, cfg);
+  HierarchicalTHCProblem problem(inst, k);
+  auto verdict = verify_all(problem, inst, out);
+  EXPECT_TRUE(verdict.ok) << "first bad " << verdict.first_bad;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, HthcLens,
+    ::testing::Values(LensParam{{40, 3}, 1, false},   // deep level-1 floors
+                      LensParam{{3, 40}, 2, false},   // deep top backbone
+                      LensParam{{3, 40}, 3, true},    // same, randomized
+                      LensParam{{40, 3}, 4, true},
+                      LensParam{{2, 30, 2}, 5, false},
+                      LensParam{{2, 30, 2}, 6, true},
+                      LensParam{{60, 2, 2}, 7, true},
+                      LensParam{{1, 1, 50}, 8, false}));
+
+TEST(HthcSolve, InstrumentationAccountsForTheWork) {
+  // Balanced family: every component is shallow, so the solver must take the
+  // shortcut everywhere and never scan.
+  {
+    auto inst = make_hierarchical_instance(2, 8, 3);
+    auto cfg = HthcConfig::make(2, inst.node_count(), false, nullptr);
+    Free src(inst);
+    HthcSolver<Free> solver(src, cfg);
+    for (NodeIndex v = 0; v < inst.node_count(); ++v) solver.solve_at(v);
+    const auto& s = solver.stats();
+    EXPECT_EQ(s.computes, inst.node_count());
+    EXPECT_EQ(s.shallow_hits, inst.node_count());
+    EXPECT_EQ(s.scans, 0);
+    EXPECT_EQ(s.level1_declines, 0);
+  }
+  // Deep top over light floors: the top components scan, and the randomized
+  // variant skips non-way-points where the deterministic one recurses.
+  {
+    auto inst = make_hierarchical_instance_lens({6, 400}, 5);
+    RandomTape tape(inst.ids, 9);
+    auto det_cfg = HthcConfig::make(2, inst.node_count(), false, nullptr);
+    auto rnd_cfg = HthcConfig::make(2, inst.node_count(), true, &tape, 0.5);
+    Free src(inst);
+    HthcSolver<Free> det(src, det_cfg);
+    HthcSolver<Free> rnd(src, rnd_cfg);
+    for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+      det.solve_at(v);
+      rnd.solve_at(v);
+    }
+    EXPECT_EQ(det.stats().waypoint_skips, 0);
+    EXPECT_GT(rnd.stats().waypoint_skips, 0);
+    // The deterministic line-7 shortcut certifies once per deep-top node and
+    // never scans (every floor is light); the randomized variant must scan
+    // past non-way-points.
+    EXPECT_EQ(det.stats().scan_steps, 0);
+    EXPECT_GT(rnd.stats().scan_steps, 0);
+    EXPECT_GT(det.stats().memo_hits, 0);  // shared memo across starts
+  }
+  // On the deep-nest family the roles reverse: every deterministic scan step
+  // pays a certify recursion into a declining floor, while the randomized
+  // scan only recurses at sampled way-points.
+  {
+    auto inst = make_hierarchical_instance_lens({400, 400, 3}, 5);
+    RandomTape tape(inst.ids, 9);
+    auto det_cfg = HthcConfig::make(3, inst.node_count(), false, nullptr);
+    auto rnd_cfg = HthcConfig::make(3, inst.node_count(), true, &tape, 0.5);
+    Hierarchy h(inst.graph, inst.labels.tree, 4);
+    NodeIndex start = kNoNode;
+    for (const auto& bb : h.backbones()) {
+      if (bb.level == 2) {
+        start = bb.nodes[bb.nodes.size() / 2];
+        break;
+      }
+    }
+    ASSERT_NE(start, kNoNode);
+    Free src(inst);
+    HthcSolver<Free> det(src, det_cfg);
+    HthcSolver<Free> rnd(src, rnd_cfg);
+    det.solve_at(start);
+    rnd.solve_at(start);
+    EXPECT_GT(det.stats().certify_calls, 4 * rnd.stats().certify_calls);
+  }
+}
+
+// Regression: on a deep top backbone with sparse way-points (p well below 1),
+// the u- and w-scans run in *both* directions with independent window
+// budgets.  An earlier version let the downward walk exhaust a shared budget,
+// leaving the upward scan empty — every mid-backbone node then declined,
+// which is invalid at level k.
+TEST(HthcSolve, DeepTopWithSparseWaypointsStaysValid) {
+  auto inst = make_hierarchical_instance_lens({6, 900}, 7);
+  RandomTape tape(inst.ids, 31);
+  for (const double c : {0.1, 0.5, 3.0}) {
+    auto cfg = HthcConfig::make(2, inst.node_count(), true, &tape, c);
+    ASSERT_LT(cfg.waypoint_p(inst.node_count()), 1.0);
+    auto out = outputs_all(inst, cfg);
+    HierarchicalTHCProblem problem(inst, 2);
+    auto verdict = verify_all(problem, inst, out);
+    EXPECT_TRUE(verdict.ok) << "c=" << c << " first bad " << verdict.first_bad;
+  }
+}
+
+// Cycle backbones (Obs. 5.4): the top component is a directed LC-cycle; the
+// shallow rule's min-ID representative must produce a unanimous valid color.
+struct CycleParam {
+  int k;
+  NodeIndex cycle_len;
+  NodeIndex backbone_len;
+  bool waypoints;
+};
+
+class HthcCycles : public ::testing::TestWithParam<CycleParam> {};
+
+TEST_P(HthcCycles, OutputsValid) {
+  const auto [k, cl, bl, waypoints] = GetParam();
+  auto inst = make_hierarchical_cycle_instance(k, cl, bl, 7);
+  RandomTape tape(inst.ids, 13);
+  auto cfg = HthcConfig::make(k, inst.node_count(), waypoints, &tape);
+  auto out = outputs_all(inst, cfg);
+  HierarchicalTHCProblem problem(inst, k);
+  auto verdict = verify_all(problem, inst, out);
+  EXPECT_TRUE(verdict.ok) << "first bad " << verdict.first_bad;
+  // Shallow cycles color unanimously.
+  Hierarchy h(inst.graph, inst.labels.tree, k + 1);
+  if (cl <= cfg.window) {
+    for (NodeIndex v = 0; v + 1 < cl; ++v) {
+      if (h.level(v) == k && h.level(v + 1) == k) {
+        EXPECT_EQ(out[v], out[v + 1]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HthcCycles,
+                         ::testing::Values(CycleParam{2, 5, 6, false},
+                                           CycleParam{2, 5, 6, true},
+                                           CycleParam{3, 4, 4, false},
+                                           CycleParam{2, 64, 4, false},
+                                           CycleParam{2, 64, 4, true}));
+
+TEST(HthcCycles, CycleStructureRecognized) {
+  auto inst = make_hierarchical_cycle_instance(2, 6, 5, 3);
+  Hierarchy h(inst.graph, inst.labels.tree, 3);
+  const auto top = h.backbone_of(0);
+  ASSERT_GE(top, 0);
+  EXPECT_TRUE(h.backbones()[static_cast<std::size_t>(top)].is_cycle);
+  EXPECT_EQ(h.backbones()[static_cast<std::size_t>(top)].nodes.size(), 6u);
+  for (NodeIndex v = 0; v < 6; ++v) {
+    EXPECT_EQ(h.level(v), 2);
+    EXPECT_FALSE(h.is_level_root(v));
+    EXPECT_FALSE(h.is_level_leaf(v));
+  }
+}
+
+// Per-execution (cost-accounted) runs agree with the global pass: the solver
+// is a deterministic function of (instance, tape), independent of memo
+// sharing.
+TEST(HthcSolve, PerExecutionMatchesGlobalPass) {
+  auto inst = make_hierarchical_instance(2, 8, 11);
+  RandomTape tape(inst.ids, 42);
+  auto cfg = HthcConfig::make(2, inst.node_count(), true, &tape);
+  auto global = outputs_all(inst, cfg);
+  for (NodeIndex v = 0; v < inst.node_count(); v += 7) {
+    Execution exec(inst.graph, inst.ids, v);
+    Src src(inst, exec);
+    HthcSolver<Src> solver(src, cfg);
+    EXPECT_EQ(solver.solve_at(v), global[v]) << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost shapes (Thm. 5.9)
+// ---------------------------------------------------------------------------
+
+TEST(HthcCosts, BalancedInstanceDistanceScalesAsRoot) {
+  // On the Prop. 5.13 balanced family every backbone has length n^{1/k}; the
+  // solver's distance from any node is O(k · n^{1/k}).
+  for (const auto& [k, b] : std::vector<std::pair<int, NodeIndex>>{{2, 16}, {3, 8}}) {
+    auto inst = make_hierarchical_instance(k, b, 13);
+    auto cfg = HthcConfig::make(k, inst.node_count(), false, nullptr);
+    std::int64_t max_dist = 0, max_vol = 0;
+    for (NodeIndex v = 0; v < inst.node_count(); v += std::max<NodeIndex>(1, inst.node_count() / 40)) {
+      Execution exec(inst.graph, inst.ids, v);
+      Src src(inst, exec);
+      HthcSolver<Src> solver(src, cfg);
+      solver.solve_at(v);
+      max_dist = std::max(max_dist, exec.distance());
+      max_vol = std::max(max_vol, exec.volume());
+    }
+    EXPECT_LE(max_dist, 4 * k * (cfg.window + 2)) << "k=" << k;
+    EXPECT_GE(max_dist, b / 2) << "k=" << k;
+    EXPECT_LE(max_vol, 8 * k * (cfg.window + 2)) << "k=" << k;  // shallow: no recursion
+  }
+}
+
+TEST(HthcCosts, WaypointVolumePolylogFactorOnDeepTop) {
+  // Deep top backbone over light subtrees: the randomized solver's volume
+  // stays Õ(n^{1/k}) while scanning for certifying way-points.
+  auto inst = make_hierarchical_instance_lens({6, 400}, 3);
+  const int k = 2;
+  RandomTape tape(inst.ids, 19);
+  auto cfg = HthcConfig::make(k, inst.node_count(), true, &tape);
+  std::int64_t max_vol = 0;
+  for (NodeIndex v = 0; v < inst.node_count(); v += 37) {
+    Execution exec(inst.graph, inst.ids, v);
+    Src src(inst, exec);
+    HthcSolver<Src> solver(src, cfg);
+    solver.solve_at(v);
+    max_vol = std::max(max_vol, exec.volume());
+  }
+  const double root = std::sqrt(static_cast<double>(inst.node_count()));
+  const double logn = std::log2(static_cast<double>(inst.node_count()));
+  EXPECT_LE(max_vol, static_cast<std::int64_t>(12 * root * logn));
+}
+
+// ---------------------------------------------------------------------------
+// The "deep nest" hard family: a length-3 shallow top over nested just-deep
+// backbones.  Middle levels validly decline; the deterministic solver pays a
+// full recursion per scanned backbone node (volume Θ̃(n) for k >= 3), while
+// the waypoint solver recurses only at Θ(log n) sampled nodes per window.
+// ---------------------------------------------------------------------------
+
+std::vector<NodeIndex> deep_nest_lens(int k, NodeIndex b) {
+  std::vector<NodeIndex> lens(static_cast<std::size_t>(k), b);
+  lens.back() = 3;  // shallow top at level k
+  return lens;
+}
+
+TEST(DeepNest, MiddleLevelsDeclineAndOutputsValid) {
+  const int k = 3;
+  const NodeIndex b = 60;
+  auto inst = make_hierarchical_instance_lens(deep_nest_lens(k, b), 3);
+  auto cfg = HthcConfig::make(k, inst.node_count(), false, nullptr);
+  ASSERT_GT(b, cfg.window) << "family must be deep for the test to bite";
+  auto out = outputs_all(inst, cfg);
+  HierarchicalTHCProblem problem(inst, k);
+  auto verdict = verify_all(problem, inst, out);
+  ASSERT_TRUE(verdict.ok) << "first bad " << verdict.first_bad;
+  Hierarchy h(inst.graph, inst.labels.tree, k + 1);
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    if (h.level(v) < k) {
+      EXPECT_EQ(out[v], ThcColor::D) << v;  // every deep component declines
+    } else {
+      EXPECT_TRUE(out[v] == ThcColor::R || out[v] == ThcColor::B) << v;
+    }
+  }
+}
+
+TEST(DeepNest, DeterministicVolumeDwarfsRandomized) {
+  const int k = 3;
+  const NodeIndex b = 400;
+  auto inst = make_hierarchical_instance_lens(deep_nest_lens(k, b), 5);
+  RandomTape tape(inst.ids, 23);
+  auto det_cfg = HthcConfig::make(k, inst.node_count(), false, nullptr);
+  // c = 0.5 keeps the sampling probability well below 1 at this n; on this
+  // family validity never depends on way-point density (everything below the
+  // top validly declines), so the low constant is safe.
+  auto rnd_cfg = HthcConfig::make(k, inst.node_count(), true, &tape, /*c=*/0.5);
+  ASSERT_GT(b, det_cfg.window);
+  ASSERT_LT(rnd_cfg.waypoint_p(inst.node_count()), 0.3);
+  // Start in the middle of a level-(k-1) backbone: the deterministic scan
+  // recursively explores a floor per scanned node.
+  Hierarchy h(inst.graph, inst.labels.tree, k + 1);
+  NodeIndex start = kNoNode;
+  for (const auto& bb : h.backbones()) {
+    if (bb.level == k - 1) {
+      start = bb.nodes[bb.nodes.size() / 2];
+      break;
+    }
+  }
+  ASSERT_NE(start, kNoNode);
+  std::int64_t det_vol, rnd_vol;
+  {
+    Execution exec(inst.graph, inst.ids, start);
+    Src src(inst, exec);
+    HthcSolver<Src> solver(src, det_cfg);
+    EXPECT_EQ(solver.solve_at(start), ThcColor::D);
+    det_vol = exec.volume();
+  }
+  {
+    Execution exec(inst.graph, inst.ids, start);
+    Src src(inst, exec);
+    HthcSolver<Src> solver(src, rnd_cfg);
+    EXPECT_EQ(solver.solve_at(start), ThcColor::D);
+    rnd_vol = exec.volume();
+  }
+  // Deterministic pays a floor-walk per scanned node; randomized only at
+  // sampled way-points.
+  EXPECT_GT(det_vol, 3 * rnd_vol) << "det=" << det_vol << " rnd=" << rnd_vol;
+  // Deterministic volume is a window of floors ≈ window·b = Θ̃(n^{2/3}) here;
+  // nesting one level deeper (k=4 benches) reaches Θ̃(n).
+  EXPECT_GT(det_vol, 100 * static_cast<std::int64_t>(
+                               std::cbrt(static_cast<double>(inst.node_count()))));
+}
+
+// ---------------------------------------------------------------------------
+// Checker semantics (Def. 5.5)
+// ---------------------------------------------------------------------------
+
+TEST(HthcChecker, ExemptRequiredAboveK) {
+  auto inst = make_hierarchical_instance(3, 3, 1);
+  HierarchicalTHCProblem problem(inst, 2);  // k = 2 < construction depth 3
+  // Top-level nodes have level 3 > k: they must output X.
+  auto cfg = HthcConfig::make(2, inst.node_count(), false, nullptr);
+  auto out = outputs_all(inst, cfg);
+  EXPECT_TRUE(verify_all(problem, inst, out).ok);
+  Hierarchy h(inst.graph, inst.labels.tree, 3);
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    if (!h.in_hierarchy(v)) {
+      EXPECT_EQ(out[v], ThcColor::X) << v;
+    }
+  }
+}
+
+TEST(HthcChecker, RejectsNonUnanimousLevel1) {
+  auto inst = make_hierarchical_instance(1, 6, 2);
+  HierarchicalTHCProblem problem(inst, 1);
+  auto cfg = HthcConfig::make(1, inst.node_count(), false, nullptr);
+  auto out = outputs_all(inst, cfg);
+  ASSERT_TRUE(verify_all(problem, inst, out).ok);
+  out[2] = out[2] == ThcColor::R ? ThcColor::B : ThcColor::R;
+  EXPECT_FALSE(verify_all(problem, inst, out).ok);
+}
+
+TEST(HthcChecker, RejectsXWithoutCertificate) {
+  auto inst = make_hierarchical_instance(2, 4, 3);
+  HierarchicalTHCProblem problem(inst, 2);
+  auto cfg = HthcConfig::make(2, inst.node_count(), false, nullptr);
+  auto out = outputs_all(inst, cfg);
+  ASSERT_TRUE(verify_all(problem, inst, out).ok);
+  // Force some level-2 node exempt while its subtree declines: find a level-2
+  // node, set it X, set its down-subtree root to D.
+  Hierarchy h(inst.graph, inst.labels.tree, 3);
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    if (h.level(v) == 2) {
+      out[v] = ThcColor::X;
+      out[h.down(v)] = ThcColor::D;
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_all(problem, inst, out).ok);
+}
+
+TEST(HthcChecker, LeafMayEchoDeclineOrExemptAtMidLevels) {
+  auto inst = make_hierarchical_instance(3, 3, 4);
+  Hierarchy h(inst.graph, inst.labels.tree, 4);
+  // Pick a level-2 leaf; condition 2 allows χ_in / D / X there (X needs no
+  // extra certificate below k per the literal Def. 5.5 condition list).
+  NodeIndex leaf = kNoNode;
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    if (h.level(v) == 2 && h.is_level_leaf(v)) {
+      leaf = v;
+      break;
+    }
+  }
+  ASSERT_NE(leaf, kNoNode);
+  HierarchicalTHCProblem problem(inst, 3);
+  auto cfg = HthcConfig::make(3, inst.node_count(), false, nullptr);
+  auto out = outputs_all(inst, cfg);
+  ASSERT_TRUE(verify_all(problem, inst, out).ok);
+  std::vector<ThcColor> mutated = out;
+  mutated[leaf] = to_thc(inst.labels.color[leaf]);
+  EXPECT_TRUE(problem.valid_at(inst, mutated, leaf));
+  mutated[leaf] = ThcColor::D;
+  EXPECT_TRUE(problem.valid_at(inst, mutated, leaf));
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,212 @@
+#include "lcl/adversary/hthc_adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lcl/algorithms/hthc_algos.hpp"
+#include "runtime/randomness.hpp"
+
+namespace volcal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source mechanics
+// ---------------------------------------------------------------------------
+
+TEST(HthcAdversarySource, SpawnRulesAndPorts) {
+  HthcAdversarySource src(3, 1000, 100);
+  const NodeIndex seed = src.make_seed(3, Color::Blue);
+  EXPECT_EQ(src.level_of(seed), 3);
+  EXPECT_EQ(src.degree(seed), 3);
+  // RC descends one level; LC stays; P stays and builds upward.
+  const NodeIndex rc = src.query(seed, 3);
+  EXPECT_EQ(src.level_of(rc), 2);
+  const NodeIndex rc1 = src.query(rc, 3);
+  EXPECT_EQ(src.level_of(rc1), 1);
+  EXPECT_EQ(src.degree(rc1), 2);  // level-1 interior: P + LC only
+  EXPECT_EQ(src.right_port(rc1), kNoPort);
+  const NodeIndex lc = src.query(seed, 2);
+  EXPECT_EQ(src.level_of(lc), 3);
+  EXPECT_EQ(src.query(lc, 1), seed);  // parent acknowledged
+  const NodeIndex up = src.query(seed, 1);
+  EXPECT_EQ(src.level_of(up), 3);
+  EXPECT_EQ(src.query(up, 2), seed);  // we are the new parent's LC
+  // Re-queries return the same nodes.
+  EXPECT_EQ(src.query(seed, 3), rc);
+  EXPECT_EQ(src.query(seed, 2), lc);
+}
+
+TEST(HthcAdversarySource, LeafAppendAndChain) {
+  HthcAdversarySource src(2, 1000, 100);
+  const NodeIndex seed = src.make_seed(2, Color::Red);
+  NodeIndex cur = seed;
+  for (int i = 0; i < 4; ++i) cur = src.query(cur, 2);
+  const NodeIndex tail = src.backbone_tail(seed);
+  EXPECT_EQ(tail, cur);
+  const NodeIndex leaf = src.append_leaf(tail, Color::Blue);
+  EXPECT_TRUE(src.is_leaf_node(leaf));
+  EXPECT_EQ(src.color(leaf), Color::Blue);
+  EXPECT_EQ(src.degree(leaf), 2);          // P + RC at level 2
+  EXPECT_EQ(src.left_port(leaf), kNoPort);  // leaves have no LC
+  EXPECT_EQ(src.right_port(leaf), 2);
+  const auto chain = src.chain(seed, leaf);
+  EXPECT_EQ(chain.size(), 6u);
+  EXPECT_EQ(chain.front(), seed);
+  EXPECT_EQ(chain.back(), leaf);
+}
+
+TEST(HthcAdversarySource, BudgetBinds) {
+  HthcAdversarySource src(2, 1000, 4);
+  const NodeIndex seed = src.make_seed(2, Color::Red);
+  NodeIndex cur = seed;
+  cur = src.query(cur, 2);
+  cur = src.query(cur, 2);
+  cur = src.query(cur, 2);
+  EXPECT_THROW(src.query(cur, 2), QueryBudgetExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// The duel: every halting strategy is convicted; exhaustive strategies pay.
+// ---------------------------------------------------------------------------
+
+TEST(HthcDuel, AlwaysDeclineConvictedAtTop) {
+  HthcCandidate always_d = [](HthcAdversarySource&) { return ThcColor::D; };
+  auto result = duel_hthc_adversary(always_d, 3, 10000, 3000);
+  ASSERT_TRUE(result.defeated) << result.verdict;
+  EXPECT_EQ(result.defeat_level, 3);
+}
+
+TEST(HthcDuel, AlwaysExemptConvictedAtLevelOne) {
+  HthcCandidate always_x = [](HthcAdversarySource&) { return ThcColor::X; };
+  auto result = duel_hthc_adversary(always_x, 4, 10000, 3000);
+  ASSERT_TRUE(result.defeated) << result.verdict;
+  EXPECT_EQ(result.defeat_level, 1);  // X is pushed down the phases to level 1
+}
+
+TEST(HthcDuel, EchoOwnColorConvictedByLeafTrick) {
+  HthcCandidate echo = [](HthcAdversarySource& s) { return to_thc(s.color(s.start())); };
+  for (int k : {2, 3}) {
+    auto result = duel_hthc_adversary(echo, k, 10000, 3000);
+    ASSERT_TRUE(result.defeated) << "k=" << k << ": " << result.verdict;
+    EXPECT_EQ(result.defeat_level, k);
+  }
+}
+
+TEST(HthcDuel, ConstantColorConvicted) {
+  HthcCandidate blue = [](HthcAdversarySource&) { return ThcColor::B; };
+  auto result = duel_hthc_adversary(blue, 2, 10000, 3000);
+  ASSERT_TRUE(result.defeated) << result.verdict;
+  // The leaf (input red, since the backbone answered B) echoes B: condition 2.
+  EXPECT_EQ(result.defeat_level, 2);
+}
+
+TEST(HthcDuel, DeterministicRecursiveSolverPaysLinearVolume) {
+  // The paper's own deterministic algorithm cannot answer cheaply against
+  // the adversary: every scan step recursively explores a fresh deep
+  // component, so the budget binds — the executable content of Ω̃(n).
+  HthcCandidate alg2 = [](HthcAdversarySource& s) {
+    auto cfg = HthcConfig::make(2, s.n(), false, nullptr);
+    HthcSolver<HthcAdversarySource> solver(s, cfg);
+    return solver.solve();
+  };
+  const std::int64_t n = 4096;
+  auto result = duel_hthc_adversary(alg2, 2, n, n / 3);
+  EXPECT_TRUE(result.exceeded_budget) << result.verdict;
+  EXPECT_GE(result.nodes_spawned, n / 3);
+}
+
+TEST(HthcDuel, CoinAwareAdversaryDefeatsWaypointSolver) {
+  // Prop. 5.14's guarantee is whp over coins for a FIXED instance; against
+  // an adversary that adapts after the coins are fixed the waypoint solver
+  // halts cheaply and commits to a decline the completion contradicts —
+  // quantifier order matters.
+  // k = 2 keeps the sampling probability well below 1 at this n (for larger
+  // k the polylog factors need n beyond unit-test scale).
+  auto ids = IdAssignment::sequential(100000);
+  RandomTape tape(ids, 7);
+  HthcCandidate waypoint = [&tape](HthcAdversarySource& s) {
+    auto cfg = HthcConfig::make(2, s.n(), true, &tape, /*c=*/0.5);
+    HthcSolver<HthcAdversarySource> solver(s, cfg);
+    return solver.solve();
+  };
+  auto result = duel_hthc_adversary(waypoint, 2, 100000, 50000);
+  EXPECT_TRUE(result.defeated) << result.verdict;
+  EXPECT_FALSE(result.exceeded_budget);
+}
+
+// ---------------------------------------------------------------------------
+// Materialization: the adaptively-built structure completes into a
+// well-formed instance on which the committed outputs provably violate the
+// real checker at the recorded witness node(s).
+// ---------------------------------------------------------------------------
+
+TEST(HthcMaterialize, CompletionPreservesRevealedStructure) {
+  HthcAdversarySource src(3, 10000, 500);
+  const NodeIndex seed = src.make_seed(3, Color::Blue);
+  // Reveal a little of everything.
+  NodeIndex cur = seed;
+  for (int i = 0; i < 5; ++i) cur = src.query(cur, 2);
+  const NodeIndex mid = src.query(seed, 3);
+  src.query(mid, 3);
+  src.query(seed, 1);
+  const auto revealed = src.nodes_spawned();
+
+  auto inst = src.materialize();
+  ASSERT_GE(inst.node_count(), revealed);
+  // Levels of revealed nodes survive the completion.
+  Hierarchy h(inst.graph, inst.labels.tree, 4);
+  for (NodeIndex v = 0; v < revealed; ++v) {
+    EXPECT_EQ(h.level(v), src.level_of(v)) << v;
+  }
+  // Degrees match what the algorithm was told.
+  for (NodeIndex v = 0; v < revealed; ++v) {
+    EXPECT_EQ(inst.graph.degree(v), src.degree(v)) << v;
+  }
+}
+
+TEST(HthcMaterialize, DefeatVerifiedOnCompletedInstance) {
+  // Drive the adversary manually so the same source can be materialized.
+  HthcCandidate echo = [](HthcAdversarySource& s) { return to_thc(s.color(s.start())); };
+  auto result = duel_hthc_adversary(echo, 2, 20000, 6000);
+  ASSERT_TRUE(result.defeated);
+
+  // Replay the committed outputs onto the materialized instance of a second,
+  // identical duel (the process is deterministic, so the transcript and the
+  // structure coincide).
+  HthcAdversarySource src(2, 20000, 6000);
+  {
+    // Reproduce the driver's interaction exactly by re-running the duel
+    // against this source through the internal sequence: simulate at each
+    // committed node in order.
+    for (const auto& [node, out] : result.committed) {
+      if (node == 0 && src.nodes_spawned() == 0) src.make_seed(2, Color::Blue);
+      if (node >= src.nodes_spawned()) {
+        // Nodes created by adversary controls (leaf appends) — recreate with
+        // the input color the echo output reveals.
+        src.append_leaf(src.backbone_tail(0),
+                        out == ThcColor::R ? Color::Red : Color::Blue);
+      }
+      src.set_start(node);
+      const ThcColor replayed = echo(src);
+      EXPECT_EQ(replayed, out) << "node " << node;
+    }
+  }
+  auto inst = src.materialize();
+  HierarchicalTHCProblem problem(inst, 2);
+  std::vector<ThcColor> output(inst.node_count(), ThcColor::D);
+  for (const auto& [node, out] : result.committed) output[node] = out;
+  // The upper witness of the adjacent pair reads only committed outputs:
+  // its invalidity holds on the real completed instance no matter how the
+  // never-simulated nodes would answer.
+  EXPECT_FALSE(problem.valid_at(inst, output, result.witness_a));
+}
+
+TEST(HthcDuel, SimulationCountStaysLogarithmic) {
+  // The binary-search phases use O(k log m) simulations.
+  HthcCandidate echo = [](HthcAdversarySource& s) { return to_thc(s.color(s.start())); };
+  auto result = duel_hthc_adversary(echo, 3, 100000, 30000);
+  ASSERT_TRUE(result.defeated);
+  EXPECT_LE(result.simulations, 64);
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,151 @@
+// Per-condition coverage of the Hybrid-THC validity rules (Def. 6.1): the
+// level-1 BalancedTree/decline disjunction, the modified level-2 exemption,
+// and the pass-through to Def. 5.5 above level 2.
+#include <gtest/gtest.h>
+
+#include "labels/generators.hpp"
+#include "lcl/algorithms/hybrid_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "lcl/problems/hybrid_thc.hpp"
+
+namespace volcal {
+namespace {
+
+struct Fixture {
+  HybridInstance inst;
+  int k;
+  Hierarchy h;
+  std::vector<HybridOutput> valid;
+
+  Fixture(int k_in, NodeIndex b, int d, std::uint64_t seed)
+      : inst(make_hybrid_instance(k_in, b, d, seed)),
+        k(k_in),
+        h(inst.graph, inst.labels.bal.tree, k_in + 1, inst.labels.level_in) {
+    auto cfg = HybridConfig::make(k, inst.node_count());
+    FreeSource<HybridLabeling> src(inst);
+    valid.resize(inst.node_count());
+    for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+      src.set_start(v);
+      valid[v] = hybrid_solve_distance(src, cfg);
+    }
+  }
+
+  bool check(const std::vector<HybridOutput>& out, NodeIndex v) const {
+    HybridTHCProblem problem(inst, k);
+    return problem.valid_at(inst, out, v);
+  }
+
+  NodeIndex level2_host() const {
+    for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+      if (inst.labels.level_in[v] == 2 && h.down(v) != kNoNode) return v;
+    }
+    return kNoNode;
+  }
+};
+
+TEST(HybridChecker, BaseOutputValid) {
+  Fixture fx(3, 3, 2, 1);
+  HybridTHCProblem problem(fx.inst, fx.k);
+  EXPECT_TRUE(verify_all(problem, fx.inst, fx.valid).ok);
+}
+
+TEST(HybridChecker, Level1BtOutputsRequiredToChain) {
+  Fixture fx(2, 3, 2, 2);
+  const NodeIndex host = fx.level2_host();
+  ASSERT_NE(host, kNoNode);
+  const NodeIndex root = fx.h.down(host);
+  // The component root passed (B, P); flipping it to a wrong port breaks it.
+  auto out = fx.valid;
+  ASSERT_TRUE(out[root].is_bt);
+  out[root].bt.p = static_cast<Port>(out[root].bt.p + 1);
+  EXPECT_FALSE(fx.check(out, root));
+}
+
+TEST(HybridChecker, Level1ThcSymbolsOtherThanDRejected) {
+  Fixture fx(2, 3, 2, 3);
+  const NodeIndex root = fx.h.down(fx.level2_host());
+  for (const ThcColor symbol : {ThcColor::R, ThcColor::B, ThcColor::X}) {
+    auto out = fx.valid;
+    out[root] = HybridOutput::symbol(symbol);
+    EXPECT_FALSE(fx.check(out, root)) << thc_char(symbol);
+  }
+}
+
+TEST(HybridChecker, Level1UnanimousDeclineValid) {
+  Fixture fx(2, 3, 2, 4);
+  const NodeIndex host = fx.level2_host();
+  const NodeIndex root = fx.h.down(host);
+  auto out = fx.valid;
+  // Decline the whole component below `host` (BFS over hierarchy links).
+  std::vector<NodeIndex> stack{root};
+  std::vector<NodeIndex> component;
+  while (!stack.empty()) {
+    const NodeIndex v = stack.back();
+    stack.pop_back();
+    out[v] = HybridOutput::symbol(ThcColor::D);
+    component.push_back(v);
+    for (const NodeIndex nb : {fx.h.lc(v), fx.h.rc(v)}) {
+      if (nb != kNoNode && fx.h.level(nb) == 1) stack.push_back(nb);
+    }
+  }
+  // The host can no longer be exempt: point it at the segment color instead.
+  out[host] = HybridOutput::symbol(to_thc(fx.inst.labels.color[host]));
+  for (const NodeIndex v : component) {
+    EXPECT_TRUE(fx.check(out, v)) << v;
+  }
+}
+
+TEST(HybridChecker, Level2ExemptionNeedsBtCertificate) {
+  Fixture fx(3, 3, 2, 5);
+  const NodeIndex host = fx.level2_host();
+  const NodeIndex root = fx.h.down(host);
+  auto out = fx.valid;
+  ASSERT_EQ(out[host], HybridOutput::symbol(ThcColor::X));
+  // Certificate present: valid.
+  ASSERT_TRUE(fx.check(out, host));
+  // Declined component: the X is no longer certified.
+  out[root] = HybridOutput::symbol(ThcColor::D);
+  EXPECT_FALSE(fx.check(out, host));
+  // A THC color below does NOT certify level-2 exemption in Hybrid (the
+  // certificate is specifically a BalancedTree output — Def. 6.1).
+  out[root] = HybridOutput::symbol(ThcColor::R);
+  EXPECT_FALSE(fx.check(out, host));
+}
+
+TEST(HybridChecker, LevelsAbove2FollowDef55) {
+  Fixture fx(3, 3, 2, 6);
+  // A level-3 (= k) node: D is forbidden (condition 5).
+  NodeIndex top = kNoNode;
+  for (NodeIndex v = 0; v < fx.inst.node_count(); ++v) {
+    if (fx.inst.labels.level_in[v] == 3) {
+      top = v;
+      break;
+    }
+  }
+  ASSERT_NE(top, kNoNode);
+  auto out = fx.valid;
+  out[top] = HybridOutput::symbol(ThcColor::D);
+  EXPECT_FALSE(fx.check(out, top));
+}
+
+TEST(HybridChecker, BtOutputAboveLevel1Rejected) {
+  Fixture fx(2, 3, 2, 7);
+  const NodeIndex host = fx.level2_host();
+  auto out = fx.valid;
+  out[host] = HybridOutput::balanced({Balance::Balanced, 1});
+  EXPECT_FALSE(fx.check(out, host));
+}
+
+TEST(HybridChecker, K2TopLevelMayDecline) {
+  // Def. 6.1 routes level 2 through condition 4 even when k = 2, so a
+  // whole-instance decline (level-1 D + level-2 D) is *valid* there —
+  // unlike plain Hierarchical-THC(2), where level 2 = k forbids D.
+  Fixture fx(2, 3, 2, 8);
+  std::vector<HybridOutput> out(fx.inst.node_count(),
+                                HybridOutput::symbol(ThcColor::D));
+  HybridTHCProblem problem(fx.inst, 2);
+  EXPECT_TRUE(verify_all(problem, fx.inst, out).ok);
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,260 @@
+#include "lcl/problems/hybrid_thc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labels/generators.hpp"
+#include "lcl/algorithms/hh_algos.hpp"
+#include "lcl/algorithms/hybrid_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "lcl/problems/hh_thc.hpp"
+#include "runtime/runner.hpp"
+
+namespace volcal {
+namespace {
+
+using HybFree = FreeSource<HybridLabeling>;
+using HybSrc = InstanceSource<HybridLabeling>;
+using HHFree = FreeSource<HHLabeling>;
+using HHSrc = InstanceSource<HHLabeling>;
+
+std::vector<HybridOutput> hybrid_outputs_distance(const HybridInstance& inst,
+                                                  const HybridConfig& cfg) {
+  HybFree src(inst);
+  std::vector<HybridOutput> out(inst.node_count());
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    src.set_start(v);
+    out[v] = hybrid_solve_distance(src, cfg);
+  }
+  return out;
+}
+
+std::vector<HybridOutput> hybrid_outputs_volume(const HybridInstance& inst,
+                                                const HybridConfig& cfg) {
+  HybFree src(inst);
+  HybridVolumeSolver<HybFree> solver(src, cfg);
+  std::vector<HybridOutput> out(inst.node_count());
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) out[v] = solver.solve_at(v);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid-THC validity (Thm. 6.3 upper bounds)
+// ---------------------------------------------------------------------------
+
+struct HybridParam {
+  int k;
+  NodeIndex backbone;
+  int bt_depth;
+  std::uint64_t seed;
+};
+
+class HybridDistance : public ::testing::TestWithParam<HybridParam> {};
+
+TEST_P(HybridDistance, OutputsValid) {
+  const auto [k, b, d, seed] = GetParam();
+  auto inst = make_hybrid_instance(k, b, d, seed);
+  auto cfg = HybridConfig::make(k, inst.node_count());
+  auto out = hybrid_outputs_distance(inst, cfg);
+  HybridTHCProblem problem(inst, k);
+  auto verdict = verify_all(problem, inst, out);
+  EXPECT_TRUE(verdict.ok) << "first bad " << verdict.first_bad << " of "
+                          << inst.node_count();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HybridDistance,
+                         ::testing::Values(HybridParam{2, 4, 3, 1}, HybridParam{2, 8, 2, 2},
+                                           HybridParam{3, 3, 3, 3}, HybridParam{3, 5, 2, 4},
+                                           HybridParam{4, 2, 2, 5}));
+
+class HybridVolume : public ::testing::TestWithParam<HybridParam> {};
+
+TEST_P(HybridVolume, OutputsValid) {
+  const auto [k, b, d, seed] = GetParam();
+  auto inst = make_hybrid_instance(k, b, d, seed);
+  RandomTape tape(inst.ids, seed * 77 + 1);
+  auto cfg = HybridConfig::make(k, inst.node_count(), /*waypoints=*/true, &tape);
+  auto out = hybrid_outputs_volume(inst, cfg);
+  HybridTHCProblem problem(inst, k);
+  auto verdict = verify_all(problem, inst, out);
+  EXPECT_TRUE(verdict.ok) << "first bad " << verdict.first_bad << " of "
+                          << inst.node_count();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HybridVolume,
+                         ::testing::Values(HybridParam{2, 4, 3, 1}, HybridParam{2, 8, 2, 2},
+                                           HybridParam{3, 3, 3, 3}, HybridParam{3, 5, 2, 4},
+                                           HybridParam{2, 16, 3, 5}));
+
+TEST(HybridSemantics, DeepTopWithSparseWaypointsStaysValid) {
+  // Mirror of the HthcSolve regression: a deep level-2 backbone with p < 1 —
+  // the bidirectional scan must find certifying way-points in both
+  // directions.
+  auto inst = make_hybrid_instance(2, 900, 2, 11);
+  RandomTape tape(inst.ids, 17);
+  auto cfg = HybridConfig::make(2, inst.node_count(), true, &tape);
+  ASSERT_LT(cfg.thc.waypoint_p(inst.node_count()), 1.0);
+  ASSERT_GT(NodeIndex{900}, cfg.thc.window);
+  auto out = hybrid_outputs_volume(inst, cfg);
+  HybridTHCProblem problem(inst, 2);
+  auto verdict = verify_all(problem, inst, out);
+  EXPECT_TRUE(verdict.ok) << "first bad " << verdict.first_bad;
+}
+
+TEST(HybridSemantics, DistanceSolverSolvesEveryBtComponent) {
+  auto inst = make_hybrid_instance(2, 4, 3, 9);
+  auto cfg = HybridConfig::make(2, inst.node_count());
+  auto out = hybrid_outputs_distance(inst, cfg);
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    if (inst.labels.level_in[v] == 1) {
+      EXPECT_TRUE(out[v].is_bt) << v;
+    } else {
+      EXPECT_EQ(out[v].thc, ThcColor::X) << v;  // X-cascade above level 1
+    }
+  }
+}
+
+TEST(HybridSemantics, DistanceCostLogarithmic) {
+  for (const HybridParam p : {HybridParam{2, 4, 4, 1}, HybridParam{3, 3, 3, 2}}) {
+    auto inst = make_hybrid_instance(p.k, p.backbone, p.bt_depth, p.seed);
+    auto cfg = HybridConfig::make(p.k, inst.node_count());
+    std::int64_t max_dist = 0;
+    for (NodeIndex v = 0; v < inst.node_count();
+         v += std::max<NodeIndex>(1, inst.node_count() / 60)) {
+      Execution exec(inst.graph, inst.ids, v);
+      HybSrc src(inst, exec);
+      hybrid_solve_distance(src, cfg);
+      max_dist = std::max(max_dist, exec.distance());
+    }
+    const double logn = std::log2(static_cast<double>(inst.node_count()));
+    EXPECT_LE(max_dist, static_cast<std::int64_t>(4 * logn) + 8);
+  }
+}
+
+TEST(HybridSemantics, HeavyComponentsDeclineUnanimously) {
+  // Force heaviness by shrinking the lightness threshold below the component
+  // size: every level-1 node must decline, every level-2 node must not be X.
+  auto inst = make_hybrid_instance(2, 4, 4, 3);
+  RandomTape tape(inst.ids, 5);
+  auto cfg = HybridConfig::make(2, inst.node_count(), true, &tape);
+  cfg.bt_limit = 3;  // components have 31 nodes: all heavy now
+  auto out = hybrid_outputs_volume(inst, cfg);
+  HybridTHCProblem problem(inst, 2);
+  auto verdict = verify_all(problem, inst, out);
+  EXPECT_TRUE(verdict.ok) << "first bad " << verdict.first_bad;
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    if (inst.labels.level_in[v] == 1) {
+      EXPECT_EQ(out[v], HybridOutput::symbol(ThcColor::D)) << v;
+    } else {
+      EXPECT_NE(out[v].thc, ThcColor::X) << v;
+    }
+  }
+}
+
+TEST(HybridChecker, RejectsExemptOverDeclinedComponent) {
+  auto inst = make_hybrid_instance(2, 4, 2, 7);
+  auto cfg = HybridConfig::make(2, inst.node_count());
+  auto out = hybrid_outputs_distance(inst, cfg);
+  HybridTHCProblem problem(inst, 2);
+  ASSERT_TRUE(verify_all(problem, inst, out).ok);
+  // Decline one whole BT component but leave its host exempt: the host's
+  // level-2 X now lacks its certificate.
+  Hierarchy h(inst.graph, inst.labels.bal.tree, 3, inst.labels.level_in);
+  NodeIndex host = kNoNode;
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    if (inst.labels.level_in[v] == 2 && h.down(v) != kNoNode) {
+      host = v;
+      break;
+    }
+  }
+  ASSERT_NE(host, kNoNode);
+  out[h.down(host)] = HybridOutput::symbol(ThcColor::D);
+  EXPECT_FALSE(problem.valid_at(inst, out, host));
+}
+
+TEST(HybridChecker, RejectsMixedBtAndDeclineInComponent) {
+  auto inst = make_hybrid_instance(2, 4, 2, 8);
+  auto cfg = HybridConfig::make(2, inst.node_count());
+  auto out = hybrid_outputs_distance(inst, cfg);
+  HybridTHCProblem problem(inst, 2);
+  ASSERT_TRUE(verify_all(problem, inst, out).ok);
+  // Flip a single interior level-1 node to D: its neighbors still hold bt
+  // outputs, violating both branches of the level-1 disjunction.
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    if (inst.labels.level_in[v] == 1 &&
+        is_internal(inst.graph, inst.labels.bal.tree, v)) {
+      out[v] = HybridOutput::symbol(ThcColor::D);
+      EXPECT_FALSE(verify_all(problem, inst, out).ok);
+      return;
+    }
+  }
+  FAIL();
+}
+
+// ---------------------------------------------------------------------------
+// HH-THC (Thm. 6.5)
+// ---------------------------------------------------------------------------
+
+struct HHParam {
+  int k;
+  int l;
+  NodeIndex n_half;
+  std::uint64_t seed;
+};
+
+class HHSolve : public ::testing::TestWithParam<HHParam> {};
+
+TEST_P(HHSolve, DistanceOutputsValid) {
+  const auto [k, l, n_half, seed] = GetParam();
+  auto inst = make_hh_instance(k, l, n_half, seed);
+  auto cfg = HHConfig::make(k, l, inst.node_count());
+  HHFree src(inst);
+  std::vector<HybridOutput> out(inst.node_count());
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    src.set_start(v);
+    out[v] = hh_solve_distance(src, cfg);
+  }
+  HHTHCProblem problem(inst, k, l);
+  auto verdict = verify_all(problem, inst, out);
+  EXPECT_TRUE(verdict.ok) << "first bad " << verdict.first_bad;
+}
+
+TEST_P(HHSolve, VolumeOutputsValid) {
+  const auto [k, l, n_half, seed] = GetParam();
+  auto inst = make_hh_instance(k, l, n_half, seed);
+  RandomTape tape(inst.ids, seed + 9);
+  auto cfg = HHConfig::make(k, l, inst.node_count(), /*waypoints=*/true, &tape);
+  HHFree src(inst);
+  // Side-0 memoized solver shared across starts; hybrid side solved per node
+  // through a shared volume solver.
+  HthcSolver<HHFree> hier_solver(src, cfg.hier);
+  HybridVolumeSolver<HHFree> hyb_solver(src, cfg.hybrid);
+  std::vector<HybridOutput> out(inst.node_count());
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    out[v] = inst.labels.side[v] == 0 ? HybridOutput::symbol(hier_solver.solve_at(v))
+                                      : hyb_solver.solve_at(v);
+  }
+  HHTHCProblem problem(inst, k, l);
+  auto verdict = verify_all(problem, inst, out);
+  EXPECT_TRUE(verdict.ok) << "first bad " << verdict.first_bad;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HHSolve,
+                         ::testing::Values(HHParam{2, 2, 200, 1}, HHParam{2, 3, 300, 2},
+                                           HHParam{2, 4, 400, 3}, HHParam{3, 3, 500, 4},
+                                           HHParam{3, 4, 300, 5}));
+
+TEST(HHSemantics, SideDispatchMatchesSingleProblemSolvers) {
+  auto inst = make_hh_instance(2, 3, 250, 6);
+  auto cfg = HHConfig::make(2, 3, inst.node_count());
+  HHFree src(inst);
+  for (NodeIndex v = 0; v < inst.node_count(); v += 11) {
+    src.set_start(v);
+    auto out = hh_solve_distance(src, cfg);
+    if (inst.labels.side[v] == 0) {
+      EXPECT_FALSE(out.is_bt);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,119 @@
+// Locality audits (Def. 2.6): each problem's valid_at(v) must be invariant
+// under arbitrary mutation of input/output labels *outside* the radius-c
+// ball of v.  This is the executable form of Lemmas 3.5, 4.4, 5.8 and 6.2
+// ("... is an LCL").
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "labels/generators.hpp"
+#include "lcl/problems/balanced_tree.hpp"
+#include "lcl/problems/hierarchical_thc.hpp"
+#include "lcl/problems/leaf_coloring.hpp"
+#include "util/hash.hpp"
+
+namespace volcal {
+namespace {
+
+// Set membership helper.
+std::vector<char> ball_mask(const Graph& g, NodeIndex center, int radius) {
+  std::vector<char> mask(g.node_count(), 0);
+  for (NodeIndex v : ball(g, center, radius)) mask[v] = 1;
+  return mask;
+}
+
+TEST(Locality, LeafColoringRadius2) {
+  auto inst = make_random_full_binary_tree(201, 3);
+  LeafColoringProblem problem;
+  std::vector<Color> out(inst.node_count(), Color::Red);
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    out[v] = (mix64(1, v) & 1) ? Color::Red : Color::Blue;
+  }
+  for (NodeIndex v = 0; v < inst.node_count(); v += 13) {
+    const bool before = problem.valid_at(inst, out, v);
+    auto mask = ball_mask(inst.graph, v, LeafColoringProblem::radius());
+    auto mutated = inst;
+    auto mut_out = out;
+    for (NodeIndex w = 0; w < inst.node_count(); ++w) {
+      if (mask[w]) continue;
+      // Scramble everything outside the ball.
+      mutated.labels.color[w] = Color::Blue;
+      mutated.labels.tree.parent[w] = 3;
+      mutated.labels.tree.left[w] = 1;
+      mutated.labels.tree.right[w] = 2;
+      mut_out[w] = Color::Blue;
+    }
+    EXPECT_EQ(problem.valid_at(mutated, mut_out, v), before) << v;
+  }
+}
+
+TEST(Locality, BalancedTreeRadius3) {
+  auto inst = make_unbalanced_instance(5, 3, 7);
+  BalancedTreeProblem problem;
+  // A mixed plausible/garbage output map.
+  std::vector<BtOutput> out(inst.node_count());
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    out[v] = {(mix64(2, v) & 1) ? Balance::Balanced : Balance::Unbalanced,
+              static_cast<Port>(mix64(3, v) % 4)};
+  }
+  for (NodeIndex v = 0; v < inst.node_count(); v += 7) {
+    const bool before = problem.valid_at(inst, out, v);
+    auto mask = ball_mask(inst.graph, v, BalancedTreeProblem::radius());
+    auto mutated = inst;
+    auto mut_out = out;
+    for (NodeIndex w = 0; w < inst.node_count(); ++w) {
+      if (mask[w]) continue;
+      mutated.labels.tree.parent[w] = 2;
+      mutated.labels.tree.left[w] = 3;
+      mutated.labels.tree.right[w] = 1;
+      mutated.labels.left_nbr[w] = 4;
+      mutated.labels.right_nbr[w] = 5;
+      mut_out[w] = {Balance::Unbalanced, 9};
+    }
+    EXPECT_EQ(problem.valid_at(mutated, mut_out, v), before) << v;
+  }
+}
+
+TEST(Locality, HierarchicalThcRadiusOk) {
+  const int k = 3;
+  auto inst = make_hierarchical_instance(k, 4, 5);
+  HierarchicalTHCProblem problem(inst, k);
+  const int radius = problem.radius();
+  // Build a valid-ish output to probe (all X is wrong but probes both
+  // branches); use deterministic pseudo-random symbols.
+  std::vector<ThcColor> out(inst.node_count());
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    out[v] = static_cast<ThcColor>(mix64(5, v) % 4);
+  }
+  for (NodeIndex v = 0; v < inst.node_count(); v += 17) {
+    const bool before = problem.valid_at(inst, out, v);
+    auto mask = ball_mask(inst.graph, v, radius);
+    auto mutated = inst;
+    auto mut_out = out;
+    for (NodeIndex w = 0; w < inst.node_count(); ++w) {
+      if (mask[w]) continue;
+      mutated.labels.color[w] = Color::Blue;
+      mut_out[w] = ThcColor::D;
+    }
+    // Rebuild the problem on the mutated instance (outside-ball *input*
+    // labels changed, which may alter far-away levels but not v's ball).
+    HierarchicalTHCProblem mutated_problem(mutated, k);
+    EXPECT_EQ(mutated_problem.valid_at(mutated, mut_out, v), before) << v;
+  }
+}
+
+TEST(Locality, HierarchicalLevelIsLocalFunction) {
+  // Obs. 5.3: level(v) is computable from the O(k)-ball; mutating colors far
+  // away never changes it (structure mutations inside the RC chain would).
+  const int k = 3;
+  auto inst = make_hierarchical_instance(k, 4, 6);
+  Hierarchy h1(inst.graph, inst.labels.tree, k + 1);
+  auto mutated = inst;
+  for (NodeIndex w = 0; w < inst.node_count(); ++w) mutated.labels.color[w] = Color::Blue;
+  Hierarchy h2(mutated.graph, mutated.labels.tree, k + 1);
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    EXPECT_EQ(h1.level(v), h2.level(v));
+  }
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,75 @@
+#include "runtime/local_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/bfs.hpp"
+#include "labels/generators.hpp"
+#include "lcl/algorithms/leaf_coloring_algos.hpp"
+#include "lcl/problems/leaf_coloring.hpp"
+#include "runtime/runner.hpp"
+
+namespace volcal {
+namespace {
+
+TEST(BallView, MatchesGlobalBall) {
+  auto inst = make_complete_binary_tree(5, Color::Red, Color::Blue);
+  for (NodeIndex v : {NodeIndex{0}, NodeIndex{3}, NodeIndex{30}}) {
+    for (std::int64_t r : {0, 1, 2, 4}) {
+      Execution exec(inst.graph, inst.ids, v);
+      BallView view(exec, r);
+      auto expect = ball(inst.graph, v, r);
+      EXPECT_EQ(view.size(), static_cast<std::int64_t>(expect.size())) << v << " r=" << r;
+      for (NodeIndex w : expect) EXPECT_TRUE(view.contains(w));
+      EXPECT_EQ(view.center(), v);
+      EXPECT_EQ(exec.distance(), std::min<std::int64_t>(r, exec.distance()));
+    }
+  }
+}
+
+TEST(BallView, ChargesExactlyTheBall) {
+  auto inst = make_complete_binary_tree(6, Color::Red, Color::Blue);
+  Execution exec(inst.graph, inst.ids, 0);
+  BallView view(exec, 3);
+  EXPECT_EQ(exec.volume(), view.size());
+  EXPECT_EQ(exec.distance(), 3);
+}
+
+// Remark 2.3 / Lemma 2.5: a distance-T LOCAL algorithm simulated through
+// run_local stays within volume Δ^T + 1.
+TEST(RunLocal, VolumeBoundedByDeltaPowT) {
+  auto inst = make_complete_binary_tree(8, Color::Red, Color::Blue);
+  for (const std::int64_t radius : {1, 2, 3, 5}) {
+    Execution exec(inst.graph, inst.ids, 0);
+    run_local(exec, radius, [](const BallView& ball) { return ball.size(); });
+    EXPECT_LE(exec.distance(), radius);
+    EXPECT_LE(static_cast<double>(exec.volume()),
+              std::pow(3.0, static_cast<double>(radius)) + 1);
+  }
+}
+
+// A LOCAL-style LeafColoring solver: gather N_v(log n + c) and decide from
+// the ball alone — the Prop. 3.9 algorithm restated in LOCAL form.  Verifies
+// Remark 2.3: query algorithms and LOCAL algorithms are interconvertible.
+TEST(RunLocal, LeafColoringViaBallView) {
+  auto inst = make_complete_binary_tree(7, Color::Red, Color::Blue);
+  const auto radius =
+      static_cast<std::int64_t>(std::ceil(std::log2(inst.node_count()))) + 2;
+  auto result = run_at_all_nodes(inst.graph, inst.ids, [&](Execution& exec) {
+    return run_local(exec, radius, [&](const BallView& ball) {
+      // Everything within log n + 2 is in the ball, so the nearest-leaf rule
+      // can be evaluated offline on the gathered region.
+      InstanceSource<ColoredTreeLabeling> src(inst, ball.execution());
+      return leafcoloring_nearest_leaf(src);
+    });
+  });
+  LeafColoringProblem problem;
+  EXPECT_TRUE(verify_all(problem, inst, result.output).ok);
+  // Distance stays within the LOCAL radius even though the inner rule makes
+  // its own queries: the ball already contains everything it asks for.
+  EXPECT_LE(result.max_distance, radius);
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,89 @@
+#include "lcl/problems/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "labels/generators.hpp"
+#include "runtime/runner.hpp"
+
+namespace volcal {
+namespace {
+
+class MatchingGraphs
+    : public ::testing::TestWithParam<std::tuple<NodeIndex, int, std::uint64_t>> {};
+
+TEST_P(MatchingGraphs, ProducesValidMaximalMatching) {
+  const auto [n, max_degree, seed] = GetParam();
+  auto inst = make_noise_instance(n, max_degree, seed);
+  auto ids = IdAssignment::shuffled(n, seed + 3);
+  RandomTape tape(ids, seed * 7 + 1);
+  auto result = run_at_all_nodes(inst.graph, ids, [&](Execution& exec) {
+    return matching_lca_query(exec, tape);
+  });
+  EXPECT_TRUE(MatchingProblem::valid(inst.graph, result.output))
+      << "n=" << n << " seed=" << seed;
+  EXPECT_TRUE(satisfies_lemma_2_5(inst.graph, result));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatchingGraphs,
+    ::testing::Combine(::testing::Values<NodeIndex>(40, 150, 600),
+                       ::testing::Values(3, 4), ::testing::Values(1u, 2u, 3u)));
+
+TEST(MatchingLca, RingMatchingValid) {
+  auto ring = make_ring(129, 5);
+  RandomTape tape(ring.ids, 7);
+  auto result = run_at_all_nodes(ring.graph, ring.ids, [&](Execution& exec) {
+    return matching_lca_query(exec, tape);
+  });
+  EXPECT_TRUE(MatchingProblem::valid(ring.graph, result.output));
+}
+
+TEST(MatchingLca, VolumeModest) {
+  auto ring = make_ring(4096, 9);
+  RandomTape tape(ring.ids, 3);
+  auto result = run_at_all_nodes(ring.graph, ring.ids, [&](Execution& exec) {
+    return matching_lca_query(exec, tape);
+  });
+  EXPECT_LT(result.max_volume,
+            static_cast<std::int64_t>(16 * std::log2(4096.0)));
+}
+
+TEST(MatchingLca, MutualAgreement) {
+  // Both endpoints of a matched edge must name each other without any
+  // global coordination — determinism in the shared tape.
+  auto ring = make_ring(64, 11);
+  RandomTape tape(ring.ids, 5);
+  auto result = run_at_all_nodes(ring.graph, ring.ids, [&](Execution& exec) {
+    return matching_lca_query(exec, tape);
+  });
+  for (NodeIndex v = 0; v < 64; ++v) {
+    const Port p = result.output[v];
+    if (p == kNoPort) continue;
+    const NodeIndex w = ring.graph.neighbor(v, p);
+    EXPECT_EQ(ring.graph.neighbor(w, result.output[w]), v) << v;
+  }
+}
+
+TEST(MatchingChecker, RejectsOneSidedClaim) {
+  auto ring = make_ring(4, 1);
+  std::vector<Port> out{1, kNoPort, kNoPort, kNoPort};
+  EXPECT_FALSE(MatchingProblem::valid(ring.graph, out));
+}
+
+TEST(MatchingChecker, RejectsNonMaximal) {
+  auto ring = make_ring(4, 1);
+  std::vector<Port> none(4, kNoPort);
+  EXPECT_FALSE(MatchingProblem::valid(ring.graph, none));
+}
+
+TEST(MatchingChecker, AcceptsPerfectRingMatching) {
+  auto ring = make_ring(4, 1);
+  // Nodes 0-1 matched (0's port1 -> 1; 1's port2 -> 0), likewise 2-3.
+  std::vector<Port> out{1, 2, 1, 2};
+  EXPECT_TRUE(MatchingProblem::valid(ring.graph, out));
+}
+
+}  // namespace
+}  // namespace volcal

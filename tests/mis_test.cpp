@@ -1,0 +1,94 @@
+#include "lcl/problems/mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "labels/generators.hpp"
+#include "runtime/runner.hpp"
+
+namespace volcal {
+namespace {
+
+// Bounded-degree random graph helper (reuses the noise generator's topology).
+Graph random_graph(NodeIndex n, int max_degree, std::uint64_t seed,
+                   IdAssignment* ids_out) {
+  auto inst = make_noise_instance(n, max_degree, seed);
+  *ids_out = IdAssignment::shuffled(n, seed + 1);
+  return std::move(inst.graph);
+}
+
+class MisGraphs
+    : public ::testing::TestWithParam<std::tuple<NodeIndex, int, std::uint64_t>> {};
+
+TEST_P(MisGraphs, ProducesValidMis) {
+  const auto [n, max_degree, seed] = GetParam();
+  IdAssignment ids;
+  Graph g = random_graph(n, max_degree, seed, &ids);
+  RandomTape tape(ids, seed * 13 + 5);
+  auto result = run_at_all_nodes(g, ids, [&](Execution& exec) {
+    return static_cast<std::uint8_t>(mis_lca_query(exec, tape) ? 1 : 0);
+  });
+  EXPECT_TRUE(MisProblem::valid(g, result.output)) << "n=" << n << " seed=" << seed;
+  EXPECT_TRUE(satisfies_lemma_2_5(g, result));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MisGraphs,
+    ::testing::Combine(::testing::Values<NodeIndex>(50, 200, 1000),
+                       ::testing::Values(3, 4), ::testing::Values(1u, 2u, 3u)));
+
+TEST(MisLca, RingMisValid) {
+  auto ring = make_ring(257, 3);
+  RandomTape tape(ring.ids, 9);
+  auto result = run_at_all_nodes(ring.graph, ring.ids, [&](Execution& exec) {
+    return static_cast<std::uint8_t>(mis_lca_query(exec, tape) ? 1 : 0);
+  });
+  EXPECT_TRUE(MisProblem::valid(ring.graph, result.output));
+}
+
+TEST(MisLca, VolumeStaysPolylogarithmic) {
+  // The LCA's dependency chains are short whp on bounded-degree graphs; the
+  // max volume across nodes should stay well below n and grow slowly.
+  std::vector<double> ns, vols;
+  for (NodeIndex n : {256, 1024, 4096, 16384}) {
+    auto ring = make_ring(n, 7);
+    RandomTape tape(ring.ids, 11);
+    auto result = run_at_all_nodes(ring.graph, ring.ids, [&](Execution& exec) {
+      return static_cast<std::uint8_t>(mis_lca_query(exec, tape) ? 1 : 0);
+    });
+    ns.push_back(static_cast<double>(n));
+    vols.push_back(static_cast<double>(result.max_volume));
+    EXPECT_LT(result.max_volume, 8 * std::log2(static_cast<double>(n))) << n;
+  }
+}
+
+TEST(MisLca, DeterministicGivenTape) {
+  auto ring = make_ring(64, 3);
+  RandomTape tape(ring.ids, 21);
+  Execution e1(ring.graph, ring.ids, 5);
+  Execution e2(ring.graph, ring.ids, 5);
+  EXPECT_EQ(mis_lca_query(e1, tape), mis_lca_query(e2, tape));
+  EXPECT_EQ(e1.volume(), e2.volume());
+}
+
+TEST(MisChecker, RejectsAdjacentMembers) {
+  auto ring = make_ring(6, 1);
+  std::vector<std::uint8_t> bad(6, 1);
+  EXPECT_FALSE(MisProblem::valid(ring.graph, bad));
+}
+
+TEST(MisChecker, RejectsUndominatedNode) {
+  auto ring = make_ring(6, 1);
+  std::vector<std::uint8_t> none(6, 0);
+  EXPECT_FALSE(MisProblem::valid(ring.graph, none));
+}
+
+TEST(MisChecker, AcceptsAlternatingOnEvenRing) {
+  auto ring = make_ring(6, 1);
+  std::vector<std::uint8_t> alt{1, 0, 1, 0, 1, 0};
+  EXPECT_TRUE(MisProblem::valid(ring.graph, alt));
+}
+
+}  // namespace
+}  // namespace volcal

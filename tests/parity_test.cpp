@@ -1,0 +1,112 @@
+// Consistency sweeps across execution backends and generator determinism:
+//   * InstanceSource (cost-metered) and FreeSource (global pass) must drive
+//     every solver to identical outputs — the cost meter is an observer, not
+//     a participant;
+//   * generators are pure functions of their parameters and seed.
+#include <gtest/gtest.h>
+
+#include "labels/generators.hpp"
+#include "lcl/algorithms/balanced_tree_algos.hpp"
+#include "lcl/algorithms/hh_algos.hpp"
+#include "lcl/algorithms/hybrid_algos.hpp"
+#include "lcl/algorithms/leaf_coloring_algos.hpp"
+
+namespace volcal {
+namespace {
+
+TEST(SourceParity, LeafColoringSolvers) {
+  auto inst = make_random_full_binary_tree(301, 9);
+  RandomTape tape(inst.ids, 4);
+  FreeSource<ColoredTreeLabeling> free(inst);
+  for (NodeIndex v = 0; v < inst.node_count(); v += 5) {
+    free.set_start(v);
+    Execution exec(inst.graph, inst.ids, v);
+    InstanceSource<ColoredTreeLabeling> paid(inst, exec);
+    EXPECT_EQ(leafcoloring_nearest_leaf(free), leafcoloring_nearest_leaf(paid)) << v;
+    free.set_start(v);
+    Execution exec2(inst.graph, inst.ids, v);
+    InstanceSource<ColoredTreeLabeling> paid2(inst, exec2);
+    EXPECT_EQ(rw_to_leaf(free, tape), rw_to_leaf(paid2, tape)) << v;
+  }
+}
+
+TEST(SourceParity, BalancedTreeSolver) {
+  auto inst = make_unbalanced_instance(5, 3, 2);
+  FreeSource<BalancedTreeLabeling> free(inst);
+  for (NodeIndex v = 0; v < inst.node_count(); v += 7) {
+    free.set_start(v);
+    Execution exec(inst.graph, inst.ids, v);
+    InstanceSource<BalancedTreeLabeling> paid(inst, exec);
+    EXPECT_EQ(balancedtree_solve(free), balancedtree_solve(paid)) << v;
+  }
+}
+
+TEST(SourceParity, HybridSolvers) {
+  auto inst = make_hybrid_instance(2, 6, 3, 5);
+  RandomTape tape(inst.ids, 6);
+  auto cfg = HybridConfig::make(2, inst.node_count(), true, &tape);
+  FreeSource<HybridLabeling> free(inst);
+  for (NodeIndex v = 0; v < inst.node_count(); v += 11) {
+    free.set_start(v);
+    Execution exec(inst.graph, inst.ids, v);
+    InstanceSource<HybridLabeling> paid(inst, exec);
+    EXPECT_EQ(hybrid_solve_distance(free, cfg), hybrid_solve_distance(paid, cfg)) << v;
+    free.set_start(v);
+    Execution exec2(inst.graph, inst.ids, v);
+    InstanceSource<HybridLabeling> paid2(inst, exec2);
+    EXPECT_EQ(hybrid_solve_volume(free, cfg), hybrid_solve_volume(paid2, cfg)) << v;
+  }
+}
+
+TEST(SourceParity, HHSolvers) {
+  auto inst = make_hh_instance(2, 3, 400, 7);
+  auto cfg = HHConfig::make(2, 3, inst.node_count());
+  FreeSource<HHLabeling> free(inst);
+  for (NodeIndex v = 0; v < inst.node_count(); v += 13) {
+    free.set_start(v);
+    Execution exec(inst.graph, inst.ids, v);
+    InstanceSource<HHLabeling> paid(inst, exec);
+    EXPECT_EQ(hh_solve_distance(free, cfg), hh_solve_distance(paid, cfg)) << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generator determinism
+// ---------------------------------------------------------------------------
+
+template <typename Instance>
+void expect_instances_identical(const Instance& a, const Instance& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (NodeIndex v = 0; v < a.node_count(); ++v) {
+    ASSERT_EQ(a.graph.degree(v), b.graph.degree(v));
+    for (Port p = 1; p <= a.graph.degree(v); ++p) {
+      ASSERT_EQ(a.graph.neighbor(v, p), b.graph.neighbor(v, p));
+    }
+    ASSERT_EQ(a.ids.id_of(v), b.ids.id_of(v));
+  }
+}
+
+TEST(GeneratorDeterminism, SameSeedSameInstance) {
+  expect_instances_identical(make_random_full_binary_tree(201, 5),
+                             make_random_full_binary_tree(201, 5));
+  expect_instances_identical(make_hierarchical_instance(3, 5, 9),
+                             make_hierarchical_instance(3, 5, 9));
+  expect_instances_identical(make_hybrid_instance(2, 4, 3, 9),
+                             make_hybrid_instance(2, 4, 3, 9));
+  expect_instances_identical(make_noise_instance(100, 4, 11),
+                             make_noise_instance(100, 4, 11));
+}
+
+TEST(GeneratorDeterminism, DifferentSeedsDiffer) {
+  auto a = make_random_full_binary_tree(201, 5);
+  auto b = make_random_full_binary_tree(201, 6);
+  bool differs = a.node_count() != b.node_count();
+  for (NodeIndex v = 0; !differs && v < std::min(a.node_count(), b.node_count()); ++v) {
+    differs |= a.labels.color[v] != b.labels.color[v];
+    differs |= a.graph.degree(v) != b.graph.degree(v);
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,91 @@
+#include "lcl/problems/promise_leaf_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "labels/generators.hpp"
+#include "runtime/runner.hpp"
+
+namespace volcal {
+namespace {
+
+using Src = InstanceSource<ColoredTreeLabeling>;
+
+TEST(Promise, DetectsPromiseInputs) {
+  EXPECT_TRUE(
+      satisfies_leaf_promise(make_complete_binary_tree(4, Color::Red, Color::Blue)));
+  EXPECT_TRUE(
+      satisfies_leaf_promise(make_complete_binary_tree(4, Color::Blue, Color::Blue)));
+  // Random colors almost surely break the promise.
+  EXPECT_FALSE(satisfies_leaf_promise(make_random_full_binary_tree(101, 3)));
+}
+
+class PromiseSecretWalk : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PromiseSecretWalk, SolvesUnderSecretRandomness) {
+  auto inst = make_complete_binary_tree(9, Color::Red, Color::Blue);
+  ASSERT_TRUE(PromiseLeafColoringProblem::admissible(inst));
+  RandomTape tape(inst.ids, GetParam(), RandomnessModel::Secret);
+  auto result = run_at_all_nodes(inst.graph, inst.ids, [&](Execution& exec) {
+    Src src(inst, exec);
+    return promise_rw_secret(src, tape);
+  });
+  PromiseLeafColoringProblem problem;
+  EXPECT_TRUE(verify_all(problem, inst, result.output).ok);
+  // Volume O(log n): the walk descends one child per step.
+  const double logn = std::log2(static_cast<double>(inst.node_count()));
+  EXPECT_LE(result.max_volume, static_cast<std::int64_t>(8 * logn));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PromiseSecretWalk, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(PromiseSecret, SkewedTreesStillLogarithmicWhp) {
+  // On a random full binary tree the secret walk halves the reachable set
+  // with probability >= 1/2 per step (the Prop. 3.10 argument).
+  auto inst = make_random_full_binary_tree(4001, 7);
+  // Promise-ify: recolor all leaves blue.
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    if (is_leaf(inst.graph, inst.labels.tree, v)) inst.labels.color[v] = Color::Blue;
+  }
+  ASSERT_TRUE(satisfies_leaf_promise(inst));
+  RandomTape tape(inst.ids, 11, RandomnessModel::Secret);
+  auto result = run_at_all_nodes(inst.graph, inst.ids, [&](Execution& exec) {
+    Src src(inst, exec);
+    return promise_rw_secret(src, tape);
+  });
+  PromiseLeafColoringProblem problem;
+  EXPECT_TRUE(verify_all(problem, inst, result.output).ok);
+  const double logn = std::log2(static_cast<double>(inst.node_count()));
+  EXPECT_LE(result.max_volume, static_cast<std::int64_t>(16 * logn));
+}
+
+TEST(PromiseSecret, WithoutPromiseSecretWalkFails) {
+  // The same algorithm on a non-promise input: walks from different nodes
+  // reach different leaves, so the joint output goes invalid — secret
+  // randomness does not solve general LeafColoring this way (§7.4).
+  auto inst = make_random_full_binary_tree(2001, 3);
+  ASSERT_FALSE(satisfies_leaf_promise(inst));
+  RandomTape tape(inst.ids, 13, RandomnessModel::Secret);
+  auto result = run_at_all_nodes(inst.graph, inst.ids, [&](Execution& exec) {
+    Src src(inst, exec);
+    return promise_rw_secret(src, tape);
+  });
+  LeafColoringProblem problem;
+  EXPECT_FALSE(verify_all(problem, inst, result.output).ok);
+}
+
+TEST(PromiseSecret, NoCrossNodeTapeReads) {
+  // Secret model enforcement is active during the whole run: the walk never
+  // touches another node's string (would throw).
+  auto inst = make_complete_binary_tree(6, Color::Red, Color::Red);
+  RandomTape tape(inst.ids, 17, RandomnessModel::Secret);
+  for (NodeIndex v = 0; v < inst.node_count(); v += 9) {
+    Execution exec(inst.graph, inst.ids, v);
+    Src src(inst, exec);
+    EXPECT_NO_THROW(promise_rw_secret(src, tape));
+  }
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,82 @@
+#include "lcl/problems/ring_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/runner.hpp"
+#include "stats/growth.hpp"
+
+namespace volcal {
+namespace {
+
+class RingSizes : public ::testing::TestWithParam<std::tuple<NodeIndex, std::uint64_t>> {};
+
+TEST_P(RingSizes, ColeVishkinProducesProper3Coloring) {
+  const auto [n, seed] = GetParam();
+  auto ring = make_ring(n, seed);
+  auto result = run_at_all_nodes(ring.graph, ring.ids, [&](Execution& exec) {
+    return ring_color_cole_vishkin(ring, exec);
+  });
+  EXPECT_TRUE(RingColoringProblem::valid(ring.graph, result.output))
+      << "n=" << n << " seed=" << seed;
+  EXPECT_TRUE(satisfies_lemma_2_5(ring.graph, result));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingSizes,
+                         ::testing::Combine(::testing::Values<NodeIndex>(16, 33, 100, 257,
+                                                                         1024, 4097),
+                                            ::testing::Values(1u, 2u, 3u)));
+
+TEST(RingColoring, VolumeIsLogStarScale) {
+  // Class B landscape point (Figs. 1-2): measured volume stays a small
+  // constant-ish value (Θ(log* n) with our fixed-width IDs) across three
+  // decades of n.
+  std::vector<double> ns, vols;
+  for (NodeIndex n : {64, 512, 4096, 32768}) {
+    auto ring = make_ring(n, 5);
+    Execution exec(ring.graph, ring.ids, 0);
+    ring_color_cole_vishkin(ring, exec);
+    ns.push_back(static_cast<double>(n));
+    vols.push_back(static_cast<double>(exec.volume()));
+  }
+  // Flat across the sweep: the fitted class must be constant or log*.
+  auto fit = stats::classify_growth(ns, vols);
+  EXPECT_TRUE(fit.cls == stats::GrowthClass::Constant ||
+              fit.cls == stats::GrowthClass::LogStar)
+      << fit.label;
+  EXPECT_LE(vols.back(), 32.0);
+}
+
+TEST(RingColoring, SmallRingStillProper) {
+  // Window longer than the ring: wrap-around simulation must stay correct.
+  auto ring = make_ring(5, 9);
+  auto result = run_at_all_nodes(ring.graph, ring.ids, [&](Execution& exec) {
+    return ring_color_cole_vishkin(ring, exec);
+  });
+  EXPECT_TRUE(RingColoringProblem::valid(ring.graph, result.output));
+}
+
+TEST(TrivialParity, ConstantVolume) {
+  auto ring = make_ring(64, 1);
+  for (NodeIndex v = 0; v < 64; ++v) EXPECT_EQ(trivial_parity(ring.graph, v), 0);
+}
+
+TEST(SinklessOrientation, CheckerSemantics) {
+  // A 3-regular-ish gadget: K4.
+  Graph::Builder b(4);
+  for (NodeIndex i = 0; i < 4; ++i) {
+    for (NodeIndex j = i + 1; j < 4; ++j) b.add_edge(i, j);
+  }
+  Graph g = std::move(b).build();
+  std::vector<Port> out(4, 1);
+  EXPECT_TRUE(sinkless_orientation_valid(g, out));
+  out[2] = 0;  // a sink of degree 3
+  EXPECT_FALSE(sinkless_orientation_valid(g, out));
+}
+
+TEST(RingCvRounds, MonotoneAndSmall) {
+  EXPECT_GT(ring_cv_rounds(1 << 20), 0);
+  EXPECT_LE(ring_cv_rounds(1 << 20), 16);
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,156 @@
+// Failure-injection and robustness sweeps: every solver must terminate
+// without undefined behavior on corrupted, adversarially-labeled, and
+// degenerate inputs (outputs may then be checker-invalid — corruption can
+// make instances unsolvable — but never crash, hang, or read unvisited
+// state).
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "labels/generators.hpp"
+#include "lcl/algorithms/balanced_tree_algos.hpp"
+#include "lcl/algorithms/hthc_algos.hpp"
+#include "lcl/algorithms/hybrid_algos.hpp"
+#include "lcl/algorithms/leaf_coloring_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "runtime/runner.hpp"
+#include "util/hash.hpp"
+
+namespace volcal {
+namespace {
+
+// Corrupt a fraction of tree-label ports deterministically.
+void corrupt_tree(TreeLabeling& t, std::uint64_t seed, double fraction) {
+  const NodeIndex n = t.node_count();
+  for (NodeIndex v = 0; v < n; ++v) {
+    if (to_unit_double(mix64(seed, 0xbad, v)) >= fraction) continue;
+    t.parent[v] = static_cast<Port>(mix64(seed, 1, v) % 5);
+    t.left[v] = static_cast<Port>(mix64(seed, 2, v) % 5);
+    t.right[v] = static_cast<Port>(mix64(seed, 3, v) % 5);
+  }
+}
+
+class CorruptionSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(CorruptionSweep, LeafColoringSolversTerminate) {
+  const auto [fraction, seed] = GetParam();
+  auto inst = make_random_full_binary_tree(301, seed);
+  corrupt_tree(inst.labels.tree, seed, fraction);
+  RandomTape tape(inst.ids, seed);
+  const std::int64_t guard = 4 * inst.node_count();
+  auto run = run_at_all_nodes(
+      inst.graph, inst.ids,
+      [&](Execution& exec) {
+        InstanceSource<ColoredTreeLabeling> src(inst, exec);
+        leafcoloring_nearest_leaf(src);
+        return 0;
+      },
+      guard);
+  EXPECT_GE(run.max_volume, 1);
+  auto rw = run_at_all_nodes(
+      inst.graph, inst.ids,
+      [&](Execution& exec) {
+        InstanceSource<ColoredTreeLabeling> src(inst, exec);
+        rw_to_leaf(src, tape, guard);
+        return 0;
+      },
+      guard);
+  EXPECT_GE(rw.max_volume, 1);
+}
+
+TEST_P(CorruptionSweep, BalancedTreeSolverTerminates) {
+  const auto [fraction, seed] = GetParam();
+  auto inst = make_balanced_instance(6);
+  corrupt_tree(inst.labels.tree, seed, fraction);
+  // Lateral claims get scrambled too.
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    if (to_unit_double(mix64(seed, 0xfee, v)) < fraction) {
+      inst.labels.left_nbr[v] = static_cast<Port>(mix64(seed, 4, v) % 6);
+      inst.labels.right_nbr[v] = static_cast<Port>(mix64(seed, 5, v) % 6);
+    }
+  }
+  const auto limit =
+      static_cast<std::int64_t>(std::ceil(std::log2(inst.node_count()))) + 2;
+  auto run = run_at_all_nodes(inst.graph, inst.ids, [&](Execution& exec) {
+    InstanceSource<BalancedTreeLabeling> src(inst, exec);
+    balancedtree_solve(src, limit);
+    return 0;
+  });
+  EXPECT_GE(run.max_volume, 1);
+}
+
+TEST_P(CorruptionSweep, HthcSolverTerminates) {
+  const auto [fraction, seed] = GetParam();
+  auto inst = make_hierarchical_instance(3, 5, seed);
+  corrupt_tree(inst.labels.tree, seed, fraction);
+  RandomTape tape(inst.ids, seed + 1);
+  for (const bool waypoints : {false, true}) {
+    auto cfg = HthcConfig::make(3, inst.node_count(), waypoints, &tape);
+    FreeSource<ColoredTreeLabeling> src(inst);
+    HthcSolver<FreeSource<ColoredTreeLabeling>> solver(src, cfg);
+    for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+      const ThcColor c = solver.solve_at(v);
+      EXPECT_TRUE(c == ThcColor::R || c == ThcColor::B || c == ThcColor::D ||
+                  c == ThcColor::X);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, CorruptionSweep,
+                         ::testing::Combine(::testing::Values(0.02, 0.1, 0.5, 1.0),
+                                            ::testing::Values(1u, 2u)));
+
+TEST(Robustness, HybridSolverOnScrambledLevels) {
+  auto inst = make_hybrid_instance(2, 4, 3, 3);
+  // Scramble the level inputs: the solver must still terminate.
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    inst.labels.level_in[v] = 1 + static_cast<int>(mix64(9, v) % 3);
+  }
+  auto cfg = HybridConfig::make(2, inst.node_count());
+  FreeSource<HybridLabeling> src(inst);
+  for (NodeIndex v = 0; v < inst.node_count(); v += 3) {
+    src.set_start(v);
+    const auto out = hybrid_solve_distance(src, cfg);
+    (void)out;
+  }
+  RandomTape tape(inst.ids, 3);
+  auto vcfg = HybridConfig::make(2, inst.node_count(), true, &tape);
+  HybridVolumeSolver<FreeSource<HybridLabeling>> solver(src, vcfg);
+  for (NodeIndex v = 0; v < inst.node_count(); v += 3) {
+    const auto out = solver.solve_at(v);
+    (void)out;
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, ExecutionDistanceExactOnTrees) {
+  // On forests the explored-subgraph layering equals true graph distance —
+  // the Def. 2.1 fidelity claim in DESIGN.md.
+  auto inst = make_random_full_binary_tree(201, 5);
+  for (NodeIndex v = 0; v < inst.node_count(); v += 17) {
+    Execution exec(inst.graph, inst.ids, v);
+    explore_ball(exec, 6);
+    EXPECT_LE(exec.distance(), 6);
+    // The deepest visited node is exactly at BFS distance distance().
+    EXPECT_EQ(exec.volume(),
+              static_cast<std::int64_t>(ball(inst.graph, v, exec.distance()).size()));
+  }
+}
+
+TEST(Robustness, TinyInstances) {
+  // Smallest legal shapes must work end to end.
+  auto tree = make_complete_binary_tree(1, Color::Red, Color::Blue);
+  EXPECT_EQ(tree.node_count(), 3);
+  auto bal = make_balanced_instance(1);
+  EXPECT_EQ(bal.node_count(), 3);
+  auto hier = make_hierarchical_instance(1, 1, 1);
+  EXPECT_EQ(hier.node_count(), 1);
+  auto cfg = HthcConfig::make(1, 1, false, nullptr);
+  FreeSource<ColoredTreeLabeling> src(hier);
+  HthcSolver<FreeSource<ColoredTreeLabeling>> solver(src, cfg);
+  const ThcColor c = solver.solve_at(0);
+  EXPECT_TRUE(c == ThcColor::R || c == ThcColor::B);
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,77 @@
+#include "runtime/success.hpp"
+
+#include <gtest/gtest.h>
+
+#include "labels/generators.hpp"
+#include "lcl/algorithms/leaf_coloring_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "lcl/problems/leaf_coloring.hpp"
+
+namespace volcal {
+namespace {
+
+TEST(SuccessEstimate, UntruncatedWalkAlwaysSucceeds) {
+  auto inst = make_random_full_binary_tree(401, 3);
+  LeafColoringProblem problem;
+  auto est = estimate_success(
+      problem, inst,
+      [&inst](RandomTape& tape) {
+        return [&inst, &tape](Execution& exec) {
+          InstanceSource<ColoredTreeLabeling> src(inst, exec);
+          return rw_to_leaf(src, tape);
+        };
+      },
+      /*trials=*/12);
+  EXPECT_EQ(est.successes, est.trials);
+  EXPECT_DOUBLE_EQ(est.rate(), 1.0);
+  EXPECT_GT(est.max_volume, 0);
+}
+
+TEST(SuccessEstimate, TightTruncationFailsOften) {
+  auto inst = make_complete_binary_tree(12, Color::Red, Color::Blue);
+  LeafColoringProblem problem;
+  auto est = estimate_success(
+      problem, inst,
+      [&inst](RandomTape& tape) {
+        return [&inst, &tape](Execution& exec) {
+          InstanceSource<ColoredTreeLabeling> src(inst, exec);
+          return rw_to_leaf(src, tape, /*max_steps=*/6);  // < depth: cannot reach a leaf
+        };
+      },
+      /*trials=*/8);
+  EXPECT_EQ(est.successes, 0);
+}
+
+TEST(SuccessEstimate, GenerousTruncationRecoversWhp) {
+  auto inst = make_complete_binary_tree(10, Color::Red, Color::Blue);
+  LeafColoringProblem problem;
+  const auto budget = static_cast<std::int64_t>(
+      16 * std::log2(static_cast<double>(inst.node_count())));
+  auto est = estimate_success(
+      problem, inst,
+      [&](RandomTape& tape) {
+        return [&inst, &tape, budget](Execution& exec) {
+          InstanceSource<ColoredTreeLabeling> src(inst, exec);
+          return rw_to_leaf(src, tape, budget);
+        };
+      },
+      /*trials=*/16);
+  EXPECT_EQ(est.successes, est.trials);  // the Prop. 3.10 whp regime
+}
+
+TEST(SuccessEstimate, SeedBaseChangesDraws) {
+  auto inst = make_complete_binary_tree(8, Color::Red, Color::Blue);
+  LeafColoringProblem problem;
+  auto factory = [&inst](RandomTape& tape) {
+    return [&inst, &tape](Execution& exec) {
+      InstanceSource<ColoredTreeLabeling> src(inst, exec);
+      return rw_to_leaf(src, tape);
+    };
+  };
+  auto a = estimate_success(problem, inst, factory, 4, 1);
+  auto b = estimate_success(problem, inst, factory, 4, 1);
+  EXPECT_EQ(a.max_volume, b.max_volume);  // deterministic in seed base
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,133 @@
+// End-to-end integration: the Table-1 Θ-shapes, asserted (not just printed)
+// at test scale.  This is the regression net over the whole pipeline —
+// generators, solvers, cost accounting, and growth fitting together.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "labels/generators.hpp"
+#include "lcl/algorithms/balanced_tree_algos.hpp"
+#include "lcl/algorithms/hthc_algos.hpp"
+#include "lcl/algorithms/hybrid_algos.hpp"
+#include "lcl/algorithms/leaf_coloring_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "stats/growth.hpp"
+
+namespace volcal {
+namespace {
+
+using stats::GrowthClass;
+
+template <typename Fn>
+std::pair<std::int64_t, std::int64_t> sup_costs(const Graph& g, const IdAssignment& ids,
+                                                NodeIndex stride, Fn&& solve) {
+  std::int64_t vol = 0, dist = 0;
+  for (NodeIndex v = 0; v < g.node_count(); v += stride) {
+    Execution exec(g, ids, v);
+    solve(exec);
+    vol = std::max(vol, exec.volume());
+    dist = std::max(dist, exec.distance());
+  }
+  return {vol, dist};
+}
+
+TEST(Table1Shapes, LeafColoringRow) {
+  std::vector<double> ns, ddist, dvol, rvol;
+  for (int depth : {8, 10, 12, 14}) {
+    auto inst = make_complete_binary_tree(depth, Color::Red, Color::Blue);
+    ns.push_back(static_cast<double>(inst.node_count()));
+    RandomTape tape(inst.ids, 3);
+    auto [dv, dd] = sup_costs(inst.graph, inst.ids, inst.node_count() / 16 + 1,
+                              [&](Execution& exec) {
+                                InstanceSource<ColoredTreeLabeling> src(inst, exec);
+                                leafcoloring_nearest_leaf(src);
+                              });
+    auto [rv, rd] = sup_costs(inst.graph, inst.ids, inst.node_count() / 64 + 1,
+                              [&](Execution& exec) {
+                                InstanceSource<ColoredTreeLabeling> src(inst, exec);
+                                rw_to_leaf(src, tape);
+                              });
+    (void)rd;
+    ddist.push_back(static_cast<double>(dd));
+    dvol.push_back(static_cast<double>(dv));
+    rvol.push_back(static_cast<double>(rv));
+  }
+  EXPECT_EQ(stats::classify_growth(ns, ddist).cls, GrowthClass::Log);
+  EXPECT_EQ(stats::classify_growth(ns, dvol).cls, GrowthClass::Linear);
+  EXPECT_EQ(stats::classify_growth(ns, rvol).cls, GrowthClass::Log);
+}
+
+TEST(Table1Shapes, BalancedTreeRow) {
+  std::vector<double> ns, dist, vol;
+  for (int depth : {7, 9, 11, 13}) {
+    auto inst = make_balanced_instance(depth);
+    ns.push_back(static_cast<double>(inst.node_count()));
+    auto [v, d] = sup_costs(inst.graph, inst.ids, inst.node_count() / 12 + 1,
+                            [&](Execution& exec) {
+                              InstanceSource<BalancedTreeLabeling> src(inst, exec);
+                              balancedtree_solve(src);
+                            });
+    dist.push_back(static_cast<double>(d));
+    vol.push_back(static_cast<double>(v));
+  }
+  EXPECT_EQ(stats::classify_growth(ns, dist).cls, GrowthClass::Log);
+  EXPECT_EQ(stats::classify_growth(ns, vol).cls, GrowthClass::Linear);
+}
+
+TEST(Table1Shapes, HierarchicalRowK2) {
+  std::vector<double> ns, dist;
+  for (NodeIndex b : {32, 64, 128, 256, 512}) {
+    auto inst = make_hierarchical_instance(2, b, 3);
+    auto cfg = HthcConfig::make(2, inst.node_count(), false, nullptr);
+    ns.push_back(static_cast<double>(inst.node_count()));
+    auto [v, d] = sup_costs(inst.graph, inst.ids, inst.node_count() / 12 + 1,
+                            [&](Execution& exec) {
+                              InstanceSource<ColoredTreeLabeling> src(inst, exec);
+                              HthcSolver<InstanceSource<ColoredTreeLabeling>> s(src, cfg);
+                              s.solve();
+                            });
+    (void)v;
+    dist.push_back(static_cast<double>(d));
+  }
+  auto fit = stats::classify_growth(ns, dist);
+  ASSERT_EQ(fit.cls, GrowthClass::PolyRoot) << fit.label;
+  EXPECT_NEAR(fit.exponent, 0.5, 0.06);
+}
+
+TEST(Table1Shapes, HybridRowK2) {
+  std::vector<double> ns, dist, rvol;
+  for (const auto& [b, d] :
+       std::vector<std::pair<NodeIndex, int>>{{16, 4}, {32, 5}, {64, 6}, {128, 7}}) {
+    auto inst = make_hybrid_instance(2, b, d, 9);
+    ns.push_back(static_cast<double>(inst.node_count()));
+    RandomTape tape(inst.ids, 5);
+    auto cfg = HybridConfig::make(2, inst.node_count());
+    auto rcfg = HybridConfig::make(2, inst.node_count(), true, &tape);
+    // Include a BalancedTree root (worst distance start).
+    Hierarchy h(inst.graph, inst.labels.bal.tree, 3, inst.labels.level_in);
+    NodeIndex bt_root = kNoNode;
+    for (NodeIndex v = 0; v < inst.node_count() && bt_root == kNoNode; ++v) {
+      if (inst.labels.level_in[v] == 2 && h.down(v) != kNoNode) bt_root = h.down(v);
+    }
+    std::int64_t dd = 0, rv = 0;
+    for (NodeIndex v : {NodeIndex{0}, bt_root, inst.node_count() / 2}) {
+      Execution e1(inst.graph, inst.ids, v);
+      InstanceSource<HybridLabeling> s1(inst, e1);
+      hybrid_solve_distance(s1, cfg);
+      dd = std::max(dd, e1.distance());
+      Execution e2(inst.graph, inst.ids, v);
+      InstanceSource<HybridLabeling> s2(inst, e2);
+      hybrid_solve_volume(s2, rcfg);
+      rv = std::max(rv, e2.volume());
+    }
+    dist.push_back(static_cast<double>(dd));
+    rvol.push_back(static_cast<double>(rv));
+  }
+  EXPECT_EQ(stats::classify_growth(ns, dist).cls, GrowthClass::Log);
+  auto fit = stats::classify_growth(ns, rvol);
+  ASSERT_EQ(fit.cls, GrowthClass::PolyRoot) << fit.label;
+  EXPECT_NEAR(fit.exponent, 0.5, 0.1);
+}
+
+}  // namespace
+}  // namespace volcal

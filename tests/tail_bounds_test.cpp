@@ -1,0 +1,103 @@
+// Monte-Carlo verification of the tail bounds the paper's randomized
+// analyses rest on (Section 2.6): the Chernoff bounds of Lemma 2.11 and the
+// negative-binomial bound of Lemma 2.12 (the engine of the RWtoLeaf claim in
+// Prop. 3.10 and of Lemmas 5.16/5.18).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/hash.hpp"
+
+namespace volcal {
+namespace {
+
+double bernoulli_sum_tail_upper(double p, int m, double threshold, int trials,
+                                std::uint64_t seed) {
+  int hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    int sum = 0;
+    for (int i = 0; i < m; ++i) {
+      sum += to_unit_double(mix64(seed, t, i)) < p ? 1 : 0;
+    }
+    hits += sum >= threshold ? 1 : 0;
+  }
+  return static_cast<double>(hits) / trials;
+}
+
+TEST(Lemma211, UpperChernoffBoundHolds) {
+  // Pr(Y >= (1+δ)µ) <= exp(-µδ²/3) for independent Bernoulli sums.
+  const double p = 0.5;
+  const int m = 200;
+  const double mu = p * m;
+  for (const double delta : {0.2, 0.4, 0.8}) {
+    const double bound = std::exp(-mu * delta * delta / 3);
+    const double observed =
+        bernoulli_sum_tail_upper(p, m, (1 + delta) * mu, 4000, 12345);
+    EXPECT_LE(observed, bound + 0.02) << "delta " << delta;
+  }
+}
+
+TEST(Lemma211, LowerChernoffBoundHolds) {
+  // Pr(Y <= (1-δ)µ) <= exp(-µδ²/2).
+  const double p = 0.5;
+  const int m = 200;
+  const double mu = p * m;
+  for (const double delta : {0.2, 0.4, 0.8}) {
+    const double bound = std::exp(-mu * delta * delta / 2);
+    int hits = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+      int sum = 0;
+      for (int i = 0; i < m; ++i) {
+        sum += to_unit_double(mix64(777, t, i)) < p ? 1 : 0;
+      }
+      hits += sum <= (1 - delta) * mu ? 1 : 0;
+    }
+    EXPECT_LE(static_cast<double>(hits) / trials, bound + 0.02) << delta;
+  }
+}
+
+TEST(Lemma212, NegativeBinomialTailHolds) {
+  // N ~ N(k, p): Pr(N > c·k/p) <= exp(-k(c-1)²/(2c)) — exactly the bound the
+  // RWtoLeaf claim instantiates with k = log n, p = 1/2, c = 8.
+  const double p = 0.5;
+  const int k = 12;
+  for (const double c : {2.0, 4.0, 8.0}) {
+    const double bound = std::exp(-k * (c - 1) * (c - 1) / (2 * c));
+    const auto cutoff = static_cast<int>(c * k / p);
+    int hits = 0;
+    const int trials = 5000;
+    for (int t = 0; t < trials; ++t) {
+      int successes = 0, draws = 0;
+      while (successes < k && draws <= cutoff) {
+        successes += to_unit_double(mix64(999, t, draws)) < p ? 1 : 0;
+        ++draws;
+      }
+      hits += successes < k ? 1 : 0;  // needed more than cutoff draws
+    }
+    EXPECT_LE(static_cast<double>(hits) / trials, bound + 0.02) << "c " << c;
+  }
+}
+
+TEST(Lemma212, Prop310Instantiation) {
+  // The claim inside Prop. 3.10: a walk that crosses a good edge (probability
+  // >= 1/2 per step) collects log n good edges within 16 log n steps except
+  // with probability < n^{-3}.  At n = 4096 (log n = 12) the Monte-Carlo
+  // failure rate over 20000 trials must be zero for the bound to be credible
+  // (n^{-3} ≈ 1.5e-11).
+  const int logn = 12;
+  const int cutoff = 16 * logn;
+  int failures = 0;
+  for (int t = 0; t < 20000; ++t) {
+    int good = 0, steps = 0;
+    while (good < logn && steps < cutoff) {
+      good += (mix64(4242, t, steps) & 1) ? 1 : 0;
+      ++steps;
+    }
+    failures += good < logn ? 1 : 0;
+  }
+  EXPECT_EQ(failures, 0);
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,0 +1,200 @@
+// Per-condition coverage of the Def. 5.5 validity engine
+// (thc_conditions_hold): each numbered condition is exercised positively and
+// negatively by surgically mutating a known-valid output.
+#include <gtest/gtest.h>
+
+#include "labels/generators.hpp"
+#include "lcl/algorithms/hthc_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "lcl/problems/hierarchical_thc.hpp"
+
+namespace volcal {
+namespace {
+
+struct Fixture {
+  HierarchicalInstance inst;
+  int k;
+  Hierarchy h;
+  std::vector<ThcColor> valid;
+
+  Fixture(int k_in, NodeIndex b, std::uint64_t seed)
+      : inst(make_hierarchical_instance(k_in, b, seed)),
+        k(k_in),
+        h(inst.graph, inst.labels.tree, k_in + 1) {
+    auto cfg = HthcConfig::make(k, inst.node_count(), false, nullptr);
+    FreeSource<ColoredTreeLabeling> src(inst);
+    HthcSolver<FreeSource<ColoredTreeLabeling>> solver(src, cfg);
+    valid.resize(inst.node_count());
+    for (NodeIndex v = 0; v < inst.node_count(); ++v) valid[v] = solver.solve_at(v);
+  }
+
+  bool check(const std::vector<ThcColor>& out, NodeIndex v) const {
+    HierarchicalTHCProblem problem(inst, k);
+    return problem.valid_at(inst, out, v);
+  }
+
+  NodeIndex find(int level, bool leaf, bool root) const {
+    for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+      if (h.level(v) == level && h.is_level_leaf(v) == leaf && h.is_level_root(v) == root) {
+        return v;
+      }
+    }
+    return kNoNode;
+  }
+};
+
+TEST(ThcConditions, BaseOutputIsValidEverywhere) {
+  Fixture fx(3, 4, 1);
+  HierarchicalTHCProblem problem(fx.inst, fx.k);
+  EXPECT_TRUE(verify_all(problem, fx.inst, fx.valid).ok);
+}
+
+// Condition 1: nodes above level k must output X.
+TEST(ThcConditions, Condition1ExemptAboveK) {
+  // Build depth-3 structure but check against k = 2: level-3 nodes are
+  // outside the hierarchy.
+  auto inst = make_hierarchical_instance(3, 4, 2);
+  HierarchicalTHCProblem problem(inst, 2);
+  Hierarchy h(inst.graph, inst.labels.tree, 3);
+  auto cfg = HthcConfig::make(2, inst.node_count(), false, nullptr);
+  FreeSource<ColoredTreeLabeling> src(inst);
+  HthcSolver<FreeSource<ColoredTreeLabeling>> solver(src, cfg);
+  std::vector<ThcColor> out(inst.node_count());
+  NodeIndex above = kNoNode;
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    out[v] = solver.solve_at(v);
+    if (!h.in_hierarchy(v)) above = v;
+  }
+  ASSERT_NE(above, kNoNode);
+  ASSERT_TRUE(problem.valid_at(inst, out, above));
+  for (ThcColor wrong : {ThcColor::R, ThcColor::B, ThcColor::D}) {
+    auto mutated = out;
+    mutated[above] = wrong;
+    EXPECT_FALSE(problem.valid_at(inst, mutated, above)) << thc_char(wrong);
+  }
+}
+
+// Condition 2: a level leaf may echo χ_in, decline, or go exempt — but not
+// emit the opposite color.
+TEST(ThcConditions, Condition2LeafAlternatives) {
+  Fixture fx(3, 4, 3);
+  const NodeIndex leaf = fx.find(2, /*leaf=*/true, /*root=*/false);
+  ASSERT_NE(leaf, kNoNode);
+  auto out = fx.valid;
+  out[leaf] = to_thc(fx.inst.labels.color[leaf]);
+  EXPECT_TRUE(fx.check(out, leaf));
+  out[leaf] = ThcColor::D;
+  EXPECT_TRUE(fx.check(out, leaf));
+  out[leaf] = ThcColor::X;
+  EXPECT_TRUE(fx.check(out, leaf));  // mid-level leaf exemption is free
+  const ThcColor anti =
+      fx.inst.labels.color[leaf] == Color::Red ? ThcColor::B : ThcColor::R;
+  out[leaf] = anti;
+  EXPECT_FALSE(fx.check(out, leaf));
+}
+
+// Condition 3: level-1 nodes are confined to {R,B,D} with strict unanimity.
+TEST(ThcConditions, Condition3Level1) {
+  Fixture fx(2, 5, 4);
+  const NodeIndex v = fx.find(1, false, true);
+  ASSERT_NE(v, kNoNode);
+  auto out = fx.valid;
+  out[v] = ThcColor::X;
+  EXPECT_FALSE(fx.check(out, v));  // 3(a)
+  out[v] = fx.valid[v];
+  // 3(b): disagree with the backbone successor.
+  const NodeIndex next = fx.h.backbone_next(v);
+  ASSERT_NE(next, kNoNode);
+  out[v] = fx.valid[next] == ThcColor::R ? ThcColor::B : ThcColor::R;
+  EXPECT_FALSE(fx.check(out, v));
+  // Unanimous decline of the whole level-1 component is valid.
+  out = fx.valid;
+  const auto bb = fx.h.backbone_of(v);
+  for (NodeIndex w : fx.h.backbones()[static_cast<std::size_t>(bb)].nodes) {
+    out[w] = ThcColor::D;
+  }
+  for (NodeIndex w : fx.h.backbones()[static_cast<std::size_t>(bb)].nodes) {
+    EXPECT_TRUE(fx.check(out, w)) << w;
+  }
+}
+
+// Condition 4: mid-level non-leaves need (a) agreement, (b) certified
+// exemption, or (c) echo/decline under an exempt successor.
+TEST(ThcConditions, Condition4MidLevel) {
+  Fixture fx(3, 4, 5);
+  const NodeIndex v = fx.find(2, false, true);
+  ASSERT_NE(v, kNoNode);
+  const NodeIndex next = fx.h.backbone_next(v);
+  const NodeIndex down = fx.h.down(v);
+  ASSERT_NE(next, kNoNode);
+  ASSERT_NE(down, kNoNode);
+
+  // 4(b): X valid only while the down component certifies.
+  auto out = fx.valid;
+  out[v] = ThcColor::X;
+  out[down] = ThcColor::R;
+  EXPECT_TRUE(fx.check(out, v));
+  out[down] = ThcColor::D;
+  EXPECT_FALSE(fx.check(out, v));
+
+  // 4(c): under an exempt successor, echo χ_in or decline.
+  out = fx.valid;
+  out[next] = ThcColor::X;
+  out[v] = to_thc(fx.inst.labels.color[v]);
+  EXPECT_TRUE(fx.check(out, v));
+  out[v] = ThcColor::D;
+  EXPECT_TRUE(fx.check(out, v));
+  out[v] = fx.inst.labels.color[v] == Color::Red ? ThcColor::B : ThcColor::R;
+  EXPECT_FALSE(fx.check(out, v));
+
+  // 4(a): unanimity with the successor.
+  out = fx.valid;
+  out[v] = ThcColor::D;
+  out[next] = ThcColor::D;
+  EXPECT_TRUE(fx.check(out, v));
+  out[next] = ThcColor::R;
+  out[v] = ThcColor::B;
+  EXPECT_FALSE(fx.check(out, v));
+}
+
+// Condition 5: level-k nodes never decline; X needs a certificate; colors
+// pass through or restart from χ_in across an exemption.
+TEST(ThcConditions, Condition5TopLevel) {
+  Fixture fx(2, 6, 6);
+  const NodeIndex v = fx.find(2, false, true);
+  ASSERT_NE(v, kNoNode);
+  const NodeIndex next = fx.h.backbone_next(v);
+  const NodeIndex down = fx.h.down(v);
+  ASSERT_NE(next, kNoNode);
+  ASSERT_NE(down, kNoNode);
+
+  auto out = fx.valid;
+  out[v] = ThcColor::D;
+  EXPECT_FALSE(fx.check(out, v));  // D forbidden at level k
+
+  // 5(a): exemption gated by the certificate.
+  out = fx.valid;
+  out[v] = ThcColor::X;
+  out[down] = ThcColor::B;
+  EXPECT_TRUE(fx.check(out, v));
+  out[down] = ThcColor::D;
+  EXPECT_FALSE(fx.check(out, v));
+
+  // 5(b): color continues through a non-exempt successor...
+  out = fx.valid;
+  out[down] = ThcColor::B;  // keep any exemption certified
+  out[v] = ThcColor::R;
+  out[next] = ThcColor::R;
+  EXPECT_TRUE(fx.check(out, v));
+  out[next] = ThcColor::B;
+  EXPECT_FALSE(fx.check(out, v));
+  // ...and restarts from χ_in across an exempt successor.
+  out[next] = ThcColor::X;
+  out[v] = to_thc(fx.inst.labels.color[v]);
+  EXPECT_TRUE(fx.check(out, v));
+  out[v] = fx.inst.labels.color[v] == Color::Red ? ThcColor::B : ThcColor::R;
+  EXPECT_FALSE(fx.check(out, v));
+}
+
+}  // namespace
+}  // namespace volcal
