@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_balancedtree.dir/bench_balancedtree.cpp.o"
+  "CMakeFiles/bench_balancedtree.dir/bench_balancedtree.cpp.o.d"
+  "bench_balancedtree"
+  "bench_balancedtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_balancedtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_volume.dir/bench_fig2_volume.cpp.o"
+  "CMakeFiles/bench_fig2_volume.dir/bench_fig2_volume.cpp.o.d"
+  "bench_fig2_volume"
+  "bench_fig2_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

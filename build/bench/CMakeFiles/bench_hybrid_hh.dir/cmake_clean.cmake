@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_hh.dir/bench_hybrid_hh.cpp.o"
+  "CMakeFiles/bench_hybrid_hh.dir/bench_hybrid_hh.cpp.o.d"
+  "bench_hybrid_hh"
+  "bench_hybrid_hh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_hh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leafcoloring.dir/bench_leafcoloring.cpp.o"
+  "CMakeFiles/bench_leafcoloring.dir/bench_leafcoloring.cpp.o.d"
+  "bench_leafcoloring"
+  "bench_leafcoloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leafcoloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_randomness_models.dir/bench_randomness_models.cpp.o"
+  "CMakeFiles/bench_randomness_models.dir/bench_randomness_models.cpp.o.d"
+  "bench_randomness_models"
+  "bench_randomness_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_randomness_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

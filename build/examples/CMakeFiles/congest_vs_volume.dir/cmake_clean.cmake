@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congest_vs_volume.dir/congest_vs_volume.cpp.o"
+  "CMakeFiles/congest_vs_volume.dir/congest_vs_volume.cpp.o.d"
+  "congest_vs_volume"
+  "congest_vs_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congest_vs_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_inspector.dir/instance_inspector.cpp.o"
+  "CMakeFiles/instance_inspector.dir/instance_inspector.cpp.o.d"
+  "instance_inspector"
+  "instance_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

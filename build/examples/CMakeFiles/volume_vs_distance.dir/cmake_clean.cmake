@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_vs_distance.dir/volume_vs_distance.cpp.o"
+  "CMakeFiles/volume_vs_distance.dir/volume_vs_distance.cpp.o.d"
+  "volume_vs_distance"
+  "volume_vs_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_vs_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/disjointness.cpp" "src/CMakeFiles/volcal.dir/comm/disjointness.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/comm/disjointness.cpp.o.d"
+  "/root/repo/src/graph/bfs.cpp" "src/CMakeFiles/volcal.dir/graph/bfs.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/graph/bfs.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/volcal.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/CMakeFiles/volcal.dir/io/serialize.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/io/serialize.cpp.o.d"
+  "/root/repo/src/labels/generators.cpp" "src/CMakeFiles/volcal.dir/labels/generators.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/labels/generators.cpp.o.d"
+  "/root/repo/src/labels/hierarchy.cpp" "src/CMakeFiles/volcal.dir/labels/hierarchy.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/labels/hierarchy.cpp.o.d"
+  "/root/repo/src/labels/ids.cpp" "src/CMakeFiles/volcal.dir/labels/ids.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/labels/ids.cpp.o.d"
+  "/root/repo/src/labels/tree_labeling.cpp" "src/CMakeFiles/volcal.dir/labels/tree_labeling.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/labels/tree_labeling.cpp.o.d"
+  "/root/repo/src/lcl/adversary/hthc_adversary.cpp" "src/CMakeFiles/volcal.dir/lcl/adversary/hthc_adversary.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/lcl/adversary/hthc_adversary.cpp.o.d"
+  "/root/repo/src/lcl/adversary/leafcoloring_adversary.cpp" "src/CMakeFiles/volcal.dir/lcl/adversary/leafcoloring_adversary.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/lcl/adversary/leafcoloring_adversary.cpp.o.d"
+  "/root/repo/src/lcl/algorithms/congest_algos.cpp" "src/CMakeFiles/volcal.dir/lcl/algorithms/congest_algos.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/lcl/algorithms/congest_algos.cpp.o.d"
+  "/root/repo/src/lcl/description.cpp" "src/CMakeFiles/volcal.dir/lcl/description.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/lcl/description.cpp.o.d"
+  "/root/repo/src/lcl/problems/balanced_tree.cpp" "src/CMakeFiles/volcal.dir/lcl/problems/balanced_tree.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/lcl/problems/balanced_tree.cpp.o.d"
+  "/root/repo/src/lcl/problems/cp_thc.cpp" "src/CMakeFiles/volcal.dir/lcl/problems/cp_thc.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/lcl/problems/cp_thc.cpp.o.d"
+  "/root/repo/src/lcl/problems/hh_thc.cpp" "src/CMakeFiles/volcal.dir/lcl/problems/hh_thc.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/lcl/problems/hh_thc.cpp.o.d"
+  "/root/repo/src/lcl/problems/hierarchical_thc.cpp" "src/CMakeFiles/volcal.dir/lcl/problems/hierarchical_thc.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/lcl/problems/hierarchical_thc.cpp.o.d"
+  "/root/repo/src/lcl/problems/hybrid_thc.cpp" "src/CMakeFiles/volcal.dir/lcl/problems/hybrid_thc.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/lcl/problems/hybrid_thc.cpp.o.d"
+  "/root/repo/src/lcl/problems/ring_coloring.cpp" "src/CMakeFiles/volcal.dir/lcl/problems/ring_coloring.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/lcl/problems/ring_coloring.cpp.o.d"
+  "/root/repo/src/runtime/congest.cpp" "src/CMakeFiles/volcal.dir/runtime/congest.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/runtime/congest.cpp.o.d"
+  "/root/repo/src/runtime/execution.cpp" "src/CMakeFiles/volcal.dir/runtime/execution.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/runtime/execution.cpp.o.d"
+  "/root/repo/src/stats/growth.cpp" "src/CMakeFiles/volcal.dir/stats/growth.cpp.o" "gcc" "src/CMakeFiles/volcal.dir/stats/growth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

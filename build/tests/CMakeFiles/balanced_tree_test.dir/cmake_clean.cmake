@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balanced_tree_test.dir/balanced_tree_test.cpp.o"
+  "CMakeFiles/balanced_tree_test.dir/balanced_tree_test.cpp.o.d"
+  "balanced_tree_test"
+  "balanced_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balanced_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_checker_test.dir/bt_checker_test.cpp.o"
+  "CMakeFiles/bt_checker_test.dir/bt_checker_test.cpp.o.d"
+  "bt_checker_test"
+  "bt_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_thc_test.dir/cp_thc_test.cpp.o"
+  "CMakeFiles/cp_thc_test.dir/cp_thc_test.cpp.o.d"
+  "cp_thc_test"
+  "cp_thc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_thc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hthc_adversary_test.dir/hthc_adversary_test.cpp.o"
+  "CMakeFiles/hthc_adversary_test.dir/hthc_adversary_test.cpp.o.d"
+  "hthc_adversary_test"
+  "hthc_adversary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hthc_adversary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

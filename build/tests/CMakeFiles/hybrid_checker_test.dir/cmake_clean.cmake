@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_checker_test.dir/hybrid_checker_test.cpp.o"
+  "CMakeFiles/hybrid_checker_test.dir/hybrid_checker_test.cpp.o.d"
+  "hybrid_checker_test"
+  "hybrid_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

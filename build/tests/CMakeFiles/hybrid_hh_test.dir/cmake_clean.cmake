@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_hh_test.dir/hybrid_hh_test.cpp.o"
+  "CMakeFiles/hybrid_hh_test.dir/hybrid_hh_test.cpp.o.d"
+  "hybrid_hh_test"
+  "hybrid_hh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_hh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcl_locality_test.dir/lcl_locality_test.cpp.o"
+  "CMakeFiles/lcl_locality_test.dir/lcl_locality_test.cpp.o.d"
+  "lcl_locality_test"
+  "lcl_locality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcl_locality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaf_coloring_test.dir/leaf_coloring_test.cpp.o"
+  "CMakeFiles/leaf_coloring_test.dir/leaf_coloring_test.cpp.o.d"
+  "leaf_coloring_test"
+  "leaf_coloring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaf_coloring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promise_test.dir/promise_test.cpp.o"
+  "CMakeFiles/promise_test.dir/promise_test.cpp.o.d"
+  "promise_test"
+  "promise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

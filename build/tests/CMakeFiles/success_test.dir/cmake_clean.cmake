@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/success_test.dir/success_test.cpp.o"
+  "CMakeFiles/success_test.dir/success_test.cpp.o.d"
+  "success_test"
+  "success_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/success_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_integration_test.dir/table1_integration_test.cpp.o"
+  "CMakeFiles/table1_integration_test.dir/table1_integration_test.cpp.o.d"
+  "table1_integration_test"
+  "table1_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

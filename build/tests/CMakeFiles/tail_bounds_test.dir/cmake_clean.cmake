@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_bounds_test.dir/tail_bounds_test.cpp.o"
+  "CMakeFiles/tail_bounds_test.dir/tail_bounds_test.cpp.o.d"
+  "tail_bounds_test"
+  "tail_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

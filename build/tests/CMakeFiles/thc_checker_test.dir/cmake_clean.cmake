@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thc_checker_test.dir/thc_checker_test.cpp.o"
+  "CMakeFiles/thc_checker_test.dir/thc_checker_test.cpp.o.d"
+  "thc_checker_test"
+  "thc_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thc_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
