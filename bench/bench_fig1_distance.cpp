@@ -26,7 +26,7 @@ struct Point {
   Curve rand;
 };
 
-void run() {
+void run(int argc, char** argv) {
   std::vector<Point> points;
 
   // Class A witness: trivial parity — distance 0 by definition.
@@ -114,11 +114,15 @@ void run() {
   print_header("Figure 1 — LCLs classified by distance complexity");
   stats::Table table({"problem", "class", "D-DIST paper", "D-DIST fitted", "R-DIST paper",
                       "R-DIST fitted"});
+  JsonReport report("bench_fig1_distance");
   for (const auto& p : points) {
     table.add_row({p.problem, p.klass, p.paper_det, p.det.fitted(), p.paper_rand,
                    p.rand.fitted()});
+    report.add(p.problem + " / D-DIST", p.det);
+    report.add(p.problem + " / R-DIST", p.rand);
   }
   table.print();
+  report.write_file(json_path_from_args(argc, argv));
   std::printf(
       "\nGap regions (no LCLs exist between the classes) are theorems cited in\n"
       "§1 [2,3,5,9,12,13,15,20-22,29,33,34]; the shaded Fig.-1 area is not a\n"
@@ -131,7 +135,7 @@ void run() {
 }  // namespace
 }  // namespace volcal::bench
 
-int main() {
-  volcal::bench::run();
+int main(int argc, char** argv) {
+  volcal::bench::run(argc, argv);
   return 0;
 }

@@ -14,16 +14,18 @@
 namespace volcal::bench {
 namespace {
 
-void run() {
+void run(int argc, char** argv) {
   print_header("Figure 2 — preliminary volume landscape (classes A and B)");
   stats::Table table(
       {"problem", "class", "D-VOL paper", "D-VOL fitted", "R-VOL paper", "R-VOL fitted"});
+  JsonReport report("bench_fig2_volume");
 
   // Class A: volume Θ(1) = distance Θ(1) (the simulation argument of §1.2).
   {
     Curve c;
     for (NodeIndex n : {1 << 10, 1 << 14, 1 << 18}) c.add(static_cast<double>(n), 1.0);
     table.add_row({"DegreeParity", "A", "Θ(1)", c.fitted(), "Θ(1)", c.fitted()});
+    report.add("DegreeParity / VOL", c);
   }
 
   // Class B: ring coloring — volume O(log* n) via the Even et al. technique;
@@ -36,10 +38,11 @@ void run() {
       auto cost = measure(ring.graph, ring.ids, starts, [&](Execution& exec) {
         ring_color_cole_vishkin(ring, exec);
       });
-      c.add(static_cast<double>(n), static_cast<double>(cost.max_volume));
+      c.add(static_cast<double>(n), static_cast<double>(cost.max_volume), cost.wall_seconds);
     }
     table.add_row(
         {"Ring3Coloring", "B", "Θ(log* n)", c.fitted(), "Θ(log* n)", c.fitted()});
+    report.add("Ring3Coloring / VOL", c);
   }
 
   // Maximal independent set — the LCA-literature flagship the volume model
@@ -50,13 +53,14 @@ void run() {
       auto ring = make_ring(n, 9);
       RandomTape tape(ring.ids, 3);
       auto starts = sampled_starts(n, 24);
-      auto cost = measure(ring.graph, ring.ids, starts, [&](Execution& exec) {
-        mis_lca_query(exec, tape);
-      });
-      c.add(static_cast<double>(n), static_cast<double>(cost.max_volume));
+      auto cost = measure(
+          ring.graph, ring.ids, starts,
+          [&](Execution& exec) { mis_lca_query(exec, tape); }, &tape);
+      c.add(static_cast<double>(n), static_cast<double>(cost.max_volume), cost.wall_seconds);
     }
     table.add_row({"MaximalIndependentSet (rand)", "B-ish", "O(polylog) [39]", c.fitted(),
                    "O(polylog) [39]", c.fitted()});
+    report.add("MaximalIndependentSet / R-VOL", c);
   }
 
   {
@@ -65,13 +69,14 @@ void run() {
       auto ring = make_ring(n, 13);
       RandomTape tape(ring.ids, 5);
       auto starts = sampled_starts(n, 24);
-      auto cost = measure(ring.graph, ring.ids, starts, [&](Execution& exec) {
-        matching_lca_query(exec, tape);
-      });
-      c.add(static_cast<double>(n), static_cast<double>(cost.max_volume));
+      auto cost = measure(
+          ring.graph, ring.ids, starts,
+          [&](Execution& exec) { matching_lca_query(exec, tape); }, &tape);
+      c.add(static_cast<double>(n), static_cast<double>(cost.max_volume), cost.wall_seconds);
     }
     table.add_row({"MaximalMatching (rand)", "B-ish", "O(polylog) [30,31]", c.fitted(),
                    "O(polylog) [30,31]", c.fitted()});
+    report.add("MaximalMatching / R-VOL", c);
   }
 
   // The C+D region openers: LeafColoring shows the region splits by
@@ -88,17 +93,23 @@ void run() {
       dvol.add(static_cast<double>(inst.node_count()),
                static_cast<double>(det.max_volume));
       RandomTape tape(inst.ids, 3);
-      auto rnd = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<ColoredTreeLabeling> src(inst, exec);
-        rw_to_leaf(src, tape);
-      });
+      auto rnd = measure(
+          inst.graph, inst.ids, starts,
+          [&](Execution& exec) {
+            InstanceSource<ColoredTreeLabeling> src(inst, exec);
+            rw_to_leaf(src, tape);
+          },
+          &tape);
       rvol.add(static_cast<double>(inst.node_count()),
-               static_cast<double>(rnd.max_volume));
+               static_cast<double>(rnd.max_volume), rnd.wall_seconds);
     }
     table.add_row(
         {"LeafColoring", "C+D", "Θ(n)", dvol.fitted(), "Θ(log n)", rvol.fitted()});
+    report.add("LeafColoring / D-VOL", dvol);
+    report.add("LeafColoring / R-VOL", rvol);
   }
   table.print();
+  report.write_file(json_path_from_args(argc, argv));
   std::printf(
       "\nClasses A and B coincide for distance and volume (§1.2): the measured\n"
       "volume of the class-B witness stays log*-flat.  Everything at and above\n"
@@ -109,7 +120,7 @@ void run() {
 }  // namespace
 }  // namespace volcal::bench
 
-int main() {
-  volcal::bench::run();
+int main(int argc, char** argv) {
+  volcal::bench::run(argc, argv);
   return 0;
 }

@@ -25,7 +25,7 @@ struct Line {
   Curve rvol{}, dvol{}, rdist{}, ddist{};
 };
 
-void run() {
+void run(int argc, char** argv) {
   std::vector<Line> lines;
 
   {  // LeafColoring
@@ -39,10 +39,13 @@ void run() {
         leafcoloring_nearest_leaf(src);
       });
       RandomTape tape(inst.ids, 3);
-      auto rnd = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<ColoredTreeLabeling> src(inst, exec);
-        rw_to_leaf(src, tape);
-      });
+      auto rnd = measure(
+          inst.graph, inst.ids, starts,
+          [&](Execution& exec) {
+            InstanceSource<ColoredTreeLabeling> src(inst, exec);
+            rw_to_leaf(src, tape);
+          },
+          &tape);
       line.ddist.add(n, static_cast<double>(det.max_distance));
       line.rdist.add(n, static_cast<double>(det.max_distance));
       line.dvol.add(n, static_cast<double>(det.max_volume));
@@ -86,11 +89,14 @@ void run() {
       });
       RandomTape tape(inst.ids, 5);
       auto rnd_cfg = HthcConfig::make(k, inst.node_count(), true, &tape);
-      auto rnd = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<ColoredTreeLabeling> src(inst, exec);
-        HthcSolver<InstanceSource<ColoredTreeLabeling>> solver(src, rnd_cfg);
-        solver.solve();
-      });
+      auto rnd = measure(
+          inst.graph, inst.ids, starts,
+          [&](Execution& exec) {
+            InstanceSource<ColoredTreeLabeling> src(inst, exec);
+            HthcSolver<InstanceSource<ColoredTreeLabeling>> solver(src, rnd_cfg);
+            solver.solve();
+          },
+          &tape);
       line.ddist.add(n, static_cast<double>(det.max_distance));
       line.rdist.add(n, static_cast<double>(det.max_distance));
       line.dvol.add(n, static_cast<double>(det.max_volume));
@@ -121,10 +127,13 @@ void run() {
       });
       RandomTape tape(inst.ids, 3);
       auto rcfg = HybridConfig::make(2, inst.node_count(), true, &tape);
-      auto rnd = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<HybridLabeling> src(inst, exec);
-        hybrid_solve_volume(src, rcfg);
-      });
+      auto rnd = measure(
+          inst.graph, inst.ids, starts,
+          [&](Execution& exec) {
+            InstanceSource<HybridLabeling> src(inst, exec);
+            hybrid_solve_volume(src, rcfg);
+          },
+          &tape);
       line.ddist.add(n, static_cast<double>(det.max_distance));
       line.rdist.add(n, static_cast<double>(det.max_distance));
       // Deterministic volume floor: solving one BalancedTree component
@@ -149,10 +158,13 @@ void run() {
       });
       RandomTape tape(inst.ids, 3);
       auto rcfg = HHConfig::make(2, 3, inst.node_count(), true, &tape);
-      auto rnd = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<HHLabeling> src(inst, exec);
-        hh_solve_volume(src, rcfg);
-      });
+      auto rnd = measure(
+          inst.graph, inst.ids, starts,
+          [&](Execution& exec) {
+            InstanceSource<HHLabeling> src(inst, exec);
+            hh_solve_volume(src, rcfg);
+          },
+          &tape);
       line.ddist.add(n, static_cast<double>(det.max_distance));
       line.rdist.add(n, static_cast<double>(det.max_distance));
       line.dvol.add(n, static_cast<double>(rnd.max_volume));
@@ -164,11 +176,17 @@ void run() {
   print_header("Figure 3 — overview: volume endpoints vs distance endpoints");
   stats::Table table({"problem", "paper (R-VOL, D-VOL | R-DIST, D-DIST)", "R-VOL fit",
                       "D-VOL fit", "R-DIST fit", "D-DIST fit"});
+  JsonReport report("bench_fig3_overview");
   for (const auto& line : lines) {
     table.add_row({line.problem, line.paper, line.rvol.fitted(), line.dvol.fitted(),
                    line.rdist.fitted(), line.ddist.fitted()});
+    report.add(line.problem + " / R-VOL", line.rvol);
+    report.add(line.problem + " / D-VOL", line.dvol);
+    report.add(line.problem + " / R-DIST", line.rdist);
+    report.add(line.problem + " / D-DIST", line.ddist);
   }
   table.print();
+  report.write_file(json_path_from_args(argc, argv));
   std::printf(
       "\nReading the lines: LeafColoring separates volume from distance by\n"
       "randomness alone; Hybrid-THC moves the distance endpoint to log n while\n"
@@ -180,7 +198,7 @@ void run() {
 }  // namespace
 }  // namespace volcal::bench
 
-int main() {
-  volcal::bench::run();
+int main(int argc, char** argv) {
+  volcal::bench::run(argc, argv);
   return 0;
 }

@@ -1,0 +1,184 @@
+// Engine throughput: whole-graph sweeps on the historical map-based
+// Execution (serial) vs the flat epoch-stamped Execution, serial and
+// parallel (runtime/parallel_runner.hpp).
+//
+// All engines compute identical results — asserted below per workload — so
+// the only thing that varies is wall time.  Two workloads on complete binary
+// trees:
+//   * ball     — explore_ball(r) from every node: the pure engine loop
+//                (query + stamp + layer), no solver logic on top;
+//   * nearleaf — Prop. 3.9 nearest-leaf from every node: a real Table-1
+//                solver with label reads through InstanceSource.
+//
+// Usage: bench_runner [--json <path>].  Thread counts for the parallel rows
+// are fixed at 2/4/8 (on a single-core host they measure scheduling overhead,
+// not speedup; the flat-vs-map row is the hardware-independent headline).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "labels/generators.hpp"
+#include "lcl/algorithms/leaf_coloring_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "runtime/reference_execution.hpp"
+
+namespace volcal::bench {
+namespace {
+
+struct SweepCost {
+  std::int64_t max_volume = 0;
+  std::int64_t max_distance = 0;
+  std::int64_t total_volume = 0;  // visited nodes summed over starts
+  double seconds = 0.0;
+
+  bool same_costs(const SweepCost& other) const {
+    return max_volume == other.max_volume && max_distance == other.max_distance &&
+           total_volume == other.total_volume;
+  }
+};
+
+// Serial sweep on the historical unordered_map Execution: one map allocation
+// and O(volume) rehashing per start node.
+template <typename Fn>
+SweepCost sweep_map(const Graph& g, const IdAssignment& ids,
+                    const std::vector<NodeIndex>& starts, Fn&& solve) {
+  WallTimer timer;
+  SweepCost cost;
+  for (const NodeIndex v : starts) {
+    ReferenceMapExecution exec(g, ids, v);
+    solve(exec);
+    cost.max_volume = std::max(cost.max_volume, exec.volume());
+    cost.max_distance = std::max(cost.max_distance, exec.distance());
+    cost.total_volume += exec.volume();
+  }
+  cost.seconds = timer.seconds();
+  return cost;
+}
+
+template <typename Fn>
+SweepCost sweep_flat(const Graph& g, const IdAssignment& ids,
+                     const std::vector<NodeIndex>& starts, Fn&& solve, int threads) {
+  WallTimer timer;
+  auto run = ParallelRunner(threads).run_at(g, ids, std::span<const NodeIndex>(starts),
+                                            [&](Execution& exec) {
+                                              solve(exec);
+                                              return 0;
+                                            });
+  SweepCost cost;
+  cost.max_volume = run.max_volume;
+  cost.max_distance = run.max_distance;
+  for (const auto v : run.volume) cost.total_volume += v;
+  cost.seconds = timer.seconds();
+  return cost;
+}
+
+struct EngineRow {
+  std::string engine;
+  SweepCost cost;
+};
+
+template <typename FlatFn, typename MapFn>
+void run_workload(const std::string& workload, const Graph& g, const IdAssignment& ids,
+                  const std::vector<NodeIndex>& starts, int repeats, FlatFn&& flat_solve,
+                  MapFn&& map_solve, stats::Table& table, JsonReport& report) {
+  const double n = static_cast<double>(g.node_count());
+  const double total_starts = static_cast<double>(starts.size()) * repeats;
+  auto repeat = [&](auto&& sweep) {
+    SweepCost cost = sweep();
+    for (int r = 1; r < repeats; ++r) {
+      const SweepCost again = sweep();
+      cost.seconds += again.seconds;
+      cost.total_volume += again.total_volume;
+    }
+    return cost;
+  };
+  std::vector<EngineRow> rows;
+  rows.push_back({"map x1", repeat([&] { return sweep_map(g, ids, starts, map_solve); })});
+  for (const int threads : {1, 2, 4, 8}) {
+    rows.push_back({"flat x" + std::to_string(threads),
+                    repeat([&] { return sweep_flat(g, ids, starts, flat_solve, threads); })});
+  }
+  const SweepCost& base = rows.front().cost;
+  for (const auto& row : rows) {
+    if (!row.cost.same_costs(base)) {
+      std::fprintf(stderr, "FATAL: engine '%s' diverged from the map reference on %s\n",
+                   row.engine.c_str(), workload.c_str());
+      std::exit(1);
+    }
+    char starts_s[32], nodes_s[32], speedup[32];
+    std::snprintf(starts_s, sizeof starts_s, "%.0f", total_starts / row.cost.seconds);
+    std::snprintf(nodes_s, sizeof nodes_s, "%.3g",
+                  static_cast<double>(row.cost.total_volume) / row.cost.seconds);
+    std::snprintf(speedup, sizeof speedup, "%.2fx", base.seconds / row.cost.seconds);
+    table.add_row({workload, fmt_int(static_cast<std::int64_t>(n)), row.engine, starts_s,
+                   nodes_s, speedup});
+    Curve c;
+    c.add(n, static_cast<double>(row.cost.total_volume) / row.cost.seconds,
+          row.cost.seconds);
+    report.add(workload + " / " + row.engine, c);
+  }
+}
+
+void run(int argc, char** argv) {
+  print_header("Sweep-engine throughput: map-based vs flat-scratch vs parallel");
+  stats::Table table({"workload", "n", "engine", "starts/s", "visited nodes/s", "speedup"});
+  JsonReport report("bench_runner");
+  for (const int depth : {12, 14, 15}) {
+    auto inst = make_complete_binary_tree(depth, Color::Red, Color::Blue);
+    // All-nodes ball sweep: the pure engine loop.
+    std::vector<NodeIndex> all(static_cast<std::size_t>(inst.node_count()));
+    for (NodeIndex v = 0; v < inst.node_count(); ++v) all[static_cast<std::size_t>(v)] = v;
+    run_workload(
+        "ball(r=6)", inst.graph, inst.ids, all, /*repeats=*/1,
+        [](Execution& exec) { explore_ball(exec, 6); },
+        [](ReferenceMapExecution& exec) { explore_ball(exec, 6); }, table, report);
+    // Whole-graph nearest-leaf sweep: a real Table-1 solver from every node,
+    // mostly small executions — the sweep regime the flat scratch targets.
+    run_workload(
+        "nearleaf/all", inst.graph, inst.ids, all, /*repeats=*/1,
+        [&](Execution& exec) {
+          InstanceSource<ColoredTreeLabeling> src(inst, exec);
+          leafcoloring_nearest_leaf(src);
+        },
+        [&](ReferenceMapExecution& exec) {
+          InstanceSource<ColoredTreeLabeling, ReferenceMapExecution> src(inst, exec);
+          leafcoloring_nearest_leaf(src);
+        },
+        table, report);
+    // The Table-1 row-1 sampled sweep: 24 starts including the root, whose
+    // execution visits Θ(n) nodes — large resident visited sets, the regime
+    // where per-query lookup cost (hash vs array) is the whole difference.
+    run_workload(
+        "nearleaf/t1", inst.graph, inst.ids, sampled_starts(inst.node_count(), 24),
+        /*repeats=*/4,
+        [&](Execution& exec) {
+          InstanceSource<ColoredTreeLabeling> src(inst, exec);
+          leafcoloring_nearest_leaf(src);
+        },
+        [&](ReferenceMapExecution& exec) {
+          InstanceSource<ColoredTreeLabeling, ReferenceMapExecution> src(inst, exec);
+          leafcoloring_nearest_leaf(src);
+        },
+        table, report);
+  }
+  table.print();
+  std::printf(
+      "\nAll engines produced identical sup-costs and total visited nodes\n"
+      "(verified per row).  'speedup' is wall-time vs the serial map engine\n"
+      "on the same workload; thread rows only help on multi-core hosts.\n"
+      "The flat scratch shines on sweeps of many small executions (ball,\n"
+      "nearleaf/all — the run_at_all_nodes regime); on single Θ(n)-volume\n"
+      "executions (nearleaf/t1 root start) both engines are memory-bound and\n"
+      "the gap narrows to the per-lookup hash-vs-array difference.\n");
+  report.write_file(json_path_from_args(argc, argv));
+}
+
+}  // namespace
+}  // namespace volcal::bench
+
+int main(int argc, char** argv) {
+  volcal::bench::run(argc, argv);
+  return 0;
+}

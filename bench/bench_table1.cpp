@@ -73,19 +73,24 @@ void leafcoloring_rows(std::vector<Row>& rows) {
       InstanceSource<ColoredTreeLabeling> src(inst, exec);
       leafcoloring_nearest_leaf(src);
     });
-    dist.add(n, static_cast<double>(det.max_distance));
-    dvol.add(n, static_cast<double>(det.max_volume));
+    dist.add(n, static_cast<double>(det.max_distance), det.wall_seconds);
+    dvol.add(n, static_cast<double>(det.max_volume), det.wall_seconds);
     // RWtoLeaf (Alg. 1): randomized volume, max over starts and 4 tapes.
     std::int64_t worst = 0;
+    double rnd_seconds = 0.0;
     for (std::uint64_t seed = 1; seed <= 4; ++seed) {
       RandomTape tape(inst.ids, seed);
-      auto rnd = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<ColoredTreeLabeling> src(inst, exec);
-        rw_to_leaf(src, tape);
-      });
+      auto rnd = measure(
+          inst.graph, inst.ids, starts,
+          [&](Execution& exec) {
+            InstanceSource<ColoredTreeLabeling> src(inst, exec);
+            rw_to_leaf(src, tape);
+          },
+          &tape);
       worst = std::max(worst, rnd.max_volume);
+      rnd_seconds += rnd.wall_seconds;
     }
-    rvol.add(n, static_cast<double>(worst));
+    rvol.add(n, static_cast<double>(worst), rnd_seconds);
   }
   rows.push_back({"LeafColoring", "R-DIST = D-DIST", "Θ(log n)", dist, "Prop 3.9"});
   rows.push_back({"LeafColoring", "R-VOL", "Θ(log n)", rvol, "Alg 1 / Prop 3.10"});
@@ -105,8 +110,8 @@ void balancedtree_rows(std::vector<Row>& rows) {
       InstanceSource<BalancedTreeLabeling> src(inst, exec);
       balancedtree_solve(src);
     });
-    dist.add(n, static_cast<double>(cost.max_distance));
-    vol.add(n, static_cast<double>(cost.max_volume));
+    dist.add(n, static_cast<double>(cost.max_distance), cost.wall_seconds);
+    vol.add(n, static_cast<double>(cost.max_volume), cost.wall_seconds);
   }
   rows.push_back({"BalancedTree", "R-DIST = D-DIST", "Θ(log n)", dist, "Prop 4.8"});
   rows.push_back({"BalancedTree", "R-VOL = D-VOL", "Θ(n)", vol,
@@ -133,12 +138,15 @@ void hierarchical_rows(std::vector<Row>& rows, int k) {
     dist.add(n, static_cast<double>(det.max_distance));
     RandomTape tape(inst.ids, 3);
     auto rnd_cfg = HthcConfig::make(k, inst.node_count(), true, &tape);
-    auto rnd = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-      InstanceSource<ColoredTreeLabeling> src(inst, exec);
-      HthcSolver<InstanceSource<ColoredTreeLabeling>> solver(src, rnd_cfg);
-      solver.solve();
-    });
-    rvol.add(n, static_cast<double>(rnd.max_volume));
+    auto rnd = measure(
+        inst.graph, inst.ids, starts,
+        [&](Execution& exec) {
+          InstanceSource<ColoredTreeLabeling> src(inst, exec);
+          HthcSolver<InstanceSource<ColoredTreeLabeling>> solver(src, rnd_cfg);
+          solver.solve();
+        },
+        &tape);
+    rvol.add(n, static_cast<double>(rnd.max_volume), rnd.wall_seconds);
   }
   // Deterministic volume on the deep-nest hard family (k >= 3; for k = 2 the
   // hardness is adversarial only — see EXPERIMENTS.md).
@@ -212,11 +220,14 @@ void hybrid_rows(std::vector<Row>& rows, int k) {
     dist.add(n, static_cast<double>(det.max_distance));
     RandomTape tape(inst.ids, 5);
     auto rcfg = HybridConfig::make(k, inst.node_count(), true, &tape);
-    auto rnd = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-      InstanceSource<HybridLabeling> src(inst, exec);
-      hybrid_solve_volume(src, rcfg);
-    });
-    rvol.add(n, static_cast<double>(rnd.max_volume));
+    auto rnd = measure(
+        inst.graph, inst.ids, starts,
+        [&](Execution& exec) {
+          InstanceSource<HybridLabeling> src(inst, exec);
+          hybrid_solve_volume(src, rcfg);
+        },
+        &tape);
+    rvol.add(n, static_cast<double>(rnd.max_volume), rnd.wall_seconds);
   }
   const std::string name = "Hybrid-THC(" + std::to_string(k) + ")";
   rows.push_back({name, "R-DIST = D-DIST", "Θ(log n)", dist, "Thm 6.3"});
@@ -240,11 +251,14 @@ void hh_rows(std::vector<Row>& rows, int k, int l) {
     dist.add(n, static_cast<double>(det.max_distance));
     RandomTape tape(inst.ids, 5);
     auto rcfg = HHConfig::make(k, l, inst.node_count(), true, &tape);
-    auto rnd = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-      InstanceSource<HHLabeling> src(inst, exec);
-      hh_solve_volume(src, rcfg);
-    });
-    rvol.add(n, static_cast<double>(rnd.max_volume));
+    auto rnd = measure(
+        inst.graph, inst.ids, starts,
+        [&](Execution& exec) {
+          InstanceSource<HHLabeling> src(inst, exec);
+          hh_solve_volume(src, rcfg);
+        },
+        &tape);
+    rvol.add(n, static_cast<double>(rnd.max_volume), rnd.wall_seconds);
   }
   const std::string name = "HH-THC(" + std::to_string(k) + "," + std::to_string(l) + ")";
   rows.push_back({name, "R-DIST = D-DIST", "Θ(n^{1/" + std::to_string(l) + "})", dist,
@@ -256,7 +270,7 @@ void hh_rows(std::vector<Row>& rows, int k, int l) {
 }  // namespace
 }  // namespace volcal::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace volcal::bench;
   print_header(
       "Table 1 — complexities of the constructed LCLs "
@@ -278,5 +292,8 @@ int main() {
       "'fitted' is the least-squares growth class over the sweep.  Empty\n"
       "curves mark entries whose hardness is realized adversarially; see the\n"
       "per-section benches and EXPERIMENTS.md.\n");
+  JsonReport report("bench_table1");
+  for (const auto& row : rows) report.add(row.problem + " / " + row.measure, row.curve);
+  report.write_file(json_path_from_args(argc, argv));
   return 0;
 }

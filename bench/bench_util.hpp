@@ -2,17 +2,28 @@
 // regenerates one table/figure of the paper: it prints the paper's claimed
 // Θ-class next to the measured cost curve and the growth class fitted by
 // stats::classify_growth.
+//
+// Sweeps run on the parallel flat-scratch engine (runtime/parallel_runner.hpp);
+// thread count comes from VOLCAL_THREADS (default 1) and never changes the
+// measured costs — the engine's results are bit-identical at any thread count.
+//
+// Every bench main accepts `--json <path>`: the curves it prints are also
+// dumped as a JSON document (per point: n, sup-cost, wall-seconds; per curve:
+// the fitted growth class) for downstream plotting.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
-#include <functional>
+#include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "labels/ids.hpp"
-#include "runtime/execution.hpp"
+#include "runtime/parallel_runner.hpp"
 #include "stats/growth.hpp"
 #include "stats/table.hpp"
 #include "util/hash.hpp"
@@ -23,40 +34,75 @@ struct Cost {
   std::int64_t max_volume = 0;
   std::int64_t max_distance = 0;
   std::int64_t starts = 0;
+  std::int64_t total_queries = 0;
+  double wall_seconds = 0.0;
 };
 
-// Evenly spread sample of start nodes (always includes node 0 — the root of
-// every generated instance — which is the worst case for the tree families).
+class WallTimer {
+ public:
+  WallTimer() : begin_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - begin_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point begin_;
+};
+
+// Evenly spread sample of at most `count` start nodes, always including node
+// 0 (the root of every generated instance — the worst case for the tree
+// families) and node n-1 (a deepest leaf).
 inline std::vector<NodeIndex> sampled_starts(NodeIndex n, NodeIndex count) {
   std::vector<NodeIndex> out;
-  const NodeIndex step = std::max<NodeIndex>(1, n / std::max<NodeIndex>(1, count));
-  for (NodeIndex v = 0; v < n; v += step) out.push_back(v);
+  if (n <= 0 || count <= 0) return out;
+  const NodeIndex k = std::min(n, std::max<NodeIndex>(count, 2));
+  out.reserve(static_cast<std::size_t>(k));
+  for (NodeIndex i = 0; i < k; ++i) {
+    // Endpoint-inclusive linear interpolation: i=0 -> 0, i=k-1 -> n-1.
+    const NodeIndex v = (k == 1) ? 0 : static_cast<NodeIndex>(i * (n - 1) / (k - 1));
+    if (out.empty() || out.back() != v) out.push_back(v);
+  }
   return out;
 }
 
-// Runs `solve(Execution&)` from each start and aggregates sup-costs
-// (Defs. 2.1-2.2 restricted to the sample).
+// Runs `solve(Execution&)` from each start on the parallel sweep engine and
+// aggregates sup-costs (Defs. 2.1-2.2 restricted to the sample).  `tape`, if
+// given, gets per-worker bit-usage accounting; `threads` overrides the
+// VOLCAL_THREADS default.
 template <typename Fn>
 Cost measure(const Graph& g, const IdAssignment& ids, const std::vector<NodeIndex>& starts,
-             Fn&& solve) {
+             Fn&& solve, RandomTape* tape = nullptr, int threads = 0) {
+  WallTimer timer;
+  // The engine wants a Label-returning solver; benches often measure
+  // cost-only solvers returning void.
+  auto wrapped = [&](Execution& exec) {
+    if constexpr (std::is_void_v<std::invoke_result_t<Fn&, Execution&>>) {
+      solve(exec);
+      return 0;
+    } else {
+      return solve(exec);
+    }
+  };
+  auto run = ParallelRunner(threads).run_at(g, ids, std::span<const NodeIndex>(starts),
+                                            wrapped, /*budget=*/0, tape);
   Cost cost;
-  for (const NodeIndex v : starts) {
-    Execution exec(g, ids, v);
-    solve(exec);
-    cost.max_volume = std::max(cost.max_volume, exec.volume());
-    cost.max_distance = std::max(cost.max_distance, exec.distance());
-    ++cost.starts;
-  }
+  cost.max_volume = run.max_volume;
+  cost.max_distance = run.max_distance;
+  cost.starts = static_cast<std::int64_t>(starts.size());
+  cost.total_queries = run.total_queries;
+  cost.wall_seconds = timer.seconds();
   return cost;
 }
 
 struct Curve {
   std::vector<double> ns;
   std::vector<double> costs;
+  std::vector<double> secs;  // wall seconds per point (0 when unmeasured)
 
-  void add(double n, double cost) {
+  void add(double n, double cost, double wall_seconds = 0.0) {
     ns.push_back(n);
     costs.push_back(cost);
+    secs.push_back(wall_seconds);
   }
   std::string fitted() const {
     if (ns.size() < 3) return "(n/a)";
@@ -71,5 +117,89 @@ inline void print_header(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
 }
+
+// --- JSON report (--json <path>) -------------------------------------------
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes (Θ, …) pass through untouched
+        }
+    }
+  }
+  return out;
+}
+
+// Returns the argument of `--json <path>` (or `--json=<path>`), else nullptr.
+inline const char* json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) return argv[i + 1];
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return nullptr;
+}
+
+// Collects named curves and serializes them as
+//   {"tool": ..., "curves": [{"name", "fitted", "points": [{"n", "cost",
+//   "wall_seconds"}]}]}.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string tool) : tool_(std::move(tool)) {}
+
+  void add(std::string name, const Curve& curve) {
+    curves_.push_back({std::move(name), curve});
+  }
+
+  std::string render() const {
+    std::string out = "{\"tool\": \"" + json_escape(tool_) + "\", \"curves\": [";
+    for (std::size_t c = 0; c < curves_.size(); ++c) {
+      const auto& [name, curve] = curves_[c];
+      if (c) out += ", ";
+      out += "{\"name\": \"" + json_escape(name) + "\", \"fitted\": \"" +
+             json_escape(curve.fitted()) + "\", \"points\": [";
+      for (std::size_t i = 0; i < curve.ns.size(); ++i) {
+        if (i) out += ", ";
+        char buf[128];
+        std::snprintf(buf, sizeof buf, "{\"n\": %.0f, \"cost\": %.17g, \"wall_seconds\": %.6g}",
+                      curve.ns[i], curve.costs[i], curve.secs[i]);
+        out += buf;
+      }
+      out += "]}";
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  // Writes the report if `path` is non-null; announces the file on stdout.
+  bool write_file(const char* path) const {
+    if (path == nullptr) return false;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n", path);
+      return false;
+    }
+    const std::string doc = render();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("\n[json report: %s]\n", path);
+    return true;
+  }
+
+ private:
+  std::string tool_;
+  std::vector<std::pair<std::string, Curve>> curves_;
+};
 
 }  // namespace volcal::bench

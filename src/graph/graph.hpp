@@ -48,6 +48,21 @@ class Graph {
     return adjacency_[offsets_[v] + p - 1];
   }
 
+  // Same contract and errors as neighbor(), for callers that have already
+  // established v is valid (the query engine validates the node through its
+  // visited set first): skips only the node-validity rechecks, keeping the
+  // port check and its exception.
+  NodeIndex neighbor_prevalidated(NodeIndex v, Port p) const {
+    const std::size_t off = offsets_[v];
+    const std::size_t deg = offsets_[v + 1] - off;
+    if (p < 1 || static_cast<std::size_t>(p) > deg) {
+      throw std::out_of_range("Graph::neighbor: port " + std::to_string(p) +
+                              " out of range for node " + std::to_string(v) +
+                              " with degree " + std::to_string(deg));
+    }
+    return adjacency_[off + static_cast<std::size_t>(p) - 1];
+  }
+
   // All neighbors of v in port order.
   std::span<const NodeIndex> neighbors(NodeIndex v) const {
     check_node(v);

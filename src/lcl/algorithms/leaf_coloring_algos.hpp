@@ -12,11 +12,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <unordered_set>
+#include <vector>
 
 #include "lcl/algorithms/local_view.hpp"
 #include "runtime/randomness.hpp"
+#include "util/stamped_set.hpp"
 
 namespace volcal {
 
@@ -28,15 +29,23 @@ Color leafcoloring_nearest_leaf(Source& src) {
   TreeView<Source> view(src);
   const NodeIndex start = src.start();
   if (!view.internal(start)) return src.color(start);
-  std::deque<NodeIndex> frontier{start};
-  std::unordered_set<NodeIndex> seen{start};
-  while (!frontier.empty()) {
-    const NodeIndex v = frontier.front();
-    frontier.pop_front();
+  // BFS scratch reused across calls (whole-graph sweeps call this from every
+  // start node, so per-call containers would dominate the wall time): a
+  // vector-with-head-index queue and an epoch-stamped seen set, both
+  // allocation-free in steady state.  Not reentrant; nothing calls this
+  // solver from within itself.
+  thread_local std::vector<NodeIndex> frontier;
+  thread_local StampedNodeSet seen;
+  frontier.clear();
+  seen.clear();
+  frontier.push_back(start);
+  seen.insert(start);
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const NodeIndex v = frontier[head];
     // Children of an internal node are always in G_T (a non-internal child
     // of an internal parent is a leaf), so expansion is two-way.
     for (const NodeIndex child : {view.left(v), view.right(v)}) {
-      if (child == kNoNode || !seen.insert(child).second) continue;
+      if (child == kNoNode || !seen.insert(child)) continue;
       if (!view.internal(child)) return src.color(child);  // nearest leftmost leaf
       frontier.push_back(child);
     }

@@ -35,14 +35,17 @@ inline const TreeLabeling& tree_of(const BalancedTreeLabeling& l) { return l.tre
 inline const TreeLabeling& tree_of(const HybridLabeling& l) { return l.bal.tree; }
 inline const TreeLabeling& tree_of(const HHLabeling& l) { return l.hybrid.bal.tree; }
 
-template <typename Labels>
+// Exec defaults to the flat-scratch Execution; the test-only map-based
+// reference (runtime/reference_execution.hpp) plugs in for differential
+// testing and the bench_runner baseline.
+template <typename Labels, typename Exec = Execution>
 class InstanceSource {
  public:
-  InstanceSource(const Instance<Labels>& inst, Execution& exec)
+  InstanceSource(const Instance<Labels>& inst, Exec& exec)
       : inst_(&inst), exec_(&exec) {}
 
   const Instance<Labels>& instance() const { return *inst_; }
-  Execution& execution() const { return *exec_; }
+  Exec& execution() const { return *exec_; }
 
   NodeIndex start() const { return exec_->start(); }
   std::int64_t n() const { return inst_->node_count(); }
@@ -105,7 +108,7 @@ class InstanceSource {
   }
 
   const Instance<Labels>* inst_;
-  Execution* exec_;
+  Exec* exec_;
 };
 
 // Cost-free source over a materialized instance: same interface as

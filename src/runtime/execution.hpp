@@ -15,12 +15,20 @@
 //     overestimate by at most the single cycle per component.  All instances
 //     in this library are (pseudo-)forests plus lateral edges explored along
 //     shortest routes, so bench numbers match Def. 2.1.  The discrepancy is
-//     documented in DESIGN.md.
+//     documented in DESIGN.md and pinned by the layer-tightening tests in
+//     tests/runtime_test.cpp.
+//
+// Storage: visited/layer state lives in an ExecutionScratch — a pair of flat
+// arrays sized to n plus an epoch stamp.  Starting a new execution is O(1)
+// (bump the epoch); whole-graph sweeps reuse one scratch per worker thread
+// and therefore perform zero allocations per start node.  The historical
+// std::unordered_map implementation is preserved verbatim as the test-only
+// differential reference in runtime/reference_execution.hpp.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -32,22 +40,67 @@ struct QueryBudgetExceeded : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// Reusable visited-set / BFS-layer bookkeeping for Execution.  One scratch
+// serves any number of *consecutive* executions (each constructor call bumps
+// the epoch, invalidating the previous execution's stamps in O(1)); it must
+// not be shared by two live executions at once, nor by two threads.  The
+// parallel sweep engine keeps one scratch per worker.
+class ExecutionScratch {
+ public:
+  ExecutionScratch() = default;
+  explicit ExecutionScratch(NodeIndex capacity) { reserve(capacity); }
+
+  // Ensures capacity for graphs of up to n nodes (grow-only).
+  void reserve(NodeIndex n) {
+    if (static_cast<NodeIndex>(stamp_.size()) < n) {
+      stamp_.resize(static_cast<std::size_t>(n), 0);
+      layer_.resize(static_cast<std::size_t>(n), 0);
+    }
+  }
+
+  NodeIndex capacity() const { return static_cast<NodeIndex>(stamp_.size()); }
+
+ private:
+  // Start a fresh execution on a graph of n nodes: O(1) apart from first-use
+  // (or growth) allocation and the O(previous volume) order_.clear(), which
+  // releases no memory.
+  void begin(NodeIndex n) {
+    reserve(n);
+    order_.clear();
+    ++epoch_;
+  }
+
+  bool stamped(NodeIndex v) const { return stamp_[static_cast<std::size_t>(v)] == epoch_; }
+
+  std::vector<std::uint64_t> stamp_;  // epoch at which the slot was last visited
+  std::vector<std::int64_t> layer_;   // BFS layer within the explored subgraph
+  std::vector<NodeIndex> order_;      // visited nodes in discovery order
+  std::uint64_t epoch_ = 0;           // 0 = no execution has used a slot yet
+
+  friend class Execution;
+};
+
 class Execution {
  public:
   // budget: hard cap on volume; exceeding it throws QueryBudgetExceeded
   // (used to truncate randomized algorithms per Remark 3.11 and to run
   // adversaries against budget-limited algorithms).  budget <= 0 = unlimited.
+  //
+  // The three-argument form owns a private scratch (one allocation); the
+  // scratch-taking form borrows the caller's, making repeated executions
+  // allocation-free.
   Execution(const Graph& g, const IdAssignment& ids, NodeIndex start,
             std::int64_t budget = 0)
-      : g_(&g), ids_(&ids), start_(start), budget_(budget) {
-    if (!g.valid_node(start)) throw std::out_of_range("Execution: bad start node");
-    layer_[start] = 0;
-  }
+      : Execution(g, ids, start, budget, nullptr) {}
+
+  Execution(const Graph& g, const IdAssignment& ids, NodeIndex start,
+            std::int64_t budget, ExecutionScratch& scratch)
+      : Execution(g, ids, start, budget, &scratch) {}
 
   NodeIndex start() const { return start_; }
   const Graph& graph() const { return *g_; }
 
-  bool visited(NodeIndex v) const { return layer_.contains(v); }
+  bool visited(NodeIndex v) const { return g_->valid_node(v) && scratch_->stamped(v); }
 
   // Degree of a visited node is part of what its discovery revealed.
   int degree(NodeIndex v) const {
@@ -64,17 +117,18 @@ class Execution {
   NodeIndex query(NodeIndex w, Port j) {
     require_visited(w);
     ++query_count_;
-    const NodeIndex u = g_->neighbor(w, j);
-    auto it = layer_.find(u);
-    const std::int64_t candidate = layer_.at(w) + 1;
-    if (it == layer_.end()) {
+    const NodeIndex u = g_->neighbor_prevalidated(w, j);
+    const std::int64_t candidate = scratch_->layer_[static_cast<std::size_t>(w)] + 1;
+    if (!scratch_->stamped(u)) {
       if (budget_ > 0 && volume() + 1 > budget_) {
         throw QueryBudgetExceeded("query budget exceeded at node " + std::to_string(w));
       }
-      layer_.emplace(u, candidate);
+      scratch_->stamp_[static_cast<std::size_t>(u)] = scratch_->epoch_;
+      scratch_->layer_[static_cast<std::size_t>(u)] = candidate;
+      scratch_->order_.push_back(u);
       max_layer_ = std::max(max_layer_, candidate);
-    } else if (candidate < it->second) {
-      it->second = candidate;  // tighter layer seen later; no propagation
+    } else if (candidate < scratch_->layer_[static_cast<std::size_t>(u)]) {
+      scratch_->layer_[static_cast<std::size_t>(u)] = candidate;  // tighter layer seen later; no propagation
     }
     return u;
   }
@@ -86,24 +140,35 @@ class Execution {
     }
   }
 
-  std::int64_t volume() const { return static_cast<std::int64_t>(layer_.size()); }
+  std::int64_t volume() const { return static_cast<std::int64_t>(scratch_->order_.size()); }
   std::int64_t distance() const { return max_layer_; }
   std::int64_t query_count() const { return query_count_; }
   std::int64_t budget() const { return budget_; }
 
-  std::vector<NodeIndex> visited_nodes() const {
-    std::vector<NodeIndex> out;
-    out.reserve(layer_.size());
-    for (const auto& [v, d] : layer_) out.push_back(v);
-    return out;
-  }
+  // Visited nodes in discovery order (the start node first).
+  std::vector<NodeIndex> visited_nodes() const { return scratch_->order_; }
 
  private:
+  Execution(const Graph& g, const IdAssignment& ids, NodeIndex start,
+            std::int64_t budget, ExecutionScratch* scratch)
+      : g_(&g), ids_(&ids), start_(start), budget_(budget), scratch_(scratch) {
+    if (!g.valid_node(start)) throw std::out_of_range("Execution: bad start node");
+    if (scratch_ == nullptr) {
+      owned_ = std::make_unique<ExecutionScratch>(g.node_count());
+      scratch_ = owned_.get();
+    }
+    scratch_->begin(g.node_count());
+    scratch_->stamp_[static_cast<std::size_t>(start)] = scratch_->epoch_;
+    scratch_->layer_[static_cast<std::size_t>(start)] = 0;
+    scratch_->order_.push_back(start);
+  }
+
   const Graph* g_;
   const IdAssignment* ids_;
   NodeIndex start_;
   std::int64_t budget_;
-  std::unordered_map<NodeIndex, std::int64_t> layer_;
+  std::unique_ptr<ExecutionScratch> owned_;
+  ExecutionScratch* scratch_;
   std::int64_t max_layer_ = 0;
   std::int64_t query_count_ = 0;
 };
@@ -111,6 +176,31 @@ class Execution {
 // Convenience: explore the full ball N_v(r) through the query interface (the
 // LOCAL-model simulation of Remark 2.3: a distance-T algorithm is one whose
 // execution stays within N_v(T)).  Returns nodes in BFS order.
-std::vector<NodeIndex> explore_ball(Execution& exec, std::int64_t radius);
+//
+// Generic over the execution type so the test-only map-based reference runs
+// the same exploration; freshness of a discovered node is detected through
+// the volume meter, so no per-call visited set is allocated.
+template <typename Exec>
+std::vector<NodeIndex> explore_ball(Exec& exec, std::int64_t radius) {
+  std::vector<NodeIndex> order{exec.start()};
+  // Level windows [level_begin, level_end) track the current BFS depth, so no
+  // per-node depth bookkeeping (or its allocations) is needed; the query
+  // sequence is identical to per-node-depth BFS.
+  std::size_t level_begin = 0, level_end = 1;
+  for (std::int64_t d = 0; d < radius && level_begin < level_end; ++d) {
+    for (std::size_t head = level_begin; head < level_end; ++head) {
+      const NodeIndex v = order[head];
+      const int deg = exec.degree(v);
+      for (Port p = 1; p <= deg; ++p) {
+        const std::int64_t before = exec.volume();
+        const NodeIndex u = exec.query(v, p);
+        if (exec.volume() > before) order.push_back(u);  // u was fresh
+      }
+    }
+    level_begin = level_end;
+    level_end = order.size();
+  }
+  return order;
+}
 
 }  // namespace volcal

@@ -1,0 +1,166 @@
+// Parallel, allocation-free whole-graph sweep engine.
+//
+// A "solver" is a callable Label(Execution&) producing the initiating node's
+// output; the engine executes it once per start node (each with a fresh
+// Execution, as the model is stateless across nodes) and aggregates the costs
+// of Definitions 2.1-2.2:
+//
+//   DIST_n(A) = sup over start nodes of the distance cost,
+//   VOL_n(A)  = sup over start nodes of the volume cost.
+//
+// Parallelism: a small worker pool (std::thread) pulls chunks of start nodes
+// off an atomic counter.  Each worker owns one ExecutionScratch (reused
+// across its executions — zero allocations per start node) and, when a
+// RandomTape is supplied, one RandomTape::ScopedUsage ledger (lock-free bit
+// accounting, merged when the worker finishes).
+//
+// Determinism: RunResult is bit-identical regardless of thread count or
+// scheduling, because
+//   * each execution is a pure function of (instance, start, budget, tape)
+//     — workers share nothing hot;
+//   * per-start outputs/volumes/distances are written to disjoint
+//     preassigned slots;
+//   * sup-costs are reduced by a serial scan of those slots, and
+//     truncated/total_queries are sums of per-worker integers — both
+//     order-independent;
+//   * tape bit accounting merges by pointwise max — also order-independent.
+// tests/parallel_runner_test.cpp asserts this at 1, 2 and 8 threads for
+// every problem family.
+//
+// Thread count: explicit constructor argument, else the VOLCAL_THREADS
+// environment variable, else 1 (determinism-by-default; parallelism is an
+// explicit opt-in).  Solvers run concurrently and so must be safe to invoke
+// from multiple threads — true for every solver in this library, which
+// construct their per-run state inside the call.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/execution.hpp"
+#include "runtime/randomness.hpp"
+
+namespace volcal {
+
+template <typename Label>
+struct RunResult {
+  std::vector<Label> output;
+  std::vector<std::int64_t> volume;    // per start node
+  std::vector<std::int64_t> distance;  // per start node
+  std::int64_t max_volume = 0;         // VOL_n(A) on this instance
+  std::int64_t max_distance = 0;       // DIST_n(A) on this instance
+  std::int64_t total_queries = 0;
+  // Nodes whose execution blew the query budget (their output is the
+  // solver's fallback, or default Label if the solver rethrew).
+  std::int64_t truncated = 0;
+};
+
+namespace detail {
+
+// Implemented in parallel_runner.cpp (the non-template engine core).
+int resolve_thread_count(int requested);
+std::int64_t sweep_chunk(std::int64_t items, int workers);
+// Runs body(0..workers-1), body(0) on the calling thread; joins all workers
+// and rethrows the first captured exception (lowest worker index).
+void run_on_workers(int workers, const std::function<void(int)>& body);
+
+}  // namespace detail
+
+class ParallelRunner {
+ public:
+  // threads == 0: use VOLCAL_THREADS if set, else 1.
+  explicit ParallelRunner(int threads = 0)
+      : threads_(detail::resolve_thread_count(threads)) {}
+
+  int threads() const { return threads_; }
+
+  // Sweep an explicit start list; result vectors are indexed by position in
+  // `starts`.  `tape` is optional and only used for worker-local bit-usage
+  // accounting (values are read through the solver as usual).
+  template <typename Solver>
+  auto run_at(const Graph& g, const IdAssignment& ids, std::span<const NodeIndex> starts,
+              Solver&& solver, std::int64_t budget = 0, RandomTape* tape = nullptr) const {
+    using Label = std::decay_t<std::invoke_result_t<Solver&, Execution&>>;
+    RunResult<Label> result;
+    const std::int64_t count = static_cast<std::int64_t>(starts.size());
+    result.volume.resize(static_cast<std::size_t>(count));
+    result.distance.resize(static_cast<std::size_t>(count));
+
+    // std::vector<bool> packs bits — concurrent writes to neighboring slots
+    // would race.  Buffer bool outputs per-byte and convert at the end.
+    using OutputSlot = std::conditional_t<std::is_same_v<Label, bool>, std::uint8_t, Label>;
+    std::vector<OutputSlot> output(static_cast<std::size_t>(count));
+
+    const int workers =
+        static_cast<int>(std::min<std::int64_t>(threads_, std::max<std::int64_t>(count, 1)));
+    const std::int64_t chunk = detail::sweep_chunk(count, workers);
+    std::atomic<std::int64_t> next{0};
+    std::vector<std::int64_t> truncated(static_cast<std::size_t>(workers), 0);
+    std::vector<std::int64_t> queries(static_cast<std::size_t>(workers), 0);
+
+    detail::run_on_workers(workers, [&](const int worker) {
+      ExecutionScratch scratch(g.node_count());
+      std::optional<RandomTape::ScopedUsage> usage;
+      if (tape != nullptr) usage.emplace(*tape);
+      std::int64_t local_truncated = 0;
+      std::int64_t local_queries = 0;
+      for (std::int64_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+           begin < count; begin = next.fetch_add(chunk, std::memory_order_relaxed)) {
+        const std::int64_t end = std::min(count, begin + chunk);
+        for (std::int64_t i = begin; i < end; ++i) {
+          Execution exec(g, ids, starts[static_cast<std::size_t>(i)], budget, scratch);
+          try {
+            output[static_cast<std::size_t>(i)] =
+                static_cast<OutputSlot>(solver(exec));
+          } catch (const QueryBudgetExceeded&) {
+            ++local_truncated;
+            output[static_cast<std::size_t>(i)] =
+                static_cast<OutputSlot>(Label{});  // arbitrary output per Remark 3.11
+          }
+          result.volume[static_cast<std::size_t>(i)] = exec.volume();
+          result.distance[static_cast<std::size_t>(i)] = exec.distance();
+          local_queries += exec.query_count();
+        }
+      }
+      truncated[static_cast<std::size_t>(worker)] = local_truncated;
+      queries[static_cast<std::size_t>(worker)] = local_queries;
+    });
+
+    if constexpr (std::is_same_v<Label, bool>) {
+      result.output.assign(output.begin(), output.end());
+    } else {
+      result.output = std::move(output);
+    }
+    for (int w = 0; w < workers; ++w) {
+      result.truncated += truncated[static_cast<std::size_t>(w)];
+      result.total_queries += queries[static_cast<std::size_t>(w)];
+    }
+    for (std::int64_t i = 0; i < count; ++i) {
+      result.max_volume = std::max(result.max_volume, result.volume[static_cast<std::size_t>(i)]);
+      result.max_distance =
+          std::max(result.max_distance, result.distance[static_cast<std::size_t>(i)]);
+    }
+    return result;
+  }
+
+  // Sweep every node of the graph; result vectors are indexed by NodeIndex.
+  template <typename Solver>
+  auto run_at_all_nodes(const Graph& g, const IdAssignment& ids, Solver&& solver,
+                        std::int64_t budget = 0, RandomTape* tape = nullptr) const {
+    const NodeIndex n = g.node_count();
+    std::vector<NodeIndex> starts(static_cast<std::size_t>(n));
+    for (NodeIndex v = 0; v < n; ++v) starts[static_cast<std::size_t>(v)] = v;
+    return run_at(g, ids, starts, std::forward<Solver>(solver), budget, tape);
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace volcal

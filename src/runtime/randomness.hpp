@@ -9,6 +9,14 @@
 // Bit-usage accounting: the model (§2.2, footnote 1) assumes bits are read
 // sequentially and that the number of accessed bits is bounded whp.  The tape
 // records the high-water mark per node so tests can assert the bound.
+// Because tape *values* are pure hashes, only this accounting is mutable
+// state; it is factored into TapeUsage so the parallel sweep engine can keep
+// one usage ledger per worker and merge them (a per-node max, so the merged
+// totals are independent of scheduling).  Accounting routes:
+//   * inside a ScopedUsage (one per sweep worker): lock-free into the
+//     worker-local ledger, merged into the tape when the scope closes;
+//   * otherwise: into the tape's own ledger under a mutex — safe from any
+//     thread, uncontended in serial code.
 //
 // Three access disciplines (§7.4):
 //   * private  — any execution may read any visited node's tape (the paper's
@@ -19,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -30,7 +39,52 @@ namespace volcal {
 
 enum class RandomnessModel : std::uint8_t { Private, Public, Secret };
 
+// High-water marks of accessed tape positions, per node.  Plain data with a
+// commutative merge (pointwise max): merging per-worker ledgers in any order
+// yields the same totals, which is what makes parallel-sweep bit accounting
+// deterministic.
+class TapeUsage {
+ public:
+  void note(NodeIndex v, std::uint64_t position) {
+    auto& hw = used_[v];
+    hw = std::max(hw, position + 1);
+  }
+
+  void merge(const TapeUsage& other) {
+    for (const auto& [v, bits] : other.used_) {
+      auto& hw = used_[v];
+      hw = std::max(hw, bits);
+    }
+  }
+
+  std::uint64_t bits(NodeIndex v) const {
+    auto it = used_.find(v);
+    return it == used_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t max_bits() const {
+    std::uint64_t m = 0;
+    for (const auto& [node, bits] : used_) m = std::max(m, bits);
+    return m;
+  }
+
+  bool empty() const { return used_.empty(); }
+  void clear() { used_.clear(); }
+
+ private:
+  std::unordered_map<NodeIndex, std::uint64_t> used_;
+};
+
 class RandomTape {
+ private:
+  // Where note_use routes on this thread: a worker-local ledger while a
+  // ScopedUsage for this tape is alive, the tape's own mutex-guarded ledger
+  // otherwise.
+  struct Sink {
+    const RandomTape* tape;
+    TapeUsage* usage;
+  };
+
  public:
   RandomTape(const IdAssignment& ids, std::uint64_t seed,
              RandomnessModel model = RandomnessModel::Private)
@@ -44,10 +98,7 @@ class RandomTape {
   bool bit(NodeIndex reader, NodeIndex v, std::uint64_t i) {
     check_access(reader, v);
     note_use(v, i);
-    const NodeIndex key = (model_ == RandomnessModel::Public) ? 0 : v;
-    const std::uint64_t id =
-        (model_ == RandomnessModel::Public) ? 0 : ids_->id_of(key);
-    return (mix64(seed_, id, i) & 1) != 0;
+    return bit_value(v, i);
   }
 
   // A uniform word built from 64 consecutive bits starting at position i
@@ -55,9 +106,7 @@ class RandomTape {
   std::uint64_t word(NodeIndex reader, NodeIndex v, std::uint64_t i) {
     check_access(reader, v);
     note_use(v, i + 63);
-    const std::uint64_t id =
-        (model_ == RandomnessModel::Public) ? 0 : ids_->id_of(v);
-    return mix64(seed_, id, 0x9000 + i);
+    return word_value(v, i);
   }
 
   // Uniform double in [0,1) consuming 64 bits at position i.
@@ -65,34 +114,85 @@ class RandomTape {
     return to_unit_double(word(reader, v, i));
   }
 
-  // High-water mark of accessed positions on v's string (+1), i.e. the number
-  // of consumed bits under sequential access.  0 if untouched.
-  std::uint64_t bits_used(NodeIndex v) const {
-    auto it = used_.find(v);
-    return it == used_.end() ? 0 : it->second;
+  // Pure value functions: no access check, no accounting.  The hash makes
+  // them safe from any thread.
+  bool bit_value(NodeIndex v, std::uint64_t i) const {
+    return (mix64(seed_, id_key(v), i) & 1) != 0;
   }
-  std::uint64_t max_bits_used_anywhere() const {
-    std::uint64_t m = 0;
-    for (const auto& [node, bits] : used_) m = std::max(m, bits);
-    return m;
+  std::uint64_t word_value(NodeIndex v, std::uint64_t i) const {
+    return mix64(seed_, id_key(v), 0x9000 + i);
   }
 
+  // High-water mark of accessed positions on v's string (+1), i.e. the number
+  // of consumed bits under sequential access.  0 if untouched.  Usage
+  // recorded inside a still-open ScopedUsage becomes visible here only when
+  // that scope closes.
+  std::uint64_t bits_used(NodeIndex v) const {
+    std::lock_guard<std::mutex> lock(usage_mutex_);
+    return usage_.bits(v);
+  }
+  std::uint64_t max_bits_used_anywhere() const {
+    std::lock_guard<std::mutex> lock(usage_mutex_);
+    return usage_.max_bits();
+  }
+
+  void merge_usage(const TapeUsage& other) {
+    std::lock_guard<std::mutex> lock(usage_mutex_);
+    usage_.merge(other);
+  }
+
+  // RAII worker-local accounting: while alive on this thread, every bit read
+  // through this tape is noted lock-free in a private ledger; the destructor
+  // merges it into the tape.  One per sweep worker keeps the parallel hot
+  // path free of the accounting mutex.  Scopes on different tapes nest.
+  class ScopedUsage {
+   public:
+    explicit ScopedUsage(RandomTape& tape) : tape_(&tape), prev_(tls_sink_) {
+      tls_sink_ = Sink{tape_, &local_};
+    }
+    ~ScopedUsage() {
+      tls_sink_ = prev_;
+      tape_->merge_usage(local_);
+    }
+    ScopedUsage(const ScopedUsage&) = delete;
+    ScopedUsage& operator=(const ScopedUsage&) = delete;
+
+    const TapeUsage& local() const { return local_; }
+
+   private:
+    RandomTape* tape_;
+    TapeUsage local_;
+    Sink prev_;
+  };
+
  private:
+  std::uint64_t id_key(NodeIndex v) const {
+    return (model_ == RandomnessModel::Public) ? 0 : ids_->id_of(v);
+  }
+
   void check_access(NodeIndex reader, NodeIndex v) const {
     if (model_ == RandomnessModel::Secret && reader != v) {
       throw std::logic_error("RandomTape: secret-randomness violation: node " +
                              std::to_string(reader) + " read tape of " + std::to_string(v));
     }
   }
+
   void note_use(NodeIndex v, std::uint64_t i) {
-    auto& hw = used_[model_ == RandomnessModel::Public ? 0 : v];
-    hw = std::max(hw, i + 1);
+    const NodeIndex key = (model_ == RandomnessModel::Public) ? 0 : v;
+    if (tls_sink_.tape == this) {
+      tls_sink_.usage->note(key, i);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(usage_mutex_);
+    usage_.note(key, i);
   }
 
   const IdAssignment* ids_;
   std::uint64_t seed_;
   RandomnessModel model_;
-  std::unordered_map<NodeIndex, std::uint64_t> used_;
+  mutable std::mutex usage_mutex_;
+  TapeUsage usage_;
+  inline static thread_local Sink tls_sink_{nullptr, nullptr};
 };
 
 }  // namespace volcal

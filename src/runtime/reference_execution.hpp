@@ -1,0 +1,99 @@
+// Test-only reference implementation of the query model: the historical
+// std::unordered_map-based Execution, preserved verbatim so the flat
+// epoch-stamped Execution (runtime/execution.hpp) can be differentially
+// tested against it (tests/execution_diff_test.cpp) and benchmarked as the
+// serial-map baseline (bench/bench_runner.cpp).
+//
+// Query/cost semantics are the contract: volume(), distance(),
+// query_count(), budget behavior and the layer-tightening rule must match
+// Execution exactly.  Do not "fix" one without the other.
+#pragma once
+
+#ifndef VOLCAL_ENABLE_REFERENCE_EXECUTION
+#error \
+    "reference_execution.hpp is a test-only reference implementation; define " \
+    "VOLCAL_ENABLE_REFERENCE_EXECUTION (only the differential tests and " \
+    "bench_runner do)"
+#endif
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "labels/ids.hpp"
+#include "runtime/execution.hpp"  // QueryBudgetExceeded
+
+namespace volcal {
+
+class ReferenceMapExecution {
+ public:
+  ReferenceMapExecution(const Graph& g, const IdAssignment& ids, NodeIndex start,
+                        std::int64_t budget = 0)
+      : g_(&g), ids_(&ids), start_(start), budget_(budget) {
+    if (!g.valid_node(start)) throw std::out_of_range("Execution: bad start node");
+    layer_[start] = 0;
+  }
+
+  NodeIndex start() const { return start_; }
+  const Graph& graph() const { return *g_; }
+
+  bool visited(NodeIndex v) const { return layer_.contains(v); }
+
+  int degree(NodeIndex v) const {
+    require_visited(v);
+    return g_->degree(v);
+  }
+  NodeId id(NodeIndex v) const {
+    require_visited(v);
+    return ids_->id_of(v);
+  }
+
+  NodeIndex query(NodeIndex w, Port j) {
+    require_visited(w);
+    ++query_count_;
+    const NodeIndex u = g_->neighbor(w, j);
+    auto it = layer_.find(u);
+    const std::int64_t candidate = layer_.at(w) + 1;
+    if (it == layer_.end()) {
+      if (budget_ > 0 && volume() + 1 > budget_) {
+        throw QueryBudgetExceeded("query budget exceeded at node " + std::to_string(w));
+      }
+      layer_.emplace(u, candidate);
+      max_layer_ = std::max(max_layer_, candidate);
+    } else if (candidate < it->second) {
+      it->second = candidate;  // tighter layer seen later; no propagation
+    }
+    return u;
+  }
+
+  void require_visited(NodeIndex v) const {
+    if (!visited(v)) {
+      throw std::logic_error("Execution: access to unvisited node " + std::to_string(v));
+    }
+  }
+
+  std::int64_t volume() const { return static_cast<std::int64_t>(layer_.size()); }
+  std::int64_t distance() const { return max_layer_; }
+  std::int64_t query_count() const { return query_count_; }
+  std::int64_t budget() const { return budget_; }
+
+  std::vector<NodeIndex> visited_nodes() const {
+    std::vector<NodeIndex> out;
+    out.reserve(layer_.size());
+    for (const auto& [v, d] : layer_) out.push_back(v);
+    return out;
+  }
+
+ private:
+  const Graph* g_;
+  const IdAssignment* ids_;
+  NodeIndex start_;
+  std::int64_t budget_;
+  std::unordered_map<NodeIndex, std::int64_t> layer_;
+  std::int64_t max_layer_ = 0;
+  std::int64_t query_count_ = 0;
+};
+
+}  // namespace volcal

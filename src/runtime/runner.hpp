@@ -5,6 +5,11 @@
 //
 //   DIST_n(A) = sup over start nodes of the distance cost,
 //   VOL_n(A)  = sup over start nodes of the volume cost.
+//
+// run_at_all_nodes is a thin wrapper over the sweep engine in
+// runtime/parallel_runner.hpp: serial (and allocation-free — one scratch
+// reused across all starts) by default, parallel when VOLCAL_THREADS is set.
+// Output is bit-identical either way; see parallel_runner.hpp.
 #pragma once
 
 #include <algorithm>
@@ -14,46 +19,17 @@
 #include <vector>
 
 #include "runtime/execution.hpp"
+#include "runtime/parallel_runner.hpp"
 
 namespace volcal {
 
-template <typename Label>
-struct RunResult {
-  std::vector<Label> output;
-  std::vector<std::int64_t> volume;    // per start node
-  std::vector<std::int64_t> distance;  // per start node
-  std::int64_t max_volume = 0;         // VOL_n(A) on this instance
-  std::int64_t max_distance = 0;       // DIST_n(A) on this instance
-  std::int64_t total_queries = 0;
-  // Nodes whose execution blew the query budget (their output is the
-  // solver's fallback, or default Label if the solver rethrew).
-  std::int64_t truncated = 0;
-};
-
+// `tape` is optional: pass the solver's RandomTape to route its bit-usage
+// accounting through worker-local ledgers (lock-free in parallel sweeps).
 template <typename Solver>
 auto run_at_all_nodes(const Graph& g, const IdAssignment& ids, Solver&& solver,
-                      std::int64_t budget = 0) {
-  using Label = decltype(solver(std::declval<Execution&>()));
-  RunResult<Label> result;
-  const NodeIndex n = g.node_count();
-  result.output.resize(n);
-  result.volume.resize(n);
-  result.distance.resize(n);
-  for (NodeIndex v = 0; v < n; ++v) {
-    Execution exec(g, ids, v, budget);
-    try {
-      result.output[v] = solver(exec);
-    } catch (const QueryBudgetExceeded&) {
-      ++result.truncated;
-      result.output[v] = Label{};  // arbitrary output per Remark 3.11
-    }
-    result.volume[v] = exec.volume();
-    result.distance[v] = exec.distance();
-    result.max_volume = std::max(result.max_volume, exec.volume());
-    result.max_distance = std::max(result.max_distance, exec.distance());
-    result.total_queries += exec.query_count();
-  }
-  return result;
+                      std::int64_t budget = 0, RandomTape* tape = nullptr) {
+  return ParallelRunner().run_at_all_nodes(g, ids, std::forward<Solver>(solver), budget,
+                                           tape);
 }
 
 // Lemma 2.5 sanity check on a completed run:

@@ -36,7 +36,7 @@ SuccessEstimate estimate_success(const Problem& problem, const Instance& instanc
   for (int t = 0; t < trials; ++t) {
     RandomTape tape(instance.ids, mix64(seed_base, static_cast<std::uint64_t>(t)), model);
     auto solver = solver_factory(tape);
-    auto result = run_at_all_nodes(instance.graph, instance.ids, solver);
+    auto result = run_at_all_nodes(instance.graph, instance.ids, solver, /*budget=*/0, &tape);
     if (verify_all(problem, instance, result.output).ok) ++est.successes;
     est.max_volume = std::max(est.max_volume, result.max_volume);
     est.max_distance = std::max(est.max_distance, result.max_distance);

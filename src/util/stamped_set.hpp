@@ -1,0 +1,90 @@
+// Epoch-stamped open-addressing set of NodeIndex with O(1) clear.
+//
+// Built for hot sweep loops that construct a fresh small visited set per
+// start node: clear() bumps the epoch (invalidating every slot at once), so
+// steady-state use performs zero allocations and no memset — the same trick
+// ExecutionScratch plays for the query engine, here for solver-side
+// bookkeeping where keys are sparse and no dense n-slot array is available.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/hash.hpp"
+
+namespace volcal {
+
+class StampedNodeSet {
+ public:
+  StampedNodeSet() { rehash(64); }
+
+  void clear() {
+    ++epoch_;
+    size_ = 0;
+  }
+
+  // Inserts v; returns true iff it was not yet present.
+  bool insert(NodeIndex v) {
+    if ((size_ + 1) * 2 > slots_.size()) grow();
+    std::size_t i = slot_of(v);
+    while (slots_[i].epoch == epoch_) {
+      if (slots_[i].key == v) return false;
+      i = (i + 1) & mask_;
+    }
+    slots_[i].epoch = epoch_;
+    slots_[i].key = v;
+    ++size_;
+    return true;
+  }
+
+  bool contains(NodeIndex v) const {
+    std::size_t i = slot_of(v);
+    while (slots_[i].epoch == epoch_) {
+      if (slots_[i].key == v) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    std::uint64_t epoch = 0;  // live iff equal to the set's current epoch
+    NodeIndex key = 0;
+  };
+
+  std::size_t slot_of(NodeIndex v) const {
+    return static_cast<std::size_t>(splitmix64(static_cast<std::uint64_t>(v))) & mask_;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    rehash(old.size() * 2);
+    for (const Slot& s : old) {
+      if (s.epoch != epoch_) continue;
+      std::size_t i = slot_of(s.key);
+      while (slots_[i].epoch == epoch_) i = (i + 1) & mask_;
+      slots_[i].epoch = epoch_;
+      slots_[i].key = s.key;
+      ++size_;
+    }
+  }
+
+  void rehash(std::size_t n) {  // n must be a power of two
+    slots_.assign(n, Slot{});
+    mask_ = n - 1;
+    size_ = 0;
+    // Fresh table: any epoch > 0 reads as empty, keep the current one.
+    if (epoch_ == 0) epoch_ = 1;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace volcal

@@ -1,0 +1,108 @@
+#include "bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "labels/generators.hpp"
+#include "lcl/algorithms/leaf_coloring_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+
+namespace volcal::bench {
+namespace {
+
+void expect_valid_sample(NodeIndex n, NodeIndex count) {
+  const auto starts = sampled_starts(n, count);
+  ASSERT_FALSE(starts.empty());
+  EXPECT_LE(starts.size(), static_cast<std::size_t>(std::max<NodeIndex>(count, 2)));
+  EXPECT_EQ(starts.front(), 0);
+  EXPECT_EQ(starts.back(), n - 1);
+  EXPECT_TRUE(std::is_sorted(starts.begin(), starts.end()));
+  EXPECT_EQ(std::adjacent_find(starts.begin(), starts.end()), starts.end()) << "duplicates";
+  for (const NodeIndex v : starts) EXPECT_LT(v, n);
+}
+
+TEST(SampledStarts, AtMostCountAndCoversBothEnds) {
+  expect_valid_sample(100, 10);
+  EXPECT_EQ(sampled_starts(100, 10).size(), 10u);
+  expect_valid_sample(7, 3);
+  expect_valid_sample(2, 2);
+}
+
+TEST(SampledStarts, SmallGraphsYieldEveryNode) {
+  const auto starts = sampled_starts(5, 10);
+  EXPECT_EQ(starts, (std::vector<NodeIndex>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(sampled_starts(1, 10), std::vector<NodeIndex>{0});
+  EXPECT_TRUE(sampled_starts(0, 10).empty());
+  EXPECT_TRUE(sampled_starts(10, 0).empty());
+}
+
+// The pre-fix implementation used step = max(1, n/count) and overshot: for
+// n=1000, count=24 it returned 42 starts and never sampled the last node.
+TEST(SampledStarts, RegressionNoOvershoot) {
+  const auto starts = sampled_starts(1000, 24);
+  EXPECT_EQ(starts.size(), 24u);
+  EXPECT_EQ(starts.back(), 999);
+  expect_valid_sample(1 << 16, 24);
+}
+
+TEST(Measure, MatchesDirectSerialSweep) {
+  auto inst = make_complete_binary_tree(7, Color::Red, Color::Blue);
+  const auto starts = sampled_starts(inst.node_count(), 12);
+  auto solve = [&](Execution& exec) {
+    InstanceSource<ColoredTreeLabeling> src(inst, exec);
+    leafcoloring_nearest_leaf(src);
+  };
+  const Cost cost = measure(inst.graph, inst.ids, starts, solve);
+  Cost direct;
+  for (const NodeIndex v : starts) {
+    Execution exec(inst.graph, inst.ids, v);
+    solve(exec);
+    direct.max_volume = std::max(direct.max_volume, exec.volume());
+    direct.max_distance = std::max(direct.max_distance, exec.distance());
+    direct.total_queries += exec.query_count();
+    ++direct.starts;
+  }
+  EXPECT_EQ(cost.max_volume, direct.max_volume);
+  EXPECT_EQ(cost.max_distance, direct.max_distance);
+  EXPECT_EQ(cost.total_queries, direct.total_queries);
+  EXPECT_EQ(cost.starts, direct.starts);
+  EXPECT_GE(cost.wall_seconds, 0.0);
+}
+
+TEST(JsonReport, ParsesJsonFlag) {
+  const char* argv1[] = {"bench", "--json", "out.json"};
+  EXPECT_STREQ(json_path_from_args(3, const_cast<char**>(argv1)), "out.json");
+  const char* argv2[] = {"bench", "--json=curves.json"};
+  EXPECT_STREQ(json_path_from_args(2, const_cast<char**>(argv2)), "curves.json");
+  const char* argv3[] = {"bench"};
+  EXPECT_EQ(json_path_from_args(1, const_cast<char**>(argv3)), nullptr);
+  const char* argv4[] = {"bench", "--json"};  // missing operand
+  EXPECT_EQ(json_path_from_args(2, const_cast<char**>(argv4)), nullptr);
+}
+
+TEST(JsonReport, RendersCurvesWithFitAndWallTime) {
+  Curve c;
+  c.add(100, 10, 0.5);
+  c.add(1000, 20, 1.5);
+  c.add(10000, 30, 2.5);
+  JsonReport report("bench_test");
+  report.add("say \"hi\"", c);
+  const std::string doc = report.render();
+  EXPECT_NE(doc.find("\"tool\": \"bench_test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"say \\\"hi\\\"\""), std::string::npos);
+  EXPECT_NE(doc.find("\"fitted\": \"" + c.fitted() + "\""), std::string::npos);
+  EXPECT_NE(doc.find("{\"n\": 100, \"cost\": 10, \"wall_seconds\": 0.5}"), std::string::npos);
+  EXPECT_NE(doc.find("\"wall_seconds\": 2.5"), std::string::npos);
+}
+
+TEST(JsonReport, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape("Θ(log n)"), "Θ(log n)");  // UTF-8 untouched
+}
+
+}  // namespace
+}  // namespace volcal::bench

@@ -1,0 +1,161 @@
+// Differential test: the flat epoch-stamped Execution must preserve the
+// exact query/cost semantics of Definitions 2.1-2.2 as implemented by the
+// historical std::unordered_map Execution, preserved verbatim in
+// runtime/reference_execution.hpp.  Two drivers:
+//
+//   1. a randomized query fuzzer issuing identical (node, port) sequences to
+//      both implementations — including budgeted runs where both must throw
+//      QueryBudgetExceeded at exactly the same step;
+//   2. the paper's own algorithms (Prop. 3.9 nearest-leaf, Alg. 1 RWtoLeaf)
+//      swept from every node over both implementations, comparing outputs
+//      and all cost meters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "labels/generators.hpp"
+#include "lcl/algorithms/leaf_coloring_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "runtime/execution.hpp"
+#include "runtime/reference_execution.hpp"
+
+namespace volcal {
+namespace {
+
+template <typename Exec>
+struct StepOutcome {
+  bool threw = false;
+  NodeIndex discovered = kNoNode;
+};
+
+// Issues query(w, j) on one execution, normalizing the budget exception.
+template <typename Exec>
+StepOutcome<Exec> step(Exec& exec, NodeIndex w, Port j) {
+  StepOutcome<Exec> out;
+  try {
+    out.discovered = exec.query(w, j);
+  } catch (const QueryBudgetExceeded&) {
+    out.threw = true;
+  }
+  return out;
+}
+
+void fuzz_against_reference(const Graph& g, const IdAssignment& ids, NodeIndex start,
+                            std::int64_t budget, std::uint64_t seed, int steps) {
+  Execution flat(g, ids, start, budget);
+  ReferenceMapExecution ref(g, ids, start, budget);
+  std::mt19937_64 rng(seed);
+  // Visited pool maintained externally so both executions receive the exact
+  // same query sequence.
+  std::vector<NodeIndex> pool{start};
+  for (int s = 0; s < steps; ++s) {
+    const NodeIndex w = pool[rng() % pool.size()];
+    const int deg = g.degree(w);
+    if (deg == 0) break;
+    const Port j = static_cast<Port>(1 + rng() % static_cast<std::uint64_t>(deg));
+    const std::int64_t vol_before = flat.volume();
+    const auto a = step(flat, w, j);
+    const auto b = step(ref, w, j);
+    ASSERT_EQ(a.threw, b.threw) << "budget divergence at step " << s;
+    ASSERT_EQ(a.discovered, b.discovered) << "discovery divergence at step " << s;
+    ASSERT_EQ(flat.volume(), ref.volume()) << "volume divergence at step " << s;
+    ASSERT_EQ(flat.distance(), ref.distance()) << "distance divergence at step " << s;
+    ASSERT_EQ(flat.query_count(), ref.query_count()) << "query divergence at step " << s;
+    if (!a.threw && flat.volume() > vol_before) pool.push_back(a.discovered);
+  }
+  // Visited sets agree (the reference yields arbitrary hash order; sort both).
+  auto va = flat.visited_nodes();
+  auto vb = ref.visited_nodes();
+  std::sort(va.begin(), va.end());
+  std::sort(vb.begin(), vb.end());
+  EXPECT_EQ(va, vb);
+  for (NodeIndex v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(flat.visited(v), ref.visited(v)) << "visited(" << v << ") diverged";
+  }
+}
+
+TEST(ExecutionDiff, FuzzedQuerySequencesOnTrees) {
+  auto inst = make_complete_binary_tree(7, Color::Red, Color::Blue);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    fuzz_against_reference(inst.graph, inst.ids, (seed * 17) % inst.node_count(),
+                           /*budget=*/0, seed, 600);
+  }
+}
+
+TEST(ExecutionDiff, FuzzedQuerySequencesOnPseudoForest) {
+  auto inst = make_cycle_pseudotree(12, 4, 3);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    fuzz_against_reference(inst.graph, inst.ids, (seed * 5) % inst.node_count(),
+                           /*budget=*/0, seed ^ 0xabc, 800);
+  }
+}
+
+TEST(ExecutionDiff, FuzzedQuerySequencesOnRings) {
+  auto ring = make_ring(64, 7);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    fuzz_against_reference(ring.graph, ring.ids, (seed * 11) % 64, /*budget=*/0, seed, 500);
+  }
+}
+
+TEST(ExecutionDiff, BudgetedRunsThrowAtSameStep) {
+  auto inst = make_random_full_binary_tree(201, 5);
+  for (std::int64_t budget : {1, 2, 3, 5, 9, 17, 50}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      fuzz_against_reference(inst.graph, inst.ids, 0, budget, seed, 400);
+    }
+  }
+}
+
+TEST(ExecutionDiff, ExploreBallAgrees) {
+  auto inst = make_complete_binary_tree(6, Color::Red, Color::Blue);
+  for (NodeIndex v = 0; v < inst.node_count(); v += 5) {
+    for (std::int64_t r = 0; r <= 4; ++r) {
+      Execution flat(inst.graph, inst.ids, v);
+      ReferenceMapExecution ref(inst.graph, inst.ids, v);
+      const auto a = explore_ball(flat, r);
+      const auto b = explore_ball(ref, r);
+      EXPECT_EQ(a, b) << "ball order diverged at v=" << v << " r=" << r;
+      EXPECT_EQ(flat.volume(), ref.volume());
+      EXPECT_EQ(flat.distance(), ref.distance());
+      EXPECT_EQ(flat.query_count(), ref.query_count());
+    }
+  }
+}
+
+TEST(ExecutionDiff, NearestLeafSolverAgreesFromEveryNode) {
+  auto inst = make_complete_binary_tree(8, Color::Red, Color::Blue);
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    Execution flat(inst.graph, inst.ids, v);
+    ReferenceMapExecution ref(inst.graph, inst.ids, v);
+    InstanceSource<ColoredTreeLabeling> src_a(inst, flat);
+    InstanceSource<ColoredTreeLabeling, ReferenceMapExecution> src_b(inst, ref);
+    EXPECT_EQ(leafcoloring_nearest_leaf(src_a), leafcoloring_nearest_leaf(src_b));
+    EXPECT_EQ(flat.volume(), ref.volume());
+    EXPECT_EQ(flat.distance(), ref.distance());
+    EXPECT_EQ(flat.query_count(), ref.query_count());
+  }
+}
+
+TEST(ExecutionDiff, RwToLeafAgreesFromEveryNode) {
+  auto inst = make_random_full_binary_tree(301, 11);
+  RandomTape tape_a(inst.ids, 42);
+  RandomTape tape_b(inst.ids, 42);
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    Execution flat(inst.graph, inst.ids, v);
+    ReferenceMapExecution ref(inst.graph, inst.ids, v);
+    InstanceSource<ColoredTreeLabeling> src_a(inst, flat);
+    InstanceSource<ColoredTreeLabeling, ReferenceMapExecution> src_b(inst, ref);
+    EXPECT_EQ(rw_to_leaf(src_a, tape_a), rw_to_leaf(src_b, tape_b));
+    EXPECT_EQ(flat.volume(), ref.volume());
+    EXPECT_EQ(flat.distance(), ref.distance());
+  }
+  // Same algorithm, same tape values => same bit accounting.
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    EXPECT_EQ(tape_a.bits_used(v), tape_b.bits_used(v));
+  }
+}
+
+}  // namespace
+}  // namespace volcal

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "graph/bfs.hpp"
 #include "labels/generators.hpp"
 #include "runtime/execution.hpp"
 #include "runtime/randomness.hpp"
@@ -194,6 +195,90 @@ TEST(Randomness, UnitInRange) {
     EXPECT_GE(u, 0.0);
     EXPECT_LT(u, 1.0);
   }
+}
+
+// ---------------------------------------------------------------------------
+// distance(): exact on forests, bounded overestimate on pseudo-forests
+// ---------------------------------------------------------------------------
+
+// On forests paths are unique, so the max BFS layer in the explored subgraph
+// equals the true Def.-2.1 distance cost once the whole tree is explored.
+TEST(Execution, DistanceMatchesBfsEccentricityOnForests) {
+  auto inst = make_random_full_binary_tree(101, 7);
+  for (NodeIndex v = 0; v < inst.node_count(); v += 9) {
+    Execution exec(inst.graph, inst.ids, v);
+    explore_ball(exec, inst.node_count());
+    EXPECT_EQ(exec.volume(), static_cast<std::int64_t>(inst.node_count()));
+    EXPECT_EQ(exec.distance(), eccentricity(inst.graph, v)) << "at start " << v;
+  }
+}
+
+// Layer tightening has no propagation (documented in execution.hpp): when a
+// shorter route to an already-visited node is found later, the node's own
+// layer tightens but layers derived from the old value do not.  Pin the
+// resulting overestimate on a cycle so any semantic change is caught — the
+// differential reference in execution_diff_test locks both implementations
+// to this exact behavior.
+TEST(Execution, DistanceTighteningPinnedOnCycle) {
+  // C8 (0-1-...-7-0) plus a pendant node 8 hanging off node 5.
+  Graph::Builder b(9);
+  for (NodeIndex i = 0; i < 8; ++i) b.add_edge(i, (i + 1) % 8);
+  b.add_edge(5, 8);
+  Graph g = std::move(b).build();
+  auto ids = IdAssignment::sequential(9);
+
+  Execution exec(g, ids, 0);
+  // Walk the long way around: 0 -> 1 -> 2 -> 3 -> 4 -> 5 (layers 1..5).
+  ASSERT_EQ(exec.query(0, 1), 1);
+  for (NodeIndex i = 1; i <= 4; ++i) ASSERT_EQ(exec.query(i, 2), i + 1);
+  EXPECT_EQ(exec.distance(), 5);
+  // Walk the short way: 0 -> 7 -> 6 -> 5; the last step rediscovers node 5
+  // and tightens its layer from 5 to 3...
+  ASSERT_EQ(exec.query(0, 2), 7);
+  ASSERT_EQ(exec.query(7, 1), 6);
+  ASSERT_EQ(exec.query(6, 1), 5);
+  // ...so the pendant discovered *through* node 5 lands at layer 4, not 6,
+  // and the max layer stays the stale 5 (true eccentricity of node 0 is 4).
+  ASSERT_EQ(exec.query(5, 3), 8);
+  EXPECT_EQ(exec.distance(), 5);
+  EXPECT_EQ(eccentricity(g, 0), 4);
+}
+
+// ---------------------------------------------------------------------------
+// ExecutionScratch reuse
+// ---------------------------------------------------------------------------
+
+TEST(ExecutionScratch, ReuseIsolatesConsecutiveExecutions) {
+  auto inst = make_complete_binary_tree(4, Color::Red, Color::Blue);
+  ExecutionScratch scratch;
+  // A full-graph exploration must not leak visited state into the next
+  // execution on the same scratch.
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) {
+    Execution exec(inst.graph, inst.ids, v, /*budget=*/0, scratch);
+    EXPECT_EQ(exec.volume(), 1);
+    EXPECT_EQ(exec.distance(), 0);
+    for (NodeIndex u = 0; u < inst.node_count(); ++u) {
+      EXPECT_EQ(exec.visited(u), u == v);
+    }
+    explore_ball(exec, inst.node_count());
+    EXPECT_EQ(exec.volume(), static_cast<std::int64_t>(inst.node_count()));
+  }
+  EXPECT_EQ(scratch.capacity(), inst.node_count());  // grown once, reused
+}
+
+TEST(ExecutionScratch, GrowsAcrossGraphsAndShrinksNever) {
+  auto small = make_complete_binary_tree(2, Color::Red, Color::Blue);
+  auto big = make_complete_binary_tree(5, Color::Red, Color::Blue);
+  ExecutionScratch scratch;
+  { Execution exec(small.graph, small.ids, 0, 0, scratch); }
+  EXPECT_EQ(scratch.capacity(), small.node_count());
+  { Execution exec(big.graph, big.ids, 0, 0, scratch); }
+  EXPECT_EQ(scratch.capacity(), big.node_count());
+  {
+    Execution exec(small.graph, small.ids, 3, 0, scratch);
+    EXPECT_FALSE(exec.visited(0));  // stamps from the big run are stale
+  }
+  EXPECT_EQ(scratch.capacity(), big.node_count());
 }
 
 // ---------------------------------------------------------------------------
