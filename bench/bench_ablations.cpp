@@ -70,7 +70,7 @@ void waypoint_constant_ablation() {
     for (NodeIndex v : sampled_starts(n, 16)) {
       Execution exec(inst.graph, inst.ids, v);
       InstanceSource<ColoredTreeLabeling> paid(inst, exec);
-      HthcSolver<InstanceSource<ColoredTreeLabeling>> metered(paid, cfg);
+      HthcSolver<std::decay_t<decltype(paid)>> metered(paid, cfg);
       metered.solve();
       max_vol = std::max(max_vol, exec.volume());
     }
@@ -108,7 +108,7 @@ void window_ablation() {
     for (NodeIndex v : sampled_starts(n, 16)) {
       Execution exec(inst.graph, inst.ids, v);
       InstanceSource<ColoredTreeLabeling> paid(inst, exec);
-      HthcSolver<InstanceSource<ColoredTreeLabeling>> metered(paid, cfg);
+      HthcSolver<std::decay_t<decltype(paid)>> metered(paid, cfg);
       metered.solve();
       max_vol = std::max(max_vol, exec.volume());
     }
@@ -157,7 +157,10 @@ void remark57_ablation() {
 }  // namespace
 }  // namespace volcal::bench
 
-int main() {
+int main(int argc, char** argv) {
+  auto args = volcal::bench::Args::parse(&argc, argv, "bench_ablations");
+  volcal::bench::Observer::install(args, "bench_ablations");
+  (void)args;
   volcal::bench::truncation_ablation();
   volcal::bench::waypoint_constant_ablation();
   volcal::bench::window_ablation();

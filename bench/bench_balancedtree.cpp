@@ -121,6 +121,9 @@ BENCHMARK(BM_BalancedSolveRoot)->Arg(8)->Arg(12);
 }  // namespace volcal::bench
 
 int main(int argc, char** argv) {
+  auto args = volcal::bench::Args::parse(&argc, argv, "bench_balancedtree");
+  volcal::bench::Observer::install(args, "bench_balancedtree");
+  (void)args;
   volcal::bench::embedding_table();
   volcal::bench::fooling_table();
   volcal::bench::cost_table();

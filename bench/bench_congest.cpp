@@ -82,7 +82,10 @@ void two_tree_table() {
 }  // namespace
 }  // namespace volcal::bench
 
-int main() {
+int main(int argc, char** argv) {
+  auto args = volcal::bench::Args::parse(&argc, argv, "bench_congest");
+  volcal::bench::Observer::install(args, "bench_congest");
+  (void)args;
   volcal::bench::flooding_table();
   volcal::bench::leafcoloring_table();
   volcal::bench::two_tree_table();

@@ -26,7 +26,7 @@ struct Point {
   Curve rand;
 };
 
-void run(int argc, char** argv) {
+void run(const Args& args) {
   std::vector<Point> points;
 
   // Class A witness: trivial parity — distance 0 by definition.
@@ -60,8 +60,8 @@ void run(int argc, char** argv) {
     for (int depth : {8, 11, 14, 17}) {
       auto inst = make_complete_binary_tree(depth, Color::Red, Color::Blue);
       auto starts = sampled_starts(inst.node_count(), 12);
-      auto cost = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<ColoredTreeLabeling> src(inst, exec);
+      auto cost = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+        InstanceSource<ColoredTreeLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
         leafcoloring_nearest_leaf(src);
       });
       p.det.add(static_cast<double>(inst.node_count()),
@@ -76,8 +76,8 @@ void run(int argc, char** argv) {
     for (int depth : {7, 10, 13, 15}) {
       auto inst = make_balanced_instance(depth);
       auto starts = sampled_starts(inst.node_count(), 10);
-      auto cost = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<BalancedTreeLabeling> src(inst, exec);
+      auto cost = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+        InstanceSource<BalancedTreeLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
         balancedtree_solve(src);
       });
       p.det.add(static_cast<double>(inst.node_count()),
@@ -98,9 +98,9 @@ void run(int argc, char** argv) {
       auto inst = make_hierarchical_instance(k, b, 3);
       auto cfg = HthcConfig::make(k, inst.node_count(), false, nullptr);
       auto starts = sampled_starts(inst.node_count(), 12);
-      auto cost = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<ColoredTreeLabeling> src(inst, exec);
-        HthcSolver<InstanceSource<ColoredTreeLabeling>> solver(src, cfg);
+      auto cost = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+        InstanceSource<ColoredTreeLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
+        HthcSolver<std::decay_t<decltype(src)>> solver(src, cfg);
         solver.solve();
       });
       p.det.add(static_cast<double>(inst.node_count()),
@@ -122,7 +122,7 @@ void run(int argc, char** argv) {
     report.add(p.problem + " / R-DIST", p.rand);
   }
   table.print();
-  report.write_file(json_path_from_args(argc, argv));
+  report.write_file(args.json);
   std::printf(
       "\nGap regions (no LCLs exist between the classes) are theorems cited in\n"
       "§1 [2,3,5,9,12,13,15,20-22,29,33,34]; the shaded Fig.-1 area is not a\n"
@@ -136,6 +136,8 @@ void run(int argc, char** argv) {
 }  // namespace volcal::bench
 
 int main(int argc, char** argv) {
-  volcal::bench::run(argc, argv);
+  auto args = volcal::bench::Args::parse(&argc, argv, "bench_fig1_distance");
+  volcal::bench::Observer::install(args, "bench_fig1_distance");
+  volcal::bench::run(args);
   return 0;
 }

@@ -14,7 +14,7 @@
 namespace volcal::bench {
 namespace {
 
-void run(int argc, char** argv) {
+void run(const Args& args) {
   print_header("Figure 2 — preliminary volume landscape (classes A and B)");
   stats::Table table(
       {"problem", "class", "D-VOL paper", "D-VOL fitted", "R-VOL paper", "R-VOL fitted"});
@@ -109,7 +109,7 @@ void run(int argc, char** argv) {
     report.add("LeafColoring / R-VOL", rvol);
   }
   table.print();
-  report.write_file(json_path_from_args(argc, argv));
+  report.write_file(args.json);
   std::printf(
       "\nClasses A and B coincide for distance and volume (§1.2): the measured\n"
       "volume of the class-B witness stays log*-flat.  Everything at and above\n"
@@ -121,6 +121,8 @@ void run(int argc, char** argv) {
 }  // namespace volcal::bench
 
 int main(int argc, char** argv) {
-  volcal::bench::run(argc, argv);
+  auto args = volcal::bench::Args::parse(&argc, argv, "bench_fig2_volume");
+  volcal::bench::Observer::install(args, "bench_fig2_volume");
+  volcal::bench::run(args);
   return 0;
 }

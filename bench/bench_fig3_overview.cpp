@@ -25,7 +25,7 @@ struct Line {
   Curve rvol{}, dvol{}, rdist{}, ddist{};
 };
 
-void run(int argc, char** argv) {
+void run(const Args& args) {
   std::vector<Line> lines;
 
   {  // LeafColoring
@@ -34,15 +34,15 @@ void run(int argc, char** argv) {
       auto inst = make_complete_binary_tree(depth, Color::Red, Color::Blue);
       const double n = static_cast<double>(inst.node_count());
       auto starts = sampled_starts(inst.node_count(), 12);
-      auto det = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<ColoredTreeLabeling> src(inst, exec);
+      auto det = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+        InstanceSource<ColoredTreeLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
         leafcoloring_nearest_leaf(src);
       });
       RandomTape tape(inst.ids, 3);
       auto rnd = measure(
           inst.graph, inst.ids, starts,
-          [&](Execution& exec) {
-            InstanceSource<ColoredTreeLabeling> src(inst, exec);
+          [&](auto& exec) {
+            InstanceSource<ColoredTreeLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
             rw_to_leaf(src, tape);
           },
           &tape);
@@ -60,8 +60,8 @@ void run(int argc, char** argv) {
       auto inst = make_balanced_instance(depth);
       const double n = static_cast<double>(inst.node_count());
       auto starts = sampled_starts(inst.node_count(), 10);
-      auto cost = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<BalancedTreeLabeling> src(inst, exec);
+      auto cost = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+        InstanceSource<BalancedTreeLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
         balancedtree_solve(src);
       });
       line.ddist.add(n, static_cast<double>(cost.max_distance));
@@ -82,18 +82,18 @@ void run(int argc, char** argv) {
       const double n = static_cast<double>(inst.node_count());
       auto starts = sampled_starts(inst.node_count(), 12);
       auto det_cfg = HthcConfig::make(k, inst.node_count(), false, nullptr);
-      auto det = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<ColoredTreeLabeling> src(inst, exec);
-        HthcSolver<InstanceSource<ColoredTreeLabeling>> solver(src, det_cfg);
+      auto det = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+        InstanceSource<ColoredTreeLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
+        HthcSolver<std::decay_t<decltype(src)>> solver(src, det_cfg);
         solver.solve();
       });
       RandomTape tape(inst.ids, 5);
       auto rnd_cfg = HthcConfig::make(k, inst.node_count(), true, &tape);
       auto rnd = measure(
           inst.graph, inst.ids, starts,
-          [&](Execution& exec) {
-            InstanceSource<ColoredTreeLabeling> src(inst, exec);
-            HthcSolver<InstanceSource<ColoredTreeLabeling>> solver(src, rnd_cfg);
+          [&](auto& exec) {
+            InstanceSource<ColoredTreeLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
+            HthcSolver<std::decay_t<decltype(src)>> solver(src, rnd_cfg);
             solver.solve();
           },
           &tape);
@@ -121,16 +121,16 @@ void run(int argc, char** argv) {
         }
       }
       auto cfg = HybridConfig::make(2, inst.node_count());
-      auto det = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<HybridLabeling> src(inst, exec);
+      auto det = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+        InstanceSource<HybridLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
         hybrid_solve_distance(src, cfg);
       });
       RandomTape tape(inst.ids, 3);
       auto rcfg = HybridConfig::make(2, inst.node_count(), true, &tape);
       auto rnd = measure(
           inst.graph, inst.ids, starts,
-          [&](Execution& exec) {
-            InstanceSource<HybridLabeling> src(inst, exec);
+          [&](auto& exec) {
+            InstanceSource<HybridLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
             hybrid_solve_volume(src, rcfg);
           },
           &tape);
@@ -152,16 +152,16 @@ void run(int argc, char** argv) {
       const double n = static_cast<double>(inst.node_count());
       auto starts = sampled_starts(inst.node_count(), 12);
       auto cfg = HHConfig::make(2, 3, inst.node_count());
-      auto det = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<HHLabeling> src(inst, exec);
+      auto det = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+        InstanceSource<HHLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
         hh_solve_distance(src, cfg);
       });
       RandomTape tape(inst.ids, 3);
       auto rcfg = HHConfig::make(2, 3, inst.node_count(), true, &tape);
       auto rnd = measure(
           inst.graph, inst.ids, starts,
-          [&](Execution& exec) {
-            InstanceSource<HHLabeling> src(inst, exec);
+          [&](auto& exec) {
+            InstanceSource<HHLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
             hh_solve_volume(src, rcfg);
           },
           &tape);
@@ -186,7 +186,7 @@ void run(int argc, char** argv) {
     report.add(line.problem + " / D-DIST", line.ddist);
   }
   table.print();
-  report.write_file(json_path_from_args(argc, argv));
+  report.write_file(args.json);
   std::printf(
       "\nReading the lines: LeafColoring separates volume from distance by\n"
       "randomness alone; Hybrid-THC moves the distance endpoint to log n while\n"
@@ -199,6 +199,8 @@ void run(int argc, char** argv) {
 }  // namespace volcal::bench
 
 int main(int argc, char** argv) {
-  volcal::bench::run(argc, argv);
+  auto args = volcal::bench::Args::parse(&argc, argv, "bench_fig3_overview");
+  volcal::bench::Observer::install(args, "bench_fig3_overview");
+  volcal::bench::run(args);
   return 0;
 }

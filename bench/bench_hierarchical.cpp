@@ -220,6 +220,9 @@ BENCHMARK(BM_RecursiveHTHC)->Arg(2)->Arg(3);
 }  // namespace volcal::bench
 
 int main(int argc, char** argv) {
+  auto args = volcal::bench::Args::parse(&argc, argv, "bench_hierarchical");
+  volcal::bench::Observer::install(args, "bench_hierarchical");
+  (void)args;
   volcal::bench::distance_table();
   volcal::bench::waypoint_lemmas_table();
   volcal::bench::deep_nest_table();

@@ -35,14 +35,14 @@ void hybrid_crossover_table() {
       }
     }
     auto cfg = HybridConfig::make(2, n);
-    auto det = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-      InstanceSource<HybridLabeling> src(inst, exec);
+    auto det = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+      InstanceSource<HybridLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
       hybrid_solve_distance(src, cfg);
     });
     RandomTape tape(inst.ids, 7);
     auto rcfg = HybridConfig::make(2, n, true, &tape);
-    auto rnd = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-      InstanceSource<HybridLabeling> src(inst, exec);
+    auto rnd = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+      InstanceSource<HybridLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
       hybrid_solve_volume(src, rcfg);
     });
     dist.add(static_cast<double>(n), static_cast<double>(det.max_distance));
@@ -94,14 +94,14 @@ void hh_table() {
       const auto n = inst.node_count();
       auto starts = sampled_starts(n, 16);
       auto cfg = HHConfig::make(k, l, n);
-      auto det = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<HHLabeling> src(inst, exec);
+      auto det = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+        InstanceSource<HHLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
         hh_solve_distance(src, cfg);
       });
       RandomTape tape(inst.ids, 7);
       auto rcfg = HHConfig::make(k, l, n, true, &tape);
-      auto rnd = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<HHLabeling> src(inst, exec);
+      auto rnd = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+        InstanceSource<HHLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
         hh_solve_volume(src, rcfg);
       });
       dist.add(static_cast<double>(n), static_cast<double>(det.max_distance));
@@ -121,7 +121,10 @@ void hh_table() {
 }  // namespace
 }  // namespace volcal::bench
 
-int main() {
+int main(int argc, char** argv) {
+  auto args = volcal::bench::Args::parse(&argc, argv, "bench_hybrid_hh");
+  volcal::bench::Observer::install(args, "bench_hybrid_hh");
+  (void)args;
   volcal::bench::hybrid_crossover_table();
   volcal::bench::decline_table();
   volcal::bench::hh_table();

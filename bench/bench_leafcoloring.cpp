@@ -145,6 +145,9 @@ BENCHMARK(BM_NearestLeafFromRoot)->Arg(10)->Arg(14);
 }  // namespace volcal::bench
 
 int main(int argc, char** argv) {
+  auto args = volcal::bench::Args::parse(&argc, argv, "bench_leafcoloring");
+  volcal::bench::Observer::install(args, "bench_leafcoloring");
+  (void)args;
   volcal::bench::walk_length_table();
   volcal::bench::truncation_table();
   volcal::bench::adversary_table();

@@ -68,7 +68,7 @@ void models_table() {
           return secret ? rw_to_leaf_secret(src, tape) : rw_to_leaf(src, tape);
         });
         valid += verify_all(problem, inst, result.output).ok ? 1 : 0;
-        max_vol = std::max(max_vol, result.max_volume);
+        max_vol = std::max(max_vol, result.stats.max_volume);
       }
       const char* name = model == RandomnessModel::Public    ? "public"
                          : model == RandomnessModel::Private ? "private"
@@ -130,7 +130,10 @@ void bit_budget_table() {
 }  // namespace
 }  // namespace volcal::bench
 
-int main() {
+int main(int argc, char** argv) {
+  auto args = volcal::bench::Args::parse(&argc, argv, "bench_randomness_models");
+  volcal::bench::Observer::install(args, "bench_randomness_models");
+  (void)args;
   volcal::bench::models_table();
   volcal::bench::enforcement_demo();
   volcal::bench::bit_budget_table();

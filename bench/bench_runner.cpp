@@ -10,7 +10,7 @@
 //   * nearleaf — Prop. 3.9 nearest-leaf from every node: a real Table-1
 //                solver with label reads through InstanceSource.
 //
-// Usage: bench_runner [--json <path>].  Thread counts for the parallel rows
+// Usage: bench_runner [bench::Args flags; see --help].  Thread counts for the parallel rows
 // are fixed at 2/4/8 (on a single-core host they measure scheduling overhead,
 // not speedup; the flat-vs-map row is the hardware-independent headline).
 #include <cstdio>
@@ -67,9 +67,9 @@ SweepCost sweep_flat(const Graph& g, const IdAssignment& ids,
                                               return 0;
                                             });
   SweepCost cost;
-  cost.max_volume = run.max_volume;
-  cost.max_distance = run.max_distance;
-  for (const auto v : run.volume) cost.total_volume += v;
+  cost.max_volume = run.stats.max_volume;
+  cost.max_distance = run.stats.max_distance;
+  cost.total_volume = run.stats.total_volume;
   cost.seconds = timer.seconds();
   return cost;
 }
@@ -121,12 +121,13 @@ void run_workload(const std::string& workload, const Graph& g, const IdAssignmen
   }
 }
 
-void run(int argc, char** argv) {
+void run(const Args& args) {
   print_header("Sweep-engine throughput: map-based vs flat-scratch vs parallel");
   stats::Table table({"workload", "n", "engine", "starts/s", "visited nodes/s", "speedup"});
   JsonReport report("bench_runner");
   for (const int depth : {12, 14, 15}) {
     auto inst = make_complete_binary_tree(depth, Color::Red, Color::Blue);
+    if (!args.keep_n(inst.node_count())) continue;
     // All-nodes ball sweep: the pure engine loop.
     std::vector<NodeIndex> all(static_cast<std::size_t>(inst.node_count()));
     for (NodeIndex v = 0; v < inst.node_count(); ++v) all[static_cast<std::size_t>(v)] = v;
@@ -172,13 +173,15 @@ void run(int argc, char** argv) {
       "nearleaf/all — the run_at_all_nodes regime); on single Θ(n)-volume\n"
       "executions (nearleaf/t1 root start) both engines are memory-bound and\n"
       "the gap narrows to the per-lookup hash-vs-array difference.\n");
-  report.write_file(json_path_from_args(argc, argv));
+  report.write_file(args.json);
 }
 
 }  // namespace
 }  // namespace volcal::bench
 
 int main(int argc, char** argv) {
-  volcal::bench::run(argc, argv);
+  auto args = volcal::bench::Args::parse(&argc, argv, "bench_runner");
+  volcal::bench::Observer::install(args, "bench_runner");
+  volcal::bench::run(args);
   return 0;
 }

@@ -66,11 +66,12 @@ void leafcoloring_rows(std::vector<Row>& rows) {
   for (int depth : {8, 10, 12, 14, 16}) {
     auto inst = make_complete_binary_tree(depth, Color::Red, Color::Blue);
     const double n = static_cast<double>(inst.node_count());
+    if (!Args::current().keep_n(inst.node_count())) continue;
     auto starts = sampled_starts(inst.node_count(), 24);
     // Deterministic nearest-leaf (Prop. 3.9): distance O(log n), volume Θ(n)
     // on this hard family — one run feeds both curves.
-    auto det = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-      InstanceSource<ColoredTreeLabeling> src(inst, exec);
+    auto det = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+      InstanceSource<ColoredTreeLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
       leafcoloring_nearest_leaf(src);
     });
     dist.add(n, static_cast<double>(det.max_distance), det.wall_seconds);
@@ -82,8 +83,8 @@ void leafcoloring_rows(std::vector<Row>& rows) {
       RandomTape tape(inst.ids, seed);
       auto rnd = measure(
           inst.graph, inst.ids, starts,
-          [&](Execution& exec) {
-            InstanceSource<ColoredTreeLabeling> src(inst, exec);
+          [&](auto& exec) {
+            InstanceSource<ColoredTreeLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
             rw_to_leaf(src, tape);
           },
           &tape);
@@ -105,9 +106,10 @@ void balancedtree_rows(std::vector<Row>& rows) {
   for (int depth : {7, 9, 11, 13, 15}) {
     auto inst = make_balanced_instance(depth);
     const double n = static_cast<double>(inst.node_count());
+    if (!Args::current().keep_n(inst.node_count())) continue;
     auto starts = sampled_starts(inst.node_count(), 16);
-    auto cost = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-      InstanceSource<BalancedTreeLabeling> src(inst, exec);
+    auto cost = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+      InstanceSource<BalancedTreeLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
       balancedtree_solve(src);
     });
     dist.add(n, static_cast<double>(cost.max_distance), cost.wall_seconds);
@@ -128,11 +130,12 @@ void hierarchical_rows(std::vector<Row>& rows, int k) {
   for (const NodeIndex b : bs) {
     auto inst = make_hierarchical_instance(k, b, 11);
     const double n = static_cast<double>(inst.node_count());
+    if (!Args::current().keep_n(inst.node_count())) continue;
     auto starts = sampled_starts(inst.node_count(), 20);
     auto det_cfg = HthcConfig::make(k, inst.node_count(), false, nullptr);
-    auto det = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-      InstanceSource<ColoredTreeLabeling> src(inst, exec);
-      HthcSolver<InstanceSource<ColoredTreeLabeling>> solver(src, det_cfg);
+    auto det = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+      InstanceSource<ColoredTreeLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
+      HthcSolver<std::decay_t<decltype(src)>> solver(src, det_cfg);
       solver.solve();
     });
     dist.add(n, static_cast<double>(det.max_distance));
@@ -140,9 +143,9 @@ void hierarchical_rows(std::vector<Row>& rows, int k) {
     auto rnd_cfg = HthcConfig::make(k, inst.node_count(), true, &tape);
     auto rnd = measure(
         inst.graph, inst.ids, starts,
-        [&](Execution& exec) {
-          InstanceSource<ColoredTreeLabeling> src(inst, exec);
-          HthcSolver<InstanceSource<ColoredTreeLabeling>> solver(src, rnd_cfg);
+        [&](auto& exec) {
+          InstanceSource<ColoredTreeLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
+          HthcSolver<std::decay_t<decltype(src)>> solver(src, rnd_cfg);
           solver.solve();
         },
         &tape);
@@ -160,6 +163,7 @@ void hierarchical_rows(std::vector<Row>& rows, int k) {
       lens.back() = 3;
       auto inst = make_hierarchical_instance_lens(lens, 7);
       const double n = static_cast<double>(inst.node_count());
+      if (!Args::current().keep_n(inst.node_count())) continue;
       auto cfg = HthcConfig::make(k, inst.node_count(), false, nullptr);
       if (b <= cfg.window + 1) continue;  // family must be genuinely deep
       // Worst starts sit mid-backbone at level k-1.
@@ -170,9 +174,9 @@ void hierarchical_rows(std::vector<Row>& rows, int k) {
           starts.push_back(bb.nodes[bb.nodes.size() / 2]);
         }
       }
-      auto det = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-        InstanceSource<ColoredTreeLabeling> src(inst, exec);
-        HthcSolver<InstanceSource<ColoredTreeLabeling>> solver(src, cfg);
+      auto det = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+        InstanceSource<ColoredTreeLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
+        HthcSolver<std::decay_t<decltype(src)>> solver(src, cfg);
         solver.solve();
       });
       dvol.add(n, static_cast<double>(det.max_volume));
@@ -199,6 +203,7 @@ void hybrid_rows(std::vector<Row>& rows, int k) {
   for (const auto& [b, d] : shapes) {
     auto inst = make_hybrid_instance(k, b, d, 9);
     const double n = static_cast<double>(inst.node_count());
+    if (!Args::current().keep_n(inst.node_count())) continue;
     auto starts = sampled_starts(inst.node_count(), 20);
     // Include the worst-case starts: BalancedTree component roots (their
     // nearest-leaf search spans the whole floor depth).
@@ -213,8 +218,8 @@ void hybrid_rows(std::vector<Row>& rows, int k) {
       }
     }
     auto cfg = HybridConfig::make(k, inst.node_count());
-    auto det = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-      InstanceSource<HybridLabeling> src(inst, exec);
+    auto det = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+      InstanceSource<HybridLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
       hybrid_solve_distance(src, cfg);
     });
     dist.add(n, static_cast<double>(det.max_distance));
@@ -222,8 +227,8 @@ void hybrid_rows(std::vector<Row>& rows, int k) {
     auto rcfg = HybridConfig::make(k, inst.node_count(), true, &tape);
     auto rnd = measure(
         inst.graph, inst.ids, starts,
-        [&](Execution& exec) {
-          InstanceSource<HybridLabeling> src(inst, exec);
+        [&](auto& exec) {
+          InstanceSource<HybridLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
           hybrid_solve_volume(src, rcfg);
         },
         &tape);
@@ -242,10 +247,11 @@ void hh_rows(std::vector<Row>& rows, int k, int l) {
   for (const NodeIndex n_half : {2000, 8000, 32000, 128000}) {
     auto inst = make_hh_instance(k, l, n_half, 13);
     const double n = static_cast<double>(inst.node_count());
+    if (!Args::current().keep_n(inst.node_count())) continue;
     auto starts = sampled_starts(inst.node_count(), 20);
     auto cfg = HHConfig::make(k, l, inst.node_count());
-    auto det = measure(inst.graph, inst.ids, starts, [&](Execution& exec) {
-      InstanceSource<HHLabeling> src(inst, exec);
+    auto det = measure(inst.graph, inst.ids, starts, [&](auto& exec) {
+      InstanceSource<HHLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
       hh_solve_distance(src, cfg);
     });
     dist.add(n, static_cast<double>(det.max_distance));
@@ -253,8 +259,8 @@ void hh_rows(std::vector<Row>& rows, int k, int l) {
     auto rcfg = HHConfig::make(k, l, inst.node_count(), true, &tape);
     auto rnd = measure(
         inst.graph, inst.ids, starts,
-        [&](Execution& exec) {
-          InstanceSource<HHLabeling> src(inst, exec);
+        [&](auto& exec) {
+          InstanceSource<HHLabeling, std::decay_t<decltype(exec)>> src(inst, exec);
           hh_solve_volume(src, rcfg);
         },
         &tape);
@@ -272,6 +278,8 @@ void hh_rows(std::vector<Row>& rows, int k, int l) {
 
 int main(int argc, char** argv) {
   using namespace volcal::bench;
+  auto args = Args::parse(&argc, argv, "bench_table1");
+  Observer::install(args, "bench_table1");
   print_header(
       "Table 1 — complexities of the constructed LCLs "
       "(paper claim vs measured sup-cost + fitted growth class)");
@@ -294,6 +302,6 @@ int main(int argc, char** argv) {
       "per-section benches and EXPERIMENTS.md.\n");
   JsonReport report("bench_table1");
   for (const auto& row : rows) report.add(row.problem + " / " + row.measure, row.curve);
-  report.write_file(json_path_from_args(argc, argv));
+  report.write_file(args.json);
   return 0;
 }

@@ -7,36 +7,41 @@
 // thread count comes from VOLCAL_THREADS (default 1) and never changes the
 // measured costs — the engine's results are bit-identical at any thread count.
 //
-// Every bench main accepts `--json <path>`: the curves it prints are also
-// dumped as a JSON document (per point: n, sup-cost, wall-seconds; per curve:
-// the fitted growth class) for downstream plotting.
+// Every bench main accepts the shared flag set of bench::Args (--json,
+// --trace, --chrome-trace, --metrics, --filter, --max-n, --threads, --help);
+// curves print as tables and dump as JSON, and the observability flags attach
+// the obs/ layer (trace sinks + sweep metrics) to every measure() call.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "labels/ids.hpp"
+#include "lcl/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel_runner.hpp"
+#include "runtime/sweep_stats.hpp"
 #include "stats/growth.hpp"
 #include "stats/table.hpp"
 #include "util/hash.hpp"
 
 namespace volcal::bench {
 
-struct Cost {
-  std::int64_t max_volume = 0;
-  std::int64_t max_distance = 0;
-  std::int64_t starts = 0;
-  std::int64_t total_queries = 0;
-  double wall_seconds = 0.0;
-};
+// Deprecated alias, kept for one release: sweep cost scalars now live in
+// runtime/sweep_stats.hpp (SweepStats), shared with RunResult::stats.  The
+// field names are unchanged (max_volume, max_distance, starts, total_queries,
+// wall_seconds), so existing callers keep working.
+using Cost = ::volcal::SweepStats;
 
 class WallTimer {
  public:
@@ -65,33 +70,227 @@ inline std::vector<NodeIndex> sampled_starts(NodeIndex n, NodeIndex count) {
   return out;
 }
 
-// Runs `solve(Execution&)` from each start on the parallel sweep engine and
+// --- Shared command-line flags (every bench main) ---------------------------
+
+// One parser for all bench binaries.  parse() strips the flags it recognizes
+// out of argv (so google-benchmark mains can hand the remainder to
+// benchmark::Initialize) and `--threads N` is applied by exporting
+// VOLCAL_THREADS before any runner is built.
+struct Args {
+  const char* json = nullptr;          // --json <path>: curve report
+  const char* trace = nullptr;         // --trace <path>: JSONL query trace
+  const char* chrome_trace = nullptr;  // --chrome-trace <path>: trace_event
+  const char* metrics = nullptr;       // --metrics <path>: SweepMetrics JSON
+  std::string filter;                  // --filter <substr>: registry subset
+  std::int64_t max_n = 0;              // --max-n <n>: skip larger instances
+  int threads = 0;                     // --threads <t>
+  bool help = false;
+
+  bool observing() const {
+    return trace != nullptr || chrome_trace != nullptr || metrics != nullptr;
+  }
+  // true if an instance of this size should be run under --max-n.
+  bool keep_n(std::int64_t n) const { return max_n <= 0 || n <= max_n; }
+
+  static void print_help(const char* tool) {
+    std::printf(
+        "%s — volcal bench binary\n\n"
+        "  --json <path>          write the printed curves as a JSON report\n"
+        "  --trace <path>         record every query of every measured sweep (JSONL)\n"
+        "  --chrome-trace <path>  per-execution timeline in Chrome trace_event format\n"
+        "                         (open in chrome://tracing or ui.perfetto.dev)\n"
+        "  --metrics <path>       aggregate sweep metrics (histograms, workers) as JSON\n"
+        "  --filter <substr>      restrict registry-driven sections to matching entries\n"
+        "  --max-n <n>            skip instances larger than n\n"
+        "  --threads <t>          worker threads (same as VOLCAL_THREADS=t)\n"
+        "  --help                 this message\n\n"
+        "Problem registry (--filter matches the first column):\n",
+        tool);
+    for (const RegistryEntry& e : ProblemRegistry::global().entries()) {
+      std::printf("  %-14s %-28s %s\n      %s\n", e.name.c_str(), e.title.c_str(),
+                  e.theta.c_str(), e.algorithm.c_str());
+    }
+  }
+
+  // The last parsed Args (default-constructed before any parse) — lets
+  // helpers deep inside a bench honor --max-n without threading the struct
+  // through every table builder.
+  static const Args& current() { return mutable_current(); }
+
+  // Flags may be given as `--flag value` or `--flag=value`.  Unrecognized
+  // arguments stay in argv for the binary's own parsing.
+  static Args parse(int* argc, char** argv, const char* tool) {
+    Args args;
+    auto value_of = [&](int& i, const char* name, std::size_t len) -> const char* {
+      if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+        return argv[i] + len + 1;
+      }
+      if (std::strcmp(argv[i], name) == 0 && i + 1 < *argc) return argv[++i];
+      return nullptr;
+    };
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      const char* v = nullptr;
+      if ((v = value_of(i, "--json", 6)) != nullptr) {
+        args.json = v;
+      } else if ((v = value_of(i, "--trace", 7)) != nullptr) {
+        args.trace = v;
+      } else if ((v = value_of(i, "--chrome-trace", 14)) != nullptr) {
+        args.chrome_trace = v;
+      } else if ((v = value_of(i, "--metrics", 9)) != nullptr) {
+        args.metrics = v;
+      } else if ((v = value_of(i, "--filter", 8)) != nullptr) {
+        args.filter = v;
+      } else if ((v = value_of(i, "--max-n", 7)) != nullptr) {
+        args.max_n = std::atoll(v);
+      } else if ((v = value_of(i, "--threads", 9)) != nullptr) {
+        args.threads = std::atoi(v);
+      } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+        args.help = true;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+    argv[out] = nullptr;
+    if (args.help) {
+      print_help(tool);
+      std::exit(0);
+    }
+    if (args.threads > 0) {
+      const std::string t = std::to_string(args.threads);
+      setenv("VOLCAL_THREADS", t.c_str(), /*overwrite=*/1);
+    }
+    mutable_current() = args;
+    return args;
+  }
+
+ private:
+  static Args& mutable_current() {
+    static Args a;
+    return a;
+  }
+};
+
+// --- Observer: attaches the obs/ layer to every measure() call --------------
+//
+// Installed once per binary from the parsed Args.  While installed, measure()
+// profiles every sweep, folds it into one SweepMetrics, and — when a trace
+// path was requested and the solver is generic enough to run on
+// TracedExecution — records full query traces.  Artifacts are written when
+// the (static) observer is destroyed at exit, or on an explicit flush().
+class Observer {
+ public:
+  static Observer* current() { return slot(); }
+
+  static void install(const Args& args, std::string tool) {
+    if (!args.observing()) return;
+    static Observer holder;
+    holder.tool_ = std::move(tool);
+    holder.trace_path_ = args.trace != nullptr ? args.trace : "";
+    holder.chrome_path_ = args.chrome_trace != nullptr ? args.chrome_trace : "";
+    holder.metrics_path_ = args.metrics != nullptr ? args.metrics : "";
+    slot() = &holder;
+  }
+
+  ~Observer() { flush(); }
+
+  bool tracing() const { return !trace_path_.empty() || !chrome_path_.empty(); }
+
+  void note_traced_sweep(std::int64_t n, std::vector<obs::ExecutionTrace> traces,
+                         const SweepProfile* profile) {
+    obs::SweepTrace sweep;
+    sweep.label = tool_ + "/sweep-" + std::to_string(sweep_seq_);
+    sweep.n = n;
+    sweep.traces = std::move(traces);
+    if (profile != nullptr) sweep.profile = *profile;
+    sweeps_.push_back(std::move(sweep));
+  }
+
+  template <typename Label>
+  void note_metrics(const RunResult<Label>& run, const SweepProfile* profile,
+                    const RandomTape* tape) {
+    ++sweep_seq_;
+    metrics_.observe(run, profile, tape);
+  }
+
+  void flush() {
+    if (!trace_path_.empty() && obs::write_trace_jsonl(trace_path_, sweeps_)) {
+      std::printf("[trace: %s]\n", trace_path_.c_str());
+    }
+    if (!chrome_path_.empty() && obs::write_chrome_trace(chrome_path_, sweeps_)) {
+      std::printf("[chrome trace: %s]\n", chrome_path_.c_str());
+    }
+    if (!metrics_path_.empty() && metrics_.write_file(metrics_path_, tool_)) {
+      std::printf("[metrics: %s]\n", metrics_path_.c_str());
+    }
+    trace_path_.clear();
+    chrome_path_.clear();
+    metrics_path_.clear();
+  }
+
+  const obs::SweepMetrics& metrics() const { return metrics_; }
+
+ private:
+  static Observer*& slot() {
+    static Observer* p = nullptr;
+    return p;
+  }
+
+  std::string tool_;
+  std::string trace_path_;
+  std::string chrome_path_;
+  std::string metrics_path_;
+  std::int64_t sweep_seq_ = 0;
+  std::vector<obs::SweepTrace> sweeps_;
+  obs::SweepMetrics metrics_;
+};
+
+// Runs `solve(exec)` from each start on the parallel sweep engine and
 // aggregates sup-costs (Defs. 2.1-2.2 restricted to the sample).  `tape`, if
 // given, gets per-worker bit-usage accounting; `threads` overrides the
 // VOLCAL_THREADS default.
+//
+// Observability: when an Observer is installed, the sweep is profiled and
+// folded into its metrics; when tracing was requested *and* the solver is
+// invocable on TracedExecution& (write it as a generic lambda
+// `[&](auto& exec)` over InstanceSource<Labels, std::decay_t<decltype(exec)>>
+// for that), the sweep runs on the recording execution — costs and outputs
+// are bit-identical either way.  Solvers hard-typed on Execution& degrade
+// gracefully to metrics-only.
 template <typename Fn>
-Cost measure(const Graph& g, const IdAssignment& ids, const std::vector<NodeIndex>& starts,
-             Fn&& solve, RandomTape* tape = nullptr, int threads = 0) {
-  WallTimer timer;
+SweepStats measure(const Graph& g, const IdAssignment& ids,
+                   const std::vector<NodeIndex>& starts, Fn&& solve,
+                   RandomTape* tape = nullptr, int threads = 0) {
+  Observer* obs = Observer::current();
+  ParallelRunner runner(threads);
+  SweepProfile profile;
+  SweepProfile* prof = obs != nullptr ? &profile : nullptr;
   // The engine wants a Label-returning solver; benches often measure
   // cost-only solvers returning void.
-  auto wrapped = [&](Execution& exec) {
-    if constexpr (std::is_void_v<std::invoke_result_t<Fn&, Execution&>>) {
+  auto wrapped = [&](auto& exec) {
+    using Exec = std::remove_reference_t<decltype(exec)>;
+    if constexpr (std::is_void_v<std::invoke_result_t<Fn&, Exec&>>) {
       solve(exec);
       return 0;
     } else {
       return solve(exec);
     }
   };
-  auto run = ParallelRunner(threads).run_at(g, ids, std::span<const NodeIndex>(starts),
-                                            wrapped, /*budget=*/0, tape);
-  Cost cost;
-  cost.max_volume = run.max_volume;
-  cost.max_distance = run.max_distance;
-  cost.starts = static_cast<std::int64_t>(starts.size());
-  cost.total_queries = run.total_queries;
-  cost.wall_seconds = timer.seconds();
-  return cost;
+  if constexpr (std::is_invocable_v<Fn&, obs::TracedExecution&>) {
+    if (obs != nullptr && obs->tracing()) {
+      obs::TraceRecorder recorder;
+      auto run = obs::run_at_traced(runner, g, ids, std::span<const NodeIndex>(starts),
+                                    wrapped, recorder, /*budget=*/0, tape, prof);
+      obs->note_traced_sweep(g.node_count(), std::move(recorder.traces()), prof);
+      obs->note_metrics(run, prof, tape);
+      return run.stats;
+    }
+  }
+  auto run = runner.run_at(g, ids, std::span<const NodeIndex>(starts), wrapped,
+                           /*budget=*/0, tape, prof);
+  if (obs != nullptr) obs->note_metrics(run, prof, tape);
+  return run.stats;
 }
 
 struct Curve {

@@ -43,9 +43,9 @@ int main(int argc, char** argv) {
   // 5. Costs: volume stays logarithmic although the tree has ~2^depth nodes.
   const double logn = std::log2(static_cast<double>(instance.node_count()));
   std::printf("sup volume  VOL_n(A)  = %lld   (16·log2 n = %.0f)\n",
-              static_cast<long long>(result.max_volume), 16 * logn);
+              static_cast<long long>(result.stats.max_volume), 16 * logn);
   std::printf("sup distance DIST_n(A) = %lld  (depth = %d)\n",
-              static_cast<long long>(result.max_distance), depth);
+              static_cast<long long>(result.stats.max_distance), depth);
   std::printf("Lemma 2.5 sandwich (DIST <= VOL <= Δ^DIST + 1): %s\n",
               satisfies_lemma_2_5(instance.graph, result) ? "holds" : "VIOLATED");
 

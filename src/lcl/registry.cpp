@@ -1,0 +1,228 @@
+#include "lcl/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "labels/generators.hpp"
+#include "lcl/algorithms/balanced_tree_algos.hpp"
+#include "lcl/algorithms/hh_algos.hpp"
+#include "lcl/algorithms/hthc_algos.hpp"
+#include "lcl/algorithms/hybrid_algos.hpp"
+#include "lcl/algorithms/leaf_coloring_algos.hpp"
+#include "lcl/algorithms/local_view.hpp"
+#include "lcl/problems/balanced_tree.hpp"
+#include "lcl/problems/hh_thc.hpp"
+#include "lcl/problems/hierarchical_thc.hpp"
+#include "lcl/problems/hybrid_thc.hpp"
+#include "lcl/problems/leaf_coloring.hpp"
+
+namespace volcal {
+namespace {
+
+// --- int erasure of the per-family output alphabets -------------------------
+//
+// Every output alphabet here is finite (Def. 2.6) apart from the port in
+// BtOutput, which is bounded by the maximum degree; the layouts below pack
+// each alphabet into disjoint bit ranges of one int so verify() can decode
+// without knowing which entry produced the value.
+//   bits  0..15  BtOutput::p        (ports in these families are <= 4)
+//   bits 16..17  BtOutput::beta
+//   bits 18..19  ThcColor
+//   bit  20      HybridOutput::is_bt
+
+int encode_color(Color c) { return static_cast<int>(c); }
+Color decode_color(int e) { return static_cast<Color>(e & 1); }
+
+int encode_bt(BtOutput o) {
+  return (static_cast<int>(o.beta) << 16) | static_cast<int>(o.p & 0xffff);
+}
+BtOutput decode_bt(int e) {
+  return {static_cast<Balance>((e >> 16) & 0x3), static_cast<Port>(e & 0xffff)};
+}
+
+int encode_thc(ThcColor c) { return static_cast<int>(c) << 18; }
+ThcColor decode_thc(int e) { return static_cast<ThcColor>((e >> 18) & 0x3); }
+
+int encode_hybrid(HybridOutput o) {
+  return o.is_bt ? ((1 << 20) | encode_bt(o.bt)) : encode_thc(o.thc);
+}
+HybridOutput decode_hybrid(int e) {
+  if ((e >> 20) & 1) return HybridOutput::balanced(decode_bt(e));
+  return HybridOutput::symbol(decode_thc(e));
+}
+
+// --- erasure plumbing -------------------------------------------------------
+
+// Owns the instance and the problem built over it.  The problem is
+// constructed *after* the instance has landed at its final address (several
+// problem constructors snapshot a Hierarchy over the instance's graph).
+template <typename Labels, typename Problem>
+struct Held {
+  Instance<Labels> inst;
+  Problem problem;
+
+  template <typename MakeProblem>
+  Held(Instance<Labels>&& i, MakeProblem make_problem)
+      : inst(std::move(i)), problem(make_problem(inst)) {}
+};
+
+// Builds the Impl from a held instance+problem, a generic solver functor
+// (callable on an InstanceSource over either execution type, returning the
+// problem's per-node output value), and an encode/decode pair.
+template <typename Labels, typename Problem, typename Solve, typename Encode,
+          typename Decode>
+ErasedInstance erase(std::shared_ptr<Held<Labels, Problem>> held, Solve solve, Encode enc,
+                     Decode dec) {
+  typename ErasedInstance::Impl impl;
+  impl.graph = &held->inst.graph;
+  impl.ids = &held->inst.ids;
+  impl.solve = [held, solve, enc](Execution& exec) {
+    InstanceSource<Labels, Execution> src(held->inst, exec);
+    return enc(solve(src));
+  };
+  impl.solve_traced = [held, solve, enc](obs::TracedExecution& exec) {
+    InstanceSource<Labels, obs::TracedExecution> src(held->inst, exec);
+    return enc(solve(src));
+  };
+  impl.verify = [held, dec](const std::vector<int>& encoded) {
+    typename Problem::Output out;
+    out.reserve(encoded.size());
+    for (const int e : encoded) out.push_back(dec(e));
+    return verify_all(held->problem, held->inst, out);
+  };
+  impl.held = std::move(held);
+  return ErasedInstance(std::move(impl));
+}
+
+// --- n_target -> family parameter maps --------------------------------------
+
+int tree_depth_for(NodeIndex n_target) {
+  // Complete binary tree of depth d has 2^{d+1} - 1 nodes.
+  int depth = 1;
+  while (depth < 24 && ((NodeIndex{1} << (depth + 2)) - 1) <= n_target) ++depth;
+  return depth;
+}
+
+NodeIndex backbone_for(int k, NodeIndex n_target) {
+  // make_hierarchical_instance(k, b) has ~b^k nodes.
+  const double b = std::pow(static_cast<double>(std::max<NodeIndex>(n_target, 8)),
+                            1.0 / static_cast<double>(k));
+  return std::max<NodeIndex>(3, static_cast<NodeIndex>(std::llround(b)));
+}
+
+}  // namespace
+
+const ProblemRegistry& ProblemRegistry::global() {
+  static const ProblemRegistry registry;
+  return registry;
+}
+
+const RegistryEntry* ProblemRegistry::find(std::string_view name) const {
+  for (const RegistryEntry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<const RegistryEntry*> ProblemRegistry::match(std::string_view filter) const {
+  std::vector<const RegistryEntry*> out;
+  for (const RegistryEntry& e : entries_) {
+    if (filter.empty() || e.name.find(filter) != std::string::npos) out.push_back(&e);
+  }
+  return out;
+}
+
+ProblemRegistry::ProblemRegistry() {
+  // All registered algorithms are the paper's *deterministic* upper bounds:
+  // registry solves must be reproducible from (entry, n_target, seed, start)
+  // alone so recorded traces replay bit-identically (tests/obs_test.cpp).
+  // The randomized variants (RWtoLeaf, way-points) stay bench-only, where the
+  // tape is threaded explicitly.
+
+  entries_.push_back(
+      {"leaf-coloring", "LeafColoring (Def. 3.4)",
+       "R-DIST = D-DIST Th(log n), R-VOL Th(log n), D-VOL Th(n)",
+       "deterministic nearest-leaf (Prop. 3.9)",
+       [](NodeIndex n_target, std::uint64_t /*seed*/) {
+         auto held = std::make_shared<Held<ColoredTreeLabeling, LeafColoringProblem>>(
+             make_complete_binary_tree(tree_depth_for(n_target), Color::Red, Color::Blue),
+             [](const auto&) { return LeafColoringProblem{}; });
+         return erase(std::move(held),
+                      [](auto& src) { return leafcoloring_nearest_leaf(src); },
+                      encode_color, decode_color);
+       }});
+
+  entries_.push_back(
+      {"balanced-tree", "BalancedTree (Def. 4.3)",
+       "R-DIST = D-DIST Th(log n), R-VOL = D-VOL Th(n)",
+       "exhaustive compatibility search (Prop. 4.8)",
+       [](NodeIndex n_target, std::uint64_t /*seed*/) {
+         auto held = std::make_shared<Held<BalancedTreeLabeling, BalancedTreeProblem>>(
+             make_balanced_instance(tree_depth_for(n_target)),
+             [](const auto&) { return BalancedTreeProblem{}; });
+         return erase(std::move(held),
+                      [](auto& src) { return balancedtree_solve(src); }, encode_bt,
+                      decode_bt);
+       }});
+
+  for (const int k : {2, 3}) {
+    entries_.push_back(
+        {"hthc-" + std::to_string(k),
+         "Hierarchical-THC(" + std::to_string(k) + ") (Def. 5.8)",
+         "R-DIST = D-DIST Th(n^{1/" + std::to_string(k) + "}), R-VOL Th~(n^{1/" +
+             std::to_string(k) + "}), D-VOL Th~(n)",
+         "RecursiveHTHC (Alg. 2, Prop. 5.12)",
+         [k](NodeIndex n_target, std::uint64_t seed) {
+           auto held =
+               std::make_shared<Held<ColoredTreeLabeling, HierarchicalTHCProblem>>(
+                   make_hierarchical_instance(k, backbone_for(k, n_target), seed),
+                   [k](const auto& inst) { return HierarchicalTHCProblem(inst, k); });
+           const HthcConfig cfg =
+               HthcConfig::make(k, held->inst.node_count(), false, nullptr);
+           return erase(
+               std::move(held),
+               [cfg](auto& src) {
+                 HthcSolver<std::decay_t<decltype(src)>> solver(src, cfg);
+                 return solver.solve();
+               },
+               encode_thc, decode_thc);
+         }});
+  }
+
+  entries_.push_back(
+      {"hybrid-2", "Hybrid-THC(2) (Def. 6.1)",
+       "R-DIST = D-DIST Th(log n), R-VOL Th~(n^{1/2}), D-VOL Th~(n)",
+       "hybrid distance solver (Thm 6.3)",
+       [](NodeIndex n_target, std::uint64_t seed) {
+         // n ~ 2 b^2 for backbone length b and floor depth log2(b).
+         const NodeIndex b = std::max<NodeIndex>(
+             4, static_cast<NodeIndex>(
+                    std::llround(std::sqrt(static_cast<double>(n_target) / 2.0))));
+         const int d = std::max(2, static_cast<int>(std::floor(std::log2(
+                                       static_cast<double>(b)))));
+         auto held = std::make_shared<Held<HybridLabeling, HybridTHCProblem>>(
+             make_hybrid_instance(2, b, d, seed),
+             [](const auto& inst) { return HybridTHCProblem(inst, 2); });
+         const HybridConfig cfg = HybridConfig::make(2, held->inst.node_count());
+         return erase(std::move(held),
+                      [cfg](auto& src) { return hybrid_solve_distance(src, cfg); },
+                      encode_hybrid, decode_hybrid);
+       }});
+
+  entries_.push_back(
+      {"hh-2-3", "HH-THC(2,3) (Def. 6.4)",
+       "R-DIST = D-DIST Th(n^{1/3}), R-VOL Th~(n^{1/2}), D-VOL Th~(n)",
+       "HH distance solver (Thm 6.5)",
+       [](NodeIndex n_target, std::uint64_t seed) {
+         auto held = std::make_shared<Held<HHLabeling, HHTHCProblem>>(
+             make_hh_instance(2, 3, std::max<NodeIndex>(n_target / 2, 64), seed),
+             [](const auto& inst) { return HHTHCProblem(inst, 2, 3); });
+         const HHConfig cfg = HHConfig::make(2, 3, held->inst.node_count());
+         return erase(std::move(held),
+                      [cfg](auto& src) { return hh_solve_distance(src, cfg); },
+                      encode_hybrid, decode_hybrid);
+       }});
+}
+
+}  // namespace volcal

@@ -1,0 +1,94 @@
+// ProblemRegistry — one string-keyed catalogue of the paper's problem
+// families, replacing the hand-wired per-binary switch statements in the
+// bench and example mains.
+//
+// Each entry bundles, type-erased behind a uniform interface:
+//   * an instance generator (family-shaped: n_target is mapped onto the
+//     family's natural size parameter, so node_count() is approximate);
+//   * the paper's upper-bound algorithm for the family (the one Table 1
+//     measures), runnable on both the plain and the recording execution so
+//     registry entries compose with the trace/replay oracle;
+//   * the LCL verifier (Def. 2.6 conjunction over nodes);
+//   * the paper's Θ-claims for the four complexity measures.
+//
+// Bench/example binaries resolve entries by name (`--filter <name>`), tests
+// iterate all() to get per-family coverage for free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lcl/lcl.hpp"
+#include "obs/trace.hpp"
+#include "runtime/execution.hpp"
+
+namespace volcal {
+
+// A generated instance with its problem machinery erased to:
+// graph/ids + solve (output encoded as int) + verify (decodes internally).
+class ErasedInstance {
+ public:
+  struct Impl {
+    std::shared_ptr<const void> held;  // keeps the instance (+ problem) alive
+    const Graph* graph = nullptr;
+    const IdAssignment* ids = nullptr;
+    std::function<int(Execution&)> solve;
+    std::function<int(obs::TracedExecution&)> solve_traced;
+    std::function<VerifyResult(const std::vector<int>&)> verify;
+  };
+
+  explicit ErasedInstance(Impl impl) : impl_(std::move(impl)) {}
+
+  const Graph& graph() const { return *impl_.graph; }
+  const IdAssignment& ids() const { return *impl_.ids; }
+  NodeIndex node_count() const { return impl_.graph->node_count(); }
+
+  // The family's upper-bound algorithm from one start node; the returned int
+  // is the encoded output label (encoding is entry-private — only verify()
+  // needs to understand it).
+  int solve(Execution& exec) const { return impl_.solve(exec); }
+  int solve(obs::TracedExecution& exec) const { return impl_.solve_traced(exec); }
+
+  // Whole-graph verification of encoded per-node outputs (Def. 2.6).
+  VerifyResult verify(const std::vector<int>& encoded_outputs) const {
+    return impl_.verify(encoded_outputs);
+  }
+
+ private:
+  Impl impl_;
+};
+
+struct RegistryEntry {
+  std::string name;       // stable key, e.g. "leaf-coloring"
+  std::string title;      // human name, e.g. "LeafColoring (Def. 3.4)"
+  std::string theta;      // paper Θ-claims for the four measures
+  std::string algorithm;  // which upper-bound algorithm solve() runs
+
+  // Builds an instance of roughly n_target nodes (clamped to the family's
+  // sane range; exact size is family-shaped).
+  std::function<ErasedInstance(NodeIndex n_target, std::uint64_t seed)> make;
+};
+
+class ProblemRegistry {
+ public:
+  static const ProblemRegistry& global();
+
+  const std::vector<RegistryEntry>& entries() const { return entries_; }
+
+  // Exact-name lookup; nullptr if absent.
+  const RegistryEntry* find(std::string_view name) const;
+
+  // Case-sensitive substring filter; an empty filter matches everything.
+  std::vector<const RegistryEntry*> match(std::string_view filter) const;
+
+ private:
+  ProblemRegistry();
+
+  std::vector<RegistryEntry> entries_;
+};
+
+}  // namespace volcal

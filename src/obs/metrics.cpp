@@ -1,0 +1,130 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace volcal::obs {
+
+int LogHistogram::bucket_of(std::int64_t v) {
+  if (v <= 0) return 0;
+  return std::bit_width(static_cast<std::uint64_t>(v));
+}
+
+void LogHistogram::add(std::int64_t v) {
+  ++buckets[static_cast<std::size_t>(bucket_of(v))];
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count == 0) return;
+  for (std::size_t b = 0; b < buckets.size(); ++b) buckets[b] += other.buckets[b];
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+void SweepMetrics::merge(const SweepMetrics& other) {
+  sweeps += other.sweeps;
+  stats.starts += other.stats.starts;
+  stats.max_volume = std::max(stats.max_volume, other.stats.max_volume);
+  stats.max_distance = std::max(stats.max_distance, other.stats.max_distance);
+  stats.total_queries += other.stats.total_queries;
+  stats.total_volume += other.stats.total_volume;
+  stats.truncated += other.stats.truncated;
+  stats.wall_seconds += other.stats.wall_seconds;
+  volume_hist.merge(other.volume_hist);
+  distance_hist.merge(other.distance_hist);
+  queries_hist.merge(other.queries_hist);
+  start_wall_us_hist.merge(other.start_wall_us_hist);
+  for (std::size_t w = 0; w < worker_busy_ns.size(); ++w) {
+    worker_busy_ns[w] += other.worker_busy_ns[w];
+    worker_starts[w] += other.worker_starts[w];
+  }
+  workers_seen = std::max(workers_seen, other.workers_seen);
+  tape_max_bits = std::max(tape_max_bits, other.tape_max_bits);
+}
+
+namespace {
+
+void append_histogram(std::string& out, const char* name, const LogHistogram& h) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "\"%s\": {\"count\": %" PRId64 ", \"min\": %" PRId64 ", \"max\": %" PRId64
+                ", \"sum\": %" PRId64 ", \"buckets\": {",
+                name, h.count, h.min, h.max, h.sum);
+  out += buf;
+  bool first = true;
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    if (h.buckets[b] == 0) continue;
+    // Bucket key is the inclusive value range it covers.
+    const std::int64_t lo = b == 0 ? 0 : (std::int64_t{1} << (b - 1));
+    const std::int64_t hi = b == 0 ? 0 : (std::int64_t{1} << b) - 1;
+    std::snprintf(buf, sizeof buf, "%s\"%" PRId64 "-%" PRId64 "\": %" PRId64,
+                  first ? "" : ", ", lo, hi, h.buckets[b]);
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+std::string SweepMetrics::to_json(const std::string& tool) const {
+  char buf[512];
+  std::string out = "{\"tool\": \"" + tool + "\", ";
+  std::snprintf(buf, sizeof buf,
+                "\"sweeps\": %" PRId64 ", \"totals\": {\"starts\": %" PRId64
+                ", \"max_volume\": %" PRId64 ", \"max_distance\": %" PRId64
+                ", \"total_queries\": %" PRId64 ", \"total_volume\": %" PRId64
+                ", \"truncated\": %" PRId64 ", \"wall_seconds\": %.6f}, \"tape_max_bits\": %" PRIu64
+                ", ",
+                sweeps, stats.starts, stats.max_volume, stats.max_distance,
+                stats.total_queries, stats.total_volume, stats.truncated, stats.wall_seconds,
+                tape_max_bits);
+  out += buf;
+  append_histogram(out, "volume", volume_hist);
+  out += ", ";
+  append_histogram(out, "distance", distance_hist);
+  out += ", ";
+  append_histogram(out, "queries", queries_hist);
+  out += ", ";
+  append_histogram(out, "start_wall_us", start_wall_us_hist);
+  out += ", \"workers\": [";
+  for (int w = 0; w < workers_seen; ++w) {
+    std::snprintf(buf, sizeof buf, "%s{\"worker\": %d, \"starts\": %" PRId64
+                  ", \"busy_ns\": %" PRId64 "}",
+                  w ? ", " : "", w, worker_starts[static_cast<std::size_t>(w)],
+                  worker_busy_ns[static_cast<std::size_t>(w)]);
+    out += buf;
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool SweepMetrics::write_file(const std::string& path, const std::string& tool) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string doc = to_json(tool);
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace volcal::obs

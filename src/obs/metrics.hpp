@@ -1,0 +1,101 @@
+// SweepMetrics — aggregate observability for whole-graph sweeps.
+//
+// Where a trace (obs/trace.hpp) answers "what exactly did execution i do",
+// metrics answer "what did the sweep look like in aggregate": log2 histograms
+// of per-start volume / distance / query counts, totals matching SweepStats,
+// tape-bit high-water mark, and (when a SweepProfile was attached) wall time
+// per start and per-worker busy time.
+//
+// Determinism: every field except the wall-time ones is derived from the
+// RunResult's per-start slot vectors, which the engine guarantees are
+// bit-identical at any thread count — so metrics aggregated over a parallel
+// sweep equal the serial ones by construction (the same argument as the
+// runner's sup-cost merge).  tests/obs_test.cpp asserts totals equal the
+// legacy Cost fields.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "runtime/parallel_runner.hpp"
+#include "runtime/randomness.hpp"
+
+namespace volcal::obs {
+
+// Power-of-two bucket histogram: bucket b counts values v with
+// bit_width(v) == b, i.e. bucket 0 holds v=0, bucket 1 holds v=1,
+// bucket 2 holds 2-3, bucket 3 holds 4-7, ...  Fixed 64 buckets — covers the
+// full int64 range, trivially mergeable.
+struct LogHistogram {
+  std::array<std::int64_t, 64> buckets{};
+  std::int64_t count = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::int64_t sum = 0;
+
+  static int bucket_of(std::int64_t v);
+
+  void add(std::int64_t v);
+  void merge(const LogHistogram& other);
+
+  friend bool operator==(const LogHistogram&, const LogHistogram&) = default;
+};
+
+struct SweepMetrics {
+  std::int64_t sweeps = 0;  // measure()/run_at calls folded in
+  SweepStats stats;         // totals and sups across all folded sweeps
+  LogHistogram volume_hist;
+  LogHistogram distance_hist;
+  LogHistogram queries_hist;
+  // Wall-clock (non-deterministic) — only populated when a SweepProfile was
+  // attached to the sweep.
+  LogHistogram start_wall_us_hist;       // per-start execution wall micros
+  std::array<std::int64_t, 256> worker_busy_ns{};  // per-worker total
+  std::array<std::int64_t, 256> worker_starts{};
+  int workers_seen = 0;
+  // RandomTape high-water mark: max bits consumed at any node (§2.2 fn. 1).
+  std::uint64_t tape_max_bits = 0;
+
+  // Folds one sweep in.  Per-start histograms come from the slot vectors;
+  // totals from result.stats.
+  template <typename Label>
+  void observe(const RunResult<Label>& result, const SweepProfile* profile = nullptr,
+               const RandomTape* tape = nullptr) {
+    ++sweeps;
+    stats.starts += result.stats.starts;
+    stats.max_volume = std::max(stats.max_volume, result.stats.max_volume);
+    stats.max_distance = std::max(stats.max_distance, result.stats.max_distance);
+    stats.total_queries += result.stats.total_queries;
+    stats.total_volume += result.stats.total_volume;
+    stats.truncated += result.stats.truncated;
+    stats.wall_seconds += result.stats.wall_seconds;
+    for (std::size_t i = 0; i < result.volume.size(); ++i) {
+      volume_hist.add(result.volume[i]);
+      distance_hist.add(result.distance[i]);
+      queries_hist.add(result.queries[i]);
+    }
+    if (profile != nullptr && profile->duration_ns.size() == result.volume.size()) {
+      for (std::size_t i = 0; i < profile->duration_ns.size(); ++i) {
+        start_wall_us_hist.add(profile->duration_ns[i] / 1000);
+        const int w = profile->worker[i];
+        if (w >= 0 && w < static_cast<int>(worker_busy_ns.size())) {
+          worker_busy_ns[static_cast<std::size_t>(w)] += profile->duration_ns[i];
+          ++worker_starts[static_cast<std::size_t>(w)];
+          workers_seen = std::max(workers_seen, w + 1);
+        }
+      }
+    }
+    if (tape != nullptr) {
+      tape_max_bits = std::max(tape_max_bits, tape->max_bits_used_anywhere());
+    }
+  }
+
+  void merge(const SweepMetrics& other);
+
+  // JSON document (single object) — what `--metrics <path>` writes.
+  std::string to_json(const std::string& tool) const;
+  bool write_file(const std::string& path, const std::string& tool) const;
+};
+
+}  // namespace volcal::obs

@@ -1,0 +1,107 @@
+#include "obs/replay.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace volcal::obs {
+namespace {
+
+std::string probe_error(const ExecutionTrace& trace, std::size_t seq, const char* what,
+                        std::int64_t expected, std::int64_t got) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "start %" PRId64 " probe %zu: %s mismatch (trace %" PRId64 ", replay %" PRId64
+                ")",
+                trace.start, seq, what, expected, got);
+  return buf;
+}
+
+}  // namespace
+
+ReplayReport replay_trace(const Graph& g, const IdAssignment& ids, const ExecutionTrace& trace,
+                          std::int64_t budget) {
+  ReplayReport report;
+  auto fail = [&](std::string message) {
+    report.ok = false;
+    report.error = std::move(message);
+    return report;
+  };
+  if (!g.valid_node(trace.start)) return fail("trace start is not a node of this graph");
+  Execution exec(g, ids, trace.start, budget);
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& ev = trace.events[i];
+    if (!exec.visited(ev.queried)) {
+      return fail(probe_error(trace, i, "queried-node-not-visited", ev.queried, -1));
+    }
+    if (ev.port < 1 || ev.port > exec.degree(ev.queried)) {
+      return fail(probe_error(trace, i, "port-out-of-range", ev.port, exec.degree(ev.queried)));
+    }
+    NodeIndex u = kNoNode;
+    try {
+      u = exec.query(ev.queried, ev.port);
+    } catch (const QueryBudgetExceeded&) {
+      return fail(probe_error(trace, i, "unexpected-truncation", ev.found, -1));
+    }
+    if (u != ev.found) return fail(probe_error(trace, i, "discovered-node", ev.found, u));
+    if (exec.id(u) != ev.found_id) {
+      return fail(probe_error(trace, i, "discovered-id",
+                              static_cast<std::int64_t>(ev.found_id),
+                              static_cast<std::int64_t>(exec.id(u))));
+    }
+    if (exec.degree(u) != ev.found_degree) {
+      return fail(probe_error(trace, i, "discovered-degree", ev.found_degree, exec.degree(u)));
+    }
+    if (exec.layer_of(u) != ev.layer) {
+      return fail(probe_error(trace, i, "bfs-layer", ev.layer, exec.layer_of(u)));
+    }
+    if (exec.volume() != ev.volume) {
+      return fail(probe_error(trace, i, "running-volume", ev.volume, exec.volume()));
+    }
+    ++report.probes;
+  }
+  if (trace.truncated) {
+    // The recorded execution's next probe blew the budget; ours must too.
+    bool threw = false;
+    try {
+      exec.query(trace.truncated_at_node, trace.truncated_at_port);
+    } catch (const QueryBudgetExceeded&) {
+      threw = true;
+    }
+    if (!threw) {
+      return fail(probe_error(trace, trace.events.size(), "expected-truncation",
+                              trace.truncated_at_node, -1));
+    }
+  }
+  if (exec.volume() != trace.final_volume) {
+    return fail(probe_error(trace, trace.events.size(), "final-volume", trace.final_volume,
+                            exec.volume()));
+  }
+  if (exec.distance() != trace.final_distance) {
+    return fail(probe_error(trace, trace.events.size(), "final-distance",
+                            trace.final_distance, exec.distance()));
+  }
+  const std::int64_t expected_queries =
+      static_cast<std::int64_t>(trace.events.size()) + (trace.truncated ? 1 : 0);
+  if (trace.query_count != expected_queries) {
+    return fail(probe_error(trace, trace.events.size(), "query-count", trace.query_count,
+                            expected_queries));
+  }
+  return report;
+}
+
+ReplayReport replay_sweep(const Graph& g, const IdAssignment& ids,
+                          const std::vector<ExecutionTrace>& traces, std::int64_t budget) {
+  ReplayReport total;
+  for (const ExecutionTrace& t : traces) {
+    ReplayReport r = replay_trace(g, ids, t, budget);
+    total.probes += r.probes;
+    if (!r.ok) {
+      total.ok = false;
+      total.error = std::move(r.error);
+      return total;
+    }
+  }
+  return total;
+}
+
+}  // namespace volcal::obs

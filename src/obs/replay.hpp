@@ -1,0 +1,39 @@
+// Trace replay — traces as a correctness oracle.
+//
+// replay_trace() re-executes a recorded ExecutionTrace against a fresh
+// (untraced) Execution on the same instance and asserts, probe by probe,
+// that the engine reveals exactly what the trace recorded: same discovered
+// node, same identity, same degree, same BFS layer, same running volume —
+// and the same final costs.  A drift anywhere (engine regression, instance
+// mismatch, nondeterministic solver) is reported with the offending probe.
+//
+// For truncated executions the trace records the (node, port) of the probe
+// that blew the budget; replay re-issues it and demands the same
+// QueryBudgetExceeded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace volcal::obs {
+
+struct ReplayReport {
+  bool ok = true;
+  std::string error;          // empty when ok
+  std::int64_t probes = 0;    // events successfully replayed
+
+  explicit operator bool() const { return ok; }
+};
+
+// `budget` must be the budget the trace was recorded under (0 = unlimited);
+// it is needed to reproduce truncation faithfully.
+ReplayReport replay_trace(const Graph& g, const IdAssignment& ids, const ExecutionTrace& trace,
+                          std::int64_t budget = 0);
+
+// Replays every trace of a recorded sweep; stops at the first failure.
+ReplayReport replay_sweep(const Graph& g, const IdAssignment& ids,
+                          const std::vector<ExecutionTrace>& traces, std::int64_t budget = 0);
+
+}  // namespace volcal::obs

@@ -1,0 +1,167 @@
+// Execution tracing — the recording side of the BasicExecution sink hook.
+//
+// The query model's probe sequence is itself the object of study (which
+// nodes an algorithm looks at, in which order, and what each probe reveals),
+// so traces are first-class: a recorded ExecutionTrace is a complete,
+// machine-checkable transcript of one execution, strong enough to *replay*
+// against a fresh Execution and assert bit-identical behaviour
+// (obs/replay.hpp) — a correctness oracle, not just a log.
+//
+// Event schema (one TraceEvent per successful query):
+//   queried  w   — the previously visited node whose port was probed
+//   port     j   — the probed port, 1-based
+//   found    u   — the neighbor revealed by the probe
+//   found_id     — u's globally unique identifier
+//   found_degree — deg(u), part of what discovery reveals
+//   layer        — u's BFS layer within the explored subgraph after the probe
+//   volume       — running volume |V_v| after the probe
+//
+// Determinism: an execution is a pure function of (instance, start, budget,
+// tape), so its trace is too.  TraceRecorder gives every start slot its own
+// preassigned ExecutionTrace — workers write disjoint slots, hence a sweep's
+// trace set is bit-identical at any thread count (asserted by
+// tests/obs_test.cpp at 1 vs 8 threads).
+//
+// Exporters (trace.cpp): JSONL (one JSON object per line: sweep / exec /
+// query records) and the Chrome trace_event format loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/parallel_runner.hpp"
+
+namespace volcal::obs {
+
+struct TraceEvent {
+  NodeIndex queried = kNoNode;
+  Port port = kNoPort;
+  NodeIndex found = kNoNode;
+  NodeId found_id = 0;
+  int found_degree = 0;
+  std::int64_t layer = 0;
+  std::int64_t volume = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+// Transcript of one execution.  `truncated_at` holds the (node, port) of the
+// query that blew the budget, so the replay oracle can re-provoke the
+// exception; it is (kNoNode, kNoPort) for completed executions.
+struct ExecutionTrace {
+  NodeIndex start = kNoNode;
+  std::vector<TraceEvent> events;
+  std::int64_t final_volume = 0;
+  std::int64_t final_distance = 0;
+  std::int64_t query_count = 0;
+  bool truncated = false;
+  NodeIndex truncated_at_node = kNoNode;
+  Port truncated_at_port = kNoPort;
+
+  friend bool operator==(const ExecutionTrace&, const ExecutionTrace&) = default;
+};
+
+// Sink policy for BasicExecution: appends to an externally owned
+// ExecutionTrace.  Thin handle, copied by value into the execution.
+class RecordingSink {
+ public:
+  static constexpr bool enabled = true;
+
+  explicit RecordingSink(ExecutionTrace* trace) : trace_(trace) {}
+
+  void on_begin(const Graph&, const IdAssignment&, NodeIndex start) {
+    trace_->start = start;
+    trace_->events.clear();
+    trace_->truncated = false;
+    trace_->truncated_at_node = kNoNode;
+    trace_->truncated_at_port = kNoPort;
+  }
+
+  void on_query(const Graph& g, const IdAssignment& ids, NodeIndex w, Port j, NodeIndex u,
+                bool /*fresh*/, std::int64_t layer, std::int64_t volume) {
+    trace_->events.push_back(
+        {w, j, u, ids.id_of(u), g.degree(u), layer, volume});
+  }
+
+  void on_truncated(NodeIndex w, Port j) {
+    trace_->truncated = true;
+    trace_->truncated_at_node = w;
+    trace_->truncated_at_port = j;
+  }
+
+  void on_end(std::int64_t volume, std::int64_t distance, std::int64_t queries) {
+    trace_->final_volume = volume;
+    trace_->final_distance = distance;
+    trace_->query_count = queries;
+  }
+
+ private:
+  ExecutionTrace* trace_;
+};
+
+// The recording execution type.  Solvers written generically (templated on
+// the source/execution type, or generic lambdas) run unchanged on it; the
+// sink only observes, it never alters query semantics.
+using TracedExecution = BasicExecution<RecordingSink>;
+
+// Preassigned per-start trace slots for one sweep — the same disjoint-slot
+// determinism trick the runner uses for outputs.
+class TraceRecorder {
+ public:
+  void reset(std::span<const NodeIndex> starts) {
+    traces_.assign(starts.size(), ExecutionTrace{});
+  }
+
+  ExecutionTrace& slot(std::int64_t i) { return traces_[static_cast<std::size_t>(i)]; }
+  const std::vector<ExecutionTrace>& traces() const { return traces_; }
+  std::vector<ExecutionTrace>& traces() { return traces_; }
+
+ private:
+  std::vector<ExecutionTrace> traces_;
+};
+
+// Runs the identical sweep loop as ParallelRunner::run_at, but on
+// TracedExecution with one trace slot per start.  The solver must be
+// invocable with TracedExecution& (generic solvers are; see
+// bench::measure for the dispatch).  Costs and outputs are bit-identical to
+// the untraced sweep — tests/obs_test.cpp asserts it.
+template <typename Solver>
+auto run_at_traced(const ParallelRunner& runner, const Graph& g, const IdAssignment& ids,
+                   std::span<const NodeIndex> starts, Solver&& solver,
+                   TraceRecorder& recorder, std::int64_t budget = 0,
+                   RandomTape* tape = nullptr, SweepProfile* profile = nullptr) {
+  recorder.reset(starts);
+  return runner.run_at_observed(
+      g.node_count(), starts, std::forward<Solver>(solver), tape, profile,
+      [&g, &ids, starts, budget, &recorder](std::int64_t i, ExecutionScratch& s) {
+        return TracedExecution(g, ids, starts[static_cast<std::size_t>(i)], budget, s,
+                               RecordingSink(&recorder.slot(i)));
+      });
+}
+
+// A recorded sweep bundled with its identity — what the exporters consume.
+struct SweepTrace {
+  std::string label;        // e.g. "bench_table1/leaf-coloring/det"
+  std::int64_t n = 0;       // instance size
+  std::vector<ExecutionTrace> traces;
+  SweepProfile profile;     // empty vectors if profiling was off
+};
+
+// --- Exporters (obs/trace.cpp) ---------------------------------------------
+
+// JSONL: one object per line.  Line types: {"type":"sweep",...} header per
+// sweep, {"type":"exec",...} summary per execution, {"type":"query",...} per
+// event.  Returns false (with a message on stderr) if the file cannot be
+// written.
+bool write_trace_jsonl(const std::string& path, std::span<const SweepTrace> sweeps);
+
+// Chrome trace_event JSON ("X" duration events, one per execution, tid =
+// worker).  Sweeps recorded without a profile get zero-duration events in
+// slot order.  Load in chrome://tracing or ui.perfetto.dev.
+bool write_chrome_trace(const std::string& path, std::span<const SweepTrace> sweeps);
+
+}  // namespace volcal::obs

@@ -24,6 +24,13 @@
 // and therefore perform zero allocations per start node.  The historical
 // std::unordered_map implementation is preserved verbatim as the test-only
 // differential reference in runtime/reference_execution.hpp.
+//
+// Observability: BasicExecution is parameterized on a compile-time sink
+// policy.  The default NullQuerySink declares `enabled = false`, and every
+// sink call is guarded by `if constexpr (Sink::enabled)`, so the disabled
+// path compiles to exactly the pre-observability code — no branch, no
+// pointer, no argument evaluation.  The recording sink (obs/trace.hpp)
+// captures per-query events for the trace exporters and the replay oracle.
 #pragma once
 
 #include <cstdint>
@@ -77,10 +84,28 @@ class ExecutionScratch {
   std::vector<NodeIndex> order_;      // visited nodes in discovery order
   std::uint64_t epoch_ = 0;           // 0 = no execution has used a slot yet
 
-  friend class Execution;
+  template <typename Sink>
+  friend class BasicExecution;
 };
 
-class Execution {
+// Disabled-observability sink: `enabled = false` compiles every hook call
+// out of BasicExecution (the hooks below are never instantiated).  Custom
+// sinks must provide the same member functions with `enabled = true`; see
+// obs/trace.hpp for the recording sink.
+struct NullQuerySink {
+  static constexpr bool enabled = false;
+
+  void on_begin(const Graph&, const IdAssignment&, NodeIndex /*start*/) {}
+  void on_query(const Graph&, const IdAssignment&, NodeIndex /*w*/, Port /*j*/,
+                NodeIndex /*u*/, bool /*fresh*/, std::int64_t /*layer*/,
+                std::int64_t /*volume*/) {}
+  void on_truncated(NodeIndex /*w*/, Port /*j*/) {}
+  void on_end(std::int64_t /*volume*/, std::int64_t /*distance*/,
+              std::int64_t /*queries*/) {}
+};
+
+template <typename Sink = NullQuerySink>
+class BasicExecution {
  public:
   // budget: hard cap on volume; exceeding it throws QueryBudgetExceeded
   // (used to truncate randomized algorithms per Remark 3.11 and to run
@@ -88,14 +113,24 @@ class Execution {
   //
   // The three-argument form owns a private scratch (one allocation); the
   // scratch-taking form borrows the caller's, making repeated executions
-  // allocation-free.
-  Execution(const Graph& g, const IdAssignment& ids, NodeIndex start,
-            std::int64_t budget = 0)
-      : Execution(g, ids, start, budget, nullptr) {}
+  // allocation-free.  Sinks are taken by value (recording sinks are thin
+  // handles onto an externally owned trace buffer).
+  BasicExecution(const Graph& g, const IdAssignment& ids, NodeIndex start,
+                 std::int64_t budget = 0, Sink sink = Sink{})
+      : BasicExecution(g, ids, start, budget, nullptr, std::move(sink)) {}
 
-  Execution(const Graph& g, const IdAssignment& ids, NodeIndex start,
-            std::int64_t budget, ExecutionScratch& scratch)
-      : Execution(g, ids, start, budget, &scratch) {}
+  BasicExecution(const Graph& g, const IdAssignment& ids, NodeIndex start,
+                 std::int64_t budget, ExecutionScratch& scratch, Sink sink = Sink{})
+      : BasicExecution(g, ids, start, budget, &scratch, std::move(sink)) {}
+
+  ~BasicExecution() {
+    if constexpr (Sink::enabled) {
+      sink_.on_end(volume(), distance(), query_count());
+    }
+  }
+
+  BasicExecution(const BasicExecution&) = delete;
+  BasicExecution& operator=(const BasicExecution&) = delete;
 
   NodeIndex start() const { return start_; }
   const Graph& graph() const { return *g_; }
@@ -119,8 +154,10 @@ class Execution {
     ++query_count_;
     const NodeIndex u = g_->neighbor_prevalidated(w, j);
     const std::int64_t candidate = scratch_->layer_[static_cast<std::size_t>(w)] + 1;
-    if (!scratch_->stamped(u)) {
+    const bool fresh = !scratch_->stamped(u);
+    if (fresh) {
       if (budget_ > 0 && volume() + 1 > budget_) {
+        if constexpr (Sink::enabled) sink_.on_truncated(w, j);
         throw QueryBudgetExceeded("query budget exceeded at node " + std::to_string(w));
       }
       scratch_->stamp_[static_cast<std::size_t>(u)] = scratch_->epoch_;
@@ -129,6 +166,10 @@ class Execution {
       max_layer_ = std::max(max_layer_, candidate);
     } else if (candidate < scratch_->layer_[static_cast<std::size_t>(u)]) {
       scratch_->layer_[static_cast<std::size_t>(u)] = candidate;  // tighter layer seen later; no propagation
+    }
+    if constexpr (Sink::enabled) {
+      sink_.on_query(*g_, *ids_, w, j, u, fresh,
+                     scratch_->layer_[static_cast<std::size_t>(u)], volume());
     }
     return u;
   }
@@ -145,13 +186,25 @@ class Execution {
   std::int64_t query_count() const { return query_count_; }
   std::int64_t budget() const { return budget_; }
 
+  // BFS layer of a visited node within the explored subgraph (what
+  // distance() takes the max of).  Used by the trace replay oracle.
+  std::int64_t layer_of(NodeIndex v) const {
+    require_visited(v);
+    return scratch_->layer_[static_cast<std::size_t>(v)];
+  }
+
   // Visited nodes in discovery order (the start node first).
   std::vector<NodeIndex> visited_nodes() const { return scratch_->order_; }
 
  private:
-  Execution(const Graph& g, const IdAssignment& ids, NodeIndex start,
-            std::int64_t budget, ExecutionScratch* scratch)
-      : g_(&g), ids_(&ids), start_(start), budget_(budget), scratch_(scratch) {
+  BasicExecution(const Graph& g, const IdAssignment& ids, NodeIndex start,
+                 std::int64_t budget, ExecutionScratch* scratch, Sink sink)
+      : g_(&g),
+        ids_(&ids),
+        start_(start),
+        budget_(budget),
+        scratch_(scratch),
+        sink_(std::move(sink)) {
     if (!g.valid_node(start)) throw std::out_of_range("Execution: bad start node");
     if (scratch_ == nullptr) {
       owned_ = std::make_unique<ExecutionScratch>(g.node_count());
@@ -161,6 +214,7 @@ class Execution {
     scratch_->stamp_[static_cast<std::size_t>(start)] = scratch_->epoch_;
     scratch_->layer_[static_cast<std::size_t>(start)] = 0;
     scratch_->order_.push_back(start);
+    if constexpr (Sink::enabled) sink_.on_begin(g, ids, start);
   }
 
   const Graph* g_;
@@ -171,7 +225,14 @@ class Execution {
   ExecutionScratch* scratch_;
   std::int64_t max_layer_ = 0;
   std::int64_t query_count_ = 0;
+  [[no_unique_address]] Sink sink_;
 };
+
+// The default, observability-free execution — the type every solver and test
+// in the library is written against.  Identical layout and codegen to the
+// pre-sink Execution: NullQuerySink is empty ([[no_unique_address]]) and all
+// hook calls are compiled out.
+using Execution = BasicExecution<NullQuerySink>;
 
 // Convenience: explore the full ball N_v(r) through the query interface (the
 // LOCAL-model simulation of Remark 2.3: a distance-T algorithm is one whose

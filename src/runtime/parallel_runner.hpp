@@ -3,7 +3,7 @@
 // A "solver" is a callable Label(Execution&) producing the initiating node's
 // output; the engine executes it once per start node (each with a fresh
 // Execution, as the model is stateless across nodes) and aggregates the costs
-// of Definitions 2.1-2.2:
+// of Definitions 2.1-2.2 into a SweepStats (runtime/sweep_stats.hpp):
 //
 //   DIST_n(A) = sup over start nodes of the distance cost,
 //   VOL_n(A)  = sup over start nodes of the volume cost.
@@ -21,11 +21,20 @@
 //   * per-start outputs/volumes/distances are written to disjoint
 //     preassigned slots;
 //   * sup-costs are reduced by a serial scan of those slots, and
-//     truncated/total_queries are sums of per-worker integers — both
-//     order-independent;
+//     truncated/total_queries/total_volume are sums of per-worker integers —
+//     both order-independent;
 //   * tape bit accounting merges by pointwise max — also order-independent.
 // tests/parallel_runner_test.cpp asserts this at 1, 2 and 8 threads for
-// every problem family.
+// every problem family.  (SweepStats::wall_seconds and the optional
+// SweepProfile are wall-clock measurements and are the only non-deterministic
+// outputs.)
+//
+// Observability: run_at_observed() is the engine core, parameterized on an
+// execution factory so the obs layer can run the identical sweep loop with
+// BasicExecution<RecordingSink> (see obs/trace.hpp: run_at_traced).  An
+// optional SweepProfile collects per-start wall times and worker assignment
+// for the Chrome-trace exporter and SweepMetrics; attaching one does not
+// change any deterministic output.
 //
 // Thread count: explicit constructor argument, else the VOLCAL_THREADS
 // environment variable, else 1 (determinism-by-default; parallelism is an
@@ -35,6 +44,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -45,6 +55,7 @@
 
 #include "runtime/execution.hpp"
 #include "runtime/randomness.hpp"
+#include "runtime/sweep_stats.hpp"
 
 namespace volcal {
 
@@ -53,12 +64,24 @@ struct RunResult {
   std::vector<Label> output;
   std::vector<std::int64_t> volume;    // per start node
   std::vector<std::int64_t> distance;  // per start node
-  std::int64_t max_volume = 0;         // VOL_n(A) on this instance
-  std::int64_t max_distance = 0;       // DIST_n(A) on this instance
-  std::int64_t total_queries = 0;
-  // Nodes whose execution blew the query budget (their output is the
-  // solver's fallback, or default Label if the solver rethrew).
-  std::int64_t truncated = 0;
+  std::vector<std::int64_t> queries;   // per start node
+  SweepStats stats;                    // sup-costs + totals over the sweep
+};
+
+// Per-start wall-clock timing and worker assignment, filled by the engine
+// when attached to a sweep.  Feeds the Chrome trace_event exporter and the
+// per-worker breakdown in SweepMetrics; inherently non-deterministic (it is
+// time), so it lives outside RunResult.
+struct SweepProfile {
+  std::vector<std::int64_t> begin_ns;  // per start, since sweep begin
+  std::vector<std::int64_t> duration_ns;
+  std::vector<int> worker;  // executing worker index
+
+  void reset(std::size_t count) {
+    begin_ns.assign(count, 0);
+    duration_ns.assign(count, 0);
+    worker.assign(count, 0);
+  }
 };
 
 namespace detail {
@@ -80,17 +103,25 @@ class ParallelRunner {
 
   int threads() const { return threads_; }
 
-  // Sweep an explicit start list; result vectors are indexed by position in
-  // `starts`.  `tape` is optional and only used for worker-local bit-usage
-  // accounting (values are read through the solver as usual).
-  template <typename Solver>
-  auto run_at(const Graph& g, const IdAssignment& ids, std::span<const NodeIndex> starts,
-              Solver&& solver, std::int64_t budget = 0, RandomTape* tape = nullptr) const {
-    using Label = std::decay_t<std::invoke_result_t<Solver&, Execution&>>;
+  // The engine core.  `make_exec(i, scratch)` builds the execution for start
+  // slot i on the worker's scratch; the default factory (run_at below) makes
+  // plain Executions, the obs layer substitutes recording ones.
+  // `node_capacity` sizes the per-worker scratches (the graph's node count).
+  // `tape` is optional and only used for worker-local bit-usage accounting
+  // (values are read through the solver as usual).
+  template <typename Solver, typename MakeExec>
+  auto run_at_observed(NodeIndex node_capacity, std::span<const NodeIndex> starts,
+                       Solver&& solver, RandomTape* tape, SweepProfile* profile,
+                       MakeExec&& make_exec) const {
+    using Exec = std::invoke_result_t<MakeExec&, std::int64_t, ExecutionScratch&>;
+    using Label = std::decay_t<std::invoke_result_t<Solver&, Exec&>>;
+    const auto sweep_begin = std::chrono::steady_clock::now();
     RunResult<Label> result;
     const std::int64_t count = static_cast<std::int64_t>(starts.size());
     result.volume.resize(static_cast<std::size_t>(count));
     result.distance.resize(static_cast<std::size_t>(count));
+    result.queries.resize(static_cast<std::size_t>(count));
+    if (profile != nullptr) profile->reset(static_cast<std::size_t>(count));
 
     // std::vector<bool> packs bits — concurrent writes to neighboring slots
     // would race.  Buffer bool outputs per-byte and convert at the end.
@@ -102,34 +133,43 @@ class ParallelRunner {
     const std::int64_t chunk = detail::sweep_chunk(count, workers);
     std::atomic<std::int64_t> next{0};
     std::vector<std::int64_t> truncated(static_cast<std::size_t>(workers), 0);
-    std::vector<std::int64_t> queries(static_cast<std::size_t>(workers), 0);
 
     detail::run_on_workers(workers, [&](const int worker) {
-      ExecutionScratch scratch(g.node_count());
+      ExecutionScratch scratch(node_capacity);
       std::optional<RandomTape::ScopedUsage> usage;
       if (tape != nullptr) usage.emplace(*tape);
       std::int64_t local_truncated = 0;
-      std::int64_t local_queries = 0;
       for (std::int64_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
            begin < count; begin = next.fetch_add(chunk, std::memory_order_relaxed)) {
         const std::int64_t end = std::min(count, begin + chunk);
         for (std::int64_t i = begin; i < end; ++i) {
-          Execution exec(g, ids, starts[static_cast<std::size_t>(i)], budget, scratch);
-          try {
-            output[static_cast<std::size_t>(i)] =
-                static_cast<OutputSlot>(solver(exec));
-          } catch (const QueryBudgetExceeded&) {
-            ++local_truncated;
-            output[static_cast<std::size_t>(i)] =
-                static_cast<OutputSlot>(Label{});  // arbitrary output per Remark 3.11
+          const auto exec_begin = profile ? std::chrono::steady_clock::now() : sweep_begin;
+          {
+            Exec exec = make_exec(i, scratch);
+            try {
+              output[static_cast<std::size_t>(i)] = static_cast<OutputSlot>(solver(exec));
+            } catch (const QueryBudgetExceeded&) {
+              ++local_truncated;
+              output[static_cast<std::size_t>(i)] =
+                  static_cast<OutputSlot>(Label{});  // arbitrary output per Remark 3.11
+            }
+            result.volume[static_cast<std::size_t>(i)] = exec.volume();
+            result.distance[static_cast<std::size_t>(i)] = exec.distance();
+            result.queries[static_cast<std::size_t>(i)] = exec.query_count();
+          }  // exec destroyed here so recording sinks flush before profiling stamps
+          if (profile != nullptr) {
+            const auto exec_end = std::chrono::steady_clock::now();
+            profile->begin_ns[static_cast<std::size_t>(i)] =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(exec_begin - sweep_begin)
+                    .count();
+            profile->duration_ns[static_cast<std::size_t>(i)] =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(exec_end - exec_begin)
+                    .count();
+            profile->worker[static_cast<std::size_t>(i)] = worker;
           }
-          result.volume[static_cast<std::size_t>(i)] = exec.volume();
-          result.distance[static_cast<std::size_t>(i)] = exec.distance();
-          local_queries += exec.query_count();
         }
       }
       truncated[static_cast<std::size_t>(worker)] = local_truncated;
-      queries[static_cast<std::size_t>(worker)] = local_queries;
     });
 
     if constexpr (std::is_same_v<Label, bool>) {
@@ -137,26 +177,46 @@ class ParallelRunner {
     } else {
       result.output = std::move(output);
     }
+    result.stats.starts = count;
     for (int w = 0; w < workers; ++w) {
-      result.truncated += truncated[static_cast<std::size_t>(w)];
-      result.total_queries += queries[static_cast<std::size_t>(w)];
+      result.stats.truncated += truncated[static_cast<std::size_t>(w)];
     }
     for (std::int64_t i = 0; i < count; ++i) {
-      result.max_volume = std::max(result.max_volume, result.volume[static_cast<std::size_t>(i)]);
-      result.max_distance =
-          std::max(result.max_distance, result.distance[static_cast<std::size_t>(i)]);
+      result.stats.max_volume =
+          std::max(result.stats.max_volume, result.volume[static_cast<std::size_t>(i)]);
+      result.stats.max_distance =
+          std::max(result.stats.max_distance, result.distance[static_cast<std::size_t>(i)]);
+      result.stats.total_volume += result.volume[static_cast<std::size_t>(i)];
+      result.stats.total_queries += result.queries[static_cast<std::size_t>(i)];
     }
+    result.stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_begin).count();
     return result;
+  }
+
+  // Sweep an explicit start list; result vectors are indexed by position in
+  // `starts`.
+  template <typename Solver>
+  auto run_at(const Graph& g, const IdAssignment& ids, std::span<const NodeIndex> starts,
+              Solver&& solver, std::int64_t budget = 0, RandomTape* tape = nullptr,
+              SweepProfile* profile = nullptr) const {
+    return run_at_observed(g.node_count(), starts, std::forward<Solver>(solver), tape,
+                           profile,
+                           [&g, &ids, starts, budget](std::int64_t i, ExecutionScratch& s) {
+                             return Execution(g, ids, starts[static_cast<std::size_t>(i)],
+                                              budget, s);
+                           });
   }
 
   // Sweep every node of the graph; result vectors are indexed by NodeIndex.
   template <typename Solver>
   auto run_at_all_nodes(const Graph& g, const IdAssignment& ids, Solver&& solver,
-                        std::int64_t budget = 0, RandomTape* tape = nullptr) const {
+                        std::int64_t budget = 0, RandomTape* tape = nullptr,
+                        SweepProfile* profile = nullptr) const {
     const NodeIndex n = g.node_count();
     std::vector<NodeIndex> starts(static_cast<std::size_t>(n));
     for (NodeIndex v = 0; v < n; ++v) starts[static_cast<std::size_t>(v)] = v;
-    return run_at(g, ids, starts, std::forward<Solver>(solver), budget, tape);
+    return run_at(g, ids, starts, std::forward<Solver>(solver), budget, tape, profile);
   }
 
  private:

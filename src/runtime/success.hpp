@@ -38,8 +38,8 @@ SuccessEstimate estimate_success(const Problem& problem, const Instance& instanc
     auto solver = solver_factory(tape);
     auto result = run_at_all_nodes(instance.graph, instance.ids, solver, /*budget=*/0, &tape);
     if (verify_all(problem, instance, result.output).ok) ++est.successes;
-    est.max_volume = std::max(est.max_volume, result.max_volume);
-    est.max_distance = std::max(est.max_distance, result.max_distance);
+    est.max_volume = std::max(est.max_volume, result.stats.max_volume);
+    est.max_distance = std::max(est.max_distance, result.stats.max_distance);
   }
   return est;
 }

@@ -1,0 +1,41 @@
+// SweepStats — the one cost-aggregate for whole-graph (or sampled) sweeps.
+//
+// Historically the runner's RunResult carried four loose scalars and the
+// bench layer kept its own `bench::Cost` copy of the same fields; both now
+// share this struct (bench::Cost remains as a deprecated alias for one
+// release).  The sup fields are the paper's Definitions 2.1-2.2 evaluated
+// over the swept start set:
+//
+//   max_volume   = VOL_n(A)  restricted to the starts,
+//   max_distance = DIST_n(A) restricted to the starts.
+//
+// Every field except wall_seconds is bit-identical at any thread count (see
+// parallel_runner.hpp for the determinism argument); wall_seconds is the
+// engine's own measurement of the sweep.
+#pragma once
+
+#include <cstdint>
+
+namespace volcal {
+
+struct SweepStats {
+  std::int64_t starts = 0;         // executions performed
+  std::int64_t max_volume = 0;     // sup volume cost (Def. 2.2)
+  std::int64_t max_distance = 0;   // sup distance cost (Def. 2.1)
+  std::int64_t total_queries = 0;  // query() calls summed over starts
+  std::int64_t total_volume = 0;   // visited nodes summed over starts
+  // Executions that blew the query budget (output = solver fallback or
+  // default Label, per Remark 3.11).
+  std::int64_t truncated = 0;
+  double wall_seconds = 0.0;
+
+  // Deterministic fields only — the comparison the engine-equivalence tests
+  // and benches use (wall_seconds is intentionally excluded).
+  friend bool same_costs(const SweepStats& a, const SweepStats& b) {
+    return a.starts == b.starts && a.max_volume == b.max_volume &&
+           a.max_distance == b.max_distance && a.total_queries == b.total_queries &&
+           a.total_volume == b.total_volume && a.truncated == b.truncated;
+  }
+};
+
+}  // namespace volcal

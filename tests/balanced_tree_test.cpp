@@ -130,8 +130,8 @@ TEST(BalancedTreeSolver, DistanceLogarithmicVolumeLinear) {
     auto inst = make_balanced_instance(depth);
     RunResult<BtOutput> costs;
     solve_all(inst, 0, &costs);
-    EXPECT_LE(costs.max_distance, depth + 4) << depth;  // O(log n)
-    EXPECT_GE(costs.max_volume, (NodeIndex{1} << depth) - 1) << depth;  // Θ(n) from root
+    EXPECT_LE(costs.stats.max_distance, depth + 4) << depth;  // O(log n)
+    EXPECT_GE(costs.stats.max_volume, (NodeIndex{1} << depth) - 1) << depth;  // Θ(n) from root
   }
 }
 

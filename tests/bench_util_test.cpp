@@ -72,6 +72,69 @@ TEST(Measure, MatchesDirectSerialSweep) {
   EXPECT_GE(cost.wall_seconds, 0.0);
 }
 
+TEST(Args, ParsesAllFlagsInBothForms) {
+  const char* raw[] = {"bench",          "--json",   "out.json", "--trace=t.jsonl",
+                       "--chrome-trace", "c.json",   "--metrics=m.json",
+                       "--filter",       "hthc",     "--max-n=4096",
+                       nullptr};
+  int argc = 10;
+  char* argv[11];
+  for (int i = 0; i < argc; ++i) argv[i] = const_cast<char*>(raw[i]);
+  argv[argc] = nullptr;
+  const Args args = Args::parse(&argc, argv, "bench");
+  EXPECT_STREQ(args.json, "out.json");
+  EXPECT_STREQ(args.trace, "t.jsonl");
+  EXPECT_STREQ(args.chrome_trace, "c.json");
+  EXPECT_STREQ(args.metrics, "m.json");
+  EXPECT_EQ(args.filter, "hthc");
+  EXPECT_EQ(args.max_n, 4096);
+  EXPECT_TRUE(args.observing());
+  // Everything was ours: argv is compacted down to the program name.
+  EXPECT_EQ(argc, 1);
+  EXPECT_EQ(argv[1], nullptr);
+  // parse() publishes the result for deep helpers.
+  EXPECT_EQ(Args::current().max_n, 4096);
+}
+
+TEST(Args, LeavesForeignFlagsForTheBinary) {
+  const char* raw[] = {"bench", "--benchmark_filter=BM_x", "--max-n", "100",
+                       "positional", nullptr};
+  int argc = 5;
+  char* argv[6];
+  for (int i = 0; i < argc; ++i) argv[i] = const_cast<char*>(raw[i]);
+  argv[argc] = nullptr;
+  const Args args = Args::parse(&argc, argv, "bench");
+  EXPECT_EQ(args.max_n, 100);
+  ASSERT_EQ(argc, 3);
+  EXPECT_STREQ(argv[0], "bench");
+  EXPECT_STREQ(argv[1], "--benchmark_filter=BM_x");
+  EXPECT_STREQ(argv[2], "positional");
+  EXPECT_EQ(argv[3], nullptr);
+  EXPECT_FALSE(args.observing());
+}
+
+TEST(Args, KeepNGatesOnlyWhenMaxNSet) {
+  Args args;
+  EXPECT_TRUE(args.keep_n(1));
+  EXPECT_TRUE(args.keep_n(1'000'000'000));  // no --max-n: keep everything
+  args.max_n = 1000;
+  EXPECT_TRUE(args.keep_n(1000));
+  EXPECT_FALSE(args.keep_n(1001));
+}
+
+TEST(Args, MissingOperandIsNotConsumed) {
+  const char* raw[] = {"bench", "--json", nullptr};  // --json with no value
+  int argc = 2;
+  char* argv[3];
+  for (int i = 0; i < argc; ++i) argv[i] = const_cast<char*>(raw[i]);
+  argv[argc] = nullptr;
+  const Args args = Args::parse(&argc, argv, "bench");
+  EXPECT_EQ(args.json, nullptr);
+  // The dangling flag is left in argv rather than silently swallowed.
+  EXPECT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "--json");
+}
+
 TEST(JsonReport, ParsesJsonFlag) {
   const char* argv1[] = {"bench", "--json", "out.json"};
   EXPECT_STREQ(json_path_from_args(3, const_cast<char**>(argv1)), "out.json");

@@ -54,7 +54,7 @@ TEST(IoRoundTrip, SolverAgreesOnReloadedInstance) {
   auto a = run(inst);
   auto b = run(back);
   EXPECT_EQ(a.output, b.output);
-  EXPECT_EQ(a.max_volume, b.max_volume);
+  EXPECT_EQ(a.stats.max_volume, b.stats.max_volume);
 }
 
 TEST(IoRoundTrip, BalancedTree) {

@@ -156,8 +156,8 @@ TEST(LeafColoringCosts, NearestLeafDistanceLogarithmic) {
     solve_all_nearest(inst, &costs);
     // Nearest leaf from the root is at depth `depth`; the BFS stays within
     // distance depth + O(1) = O(log n).
-    EXPECT_LE(costs.max_distance, depth + 2);
-    EXPECT_GE(costs.max_distance, depth - 1);
+    EXPECT_LE(costs.stats.max_distance, depth + 2);
+    EXPECT_GE(costs.stats.max_distance, depth - 1);
   }
 }
 
@@ -166,7 +166,7 @@ TEST(LeafColoringCosts, NearestLeafVolumeLinearOnCompleteTree) {
   RunResult<Color> costs;
   solve_all_nearest(inst, &costs);
   // From the root, every internal node is explored before any leaf: Θ(n).
-  EXPECT_GE(costs.max_volume, inst.node_count() / 2);
+  EXPECT_GE(costs.stats.max_volume, inst.node_count() / 2);
 }
 
 TEST(LeafColoringCosts, RandomWalkVolumeLogarithmicWhp) {
@@ -180,7 +180,7 @@ TEST(LeafColoringCosts, RandomWalkVolumeLogarithmicWhp) {
     const double logn = std::log2(static_cast<double>(inst.node_count()));
     // Claim in Prop. 3.10: walk length <= 16 log n whp; each step costs O(1)
     // queries (internality checks), so volume = O(log n).
-    EXPECT_LE(result.max_volume, 16 * 8 * logn) << "depth " << depth;
+    EXPECT_LE(result.stats.max_volume, 16 * 8 * logn) << "depth " << depth;
   }
 }
 

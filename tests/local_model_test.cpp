@@ -68,7 +68,7 @@ TEST(RunLocal, LeafColoringViaBallView) {
   EXPECT_TRUE(verify_all(problem, inst, result.output).ok);
   // Distance stays within the LOCAL radius even though the inner rule makes
   // its own queries: the ball already contains everything it asks for.
-  EXPECT_LE(result.max_distance, radius);
+  EXPECT_LE(result.stats.max_distance, radius);
 }
 
 }  // namespace

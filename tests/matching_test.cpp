@@ -46,7 +46,7 @@ TEST(MatchingLca, VolumeModest) {
   auto result = run_at_all_nodes(ring.graph, ring.ids, [&](Execution& exec) {
     return matching_lca_query(exec, tape);
   });
-  EXPECT_LT(result.max_volume,
+  EXPECT_LT(result.stats.max_volume,
             static_cast<std::int64_t>(16 * std::log2(4096.0)));
 }
 

@@ -58,8 +58,8 @@ TEST(MisLca, VolumeStaysPolylogarithmic) {
       return static_cast<std::uint8_t>(mis_lca_query(exec, tape) ? 1 : 0);
     });
     ns.push_back(static_cast<double>(n));
-    vols.push_back(static_cast<double>(result.max_volume));
-    EXPECT_LT(result.max_volume, 8 * std::log2(static_cast<double>(n))) << n;
+    vols.push_back(static_cast<double>(result.stats.max_volume));
+    EXPECT_LT(result.stats.max_volume, 8 * std::log2(static_cast<double>(n))) << n;
   }
 }
 

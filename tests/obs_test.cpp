@@ -1,0 +1,267 @@
+// Observability layer: trace sinks, replay oracle, sweep metrics, exporters.
+//
+// The load-bearing claims tested here:
+//  * recording is invisible — a traced sweep produces bit-identical outputs
+//    and costs to the untraced one;
+//  * traces are deterministic at any thread count (disjoint preassigned
+//    slots, same argument as the runner's output slots);
+//  * a recorded trace replays bit-identically against a fresh Execution,
+//    including budget truncation — and a tampered trace is rejected;
+//  * SweepMetrics totals equal the engine's SweepStats, and histograms fold
+//    the per-start slot vectors exactly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "labels/generators.hpp"
+#include "lcl/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/replay.hpp"
+#include "obs/trace.hpp"
+#include "runtime/parallel_runner.hpp"
+
+namespace volcal {
+namespace {
+
+std::vector<NodeIndex> every_node(NodeIndex n) {
+  std::vector<NodeIndex> starts(static_cast<std::size_t>(n));
+  for (NodeIndex v = 0; v < n; ++v) starts[static_cast<std::size_t>(v)] = v;
+  return starts;
+}
+
+// --- recording is invisible -------------------------------------------------
+
+TEST(Trace, TracedSweepMatchesUntracedBitForBit) {
+  auto inst = make_complete_binary_tree(7, Color::Red, Color::Blue);
+  const auto starts = every_node(inst.node_count());
+  auto solver = [](auto& exec) {
+    explore_ball(exec, 3);
+    return exec.volume();
+  };
+  auto plain = ParallelRunner(1).run_at(inst.graph, inst.ids,
+                                        std::span<const NodeIndex>(starts), solver);
+  obs::TraceRecorder recorder;
+  auto traced = obs::run_at_traced(ParallelRunner(1), inst.graph, inst.ids,
+                                   std::span<const NodeIndex>(starts), solver, recorder);
+  EXPECT_EQ(plain.output, traced.output);
+  EXPECT_EQ(plain.volume, traced.volume);
+  EXPECT_EQ(plain.distance, traced.distance);
+  EXPECT_EQ(plain.queries, traced.queries);
+  EXPECT_TRUE(same_costs(plain.stats, traced.stats));
+}
+
+TEST(Trace, DeterministicAcrossThreadCounts) {
+  auto inst = make_complete_binary_tree(6, Color::Red, Color::Blue);
+  const auto starts = every_node(inst.node_count());
+  auto solver = [](auto& exec) {
+    explore_ball(exec, 2);
+    return 0;
+  };
+  obs::TraceRecorder serial, parallel;
+  obs::run_at_traced(ParallelRunner(1), inst.graph, inst.ids,
+                     std::span<const NodeIndex>(starts), solver, serial);
+  obs::run_at_traced(ParallelRunner(8), inst.graph, inst.ids,
+                     std::span<const NodeIndex>(starts), solver, parallel);
+  ASSERT_EQ(serial.traces().size(), parallel.traces().size());
+  EXPECT_EQ(serial.traces(), parallel.traces());
+}
+
+// --- replay oracle ----------------------------------------------------------
+
+TEST(Replay, RoundTripsEveryRegistryEntry) {
+  for (const RegistryEntry& entry : ProblemRegistry::global().entries()) {
+    const ErasedInstance inst = entry.make(/*n_target=*/300, /*seed=*/17);
+    const auto starts = every_node(inst.node_count());
+    obs::TraceRecorder recorder;
+    auto run = obs::run_at_traced(ParallelRunner(2), inst.graph(), inst.ids(),
+                                  std::span<const NodeIndex>(starts),
+                                  [&](auto& exec) { return inst.solve(exec); }, recorder);
+    EXPECT_TRUE(inst.verify(run.output).ok) << entry.name;
+    const obs::ReplayReport report =
+        obs::replay_sweep(inst.graph(), inst.ids(), recorder.traces());
+    EXPECT_TRUE(report.ok) << entry.name << ": " << report.error;
+    EXPECT_EQ(report.probes, run.stats.total_queries) << entry.name;
+  }
+}
+
+TEST(Replay, ReproducesBudgetTruncation) {
+  auto inst = make_complete_binary_tree(6, Color::Red, Color::Blue);
+  const auto starts = every_node(inst.node_count());
+  const std::int64_t budget = 5;
+  obs::TraceRecorder recorder;
+  auto run = obs::run_at_traced(
+      ParallelRunner(1), inst.graph, inst.ids, std::span<const NodeIndex>(starts),
+      [](auto& exec) {
+        explore_ball(exec, 10);  // wants the whole graph: blows the budget
+        return 0;
+      },
+      recorder, budget);
+  ASSERT_GT(run.stats.truncated, 0);
+  bool saw_truncated = false;
+  for (const auto& t : recorder.traces()) {
+    if (t.truncated) {
+      saw_truncated = true;
+      EXPECT_NE(t.truncated_at_node, kNoNode);
+      EXPECT_NE(t.truncated_at_port, kNoPort);
+    }
+  }
+  ASSERT_TRUE(saw_truncated);
+  const auto report = obs::replay_sweep(inst.graph, inst.ids, recorder.traces(), budget);
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST(Replay, RejectsTamperedTrace) {
+  auto inst = make_complete_binary_tree(5, Color::Red, Color::Blue);
+  obs::TraceRecorder recorder;
+  const std::vector<NodeIndex> starts{0};
+  obs::run_at_traced(
+      ParallelRunner(1), inst.graph, inst.ids, std::span<const NodeIndex>(starts),
+      [](auto& exec) {
+        explore_ball(exec, 3);
+        return 0;
+      },
+      recorder);
+  ASSERT_FALSE(recorder.traces()[0].events.empty());
+
+  obs::ExecutionTrace tampered = recorder.traces()[0];
+  tampered.events[1].found_id += 1;
+  EXPECT_FALSE(obs::replay_trace(inst.graph, inst.ids, tampered).ok);
+
+  tampered = recorder.traces()[0];
+  tampered.final_volume += 1;
+  EXPECT_FALSE(obs::replay_trace(inst.graph, inst.ids, tampered).ok);
+
+  tampered = recorder.traces()[0];
+  tampered.events[0].volume += 1;
+  EXPECT_FALSE(obs::replay_trace(inst.graph, inst.ids, tampered).ok);
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(Metrics, TotalsEqualEngineSweepStats) {
+  auto inst = make_complete_binary_tree(7, Color::Red, Color::Blue);
+  const auto starts = every_node(inst.node_count());
+  auto run = ParallelRunner(4).run_at(inst.graph, inst.ids,
+                                      std::span<const NodeIndex>(starts),
+                                      [](Execution& exec) {
+                                        explore_ball(exec, 4);
+                                        return 0;
+                                      });
+  obs::SweepMetrics metrics;
+  metrics.observe(run);
+  EXPECT_EQ(metrics.sweeps, 1);
+  EXPECT_TRUE(same_costs(metrics.stats, run.stats));
+  EXPECT_EQ(metrics.volume_hist.count, run.stats.starts);
+  EXPECT_EQ(metrics.volume_hist.sum, run.stats.total_volume);
+  EXPECT_EQ(metrics.volume_hist.max, run.stats.max_volume);
+  EXPECT_EQ(metrics.distance_hist.max, run.stats.max_distance);
+  EXPECT_EQ(metrics.queries_hist.sum, run.stats.total_queries);
+}
+
+TEST(Metrics, LogHistogramBucketsAndMerge) {
+  using obs::LogHistogram;
+  EXPECT_EQ(LogHistogram::bucket_of(0), 0);
+  EXPECT_EQ(LogHistogram::bucket_of(1), 1);
+  EXPECT_EQ(LogHistogram::bucket_of(2), 2);
+  EXPECT_EQ(LogHistogram::bucket_of(3), 2);
+  EXPECT_EQ(LogHistogram::bucket_of(4), 3);
+  EXPECT_EQ(LogHistogram::bucket_of(1023), 10);
+  EXPECT_EQ(LogHistogram::bucket_of(1024), 11);
+
+  LogHistogram a, b, ab, ba;
+  for (std::int64_t v : {0, 1, 5, 100}) a.add(v);
+  for (std::int64_t v : {7, 2048}) b.add(v);
+  ab = a;
+  ab.merge(b);
+  ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);  // merge is order-independent
+  EXPECT_EQ(ab.count, 6);
+  EXPECT_EQ(ab.min, 0);
+  EXPECT_EQ(ab.max, 2048);
+  EXPECT_EQ(ab.sum, 0 + 1 + 5 + 100 + 7 + 2048);
+}
+
+TEST(Metrics, MetricsDeterministicAcrossThreadCounts) {
+  auto inst = make_complete_binary_tree(6, Color::Red, Color::Blue);
+  const auto starts = every_node(inst.node_count());
+  auto solver = [](Execution& exec) {
+    explore_ball(exec, 3);
+    return 0;
+  };
+  auto serial = ParallelRunner(1).run_at(inst.graph, inst.ids,
+                                         std::span<const NodeIndex>(starts), solver);
+  auto parallel = ParallelRunner(8).run_at(inst.graph, inst.ids,
+                                           std::span<const NodeIndex>(starts), solver);
+  obs::SweepMetrics m1, m8;
+  m1.observe(serial);
+  m8.observe(parallel);
+  // Every deterministic field agrees (wall-clock fields are left unpopulated
+  // because no profile was attached).
+  EXPECT_TRUE(same_costs(m1.stats, m8.stats));
+  EXPECT_EQ(m1.volume_hist, m8.volume_hist);
+  EXPECT_EQ(m1.distance_hist, m8.distance_hist);
+  EXPECT_EQ(m1.queries_hist, m8.queries_hist);
+}
+
+// --- exporters --------------------------------------------------------------
+
+TEST(Exporters, JsonlAndChromeFilesHaveExpectedShape) {
+  auto inst = make_complete_binary_tree(4, Color::Red, Color::Blue);
+  const auto starts = every_node(inst.node_count());
+  obs::TraceRecorder recorder;
+  SweepProfile profile;
+  obs::run_at_traced(
+      ParallelRunner(1), inst.graph, inst.ids, std::span<const NodeIndex>(starts),
+      [](auto& exec) {
+        explore_ball(exec, 2);
+        return 0;
+      },
+      recorder, /*budget=*/0, /*tape=*/nullptr, &profile);
+  obs::SweepTrace sweep;
+  sweep.label = "obs_test/sweep-0";
+  sweep.n = inst.node_count();
+  sweep.traces = recorder.traces();
+  sweep.profile = profile;
+  const std::vector<obs::SweepTrace> sweeps{sweep};
+
+  const std::string jsonl = testing::TempDir() + "obs_test_trace.jsonl";
+  const std::string chrome = testing::TempDir() + "obs_test_chrome.json";
+  ASSERT_TRUE(obs::write_trace_jsonl(jsonl, sweeps));
+  ASSERT_TRUE(obs::write_chrome_trace(chrome, sweeps));
+
+  std::ifstream jf(jsonl);
+  std::string line;
+  ASSERT_TRUE(std::getline(jf, line));
+  EXPECT_NE(line.find("\"type\":\"sweep\""), std::string::npos);
+  EXPECT_NE(line.find("\"label\":\"obs_test/sweep-0\""), std::string::npos);
+  std::int64_t execs = 0, queries = 0;
+  while (std::getline(jf, line)) {
+    if (line.find("\"type\":\"exec\"") != std::string::npos) ++execs;
+    if (line.find("\"type\":\"query\"") != std::string::npos) ++queries;
+  }
+  EXPECT_EQ(execs, inst.node_count());
+  std::int64_t recorded = 0;
+  for (const auto& t : recorder.traces()) {
+    recorded += static_cast<std::int64_t>(t.events.size());
+  }
+  EXPECT_EQ(queries, recorded);
+
+  std::ifstream cf(chrome);
+  std::stringstream buf;
+  buf << cf.rdbuf();
+  const std::string doc = buf.str();
+  EXPECT_EQ(doc.rfind("{\"traceEvents\":", 0), 0u);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"displayTimeUnit\""), std::string::npos);
+  std::remove(jsonl.c_str());
+  std::remove(chrome.c_str());
+}
+
+}  // namespace
+}  // namespace volcal

@@ -31,10 +31,10 @@ void expect_identical(const RunResult<Label>& serial, const RunResult<Label>& pa
   EXPECT_EQ(serial.volume, parallel.volume) << "volumes diverged at " << threads << " threads";
   EXPECT_EQ(serial.distance, parallel.distance)
       << "distances diverged at " << threads << " threads";
-  EXPECT_EQ(serial.max_volume, parallel.max_volume);
-  EXPECT_EQ(serial.max_distance, parallel.max_distance);
-  EXPECT_EQ(serial.total_queries, parallel.total_queries);
-  EXPECT_EQ(serial.truncated, parallel.truncated);
+  EXPECT_EQ(serial.stats.max_volume, parallel.stats.max_volume);
+  EXPECT_EQ(serial.stats.max_distance, parallel.stats.max_distance);
+  EXPECT_EQ(serial.stats.total_queries, parallel.stats.total_queries);
+  EXPECT_EQ(serial.stats.truncated, parallel.stats.truncated);
 }
 
 // Runs the solver through ParallelRunner at 1, 2 and 8 threads and asserts
@@ -43,7 +43,7 @@ template <typename Solver>
 void check_thread_invariance(const Graph& g, const IdAssignment& ids, Solver&& solver,
                              std::int64_t budget = 0, RandomTape* tape = nullptr) {
   auto serial = ParallelRunner(1).run_at_all_nodes(g, ids, solver, budget, tape);
-  EXPECT_GT(serial.max_volume, 0);
+  EXPECT_GT(serial.stats.max_volume, 0);
   for (const int threads : kThreadCounts) {
     auto parallel = ParallelRunner(threads).run_at_all_nodes(g, ids, solver, budget, tape);
     expect_identical(serial, parallel, threads);
@@ -122,7 +122,7 @@ TEST(ParallelRunner, BudgetTruncationIsDeterministic) {
         return 0;
       },
       /*budget=*/9);
-  EXPECT_GT(run.truncated, 0);
+  EXPECT_GT(run.stats.truncated, 0);
   for (const auto v : run.volume) EXPECT_LE(v, 9);
 }
 

@@ -35,7 +35,7 @@ TEST_P(PromiseSecretWalk, SolvesUnderSecretRandomness) {
   EXPECT_TRUE(verify_all(problem, inst, result.output).ok);
   // Volume O(log n): the walk descends one child per step.
   const double logn = std::log2(static_cast<double>(inst.node_count()));
-  EXPECT_LE(result.max_volume, static_cast<std::int64_t>(8 * logn));
+  EXPECT_LE(result.stats.max_volume, static_cast<std::int64_t>(8 * logn));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PromiseSecretWalk, ::testing::Values(1u, 2u, 3u, 4u));
@@ -57,7 +57,7 @@ TEST(PromiseSecret, SkewedTreesStillLogarithmicWhp) {
   PromiseLeafColoringProblem problem;
   EXPECT_TRUE(verify_all(problem, inst, result.output).ok);
   const double logn = std::log2(static_cast<double>(inst.node_count()));
-  EXPECT_LE(result.max_volume, static_cast<std::int64_t>(16 * logn));
+  EXPECT_LE(result.stats.max_volume, static_cast<std::int64_t>(16 * logn));
 }
 
 TEST(PromiseSecret, WithoutPromiseSecretWalkFails) {

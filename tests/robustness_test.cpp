@@ -46,7 +46,7 @@ TEST_P(CorruptionSweep, LeafColoringSolversTerminate) {
         return 0;
       },
       guard);
-  EXPECT_GE(run.max_volume, 1);
+  EXPECT_GE(run.stats.max_volume, 1);
   auto rw = run_at_all_nodes(
       inst.graph, inst.ids,
       [&](Execution& exec) {
@@ -55,7 +55,7 @@ TEST_P(CorruptionSweep, LeafColoringSolversTerminate) {
         return 0;
       },
       guard);
-  EXPECT_GE(rw.max_volume, 1);
+  EXPECT_GE(rw.stats.max_volume, 1);
 }
 
 TEST_P(CorruptionSweep, BalancedTreeSolverTerminates) {
@@ -76,7 +76,7 @@ TEST_P(CorruptionSweep, BalancedTreeSolverTerminates) {
     balancedtree_solve(src, limit);
     return 0;
   });
-  EXPECT_GE(run.max_volume, 1);
+  EXPECT_GE(run.stats.max_volume, 1);
 }
 
 TEST_P(CorruptionSweep, HthcSolverTerminates) {

@@ -291,9 +291,9 @@ TEST(Runner, AggregatesSupCosts) {
     explore_ball(exec, 1);
     return 0;
   });
-  EXPECT_EQ(result.max_distance, 1);
-  EXPECT_EQ(result.max_volume, 4);  // internal node: self + parent + 2 children
-  EXPECT_EQ(result.truncated, 0);
+  EXPECT_EQ(result.stats.max_distance, 1);
+  EXPECT_EQ(result.stats.max_volume, 4);  // internal node: self + parent + 2 children
+  EXPECT_EQ(result.stats.truncated, 0);
   EXPECT_TRUE(satisfies_lemma_2_5(inst.graph, result));
 }
 
@@ -306,7 +306,7 @@ TEST(Runner, TruncationCounted) {
         return 1;
       },
       /*budget=*/4);
-  EXPECT_GT(result.truncated, 0);
+  EXPECT_GT(result.stats.truncated, 0);
   for (NodeIndex v = 0; v < inst.node_count(); ++v) EXPECT_LE(result.volume[v], 4);
 }
 

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validate the artifacts a bench binary writes under --json / --metrics /
+--trace / --chrome-trace.
+
+CI runs a small bench with all four flags and then this script; a schema
+drift in any exporter (bench JsonReport, obs SweepMetrics, trace JSONL,
+Chrome trace_event) fails the job.  Internal cross-checks go beyond JSON
+well-formedness: metrics totals must be self-consistent with the histograms,
+and every trace query line must belong to a declared sweep/exec.
+
+Usage:
+  check_artifacts.py --json b.json --metrics m.json --trace t.jsonl \
+                     --chrome-trace c.json
+All flags optional; at least one must be given.
+"""
+
+import argparse
+import json
+import sys
+
+failures = []
+
+
+def check(ok, what):
+    if not ok:
+        failures.append(what)
+    return ok
+
+
+def require_keys(obj, keys, where):
+    for k in keys:
+        check(k in obj, f"{where}: missing key '{k}'")
+
+
+def check_bench_json(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    require_keys(doc, ["tool", "curves"], path)
+    check(isinstance(doc.get("curves"), list) and doc["curves"],
+          f"{path}: 'curves' must be a non-empty list")
+    for curve in doc.get("curves", []):
+        require_keys(curve, ["name", "fitted", "points"], f"{path} curve")
+        for pt in curve.get("points", []):
+            require_keys(pt, ["n", "cost", "wall_seconds"], f"{path} point")
+            check(pt.get("n", 0) > 0, f"{path}: point with n <= 0")
+            check(pt.get("cost", -1) >= 0, f"{path}: point with cost < 0")
+    print(f"ok  {path}: {len(doc['curves'])} curves")
+
+
+def check_metrics_json(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    require_keys(doc, ["tool", "sweeps", "totals", "tape_max_bits",
+                       "volume", "distance", "queries", "workers"], path)
+    totals = doc.get("totals", {})
+    require_keys(totals, ["starts", "max_volume", "max_distance",
+                          "total_queries", "total_volume", "truncated",
+                          "wall_seconds"], f"{path} totals")
+    check(doc.get("sweeps", 0) > 0, f"{path}: no sweeps recorded")
+    check(totals.get("starts", 0) > 0, f"{path}: no starts recorded")
+    for name in ("volume", "distance", "queries"):
+        hist = doc.get(name, {})
+        require_keys(hist, ["count", "min", "max", "sum", "buckets"],
+                     f"{path} {name} histogram")
+        bucket_total = sum(hist.get("buckets", {}).values())
+        check(bucket_total == hist.get("count"),
+              f"{path}: {name} buckets sum {bucket_total} != count {hist.get('count')}")
+        # One histogram sample per start, every sweep.
+        check(hist.get("count") == totals.get("starts"),
+              f"{path}: {name} count {hist.get('count')} != starts {totals.get('starts')}")
+    check(doc["volume"].get("sum") == totals.get("total_volume"),
+          f"{path}: volume sum != totals.total_volume")
+    check(doc["volume"].get("max") == totals.get("max_volume"),
+          f"{path}: volume max != totals.max_volume")
+    check(doc["queries"].get("sum") == totals.get("total_queries"),
+          f"{path}: queries sum != totals.total_queries")
+    print(f"ok  {path}: {doc['sweeps']} sweeps, {totals['starts']} starts")
+
+
+def check_trace_jsonl(path):
+    sweeps = {}      # seq -> declared start count
+    execs = {}       # (sweep, start) -> declared query count
+    queries = {}     # (sweep, start) -> seen query lines
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            where = f"{path}:{lineno}"
+            t = rec.get("type")
+            if t == "sweep":
+                require_keys(rec, ["seq", "label", "n", "starts"], where)
+                sweeps[rec["seq"]] = rec["starts"]
+            elif t == "exec":
+                require_keys(rec, ["sweep", "start", "volume", "distance",
+                                   "queries", "truncated"], where)
+                check(rec["sweep"] in sweeps,
+                      f"{where}: exec before its sweep header")
+                execs[(rec["sweep"], rec["start"])] = rec["queries"]
+            elif t == "query":
+                require_keys(rec, ["sweep", "start", "seq", "queried", "port",
+                                   "found", "found_id", "found_degree",
+                                   "layer", "volume"], where)
+                key = (rec["sweep"], rec["start"])
+                check(key in execs, f"{where}: query before its exec line")
+                queries[key] = queries.get(key, 0) + 1
+                check(rec["port"] >= 1, f"{where}: port must be 1-based")
+                check(rec["volume"] >= 1, f"{where}: running volume must be >= 1")
+            else:
+                check(False, f"{where}: unknown line type {t!r}")
+    check(bool(sweeps), f"{path}: no sweep headers")
+    check(bool(execs), f"{path}: no exec lines")
+    declared = sum(sweeps.values())
+    check(len(execs) == declared,
+          f"{path}: {len(execs)} exec lines but sweeps declare {declared} starts")
+    for key, declared_q in execs.items():
+        seen = queries.get(key, 0)
+        # Truncated execs have one more query (the one that blew the budget)
+        # than recorded events; completed execs match exactly.
+        check(seen in (declared_q, declared_q - 1),
+              f"{path}: sweep {key[0]} start {key[1]}: {seen} query lines "
+              f"vs declared queries {declared_q}")
+    print(f"ok  {path}: {len(sweeps)} sweeps, {len(execs)} execs, "
+          f"{sum(queries.values())} queries")
+
+
+def check_chrome_trace(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    require_keys(doc, ["traceEvents", "displayTimeUnit"], path)
+    events = doc.get("traceEvents", [])
+    check(isinstance(events, list) and events,
+          f"{path}: 'traceEvents' must be a non-empty list")
+    for ev in events:
+        require_keys(ev, ["name", "cat", "ph", "ts", "dur", "pid", "tid",
+                          "args"], f"{path} event")
+        check(ev.get("ph") == "X", f"{path}: expected complete ('X') events")
+        check(ev.get("dur", -1) >= 0, f"{path}: negative duration")
+        require_keys(ev.get("args", {}),
+                     ["volume", "distance", "queries", "truncated"],
+                     f"{path} event args")
+    print(f"ok  {path}: {len(events)} trace events")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", help="bench curve report")
+    parser.add_argument("--metrics", help="SweepMetrics JSON")
+    parser.add_argument("--trace", help="query trace JSONL")
+    parser.add_argument("--chrome-trace", dest="chrome_trace",
+                        help="Chrome trace_event JSON")
+    opts = parser.parse_args()
+    if not any([opts.json, opts.metrics, opts.trace, opts.chrome_trace]):
+        parser.error("give at least one artifact to check")
+    if opts.json:
+        check_bench_json(opts.json)
+    if opts.metrics:
+        check_metrics_json(opts.metrics)
+    if opts.trace:
+        check_trace_jsonl(opts.trace)
+    if opts.chrome_trace:
+        check_chrome_trace(opts.chrome_trace)
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
