@@ -56,11 +56,12 @@ class WallTimer {
 
 // Evenly spread sample of at most `count` start nodes, always including node
 // 0 (the root of every generated instance — the worst case for the tree
-// families) and node n-1 (a deepest leaf).
+// families) and, whenever count >= 2, node n-1 (a deepest leaf).  count == 1
+// honors the "at most" contract and returns {0}.
 inline std::vector<NodeIndex> sampled_starts(NodeIndex n, NodeIndex count) {
   std::vector<NodeIndex> out;
   if (n <= 0 || count <= 0) return out;
-  const NodeIndex k = std::min(n, std::max<NodeIndex>(count, 2));
+  const NodeIndex k = std::min(n, count);
   out.reserve(static_cast<std::size_t>(k));
   for (NodeIndex i = 0; i < k; ++i) {
     // Endpoint-inclusive linear interpolation: i=0 -> 0, i=k-1 -> n-1.

@@ -1,0 +1,408 @@
+#include "check/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "lcl/registry.hpp"
+#include "obs/replay.hpp"
+#include "obs/trace.hpp"
+#include "runtime/parallel_runner.hpp"
+#include "runtime/reference_execution.hpp"
+#include "stats/growth.hpp"
+
+namespace volcal::check {
+namespace {
+
+CheckResult fail(std::string msg) { return {false, std::move(msg)}; }
+
+std::string at_start(const char* what, std::size_t i, NodeIndex start) {
+  std::ostringstream os;
+  os << what << " (start slot " << i << ", node " << start << ")";
+  return os.str();
+}
+
+// --- bench::sampled_starts contract ----------------------------------------
+
+CheckResult check_sampled_starts(NodeIndex n, NodeIndex count,
+                                 const std::vector<NodeIndex>& starts) {
+  if (starts.empty()) return fail("sampled_starts: empty sample for n > 0, count > 0");
+  if (starts.size() > static_cast<std::size_t>(count)) {
+    return fail("sampled_starts: " + std::to_string(starts.size()) +
+                " starts exceed requested count " + std::to_string(count));
+  }
+  if (starts.front() != 0) return fail("sampled_starts: sample does not begin at node 0");
+  if (count == 1 && starts != std::vector<NodeIndex>{0}) {
+    return fail("sampled_starts: count == 1 must yield exactly {0} (got " +
+                std::to_string(starts.size()) + " starts)");
+  }
+  if (count >= 2 && n >= 2 && starts.back() != n - 1) {
+    return fail("sampled_starts: count >= 2 must cover the last node");
+  }
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    if (starts[i] >= n) return fail("sampled_starts: start out of range");
+    if (i > 0 && starts[i] <= starts[i - 1]) {
+      return fail("sampled_starts: sample not strictly increasing");
+    }
+  }
+  return {};
+}
+
+// --- RandomTape invariants ---------------------------------------------------
+
+CheckResult check_tape(const IdAssignment& ids, const FuzzCase& c, NodeIndex n) {
+  RandomTape tape(ids, c.tape_seed, c.model);
+  const NodeIndex probes[] = {0, n / 2, n - 1};
+  const std::uint64_t positions[] = {0, 1, 63, 64, 65, 0x9000};
+
+  // Words are 64-bit windows of the bit stream: bit j of word(i) is bit i+j.
+  // (The historical implementation hashed words on a shifted bit position, so
+  // words aliased far-away bits and adjacent words were inconsistent.)
+  for (const NodeIndex v : probes) {
+    for (const std::uint64_t i : positions) {
+      const std::uint64_t w = tape.word_value(v, i);
+      for (const std::uint64_t j : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{17},
+                                    std::uint64_t{63}}) {
+        if (((w >> j) & 1) != static_cast<std::uint64_t>(tape.bit_value(v, i + j))) {
+          return fail("tape: bit " + std::to_string(j) + " of word_value(v=" +
+                      std::to_string(v) + ", i=" + std::to_string(i) +
+                      ") disagrees with bit_value at position " + std::to_string(i + j));
+        }
+      }
+      const std::uint64_t next = tape.word_value(v, i + 1);
+      const std::uint64_t expect =
+          (w >> 1) | (static_cast<std::uint64_t>(tape.bit_value(v, i + 64)) << 63);
+      if (next != expect) {
+        return fail("tape: word_value(v, i+1) is not the bit stream shifted by one at i=" +
+                    std::to_string(i));
+      }
+    }
+  }
+
+  // Model disciplines (§7.4).
+  if (c.model == RandomnessModel::Public && n >= 2) {
+    for (const std::uint64_t i : positions) {
+      if (tape.bit_value(0, i) != tape.bit_value(n - 1, i)) {
+        return fail("tape: public randomness must be node-independent");
+      }
+    }
+  }
+  if (c.model == RandomnessModel::Private && n >= 2) {
+    bool distinct = false;
+    for (std::uint64_t i = 0; i < 4 && !distinct; ++i) {
+      distinct = tape.word_value(0, i) != tape.word_value(n - 1, i);
+    }
+    if (!distinct) return fail("tape: private per-node streams are identical");
+  }
+  if (c.model == RandomnessModel::Secret && n >= 2) {
+    bool threw = false;
+    try {
+      (void)tape.bit(0, n - 1, 0);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+    if (!threw) return fail("tape: secret model allowed a cross-node read");
+  }
+
+  // Accounting: a word consumes its true 64 positions, bits one position;
+  // the high-water mark is over *accessed* positions.
+  {
+    RandomTape acct(ids, c.tape_seed + 1, c.model);
+    (void)acct.word(0, 0, 10);
+    if (acct.max_bits_used_anywhere() != 74) {
+      return fail("tape: word at position 10 should account 74 bits, got " +
+                  std::to_string(acct.max_bits_used_anywhere()));
+    }
+    (void)acct.bit(0, 0, 100);
+    if (acct.max_bits_used_anywhere() != 101) {
+      return fail("tape: bit at position 100 should raise the high-water mark to 101");
+    }
+  }
+
+  // ScopedUsage ledgers merge to exactly the serial accounting.
+  {
+    RandomTape serial(ids, c.tape_seed + 2, c.model);
+    RandomTape scoped(ids, c.tape_seed + 2, c.model);
+    auto read_all = [&](RandomTape& t) {
+      for (const NodeIndex v : probes) {
+        (void)t.bit(v, v, 7);
+        (void)t.word(v, v, 40);
+      }
+    };
+    read_all(serial);
+    {
+      RandomTape::ScopedUsage usage(scoped);
+      read_all(scoped);
+    }
+    for (const NodeIndex v : probes) {
+      const NodeIndex key = c.model == RandomnessModel::Public ? 0 : v;
+      if (serial.bits_used(key) != scoped.bits_used(key)) {
+        return fail("tape: ScopedUsage merge disagrees with serial accounting at node " +
+                    std::to_string(key));
+      }
+    }
+  }
+  return {};
+}
+
+// --- stats::summarize cross-check -------------------------------------------
+
+CheckResult check_summarize(const std::vector<std::int64_t>& per_start) {
+  std::vector<double> values(per_start.begin(), per_start.end());
+  const stats::Summary s = stats::summarize(values);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t cnt = sorted.size();
+  if (s.count != cnt) return fail("summarize: wrong count");
+  double sum = 0;
+  for (const double v : sorted) sum += v;
+  const double median = cnt % 2 == 1 ? sorted[cnt / 2]
+                                     : 0.5 * (sorted[cnt / 2 - 1] + sorted[cnt / 2]);
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(0.95 * static_cast<double>(cnt)));
+  const double p95 = sorted[std::max<std::size_t>(rank, 1) - 1];
+  auto close = [](double a, double b) {
+    return std::abs(a - b) <= 1e-9 * std::max({std::abs(a), std::abs(b), 1.0});
+  };
+  if (!close(s.min, sorted.front()) || !close(s.max, sorted.back())) {
+    return fail("summarize: min/max disagree with sorted data");
+  }
+  if (!close(s.mean, sum / static_cast<double>(cnt))) {
+    return fail("summarize: mean disagrees with independent recomputation");
+  }
+  if (!close(s.median, median)) {
+    return fail("summarize: median disagrees with midpoint-of-even-count recomputation");
+  }
+  if (!close(s.p95, p95)) {
+    return fail("summarize: p95 disagrees with nearest-rank recomputation");
+  }
+  return {};
+}
+
+// --- trace invariants + reference differential ------------------------------
+
+CheckResult check_trace_invariants(const obs::ExecutionTrace& t, std::int64_t budget,
+                                   std::size_t slot) {
+  std::int64_t running = 1;  // the start node is visited before any probe
+  for (std::size_t e = 0; e < t.events.size(); ++e) {
+    const obs::TraceEvent& ev = t.events[e];
+    if (ev.volume < running || ev.volume > running + 1) {
+      return fail(at_start("trace: running volume not monotone (steps of 0 or 1)", slot,
+                           t.start));
+    }
+    running = ev.volume;
+    if (ev.layer < 0 || ev.layer > t.final_distance) {
+      return fail(at_start("trace: event layer outside [0, final_distance]", slot, t.start));
+    }
+    if (ev.layer == 0 && ev.found != t.start) {
+      return fail(at_start("trace: only the start node may sit at layer 0", slot, t.start));
+    }
+  }
+  if (!t.events.empty() && t.events.back().volume != t.final_volume) {
+    return fail(at_start("trace: final volume differs from the last probe's", slot, t.start));
+  }
+  const std::int64_t expected_queries =
+      static_cast<std::int64_t>(t.events.size()) + (t.truncated ? 1 : 0);
+  if (t.query_count != expected_queries) {
+    return fail(at_start("trace: query_count != events + truncating probe", slot, t.start));
+  }
+  if (t.truncated) {
+    if (budget <= 0) return fail(at_start("trace: truncation without a budget", slot, t.start));
+    if (t.final_volume != budget) {
+      return fail(at_start("trace: truncated execution must stop exactly at the budget", slot,
+                           t.start));
+    }
+    if (t.truncated_at_node == kNoNode || t.truncated_at_port == kNoPort) {
+      return fail(at_start("trace: truncation point not recorded", slot, t.start));
+    }
+  } else if (budget > 0 && t.final_volume > budget) {
+    return fail(at_start("trace: volume exceeds the budget without truncating", slot, t.start));
+  }
+  return {};
+}
+
+// Feeds the recorded probe sequence to the historical map-based execution and
+// demands identical revelations — the third leg of the differential (flat and
+// traced executions are compared via RunResults; this pins both against the
+// reference semantics).
+CheckResult check_against_reference(const Graph& g, const IdAssignment& ids,
+                                    const obs::ExecutionTrace& t, std::int64_t budget,
+                                    std::size_t slot) {
+  ReferenceMapExecution ref(g, ids, t.start, budget);
+  for (std::size_t e = 0; e < t.events.size(); ++e) {
+    const obs::TraceEvent& ev = t.events[e];
+    if (!ref.visited(ev.queried)) {
+      return fail(at_start("reference: probe from a node the reference has not visited", slot,
+                           t.start));
+    }
+    NodeIndex u = kNoNode;
+    try {
+      u = ref.query(ev.queried, ev.port);
+    } catch (const QueryBudgetExceeded&) {
+      return fail(at_start("reference: truncated before the flat engine did", slot, t.start));
+    }
+    if (u != ev.found || ref.id(u) != ev.found_id || ref.degree(u) != ev.found_degree) {
+      return fail(at_start("reference: probe revealed a different node", slot, t.start));
+    }
+    if (ref.volume() != ev.volume) {
+      return fail(at_start("reference: running volume diverged from the flat engine", slot,
+                           t.start));
+    }
+  }
+  if (t.truncated) {
+    bool threw = false;
+    try {
+      (void)ref.query(t.truncated_at_node, t.truncated_at_port);
+    } catch (const QueryBudgetExceeded&) {
+      threw = true;
+    }
+    if (!threw) {
+      return fail(at_start("reference: recorded truncating probe did not truncate", slot,
+                           t.start));
+    }
+  }
+  if (ref.volume() != t.final_volume || ref.distance() != t.final_distance ||
+      ref.query_count() != t.query_count) {
+    return fail(at_start("reference: final costs diverged from the flat engine", slot,
+                         t.start));
+  }
+  return {};
+}
+
+}  // namespace
+
+const char* model_name(RandomnessModel m) {
+  switch (m) {
+    case RandomnessModel::Public: return "public";
+    case RandomnessModel::Secret: return "secret";
+    default: return "private";
+  }
+}
+
+bool model_from_name(const std::string& name, RandomnessModel* out) {
+  if (name == "private") *out = RandomnessModel::Private;
+  else if (name == "public") *out = RandomnessModel::Public;
+  else if (name == "secret") *out = RandomnessModel::Secret;
+  else return false;
+  return true;
+}
+
+std::string describe(const FuzzCase& c) {
+  std::ostringstream os;
+  os << "family=" << c.family << " variant=" << c.variant << " n_target=" << c.n_target
+     << " instance_seed=" << c.instance_seed << " model=" << model_name(c.model)
+     << " budget=" << c.budget << " start_count=" << c.start_count
+     << " tape_seed=" << c.tape_seed;
+  return os.str();
+}
+
+CheckResult check_case(const FuzzCase& c) {
+  const RegistryEntry* entry = ProblemRegistry::global().find(c.family);
+  if (entry == nullptr) return fail("unknown registry family: " + c.family);
+  if (c.variant < 0 || c.variant >= entry->variants) {
+    return fail("variant " + std::to_string(c.variant) + " out of range for " + c.family);
+  }
+
+  const ErasedInstance inst = entry->make_variant(c.n_target, c.instance_seed, c.variant);
+  const NodeIndex n = inst.node_count();
+  if (n <= 0) return fail("generator produced an empty instance");
+
+  // Exercise the sampler's edge counts on every case (count == 1 is the one
+  // the pre-fix implementation silently rounded up to 2), then build the
+  // case's own start set.
+  for (const NodeIndex count : {NodeIndex{1}, NodeIndex{2}, n, 2 * n}) {
+    if (CheckResult r = check_sampled_starts(n, count, bench::sampled_starts(n, count)); !r) {
+      return r;
+    }
+  }
+  std::vector<NodeIndex> starts;
+  if (c.start_count == 0) {
+    starts.resize(static_cast<std::size_t>(n));
+    for (NodeIndex v = 0; v < n; ++v) starts[static_cast<std::size_t>(v)] = v;
+  } else {
+    starts = bench::sampled_starts(n, c.start_count);
+    if (CheckResult r = check_sampled_starts(n, c.start_count, starts); !r) return r;
+  }
+
+  if (CheckResult r = check_tape(inst.ids(), c, n); !r) return r;
+
+  RandomTape tape(inst.ids(), c.tape_seed, c.model);
+  const std::span<const NodeIndex> span(starts);
+  auto solve = [&](auto& exec) { return inst.solve(exec); };
+
+  auto serial = ParallelRunner(1).run_at(inst.graph(), inst.ids(), span, solve, c.budget,
+                                         &tape);
+  auto threaded = ParallelRunner(8).run_at(inst.graph(), inst.ids(), span, solve, c.budget,
+                                           &tape);
+  if (serial.output != threaded.output) return fail("sweep: 8-thread outputs diverge");
+  if (serial.volume != threaded.volume || serial.distance != threaded.distance ||
+      serial.queries != threaded.queries) {
+    return fail("sweep: 8-thread per-start costs diverge");
+  }
+  if (!same_costs(serial.stats, threaded.stats)) {
+    return fail("sweep: 8-thread aggregate costs diverge");
+  }
+
+  obs::TraceRecorder recorder;
+  auto traced = obs::run_at_traced(ParallelRunner(1), inst.graph(), inst.ids(), span, solve,
+                                   recorder, c.budget, &tape);
+  if (serial.output != traced.output) return fail("traced: outputs diverge from flat");
+  if (serial.volume != traced.volume || serial.distance != traced.distance ||
+      serial.queries != traced.queries || !same_costs(serial.stats, traced.stats)) {
+    return fail("traced: costs diverge from flat");
+  }
+
+  std::int64_t truncated_traces = 0;
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    const std::int64_t vol = serial.volume[i];
+    const std::int64_t dist = serial.distance[i];
+    const std::int64_t q = serial.queries[i];
+    if (vol < 1) return fail(at_start("invariant: volume < 1", i, starts[i]));
+    if (dist + 1 > vol) {
+      return fail(at_start("invariant: distance + 1 > volume", i, starts[i]));
+    }
+    if (vol > q + 1) {
+      return fail(at_start("invariant: volume > queries + 1", i, starts[i]));
+    }
+    const obs::ExecutionTrace& t = recorder.traces()[i];
+    if (t.start != starts[i]) return fail(at_start("trace: wrong start slot", i, starts[i]));
+    if (t.final_volume != vol || t.final_distance != dist || t.query_count != q) {
+      return fail(at_start("trace: recorded finals differ from RunResult", i, starts[i]));
+    }
+    if (CheckResult r = check_trace_invariants(t, c.budget, i); !r) return r;
+    if (t.truncated) ++truncated_traces;
+    if (CheckResult r = check_against_reference(inst.graph(), inst.ids(), t, c.budget, i); !r) {
+      return r;
+    }
+  }
+  if (truncated_traces != serial.stats.truncated) {
+    return fail("trace: truncation count differs from SweepStats.truncated");
+  }
+
+  if (const auto replay = obs::replay_sweep(inst.graph(), inst.ids(), recorder.traces(),
+                                            c.budget);
+      !replay.ok) {
+    return fail("replay: " + replay.error);
+  }
+
+  // With no budget and a whole-graph start set the joint output must satisfy
+  // the family's own LCL verifier (Def. 2.6).
+  if (c.budget == 0 && c.start_count == 0) {
+    const VerifyResult verdict = inst.verify(serial.output);
+    if (!verdict.ok) {
+      return fail("verify: " + std::to_string(verdict.violations) +
+                  " violations, first at node " + std::to_string(verdict.first_bad));
+    }
+  }
+
+  if (CheckResult r = check_summarize(serial.volume); !r) return r;
+  if (CheckResult r = check_summarize(serial.distance); !r) return r;
+
+  return {};
+}
+
+}  // namespace volcal::check

@@ -1,0 +1,76 @@
+// Invariant checking for the query model — the predicate the differential
+// fuzzer (check/fuzz.hpp) minimizes against.
+//
+// A FuzzCase names one randomized scenario: a registry family + shape
+// variant + instance seed, a randomness model + tape seed, a query budget
+// and a start-set size.  check_case() builds the instance and asserts, in
+// one pass, everything the engine contract promises:
+//
+//   * differential execution — the flat epoch-stamped Execution, the traced
+//     BasicExecution<RecordingSink> and the historical map-based
+//     ReferenceMapExecution agree bit-for-bit on output, volume, distance,
+//     query count and truncation point (the reference runs the recorded
+//     probe sequence, so all three see identical query streams);
+//   * engine determinism — a serial sweep and an 8-thread sweep of the same
+//     start set produce identical RunResults;
+//   * model invariants — per start, distance + 1 <= volume <= queries + 1;
+//     the traced running volume is monotone; truncation happens exactly at
+//     the budget (volume == budget at the throw, never beyond it);
+//   * trace faithfulness — every recorded trace survives obs::replay_trace;
+//   * self-verification — with no budget, the family's upper-bound
+//     algorithm's whole-graph output passes the family's own verifier;
+//   * tape invariants — words are windows of the bit stream, accounting
+//     matches consumption, ScopedUsage merging equals serial accounting, and
+//     the three randomness models keep their access disciplines;
+//   * helper contracts — bench::sampled_starts and stats::summarize agree
+//     with independent recomputation on the case's own data.
+//
+// The checks are exactly the ones that catch the bugs this harness was built
+// around (RandomTape word/bit stream aliasing, summarize median/p95 on even
+// counts, sampled_starts count==1); deliberately re-introducing any of them
+// makes check_case fail with a pinpointed error string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "runtime/randomness.hpp"
+
+namespace volcal::check {
+
+// One reproducible scenario.  Everything check_case does is a pure function
+// of these fields (plus the registry), which is what makes shrunk cases
+// replayable from a text file.
+struct FuzzCase {
+  std::string family;                              // registry entry name
+  int variant = 0;                                 // shape mutator index
+  NodeIndex n_target = 300;                        // approximate instance size
+  std::uint64_t instance_seed = 1;                 // generator seed
+  RandomnessModel model = RandomnessModel::Private;
+  std::int64_t budget = 0;                         // query budget, 0 = unlimited
+  NodeIndex start_count = 0;                       // sampled starts, 0 = every node
+  std::uint64_t tape_seed = 1;                     // RandomTape seed
+
+  friend bool operator==(const FuzzCase&, const FuzzCase&) = default;
+};
+
+struct CheckResult {
+  bool ok = true;
+  std::string error;  // first violated predicate, human-readable; empty when ok
+
+  explicit operator bool() const { return ok; }
+};
+
+// Runs every check above on one case.  Throws nothing: malformed cases
+// (unknown family, out-of-range variant) come back as failures.
+CheckResult check_case(const FuzzCase& c);
+
+// Model <-> name, shared by the reproducer format and the driver's output.
+const char* model_name(RandomnessModel m);
+bool model_from_name(const std::string& name, RandomnessModel* out);
+
+// One-line rendering for logs: "family=... variant=... n_target=..." etc.
+std::string describe(const FuzzCase& c);
+
+}  // namespace volcal::check

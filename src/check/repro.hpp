@@ -1,0 +1,45 @@
+// Reproducer files — the fuzzer's failure artifacts and the regression
+// corpus' input format (tests/corpus/*.repro).
+//
+// Line-oriented text, one `key value` pair per line, so a failing CI run's
+// artifact can be read, edited and committed by hand:
+//
+//   volcal-fuzz-repro v1
+//   family leaf-coloring
+//   variant 2
+//   n_target 300
+//   instance_seed 1234
+//   model private
+//   budget 40
+//   start_count 8
+//   tape_seed 77
+//   error sweep: 8-thread outputs diverge
+//
+// `error` (the predicate the case violated when it was caught) and `#`
+// comment lines are informational; parsing ignores unknown keys so the
+// format can grow fields without invalidating an existing corpus.
+#pragma once
+
+#include <string>
+
+#include "check/check.hpp"
+
+namespace volcal::check {
+
+// Renders a case (and the error that condemned it, if any) as a reproducer
+// document.
+std::string to_repro(const FuzzCase& c, const std::string& error = "");
+
+// Parses a reproducer document.  On failure returns false and, when `why` is
+// non-null, a one-line reason.  Unknown keys and `#` comments are skipped;
+// the `error` line, if present, lands in `error_out` (may be null).
+bool parse_repro(const std::string& text, FuzzCase* out, std::string* error_out = nullptr,
+                 std::string* why = nullptr);
+
+// File convenience wrappers (false on I/O or parse failure).
+bool write_repro_file(const std::string& path, const FuzzCase& c,
+                      const std::string& error = "");
+bool load_repro_file(const std::string& path, FuzzCase* out,
+                     std::string* error_out = nullptr, std::string* why = nullptr);
+
+}  // namespace volcal::check

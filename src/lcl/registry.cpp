@@ -16,6 +16,7 @@
 #include "lcl/problems/hierarchical_thc.hpp"
 #include "lcl/problems/hybrid_thc.hpp"
 #include "lcl/problems/leaf_coloring.hpp"
+#include "util/hash.hpp"
 
 namespace volcal {
 namespace {
@@ -139,90 +140,164 @@ ProblemRegistry::ProblemRegistry() {
   // alone so recorded traces replay bit-identically (tests/obs_test.cpp).
   // The randomized variants (RWtoLeaf, way-points) stay bench-only, where the
   // tape is threaded explicitly.
+  //
+  // Every entry is registered through its make_variant; make is derived as
+  // variant 0, so the canonical shapes are unchanged.  Each non-canonical
+  // variant reuses a generator whose solver/verifier compatibility is pinned
+  // by that family's unit tests.
+  auto add = [this](RegistryEntry e) {
+    auto mv = e.make_variant;
+    e.make = [mv](NodeIndex n_target, std::uint64_t seed) { return mv(n_target, seed, 0); };
+    entries_.push_back(std::move(e));
+  };
 
-  entries_.push_back(
-      {"leaf-coloring", "LeafColoring (Def. 3.4)",
-       "R-DIST = D-DIST Th(log n), R-VOL Th(log n), D-VOL Th(n)",
-       "deterministic nearest-leaf (Prop. 3.9)",
-       [](NodeIndex n_target, std::uint64_t /*seed*/) {
-         auto held = std::make_shared<Held<ColoredTreeLabeling, LeafColoringProblem>>(
-             make_complete_binary_tree(tree_depth_for(n_target), Color::Red, Color::Blue),
-             [](const auto&) { return LeafColoringProblem{}; });
-         return erase(std::move(held),
-                      [](auto& src) { return leafcoloring_nearest_leaf(src); },
-                      encode_color, decode_color);
-       }});
-
-  entries_.push_back(
-      {"balanced-tree", "BalancedTree (Def. 4.3)",
-       "R-DIST = D-DIST Th(log n), R-VOL = D-VOL Th(n)",
-       "exhaustive compatibility search (Prop. 4.8)",
-       [](NodeIndex n_target, std::uint64_t /*seed*/) {
-         auto held = std::make_shared<Held<BalancedTreeLabeling, BalancedTreeProblem>>(
-             make_balanced_instance(tree_depth_for(n_target)),
-             [](const auto&) { return BalancedTreeProblem{}; });
-         return erase(std::move(held),
-                      [](auto& src) { return balancedtree_solve(src); }, encode_bt,
-                      decode_bt);
-       }});
-
-  for (const int k : {2, 3}) {
-    entries_.push_back(
-        {"hthc-" + std::to_string(k),
-         "Hierarchical-THC(" + std::to_string(k) + ") (Def. 5.8)",
-         "R-DIST = D-DIST Th(n^{1/" + std::to_string(k) + "}), R-VOL Th~(n^{1/" +
-             std::to_string(k) + "}), D-VOL Th~(n)",
-         "RecursiveHTHC (Alg. 2, Prop. 5.12)",
-         [k](NodeIndex n_target, std::uint64_t seed) {
-           auto held =
-               std::make_shared<Held<ColoredTreeLabeling, HierarchicalTHCProblem>>(
-                   make_hierarchical_instance(k, backbone_for(k, n_target), seed),
-                   [k](const auto& inst) { return HierarchicalTHCProblem(inst, k); });
-           const HthcConfig cfg =
-               HthcConfig::make(k, held->inst.node_count(), false, nullptr);
-           return erase(
-               std::move(held),
-               [cfg](auto& src) {
-                 HthcSolver<std::decay_t<decltype(src)>> solver(src, cfg);
-                 return solver.solve();
-               },
-               encode_thc, decode_thc);
-         }});
+  {
+    RegistryEntry e;
+    e.name = "leaf-coloring";
+    e.title = "LeafColoring (Def. 3.4)";
+    e.theta = "R-DIST = D-DIST Th(log n), R-VOL Th(log n), D-VOL Th(n)";
+    e.algorithm = "deterministic nearest-leaf (Prop. 3.9)";
+    e.variants = 4;  // complete / random full / caterpillar / cycle pseudotree
+    e.make_variant = [](NodeIndex n_target, std::uint64_t seed, int variant) {
+      auto built = [&]() -> LeafColoringInstance {
+        switch (variant) {
+          case 1:
+            return make_random_full_binary_tree(std::max<NodeIndex>(n_target, 3), seed);
+          case 2:
+            return make_caterpillar(std::max<NodeIndex>(n_target / 2, 2), seed);
+          case 3:
+            // ~16 nodes per cycle node at hang_depth 3.
+            return make_cycle_pseudotree(
+                static_cast<int>(std::max<NodeIndex>(n_target / 16, 3)), 3, seed);
+          default:
+            return make_complete_binary_tree(tree_depth_for(n_target), Color::Red,
+                                             Color::Blue);
+        }
+      }();
+      auto held = std::make_shared<Held<ColoredTreeLabeling, LeafColoringProblem>>(
+          std::move(built), [](const auto&) { return LeafColoringProblem{}; });
+      return erase(std::move(held),
+                   [](auto& src) { return leafcoloring_nearest_leaf(src); },
+                   encode_color, decode_color);
+    };
+    add(std::move(e));
   }
 
-  entries_.push_back(
-      {"hybrid-2", "Hybrid-THC(2) (Def. 6.1)",
-       "R-DIST = D-DIST Th(log n), R-VOL Th~(n^{1/2}), D-VOL Th~(n)",
-       "hybrid distance solver (Thm 6.3)",
-       [](NodeIndex n_target, std::uint64_t seed) {
-         // n ~ 2 b^2 for backbone length b and floor depth log2(b).
-         const NodeIndex b = std::max<NodeIndex>(
-             4, static_cast<NodeIndex>(
-                    std::llround(std::sqrt(static_cast<double>(n_target) / 2.0))));
-         const int d = std::max(2, static_cast<int>(std::floor(std::log2(
-                                       static_cast<double>(b)))));
-         auto held = std::make_shared<Held<HybridLabeling, HybridTHCProblem>>(
-             make_hybrid_instance(2, b, d, seed),
-             [](const auto& inst) { return HybridTHCProblem(inst, 2); });
-         const HybridConfig cfg = HybridConfig::make(2, held->inst.node_count());
-         return erase(std::move(held),
-                      [cfg](auto& src) { return hybrid_solve_distance(src, cfg); },
-                      encode_hybrid, decode_hybrid);
-       }});
+  {
+    RegistryEntry e;
+    e.name = "balanced-tree";
+    e.title = "BalancedTree (Def. 4.3)";
+    e.theta = "R-DIST = D-DIST Th(log n), R-VOL = D-VOL Th(n)";
+    e.algorithm = "exhaustive compatibility search (Prop. 4.8)";
+    e.variants = 2;  // globally compatible / pruned-subtree defect (Lemma 4.6)
+    e.make_variant = [](NodeIndex n_target, std::uint64_t seed, int variant) {
+      auto built = [&]() -> BalancedTreeInstance {
+        if (variant == 1) {
+          const int depth = std::max(2, tree_depth_for(n_target));
+          return make_unbalanced_instance(depth, std::max(1, depth - 2), seed);
+        }
+        return make_balanced_instance(tree_depth_for(n_target));
+      }();
+      auto held = std::make_shared<Held<BalancedTreeLabeling, BalancedTreeProblem>>(
+          std::move(built), [](const auto&) { return BalancedTreeProblem{}; });
+      return erase(std::move(held), [](auto& src) { return balancedtree_solve(src); },
+                   encode_bt, decode_bt);
+    };
+    add(std::move(e));
+  }
 
-  entries_.push_back(
-      {"hh-2-3", "HH-THC(2,3) (Def. 6.4)",
-       "R-DIST = D-DIST Th(n^{1/3}), R-VOL Th~(n^{1/2}), D-VOL Th~(n)",
-       "HH distance solver (Thm 6.5)",
-       [](NodeIndex n_target, std::uint64_t seed) {
-         auto held = std::make_shared<Held<HHLabeling, HHTHCProblem>>(
-             make_hh_instance(2, 3, std::max<NodeIndex>(n_target / 2, 64), seed),
-             [](const auto& inst) { return HHTHCProblem(inst, 2, 3); });
-         const HHConfig cfg = HHConfig::make(2, 3, held->inst.node_count());
-         return erase(std::move(held),
-                      [cfg](auto& src) { return hh_solve_distance(src, cfg); },
-                      encode_hybrid, decode_hybrid);
-       }});
+  for (const int k : {2, 3}) {
+    RegistryEntry e;
+    e.name = "hthc-" + std::to_string(k);
+    e.title = "Hierarchical-THC(" + std::to_string(k) + ") (Def. 5.8)";
+    e.theta = "R-DIST = D-DIST Th(n^{1/" + std::to_string(k) + "}), R-VOL Th~(n^{1/" +
+              std::to_string(k) + "}), D-VOL Th~(n)";
+    e.algorithm = "RecursiveHTHC (Alg. 2, Prop. 5.12)";
+    e.variants = 3;  // uniform backbones / per-level lens mix / top-cycle (Obs. 5.4)
+    e.make_variant = [k](NodeIndex n_target, std::uint64_t seed, int variant) {
+      auto built = [&]() -> HierarchicalInstance {
+        const NodeIndex b = backbone_for(k, n_target);
+        switch (variant) {
+          case 1: {
+            // Deep and shallow backbones mixed, lens[l] in [2, 3b/2].
+            std::vector<NodeIndex> lens(static_cast<std::size_t>(k));
+            for (int l = 0; l < k; ++l) {
+              const std::uint64_t h = mix64(seed, 0x6c656e73ull, static_cast<std::uint64_t>(l));
+              lens[static_cast<std::size_t>(l)] =
+                  std::max<NodeIndex>(2, b / 2 + static_cast<NodeIndex>(h % (b + 1)));
+            }
+            return make_hierarchical_instance_lens(lens, seed);
+          }
+          case 2:
+            return make_hierarchical_cycle_instance(k, std::max<NodeIndex>(3, b),
+                                                    std::max<NodeIndex>(2, b / 2), seed);
+          default:
+            return make_hierarchical_instance(k, b, seed);
+        }
+      }();
+      auto held = std::make_shared<Held<ColoredTreeLabeling, HierarchicalTHCProblem>>(
+          std::move(built), [k](const auto& inst) { return HierarchicalTHCProblem(inst, k); });
+      const HthcConfig cfg = HthcConfig::make(k, held->inst.node_count(), false, nullptr);
+      return erase(
+          std::move(held),
+          [cfg](auto& src) {
+            HthcSolver<std::decay_t<decltype(src)>> solver(src, cfg);
+            return solver.solve();
+          },
+          encode_thc, decode_thc);
+    };
+    add(std::move(e));
+  }
+
+  {
+    RegistryEntry e;
+    e.name = "hybrid-2";
+    e.title = "Hybrid-THC(2) (Def. 6.1)";
+    e.theta = "R-DIST = D-DIST Th(log n), R-VOL Th~(n^{1/2}), D-VOL Th~(n)";
+    e.algorithm = "hybrid distance solver (Thm 6.3)";
+    e.variants = 2;  // canonical aspect / squat floors (longer relative backbone)
+    e.make_variant = [](NodeIndex n_target, std::uint64_t seed, int variant) {
+      // n ~ 2 b^2 for backbone length b and floor depth log2(b).
+      const NodeIndex b = std::max<NodeIndex>(
+          4, static_cast<NodeIndex>(
+                 std::llround(std::sqrt(static_cast<double>(n_target) / 2.0))));
+      int d = std::max(2, static_cast<int>(std::floor(std::log2(static_cast<double>(b)))));
+      NodeIndex backbone = b;
+      if (variant == 1) {
+        d = std::max(2, d - 1);       // shallower BalancedTree floors...
+        backbone = b + b / 2;         // ...under a relatively longer backbone
+      }
+      auto held = std::make_shared<Held<HybridLabeling, HybridTHCProblem>>(
+          make_hybrid_instance(2, backbone, d, seed),
+          [](const auto& inst) { return HybridTHCProblem(inst, 2); });
+      const HybridConfig cfg = HybridConfig::make(2, held->inst.node_count());
+      return erase(std::move(held),
+                   [cfg](auto& src) { return hybrid_solve_distance(src, cfg); },
+                   encode_hybrid, decode_hybrid);
+    };
+    add(std::move(e));
+  }
+
+  {
+    RegistryEntry e;
+    e.name = "hh-2-3";
+    e.title = "HH-THC(2,3) (Def. 6.4)";
+    e.theta = "R-DIST = D-DIST Th(n^{1/3}), R-VOL Th~(n^{1/2}), D-VOL Th~(n)";
+    e.algorithm = "HH distance solver (Thm 6.5)";
+    e.variants = 2;  // even split / skewed split between the two sides
+    e.make_variant = [](NodeIndex n_target, std::uint64_t seed, int variant) {
+      const NodeIndex n_half = variant == 1 ? std::max<NodeIndex>(n_target / 4, 48)
+                                            : std::max<NodeIndex>(n_target / 2, 64);
+      auto held = std::make_shared<Held<HHLabeling, HHTHCProblem>>(
+          make_hh_instance(2, 3, n_half, seed),
+          [](const auto& inst) { return HHTHCProblem(inst, 2, 3); });
+      const HHConfig cfg = HHConfig::make(2, 3, held->inst.node_count());
+      return erase(std::move(held),
+                   [cfg](auto& src) { return hh_solve_distance(src, cfg); },
+                   encode_hybrid, decode_hybrid);
+    };
+    add(std::move(e));
+  }
 }
 
 }  // namespace volcal

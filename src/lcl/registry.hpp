@@ -69,8 +69,20 @@ struct RegistryEntry {
   std::string algorithm;  // which upper-bound algorithm solve() runs
 
   // Builds an instance of roughly n_target nodes (clamped to the family's
-  // sane range; exact size is family-shaped).
+  // sane range; exact size is family-shaped).  Equivalent to
+  // make_variant(n_target, seed, 0).
   std::function<ErasedInstance(NodeIndex n_target, std::uint64_t seed)> make;
+
+  // Shape mutators for the differential-fuzzing harness (src/check/): each
+  // family exposes `variants` instance shapes, 0 being make()'s canonical one
+  // and 1..variants-1 degree/shape perturbations (random full trees,
+  // caterpillars, pseudo-forest cycles, unbalanced defects, mixed per-level
+  // backbone lengths, skewed splits) — every one inside what the family's
+  // upper-bound algorithm and verifier are specified for, so solve+verify
+  // must stay clean on all of them.  Requires 0 <= variant < variants.
+  int variants = 1;
+  std::function<ErasedInstance(NodeIndex n_target, std::uint64_t seed, int variant)>
+      make_variant;
 };
 
 class ProblemRegistry {

@@ -2,9 +2,18 @@
 //
 // Each node v carries an infinite random string r_v : N -> {0,1}; r_v is part
 // of v's *input*, so every execution that queries v sees the same bits.  We
-// realize r_v(i) as a deterministic hash of (seed, id(v), i): reproducible,
-// independent across nodes and positions for all statistical purposes here,
-// and trivially shared between the many per-node executions of a run.
+// realize r_v as one stream of 64-bit blocks, block b a deterministic hash of
+// (seed, id(v), block-domain, b): reproducible, independent across nodes and
+// positions for all statistical purposes here, and trivially shared between
+// the many per-node executions of a run.  Bit i is bit (i mod 64) of block
+// floor(i/64), and a word read at position i is exactly bits i..i+63 of the
+// same stream — so bit and word reads at overlapping positions are consistent
+// by construction, and word accounting (64 positions) matches the values
+// actually consumed.  (Historically word_value hashed position 0x9000+i on
+// the *bit* stream: words aliased far-away bit positions, and words at
+// adjacent positions claimed overlapping bit ranges while returning
+// independent values.  tests/randomness_correlation_test.cpp pins the
+// single-stream semantics.)
 //
 // Bit-usage accounting: the model (§2.2, footnote 1) assumes bits are read
 // sequentially and that the number of accessed bits is bounded whp.  The tape
@@ -115,12 +124,16 @@ class RandomTape {
   }
 
   // Pure value functions: no access check, no accounting.  The hash makes
-  // them safe from any thread.
+  // them safe from any thread.  Both read the one block stream, so
+  // bit j of word_value(v, i) == bit_value(v, i + j) for all j in [0, 64).
   bool bit_value(NodeIndex v, std::uint64_t i) const {
-    return (mix64(seed_, id_key(v), i) & 1) != 0;
+    return ((block_value(v, i >> 6) >> (i & 63)) & 1) != 0;
   }
   std::uint64_t word_value(NodeIndex v, std::uint64_t i) const {
-    return mix64(seed_, id_key(v), 0x9000 + i);
+    const std::uint64_t off = i & 63;
+    const std::uint64_t lo = block_value(v, i >> 6);
+    if (off == 0) return lo;
+    return (lo >> off) | (block_value(v, (i >> 6) + 1) << (64 - off));
   }
 
   // High-water mark of accessed positions on v's string (+1), i.e. the number
@@ -166,6 +179,14 @@ class RandomTape {
   };
 
  private:
+  // Domain tag keeps the tape's block stream disjoint from every other use of
+  // mix64 keyed by (seed, id) — generators, shuffled IDs — for any seed.
+  static constexpr std::uint64_t kBlockDomain = 0x7461706562ull;  // "tapeb"
+
+  std::uint64_t block_value(NodeIndex v, std::uint64_t b) const {
+    return mix64(seed_, id_key(v), kBlockDomain, b);
+  }
+
   std::uint64_t id_key(NodeIndex v) const {
     return (model_ == RandomnessModel::Public) ? 0 : ids_->id_of(v);
   }

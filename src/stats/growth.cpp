@@ -102,7 +102,10 @@ GrowthFit classify_growth(const std::vector<double>& ns, const std::vector<doubl
     }
   }
   for (const auto& cand : kCandidates) {
-    if (best.cls == GrowthClass::Constant && best.r_squared == 1.0) break;
+    // The flat-curve shortcut sets r_squared to exactly 1.0 today, but gate
+    // on an epsilon so a future computed R² cannot dodge the break by
+    // rounding (floating-point equality was the original bug here).
+    if (best.cls == GrowthClass::Constant && best.r_squared >= 1.0 - 1e-9) break;
     std::vector<double> xs;
     xs.reserve(ns.size());
     for (double n : ns) xs.push_back(cand.transform(n));
@@ -160,8 +163,15 @@ Summary summarize(std::vector<double> values) {
   double total = 0;
   for (double v : values) total += v;
   s.mean = total / static_cast<double>(values.size());
-  s.median = values[values.size() / 2];
-  s.p95 = values[static_cast<std::size_t>(0.95 * static_cast<double>(values.size() - 1))];
+  // Median: midpoint of the two central order statistics for even counts
+  // (the upper-middle element alone biases high).  p95: nearest-rank,
+  // ceil(0.95·count), 1-based — the smallest value with >= 95% of the data
+  // at or below it, so a single-element sample reports itself.
+  const std::size_t mid = values.size() / 2;
+  s.median = (values.size() % 2 == 1) ? values[mid] : 0.5 * (values[mid - 1] + values[mid]);
+  const auto rank =
+      static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(values.size())));
+  s.p95 = values[std::max<std::size_t>(rank, 1) - 1];
   return s;
 }
 

@@ -16,9 +16,9 @@ namespace {
 void expect_valid_sample(NodeIndex n, NodeIndex count) {
   const auto starts = sampled_starts(n, count);
   ASSERT_FALSE(starts.empty());
-  EXPECT_LE(starts.size(), static_cast<std::size_t>(std::max<NodeIndex>(count, 2)));
+  EXPECT_LE(starts.size(), static_cast<std::size_t>(count));
   EXPECT_EQ(starts.front(), 0);
-  EXPECT_EQ(starts.back(), n - 1);
+  if (count >= 2) EXPECT_EQ(starts.back(), n - 1);
   EXPECT_TRUE(std::is_sorted(starts.begin(), starts.end()));
   EXPECT_EQ(std::adjacent_find(starts.begin(), starts.end()), starts.end()) << "duplicates";
   for (const NodeIndex v : starts) EXPECT_LT(v, n);
@@ -29,6 +29,15 @@ TEST(SampledStarts, AtMostCountAndCoversBothEnds) {
   EXPECT_EQ(sampled_starts(100, 10).size(), 10u);
   expect_valid_sample(7, 3);
   expect_valid_sample(2, 2);
+}
+
+// Regression: the pre-fix implementation clamped count up with max(count, 2),
+// so a request for "at most 1" start returned 2 — fuzz-found (corpus case
+// sampled-starts-count1.repro); count == 1 now yields exactly the root.
+TEST(SampledStarts, CountOneYieldsRootOnly) {
+  EXPECT_EQ(sampled_starts(100, 1), std::vector<NodeIndex>{0});
+  EXPECT_EQ(sampled_starts(1, 1), std::vector<NodeIndex>{0});
+  expect_valid_sample(64, 1);
 }
 
 TEST(SampledStarts, SmallGraphsYieldEveryNode) {

@@ -201,7 +201,11 @@ TEST(HthcSolve, InstrumentationAccountsForTheWork) {
 // which is invalid at level k.
 TEST(HthcSolve, DeepTopWithSparseWaypointsStaysValid) {
   auto inst = make_hierarchical_instance_lens({6, 900}, 7);
-  RandomTape tape(inst.ids, 31);
+  // At c=0.1 validity is a whp property, not a certainty: the pinned tape
+  // seed must place a way-point in every window-length stretch of the top
+  // backbone.  Re-pin (any seed with full coverage works) if the tape's
+  // stream layout changes; the guarded budget bug fails for *every* seed.
+  RandomTape tape(inst.ids, 2);
   for (const double c : {0.1, 0.5, 3.0}) {
     auto cfg = HthcConfig::make(2, inst.node_count(), true, &tape, c);
     ASSERT_LT(cfg.waypoint_p(inst.node_count()), 1.0);

@@ -1,0 +1,108 @@
+// Regression tests for the random-tape stream semantics (§2.2).
+//
+// The historical implementation hashed word reads at position 0x9000+i on the
+// bit stream, so (a) a word read at position i returned the very hash whose
+// LSB is bit 0x9000+i — two nominally independent streams aliased — and (b)
+// words at adjacent positions claimed overlapping bit ranges [i, i+63] and
+// [i+1, i+64] while returning independent values.  The fix derives bits and
+// words from one block stream; these tests pin the contract:
+//
+//   bit j of word_value(v, i) == bit_value(v, i + j)   for all j in [0, 64)
+//
+// plus the statistical de-correlation of the old collision positions, and the
+// bit-accounting rules (a word consumes its true 64 positions).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "labels/generators.hpp"
+#include "runtime/randomness.hpp"
+
+namespace volcal {
+namespace {
+
+class RandomTapeStream : public ::testing::Test {
+ protected:
+  RandomTapeStream() : inst_(make_complete_binary_tree(4, Color::Red, Color::Blue)) {}
+
+  LeafColoringInstance inst_;
+};
+
+TEST_F(RandomTapeStream, WordsAreWindowsOfTheBitStream) {
+  const RandomTape tape(inst_.ids, 42);
+  for (const NodeIndex v : {NodeIndex{0}, NodeIndex{7}, NodeIndex{30}}) {
+    for (const std::uint64_t i : {0ull, 1ull, 17ull, 63ull, 64ull, 200ull, 0x9000ull}) {
+      const std::uint64_t w = tape.word_value(v, i);
+      for (const std::uint64_t j : {0ull, 1ull, 31ull, 62ull, 63ull}) {
+        EXPECT_EQ(((w >> j) & 1) != 0, tape.bit_value(v, i + j))
+            << "v=" << v << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST_F(RandomTapeStream, AdjacentWordsOverlapConsistently) {
+  // word(i+1) must be word(i) shifted down one bit with bit i+64 on top —
+  // the old implementation returned an unrelated hash here.
+  const RandomTape tape(inst_.ids, 7);
+  for (std::uint64_t i = 0; i < 130; ++i) {
+    const std::uint64_t expect = (tape.word_value(0, i) >> 1) |
+                                 (static_cast<std::uint64_t>(tape.bit_value(0, i + 64)) << 63);
+    EXPECT_EQ(tape.word_value(0, i + 1), expect) << "i=" << i;
+  }
+}
+
+TEST_F(RandomTapeStream, NoAliasingWithFarBitPositions) {
+  // The old collision: word_value(v, i) was the hash of bit position
+  // 0x9000+i, so its LSB *equaled* bit_value(v, 0x9000+i) at every i.  After
+  // domain separation agreement is a fair coin; 512 trials concentrate near
+  // 256 (binomial sd ~11.3), so [150, 362] is a >13-sigma acceptance band.
+  const RandomTape tape(inst_.ids, 1);
+  int agree = 0;
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    agree += ((tape.word_value(3, i) & 1) != 0) == tape.bit_value(3, 0x9000 + i);
+  }
+  EXPECT_GT(agree, 150);
+  EXPECT_LT(agree, 362);
+}
+
+TEST_F(RandomTapeStream, WordAccountingConsumesItsTruePositions) {
+  RandomTape tape(inst_.ids, 9);
+  tape.word(2, 2, 10);  // positions 10..73
+  EXPECT_EQ(tape.bits_used(2), 74u);
+  tape.bit(2, 2, 100);
+  EXPECT_EQ(tape.bits_used(2), 101u);
+  tape.word(2, 2, 90);  // 90..153 extends past the bit read
+  EXPECT_EQ(tape.bits_used(2), 154u);
+  EXPECT_EQ(tape.bits_used(3), 0u);
+}
+
+TEST_F(RandomTapeStream, ModelsKeepTheirStreamSemantics) {
+  const RandomTape priv(inst_.ids, 11, RandomnessModel::Private);
+  const RandomTape pub(inst_.ids, 11, RandomnessModel::Public);
+  // Public: one global tape, node-independent.
+  EXPECT_EQ(pub.word_value(1, 5), pub.word_value(9, 5));
+  // Private: distinct nodes get distinct streams (somewhere in 128 bits).
+  bool differs = false;
+  for (std::uint64_t i = 0; i < 128 && !differs; ++i) {
+    differs = priv.bit_value(1, i) != priv.bit_value(2, i);
+  }
+  EXPECT_TRUE(differs);
+  // Secret: cross-node reads rejected, own-node reads fine.
+  RandomTape secret(inst_.ids, 11, RandomnessModel::Secret);
+  EXPECT_NO_THROW(secret.bit(4, 4, 0));
+  EXPECT_THROW(secret.bit(4, 5, 0), std::logic_error);
+}
+
+TEST_F(RandomTapeStream, DeterministicInSeedAndSeedSeparated) {
+  const RandomTape a(inst_.ids, 123), b(inst_.ids, 123), c(inst_.ids, 124);
+  bool differs = false;
+  for (std::uint64_t i = 0; i < 192; ++i) {
+    EXPECT_EQ(a.bit_value(6, i), b.bit_value(6, i));
+    differs = differs || (a.bit_value(6, i) != c.bit_value(6, i));
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace volcal

@@ -103,6 +103,72 @@ TEST(Registry, MakeIsDeterministicInTargetAndSeed) {
   }
 }
 
+TEST(Registry, EveryVariantSolvesAndVerifies) {
+  for (const RegistryEntry& entry : ProblemRegistry::global().entries()) {
+    ASSERT_GE(entry.variants, 2) << entry.name << ": families need shape mutators";
+    ASSERT_TRUE(static_cast<bool>(entry.make_variant)) << entry.name;
+    for (int variant = 0; variant < entry.variants; ++variant) {
+      const ErasedInstance inst = entry.make_variant(300, /*seed=*/11, variant);
+      ASSERT_GT(inst.node_count(), 0) << entry.name << " v" << variant;
+      const auto starts = every_node(inst.node_count());
+      auto run = ParallelRunner(2).run_at(inst.graph(), inst.ids(),
+                                          std::span<const NodeIndex>(starts),
+                                          [&](Execution& exec) { return inst.solve(exec); });
+      const VerifyResult verdict = inst.verify(run.output);
+      EXPECT_TRUE(verdict.ok) << entry.name << " v" << variant << ": "
+                              << verdict.violations << " violations, first at node "
+                              << verdict.first_bad;
+    }
+  }
+}
+
+TEST(Registry, VariantZeroIsMake) {
+  for (const RegistryEntry& entry : ProblemRegistry::global().entries()) {
+    const ErasedInstance a = entry.make(260, 9);
+    const ErasedInstance b = entry.make_variant(260, 9, 0);
+    ASSERT_EQ(a.node_count(), b.node_count()) << entry.name;
+    const auto starts = every_node(a.node_count());
+    auto ra = ParallelRunner(1).run_at(a.graph(), a.ids(), std::span<const NodeIndex>(starts),
+                                       [&](Execution& exec) { return a.solve(exec); });
+    auto rb = ParallelRunner(1).run_at(b.graph(), b.ids(), std::span<const NodeIndex>(starts),
+                                       [&](Execution& exec) { return b.solve(exec); });
+    EXPECT_EQ(ra.output, rb.output) << entry.name;
+    EXPECT_TRUE(same_costs(ra.stats, rb.stats)) << entry.name;
+  }
+}
+
+TEST(Registry, VariantsPerturbTheShape) {
+  // A mutator that returns the canonical instance under another number would
+  // give the fuzzer false coverage; demand some observable difference.  Most
+  // variants change the graph itself (node count or degrees); label-only
+  // perturbations (e.g. balanced-tree's unbalanced defect, which reshapes
+  // claims on the same skeleton) must at least change the solved outputs.
+  for (const RegistryEntry& entry : ProblemRegistry::global().entries()) {
+    for (int variant = 1; variant < entry.variants; ++variant) {
+      const ErasedInstance canon = entry.make_variant(300, 13, 0);
+      const ErasedInstance mut = entry.make_variant(300, 13, variant);
+      bool differs = canon.node_count() != mut.node_count();
+      if (!differs) {
+        for (NodeIndex v = 0; v < canon.node_count() && !differs; ++v) {
+          differs = canon.graph().degree(v) != mut.graph().degree(v);
+        }
+      }
+      if (!differs) {
+        const auto starts = every_node(canon.node_count());
+        auto rc = ParallelRunner(1).run_at(canon.graph(), canon.ids(),
+                                           std::span<const NodeIndex>(starts),
+                                           [&](Execution& exec) { return canon.solve(exec); });
+        auto rm = ParallelRunner(1).run_at(mut.graph(), mut.ids(),
+                                           std::span<const NodeIndex>(starts),
+                                           [&](Execution& exec) { return mut.solve(exec); });
+        differs = rc.output != rm.output;
+      }
+      EXPECT_TRUE(differs) << entry.name << " v" << variant
+                           << " is indistinguishable from the canonical instance";
+    }
+  }
+}
+
 TEST(Registry, NTargetScalesInstances) {
   const RegistryEntry* entry = ProblemRegistry::global().find("hthc-2");
   ASSERT_NE(entry, nullptr);

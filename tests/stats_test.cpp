@@ -93,6 +93,29 @@ TEST(Summarize, Basics) {
   EXPECT_DOUBLE_EQ(s.max, 5);
   EXPECT_DOUBLE_EQ(s.mean, 3);
   EXPECT_DOUBLE_EQ(s.median, 3);
+  // Nearest-rank p95 of 5 values: rank ceil(4.75) = 5 -> the maximum.
+  EXPECT_DOUBLE_EQ(s.p95, 5);
+}
+
+// Regression: the pre-fix median took the upper element for even counts
+// (here 3 instead of 2.5) and p95 floor-truncated its rank index (9 instead
+// of 10 for ten values).
+TEST(Summarize, EvenCountMedianIsMidpoint) {
+  auto s = summarize({4, 1, 3, 2});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.p95, 4);  // rank ceil(3.8) = 4
+}
+
+TEST(Summarize, P95IsNearestRank) {
+  std::vector<double> v;
+  for (int i = 1; i <= 10; ++i) v.push_back(i);
+  auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.median, 5.5);
+  EXPECT_DOUBLE_EQ(s.p95, 10);  // rank ceil(9.5) = 10
+  v.clear();
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  EXPECT_DOUBLE_EQ(summarize(v).p95, 95);  // rank ceil(95) = 95
+  EXPECT_DOUBLE_EQ(summarize({7.0}).p95, 7.0);
 }
 
 TEST(Summarize, Empty) {
