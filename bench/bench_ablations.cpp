@@ -21,12 +21,14 @@
 namespace volcal::bench {
 namespace {
 
-void truncation_ablation() {
+void truncation_ablation(JsonReport& report) {
+  auto ph = report.phase("truncation");
   print_header("Ablation — RWtoLeaf truncation budget (multiples of log2 n)");
   stats::Table table({"multiplier", "success rate (12 tapes, all nodes)", "max volume"});
   auto inst = make_complete_binary_tree(12, Color::Red, Color::Blue);
   LeafColoringProblem problem;
   const double logn = std::log2(static_cast<double>(inst.node_count()));
+  Curve succ_c, vol_c;  // abscissa: budget multiplier
   for (const double mult : {0.5, 1.0, 1.5, 2.0, 4.0, 16.0}) {
     const auto budget = static_cast<std::int64_t>(mult * logn);
     auto est = estimate_success(
@@ -42,20 +44,26 @@ void truncation_ablation() {
     std::snprintf(m, sizeof m, "%.1f", mult);
     std::snprintf(r, sizeof r, "%d/%d", est.successes, est.trials);
     table.add_row({m, r, fmt_int(est.max_volume)});
+    succ_c.add(mult, static_cast<double>(est.successes));
+    vol_c.add(mult, static_cast<double>(est.max_volume));
   }
   table.print();
+  report.add("Truncation / successes vs budget", succ_c, "whp above ~1x log2 n");
+  report.add("Truncation / max volume vs budget", vol_c);
   std::printf(
       "\nBelow ~1x log2 n the walk cannot even reach depth; Prop. 3.10's\n"
       "16·log n is far into the safe regime — the proof constant is loose,\n"
       "as expected of a Chernoff argument.\n");
 }
 
-void waypoint_constant_ablation() {
+void waypoint_constant_ablation(JsonReport& report) {
+  auto ph = report.phase("waypoint-constant");
   print_header("Ablation — way-point constant c (p = c·log n / n^{1/k}), k = 2 deep top");
   stats::Table table({"c", "p", "valid", "max volume (sampled starts)"});
   auto inst = make_hierarchical_instance_lens({6, 900}, 7);
   const auto n = inst.node_count();
   HierarchicalTHCProblem problem(inst, 2);
+  Curve vol_c;  // abscissa: the way-point constant c
   for (const double c : {0.005, 0.02, 0.1, 0.5, 3.0}) {
     RandomTape tape(inst.ids, 31);
     auto cfg = HthcConfig::make(2, n, true, &tape, c);
@@ -78,20 +86,24 @@ void waypoint_constant_ablation() {
     std::snprintf(cb, sizeof cb, "%.2f", c);
     std::snprintf(pb, sizeof pb, "%.3f", cfg.waypoint_p(n));
     table.add_row({cb, pb, ok ? "yes" : "NO", fmt_int(max_vol)});
+    vol_c.add(c, static_cast<double>(max_vol));
   }
   table.print();
+  report.add("Waypoint constant / max volume vs c", vol_c, "Lem. 5.18 trade-off");
   std::printf(
       "\nSmaller c means sparser way-points: volume falls until the gaps\n"
       "between certifying way-points exceed the window and validity breaks —\n"
       "the Lemma 5.18 trade-off, live.\n");
 }
 
-void window_ablation() {
+void window_ablation(JsonReport& report) {
+  auto ph = report.phase("window");
   print_header("Ablation — shallow/deep window multiplier (baseline 2·n^{1/k})");
   stats::Table table({"multiplier", "window", "valid", "max volume", "declines"});
   auto inst = make_hierarchical_instance(2, 40, 9);  // b = 40 ≈ n^{1/2}
   const auto n = inst.node_count();
   HierarchicalTHCProblem problem(inst, 2);
+  Curve vol_c, decl_c;  // abscissa: window multiplier
   for (const double mult : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     auto cfg = HthcConfig::make(2, n, false, nullptr);
     cfg.window = std::max<std::int64_t>(2, static_cast<std::int64_t>(cfg.window * mult));
@@ -116,8 +128,12 @@ void window_ablation() {
     std::snprintf(m, sizeof m, "%.2f", mult);
     table.add_row({m, fmt_int(cfg.window), ok ? "yes" : "NO", fmt_int(max_vol),
                    fmt_int(declines)});
+    vol_c.add(mult, static_cast<double>(max_vol));
+    decl_c.add(mult, static_cast<double>(declines));
   }
   table.print();
+  report.add("Window / max volume vs multiplier", vol_c, "baseline 2*n^{1/k} (Def. 5.10)");
+  report.add("Window / declines vs multiplier", decl_c);
   std::printf(
       "\nAt multiplier < 1 the solver misclassifies genuine n^{1/2}-length\n"
       "backbones as deep; level-1 components then decline and the level-k\n"
@@ -126,7 +142,8 @@ void window_ablation() {
       "family shallow.\n");
 }
 
-void remark57_ablation() {
+void remark57_ablation(JsonReport& report) {
+  auto ph = report.phase("remark57");
   print_header(
       "Ablation — Remark 5.7: the paper's relaxed exemption vs Chang-Pettie-style "
       "mandatory exemption");
@@ -160,10 +177,11 @@ void remark57_ablation() {
 int main(int argc, char** argv) {
   auto args = volcal::bench::Args::parse(&argc, argv, "bench_ablations");
   volcal::bench::Observer::install(args, "bench_ablations");
-  (void)args;
-  volcal::bench::truncation_ablation();
-  volcal::bench::waypoint_constant_ablation();
-  volcal::bench::window_ablation();
-  volcal::bench::remark57_ablation();
+  volcal::bench::JsonReport report("bench_ablations");
+  volcal::bench::truncation_ablation(report);
+  volcal::bench::waypoint_constant_ablation(report);
+  volcal::bench::window_ablation(report);
+  volcal::bench::remark57_ablation(report);
+  report.write_file(args.json);
   return 0;
 }

@@ -21,10 +21,12 @@ namespace {
 
 using Src = InstanceSource<BalancedTreeLabeling>;
 
-void embedding_table() {
+void embedding_table(JsonReport& report) {
+  auto ph = report.phase("embedding");
   print_header("§4 / Fig. 5 — DISJ embedding: g(E(a,b)) vs disj(a,b) and bits paid");
   stats::Table table({"depth", "N", "instances", "g = disj everywhere", "solver bits (max)",
                       "2N floor"});
+  Curve bits_c;  // abscissa: N = 2^(depth-1), the DISJ instance size
   for (int depth : {4, 6, 8, 10}) {
     const std::int64_t big_n = std::int64_t{1} << (depth - 1);
     bool all_match = true;
@@ -46,15 +48,18 @@ void embedding_table() {
     }
     table.add_row({fmt_int(depth), fmt_int(big_n), fmt_int(trials),
                    all_match ? "yes" : "NO", fmt_int(max_bits), fmt_int(2 * big_n)});
+    bits_c.add(static_cast<double>(big_n), static_cast<double>(max_bits));
   }
   table.print();
+  report.add("DISJ embedding / solver bits", bits_c, "Ω(N) (Thm. 2.10)");
   std::printf(
       "\nEvery query outside the leaf pairs costs 0 bits; each pair costs 2.\n"
       "Any algorithm answering DISJ must pay Ω(N) bits (Thm. 2.10), hence\n"
       "Ω(N) queries (Thm. 2.9): R-VOL(BalancedTree) = Ω(n).\n");
 }
 
-void fooling_table() {
+void fooling_table(JsonReport& report) {
+  auto ph = report.phase("fooling");
   print_header("§4 — fooling-pair duels: budget-limited deterministic solvers fail");
   stats::Table table({"depth", "n", "budget", "outcome", "untouched pair"});
   RootedBtAlgorithm solver = [](const BalancedTreeInstance& inst, Execution& exec) {
@@ -81,7 +86,8 @@ void fooling_table() {
   table.print();
 }
 
-void cost_table() {
+void cost_table(JsonReport& report) {
+  auto ph = report.phase("cost-curves");
   print_header("§4 — BalancedTree solver costs (Thm. 4.5 shape)");
   stats::Table table({"n", "max distance", "max volume", "log2(n)"});
   Curve dist, vol;
@@ -104,6 +110,8 @@ void cost_table() {
   table.print();
   std::printf("fitted: distance %s, volume %s\n", dist.fitted().c_str(),
               vol.fitted().c_str());
+  report.add("BalancedTree / D-DIST", dist, "Θ(log n)");
+  report.add("BalancedTree / D-VOL", vol, "Θ(n)");
 }
 
 void BM_BalancedSolveRoot(benchmark::State& state) {
@@ -123,10 +131,11 @@ BENCHMARK(BM_BalancedSolveRoot)->Arg(8)->Arg(12);
 int main(int argc, char** argv) {
   auto args = volcal::bench::Args::parse(&argc, argv, "bench_balancedtree");
   volcal::bench::Observer::install(args, "bench_balancedtree");
-  (void)args;
-  volcal::bench::embedding_table();
-  volcal::bench::fooling_table();
-  volcal::bench::cost_table();
+  volcal::bench::JsonReport report("bench_balancedtree");
+  volcal::bench::embedding_table(report);
+  volcal::bench::fooling_table(report);
+  volcal::bench::cost_table(report);
+  report.write_file(args.json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

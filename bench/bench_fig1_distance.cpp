@@ -27,10 +27,12 @@ struct Point {
 };
 
 void run(const Args& args) {
+  JsonReport report("bench_fig1_distance");
   std::vector<Point> points;
 
   // Class A witness: trivial parity — distance 0 by definition.
   {
+    auto ph = report.phase("degree-parity");
     Point p{"DegreeParity", "A (local)", "Θ(1)", "Θ(1)", {}, {}};
     for (NodeIndex n : {1 << 10, 1 << 14, 1 << 18}) {
       p.det.add(static_cast<double>(n), 1.0);
@@ -41,6 +43,7 @@ void run(const Args& args) {
 
   // Class B witness: ring 3-coloring via Cole-Vishkin.
   {
+    auto ph = report.phase("ring-coloring");
     Point p{"Ring3Coloring", "B (symmetry breaking)", "Θ(log* n)", "Θ(log* n)", {}, {}};
     for (NodeIndex n : {1 << 10, 1 << 14, 1 << 18}) {
       auto ring = make_ring(n, 2);
@@ -56,6 +59,7 @@ void run(const Args& args) {
 
   // Class D witnesses: the paper's constructions.
   {
+    auto ph = report.phase("leafcoloring");
     Point p{"LeafColoring", "D (global)", "Θ(log n)", "Θ(log n)", {}, {}};
     for (int depth : {8, 11, 14, 17}) {
       auto inst = make_complete_binary_tree(depth, Color::Red, Color::Blue);
@@ -72,6 +76,7 @@ void run(const Args& args) {
     points.push_back(std::move(p));
   }
   {
+    auto ph = report.phase("balancedtree");
     Point p{"BalancedTree", "D (global)", "Θ(log n)", "Θ(log n)", {}, {}};
     for (int depth : {7, 10, 13, 15}) {
       auto inst = make_balanced_instance(depth);
@@ -88,6 +93,7 @@ void run(const Args& args) {
     points.push_back(std::move(p));
   }
   for (int k : {2, 3}) {
+    auto ph = report.phase("hierarchical-" + std::to_string(k));
     Point p{"Hierarchical-THC(" + std::to_string(k) + ")", "D (global)",
             "Θ(n^{1/" + std::to_string(k) + "})", "Θ(n^{1/" + std::to_string(k) + "})",
             {},
@@ -114,12 +120,11 @@ void run(const Args& args) {
   print_header("Figure 1 — LCLs classified by distance complexity");
   stats::Table table({"problem", "class", "D-DIST paper", "D-DIST fitted", "R-DIST paper",
                       "R-DIST fitted"});
-  JsonReport report("bench_fig1_distance");
   for (const auto& p : points) {
     table.add_row({p.problem, p.klass, p.paper_det, p.det.fitted(), p.paper_rand,
                    p.rand.fitted()});
-    report.add(p.problem + " / D-DIST", p.det);
-    report.add(p.problem + " / R-DIST", p.rand);
+    report.add(p.problem + " / D-DIST", p.det, p.paper_det);
+    report.add(p.problem + " / R-DIST", p.rand, p.paper_rand);
   }
   table.print();
   report.write_file(args.json);

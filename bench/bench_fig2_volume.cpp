@@ -22,15 +22,17 @@ void run(const Args& args) {
 
   // Class A: volume Θ(1) = distance Θ(1) (the simulation argument of §1.2).
   {
+    auto ph = report.phase("degree-parity");
     Curve c;
     for (NodeIndex n : {1 << 10, 1 << 14, 1 << 18}) c.add(static_cast<double>(n), 1.0);
     table.add_row({"DegreeParity", "A", "Θ(1)", c.fitted(), "Θ(1)", c.fitted()});
-    report.add("DegreeParity / VOL", c);
+    report.add("DegreeParity / VOL", c, "Θ(1)");
   }
 
   // Class B: ring coloring — volume O(log* n) via the Even et al. technique;
   // our Cole-Vishkin port already achieves it (volume = O(1) chain reads).
   {
+    auto ph = report.phase("ring-coloring");
     Curve c;
     for (NodeIndex n : {1 << 10, 1 << 14, 1 << 18}) {
       auto ring = make_ring(n, 5);
@@ -42,12 +44,13 @@ void run(const Args& args) {
     }
     table.add_row(
         {"Ring3Coloring", "B", "Θ(log* n)", c.fitted(), "Θ(log* n)", c.fitted()});
-    report.add("Ring3Coloring / VOL", c);
+    report.add("Ring3Coloring / VOL", c, "Θ(log* n)");
   }
 
   // Maximal independent set — the LCA-literature flagship the volume model
   // formalizes; randomized volume is polylog on bounded-degree graphs.
   {
+    auto ph = report.phase("mis");
     Curve c;
     for (NodeIndex n : {1 << 10, 1 << 14, 1 << 18}) {
       auto ring = make_ring(n, 9);
@@ -60,10 +63,11 @@ void run(const Args& args) {
     }
     table.add_row({"MaximalIndependentSet (rand)", "B-ish", "O(polylog) [39]", c.fitted(),
                    "O(polylog) [39]", c.fitted()});
-    report.add("MaximalIndependentSet / R-VOL", c);
+    report.add("MaximalIndependentSet / R-VOL", c, "O(polylog) [39]");
   }
 
   {
+    auto ph = report.phase("matching");
     Curve c;
     for (NodeIndex n : {1 << 10, 1 << 14, 1 << 18}) {
       auto ring = make_ring(n, 13);
@@ -76,12 +80,13 @@ void run(const Args& args) {
     }
     table.add_row({"MaximalMatching (rand)", "B-ish", "O(polylog) [30,31]", c.fitted(),
                    "O(polylog) [30,31]", c.fitted()});
-    report.add("MaximalMatching / R-VOL", c);
+    report.add("MaximalMatching / R-VOL", c, "O(polylog) [30,31]");
   }
 
   // The C+D region openers: LeafColoring shows the region splits by
   // randomness (D-VOL Θ(n) vs R-VOL Θ(log n)) — the paper's headline.
   {
+    auto ph = report.phase("leafcoloring");
     Curve dvol, rvol;
     for (int depth : {9, 12, 15, 17}) {
       auto inst = make_complete_binary_tree(depth, Color::Red, Color::Blue);
@@ -105,8 +110,8 @@ void run(const Args& args) {
     }
     table.add_row(
         {"LeafColoring", "C+D", "Θ(n)", dvol.fitted(), "Θ(log n)", rvol.fitted()});
-    report.add("LeafColoring / D-VOL", dvol);
-    report.add("LeafColoring / R-VOL", rvol);
+    report.add("LeafColoring / D-VOL", dvol, "Θ(n)");
+    report.add("LeafColoring / R-VOL", rvol, "Θ(log n)");
   }
   table.print();
   report.write_file(args.json);

@@ -26,9 +26,11 @@ struct Line {
 };
 
 void run(const Args& args) {
+  JsonReport report("bench_fig3_overview");
   std::vector<Line> lines;
 
   {  // LeafColoring
+    auto ph = report.phase("leafcoloring");
     Line line{"LeafColoring", "log n, n | log n, log n"};
     for (int depth : {9, 12, 15}) {
       auto inst = make_complete_binary_tree(depth, Color::Red, Color::Blue);
@@ -55,6 +57,7 @@ void run(const Args& args) {
   }
 
   {  // BalancedTree
+    auto ph = report.phase("balancedtree");
     Line line{"BalancedTree", "n, n | log n, log n"};
     for (int depth : {8, 11, 14}) {
       auto inst = make_balanced_instance(depth);
@@ -73,6 +76,7 @@ void run(const Args& args) {
   }
 
   for (int k : {2, 3}) {  // Hierarchical-THC(k)
+    auto ph = report.phase("hierarchical-" + std::to_string(k));
     Line line{"Hierarchical-THC(" + std::to_string(k) + ")",
               "Θ̃(n^{1/k}), Θ̃(n) | n^{1/k}, n^{1/k}"};
     const std::vector<NodeIndex> bs =
@@ -106,6 +110,7 @@ void run(const Args& args) {
   }
 
   {  // Hybrid-THC(2)
+    auto ph = report.phase("hybrid");
     Line line{"Hybrid-THC(2)", "Θ̃(n^{1/2}), Θ̃(n) | log n, log n"};
     for (const auto& [b, d] : std::vector<std::pair<NodeIndex, int>>{
              {16, 4}, {32, 5}, {96, 6}, {256, 8}}) {
@@ -146,6 +151,7 @@ void run(const Args& args) {
   }
 
   {  // HH-THC(2,3)
+    auto ph = report.phase("hh");
     Line line{"HH-THC(2,3)", "Θ̃(n^{1/2}), Θ̃(n) | n^{1/3}, n^{1/3}"};
     for (NodeIndex n_half : {4000, 20000, 100000, 500000}) {
       auto inst = make_hh_instance(2, 3, n_half, 13);
@@ -176,14 +182,13 @@ void run(const Args& args) {
   print_header("Figure 3 — overview: volume endpoints vs distance endpoints");
   stats::Table table({"problem", "paper (R-VOL, D-VOL | R-DIST, D-DIST)", "R-VOL fit",
                       "D-VOL fit", "R-DIST fit", "D-DIST fit"});
-  JsonReport report("bench_fig3_overview");
   for (const auto& line : lines) {
     table.add_row({line.problem, line.paper, line.rvol.fitted(), line.dvol.fitted(),
                    line.rdist.fitted(), line.ddist.fitted()});
-    report.add(line.problem + " / R-VOL", line.rvol);
-    report.add(line.problem + " / D-VOL", line.dvol);
-    report.add(line.problem + " / R-DIST", line.rdist);
-    report.add(line.problem + " / D-DIST", line.ddist);
+    report.add(line.problem + " / R-VOL", line.rvol, line.paper);
+    report.add(line.problem + " / D-VOL", line.dvol, line.paper);
+    report.add(line.problem + " / R-DIST", line.rdist, line.paper);
+    report.add(line.problem + " / D-DIST", line.ddist, line.paper);
   }
   table.print();
   report.write_file(args.json);

@@ -21,7 +21,8 @@ namespace {
 
 using Src = InstanceSource<ColoredTreeLabeling>;
 
-void distance_table() {
+void distance_table(JsonReport& report) {
+  auto ph = report.phase("distance");
   print_header("§5 — RecursiveHTHC distance on balanced instances (Θ(n^{1/k}))");
   stats::Table table({"k", "n", "backbone", "max distance", "window 2·n^{1/k}"});
   for (int k : {1, 2, 3, 4}) {
@@ -45,15 +46,19 @@ void distance_table() {
                      fmt_int(cost.max_distance), fmt_int(cfg.window)});
     }
     std::printf("k=%d fitted: %s\n", k, curve.fitted().c_str());
+    report.add("Hierarchical-THC(" + std::to_string(k) + ") / D-DIST", curve,
+               "Θ(n^{1/" + std::to_string(k) + "})");
   }
   table.print();
 }
 
-void waypoint_lemmas_table() {
+void waypoint_lemmas_table(JsonReport& report) {
+  auto ph = report.phase("waypoint-lemmas");
   print_header("§5 — way-point statistics (Lemmas 5.16 and 5.18)");
   stats::Table table({"n", "p = c·log n / n^{1/k}", "max way-points per window",
                       "8·c·log2 n bound", "max light-waypoint gap", "2·n^{1/k} bound"});
   const int k = 2;
+  Curve crowd_c, gap_c;
   for (NodeIndex b : {256, 512, 1024}) {
     // Deep top over light floors: the regime Lemma 5.18 addresses.
     auto inst = make_hierarchical_instance_lens({6, b}, 5);
@@ -93,15 +98,21 @@ void waypoint_lemmas_table() {
     std::snprintf(cbuf, sizeof cbuf, "%.0f", crowd_bound);
     table.add_row({fmt_int(n), pbuf, fmt_int(max_per_window), cbuf, fmt_int(max_gap),
                    fmt_int(cfg.window)});
+    crowd_c.add(static_cast<double>(n), static_cast<double>(max_per_window));
+    gap_c.add(static_cast<double>(n), static_cast<double>(max_gap));
   }
   table.print();
+  report.add("Waypoints / max per window", crowd_c, "O(log n) (Lem. 5.16)");
+  report.add("Waypoints / max light gap", gap_c, "<= 2*n^{1/k} (Lem. 5.18)");
 }
 
-void deep_nest_table() {
+void deep_nest_table(JsonReport& report) {
+  auto ph = report.phase("deep-nest");
   print_header("§5 — deep-nest family: deterministic vs randomized volume");
   stats::Table table(
       {"k", "n", "det volume (mid level k-1)", "rnd volume", "det/rnd", "n^{1/k}"});
   for (int k : {3, 4}) {
+    Curve det_c, rnd_c;
     const std::vector<NodeIndex> bs =
         k == 3 ? std::vector<NodeIndex>{400, 700, 1100} : std::vector<NodeIndex>{64, 100, 140};
     for (NodeIndex b : bs) {
@@ -142,7 +153,12 @@ void deep_nest_table() {
                     std::pow(static_cast<double>(n), 1.0 / k));
       table.add_row({fmt_int(k), fmt_int(n), fmt_int(det_vol), fmt_int(rnd_vol), ratio,
                      root});
+      det_c.add(static_cast<double>(n), static_cast<double>(det_vol));
+      rnd_c.add(static_cast<double>(n), static_cast<double>(rnd_vol));
     }
+    report.add("DeepNest(k=" + std::to_string(k) + ") / D-VOL", det_c, "Ω̃(n) (Prop. 5.20)");
+    report.add("DeepNest(k=" + std::to_string(k) + ") / R-VOL", rnd_c,
+               "Θ̃(n^{1/" + std::to_string(k) + "})");
   }
   table.print();
   std::printf(
@@ -152,7 +168,8 @@ void deep_nest_table() {
       "Table 1.  The fully adversarial Ω̃(n) bound is Prop. 5.20.\n");
 }
 
-void adversary_table() {
+void adversary_table(JsonReport& report) {
+  auto ph = report.phase("adversary");
   print_header("§5 — Prop. 5.20 adversary: deterministic candidates vs budgets");
   stats::Table table({"candidate", "k", "n", "budget", "outcome", "level", "sims"});
   struct Candidate {
@@ -222,11 +239,12 @@ BENCHMARK(BM_RecursiveHTHC)->Arg(2)->Arg(3);
 int main(int argc, char** argv) {
   auto args = volcal::bench::Args::parse(&argc, argv, "bench_hierarchical");
   volcal::bench::Observer::install(args, "bench_hierarchical");
-  (void)args;
-  volcal::bench::distance_table();
-  volcal::bench::waypoint_lemmas_table();
-  volcal::bench::deep_nest_table();
-  volcal::bench::adversary_table();
+  volcal::bench::JsonReport report("bench_hierarchical");
+  volcal::bench::distance_table(report);
+  volcal::bench::waypoint_lemmas_table(report);
+  volcal::bench::deep_nest_table(report);
+  volcal::bench::adversary_table(report);
+  report.write_file(args.json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

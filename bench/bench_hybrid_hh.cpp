@@ -19,7 +19,8 @@
 namespace volcal::bench {
 namespace {
 
-void hybrid_crossover_table() {
+void hybrid_crossover_table(JsonReport& report) {
+  auto ph = report.phase("hybrid-crossover");
   print_header("§6 — Hybrid-THC(2): distance (log n) vs randomized volume (Θ̃(√n))");
   stats::Table table({"n", "max distance", "log2 n", "max volume (waypoint)", "√n"});
   Curve dist, vol;
@@ -56,9 +57,12 @@ void hybrid_crossover_table() {
   table.print();
   std::printf("fitted: distance %s, volume %s\n", dist.fitted().c_str(),
               vol.fitted().c_str());
+  report.add("Hybrid-THC(2) / D-DIST", dist, "Θ(log n) (Thm. 6.3)");
+  report.add("Hybrid-THC(2) / R-VOL", vol, "Θ̃(n^{1/2}) (Thm. 6.3)");
 }
 
-void decline_table() {
+void decline_table(JsonReport& report) {
+  auto ph = report.phase("declines");
   print_header("§6 — lightness threshold controls solve-vs-decline (still valid)");
   stats::Table table({"bt_limit", "solved floors", "declined floors", "valid"});
   auto inst = make_hybrid_instance(2, 16, 5, 11);
@@ -84,7 +88,8 @@ void decline_table() {
   table.print();
 }
 
-void hh_table() {
+void hh_table(JsonReport& report) {
+  auto ph = report.phase("hh");
   print_header("§6.1 — HH-THC(k, ℓ): distance tracks n^{1/ℓ}, volume tracks n^{1/k}");
   stats::Table table({"(k,ℓ)", "n", "max distance", "n^{1/ℓ}", "max volume", "n^{1/k}"});
   for (const auto& [k, l] : std::vector<std::pair<int, int>>{{2, 2}, {2, 3}, {2, 4}, {3, 4}}) {
@@ -114,6 +119,11 @@ void hh_table() {
     }
     std::printf("(k=%d,ℓ=%d) fitted: distance %s, volume %s\n", k, l,
                 dist.fitted().c_str(), vol.fitted().c_str());
+    const std::string tag = "(" + std::to_string(k) + "," + std::to_string(l) + ")";
+    report.add("HH-THC" + tag + " / D-DIST", dist,
+               "Θ(n^{1/" + std::to_string(l) + "}) (Thm. 6.5)");
+    report.add("HH-THC" + tag + " / R-VOL", vol,
+               "Θ̃(n^{1/" + std::to_string(k) + "}) (Thm. 6.5)");
   }
   table.print();
 }
@@ -124,9 +134,10 @@ void hh_table() {
 int main(int argc, char** argv) {
   auto args = volcal::bench::Args::parse(&argc, argv, "bench_hybrid_hh");
   volcal::bench::Observer::install(args, "bench_hybrid_hh");
-  (void)args;
-  volcal::bench::hybrid_crossover_table();
-  volcal::bench::decline_table();
-  volcal::bench::hh_table();
+  volcal::bench::JsonReport report("bench_hybrid_hh");
+  volcal::bench::hybrid_crossover_table(report);
+  volcal::bench::decline_table(report);
+  volcal::bench::hh_table(report);
+  report.write_file(args.json);
   return 0;
 }

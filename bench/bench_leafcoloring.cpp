@@ -23,7 +23,8 @@ namespace {
 
 using Src = InstanceSource<ColoredTreeLabeling>;
 
-void walk_length_table() {
+void walk_length_table(JsonReport& report) {
+  auto ph = report.phase("walk-length");
   print_header("§3 — RWtoLeaf walk lengths vs the 16·log2(n) bound (Prop. 3.10)");
   stats::Table table({"family", "n", "mean steps", "p95", "max", "16·log2(n)"});
   const auto families = std::vector<std::pair<std::string, LeafColoringInstance>>{
@@ -33,6 +34,7 @@ void walk_length_table() {
       {"caterpillar", make_caterpillar(4000, 3)},
       {"cycle 64x8", make_cycle_pseudotree(64, 8, 9)},
   };
+  Curve mean_c, max_c;  // over the complete-tree sub-family (monotone n)
   for (const auto& [name, inst] : families) {
     RandomTape tape(inst.ids, 17);
     std::vector<double> steps;
@@ -49,16 +51,24 @@ void walk_length_table() {
     std::snprintf(mx, sizeof mx, "%.0f", s.max);
     std::snprintf(bd, sizeof bd, "%.0f", bound);
     table.add_row({name, fmt_int(inst.node_count()), mean, p95, mx, bd});
+    if (name.rfind("complete", 0) == 0) {
+      mean_c.add(static_cast<double>(inst.node_count()), s.mean);
+      max_c.add(static_cast<double>(inst.node_count()), s.max);
+    }
   }
   table.print();
+  report.add("RWtoLeaf / mean steps", mean_c, "O(log n) (Prop. 3.10)");
+  report.add("RWtoLeaf / max steps", max_c, "16*log2(n) bound");
 }
 
-void truncation_table() {
+void truncation_table(JsonReport& report) {
+  auto ph = report.phase("truncation");
   print_header("§3 — success probability under truncation budgets (Remark 3.11)");
   stats::Table table({"budget (x log2 n)", "valid runs / trials", "note"});
   auto inst = make_complete_binary_tree(13, Color::Red, Color::Blue);
   const double logn = std::log2(static_cast<double>(inst.node_count()));
   LeafColoringProblem problem;
+  Curve valid_c;  // abscissa: budget multiplier, not n
   for (const double mult : {0.5, 1.0, 2.0, 4.0, 16.0}) {
     const auto budget = static_cast<std::int64_t>(mult * logn);
     int valid = 0;
@@ -75,11 +85,14 @@ void truncation_table() {
     std::snprintf(buf, sizeof buf, "%.1f", mult);
     table.add_row({buf, std::to_string(valid) + "/" + std::to_string(trials),
                    mult >= 16 ? "whp regime" : ""});
+    valid_c.add(mult, static_cast<double>(valid));
   }
   table.print();
+  report.add("RWtoLeaf / valid runs vs budget", valid_c, "whp at 16*log2(n) (Rmk. 3.11)");
 }
 
-void adversary_table() {
+void adversary_table(JsonReport& report) {
+  auto ph = report.phase("adversary");
   print_header("§3 — Prop. 3.13 adversary: deterministic candidates vs volume budgets");
   stats::Table table({"candidate", "declared n", "budget", "outcome", "|G_A|"});
   struct Candidate {
@@ -147,10 +160,11 @@ BENCHMARK(BM_NearestLeafFromRoot)->Arg(10)->Arg(14);
 int main(int argc, char** argv) {
   auto args = volcal::bench::Args::parse(&argc, argv, "bench_leafcoloring");
   volcal::bench::Observer::install(args, "bench_leafcoloring");
-  (void)args;
-  volcal::bench::walk_length_table();
-  volcal::bench::truncation_table();
-  volcal::bench::adversary_table();
+  volcal::bench::JsonReport report("bench_leafcoloring");
+  volcal::bench::walk_length_table(report);
+  volcal::bench::truncation_table(report);
+  volcal::bench::adversary_table(report);
+  report.write_file(args.json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

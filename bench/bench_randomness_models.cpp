@@ -39,7 +39,8 @@ Color rw_to_leaf_secret(Src& src, RandomTape& tape) {
   return src.color(cur);
 }
 
-void models_table() {
+void models_table(JsonReport& report) {
+  auto ph = report.phase("models");
   print_header("§7.4 — randomness models on LeafColoring (promise vs general)");
   stats::Table table({"instance", "model", "valid runs / trials", "max volume"});
   const int depth = 10;
@@ -54,7 +55,10 @@ void models_table() {
       {"general (random colors)", make_random_full_binary_tree(2047, 3)},
   };
   LeafColoringProblem problem;
+  int setup_idx = 0;  // abscissa for the per-model validity curves
+  Curve valid_c[3];
   for (auto& setup : setups) {
+    ++setup_idx;
     const auto& inst = setup.inst;
     for (const RandomnessModel model :
          {RandomnessModel::Public, RandomnessModel::Private, RandomnessModel::Secret}) {
@@ -76,9 +80,17 @@ void models_table() {
       table.add_row({setup.name, name,
                      std::to_string(valid) + "/" + std::to_string(trials),
                      fmt_int(max_vol)});
+      valid_c[static_cast<int>(model)].add(static_cast<double>(setup_idx),
+                                           static_cast<double>(valid));
     }
   }
   table.print();
+  report.add("LeafColoring / valid runs (public)",
+             valid_c[static_cast<int>(RandomnessModel::Public)], "promise=1, general=2");
+  report.add("LeafColoring / valid runs (private)",
+             valid_c[static_cast<int>(RandomnessModel::Private)], "promise=1, general=2");
+  report.add("LeafColoring / valid runs (secret)",
+             valid_c[static_cast<int>(RandomnessModel::Secret)], "promise=1, general=2");
   std::printf(
       "\nPromise LeafColoring: both models succeed with O(log n) volume —\n"
       "secret coins suffice because any leaf answers.  General LeafColoring:\n"
@@ -88,7 +100,8 @@ void models_table() {
       "from determinism is known (open per §7.4).\n");
 }
 
-void enforcement_demo() {
+void enforcement_demo(JsonReport& report) {
+  auto ph = report.phase("enforcement");
   print_header("§7.4 — model enforcement: cross-node tape reads are rejected");
   auto inst = make_complete_binary_tree(4, Color::Red, Color::Blue);
   RandomTape secret(inst.ids, 1, RandomnessModel::Secret);
@@ -108,9 +121,11 @@ void enforcement_demo() {
   std::printf("Public model shares one tape across nodes: %s\n", same ? "yes" : "NO");
 }
 
-void bit_budget_table() {
+void bit_budget_table(JsonReport& report) {
+  auto ph = report.phase("bit-budget");
   print_header("§7.4 / §2.2 footnote — bits consumed per node (sequential access)");
   stats::Table table({"n", "max bits used on any node's string", "note"});
+  Curve bits_c;
   for (int depth : {8, 12, 16}) {
     auto inst = make_complete_binary_tree(depth, Color::Red, Color::Blue);
     RandomTape tape(inst.ids, 9);
@@ -123,8 +138,11 @@ void bit_budget_table() {
                    fmt_int(static_cast<std::int64_t>(tape.max_bits_used_anywhere())),
                    "Alg. 1 reads one bit per node: b is O(1), satisfying the model's"
                    " bounded-bits assumption"});
+    bits_c.add(static_cast<double>(inst.node_count()),
+               static_cast<double>(tape.max_bits_used_anywhere()));
   }
   table.print();
+  report.add("RandomTape / max bits per node", bits_c, "O(1) (§2.2 fn. 1)");
 }
 
 }  // namespace
@@ -133,9 +151,10 @@ void bit_budget_table() {
 int main(int argc, char** argv) {
   auto args = volcal::bench::Args::parse(&argc, argv, "bench_randomness_models");
   volcal::bench::Observer::install(args, "bench_randomness_models");
-  (void)args;
-  volcal::bench::models_table();
-  volcal::bench::enforcement_demo();
-  volcal::bench::bit_budget_table();
+  volcal::bench::JsonReport report("bench_randomness_models");
+  volcal::bench::models_table(report);
+  volcal::bench::enforcement_demo(report);
+  volcal::bench::bit_budget_table(report);
+  report.write_file(args.json);
   return 0;
 }

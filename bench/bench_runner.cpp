@@ -83,6 +83,7 @@ template <typename FlatFn, typename MapFn>
 void run_workload(const std::string& workload, const Graph& g, const IdAssignment& ids,
                   const std::vector<NodeIndex>& starts, int repeats, FlatFn&& flat_solve,
                   MapFn&& map_solve, stats::Table& table, JsonReport& report) {
+  auto ph = report.phase(workload);
   const double n = static_cast<double>(g.node_count());
   const double total_starts = static_cast<double>(starts.size()) * repeats;
   auto repeat = [&](auto&& sweep) {

@@ -29,6 +29,8 @@
 #include "lcl/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "perf/artifact.hpp"
+#include "perf/probe.hpp"
 #include "runtime/parallel_runner.hpp"
 #include "runtime/sweep_stats.hpp"
 #include "stats/growth.hpp"
@@ -113,10 +115,16 @@ struct Args {
     }
   }
 
-  // The last parsed Args (default-constructed before any parse) — lets
+  // The last installed Args (default-constructed before any install) — lets
   // helpers deep inside a bench honor --max-n without threading the struct
   // through every table builder.
   static const Args& current() { return mutable_current(); }
+
+  // Explicit lifecycle for the process-wide Args: parse() installs its
+  // result, tests that parse several Args sets call reset() (or install a
+  // fixture of their own) so state cannot leak between cases.
+  static void install(const Args& args) { mutable_current() = args; }
+  static void reset() { mutable_current() = Args{}; }
 
   // Flags may be given as `--flag value` or `--flag=value`.  Unrecognized
   // arguments stay in argv for the binary's own parsing.
@@ -162,7 +170,7 @@ struct Args {
       const std::string t = std::to_string(args.threads);
       setenv("VOLCAL_THREADS", t.c_str(), /*overwrite=*/1);
     }
-    mutable_current() = args;
+    install(args);
     return args;
   }
 
@@ -213,6 +221,10 @@ class Observer {
                     const RandomTape* tape) {
     ++sweep_seq_;
     metrics_.observe(run, profile, tape);
+    // Phase accounting: every measured sweep's engine wall time folds into
+    // one "sweep" phase, so --metrics shows how much of the binary's runtime
+    // the engine itself owns.
+    metrics_.phases.add("sweep", run.stats.wall_seconds);
   }
 
   void flush() {
@@ -304,10 +316,17 @@ struct Curve {
     costs.push_back(cost);
     secs.push_back(wall_seconds);
   }
-  std::string fitted() const {
-    if (ns.size() < 3) return "(n/a)";
-    return stats::classify_growth(ns, costs).label;
+  // The full fit (label + exponent + r²) — what the JSON report serializes.
+  // Below 3 points there is nothing to fit and the label reads "(n/a)".
+  stats::GrowthFit fit() const {
+    if (ns.size() < 3) {
+      stats::GrowthFit none;
+      none.label = "(n/a)";
+      return none;
+    }
+    return stats::classify_growth(ns, costs);
   }
+  std::string fitted() const { return fit().label; }
 };
 
 inline std::string fmt_int(std::int64_t v) { return std::to_string(v); }
@@ -320,27 +339,7 @@ inline void print_header(const std::string& title) {
 
 // --- JSON report (--json <path>) -------------------------------------------
 
-inline std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;  // UTF-8 bytes (Θ, …) pass through untouched
-        }
-    }
-  }
-  return out;
-}
+inline std::string json_escape(const std::string& s) { return perf::json_escape(s); }
 
 // Returns the argument of `--json <path>` (or `--json=<path>`), else nullptr.
 inline const char* json_path_from_args(int argc, char** argv) {
@@ -351,55 +350,73 @@ inline const char* json_path_from_args(int argc, char** argv) {
   return nullptr;
 }
 
-// Collects named curves and serializes them as
-//   {"tool": ..., "curves": [{"name", "fitted", "points": [{"n", "cost",
-//   "wall_seconds"}]}]}.
+// The canonical telemetry emitter behind every bench main's --json flag.
+// Collects named curves (with the paper's Θ-claim where the caller has one)
+// and per-section phase timings, and serializes the versioned
+// perf::BenchArtifact schema — env fingerprint, fitted exponent + r² per
+// curve, per-phase wall time, allocation counters, and the RSS high-water
+// mark ride along with the cost curves.
 class JsonReport {
  public:
   explicit JsonReport(std::string tool) : tool_(std::move(tool)) {}
 
-  void add(std::string name, const Curve& curve) {
-    curves_.push_back({std::move(name), curve});
+  void add(std::string name, const Curve& curve, std::string claim = "") {
+    curves_.push_back({std::move(name), std::move(claim), curve});
   }
 
-  std::string render() const {
-    std::string out = "{\"tool\": \"" + json_escape(tool_) + "\", \"curves\": [";
-    for (std::size_t c = 0; c < curves_.size(); ++c) {
-      const auto& [name, curve] = curves_[c];
-      if (c) out += ", ";
-      out += "{\"name\": \"" + json_escape(name) + "\", \"fitted\": \"" +
-             json_escape(curve.fitted()) + "\", \"points\": [";
-      for (std::size_t i = 0; i < curve.ns.size(); ++i) {
-        if (i) out += ", ";
-        char buf[128];
-        std::snprintf(buf, sizeof buf, "{\"n\": %.0f, \"cost\": %.17g, \"wall_seconds\": %.6g}",
-                      curve.ns[i], curve.costs[i], curve.secs[i]);
-        out += buf;
-      }
-      out += "]}";
-    }
-    out += "]}\n";
-    return out;
+  // Section timing: `auto p = report.phase("adversary");` scopes one named
+  // phase; re-entering a name accumulates.
+  perf::PhaseTimer::Scope phase(std::string name) {
+    return phases_.scope(std::move(name));
   }
+  perf::PhaseTimer& phases() { return phases_; }
+
+  // Builds the artifact: deterministic content from the registered curves,
+  // probes sampled at call time.
+  perf::BenchArtifact artifact() const {
+    perf::BenchArtifact a;
+    a.kind = "bench-report";
+    a.tool = tool_;
+    for (const auto& [name, claim, curve] : curves_) {
+      perf::ArtifactCurve c;
+      c.name = name;
+      c.claim = claim;
+      const stats::GrowthFit fit = curve.fit();
+      c.fitted = fit.label;
+      c.exponent = fit.exponent;
+      c.r_squared = fit.r_squared;
+      for (std::size_t i = 0; i < curve.ns.size(); ++i) {
+        c.points.push_back({curve.ns[i], curve.costs[i], curve.secs[i]});
+      }
+      a.curves.push_back(std::move(c));
+    }
+    a.phases = phases_.phases();
+    a.total_wall_seconds = since_construction_.seconds();
+    a.stamp_probes(detail::resolve_thread_count(0));
+    return a;
+  }
+
+  std::string render() const { return artifact().to_json(); }
 
   // Writes the report if `path` is non-null; announces the file on stdout.
   bool write_file(const char* path) const {
     if (path == nullptr) return false;
-    std::FILE* f = std::fopen(path, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "bench: cannot open %s for writing\n", path);
-      return false;
-    }
-    const std::string doc = render();
-    std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fclose(f);
+    if (!artifact().write_file(path)) return false;
     std::printf("\n[json report: %s]\n", path);
     return true;
   }
 
  private:
+  struct NamedCurve {
+    std::string name;
+    std::string claim;
+    Curve curve;
+  };
+
   std::string tool_;
-  std::vector<std::pair<std::string, Curve>> curves_;
+  std::vector<NamedCurve> curves_;
+  perf::PhaseTimer phases_;
+  WallTimer since_construction_;
 };
 
 }  // namespace volcal::bench

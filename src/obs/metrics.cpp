@@ -56,6 +56,7 @@ void SweepMetrics::merge(const SweepMetrics& other) {
   }
   workers_seen = std::max(workers_seen, other.workers_seen);
   tape_max_bits = std::max(tape_max_bits, other.tape_max_bits);
+  phases.merge(other.phases);
 }
 
 namespace {
@@ -111,7 +112,22 @@ std::string SweepMetrics::to_json(const std::string& tool) const {
                   worker_busy_ns[static_cast<std::size_t>(w)]);
     out += buf;
   }
-  out += "]}\n";
+  out += "], \"phases\": [";
+  for (std::size_t i = 0; i < phases.phases().size(); ++i) {
+    const auto& p = phases.phases()[i];
+    std::snprintf(buf, sizeof buf, "%s{\"name\": \"%s\", \"wall_seconds\": %.6g}",
+                  i ? ", " : "", p.name.c_str(), p.wall_seconds);
+    out += buf;
+  }
+  // Process-global probe samples, taken at serialization time.
+  const perf::AllocStats alloc = perf::alloc_snapshot();
+  std::snprintf(buf, sizeof buf,
+                "], \"alloc\": {\"instrumented\": %s, \"allocs\": %" PRIu64
+                ", \"frees\": %" PRIu64 ", \"bytes\": %" PRIu64 ", \"peak_bytes\": %" PRIu64
+                "}, \"rss_high_water_kb\": %" PRId64 "}\n",
+                perf::alloc_hook_active() ? "true" : "false", alloc.allocs, alloc.frees,
+                alloc.bytes, alloc.peak_bytes, perf::rss_high_water_kb());
+  out += buf;
   return out;
 }
 

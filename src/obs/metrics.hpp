@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "perf/probe.hpp"
 #include "runtime/parallel_runner.hpp"
 #include "runtime/randomness.hpp"
 
@@ -56,6 +57,12 @@ struct SweepMetrics {
   int workers_seen = 0;
   // RandomTape high-water mark: max bits consumed at any node (§2.2 fn. 1).
   std::uint64_t tape_max_bits = 0;
+  // Perf probes (wall-clock / process-global, non-deterministic like the
+  // fields above): named phase accumulation fed by the bench Observer, plus
+  // allocation counters and the RSS high-water mark sampled when the metrics
+  // are serialized.  Alloc numbers only advance in binaries that link the
+  // volcal_alloc_hook counting allocator.
+  perf::PhaseTimer phases;
 
   // Folds one sweep in.  Per-start histograms come from the slot vectors;
   // totals from result.stats.

@@ -1,0 +1,162 @@
+// Counting global operator new/delete — the allocation probe behind
+// perf::alloc_snapshot().
+//
+// This translation unit is its own CMake target (volcal_alloc_hook, an
+// OBJECT library) linked only into the bench and tool binaries: replacing
+// the global allocation functions is a whole-program decision, and tests /
+// library consumers should not inherit it implicitly.  Under ASan/MSan the
+// hook compiles to nothing so the sanitizer keeps its own new/delete
+// interception (and its alloc/dealloc mismatch checks).
+//
+// Counting is relaxed-atomic and allocation-free; sizes for the live-bytes
+// ledger come from malloc_usable_size on glibc (requested size elsewhere),
+// so live accounting stays consistent between sized and unsized deletes.
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_MEMORY__)
+#define VOLCAL_ALLOC_HOOK_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(memory_sanitizer)
+#define VOLCAL_ALLOC_HOOK_DISABLED 1
+#endif
+#endif
+
+#ifndef VOLCAL_ALLOC_HOOK_DISABLED
+
+#include <cstdlib>
+#include <new>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#define VOLCAL_USABLE_SIZE(p) malloc_usable_size(p)
+#else
+#define VOLCAL_USABLE_SIZE(p) std::size_t{0}
+#endif
+
+#include "perf/probe.hpp"
+
+namespace {
+
+const bool hook_registered = [] {
+  volcal::perf::alloc_counters().hook_linked.store(true, std::memory_order_relaxed);
+  return true;
+}();
+
+void count_alloc(void* p, std::size_t requested) {
+  auto& c = volcal::perf::alloc_counters();
+  c.allocs.fetch_add(1, std::memory_order_relaxed);
+  std::size_t sz = VOLCAL_USABLE_SIZE(p);
+  if (sz == 0) sz = requested;
+  c.bytes.fetch_add(sz, std::memory_order_relaxed);
+  const std::uint64_t live = c.live_bytes.fetch_add(sz, std::memory_order_relaxed) + sz;
+  std::uint64_t peak = c.peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !c.peak_bytes.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void count_free(void* p, std::size_t known) {
+  if (p == nullptr) return;
+  auto& c = volcal::perf::alloc_counters();
+  c.frees.fetch_add(1, std::memory_order_relaxed);
+  std::size_t sz = VOLCAL_USABLE_SIZE(p);
+  if (sz == 0) sz = known;
+  c.live_bytes.fetch_sub(sz, std::memory_order_relaxed);
+}
+
+void* counted_new(std::size_t size) {
+  if (size == 0) size = 1;
+  for (;;) {
+    void* p = std::malloc(size);
+    if (p != nullptr) {
+      count_alloc(p, size);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* counted_new_aligned(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  for (;;) {
+    void* p = std::aligned_alloc(align, (size + align - 1) / align * align);
+    if (p != nullptr) {
+      count_alloc(p, size);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_new(size); }
+void* operator new[](std::size_t size) { return counted_new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_new(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_new(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_new_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_new_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept {
+  count_free(p, 0);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  count_free(p, 0);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t size) noexcept {
+  count_free(p, size);
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t size) noexcept {
+  count_free(p, size);
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  count_free(p, 0);
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  count_free(p, 0);
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  count_free(p, 0);
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  count_free(p, 0);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t size, std::align_val_t) noexcept {
+  count_free(p, size);
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t size, std::align_val_t) noexcept {
+  count_free(p, size);
+  std::free(p);
+}
+
+#endif  // VOLCAL_ALLOC_HOOK_DISABLED

@@ -1,0 +1,283 @@
+#include "perf/artifact.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace volcal::perf {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes (Θ, …) pass through untouched
+        }
+    }
+  }
+  return out;
+}
+
+void ArtifactCurve::refit() {
+  fitted = "(n/a)";
+  exponent = 0.0;
+  r_squared = 0.0;
+  if (points.size() < 3) return;
+  std::vector<double> ns, costs;
+  ns.reserve(points.size());
+  costs.reserve(points.size());
+  for (const CurvePoint& p : points) {
+    if (p.n <= 0.0 || p.cost <= 0.0) return;  // classify_growth precondition
+    ns.push_back(p.n);
+    costs.push_back(p.cost);
+  }
+  for (std::size_t i = 1; i < ns.size(); ++i) {
+    if (ns[i] <= ns[i - 1]) return;  // strictly increasing n required
+  }
+  const stats::GrowthFit fit = stats::classify_growth(ns, costs);
+  fitted = fit.label;
+  exponent = fit.exponent;
+  r_squared = fit.r_squared;
+}
+
+const ArtifactCurve* BenchArtifact::find_curve(const std::string& name) const {
+  for (const ArtifactCurve& c : curves) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+void BenchArtifact::stamp_probes(int threads, const AllocStats& alloc_base) {
+  env = current_env(threads);
+  alloc = alloc_snapshot() - alloc_base;
+  alloc_instrumented = alloc_hook_active();
+  rss_high_water_kb = perf::rss_high_water_kb();
+}
+
+namespace {
+
+void append_env(std::string& out, const EnvFingerprint& env) {
+  out += "\"env\": {\"git_sha\": \"" + json_escape(env.git_sha) + "\", \"compiler\": \"" +
+         json_escape(env.compiler) + "\", \"flags\": \"" + json_escape(env.flags) +
+         "\", \"build_type\": \"" + json_escape(env.build_type) + "\", \"os\": \"" +
+         json_escape(env.os) + "\", \"threads\": " + std::to_string(env.threads) + "}";
+}
+
+void append_curve(std::string& out, const ArtifactCurve& c) {
+  char buf[192];
+  out += "{\"name\": \"" + json_escape(c.name) + "\", \"claim\": \"" +
+         json_escape(c.claim) + "\", \"fitted\": \"" + json_escape(c.fitted) + "\", ";
+  std::snprintf(buf, sizeof buf, "\"exponent\": %.17g, \"r_squared\": %.17g, \"points\": [",
+                c.exponent, c.r_squared);
+  out += buf;
+  for (std::size_t i = 0; i < c.points.size(); ++i) {
+    const CurvePoint& p = c.points[i];
+    std::snprintf(buf, sizeof buf, "%s{\"n\": %.17g, \"cost\": %.17g, \"wall_seconds\": %.6g}",
+                  i ? ", " : "", p.n, p.cost, p.wall_seconds);
+    out += buf;
+  }
+  out += "]}";
+}
+
+void append_body(std::string& out, const BenchArtifact& a) {
+  char buf[256];
+  out += "\"schema_version\": " + std::to_string(a.schema_version) + ", \"kind\": \"" +
+         json_escape(a.kind) + "\", \"tool\": \"" + json_escape(a.tool) + "\", ";
+  if (a.kind == "bench-family") {
+    out += "\"family\": \"" + json_escape(a.family) + "\", \"title\": \"" +
+           json_escape(a.title) + "\", \"theta\": \"" + json_escape(a.theta) +
+           "\", \"algorithm\": \"" + json_escape(a.algorithm) + "\", ";
+  }
+  append_env(out, a.env);
+  out += ", \"curves\": [";
+  for (std::size_t i = 0; i < a.curves.size(); ++i) {
+    if (i) out += ", ";
+    append_curve(out, a.curves[i]);
+  }
+  out += "], \"phases\": [";
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%s{\"name\": \"%s\", \"wall_seconds\": %.6g}",
+                  i ? ", " : "", json_escape(a.phases[i].name).c_str(),
+                  a.phases[i].wall_seconds);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "], \"alloc\": {\"instrumented\": %s, \"allocs\": %" PRIu64
+                ", \"frees\": %" PRIu64 ", \"bytes\": %" PRIu64 ", \"peak_bytes\": %" PRIu64
+                "}, \"rss_high_water_kb\": %" PRId64 ", \"total_wall_seconds\": %.6g",
+                a.alloc_instrumented ? "true" : "false", a.alloc.allocs, a.alloc.frees,
+                a.alloc.bytes, a.alloc.peak_bytes, a.rss_high_water_kb,
+                a.total_wall_seconds);
+  out += buf;
+}
+
+bool write_text(const std::string& path, const std::string& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+EnvFingerprint env_from_json(const JsonValue& v) {
+  EnvFingerprint env;
+  env.git_sha = v.string_at("git_sha");
+  env.compiler = v.string_at("compiler");
+  env.flags = v.string_at("flags");
+  env.build_type = v.string_at("build_type");
+  env.os = v.string_at("os");
+  env.threads = static_cast<int>(v.int_at("threads", 1));
+  return env;
+}
+
+}  // namespace
+
+std::string BenchArtifact::to_json() const {
+  std::string out = "{";
+  append_body(out, *this);
+  out += "}\n";
+  return out;
+}
+
+bool BenchArtifact::write_file(const std::string& path) const {
+  return write_text(path, to_json());
+}
+
+std::optional<BenchArtifact> BenchArtifact::from_json(const JsonValue& doc,
+                                                      std::string* err) {
+  auto fail = [&](const std::string& why) -> std::optional<BenchArtifact> {
+    if (err != nullptr) *err = why;
+    return std::nullopt;
+  };
+  if (!doc.is_object()) return fail("artifact is not a JSON object");
+  if (!doc.has("schema_version")) return fail("missing schema_version");
+  BenchArtifact a;
+  a.schema_version = static_cast<int>(doc.int_at("schema_version"));
+  if (a.schema_version != kArtifactSchemaVersion) {
+    return fail("unsupported schema_version " + std::to_string(a.schema_version));
+  }
+  a.kind = doc.string_at("kind");
+  if (a.kind != "bench-report" && a.kind != "bench-family") {
+    return fail("unexpected kind '" + a.kind + "'");
+  }
+  a.tool = doc.string_at("tool");
+  a.family = doc.string_at("family");
+  a.title = doc.string_at("title");
+  a.theta = doc.string_at("theta");
+  a.algorithm = doc.string_at("algorithm");
+  if (const JsonValue* env = doc.find("env")) a.env = env_from_json(*env);
+  const JsonValue* curves = doc.find("curves");
+  if (curves == nullptr || !curves->is_array()) return fail("missing curves array");
+  for (const JsonValue& cv : curves->items()) {
+    ArtifactCurve c;
+    c.name = cv.string_at("name");
+    c.claim = cv.string_at("claim");
+    c.fitted = cv.string_at("fitted");
+    c.exponent = cv.number_at("exponent");
+    c.r_squared = cv.number_at("r_squared");
+    const JsonValue* pts = cv.find("points");
+    if (pts == nullptr || !pts->is_array()) {
+      return fail("curve '" + c.name + "' missing points array");
+    }
+    for (const JsonValue& pv : pts->items()) {
+      c.points.push_back(
+          {pv.number_at("n"), pv.number_at("cost"), pv.number_at("wall_seconds")});
+    }
+    a.curves.push_back(std::move(c));
+  }
+  if (const JsonValue* phases = doc.find("phases"); phases != nullptr && phases->is_array()) {
+    for (const JsonValue& pv : phases->items()) {
+      a.phases.push_back({pv.string_at("name"), pv.number_at("wall_seconds")});
+    }
+  }
+  if (const JsonValue* alloc = doc.find("alloc")) {
+    a.alloc_instrumented = alloc->find("instrumented") != nullptr &&
+                           alloc->find("instrumented")->as_bool();
+    a.alloc.allocs = static_cast<std::uint64_t>(alloc->int_at("allocs"));
+    a.alloc.frees = static_cast<std::uint64_t>(alloc->int_at("frees"));
+    a.alloc.bytes = static_cast<std::uint64_t>(alloc->int_at("bytes"));
+    a.alloc.peak_bytes = static_cast<std::uint64_t>(alloc->int_at("peak_bytes"));
+  }
+  a.rss_high_water_kb = doc.int_at("rss_high_water_kb");
+  a.total_wall_seconds = doc.number_at("total_wall_seconds");
+  return a;
+}
+
+std::optional<BenchArtifact> BenchArtifact::load(const std::string& path,
+                                                 std::string* err) {
+  std::string parse_err;
+  JsonValue doc = parse_json_file(path, &parse_err);
+  if (doc.is_null()) {
+    if (err != nullptr) *err = parse_err.empty() ? path + ": unreadable" : parse_err;
+    return std::nullopt;
+  }
+  std::string why;
+  auto a = from_json(doc, &why);
+  if (!a.has_value() && err != nullptr) *err = path + ": " + why;
+  return a;
+}
+
+std::string BenchSummary::to_json() const {
+  std::string out = "{\"schema_version\": " + std::to_string(schema_version) +
+                    ", \"kind\": \"bench-summary\", \"tool\": \"" + json_escape(tool) +
+                    "\", ";
+  append_env(out, env);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, ", \"total_wall_seconds\": %.6g", total_wall_seconds);
+  out += buf;
+  out += ", \"families\": [";
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    if (i) out += ", ";
+    out += "{";
+    append_body(out, families[i]);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool BenchSummary::write_file(const std::string& path) const {
+  return write_text(path, to_json());
+}
+
+std::optional<BenchSummary> BenchSummary::load(const std::string& path, std::string* err) {
+  std::string parse_err;
+  JsonValue doc = parse_json_file(path, &parse_err);
+  auto fail = [&](const std::string& why) -> std::optional<BenchSummary> {
+    if (err != nullptr) *err = path + ": " + why;
+    return std::nullopt;
+  };
+  if (doc.is_null()) return fail(parse_err.empty() ? "unreadable" : parse_err);
+  if (doc.string_at("kind") != "bench-summary") return fail("not a bench-summary artifact");
+  BenchSummary s;
+  s.schema_version = static_cast<int>(doc.int_at("schema_version"));
+  if (s.schema_version != kArtifactSchemaVersion) {
+    return fail("unsupported schema_version " + std::to_string(s.schema_version));
+  }
+  s.tool = doc.string_at("tool");
+  if (const JsonValue* env = doc.find("env")) s.env = env_from_json(*env);
+  s.total_wall_seconds = doc.number_at("total_wall_seconds");
+  const JsonValue* families = doc.find("families");
+  if (families == nullptr || !families->is_array()) return fail("missing families array");
+  for (const JsonValue& fv : families->items()) {
+    std::string why;
+    auto a = BenchArtifact::from_json(fv, &why);
+    if (!a.has_value()) return fail("embedded family: " + why);
+    s.families.push_back(std::move(*a));
+  }
+  return s;
+}
+
+}  // namespace volcal::perf

@@ -1,0 +1,124 @@
+// The canonical benchmark telemetry artifact — ONE versioned JSON schema for
+// every perf number this repo produces, emitted by all bench binaries
+// (--json), by the tools/volcal_bench orchestrator (BENCH_<family>.json +
+// BENCH_SUMMARY.json), and consumed by tools/volcal_bench_diff and the CI
+// perf gate.
+//
+// Schema v1, one JSON object per artifact:
+//
+//   {
+//     "schema_version": 1,
+//     "kind": "bench-report" | "bench-family" | "bench-summary",
+//     "tool": "...",                      // emitting binary
+//     "family": "...", "title": "...",    // bench-family only: registry
+//     "theta": "...", "algorithm": "...", //   metadata (Θ-claims included)
+//     "env": {"git_sha", "compiler", "flags", "build_type", "os", "threads"},
+//     "curves": [{"name", "claim", "fitted", "exponent", "r_squared",
+//                 "points": [{"n", "cost", "wall_seconds"}, ...]}, ...],
+//     "phases": [{"name", "wall_seconds"}, ...],
+//     "alloc": {"instrumented", "allocs", "frees", "bytes", "peak_bytes"},
+//     "rss_high_water_kb": N,
+//     "total_wall_seconds": S,
+//     "families": [...]                   // bench-summary only: embedded
+//   }                                     //   bench-family artifacts
+//
+// Determinism contract: "n", "cost", "fitted", "exponent", "r_squared" and
+// the curve/point ordering are pure functions of the code (the sweep engine
+// is bit-identical at any thread count), so the diff tool treats any drift
+// in them as a hard regression.  Everything else — wall times, env, alloc,
+// RSS — is measurement, compared with tolerance or reported only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perf/json.hpp"
+#include "perf/probe.hpp"
+#include "stats/growth.hpp"
+
+namespace volcal::perf {
+
+inline constexpr int kArtifactSchemaVersion = 1;
+
+struct CurvePoint {
+  double n = 0.0;
+  double cost = 0.0;
+  double wall_seconds = 0.0;
+
+  friend bool operator==(const CurvePoint&, const CurvePoint&) = default;
+};
+
+struct ArtifactCurve {
+  std::string name;
+  std::string claim;   // the paper's Θ-claim for this curve, "" when n/a
+  std::string fitted;  // growth label, "(n/a)" below 3 points
+  double exponent = 0.0;
+  double r_squared = 0.0;
+  std::vector<CurvePoint> points;
+
+  // Total measured wall time across points (the diff tool's per-curve
+  // attribution unit).
+  double wall_seconds() const {
+    double t = 0.0;
+    for (const CurvePoint& p : points) t += p.wall_seconds;
+    return t;
+  }
+
+  // Fills fitted/exponent/r_squared from the points via
+  // stats::classify_growth; below 3 points the fit is marked "(n/a)".
+  void refit();
+};
+
+struct BenchArtifact {
+  int schema_version = kArtifactSchemaVersion;
+  std::string kind = "bench-report";
+  std::string tool;
+  // Registry metadata — populated for kind == "bench-family".
+  std::string family;
+  std::string title;
+  std::string theta;
+  std::string algorithm;
+
+  EnvFingerprint env;
+  std::vector<ArtifactCurve> curves;
+  std::vector<PhaseTimer::Phase> phases;
+  AllocStats alloc;
+  bool alloc_instrumented = false;
+  std::int64_t rss_high_water_kb = 0;
+  double total_wall_seconds = 0.0;
+
+  const ArtifactCurve* find_curve(const std::string& name) const;
+
+  // Samples env/alloc/RSS probes into the artifact.  `alloc_base` subtracts
+  // a snapshot taken before the measured section (per-family deltas in the
+  // orchestrator); pass a default AllocStats for process totals.
+  void stamp_probes(int threads, const AllocStats& alloc_base = {});
+
+  std::string to_json() const;
+  bool write_file(const std::string& path) const;
+
+  static std::optional<BenchArtifact> from_json(const JsonValue& doc, std::string* err);
+  static std::optional<BenchArtifact> load(const std::string& path, std::string* err);
+};
+
+struct BenchSummary {
+  int schema_version = kArtifactSchemaVersion;
+  std::string tool;
+  EnvFingerprint env;
+  std::vector<BenchArtifact> families;
+  double total_wall_seconds = 0.0;
+
+  std::string to_json() const;
+  bool write_file(const std::string& path) const;
+
+  static std::optional<BenchSummary> load(const std::string& path, std::string* err);
+};
+
+// JSON string escaping shared by every perf writer (same contract as
+// bench::json_escape; duplicated here so the library does not depend on
+// bench/ headers).
+std::string json_escape(const std::string& s);
+
+}  // namespace volcal::perf

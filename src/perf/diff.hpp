@@ -1,0 +1,77 @@
+// Noise-aware comparison of benchmark telemetry artifacts — the policy
+// behind tools/volcal_bench_diff and the CI perf gate.
+//
+// Two classes of fields, two policies:
+//
+//   * Deterministic fields — curve point counts, n values, costs, fitted
+//     growth labels (and exponent/r² up to a tiny float epsilon, since they
+//     are recomputed from identical integer costs) — are pure functions of
+//     the code: the sweep engine is bit-identical at any thread count and
+//     every generator is seeded.  ANY drift is a hard failure; there is no
+//     such thing as cost-curve noise in this repo.
+//
+//   * Wall-clock fields — per-artifact total, per-phase, per-point — are
+//     measurement.  The gate compares the artifact total against a
+//     configurable tolerance (default 10% slower) and, when it trips,
+//     attributes the regression: which curves and which phases absorbed the
+//     extra time.  `ignore_wall` drops the wall gate entirely (what CI uses:
+//     shared runners cannot hold a 10% bound honestly).
+//
+// Env fingerprints are reported when they differ but never gate — baselines
+// are expected to come from another machine and commit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/artifact.hpp"
+
+namespace volcal::perf {
+
+struct DiffOptions {
+  double wall_tolerance = 0.10;  // candidate total wall may exceed base by 10%
+  bool ignore_wall = false;      // skip the wall gate (cost curves still hard)
+  double fit_epsilon = 1e-6;     // |Δexponent|, |Δr²| allowed for identical costs
+  // Wall totals below this are never gated: at sub-millisecond scale the
+  // scheduler owns the number, not the code.
+  double wall_floor_seconds = 0.005;
+};
+
+struct DiffFinding {
+  enum class Severity { Hard, Wall, Note };
+  Severity severity = Severity::Note;
+  std::string artifact;  // family or tool name
+  std::string what;
+
+  bool fails(const DiffOptions& opt) const {
+    if (severity == Severity::Hard) return true;
+    return severity == Severity::Wall && !opt.ignore_wall;
+  }
+};
+
+struct DiffResult {
+  std::vector<DiffFinding> findings;
+  DiffOptions options;
+
+  bool ok() const {
+    for (const DiffFinding& f : findings) {
+      if (f.fails(options)) return false;
+    }
+    return true;
+  }
+  // Human-readable report, one line per finding plus a verdict line.
+  std::string render() const;
+};
+
+// Compares one artifact pair (matched by caller).
+void diff_artifact(const BenchArtifact& base, const BenchArtifact& cand,
+                   const DiffOptions& opt, DiffResult& out);
+
+// Compares two artifact sets matched by family (falling back to tool name
+// for bench-report artifacts).  A family present in the baseline but missing
+// from the candidate is a hard failure; a new candidate family is a note.
+DiffResult diff_artifact_sets(const std::vector<BenchArtifact>& base,
+                              const std::vector<BenchArtifact>& cand,
+                              const DiffOptions& opt);
+
+}  // namespace volcal::perf

@@ -1,0 +1,184 @@
+// perf/diff.hpp policy tests: cost-curve drift is always a hard failure,
+// wall time gets the configurable tolerance, and attribution/notes behave.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "perf/artifact.hpp"
+#include "perf/diff.hpp"
+
+namespace volcal::perf {
+namespace {
+
+BenchArtifact family_artifact(const std::string& name) {
+  BenchArtifact a;
+  a.kind = "bench-family";
+  a.tool = "volcal_bench";
+  a.family = name;
+  a.env = current_env(8);
+  ArtifactCurve vol;
+  vol.name = "volume";
+  vol.points = {{256, 511, 0.010}, {512, 1023, 0.020}, {1024, 2047, 0.040}};
+  vol.refit();
+  ArtifactCurve dist;
+  dist.name = "distance";
+  dist.points = {{256, 8, 0.0}, {512, 9, 0.0}, {1024, 10, 0.0}};
+  dist.refit();
+  a.curves = {vol, dist};
+  a.phases = {{"generate", 0.01}, {"sweep", 0.07}};
+  a.total_wall_seconds = 0.08;
+  return a;
+}
+
+DiffResult run_diff(const std::vector<BenchArtifact>& base,
+                    const std::vector<BenchArtifact>& cand, DiffOptions opt = {}) {
+  return diff_artifact_sets(base, cand, opt);
+}
+
+TEST(BenchDiff, SelfDiffIsClean) {
+  const auto base = {family_artifact("leaf-coloring"), family_artifact("balanced-tree")};
+  const DiffResult r = run_diff(base, base);
+  EXPECT_TRUE(r.ok()) << r.render();
+  EXPECT_TRUE(r.findings.empty()) << r.render();
+}
+
+TEST(BenchDiff, InjectedCostDriftIsHardFailure) {
+  const std::vector<BenchArtifact> base = {family_artifact("leaf-coloring")};
+  auto cand = base;
+  cand[0].curves[0].points[1].cost += 1;  // one count off at one n
+  const DiffResult r = run_diff(base, cand);
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.findings.empty());
+  bool saw_hard = false;
+  for (const DiffFinding& f : r.findings) {
+    saw_hard |= f.severity == DiffFinding::Severity::Hard;
+  }
+  EXPECT_TRUE(saw_hard) << r.render();
+  // --ignore-wall must NOT forgive cost drift.
+  DiffOptions lax;
+  lax.ignore_wall = true;
+  EXPECT_FALSE(run_diff(base, cand, lax).ok());
+}
+
+TEST(BenchDiff, FittedClassChangeIsHardFailure) {
+  const std::vector<BenchArtifact> base = {family_artifact("leaf-coloring")};
+  auto cand = base;
+  cand[0].curves[0].fitted = "Θ(n log n)";
+  EXPECT_FALSE(run_diff(base, cand).ok());
+}
+
+TEST(BenchDiff, ExponentDriftBeyondEpsilonIsHardFailure) {
+  const std::vector<BenchArtifact> base = {family_artifact("leaf-coloring")};
+  auto cand = base;
+  cand[0].curves[0].exponent += 1e-3;
+  EXPECT_FALSE(run_diff(base, cand).ok());
+  // Last-ulp drift (cross-libm) stays inside the epsilon.
+  auto ulp = base;
+  ulp[0].curves[0].exponent += 1e-9;
+  ulp[0].curves[0].r_squared -= 1e-9;
+  EXPECT_TRUE(run_diff(base, ulp).ok());
+}
+
+TEST(BenchDiff, WallRegressionBeyondToleranceFails) {
+  const std::vector<BenchArtifact> base = {family_artifact("leaf-coloring")};
+  auto cand = base;
+  cand[0].total_wall_seconds = base[0].total_wall_seconds * 1.30;  // +30% > 10%
+  cand[0].phases[1].wall_seconds *= 1.4;
+  const DiffResult r = run_diff(base, cand);
+  EXPECT_FALSE(r.ok());
+  bool saw_wall = false, saw_hard = false, saw_attribution = false;
+  for (const DiffFinding& f : r.findings) {
+    saw_wall |= f.severity == DiffFinding::Severity::Wall;
+    saw_hard |= f.severity == DiffFinding::Severity::Hard;
+    saw_attribution |= f.what.find("where it went") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_wall) << r.render();
+  EXPECT_FALSE(saw_hard) << r.render();  // wall noise is never a hard failure
+  EXPECT_TRUE(saw_attribution) << r.render();
+
+  // The same regression passes under --ignore-wall (the CI gate's mode) and
+  // under a wider tolerance.
+  DiffOptions lax;
+  lax.ignore_wall = true;
+  EXPECT_TRUE(run_diff(base, cand, lax).ok());
+  DiffOptions wide;
+  wide.wall_tolerance = 0.50;
+  EXPECT_TRUE(run_diff(base, cand, wide).ok());
+}
+
+TEST(BenchDiff, WallJitterWithinTolerancePasses) {
+  const std::vector<BenchArtifact> base = {family_artifact("leaf-coloring")};
+  auto cand = base;
+  cand[0].total_wall_seconds = base[0].total_wall_seconds * 1.08;  // +8% < 10%
+  const DiffResult r = run_diff(base, cand);
+  EXPECT_TRUE(r.ok()) << r.render();
+}
+
+TEST(BenchDiff, SubFloorWallIsNeverGated) {
+  auto base_art = family_artifact("leaf-coloring");
+  base_art.total_wall_seconds = 0.001;  // below the 5ms floor
+  auto cand_art = base_art;
+  cand_art.total_wall_seconds = 0.004;  // 4x slower but scheduler-scale
+  EXPECT_TRUE(run_diff({base_art}, {cand_art}).ok());
+}
+
+TEST(BenchDiff, MissingFamilyIsHardNewFamilyIsNote) {
+  const std::vector<BenchArtifact> base = {family_artifact("leaf-coloring"),
+                                           family_artifact("balanced-tree")};
+  const std::vector<BenchArtifact> cand = {family_artifact("leaf-coloring"),
+                                           family_artifact("hthc-2")};
+  const DiffResult r = run_diff(base, cand);
+  EXPECT_FALSE(r.ok());
+  bool missing_is_hard = false, new_is_note = false;
+  for (const DiffFinding& f : r.findings) {
+    if (f.artifact == "balanced-tree") {
+      missing_is_hard |= f.severity == DiffFinding::Severity::Hard;
+    }
+    if (f.artifact == "hthc-2") {
+      new_is_note |= f.severity == DiffFinding::Severity::Note;
+    }
+  }
+  EXPECT_TRUE(missing_is_hard) << r.render();
+  EXPECT_TRUE(new_is_note) << r.render();
+}
+
+TEST(BenchDiff, MissingCurveIsHardFailure) {
+  const std::vector<BenchArtifact> base = {family_artifact("leaf-coloring")};
+  auto cand = base;
+  cand[0].curves.pop_back();
+  EXPECT_FALSE(run_diff(base, cand).ok());
+}
+
+TEST(BenchDiff, PointCountOrNDriftIsHardFailure) {
+  const std::vector<BenchArtifact> base = {family_artifact("leaf-coloring")};
+  auto fewer = base;
+  fewer[0].curves[0].points.pop_back();
+  EXPECT_FALSE(run_diff(base, fewer).ok());
+
+  auto shifted = base;
+  shifted[0].curves[0].points[0].n = 257;  // instance shape drift
+  EXPECT_FALSE(run_diff(base, shifted).ok());
+}
+
+TEST(BenchDiff, EnvDifferencesAreNotesOnly) {
+  const std::vector<BenchArtifact> base = {family_artifact("leaf-coloring")};
+  auto cand = base;
+  cand[0].env.threads = 2;
+  cand[0].env.compiler = "clang 17.0.0";
+  const DiffResult r = run_diff(base, cand);
+  EXPECT_TRUE(r.ok()) << r.render();
+  EXPECT_FALSE(r.findings.empty());  // reported, never gated
+}
+
+TEST(BenchDiff, RenderVerdictLine) {
+  const std::vector<BenchArtifact> base = {family_artifact("leaf-coloring")};
+  auto cand = base;
+  cand[0].curves[0].points[0].cost += 5;
+  const DiffResult r = run_diff(base, cand);
+  EXPECT_NE(r.render().find("REGRESSION"), std::string::npos);
+  const DiffResult ok = run_diff(base, base);
+  EXPECT_NE(ok.render().find("OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace volcal::perf

@@ -170,6 +170,94 @@ TEST(JsonReport, RendersCurvesWithFitAndWallTime) {
   EXPECT_NE(doc.find("\"wall_seconds\": 2.5"), std::string::npos);
 }
 
+// Regression for the mutable-singleton leak: parse() used to overwrite the
+// process-wide Args with no way to restore it, so a test that parsed flags
+// poisoned --max-n for everything after it.  install()/reset() make the
+// lifecycle explicit.
+TEST(Args, InstallAndResetScopeTheProcessWideArgs) {
+  Args::reset();
+  EXPECT_EQ(Args::current().max_n, 0);
+  EXPECT_TRUE(Args::current().filter.empty());
+
+  Args scoped;
+  scoped.max_n = 777;
+  scoped.filter = "hthc";
+  Args::install(scoped);
+  EXPECT_EQ(Args::current().max_n, 777);
+  EXPECT_EQ(Args::current().filter, "hthc");
+
+  // parse() installs its result, replacing the previous Args wholesale.
+  const char* raw[] = {"bench", "--max-n", "42", nullptr};
+  int argc = 3;
+  char* argv[4];
+  for (int i = 0; i < argc; ++i) argv[i] = const_cast<char*>(raw[i]);
+  argv[argc] = nullptr;
+  (void)Args::parse(&argc, argv, "bench");
+  EXPECT_EQ(Args::current().max_n, 42);
+  EXPECT_TRUE(Args::current().filter.empty()) << "stale filter leaked through parse()";
+
+  Args::reset();
+  EXPECT_EQ(Args::current().max_n, 0);
+}
+
+TEST(JsonReport, ReportsFittedExponentAndRSquared) {
+  Curve c;  // exact power law cost = n^1: exponent 1, r^2 1
+  c.add(256, 256);
+  c.add(512, 512);
+  c.add(1024, 1024);
+  c.add(2048, 2048);
+  const stats::GrowthFit fit = c.fit();
+  EXPECT_NEAR(fit.exponent, 1.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.999);
+
+  JsonReport report("bench_test");
+  report.add("linear", c, "Θ(n)");
+  const std::string doc = report.render();
+  EXPECT_NE(doc.find("\"claim\": \"Θ(n)\""), std::string::npos);
+  EXPECT_NE(doc.find("\"exponent\": "), std::string::npos);
+  EXPECT_NE(doc.find("\"r_squared\": "), std::string::npos);
+  // The rendered values match the fit, not some re-derivation drift: parse
+  // the artifact back and compare exactly.
+  std::string err;
+  const perf::JsonValue parsed = perf::parse_json(doc, &err);
+  ASSERT_TRUE(parsed.is_object()) << err;
+  auto art = perf::BenchArtifact::from_json(parsed, &err);
+  ASSERT_TRUE(art.has_value()) << err;
+  ASSERT_EQ(art->curves.size(), 1u);
+  EXPECT_EQ(art->curves[0].exponent, fit.exponent);
+  EXPECT_EQ(art->curves[0].r_squared, fit.r_squared);
+  EXPECT_EQ(art->curves[0].fitted, fit.label);
+}
+
+TEST(JsonReport, BelowThreePointsFitIsNa) {
+  Curve c;
+  c.add(256, 1);
+  c.add(512, 2);
+  JsonReport report("bench_test");
+  report.add("tiny", c);
+  EXPECT_NE(report.render().find("\"fitted\": \"(n/a)\""), std::string::npos);
+}
+
+TEST(JsonReport, PhaseScopesLandInArtifact) {
+  JsonReport report("bench_test");
+  {
+    auto p = report.phase("alpha");
+  }
+  {
+    auto p = report.phase("beta");
+  }
+  {
+    auto p = report.phase("alpha");  // re-entry accumulates, keeps order
+  }
+  const perf::BenchArtifact art = report.artifact();
+  ASSERT_EQ(art.phases.size(), 2u);
+  EXPECT_EQ(art.phases[0].name, "alpha");
+  EXPECT_EQ(art.phases[1].name, "beta");
+  EXPECT_EQ(art.kind, "bench-report");
+  EXPECT_EQ(art.schema_version, perf::kArtifactSchemaVersion);
+  EXPECT_FALSE(art.env.compiler.empty());
+}
+
 TEST(JsonReport, EscapesControlCharacters) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");

@@ -1,22 +1,31 @@
 #!/usr/bin/env python3
 """Validate the artifacts a bench binary writes under --json / --metrics /
---trace / --chrome-trace.
+--trace / --chrome-trace, plus the canonical perf artifacts volcal_bench
+writes (BENCH_<family>.json, BENCH_SUMMARY.json).
 
 CI runs a small bench with all four flags and then this script; a schema
 drift in any exporter (bench JsonReport, obs SweepMetrics, trace JSONL,
-Chrome trace_event) fails the job.  Internal cross-checks go beyond JSON
-well-formedness: metrics totals must be self-consistent with the histograms,
-and every trace query line must belong to a declared sweep/exec.
+Chrome trace_event, perf BenchArtifact) fails the job.  Internal
+cross-checks go beyond JSON well-formedness: metrics totals must be
+self-consistent with the histograms, every trace query line must belong to
+a declared sweep/exec, and bench-family n-sweeps must be strictly monotone
+with finite non-negative costs.
 
 Usage:
   check_artifacts.py --json b.json --metrics m.json --trace t.jsonl \
-                     --chrome-trace c.json
-All flags optional; at least one must be given.
+                     --chrome-trace c.json \
+                     --bench-family BENCH_leaf-coloring.json \
+                     --bench-summary BENCH_SUMMARY.json
+All flags optional; at least one must be given.  --bench-family may be
+repeated once per family artifact.
 """
 
 import argparse
 import json
+import math
 import sys
+
+ARTIFACT_SCHEMA_VERSION = 1
 
 failures = []
 
@@ -32,19 +41,85 @@ def require_keys(obj, keys, where):
         check(k in obj, f"{where}: missing key '{k}'")
 
 
+def check_artifact_body(doc, where, kind, monotone_n):
+    """Shared checks for the canonical perf artifact (schema v1).
+
+    `monotone_n` enforces a strictly increasing n-sweep per curve — required
+    for bench-family artifacts (volcal_bench's doubling sweep), but not for
+    bench-report curves, whose abscissa may be a budget multiplier or a
+    tuning constant rather than n.
+    """
+    require_keys(doc, ["schema_version", "kind", "tool", "env", "curves",
+                       "phases", "alloc", "rss_high_water_kb",
+                       "total_wall_seconds"], where)
+    check(doc.get("schema_version") == ARTIFACT_SCHEMA_VERSION,
+          f"{where}: schema_version {doc.get('schema_version')} != "
+          f"{ARTIFACT_SCHEMA_VERSION}")
+    check(doc.get("kind") == kind,
+          f"{where}: kind {doc.get('kind')!r} != {kind!r}")
+    require_keys(doc.get("env", {}),
+                 ["git_sha", "compiler", "flags", "build_type", "os",
+                  "threads"], f"{where} env")
+    check(isinstance(doc.get("curves"), list) and doc["curves"],
+          f"{where}: 'curves' must be a non-empty list")
+    for curve in doc.get("curves", []):
+        cwhere = f"{where} curve {curve.get('name', '?')!r}"
+        require_keys(curve, ["name", "claim", "fitted", "exponent",
+                             "r_squared", "points"], cwhere)
+        prev_n = None
+        for pt in curve.get("points", []):
+            require_keys(pt, ["n", "cost", "wall_seconds"], f"{cwhere} point")
+            n, cost = pt.get("n", 0), pt.get("cost", -1)
+            check(n > 0, f"{cwhere}: point with n <= 0")
+            check(math.isfinite(cost) and cost >= 0,
+                  f"{cwhere}: cost must be finite and >= 0, got {cost}")
+            if monotone_n and prev_n is not None:
+                check(n > prev_n,
+                      f"{cwhere}: n-sweep not strictly monotone "
+                      f"({prev_n} then {n})")
+            prev_n = n
+    require_keys(doc.get("alloc", {}),
+                 ["instrumented", "allocs", "frees", "bytes", "peak_bytes"],
+                 f"{where} alloc")
+    for ph in doc.get("phases", []):
+        require_keys(ph, ["name", "wall_seconds"], f"{where} phase")
+
+
 def check_bench_json(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
-    require_keys(doc, ["tool", "curves"], path)
-    check(isinstance(doc.get("curves"), list) and doc["curves"],
-          f"{path}: 'curves' must be a non-empty list")
-    for curve in doc.get("curves", []):
-        require_keys(curve, ["name", "fitted", "points"], f"{path} curve")
-        for pt in curve.get("points", []):
-            require_keys(pt, ["n", "cost", "wall_seconds"], f"{path} point")
-            check(pt.get("n", 0) > 0, f"{path}: point with n <= 0")
-            check(pt.get("cost", -1) >= 0, f"{path}: point with cost < 0")
-    print(f"ok  {path}: {len(doc['curves'])} curves")
+    check_artifact_body(doc, path, kind="bench-report", monotone_n=False)
+    print(f"ok  {path}: {len(doc.get('curves', []))} curves")
+
+
+def check_bench_family(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    check_artifact_body(doc, path, kind="bench-family", monotone_n=True)
+    require_keys(doc, ["family", "title", "theta", "algorithm"], path)
+    check(bool(doc.get("family")), f"{path}: empty family name")
+    print(f"ok  {path}: family {doc.get('family', '?')!r}, "
+          f"{len(doc.get('curves', []))} curves")
+
+
+def check_bench_summary(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    require_keys(doc, ["schema_version", "kind", "tool", "env", "families",
+                       "total_wall_seconds"], path)
+    check(doc.get("schema_version") == ARTIFACT_SCHEMA_VERSION,
+          f"{path}: schema_version {doc.get('schema_version')} != "
+          f"{ARTIFACT_SCHEMA_VERSION}")
+    check(doc.get("kind") == "bench-summary",
+          f"{path}: kind {doc.get('kind')!r} != 'bench-summary'")
+    families = doc.get("families", [])
+    check(isinstance(families, list) and families,
+          f"{path}: 'families' must be a non-empty list")
+    for fam in families:
+        fwhere = f"{path} family {fam.get('family', '?')!r}"
+        check_artifact_body(fam, fwhere, kind="bench-family", monotone_n=True)
+        require_keys(fam, ["family", "title", "theta", "algorithm"], fwhere)
+    print(f"ok  {path}: {len(families)} families")
 
 
 def check_metrics_json(path):
@@ -150,8 +225,14 @@ def main():
     parser.add_argument("--trace", help="query trace JSONL")
     parser.add_argument("--chrome-trace", dest="chrome_trace",
                         help="Chrome trace_event JSON")
+    parser.add_argument("--bench-family", dest="bench_family",
+                        action="append", default=[],
+                        help="volcal_bench BENCH_<family>.json (repeatable)")
+    parser.add_argument("--bench-summary", dest="bench_summary",
+                        help="volcal_bench BENCH_SUMMARY.json")
     opts = parser.parse_args()
-    if not any([opts.json, opts.metrics, opts.trace, opts.chrome_trace]):
+    if not any([opts.json, opts.metrics, opts.trace, opts.chrome_trace,
+                opts.bench_family, opts.bench_summary]):
         parser.error("give at least one artifact to check")
     if opts.json:
         check_bench_json(opts.json)
@@ -161,6 +242,10 @@ def main():
         check_trace_jsonl(opts.trace)
     if opts.chrome_trace:
         check_chrome_trace(opts.chrome_trace)
+    for path in opts.bench_family:
+        check_bench_family(path)
+    if opts.bench_summary:
+        check_bench_summary(opts.bench_summary)
     if failures:
         for f in failures:
             print(f"FAIL {f}", file=sys.stderr)
