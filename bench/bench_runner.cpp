@@ -23,6 +23,7 @@
 #include "lcl/algorithms/leaf_coloring_algos.hpp"
 #include "lcl/algorithms/local_view.hpp"
 #include "runtime/reference_execution.hpp"
+#include "util/hash.hpp"
 
 namespace volcal::bench {
 namespace {
@@ -78,6 +79,118 @@ struct EngineRow {
   std::string engine;
   SweepCost cost;
 };
+
+// One sweep under an explicit cache policy, keeping the aggregate stats (for
+// the hit/miss counters) and the per-start outputs (for the divergence check).
+template <typename Fn>
+SweepCost sweep_policy(const Graph& g, const IdAssignment& ids,
+                       const std::vector<NodeIndex>& starts, Fn&& solve, int threads,
+                       CachePolicy policy, SweepStats* stats_out,
+                       std::vector<int>* output_out) {
+  CacheConfig cfg;
+  cfg.policy = policy;
+  WallTimer timer;
+  auto run = ParallelRunner(threads, cfg).run_at(g, ids, std::span<const NodeIndex>(starts),
+                                                 [&](Execution& exec) { return solve(exec); });
+  SweepCost cost;
+  cost.max_volume = run.stats.max_volume;
+  cost.max_distance = run.stats.max_distance;
+  cost.total_volume = run.stats.total_volume;
+  cost.seconds = timer.seconds();
+  if (stats_out != nullptr) *stats_out = run.stats;
+  if (output_out != nullptr) *output_out = std::move(run.output);
+  return cost;
+}
+
+// View-cache ablation on the serving workload the shared cache targets:
+// starts drawn from a small hot set of centers, so whole balls repeat across
+// starts.  Off rebuilds every ball; Shared builds each distinct ball once and
+// serves every repeat as a prefix install.  Outputs and cost meters must be
+// bit-identical across policies — only wall time may move.
+void run_cache_ablation(const Args& args, stats::Table& table, JsonReport& report) {
+  const auto inst = make_complete_binary_tree(15, Color::Red, Color::Blue);  // 2^16 - 1
+  if (!args.keep_n(inst.node_count())) return;
+  auto ph = report.phase("cache-ablation");
+  constexpr std::size_t kHotCenters = 256;
+  constexpr std::size_t kStarts = 32768;
+  constexpr int kRadius = 6;
+  constexpr int kRepeats = 2;
+  std::vector<NodeIndex> hot(kHotCenters);
+  for (std::size_t j = 0; j < kHotCenters; ++j) {
+    hot[j] = static_cast<NodeIndex>(mix64(0x686f74ull /* "hot" */, j) %
+                                    static_cast<std::uint64_t>(inst.node_count()));
+  }
+  std::vector<NodeIndex> starts(kStarts);
+  for (std::size_t i = 0; i < kStarts; ++i) {
+    starts[i] = hot[mix64(0x73727665ull /* "srve" */, i) % kHotCenters];
+  }
+  auto solve = [](Execution& exec) { return static_cast<int>(explore_ball(exec, kRadius).size()); };
+
+  struct AblationRow {
+    CachePolicy policy;
+    int threads;
+    SweepCost cost;
+    SweepStats stats;
+    std::vector<int> output;
+  };
+  std::vector<AblationRow> rows;
+  for (const int threads : {1, 8}) {
+    for (const CachePolicy policy :
+         {CachePolicy::Off, CachePolicy::PerStart, CachePolicy::Shared}) {
+      AblationRow row{policy, threads, {}, {}, {}};
+      row.cost = sweep_policy(inst.graph, inst.ids, starts, solve, threads, policy,
+                              &row.stats, &row.output);
+      for (int r = 1; r < kRepeats; ++r) {
+        const SweepCost again = sweep_policy(inst.graph, inst.ids, starts, solve, threads,
+                                             policy, nullptr, nullptr);
+        row.cost.seconds += again.seconds;
+        row.cost.total_volume += again.total_volume;
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  const AblationRow& base = rows.front();  // off x1
+  const double total_starts = static_cast<double>(kStarts) * kRepeats;
+  for (const AblationRow& row : rows) {
+    if (!row.cost.same_costs(base.cost) || row.output != base.output) {
+      std::fprintf(stderr,
+                   "FATAL: cache policy '%s' x%d diverged from the uncached sweep\n",
+                   cache_policy_name(row.policy), row.threads);
+      std::exit(1);
+    }
+    char starts_s[32], nodes_s[32], speedup[32];
+    std::snprintf(starts_s, sizeof starts_s, "%.0f", total_starts / row.cost.seconds);
+    std::snprintf(nodes_s, sizeof nodes_s, "%.3g",
+                  static_cast<double>(row.cost.total_volume) / row.cost.seconds);
+    std::snprintf(speedup, sizeof speedup, "%.2fx", base.cost.seconds / row.cost.seconds);
+    table.add_row({"ball(r=6)/hot", fmt_int(inst.node_count()),
+                   std::string(cache_policy_name(row.policy)) + " x" +
+                       std::to_string(row.threads),
+                   starts_s, nodes_s, speedup});
+    Curve c;
+    c.add(static_cast<double>(inst.node_count()),
+          static_cast<double>(row.cost.total_volume) / row.cost.seconds, row.cost.seconds);
+    report.add(std::string("cache-ablation / ") + cache_policy_name(row.policy) + " x" +
+                   std::to_string(row.threads),
+               c);
+  }
+  const AblationRow* off8 = nullptr;
+  const AblationRow* shared8 = nullptr;
+  for (const AblationRow& row : rows) {
+    if (row.threads == 8 && row.policy == CachePolicy::Off) off8 = &row;
+    if (row.threads == 8 && row.policy == CachePolicy::Shared) shared8 = &row;
+  }
+  const double gain = off8->cost.seconds / shared8->cost.seconds;
+  std::printf(
+      "\ncache ablation (ball(r=%d), %zu starts over %zu hot centers, n=%lld):\n"
+      "  shared x8: hits=%lld misses=%lld served_nodes=%lld\n"
+      "  shared x8 vs off x8: %.2fx (target >= 3x: %s)\n",
+      kRadius, kStarts, kHotCenters, static_cast<long long>(inst.node_count()),
+      static_cast<long long>(shared8->stats.cache.hits),
+      static_cast<long long>(shared8->stats.cache.misses),
+      static_cast<long long>(shared8->stats.cache.served_nodes), gain,
+      gain >= 3.0 ? "MET" : "MISSED");
+}
 
 template <typename FlatFn, typename MapFn>
 void run_workload(const std::string& workload, const Graph& g, const IdAssignment& ids,
@@ -165,6 +278,7 @@ void run(const Args& args) {
         },
         table, report);
   }
+  run_cache_ablation(args, table, report);
   table.print();
   std::printf(
       "\nAll engines produced identical sup-costs and total visited nodes\n"

@@ -8,7 +8,8 @@
 // measured costs — the engine's results are bit-identical at any thread count.
 //
 // Every bench main accepts the shared flag set of bench::Args (--json,
-// --trace, --chrome-trace, --metrics, --filter, --max-n, --threads, --help);
+// --trace, --chrome-trace, --metrics, --filter, --max-n, --threads, --cache,
+// --help);
 // curves print as tables and dump as JSON, and the observability flags attach
 // the obs/ layer (trace sinks + sweep metrics) to every measure() call.
 #pragma once
@@ -39,11 +40,12 @@
 
 namespace volcal::bench {
 
-// Deprecated alias, kept for one release: sweep cost scalars now live in
-// runtime/sweep_stats.hpp (SweepStats), shared with RunResult::stats.  The
-// field names are unchanged (max_volume, max_distance, starts, total_queries,
-// wall_seconds), so existing callers keep working.
-using Cost = ::volcal::SweepStats;
+// Deprecated 2026-08 (PR 5), scheduled for removal one release later: sweep
+// cost scalars live in runtime/sweep_stats.hpp (SweepStats), shared with
+// SweepResult::stats.  The field names are unchanged (max_volume,
+// max_distance, starts, total_queries, wall_seconds), so migrating is a
+// rename.  Removal timeline: DESIGN.md "API surface and deprecations".
+using Cost [[deprecated("use volcal::SweepStats")]] = ::volcal::SweepStats;
 
 class WallTimer {
  public:
@@ -87,6 +89,7 @@ struct Args {
   std::string filter;                  // --filter <substr>: registry subset
   std::int64_t max_n = 0;              // --max-n <n>: skip larger instances
   int threads = 0;                     // --threads <t>
+  const char* cache = nullptr;         // --cache off|perstart|shared
   bool help = false;
 
   bool observing() const {
@@ -106,6 +109,8 @@ struct Args {
         "  --filter <substr>      restrict registry-driven sections to matching entries\n"
         "  --max-n <n>            skip instances larger than n\n"
         "  --threads <t>          worker threads (same as VOLCAL_THREADS=t)\n"
+        "  --cache <policy>       ball-view cache: off|perstart|shared\n"
+        "                         (same as VOLCAL_CACHE=<policy>)\n"
         "  --help                 this message\n\n"
         "Problem registry (--filter matches the first column):\n",
         tool);
@@ -154,6 +159,8 @@ struct Args {
         args.max_n = std::atoll(v);
       } else if ((v = value_of(i, "--threads", 9)) != nullptr) {
         args.threads = std::atoi(v);
+      } else if ((v = value_of(i, "--cache", 7)) != nullptr) {
+        args.cache = v;
       } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
         args.help = true;
       } else {
@@ -169,6 +176,17 @@ struct Args {
     if (args.threads > 0) {
       const std::string t = std::to_string(args.threads);
       setenv("VOLCAL_THREADS", t.c_str(), /*overwrite=*/1);
+    }
+    if (args.cache != nullptr) {
+      CachePolicy parsed = CachePolicy::Off;
+      if (!CacheConfig::policy_from_name(args.cache, &parsed)) {
+        std::fprintf(stderr, "%s: unknown --cache policy '%s' (off|perstart|shared)\n",
+                     tool, args.cache);
+        std::exit(2);
+      }
+      // Exported rather than stored: every ParallelRunner the binary builds
+      // picks the policy up through CacheConfig::from_env().
+      setenv("VOLCAL_CACHE", args.cache, /*overwrite=*/1);
     }
     install(args);
     return args;
@@ -217,7 +235,7 @@ class Observer {
   }
 
   template <typename Label>
-  void note_metrics(const RunResult<Label>& run, const SweepProfile* profile,
+  void note_metrics(const SweepResult<Label>& run, const SweepProfile* profile,
                     const RandomTape* tape) {
     ++sweep_seq_;
     metrics_.observe(run, profile, tape);

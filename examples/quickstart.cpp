@@ -11,7 +11,7 @@
 #include "lcl/algorithms/leaf_coloring_algos.hpp"
 #include "lcl/algorithms/local_view.hpp"
 #include "lcl/problems/leaf_coloring.hpp"
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 
 int main(int argc, char** argv) {
   using namespace volcal;

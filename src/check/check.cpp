@@ -227,7 +227,7 @@ CheckResult check_trace_invariants(const obs::ExecutionTrace& t, std::int64_t bu
 
 // Feeds the recorded probe sequence to the historical map-based execution and
 // demands identical revelations — the third leg of the differential (flat and
-// traced executions are compared via RunResults; this pins both against the
+// traced executions are compared via SweepResults; this pins both against the
 // reference semantics).
 CheckResult check_against_reference(const Graph& g, const IdAssignment& ids,
                                     const obs::ExecutionTrace& t, std::int64_t budget,
@@ -271,6 +271,17 @@ CheckResult check_against_reference(const Graph& g, const IdAssignment& ids,
                          t.start));
   }
   return {};
+}
+
+// The case's start set: whole graph when start_count == 0, else the sampled
+// subset (validated separately by check_case's sampler checks).
+std::vector<NodeIndex> case_starts(const FuzzCase& c, NodeIndex n) {
+  if (c.start_count == 0) {
+    std::vector<NodeIndex> starts(static_cast<std::size_t>(n));
+    for (NodeIndex v = 0; v < n; ++v) starts[static_cast<std::size_t>(v)] = v;
+    return starts;
+  }
+  return bench::sampled_starts(n, c.start_count);
 }
 
 }  // namespace
@@ -319,12 +330,8 @@ CheckResult check_case(const FuzzCase& c) {
       return r;
     }
   }
-  std::vector<NodeIndex> starts;
-  if (c.start_count == 0) {
-    starts.resize(static_cast<std::size_t>(n));
-    for (NodeIndex v = 0; v < n; ++v) starts[static_cast<std::size_t>(v)] = v;
-  } else {
-    starts = bench::sampled_starts(n, c.start_count);
+  std::vector<NodeIndex> starts = case_starts(c, n);
+  if (c.start_count != 0) {
     if (CheckResult r = check_sampled_starts(n, c.start_count, starts); !r) return r;
   }
 
@@ -371,7 +378,7 @@ CheckResult check_case(const FuzzCase& c) {
     const obs::ExecutionTrace& t = recorder.traces()[i];
     if (t.start != starts[i]) return fail(at_start("trace: wrong start slot", i, starts[i]));
     if (t.final_volume != vol || t.final_distance != dist || t.query_count != q) {
-      return fail(at_start("trace: recorded finals differ from RunResult", i, starts[i]));
+      return fail(at_start("trace: recorded finals differ from SweepResult", i, starts[i]));
     }
     if (CheckResult r = check_trace_invariants(t, c.budget, i); !r) return r;
     if (t.truncated) ++truncated_traces;
@@ -402,6 +409,65 @@ CheckResult check_case(const FuzzCase& c) {
   if (CheckResult r = check_summarize(serial.volume); !r) return r;
   if (CheckResult r = check_summarize(serial.distance); !r) return r;
 
+  return {};
+}
+
+CheckResult check_cache_case(const FuzzCase& c) {
+  const RegistryEntry* entry = ProblemRegistry::global().find(c.family);
+  if (entry == nullptr) return fail("unknown registry family: " + c.family);
+  if (c.variant < 0 || c.variant >= entry->variants) {
+    return fail("variant " + std::to_string(c.variant) + " out of range for " + c.family);
+  }
+  const ErasedInstance inst = entry->make_variant(c.n_target, c.instance_seed, c.variant);
+  const NodeIndex n = inst.node_count();
+  if (n <= 0) return fail("generator produced an empty instance");
+  const std::vector<NodeIndex> starts = case_starts(c, n);
+  const std::span<const NodeIndex> span(starts);
+
+  RandomTape tape(inst.ids(), c.tape_seed, c.model);
+  auto solve = [&](auto& exec) { return inst.solve(exec); };
+  auto config = [](CachePolicy p) {
+    CacheConfig cfg;
+    cfg.policy = p;
+    return cfg;
+  };
+  const auto baseline = ParallelRunner(1, config(CachePolicy::Off))
+                            .run_at(inst.graph(), inst.ids(), span, solve, c.budget, &tape);
+  for (const CachePolicy policy : {CachePolicy::PerStart, CachePolicy::Shared}) {
+    for (const int threads : {1, 8}) {
+      const auto run = ParallelRunner(threads, config(policy))
+                           .run_at(inst.graph(), inst.ids(), span, solve, c.budget, &tape);
+      const std::string where = std::string(cache_policy_name(policy)) + " at " +
+                                std::to_string(threads) + " thread(s)";
+      if (baseline.output != run.output) return fail("cache: outputs diverge under " + where);
+      if (baseline.volume != run.volume || baseline.distance != run.distance ||
+          baseline.queries != run.queries) {
+        return fail("cache: per-start costs diverge under " + where);
+      }
+      if (!same_costs(baseline.stats, run.stats)) {
+        return fail("cache: aggregate costs diverge under " + where);
+      }
+      if (run.stats.cache.policy != policy) {
+        return fail("cache: sweep stats tagged with the wrong policy under " + where);
+      }
+    }
+  }
+
+  // Recording executions must take the direct path: identical results with
+  // every cache counter untouched.
+  obs::TraceRecorder recorder;
+  const auto traced =
+      obs::run_at_traced(ParallelRunner(2, config(CachePolicy::Shared)), inst.graph(),
+                         inst.ids(), span, solve, recorder, c.budget, &tape);
+  if (baseline.output != traced.output || baseline.volume != traced.volume ||
+      baseline.distance != traced.distance || baseline.queries != traced.queries ||
+      !same_costs(baseline.stats, traced.stats)) {
+    return fail("cache: traced sweep diverges from the uncached flat sweep");
+  }
+  if (traced.stats.cache.hits != 0 || traced.stats.cache.misses != 0 ||
+      traced.stats.cache.served_nodes != 0) {
+    return fail("cache: traced sweep touched the view cache (recording must bypass it)");
+  }
   return {};
 }
 

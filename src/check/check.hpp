@@ -12,7 +12,7 @@
 //     query count and truncation point (the reference runs the recorded
 //     probe sequence, so all three see identical query streams);
 //   * engine determinism — a serial sweep and an 8-thread sweep of the same
-//     start set produce identical RunResults;
+//     start set produce identical SweepResults;
 //   * model invariants — per start, distance + 1 <= volume <= queries + 1;
 //     the traced running volume is monotone; truncation happens exactly at
 //     the budget (volume == budget at the throw, never beyond it);
@@ -65,6 +65,13 @@ struct CheckResult {
 // Runs every check above on one case.  Throws nothing: malformed cases
 // (unknown family, out-of-range variant) come back as failures.
 CheckResult check_case(const FuzzCase& c);
+
+// Cache-policy differential (runtime/view_cache.hpp): the same sweep under
+// CachePolicy Off, PerStart and Shared, at 1 and 8 threads, must be
+// bit-identical in outputs and per-start/aggregate costs, and a traced sweep
+// on a cache-enabled runner must bypass the cache entirely (zero counters,
+// identical results).  Run by the driver when --cache is set.
+CheckResult check_cache_case(const FuzzCase& c);
 
 // Model <-> name, shared by the reproducer format and the driver's output.
 const char* model_name(RandomnessModel m);

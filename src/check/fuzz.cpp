@@ -144,6 +144,14 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     report.failures.push_back(std::move(f));
     return report;
   }
+  // With --cache every case additionally runs the cache-policy differential;
+  // shrinking uses the same combined predicate so minimized cases still fail
+  // for the reported reason.
+  const auto predicate = [&opts](const FuzzCase& candidate) -> CheckResult {
+    CheckResult r = check_case(candidate);
+    if (!r.ok || !opts.cache) return r;
+    return check_cache_case(candidate);
+  };
   for (int iter = 0; iter < opts.iters; ++iter) {
     const RegistryEntry& entry =
         *families[static_cast<std::size_t>(iter) % families.size()];
@@ -152,7 +160,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     if (opts.log_cases) {
       std::fprintf(stderr, "[fuzz %4d] %s\n", iter, describe(c).c_str());
     }
-    const CheckResult result = check_case(c);
+    const CheckResult result = predicate(c);
     ++report.iters_run;
     if (result.ok) continue;
 
@@ -160,8 +168,8 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
                  result.error.c_str(), describe(c).c_str());
     FuzzFailure failure;
     failure.original = c;
-    failure.minimized = shrink_case(c, check_case);
-    const CheckResult minimized = check_case(failure.minimized);
+    failure.minimized = shrink_case(c, predicate);
+    const CheckResult minimized = predicate(failure.minimized);
     // Shrinking preserves failure by construction; keep the sharper message.
     failure.error = minimized.ok ? result.error : minimized.error;
     std::fprintf(stderr, "            minimized: %s\n", describe(failure.minimized).c_str());

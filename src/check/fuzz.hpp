@@ -34,6 +34,7 @@ struct FuzzOptions {
   NodeIndex max_n = 600;      // upper bound for generated n_target
   std::string out_dir;        // reproducer directory; empty = none written
   bool log_cases = false;     // print every case before checking it
+  bool cache = false;         // also run check_cache_case on every case
 };
 
 // The deterministic case for iteration `iter` of run `seed`.  `family_index`

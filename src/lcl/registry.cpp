@@ -12,6 +12,7 @@
 #include "lcl/algorithms/leaf_coloring_algos.hpp"
 #include "lcl/algorithms/local_view.hpp"
 #include "lcl/problems/balanced_tree.hpp"
+#include "lcl/problems/ball_census.hpp"
 #include "lcl/problems/hh_thc.hpp"
 #include "lcl/problems/hierarchical_thc.hpp"
 #include "lcl/problems/hybrid_thc.hpp"
@@ -202,6 +203,43 @@ ProblemRegistry::ProblemRegistry() {
           std::move(built), [](const auto&) { return BalancedTreeProblem{}; });
       return erase(std::move(held), [](auto& src) { return balancedtree_solve(src); },
                    encode_bt, decode_bt);
+    };
+    add(std::move(e));
+  }
+
+  {
+    RegistryEntry e;
+    e.name = "ball-4";
+    e.title = "BallCensus(4) (query-model pin)";
+    e.theta = "R-DIST = D-DIST Th(1), R-VOL = D-VOL Th(1)";
+    e.algorithm = "bare explore_ball(v, 4); verifier recomputes N_v(4) offline";
+    e.variants = 4;  // same instance shapes as leaf-coloring
+    e.make_variant = [](NodeIndex n_target, std::uint64_t seed, int variant) {
+      auto built = [&]() -> LeafColoringInstance {
+        switch (variant) {
+          case 1:
+            return make_random_full_binary_tree(std::max<NodeIndex>(n_target, 3), seed);
+          case 2:
+            return make_caterpillar(std::max<NodeIndex>(n_target / 2, 2), seed);
+          case 3:
+            return make_cycle_pseudotree(
+                static_cast<int>(std::max<NodeIndex>(n_target / 16, 3)), 3, seed);
+          default:
+            return make_complete_binary_tree(tree_depth_for(n_target), Color::Red,
+                                             Color::Blue);
+        }
+      }();
+      auto held = std::make_shared<Held<ColoredTreeLabeling, BallCensusProblem>>(
+          std::move(built), [](const auto&) { return BallCensusProblem(4); });
+      // Output is the ball size itself.  Identity encoding: counts are
+      // family-local (enc/dec pairs never cross entries), so the packed bit
+      // layout above does not apply.
+      return erase(
+          std::move(held),
+          [](auto& src) {
+            return static_cast<int>(explore_ball(src.execution(), 4).size());
+          },
+          [](int size) { return size; }, [](int e) { return e; });
     };
     add(std::move(e));
   }

@@ -46,6 +46,7 @@ void SweepMetrics::merge(const SweepMetrics& other) {
   stats.total_volume += other.stats.total_volume;
   stats.truncated += other.stats.truncated;
   stats.wall_seconds += other.stats.wall_seconds;
+  stats.cache += other.stats.cache;
   volume_hist.merge(other.volume_hist);
   distance_hist.merge(other.distance_hist);
   queries_hist.merge(other.queries_hist);
@@ -119,10 +120,17 @@ std::string SweepMetrics::to_json(const std::string& tool) const {
                   i ? ", " : "", p.name.c_str(), p.wall_seconds);
     out += buf;
   }
+  std::snprintf(buf, sizeof buf,
+                "], \"cache\": {\"policy\": \"%s\", \"hits\": %" PRId64
+                ", \"misses\": %" PRId64 ", \"evictions\": %" PRId64
+                ", \"served_nodes\": %" PRId64 ", \"inserted_bytes\": %" PRId64 "}",
+                cache_policy_name(stats.cache.policy), stats.cache.hits, stats.cache.misses,
+                stats.cache.evictions, stats.cache.served_nodes, stats.cache.inserted_bytes);
+  out += buf;
   // Process-global probe samples, taken at serialization time.
   const perf::AllocStats alloc = perf::alloc_snapshot();
   std::snprintf(buf, sizeof buf,
-                "], \"alloc\": {\"instrumented\": %s, \"allocs\": %" PRIu64
+                ", \"alloc\": {\"instrumented\": %s, \"allocs\": %" PRIu64
                 ", \"frees\": %" PRIu64 ", \"bytes\": %" PRIu64 ", \"peak_bytes\": %" PRIu64
                 "}, \"rss_high_water_kb\": %" PRId64 "}\n",
                 perf::alloc_hook_active() ? "true" : "false", alloc.allocs, alloc.frees,

@@ -6,8 +6,8 @@
 // tape-bit high-water mark, and (when a SweepProfile was attached) wall time
 // per start and per-worker busy time.
 //
-// Determinism: every field except the wall-time ones is derived from the
-// RunResult's per-start slot vectors, which the engine guarantees are
+// Determinism: every field except the wall-time and view-cache ones is
+// derived from the SweepResult's per-start slot vectors, which the engine guarantees are
 // bit-identical at any thread count — so metrics aggregated over a parallel
 // sweep equal the serial ones by construction (the same argument as the
 // runner's sup-cost merge).  tests/obs_test.cpp asserts totals equal the
@@ -67,7 +67,7 @@ struct SweepMetrics {
   // Folds one sweep in.  Per-start histograms come from the slot vectors;
   // totals from result.stats.
   template <typename Label>
-  void observe(const RunResult<Label>& result, const SweepProfile* profile = nullptr,
+  void observe(const SweepResult<Label>& result, const SweepProfile* profile = nullptr,
                const RandomTape* tape = nullptr) {
     ++sweeps;
     stats.starts += result.stats.starts;
@@ -77,6 +77,7 @@ struct SweepMetrics {
     stats.total_volume += result.stats.total_volume;
     stats.truncated += result.stats.truncated;
     stats.wall_seconds += result.stats.wall_seconds;
+    stats.cache += result.stats.cache;
     for (std::size_t i = 0; i < result.volume.size(); ++i) {
       volume_hist.add(result.volume[i]);
       distance_hist.add(result.distance[i]);

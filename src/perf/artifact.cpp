@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "runtime/view_cache.hpp"
+
 namespace volcal::perf {
 
 std::string json_escape(const std::string& s) {
@@ -111,7 +113,14 @@ void append_body(std::string& out, const BenchArtifact& a) {
     out += buf;
   }
   std::snprintf(buf, sizeof buf,
-                "], \"alloc\": {\"instrumented\": %s, \"allocs\": %" PRIu64
+                "], \"cache\": {\"policy\": \"%s\", \"hits\": %" PRId64
+                ", \"misses\": %" PRId64 ", \"evictions\": %" PRId64
+                ", \"served_nodes\": %" PRId64 ", \"inserted_bytes\": %" PRId64 "}",
+                cache_policy_name(a.cache.policy), a.cache.hits, a.cache.misses,
+                a.cache.evictions, a.cache.served_nodes, a.cache.inserted_bytes);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                ", \"alloc\": {\"instrumented\": %s, \"allocs\": %" PRIu64
                 ", \"frees\": %" PRIu64 ", \"bytes\": %" PRIu64 ", \"peak_bytes\": %" PRIu64
                 "}, \"rss_high_water_kb\": %" PRId64 ", \"total_wall_seconds\": %.6g",
                 a.alloc_instrumented ? "true" : "false", a.alloc.allocs, a.alloc.frees,
@@ -165,7 +174,8 @@ std::optional<BenchArtifact> BenchArtifact::from_json(const JsonValue& doc,
   if (!doc.has("schema_version")) return fail("missing schema_version");
   BenchArtifact a;
   a.schema_version = static_cast<int>(doc.int_at("schema_version"));
-  if (a.schema_version != kArtifactSchemaVersion) {
+  if (a.schema_version < kMinArtifactSchemaVersion ||
+      a.schema_version > kArtifactSchemaVersion) {
     return fail("unsupported schema_version " + std::to_string(a.schema_version));
   }
   a.kind = doc.string_at("kind");
@@ -201,6 +211,17 @@ std::optional<BenchArtifact> BenchArtifact::from_json(const JsonValue& doc,
     for (const JsonValue& pv : phases->items()) {
       a.phases.push_back({pv.string_at("name"), pv.number_at("wall_seconds")});
     }
+  }
+  // Absent in v1 artifacts: the defaults (zeros, policy Off) are correct.
+  if (const JsonValue* cache = doc.find("cache")) {
+    CachePolicy policy = CachePolicy::Off;
+    CacheConfig::policy_from_name(cache->string_at("policy").c_str(), &policy);
+    a.cache.policy = policy;
+    a.cache.hits = cache->int_at("hits");
+    a.cache.misses = cache->int_at("misses");
+    a.cache.evictions = cache->int_at("evictions");
+    a.cache.served_nodes = cache->int_at("served_nodes");
+    a.cache.inserted_bytes = cache->int_at("inserted_bytes");
   }
   if (const JsonValue* alloc = doc.find("alloc")) {
     a.alloc_instrumented = alloc->find("instrumented") != nullptr &&
@@ -263,7 +284,8 @@ std::optional<BenchSummary> BenchSummary::load(const std::string& path, std::str
   if (doc.string_at("kind") != "bench-summary") return fail("not a bench-summary artifact");
   BenchSummary s;
   s.schema_version = static_cast<int>(doc.int_at("schema_version"));
-  if (s.schema_version != kArtifactSchemaVersion) {
+  if (s.schema_version < kMinArtifactSchemaVersion ||
+      s.schema_version > kArtifactSchemaVersion) {
     return fail("unsupported schema_version " + std::to_string(s.schema_version));
   }
   s.tool = doc.string_at("tool");

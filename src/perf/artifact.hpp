@@ -4,10 +4,10 @@
 // BENCH_SUMMARY.json), and consumed by tools/volcal_bench_diff and the CI
 // perf gate.
 //
-// Schema v1, one JSON object per artifact:
+// Schema v2, one JSON object per artifact:
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "kind": "bench-report" | "bench-family" | "bench-summary",
 //     "tool": "...",                      // emitting binary
 //     "family": "...", "title": "...",    // bench-family only: registry
@@ -16,17 +16,24 @@
 //     "curves": [{"name", "claim", "fitted", "exponent", "r_squared",
 //                 "points": [{"n", "cost", "wall_seconds"}, ...]}, ...],
 //     "phases": [{"name", "wall_seconds"}, ...],
+//     "cache": {"policy", "hits", "misses", "evictions",   // v2: view-cache
+//               "served_nodes", "inserted_bytes"},         //   counters
 //     "alloc": {"instrumented", "allocs", "frees", "bytes", "peak_bytes"},
 //     "rss_high_water_kb": N,
 //     "total_wall_seconds": S,
 //     "families": [...]                   // bench-summary only: embedded
 //   }                                     //   bench-family artifacts
 //
+// v1 artifacts (no "cache" block) still load — the reader defaults the
+// counters to zero with policy "off", which is exactly what a v1-era run
+// measured.
+//
 // Determinism contract: "n", "cost", "fitted", "exponent", "r_squared" and
 // the curve/point ordering are pure functions of the code (the sweep engine
 // is bit-identical at any thread count), so the diff tool treats any drift
 // in them as a hard regression.  Everything else — wall times, env, alloc,
-// RSS — is measurement, compared with tolerance or reported only.
+// RSS, cache counters — is measurement, compared with tolerance or reported
+// only.
 #pragma once
 
 #include <cstdint>
@@ -36,11 +43,14 @@
 
 #include "perf/json.hpp"
 #include "perf/probe.hpp"
+#include "runtime/sweep_stats.hpp"
 #include "stats/growth.hpp"
 
 namespace volcal::perf {
 
-inline constexpr int kArtifactSchemaVersion = 1;
+inline constexpr int kArtifactSchemaVersion = 2;
+// Oldest artifact version the readers still accept (v1 = pre-view-cache).
+inline constexpr int kMinArtifactSchemaVersion = 1;
 
 struct CurvePoint {
   double n = 0.0;
@@ -84,6 +94,9 @@ struct BenchArtifact {
   EnvFingerprint env;
   std::vector<ArtifactCurve> curves;
   std::vector<PhaseTimer::Phase> phases;
+  // View-cache counters accumulated over the tool's measured sweeps (schema
+  // v2; zeros with policy Off for v1 artifacts and cache-less runs).
+  CacheStats cache;
   AllocStats alloc;
   bool alloc_instrumented = false;
   std::int64_t rss_high_water_kb = 0;

@@ -108,10 +108,14 @@ void diff_artifact(const BenchArtifact& base, const BenchArtifact& cand,
                    const DiffOptions& opt, DiffResult& out) {
   using Sev = DiffFinding::Severity;
   const std::string key = artifact_key(base);
+  // The reader normalizes every supported version into one struct (v1
+  // artifacts read as v2 with zero cache counters), so a version change is
+  // informational — the deterministic fields below are still compared 1:1.
   if (base.schema_version != cand.schema_version) {
-    add(out, Sev::Hard, key,
-        fmt("schema_version changed %d -> %d", base.schema_version, cand.schema_version));
-    return;
+    add(out, Sev::Note, key,
+        fmt("schema_version changed %d -> %d (cross-version diff; cache counters "
+            "default to zero on the older side)",
+            base.schema_version, cand.schema_version));
   }
   if (base.env.compiler != cand.env.compiler || base.env.build_type != cand.env.build_type) {
     add(out, Sev::Note, key,
@@ -122,6 +126,24 @@ void diff_artifact(const BenchArtifact& base, const BenchArtifact& cand,
     add(out, Sev::Note, key,
         fmt("env differs: %d threads vs %d (cost curves are thread-count invariant)",
             base.env.threads, cand.env.threads));
+  }
+  // View-cache counters are wall-time bookkeeping (scheduling-dependent under
+  // parallel sweeps), never gated — but a policy change explains wall-time
+  // movement, so say so.
+  if (base.cache.policy != cand.cache.policy) {
+    add(out, Sev::Note, key,
+        fmt("cache policy changed '%s' -> '%s' (wall times not comparable 1:1)",
+            cache_policy_name(base.cache.policy), cache_policy_name(cand.cache.policy)));
+  } else if (base.cache.hits != cand.cache.hits || base.cache.misses != cand.cache.misses ||
+             base.cache.evictions != cand.cache.evictions) {
+    add(out, Sev::Note, key,
+        fmt("cache counters moved: hits %lld -> %lld, misses %lld -> %lld, "
+            "evictions %lld -> %lld",
+            static_cast<long long>(base.cache.hits), static_cast<long long>(cand.cache.hits),
+            static_cast<long long>(base.cache.misses),
+            static_cast<long long>(cand.cache.misses),
+            static_cast<long long>(base.cache.evictions),
+            static_cast<long long>(cand.cache.evictions)));
   }
   // Deterministic fields: curves matched by name, both directions.
   for (const ArtifactCurve& bc : base.curves) {

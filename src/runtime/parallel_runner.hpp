@@ -43,8 +43,10 @@
 // construct their per-run state inside the call.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -56,17 +58,24 @@
 #include "runtime/execution.hpp"
 #include "runtime/randomness.hpp"
 #include "runtime/sweep_stats.hpp"
+#include "runtime/view_cache.hpp"
 
 namespace volcal {
 
 template <typename Label>
-struct RunResult {
+struct SweepResult {
   std::vector<Label> output;
   std::vector<std::int64_t> volume;    // per start node
   std::vector<std::int64_t> distance;  // per start node
   std::vector<std::int64_t> queries;   // per start node
   SweepStats stats;                    // sup-costs + totals over the sweep
 };
+
+// Deprecated 2026-08 (PR 5), scheduled for removal one release later — the
+// engine's result was renamed to SweepResult to match SweepStats/SweepProfile.
+// Removal timeline: DESIGN.md "API surface and deprecations".
+template <typename Label>
+using RunResult [[deprecated("use volcal::SweepResult<Label>")]] = SweepResult<Label>;
 
 // Per-start wall-clock timing and worker assignment, filled by the engine
 // when attached to a sweep.  Feeds the Chrome trace_event exporter and the
@@ -97,11 +106,25 @@ void run_on_workers(int workers, const std::function<void(int)>& body);
 
 class ParallelRunner {
  public:
-  // threads == 0: use VOLCAL_THREADS if set, else 1.
+  // threads == 0: use VOLCAL_THREADS if set, else 1.  The cache policy for
+  // the runner's sweeps defaults to the environment (VOLCAL_CACHE /
+  // VOLCAL_CACHE_MB — off unless set), so `--cache shared` reaches every
+  // runner a bench builds; pass a CacheConfig to pin it programmatically.
   explicit ParallelRunner(int threads = 0)
-      : threads_(detail::resolve_thread_count(threads)) {}
+      : ParallelRunner(threads, CacheConfig::from_env()) {}
+
+  ParallelRunner(int threads, CacheConfig cache)
+      : threads_(detail::resolve_thread_count(threads)), cache_config_(cache) {}
 
   int threads() const { return threads_; }
+  const CacheConfig& cache_config() const { return cache_config_; }
+
+  // Routes Shared-policy sweeps through a caller-owned ViewCache instead of
+  // a sweep-scoped one, so warm entries persist across sweeps on the same
+  // graph (the serving regime of the bench_runner cache ablation).  The
+  // caller keeps the cache alive for the runner's lifetime and re-binds (or
+  // invalidates) it when switching graphs.
+  void attach_cache(ViewCache* cache) { external_cache_ = cache; }
 
   // The engine core.  `make_exec(i, scratch)` builds the execution for start
   // slot i on the worker's scratch; the default factory (run_at below) makes
@@ -116,7 +139,7 @@ class ParallelRunner {
     using Exec = std::invoke_result_t<MakeExec&, std::int64_t, ExecutionScratch&>;
     using Label = std::decay_t<std::invoke_result_t<Solver&, Exec&>>;
     const auto sweep_begin = std::chrono::steady_clock::now();
-    RunResult<Label> result;
+    SweepResult<Label> result;
     const std::int64_t count = static_cast<std::int64_t>(starts.size());
     result.volume.resize(static_cast<std::size_t>(count));
     result.distance.resize(static_cast<std::size_t>(count));
@@ -134,10 +157,29 @@ class ParallelRunner {
     std::atomic<std::int64_t> next{0};
     std::vector<std::int64_t> truncated(static_cast<std::size_t>(workers), 0);
 
+    // View-cache scope per policy: Shared = one cache for the whole sweep
+    // (the attached persistent one when present, else sweep-scoped);
+    // PerStart = one cache per worker, invalidated before every start.
+    // Execution factories whose type has no attach_view_cache (the test-only
+    // map reference) simply run uncached.
+    ViewCache* shared_cache = external_cache_;
+    std::optional<ViewCache> sweep_cache;
+    if (shared_cache == nullptr && cache_config_.policy == CachePolicy::Shared) {
+      sweep_cache.emplace(cache_config_);
+      shared_cache = &*sweep_cache;
+    }
+    const CacheStats cache_before =
+        shared_cache != nullptr ? shared_cache->stats() : CacheStats{};
+    std::vector<CacheStats> worker_cache(static_cast<std::size_t>(workers));
+
     detail::run_on_workers(workers, [&](const int worker) {
       ExecutionScratch scratch(node_capacity);
       std::optional<RandomTape::ScopedUsage> usage;
       if (tape != nullptr) usage.emplace(*tape);
+      std::optional<ViewCache> per_start_cache;
+      if (shared_cache == nullptr && cache_config_.policy == CachePolicy::PerStart) {
+        per_start_cache.emplace(cache_config_);
+      }
       std::int64_t local_truncated = 0;
       for (std::int64_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
            begin < count; begin = next.fetch_add(chunk, std::memory_order_relaxed)) {
@@ -146,6 +188,14 @@ class ParallelRunner {
           const auto exec_begin = profile ? std::chrono::steady_clock::now() : sweep_begin;
           {
             Exec exec = make_exec(i, scratch);
+            if constexpr (requires { exec.attach_view_cache(nullptr); }) {
+              if (per_start_cache.has_value()) {
+                per_start_cache->invalidate();  // cache scope = this start only
+                exec.attach_view_cache(&*per_start_cache);
+              } else if (shared_cache != nullptr) {
+                exec.attach_view_cache(shared_cache);
+              }
+            }
             try {
               output[static_cast<std::size_t>(i)] = static_cast<OutputSlot>(solver(exec));
             } catch (const QueryBudgetExceeded&) {
@@ -170,6 +220,9 @@ class ParallelRunner {
         }
       }
       truncated[static_cast<std::size_t>(worker)] = local_truncated;
+      if (per_start_cache.has_value()) {
+        worker_cache[static_cast<std::size_t>(worker)] = per_start_cache->stats();
+      }
     });
 
     if constexpr (std::is_same_v<Label, bool>) {
@@ -188,6 +241,17 @@ class ParallelRunner {
           std::max(result.stats.max_distance, result.distance[static_cast<std::size_t>(i)]);
       result.stats.total_volume += result.volume[static_cast<std::size_t>(i)];
       result.stats.total_queries += result.queries[static_cast<std::size_t>(i)];
+    }
+    if (shared_cache != nullptr) {
+      result.stats.cache = shared_cache->stats() - cache_before;
+      result.stats.cache.policy = cache_config_.policy == CachePolicy::Off
+                                      ? CachePolicy::Shared  // attached external cache
+                                      : cache_config_.policy;
+    } else {
+      for (int w = 0; w < workers; ++w) {
+        result.stats.cache += worker_cache[static_cast<std::size_t>(w)];
+      }
+      result.stats.cache.policy = cache_config_.policy;
     }
     result.stats.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_begin).count();
@@ -221,6 +285,41 @@ class ParallelRunner {
 
  private:
   int threads_;
+  CacheConfig cache_config_;
+  ViewCache* external_cache_ = nullptr;
 };
+
+// Whole-graph convenience wrapper over the sweep engine: serial (and
+// allocation-free — one scratch reused across all starts) by default,
+// parallel when VOLCAL_THREADS is set.  `tape` is optional: pass the
+// solver's RandomTape to route its bit-usage accounting through
+// worker-local ledgers (lock-free in parallel sweeps).
+template <typename Solver>
+auto run_at_all_nodes(const Graph& g, const IdAssignment& ids, Solver&& solver,
+                      std::int64_t budget = 0, RandomTape* tape = nullptr) {
+  return ParallelRunner().run_at_all_nodes(g, ids, std::forward<Solver>(solver), budget,
+                                           tape);
+}
+
+// Lemma 2.5 sanity check on a completed run:
+// DIST <= VOL and VOL <= Δ^DIST + 1 (the latter evaluated with overflow
+// guard).  Returns true iff both inequalities hold for every node.
+template <typename Label>
+bool satisfies_lemma_2_5(const Graph& g, const SweepResult<Label>& r) {
+  const double delta = std::max(2, g.max_degree());
+  for (std::size_t i = 0; i < r.volume.size(); ++i) {
+    // DIST <= VOL: a connected visited set of m nodes spans distance <= m.
+    if (r.distance[i] > r.volume[i]) return false;
+    // VOL <= Δ^DIST + 1 (paper's ball bound); guard the power vs. overflow —
+    // when Δ^DIST would exceed 2^62 the inequality is vacuously true.
+    const double bound_log = static_cast<double>(r.distance[i]) * std::log2(delta);
+    if (bound_log < 62.0) {
+      const auto bound =
+          static_cast<std::int64_t>(std::pow(delta, static_cast<double>(r.distance[i]))) + 1;
+      if (r.volume[i] > bound) return false;
+    }
+  }
+  return true;
+}
 
 }  // namespace volcal

@@ -1,56 +1,11 @@
-// Whole-graph execution driver.  A "solver" is a callable
-// Label(Execution&) producing the initiating node's output; the runner
-// executes it once per node (each with a fresh Execution, as the model is
-// stateless across nodes) and aggregates the costs of Definitions 2.1-2.2:
-//
-//   DIST_n(A) = sup over start nodes of the distance cost,
-//   VOL_n(A)  = sup over start nodes of the volume cost.
-//
-// run_at_all_nodes is a thin wrapper over the sweep engine in
-// runtime/parallel_runner.hpp: serial (and allocation-free — one scratch
-// reused across all starts) by default, parallel when VOLCAL_THREADS is set.
-// Output is bit-identical either way; see parallel_runner.hpp.
+// Transitional shim — the whole-graph driver moved into
+// runtime/parallel_runner.hpp (free run_at_all_nodes + satisfies_lemma_2_5
+// now live beside the engine), and the public include is volcal/runtime.hpp.
+// This header forwards there and will be removed one release after the
+// volcal/ umbrella landed; see DESIGN.md "API surface and deprecations".
 #pragma once
 
-#include <algorithm>
-#include <cmath>
-#include <cstdint>
-#include <utility>
-#include <vector>
+#pragma message( \
+    "runtime/runner.hpp is deprecated: include \"volcal/runtime.hpp\" instead")
 
-#include "runtime/execution.hpp"
 #include "runtime/parallel_runner.hpp"
-
-namespace volcal {
-
-// `tape` is optional: pass the solver's RandomTape to route its bit-usage
-// accounting through worker-local ledgers (lock-free in parallel sweeps).
-template <typename Solver>
-auto run_at_all_nodes(const Graph& g, const IdAssignment& ids, Solver&& solver,
-                      std::int64_t budget = 0, RandomTape* tape = nullptr) {
-  return ParallelRunner().run_at_all_nodes(g, ids, std::forward<Solver>(solver), budget,
-                                           tape);
-}
-
-// Lemma 2.5 sanity check on a completed run:
-// DIST <= VOL and VOL <= Δ^DIST + 1 (the latter evaluated with overflow
-// guard).  Returns true iff both inequalities hold for every node.
-template <typename Label>
-bool satisfies_lemma_2_5(const Graph& g, const RunResult<Label>& r) {
-  const double delta = std::max(2, g.max_degree());
-  for (std::size_t i = 0; i < r.volume.size(); ++i) {
-    // DIST <= VOL: a connected visited set of m nodes spans distance <= m.
-    if (r.distance[i] > r.volume[i]) return false;
-    // VOL <= Δ^DIST + 1 (paper's ball bound); guard the power vs. overflow —
-    // when Δ^DIST would exceed 2^62 the inequality is vacuously true.
-    const double bound_log = static_cast<double>(r.distance[i]) * std::log2(delta);
-    if (bound_log < 62.0) {
-      const auto bound =
-          static_cast<std::int64_t>(std::pow(delta, static_cast<double>(r.distance[i]))) + 1;
-      if (r.volume[i] > bound) return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace volcal

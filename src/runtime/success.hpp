@@ -10,7 +10,7 @@
 
 #include "lcl/lcl.hpp"
 #include "runtime/randomness.hpp"
-#include "runtime/runner.hpp"
+#include "runtime/parallel_runner.hpp"
 #include "util/hash.hpp"
 
 namespace volcal {

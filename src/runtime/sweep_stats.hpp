@@ -18,6 +18,59 @@
 
 namespace volcal {
 
+// Ball-view memoization policy for a sweep (runtime/view_cache.hpp).
+//   Off      — every explore_ball performs its queries directly (default);
+//   PerStart — a cache scoped to one start node: exercises the insert/serve
+//              machinery without any sharing (the bisection rung between Off
+//              and Shared);
+//   Shared   — one cache shared by all starts (and workers) of the sweep:
+//              repeated centers are served from memory.
+// The policy never changes any deterministic output: served balls replay the
+// exact query outcome the direct path would produce, and the cost meters
+// (volume / distance / query count, Defs. 2.1-2.2) advance identically.
+enum class CachePolicy { Off, PerStart, Shared };
+
+constexpr const char* cache_policy_name(CachePolicy p) {
+  switch (p) {
+    case CachePolicy::PerStart: return "perstart";
+    case CachePolicy::Shared: return "shared";
+    default: return "off";
+  }
+}
+
+// View-cache counters for one sweep.  All of these describe wall-time
+// amortization only — they are excluded from same_costs below because
+// hit/eviction interleaving under parallel sweeps is scheduling-dependent
+// (the *outputs* stay bit-identical; only these bookkeeping counters vary).
+struct CacheStats {
+  CachePolicy policy = CachePolicy::Off;
+  std::int64_t hits = 0;            // lookups served (fully or by prefix)
+  std::int64_t misses = 0;          // lookups that built the ball directly
+  std::int64_t evictions = 0;       // entries dropped to honor the byte budget
+  std::int64_t served_nodes = 0;    // visited-set entries installed from cache
+  std::int64_t inserted_bytes = 0;  // bytes of entries stored or upgraded
+
+  CacheStats& operator+=(const CacheStats& o) {
+    if (o.policy != CachePolicy::Off) policy = o.policy;
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    served_nodes += o.served_nodes;
+    inserted_bytes += o.inserted_bytes;
+    return *this;
+  }
+
+  // Counter delta (for persistent caches observed across several sweeps).
+  friend CacheStats operator-(CacheStats a, const CacheStats& b) {
+    a.hits -= b.hits;
+    a.misses -= b.misses;
+    a.evictions -= b.evictions;
+    a.served_nodes -= b.served_nodes;
+    a.inserted_bytes -= b.inserted_bytes;
+    return a;
+  }
+};
+
 struct SweepStats {
   std::int64_t starts = 0;         // executions performed
   std::int64_t max_volume = 0;     // sup volume cost (Def. 2.2)
@@ -28,9 +81,14 @@ struct SweepStats {
   // default Label, per Remark 3.11).
   std::int64_t truncated = 0;
   double wall_seconds = 0.0;
+  // View-cache counters for the sweep (zeros under CachePolicy::Off).  Like
+  // wall_seconds these describe how the work was performed, not what it
+  // computed, and are excluded from same_costs.
+  CacheStats cache;
 
   // Deterministic fields only — the comparison the engine-equivalence tests
-  // and benches use (wall_seconds is intentionally excluded).
+  // and benches use (wall_seconds and the cache counters are intentionally
+  // excluded).
   friend bool same_costs(const SweepStats& a, const SweepStats& b) {
     return a.starts == b.starts && a.max_volume == b.max_volume &&
            a.max_distance == b.max_distance && a.total_queries == b.total_queries &&

@@ -1,0 +1,40 @@
+#include "runtime/view_cache.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace volcal {
+
+bool CacheConfig::policy_from_name(const char* name, CachePolicy* out) {
+  if (name == nullptr || out == nullptr) return false;
+  if (std::strcmp(name, "off") == 0 || name[0] == '\0' || std::strcmp(name, "0") == 0) {
+    *out = CachePolicy::Off;
+    return true;
+  }
+  if (std::strcmp(name, "perstart") == 0 || std::strcmp(name, "per-start") == 0) {
+    *out = CachePolicy::PerStart;
+    return true;
+  }
+  if (std::strcmp(name, "shared") == 0) {
+    *out = CachePolicy::Shared;
+    return true;
+  }
+  return false;
+}
+
+CacheConfig CacheConfig::from_env() {
+  CacheConfig config;
+  if (const char* policy = std::getenv("VOLCAL_CACHE")) {
+    // Unrecognized values keep the safe default (Off) rather than aborting a
+    // bench run over a typo — the policy in effect is visible in the stats.
+    CachePolicy parsed = CachePolicy::Off;
+    if (policy_from_name(policy, &parsed)) config.policy = parsed;
+  }
+  if (const char* mb = std::getenv("VOLCAL_CACHE_MB")) {
+    const long long v = std::atoll(mb);
+    if (v > 0) config.byte_budget = static_cast<std::size_t>(v) << 20;
+  }
+  return config;
+}
+
+}  // namespace volcal

@@ -1,0 +1,368 @@
+// ViewCache — sweep-scoped memoization of radius-r ball constructions.
+//
+// Every upper-bound algorithm in the paper probes balls (Defs. 2.1-2.2), and
+// a whole-graph sweep re-derives the same BFS ball at every start that
+// revisits a center: Θ(n·Δ^r) redundant pointer-chasing for a ball(r) family.
+// The cache stores, per center node, the *canonical BFS expansion* of the
+// ball — discovery order plus per-depth windows and query counts — and
+// serves any radius as an exact prefix of that expansion.
+//
+// Exactness contract (the reason results stay bit-identical under any
+// policy, thread count, or eviction schedule):
+//   * explore_ball's level-synchronous BFS from a fixed center on a fixed
+//     graph is deterministic, and exploring to radius r is an exact prefix
+//     (same discovery order, same query outcomes) of exploring to any
+//     R >= r.  A cached entry of depth R therefore serves radius r <= R by
+//     prefix replay, and radius r > R by replaying the stored prefix and
+//     resuming the real BFS from the cached frontier — both produce the
+//     state the direct path would have produced, query for query.
+//   * Cost accounting is untouched: serving a prefix advances the volume,
+//     distance and query-count meters by exactly the amounts the replayed
+//     queries would have contributed.  The cache amortizes wall time, never
+//     the model's costs (asserted per-sweep by bench_runner and fuzzed by
+//     tools/volcal_fuzz --cache).
+//   * Ineligible executions bypass the cache entirely: budget-limited runs
+//     (the truncating query must fire at the identical point), non-fresh
+//     executions (prior queries change freshness), and recording sinks
+//     (traces must contain every query) always take the direct path.
+//
+// Concurrency: the table is sharded by mix64(center); lookups take a shard
+// shared_mutex in shared mode (the hit path never takes an exclusive lock —
+// LRU ticks are relaxed atomics), inserts/evictions take it exclusive.
+// Memory is bounded by a byte budget split across shards with
+// LRU-by-shard eviction, so n = 2^20 sweeps cannot blow RSS.  Invalidation
+// is O(1): an epoch bump, with shards lazily cleared on next touch.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/sweep_stats.hpp"
+#include "util/hash.hpp"
+
+namespace volcal {
+
+// Cache knob for a runner / sweep.  The environment form is what the bench
+// flag `--cache <off|perstart|shared>` exports:
+//   VOLCAL_CACHE    = off | perstart | shared   (default off)
+//   VOLCAL_CACHE_MB = byte budget in MiB        (default 256)
+struct CacheConfig {
+  CachePolicy policy = CachePolicy::Off;
+  std::size_t byte_budget = std::size_t{256} << 20;
+
+  static CacheConfig from_env();
+  static bool policy_from_name(const char* name, CachePolicy* out);
+};
+
+// The canonical BFS expansion of a ball, fully expanded to `depth` levels.
+//   order[0..level_end[d])   — the ball N_center(d), in discovery order;
+//   level_end[d]             — nodes at distance <= d (level_end[0] == 1);
+//   cum_queries[d]           — query() calls explore_ball(center, d) makes;
+//   exhausted                — the frontier emptied at `depth`: the ball is
+//                              its whole component and serves any radius.
+struct CachedBall {
+  std::vector<NodeIndex> order;
+  std::vector<std::int64_t> level_end;
+  std::vector<std::int64_t> cum_queries;
+  std::int64_t depth = 0;
+  bool exhausted = false;
+
+  std::size_t bytes() const {
+    return sizeof(CachedBall) + order.capacity() * sizeof(NodeIndex) +
+           (level_end.capacity() + cum_queries.capacity()) * sizeof(std::int64_t);
+  }
+
+  // Depth of the deepest non-empty level within the first `radius` levels —
+  // what the distance meter of a served execution must read.
+  std::int64_t max_layer(std::int64_t radius) const {
+    for (std::int64_t d = std::min(radius, depth); d >= 1; --d) {
+      if (level_end[static_cast<std::size_t>(d)] >
+          level_end[static_cast<std::size_t>(d) - 1]) {
+        return d;
+      }
+    }
+    return 0;
+  }
+};
+
+namespace detail {
+
+// Expands `ball` in place from its stored depth toward `target` with real
+// queries on `exec`.  Precondition: exec holds exactly the ball's prefix
+// state (fresh execution + installed prefix, or a fresh execution and an
+// empty ball seeded with the start node).  The loop is the level-window BFS
+// of explore_ball with per-level bookkeeping recorded.
+template <typename Exec>
+void extend_cached_ball(Exec& exec, CachedBall& ball, std::int64_t target) {
+  while (ball.depth < target && !ball.exhausted) {
+    const auto d = static_cast<std::size_t>(ball.depth);
+    const auto lb = static_cast<std::size_t>(d == 0 ? 0 : ball.level_end[d - 1]);
+    const auto le = static_cast<std::size_t>(ball.level_end[d]);
+    if (lb == le) {
+      ball.exhausted = true;
+      return;
+    }
+    std::int64_t queries = ball.cum_queries[d];
+    for (std::size_t head = lb; head < le; ++head) {
+      const NodeIndex v = ball.order[head];
+      const int deg = exec.degree(v);
+      queries += deg;
+      for (Port p = 1; p <= deg; ++p) {
+        const std::int64_t before = exec.volume();
+        const NodeIndex u = exec.query(v, p);
+        if (exec.volume() > before) ball.order.push_back(u);
+      }
+    }
+    ball.level_end.push_back(static_cast<std::int64_t>(ball.order.size()));
+    ball.cum_queries.push_back(queries);
+    ++ball.depth;
+  }
+}
+
+}  // namespace detail
+
+class ViewCache {
+ public:
+  explicit ViewCache(CacheConfig config = {}) : config_(config) {
+    shards_ = std::make_unique<Shard[]>(kShards);
+    for (std::size_t s = 0; s < kShards; ++s) shards_[s].epoch = 0;
+  }
+
+  ViewCache(const ViewCache&) = delete;
+  ViewCache& operator=(const ViewCache&) = delete;
+
+  const CacheConfig& config() const { return config_; }
+
+  // Binds the cache to one graph.  Entries are only valid for the bound
+  // graph; binding a different one invalidates everything first.  Callers
+  // reusing a persistent cache across graphs must re-bind (or invalidate)
+  // between them — the engine binds on first explore.
+  void bind(const Graph& g) {
+    const Graph* cur = bound_.load(std::memory_order_acquire);
+    if (cur == &g) return;
+    if (cur != nullptr) invalidate();
+    bound_.store(&g, std::memory_order_release);
+  }
+
+  // O(1) full invalidation: epoch bump; shards clear lazily on next touch.
+  void invalidate() {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  CacheStats stats() const {
+    CacheStats s;
+    s.policy = config_.policy;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.served_nodes = served_nodes_.load(std::memory_order_relaxed);
+    s.inserted_bytes = inserted_bytes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // Entry count across shards (test / introspection helper; takes locks).
+  std::size_t entry_count() const {
+    std::size_t n = 0;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      std::shared_lock lock(shards_[s].mu);
+      if (shards_[s].epoch == epoch_.load(std::memory_order_acquire)) {
+        n += shards_[s].map.size();
+      }
+    }
+    return n;
+  }
+
+  // The cached explore_ball: serves exec's ball from the cache when
+  // possible, resumes / builds with real queries otherwise, and stores the
+  // result.  Exactness per the header contract; the caller (explore_ball)
+  // has already checked the execution is eligible.
+  template <typename Exec>
+  std::vector<NodeIndex> explore(Exec& exec, std::int64_t radius) {
+    const Graph* cur = bound_.load(std::memory_order_acquire);
+    if (cur == nullptr) {
+      bind(exec.graph());
+      cur = bound_.load(std::memory_order_acquire);
+    }
+    if (cur != &exec.graph() || radius < 0) {
+      // Unknown graph (caller forgot to re-bind a persistent cache): stay
+      // exact by ignoring the cache for this execution.
+      CachedBall ball = seed(exec.start());
+      detail::extend_cached_ball(exec, ball, radius);
+      return std::move(ball.order);
+    }
+
+    const NodeIndex center = exec.start();
+    Shard& shard = shard_of(center);
+    const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+
+    CachedBall work;
+    bool resumed = false;
+    bool stale = false;
+    {
+      std::shared_lock lock(shard.mu);
+      if (shard.epoch != epoch) {
+        stale = true;  // reconcile below, outside the shared lock
+      } else {
+        auto it = shard.map.find(center);
+        if (it != shard.map.end()) {
+          Entry& entry = *it->second;
+          entry.last_used.store(tick(), std::memory_order_relaxed);
+          const CachedBall& ball = entry.ball;
+          if (ball.depth >= radius || ball.exhausted) {
+            // Full service under the shared lock: install the prefix into
+            // the execution's meters and return the served order.
+            const std::int64_t d = std::min(radius, ball.depth);
+            const auto count = static_cast<std::size_t>(
+                ball.level_end[static_cast<std::size_t>(d)]);
+            exec.install_ball_prefix(ball.order.data(), ball.level_end.data(), d,
+                                     ball.cum_queries[static_cast<std::size_t>(d)]);
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            served_nodes_.fetch_add(static_cast<std::int64_t>(count),
+                                    std::memory_order_relaxed);
+            return {ball.order.begin(),
+                    ball.order.begin() + static_cast<std::ptrdiff_t>(count)};
+          }
+          // Partial hit: install the whole stored prefix, copy it out, and
+          // resume the real BFS outside the lock.
+          exec.install_ball_prefix(ball.order.data(), ball.level_end.data(), ball.depth,
+                                   ball.cum_queries[static_cast<std::size_t>(ball.depth)]);
+          work = ball;
+          resumed = true;
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          served_nodes_.fetch_add(static_cast<std::int64_t>(work.order.size()),
+                                  std::memory_order_relaxed);
+        }
+      }
+    }
+    if (stale) reconcile_epoch(shard, epoch);
+    if (!resumed) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      work = seed(center);
+    }
+    detail::extend_cached_ball(exec, work, radius);
+    std::vector<NodeIndex> out = work.order;
+    store(center, std::move(work), epoch);
+    return out;
+  }
+
+  // Inserts (or deepens) the entry for `center`, evicting LRU entries of the
+  // shard until the shard byte budget holds.  Public so tests can exercise
+  // eviction directly.
+  void store(NodeIndex center, CachedBall&& ball, std::uint64_t at_epoch) {
+    Shard& shard = shard_of(center);
+    ball.order.shrink_to_fit();
+    ball.level_end.shrink_to_fit();
+    ball.cum_queries.shrink_to_fit();
+    const std::size_t size = ball.bytes();
+    const std::size_t budget = std::max<std::size_t>(config_.byte_budget / kShards, 1);
+    std::unique_lock lock(shard.mu);
+    if (at_epoch != epoch_.load(std::memory_order_acquire)) return;  // stale build
+    reconcile_epoch_locked(shard, at_epoch);
+    auto it = shard.map.find(center);
+    if (it != shard.map.end()) {
+      if (it->second->ball.depth >= ball.depth) return;  // raced with a deeper store
+      shard.bytes -= it->second->ball.bytes();
+      shard.map.erase(it);
+    }
+    if (size > budget) {
+      // A single ball larger than the shard budget is never cached.
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    while (shard.bytes + size > budget && !shard.map.empty()) {
+      evict_lru_locked(shard);
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->ball = std::move(ball);
+    entry->last_used.store(tick(), std::memory_order_relaxed);
+    shard.bytes += size;
+    inserted_bytes_.fetch_add(static_cast<std::int64_t>(size), std::memory_order_relaxed);
+    shard.map.emplace(center, std::move(entry));
+  }
+
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  struct Entry {
+    CachedBall ball;
+    std::atomic<std::uint64_t> last_used{0};
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<NodeIndex, std::unique_ptr<Entry>> map;
+    std::size_t bytes = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  static constexpr std::size_t kShards = 64;  // power of two
+
+  static CachedBall seed(NodeIndex center) {
+    CachedBall ball;
+    ball.order.push_back(center);
+    ball.level_end.push_back(1);
+    ball.cum_queries.push_back(0);
+    return ball;
+  }
+
+  Shard& shard_of(NodeIndex center) const {
+    return shards_[splitmix64(static_cast<std::uint64_t>(center)) & (kShards - 1)];
+  }
+
+  std::uint64_t tick() { return tick_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Lazy epoch reconciliation: drop the shard's content if the cache was
+  // invalidated since the shard was last touched.
+  void reconcile_epoch(Shard& shard, std::uint64_t epoch) {
+    {
+      std::shared_lock lock(shard.mu);
+      if (shard.epoch == epoch) return;
+    }
+    std::unique_lock lock(shard.mu);
+    reconcile_epoch_locked(shard, epoch);
+  }
+
+  void reconcile_epoch_locked(Shard& shard, std::uint64_t epoch) {
+    if (shard.epoch == epoch) return;
+    shard.map.clear();
+    shard.bytes = 0;
+    shard.epoch = epoch;
+  }
+
+  void evict_lru_locked(Shard& shard) {
+    auto victim = shard.map.begin();
+    std::uint64_t oldest = victim->second->last_used.load(std::memory_order_relaxed);
+    for (auto it = std::next(shard.map.begin()); it != shard.map.end(); ++it) {
+      const std::uint64_t used = it->second->last_used.load(std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = it;
+      }
+    }
+    shard.bytes -= victim->second->ball.bytes();
+    shard.map.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  CacheConfig config_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<const Graph*> bound_{nullptr};
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::uint64_t> tick_{1};
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> evictions_{0};
+  std::atomic<std::int64_t> served_nodes_{0};
+  std::atomic<std::int64_t> inserted_bytes_{0};
+};
+
+}  // namespace volcal

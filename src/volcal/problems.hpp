@@ -1,0 +1,14 @@
+// volcal/problems.hpp — the public problem-family surface.
+//
+// One include for the LCL formalization (lcl/lcl.hpp), the instance
+// generators and labelings the families are built on, and the type-erased
+// ProblemRegistry that enumerates every implemented family with its
+// predicted Θ-class.  Individual lcl/problems/... headers remain valid
+// includes but are internal layout; new code should go through the registry
+// or this umbrella (see DESIGN.md "API surface and deprecations").
+#pragma once
+
+#include "labels/generators.hpp"
+#include "labels/instances.hpp"
+#include "lcl/lcl.hpp"
+#include "lcl/registry.hpp"

@@ -1,0 +1,20 @@
+// volcal/runtime.hpp — the public execution surface.
+//
+// One include for everything needed to run a volume/distance-metered local
+// algorithm: graphs and id assignments, the query-metered Execution (paper
+// §2.2, Definitions 2.1-2.2), the parallel sweep engine with its
+// SweepResult/SweepStats aggregates, the ball-view cache, and the shared
+// randomness tape.  The fine-grained runtime/... headers remain valid
+// includes but are considered internal layout; new code should include the
+// volcal/ umbrella headers (see DESIGN.md "API surface and deprecations").
+#pragma once
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "labels/ids.hpp"
+#include "runtime/execution.hpp"
+#include "runtime/parallel_runner.hpp"
+#include "runtime/randomness.hpp"
+#include "runtime/success.hpp"
+#include "runtime/sweep_stats.hpp"
+#include "runtime/view_cache.hpp"

@@ -8,7 +8,7 @@
 #include "labels/generators.hpp"
 #include "lcl/algorithms/balanced_tree_algos.hpp"
 #include "lcl/algorithms/local_view.hpp"
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 
 namespace volcal {
 namespace {
@@ -16,7 +16,7 @@ namespace {
 using Src = InstanceSource<BalancedTreeLabeling>;
 
 std::vector<BtOutput> solve_all(const BalancedTreeInstance& inst, std::int64_t depth_limit,
-                                RunResult<BtOutput>* costs_out = nullptr) {
+                                SweepResult<BtOutput>* costs_out = nullptr) {
   auto result = run_at_all_nodes(inst.graph, inst.ids, [&](Execution& exec) {
     Src src(inst, exec);
     return balancedtree_solve(src, depth_limit);
@@ -87,7 +87,7 @@ TEST(Compat, QueryVersionMatchesGlobal) {
 
 TEST(BalancedTreeSolver, BalancedInstanceAllBalanced) {
   auto inst = make_balanced_instance(5);
-  RunResult<BtOutput> costs;
+  SweepResult<BtOutput> costs;
   auto out = solve_all(inst, 0, &costs);
   BalancedTreeProblem problem;
   auto verdict = verify_all(problem, inst, out);
@@ -128,7 +128,7 @@ TEST(BalancedTreeSolver, DepthLimitedVariantAgrees) {
 TEST(BalancedTreeSolver, DistanceLogarithmicVolumeLinear) {
   for (int depth : {5, 7, 9}) {
     auto inst = make_balanced_instance(depth);
-    RunResult<BtOutput> costs;
+    SweepResult<BtOutput> costs;
     solve_all(inst, 0, &costs);
     EXPECT_LE(costs.stats.max_distance, depth + 4) << depth;  // O(log n)
     EXPECT_GE(costs.stats.max_volume, (NodeIndex{1} << depth) - 1) << depth;  // Θ(n) from root

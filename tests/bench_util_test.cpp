@@ -64,8 +64,8 @@ TEST(Measure, MatchesDirectSerialSweep) {
     InstanceSource<ColoredTreeLabeling> src(inst, exec);
     leafcoloring_nearest_leaf(src);
   };
-  const Cost cost = measure(inst.graph, inst.ids, starts, solve);
-  Cost direct;
+  const ::volcal::SweepStats cost = measure(inst.graph, inst.ids, starts, solve);
+  ::volcal::SweepStats direct;
   for (const NodeIndex v : starts) {
     Execution exec(inst.graph, inst.ids, v);
     solve(exec);

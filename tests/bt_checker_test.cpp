@@ -7,7 +7,7 @@
 #include "lcl/algorithms/balanced_tree_algos.hpp"
 #include "lcl/algorithms/local_view.hpp"
 #include "lcl/problems/balanced_tree.hpp"
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 
 namespace volcal {
 namespace {

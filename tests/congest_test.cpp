@@ -7,7 +7,7 @@
 #include "lcl/algorithms/congest_algos.hpp"
 #include "lcl/algorithms/local_view.hpp"
 #include "lcl/problems/leaf_coloring.hpp"
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 
 namespace volcal {
 namespace {

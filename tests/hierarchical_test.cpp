@@ -5,7 +5,7 @@
 #include "labels/generators.hpp"
 #include "lcl/algorithms/hthc_algos.hpp"
 #include "lcl/algorithms/local_view.hpp"
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 
 namespace volcal {
 namespace {

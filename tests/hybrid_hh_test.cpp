@@ -7,7 +7,7 @@
 #include "lcl/algorithms/hybrid_algos.hpp"
 #include "lcl/algorithms/local_view.hpp"
 #include "lcl/problems/hh_thc.hpp"
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 
 namespace volcal {
 namespace {

@@ -9,7 +9,7 @@
 #include "lcl/algorithms/local_view.hpp"
 #include "lcl/problems/balanced_tree.hpp"
 #include "lcl/problems/leaf_coloring.hpp"
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 
 namespace volcal {
 namespace {

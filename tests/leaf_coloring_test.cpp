@@ -7,7 +7,7 @@
 #include "labels/generators.hpp"
 #include "lcl/algorithms/leaf_coloring_algos.hpp"
 #include "lcl/algorithms/local_view.hpp"
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 
 namespace volcal {
 namespace {
@@ -15,7 +15,7 @@ namespace {
 using Src = InstanceSource<ColoredTreeLabeling>;
 
 std::vector<Color> solve_all_nearest(const LeafColoringInstance& inst,
-                                     RunResult<Color>* costs_out = nullptr) {
+                                     SweepResult<Color>* costs_out = nullptr) {
   auto result = run_at_all_nodes(inst.graph, inst.ids, [&inst](Execution& exec) {
     Src src(inst, exec);
     return leafcoloring_nearest_leaf(src);
@@ -56,7 +56,7 @@ class LeafColoringFamilies
 TEST_P(LeafColoringFamilies, NearestLeafSolves) {
   const auto& [family, seed] = GetParam();
   auto inst = family.make(seed);
-  RunResult<Color> costs;
+  SweepResult<Color> costs;
   auto out = solve_all_nearest(inst, &costs);
   LeafColoringProblem problem;
   auto verdict = verify_all(problem, inst, out);
@@ -152,7 +152,7 @@ TEST(LeafColoring, InternalMayMatchEitherChild) {
 TEST(LeafColoringCosts, NearestLeafDistanceLogarithmic) {
   for (int depth : {6, 8, 10}) {
     auto inst = make_complete_binary_tree(depth, Color::Red, Color::Blue);
-    RunResult<Color> costs;
+    SweepResult<Color> costs;
     solve_all_nearest(inst, &costs);
     // Nearest leaf from the root is at depth `depth`; the BFS stays within
     // distance depth + O(1) = O(log n).
@@ -163,7 +163,7 @@ TEST(LeafColoringCosts, NearestLeafDistanceLogarithmic) {
 
 TEST(LeafColoringCosts, NearestLeafVolumeLinearOnCompleteTree) {
   auto inst = make_complete_binary_tree(10, Color::Red, Color::Blue);
-  RunResult<Color> costs;
+  SweepResult<Color> costs;
   solve_all_nearest(inst, &costs);
   // From the root, every internal node is explored before any leaf: Θ(n).
   EXPECT_GE(costs.stats.max_volume, inst.node_count() / 2);

@@ -8,7 +8,7 @@
 #include "labels/generators.hpp"
 #include "lcl/algorithms/leaf_coloring_algos.hpp"
 #include "lcl/problems/leaf_coloring.hpp"
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 
 namespace volcal {
 namespace {

@@ -5,7 +5,7 @@
 #include <cmath>
 
 #include "labels/generators.hpp"
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 
 namespace volcal {
 namespace {

@@ -1,4 +1,4 @@
-// Determinism contract of the parallel sweep engine: RunResult (outputs,
+// Determinism contract of the parallel sweep engine: SweepResult (outputs,
 // per-node volume/distance, sup-costs, total_queries, truncated) must be
 // bit-identical to the serial runner at any thread count — asserted here at
 // 1, 2 and 8 threads for every problem family in the suite, plus the budget
@@ -17,7 +17,7 @@
 #include "lcl/problems/mis.hpp"
 #include "lcl/problems/ring_coloring.hpp"
 #include "runtime/parallel_runner.hpp"
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 
 namespace volcal {
 namespace {
@@ -25,7 +25,7 @@ namespace {
 constexpr int kThreadCounts[] = {2, 8};
 
 template <typename Label>
-void expect_identical(const RunResult<Label>& serial, const RunResult<Label>& parallel,
+void expect_identical(const SweepResult<Label>& serial, const SweepResult<Label>& parallel,
                       int threads) {
   EXPECT_EQ(serial.output, parallel.output) << "outputs diverged at " << threads << " threads";
   EXPECT_EQ(serial.volume, parallel.volume) << "volumes diverged at " << threads << " threads";
@@ -38,7 +38,7 @@ void expect_identical(const RunResult<Label>& serial, const RunResult<Label>& pa
 }
 
 // Runs the solver through ParallelRunner at 1, 2 and 8 threads and asserts
-// all three RunResults are bit-identical.
+// all three SweepResults are bit-identical.
 template <typename Solver>
 void check_thread_invariance(const Graph& g, const IdAssignment& ids, Solver&& solver,
                              std::int64_t budget = 0, RandomTape* tape = nullptr) {

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 #include "stats/growth.hpp"
 
 namespace volcal {

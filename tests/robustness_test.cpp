@@ -12,7 +12,7 @@
 #include "lcl/algorithms/hybrid_algos.hpp"
 #include "lcl/algorithms/leaf_coloring_algos.hpp"
 #include "lcl/algorithms/local_view.hpp"
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 #include "util/hash.hpp"
 
 namespace volcal {

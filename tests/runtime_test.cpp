@@ -4,7 +4,7 @@
 #include "labels/generators.hpp"
 #include "runtime/execution.hpp"
 #include "runtime/randomness.hpp"
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 
 namespace volcal {
 namespace {
@@ -110,7 +110,7 @@ TEST(Execution, Lemma25SandwichOnBalls) {
     for (std::int64_t r = 0; r <= 4; ++r) {
       Execution exec(inst.graph, inst.ids, v);
       explore_ball(exec, r);
-      RunResult<int> fake;
+      SweepResult<int> fake;
       fake.volume = {exec.volume()};
       fake.distance = {exec.distance()};
       EXPECT_TRUE(satisfies_lemma_2_5(inst.graph, fake)) << v << " r=" << r;

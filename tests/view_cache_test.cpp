@@ -1,0 +1,307 @@
+// View-cache exactness contract (runtime/view_cache.hpp): a cached
+// explore_ball must be bit-identical to the direct one — same discovery
+// order, same volume/distance/query meters — under every service path (full
+// prefix, shorter-radius prefix, deeper-radius resume, exhausted component),
+// every policy, any thread count, and any eviction schedule.  Plus the
+// ExecutionScratch epoch wrap-around regression and CacheConfig env parsing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "labels/generators.hpp"
+#include "lcl/registry.hpp"
+#include "obs/trace.hpp"
+#include "volcal/runtime.hpp"
+
+namespace volcal {
+namespace {
+
+struct BallObservation {
+  std::vector<NodeIndex> order;
+  std::int64_t volume = 0;
+  std::int64_t distance = 0;
+  std::int64_t queries = 0;
+
+  friend bool operator==(const BallObservation&, const BallObservation&) = default;
+};
+
+// One fresh direct exploration — the ground truth the cache must reproduce.
+BallObservation direct_ball(const Graph& g, const IdAssignment& ids, NodeIndex center,
+                            std::int64_t radius) {
+  Execution exec(g, ids, center);
+  BallObservation obs;
+  obs.order = explore_ball(exec, radius);
+  obs.volume = exec.volume();
+  obs.distance = exec.distance();
+  obs.queries = exec.query_count();
+  return obs;
+}
+
+BallObservation cached_ball(const Graph& g, const IdAssignment& ids, ViewCache& cache,
+                            NodeIndex center, std::int64_t radius) {
+  Execution exec(g, ids, center);
+  exec.attach_view_cache(&cache);
+  BallObservation obs;
+  obs.order = explore_ball(exec, radius);
+  obs.volume = exec.volume();
+  obs.distance = exec.distance();
+  obs.queries = exec.query_count();
+  return obs;
+}
+
+TEST(ExecutionScratch, EpochWrapAroundDoesNotResurrectStamps) {
+  auto inst = make_complete_binary_tree(4, Color::Red, Color::Blue);
+  ExecutionScratch scratch(inst.node_count());
+  // Place the counter so the next execution runs at epoch 2^64-1 and stamps
+  // nodes with it...
+  scratch.set_epoch_for_testing(std::numeric_limits<std::uint64_t>::max() - 1);
+  {
+    Execution exec(inst.graph, inst.ids, 0, 0, scratch);
+    explore_ball(exec, 2);
+    EXPECT_GT(exec.volume(), 1);
+  }
+  EXPECT_EQ(scratch.epoch_for_testing(), std::numeric_limits<std::uint64_t>::max());
+  // ...so this begin() must take the wrap guard.  Without it the epoch would
+  // wrap to 0 — the "never visited" stamp value — and every untouched slot
+  // in the scratch would read as visited by the new execution.
+  Execution exec(inst.graph, inst.ids, 0, 0, scratch);
+  EXPECT_EQ(scratch.epoch_for_testing(), 1u);
+  EXPECT_EQ(exec.volume(), 1);
+  for (NodeIndex v = 1; v < inst.node_count(); ++v) {
+    EXPECT_FALSE(exec.visited(v)) << "stale stamp resurrected at node " << v;
+  }
+  const auto ball4 = explore_ball(exec, 4);
+  EXPECT_EQ(static_cast<std::int64_t>(ball4.size()), exec.volume());
+}
+
+// Every service path against ground truth, on a tree and on a graph with a
+// cycle: miss -> full hit -> shorter-radius prefix -> deeper-radius resume ->
+// exhausted-component service beyond the diameter.
+TEST(ViewCache, ServesBitIdenticalBallsOnEveryPath) {
+  const auto tree = make_complete_binary_tree(6, Color::Red, Color::Blue);
+  const auto cycle = make_cycle_pseudotree(12, 3, /*seed=*/5);
+  for (const LeafColoringInstance* inst : {&tree, &cycle}) {
+    const Graph& g = inst->graph;
+    ViewCache cache;
+    for (const NodeIndex center : {NodeIndex{0}, g.node_count() / 2, g.node_count() - 1}) {
+      for (const std::int64_t radius : {4, 4, 2, 6, 3, 64, 64, 0}) {
+        const BallObservation expect = direct_ball(g, inst->ids, center, radius);
+        const BallObservation got = cached_ball(g, inst->ids, cache, center, radius);
+        EXPECT_EQ(expect, got) << "center " << center << " radius " << radius;
+      }
+    }
+    const CacheStats stats = cache.stats();
+    EXPECT_GT(stats.hits, 0);
+    EXPECT_GT(stats.misses, 0);
+    EXPECT_GT(stats.served_nodes, 0);
+  }
+}
+
+TEST(ViewCache, EvictionKeepsResultsExactUnderTinyBudget) {
+  const auto inst = make_random_full_binary_tree(601, /*seed=*/11);
+  // A few KiB across 64 shards: every shard holds at most one small ball, so
+  // stores continually evict.
+  CacheConfig config;
+  config.policy = CachePolicy::Shared;
+  config.byte_budget = std::size_t{16} << 10;
+  ViewCache cache(config);
+  for (int round = 0; round < 3; ++round) {
+    for (NodeIndex center = 0; center < inst.node_count(); center += 7) {
+      const BallObservation expect = direct_ball(inst.graph, inst.ids, center, 5);
+      EXPECT_EQ(expect, cached_ball(inst.graph, inst.ids, cache, center, 5));
+    }
+  }
+  EXPECT_GT(cache.stats().evictions, 0);
+}
+
+TEST(ViewCache, OversizedBallIsSkippedNotCorrupted) {
+  const auto inst = make_complete_binary_tree(7, Color::Red, Color::Blue);
+  CacheConfig config;
+  config.policy = CachePolicy::Shared;
+  config.byte_budget = 64;  // smaller than any ball entry
+  ViewCache cache(config);
+  const BallObservation expect = direct_ball(inst.graph, inst.ids, 0, 6);
+  EXPECT_EQ(expect, cached_ball(inst.graph, inst.ids, cache, 0, 6));
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_GT(cache.stats().evictions, 0);
+}
+
+TEST(ViewCache, InvalidateDropsEntriesAndBindSwitchesGraphs) {
+  const auto a = make_complete_binary_tree(5, Color::Red, Color::Blue);
+  const auto b = make_random_full_binary_tree(201, /*seed=*/3);
+  ViewCache cache;
+  cached_ball(a.graph, a.ids, cache, 0, 4);
+  EXPECT_GT(cache.entry_count(), 0u);
+  cache.invalidate();
+  EXPECT_EQ(cache.entry_count(), 0u);
+  const std::int64_t misses_before = cache.stats().misses;
+  cached_ball(a.graph, a.ids, cache, 0, 4);
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+  // Re-binding to a different graph invalidates; results on the new graph
+  // stay exact.
+  cache.bind(b.graph);
+  const BallObservation expect = direct_ball(b.graph, b.ids, 7, 5);
+  EXPECT_EQ(expect, cached_ball(b.graph, b.ids, cache, 7, 5));
+}
+
+TEST(ViewCache, BudgetedExecutionsBypassTheCache) {
+  const auto inst = make_complete_binary_tree(6, Color::Red, Color::Blue);
+  ViewCache cache;
+  // Warm the cache so a budgeted execution would find an entry if it looked.
+  cached_ball(inst.graph, inst.ids, cache, 0, 6);
+  const CacheStats warm = cache.stats();
+  Execution exec(inst.graph, inst.ids, 0, /*budget=*/9);
+  exec.attach_view_cache(&cache);
+  EXPECT_EQ(exec.ball_cache_if_eligible(), nullptr);
+  EXPECT_THROW(explore_ball(exec, 6), QueryBudgetExceeded);
+  EXPECT_LE(exec.volume(), 9);
+  const CacheStats after = cache.stats();
+  EXPECT_EQ(warm.hits, after.hits);
+  EXPECT_EQ(warm.misses, after.misses);
+  // Non-fresh executions bypass too: after real queries the execution is no
+  // longer servable from a ball prefix.
+  Execution fresh(inst.graph, inst.ids, 0);
+  fresh.attach_view_cache(&cache);
+  EXPECT_NE(fresh.ball_cache_if_eligible(), nullptr);
+  explore_ball(fresh, 1);
+  EXPECT_EQ(fresh.ball_cache_if_eligible(), nullptr);
+}
+
+TEST(ViewCache, CacheConfigFromEnvParsing) {
+  ASSERT_EQ(setenv("VOLCAL_CACHE", "shared", 1), 0);
+  ASSERT_EQ(setenv("VOLCAL_CACHE_MB", "32", 1), 0);
+  CacheConfig c = CacheConfig::from_env();
+  EXPECT_EQ(c.policy, CachePolicy::Shared);
+  EXPECT_EQ(c.byte_budget, std::size_t{32} << 20);
+  ASSERT_EQ(setenv("VOLCAL_CACHE", "perstart", 1), 0);
+  EXPECT_EQ(CacheConfig::from_env().policy, CachePolicy::PerStart);
+  ASSERT_EQ(setenv("VOLCAL_CACHE", "per-start", 1), 0);
+  EXPECT_EQ(CacheConfig::from_env().policy, CachePolicy::PerStart);
+  ASSERT_EQ(setenv("VOLCAL_CACHE", "not-a-policy", 1), 0);
+  EXPECT_EQ(CacheConfig::from_env().policy, CachePolicy::Off);  // safe default
+  ASSERT_EQ(setenv("VOLCAL_CACHE", "off", 1), 0);
+  EXPECT_EQ(CacheConfig::from_env().policy, CachePolicy::Off);
+  ASSERT_EQ(unsetenv("VOLCAL_CACHE"), 0);
+  ASSERT_EQ(unsetenv("VOLCAL_CACHE_MB"), 0);
+  EXPECT_EQ(CacheConfig::from_env().policy, CachePolicy::Off);
+}
+
+// --- Sweep-level equivalence: every registry family, every policy, 1 and 8
+// --- threads, bit-identical to the uncached serial sweep.
+
+CacheConfig policy_config(CachePolicy policy) {
+  CacheConfig c;
+  c.policy = policy;
+  return c;
+}
+
+TEST(ViewCacheSweep, EveryRegistryFamilyIsPolicyAndThreadInvariant) {
+  for (const RegistryEntry& entry : ProblemRegistry::global().entries()) {
+    SCOPED_TRACE(entry.name);
+    const ErasedInstance inst = entry.make(300, /*seed=*/21);
+    auto solver = [&](Execution& exec) { return inst.solve(exec); };
+    const auto baseline = ParallelRunner(1, policy_config(CachePolicy::Off))
+                              .run_at_all_nodes(inst.graph(), inst.ids(), solver);
+    for (const CachePolicy policy :
+         {CachePolicy::Off, CachePolicy::PerStart, CachePolicy::Shared}) {
+      for (const int threads : {1, 8}) {
+        const auto run = ParallelRunner(threads, policy_config(policy))
+                             .run_at_all_nodes(inst.graph(), inst.ids(), solver);
+        EXPECT_EQ(baseline.output, run.output)
+            << cache_policy_name(policy) << " @ " << threads << " threads";
+        EXPECT_EQ(baseline.volume, run.volume);
+        EXPECT_EQ(baseline.distance, run.distance);
+        EXPECT_EQ(baseline.queries, run.queries);
+        EXPECT_TRUE(same_costs(baseline.stats, run.stats));
+        EXPECT_EQ(run.stats.cache.policy, policy);
+      }
+    }
+  }
+}
+
+TEST(ViewCacheSweep, SharedPolicyHitsOnRepeatedStarts) {
+  const auto inst = make_complete_binary_tree(8, Color::Red, Color::Blue);
+  const std::vector<NodeIndex> starts{0, 0, 0, 5, 5, 9, 0, 5, 9, 9};
+  auto solver = [](Execution& exec) {
+    return static_cast<int>(explore_ball(exec, 4).size());
+  };
+  const auto off = ParallelRunner(1, policy_config(CachePolicy::Off))
+                       .run_at(inst.graph, inst.ids, starts, solver);
+  for (const int threads : {1, 8}) {
+    const auto shared = ParallelRunner(threads, policy_config(CachePolicy::Shared))
+                            .run_at(inst.graph, inst.ids, starts, solver);
+    EXPECT_EQ(off.output, shared.output);
+    EXPECT_TRUE(same_costs(off.stats, shared.stats));
+    EXPECT_EQ(shared.stats.cache.hits + shared.stats.cache.misses,
+              static_cast<std::int64_t>(starts.size()));
+    // 3 distinct centers; under parallel workers concurrent first touches of
+    // one center can both miss, so the exact split is serial-only.
+    EXPECT_GE(shared.stats.cache.misses, 3);
+    if (threads == 1) {
+      EXPECT_EQ(shared.stats.cache.misses, 3);
+      EXPECT_EQ(shared.stats.cache.hits, 7);
+      EXPECT_GT(shared.stats.cache.served_nodes, 0);
+    }
+  }
+  // PerStart scopes the cache to one start: the same sweep is structurally
+  // hit-free (each start's single explore_ball misses its fresh cache) — the
+  // bisection rung between Off and Shared.
+  const auto per_start = ParallelRunner(1, policy_config(CachePolicy::PerStart))
+                             .run_at(inst.graph, inst.ids, starts, solver);
+  EXPECT_EQ(off.output, per_start.output);
+  EXPECT_TRUE(same_costs(off.stats, per_start.stats));
+  EXPECT_EQ(per_start.stats.cache.hits, 0);
+  EXPECT_EQ(per_start.stats.cache.misses,
+            static_cast<std::int64_t>(starts.size()));
+}
+
+TEST(ViewCacheSweep, AttachedPersistentCacheServesAcrossSweeps) {
+  const auto inst = make_complete_binary_tree(8, Color::Red, Color::Blue);
+  auto solver = [](Execution& exec) {
+    return static_cast<int>(explore_ball(exec, 4).size());
+  };
+  ViewCache cache(policy_config(CachePolicy::Shared));
+  ParallelRunner runner(2, policy_config(CachePolicy::Shared));
+  runner.attach_cache(&cache);
+  const auto cold = runner.run_at_all_nodes(inst.graph, inst.ids, solver);
+  EXPECT_EQ(cold.stats.cache.hits, 0);
+  EXPECT_EQ(cold.stats.cache.misses, inst.node_count());
+  const auto warm = runner.run_at_all_nodes(inst.graph, inst.ids, solver);
+  EXPECT_EQ(warm.stats.cache.hits, inst.node_count());
+  EXPECT_EQ(warm.stats.cache.misses, 0);
+  EXPECT_EQ(cold.output, warm.output);
+  EXPECT_TRUE(same_costs(cold.stats, warm.stats));
+}
+
+// Recording sinks must take the direct path: a trace contains every query,
+// so a served ball would record nothing.  The traced sweep still returns
+// bit-identical outputs/costs, and the sweep cache sees zero traffic.
+TEST(ViewCacheSweep, TracedSweepsBypassTheCache) {
+  const auto inst = make_complete_binary_tree(6, Color::Red, Color::Blue);
+  const std::vector<NodeIndex> starts{0, 0, 3, 3, 11, 11};
+  auto solver = [](auto& exec) {
+    return static_cast<int>(explore_ball(exec, 3).size());
+  };
+  const auto plain = ParallelRunner(1, policy_config(CachePolicy::Off))
+                         .run_at(inst.graph, inst.ids, starts, solver);
+  ParallelRunner shared_runner(2, policy_config(CachePolicy::Shared));
+  obs::TraceRecorder recorder;
+  const auto traced = obs::run_at_traced(shared_runner, inst.graph, inst.ids, starts,
+                                         solver, recorder);
+  EXPECT_EQ(plain.output, traced.output);
+  EXPECT_TRUE(same_costs(plain.stats, traced.stats));
+  EXPECT_EQ(traced.stats.cache.hits, 0);
+  EXPECT_EQ(traced.stats.cache.misses, 0);
+  // Every execution's trace holds its full query sequence.
+  ASSERT_EQ(recorder.traces().size(), starts.size());
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    EXPECT_EQ(static_cast<std::int64_t>(recorder.traces()[i].events.size()),
+              plain.queries[i]);
+  }
+}
+
+}  // namespace
+}  // namespace volcal

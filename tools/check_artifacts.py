@@ -25,7 +25,11 @@ import json
 import math
 import sys
 
-ARTIFACT_SCHEMA_VERSION = 1
+ARTIFACT_SCHEMA_VERSION = 2
+MIN_ARTIFACT_SCHEMA_VERSION = 1  # v1 = pre-view-cache, no "cache" block
+CACHE_POLICIES = ("off", "perstart", "shared")
+CACHE_COUNTERS = ("hits", "misses", "evictions", "served_nodes",
+                  "inserted_bytes")
 
 failures = []
 
@@ -41,8 +45,31 @@ def require_keys(obj, keys, where):
         check(k in obj, f"{where}: missing key '{k}'")
 
 
+def check_schema_version(doc, where):
+    v = doc.get("schema_version")
+    check(isinstance(v, int)
+          and MIN_ARTIFACT_SCHEMA_VERSION <= v <= ARTIFACT_SCHEMA_VERSION,
+          f"{where}: schema_version {v} outside supported range "
+          f"[{MIN_ARTIFACT_SCHEMA_VERSION}, {ARTIFACT_SCHEMA_VERSION}]")
+    return v
+
+
+def check_cache_block(doc, where):
+    """Schema v2: the view-cache counters between 'phases' and 'alloc'."""
+    cache = doc.get("cache")
+    if not check(isinstance(cache, dict), f"{where}: missing 'cache' block"):
+        return
+    require_keys(cache, ("policy",) + CACHE_COUNTERS, f"{where} cache")
+    check(cache.get("policy") in CACHE_POLICIES,
+          f"{where} cache: unknown policy {cache.get('policy')!r}")
+    for k in CACHE_COUNTERS:
+        v = cache.get(k, -1)
+        check(isinstance(v, int) and v >= 0,
+              f"{where} cache: {k} must be a non-negative integer, got {v!r}")
+
+
 def check_artifact_body(doc, where, kind, monotone_n):
-    """Shared checks for the canonical perf artifact (schema v1).
+    """Shared checks for the canonical perf artifact (schema v1/v2).
 
     `monotone_n` enforces a strictly increasing n-sweep per curve — required
     for bench-family artifacts (volcal_bench's doubling sweep), but not for
@@ -52,9 +79,8 @@ def check_artifact_body(doc, where, kind, monotone_n):
     require_keys(doc, ["schema_version", "kind", "tool", "env", "curves",
                        "phases", "alloc", "rss_high_water_kb",
                        "total_wall_seconds"], where)
-    check(doc.get("schema_version") == ARTIFACT_SCHEMA_VERSION,
-          f"{where}: schema_version {doc.get('schema_version')} != "
-          f"{ARTIFACT_SCHEMA_VERSION}")
+    if check_schema_version(doc, where) == 2:
+        check_cache_block(doc, where)
     check(doc.get("kind") == kind,
           f"{where}: kind {doc.get('kind')!r} != {kind!r}")
     require_keys(doc.get("env", {}),
@@ -107,9 +133,7 @@ def check_bench_summary(path):
         doc = json.load(f)
     require_keys(doc, ["schema_version", "kind", "tool", "env", "families",
                        "total_wall_seconds"], path)
-    check(doc.get("schema_version") == ARTIFACT_SCHEMA_VERSION,
-          f"{path}: schema_version {doc.get('schema_version')} != "
-          f"{ARTIFACT_SCHEMA_VERSION}")
+    check_schema_version(doc, path)
     check(doc.get("kind") == "bench-summary",
           f"{path}: kind {doc.get('kind')!r} != 'bench-summary'")
     families = doc.get("families", [])
@@ -126,7 +150,9 @@ def check_metrics_json(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     require_keys(doc, ["tool", "sweeps", "totals", "tape_max_bits",
-                       "volume", "distance", "queries", "workers"], path)
+                       "volume", "distance", "queries", "workers", "cache"],
+                 path)
+    check_cache_block(doc, path)
     totals = doc.get("totals", {})
     require_keys(totals, ["starts", "max_volume", "max_distance",
                           "total_queries", "total_volume", "truncated",

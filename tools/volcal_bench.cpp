@@ -2,7 +2,7 @@
 // gate.  Runs every registry family through the shared bench::Args pipeline
 // on an n-sweep, verifies each family's outputs once at the smallest size,
 // and writes one canonical BENCH_<family>.json artifact per family plus a
-// merged BENCH_SUMMARY.json (perf/artifact.hpp schema v1).
+// merged BENCH_SUMMARY.json (perf/artifact.hpp schema v2).
 //
 // The cost curves (volume / distance / queries vs n) are deterministic: the
 // sweep engine is bit-identical at any thread count and every generator is
@@ -22,7 +22,7 @@
 #include "lcl/registry.hpp"
 #include "perf/artifact.hpp"
 #include "perf/probe.hpp"
-#include "runtime/runner.hpp"
+#include "volcal/runtime.hpp"
 
 namespace volcal::bench {
 namespace {
@@ -90,6 +90,7 @@ perf::BenchArtifact run_family(const RegistryEntry& entry, std::int64_t max_n,
       cost = measure(inst.graph(), inst.ids(), starts,
                      [&](Execution& exec) { return inst.solve(exec); });
     }
+    art.cache += cost.cache;
     const auto nd = static_cast<double>(n);
     // The sweep's wall time rides on the volume curve only, so per-curve
     // attribution in the diff tool does not triple-count it.

@@ -31,11 +31,12 @@ void print_help() {
       "  --max-n <n>     upper bound for generated instance sizes [600]\n"
       "  --out-dir <d>   write minimized reproducers (*.repro) into <d>\n"
       "  --replay <f>    replay one reproducer file instead of fuzzing\n"
+      "  --cache         also run the view-cache policy differential per case\n"
       "  --log           print every generated case\n"
       "  --help          this message\n");
 }
 
-int replay_file(const std::string& path) {
+int replay_file(const std::string& path, bool cache) {
   volcal::check::FuzzCase c;
   std::string recorded_error;
   std::string why;
@@ -47,7 +48,8 @@ int replay_file(const std::string& path) {
   if (!recorded_error.empty()) {
     std::printf("  originally failed with: %s\n", recorded_error.c_str());
   }
-  const volcal::check::CheckResult result = volcal::check::check_case(c);
+  volcal::check::CheckResult result = volcal::check::check_case(c);
+  if (result.ok && cache) result = volcal::check::check_cache_case(c);
   if (!result.ok) {
     std::printf("  STILL FAILING: %s\n", result.error.c_str());
     return 1;
@@ -83,6 +85,8 @@ int main(int argc, char** argv) {
       opts.out_dir = v;
     } else if ((v = value("--replay")) != nullptr) {
       replays.push_back(v);
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      opts.cache = true;
     } else if (std::strcmp(argv[i], "--log") == 0) {
       opts.log_cases = true;
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -97,7 +101,7 @@ int main(int argc, char** argv) {
   if (!replays.empty()) {
     int status = 0;
     for (const std::string& path : replays) {
-      status = std::max(status, replay_file(path));
+      status = std::max(status, replay_file(path, opts.cache));
     }
     return status;
   }
