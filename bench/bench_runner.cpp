@@ -80,18 +80,24 @@ struct EngineRow {
   SweepCost cost;
 };
 
-// One sweep under an explicit cache policy, keeping the aggregate stats (for
-// the hit/miss counters) and the per-start outputs (for the divergence check).
+// One plan-dispatched sweep under an explicit (cache policy, backend) pair,
+// keeping the aggregate stats (hit/miss and batch counters), the optional
+// profile (per-worker batch occupancy) and the per-start outputs (for the
+// divergence check).
 template <typename Fn>
 SweepCost sweep_policy(const Graph& g, const IdAssignment& ids,
                        const std::vector<NodeIndex>& starts, Fn&& solve, int threads,
-                       CachePolicy policy, SweepStats* stats_out,
+                       CachePolicy policy, ExecBackend backend, const ProbePlan& plan,
+                       SweepStats* stats_out, SweepProfile* profile_out,
                        std::vector<int>* output_out) {
   CacheConfig cfg;
   cfg.policy = policy;
+  ParallelRunner runner(threads, cfg);
+  runner.set_backend(backend);
   WallTimer timer;
-  auto run = ParallelRunner(threads, cfg).run_at(g, ids, std::span<const NodeIndex>(starts),
-                                                 [&](Execution& exec) { return solve(exec); });
+  auto run = runner.run_planned(g, ids, std::span<const NodeIndex>(starts), plan,
+                                [&](Execution& exec) { return solve(exec); },
+                                /*budget=*/0, /*tape=*/nullptr, profile_out);
   SweepCost cost;
   cost.max_volume = run.stats.max_volume;
   cost.max_distance = run.stats.max_distance;
@@ -100,6 +106,96 @@ SweepCost sweep_policy(const Graph& g, const IdAssignment& ids,
   if (stats_out != nullptr) *stats_out = run.stats;
   if (output_out != nullptr) *output_out = std::move(run.output);
   return cost;
+}
+
+struct AblationRow {
+  ExecBackend backend;
+  CachePolicy policy;
+  int threads;
+  SweepCost cost;
+  SweepStats stats;
+  SweepProfile profile;
+  std::vector<int> output;
+};
+
+std::string row_engine(const AblationRow& row) {
+  return std::string(cache_policy_name(row.policy)) + " x" + std::to_string(row.threads) +
+         (row.backend == ExecBackend::Batched ? "/batched" : "");
+}
+
+// Runs the {backend} x {threads} x {policy} grid of one ball workload,
+// verifying every row bit-identical against the first (basic / off / serial)
+// and emitting one table row + one report curve per cell.
+template <typename Fn>
+std::vector<AblationRow> run_ablation_rows(
+    const Graph& g, const IdAssignment& ids, const std::vector<NodeIndex>& starts,
+    Fn&& solve, const ProbePlan& plan, std::initializer_list<CachePolicy> policies,
+    int repeats, const char* workload, stats::Table& table, JsonReport& report,
+    const char* report_prefix) {
+  std::vector<AblationRow> rows;
+  for (const ExecBackend backend : {ExecBackend::Basic, ExecBackend::Batched}) {
+    for (const int threads : {1, 8}) {
+      for (const CachePolicy policy : policies) {
+        AblationRow row{backend, policy, threads, {}, {}, {}, {}};
+        row.cost = sweep_policy(g, ids, starts, solve, threads, policy, backend, plan,
+                                &row.stats, &row.profile, &row.output);
+        for (int r = 1; r < repeats; ++r) {
+          const SweepCost again = sweep_policy(g, ids, starts, solve, threads, policy,
+                                               backend, plan, nullptr, nullptr, nullptr);
+          row.cost.seconds += again.seconds;
+          row.cost.total_volume += again.total_volume;
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  const AblationRow& base = rows.front();  // basic / off / x1
+  const double total_starts = static_cast<double>(starts.size()) * repeats;
+  for (const AblationRow& row : rows) {
+    if (!row.cost.same_costs(base.cost) || row.output != base.output) {
+      std::fprintf(stderr, "FATAL: '%s' diverged from the basic uncached sweep on %s\n",
+                   row_engine(row).c_str(), workload);
+      std::exit(1);
+    }
+    char starts_s[32], nodes_s[32], speedup[32];
+    std::snprintf(starts_s, sizeof starts_s, "%.0f", total_starts / row.cost.seconds);
+    std::snprintf(nodes_s, sizeof nodes_s, "%.3g",
+                  static_cast<double>(row.cost.total_volume) / row.cost.seconds);
+    std::snprintf(speedup, sizeof speedup, "%.2fx", base.cost.seconds / row.cost.seconds);
+    table.add_row({workload, fmt_int(static_cast<std::int64_t>(g.node_count())),
+                   row_engine(row), starts_s, nodes_s, speedup});
+    Curve c;
+    c.add(static_cast<double>(g.node_count()),
+          static_cast<double>(row.cost.total_volume) / row.cost.seconds, row.cost.seconds);
+    report.add(std::string(report_prefix) + " / " + row_engine(row), c);
+  }
+  return rows;
+}
+
+const AblationRow* find_row(const std::vector<AblationRow>& rows, ExecBackend backend,
+                            CachePolicy policy, int threads) {
+  for (const AblationRow& row : rows) {
+    if (row.backend == backend && row.policy == policy && row.threads == threads) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+// Per-worker batch occupancy of one batched row: starts per wave is the
+// amortization factor — how many balls each union-frontier wave advanced.
+void print_batch_occupancy(const AblationRow& row) {
+  std::printf("  %s per-worker batch occupancy:", row_engine(row).c_str());
+  for (std::size_t w = 0; w < row.profile.worker_batches.size(); ++w) {
+    const double waves = static_cast<double>(row.profile.worker_waves[w]);
+    const double occupancy =
+        waves > 0.0 ? static_cast<double>(row.profile.worker_batched_starts[w]) / waves : 0.0;
+    std::printf(" w%zu=%.1f", w, occupancy);
+  }
+  std::printf(" starts/wave (batches=%lld starts=%lld waves=%lld)\n",
+              static_cast<long long>(row.stats.batch.batches),
+              static_cast<long long>(row.stats.batch.batched_starts),
+              static_cast<long long>(row.stats.batch.waves));
 }
 
 // View-cache ablation on the serving workload the shared cache targets:
@@ -126,60 +222,12 @@ void run_cache_ablation(const Args& args, stats::Table& table, JsonReport& repor
   }
   auto solve = [](Execution& exec) { return static_cast<int>(explore_ball(exec, kRadius).size()); };
 
-  struct AblationRow {
-    CachePolicy policy;
-    int threads;
-    SweepCost cost;
-    SweepStats stats;
-    std::vector<int> output;
-  };
-  std::vector<AblationRow> rows;
-  for (const int threads : {1, 8}) {
-    for (const CachePolicy policy :
-         {CachePolicy::Off, CachePolicy::PerStart, CachePolicy::Shared}) {
-      AblationRow row{policy, threads, {}, {}, {}};
-      row.cost = sweep_policy(inst.graph, inst.ids, starts, solve, threads, policy,
-                              &row.stats, &row.output);
-      for (int r = 1; r < kRepeats; ++r) {
-        const SweepCost again = sweep_policy(inst.graph, inst.ids, starts, solve, threads,
-                                             policy, nullptr, nullptr);
-        row.cost.seconds += again.seconds;
-        row.cost.total_volume += again.total_volume;
-      }
-      rows.push_back(std::move(row));
-    }
-  }
-  const AblationRow& base = rows.front();  // off x1
-  const double total_starts = static_cast<double>(kStarts) * kRepeats;
-  for (const AblationRow& row : rows) {
-    if (!row.cost.same_costs(base.cost) || row.output != base.output) {
-      std::fprintf(stderr,
-                   "FATAL: cache policy '%s' x%d diverged from the uncached sweep\n",
-                   cache_policy_name(row.policy), row.threads);
-      std::exit(1);
-    }
-    char starts_s[32], nodes_s[32], speedup[32];
-    std::snprintf(starts_s, sizeof starts_s, "%.0f", total_starts / row.cost.seconds);
-    std::snprintf(nodes_s, sizeof nodes_s, "%.3g",
-                  static_cast<double>(row.cost.total_volume) / row.cost.seconds);
-    std::snprintf(speedup, sizeof speedup, "%.2fx", base.cost.seconds / row.cost.seconds);
-    table.add_row({"ball(r=6)/hot", fmt_int(inst.node_count()),
-                   std::string(cache_policy_name(row.policy)) + " x" +
-                       std::to_string(row.threads),
-                   starts_s, nodes_s, speedup});
-    Curve c;
-    c.add(static_cast<double>(inst.node_count()),
-          static_cast<double>(row.cost.total_volume) / row.cost.seconds, row.cost.seconds);
-    report.add(std::string("cache-ablation / ") + cache_policy_name(row.policy) + " x" +
-                   std::to_string(row.threads),
-               c);
-  }
-  const AblationRow* off8 = nullptr;
-  const AblationRow* shared8 = nullptr;
-  for (const AblationRow& row : rows) {
-    if (row.threads == 8 && row.policy == CachePolicy::Off) off8 = &row;
-    if (row.threads == 8 && row.policy == CachePolicy::Shared) shared8 = &row;
-  }
+  const std::vector<AblationRow> rows = run_ablation_rows(
+      inst.graph, inst.ids, starts, solve, ProbePlan::batched_ball(kRadius),
+      {CachePolicy::Off, CachePolicy::PerStart, CachePolicy::Shared}, kRepeats,
+      "ball(r=6)/hot", table, report, "cache-ablation");
+  const AblationRow* off8 = find_row(rows, ExecBackend::Basic, CachePolicy::Off, 8);
+  const AblationRow* shared8 = find_row(rows, ExecBackend::Basic, CachePolicy::Shared, 8);
   const double gain = off8->cost.seconds / shared8->cost.seconds;
   std::printf(
       "\ncache ablation (ball(r=%d), %zu starts over %zu hot centers, n=%lld):\n"
@@ -190,6 +238,53 @@ void run_cache_ablation(const Args& args, stats::Table& table, JsonReport& repor
       static_cast<long long>(shared8->stats.cache.misses),
       static_cast<long long>(shared8->stats.cache.served_nodes), gain,
       gain >= 3.0 ? "MET" : "MISSED");
+  // The hot-set workload is the cache's regime, not the batched backend's:
+  // repeats are served from the shared cache and only the distinct centers
+  // batch, so occupancy here shows the serve/batch composition.
+  print_batch_occupancy(*find_row(rows, ExecBackend::Batched, CachePolicy::Off, 8));
+  print_batch_occupancy(*find_row(rows, ExecBackend::Batched, CachePolicy::Shared, 8));
+}
+
+// Backend ablation on the whole-graph ball sweep — every start distinct, so
+// the shared cache cannot serve within the sweep and the batched backend's
+// fused wave traversal is the only lever.  This is the >= 2x headline the
+// per-backend baselines (bench/baselines-batched/) pin in CI.
+void run_backend_ablation(const Args& args, stats::Table& table, JsonReport& report) {
+  const auto inst = make_complete_binary_tree(15, Color::Red, Color::Blue);  // 2^16 - 1
+  if (!args.keep_n(inst.node_count())) return;
+  auto ph = report.phase("backend-ablation");
+  constexpr int kRadius = 6;
+  constexpr int kRepeats = 2;
+  std::vector<NodeIndex> all(static_cast<std::size_t>(inst.node_count()));
+  for (NodeIndex v = 0; v < inst.node_count(); ++v) all[static_cast<std::size_t>(v)] = v;
+  auto solve = [](Execution& exec) { return static_cast<int>(explore_ball(exec, kRadius).size()); };
+
+  const std::vector<AblationRow> rows = run_ablation_rows(
+      inst.graph, inst.ids, all, solve, ProbePlan::batched_ball(kRadius),
+      {CachePolicy::Off, CachePolicy::Shared}, kRepeats, "ball(r=6)/all", table, report,
+      "backend-ablation");
+  // Two comparisons: same-config (the backend's own instruction-count win,
+  // thread-invariant) and vs the shared-cache serving config at 8 threads —
+  // the previous best lever, which cannot help a whole-graph sweep (every
+  // center distinct, so it pays store overhead for zero hits).
+  const AblationRow* basic_off1 = find_row(rows, ExecBackend::Basic, CachePolicy::Off, 1);
+  const AblationRow* batched_off1 = find_row(rows, ExecBackend::Batched, CachePolicy::Off, 1);
+  const AblationRow* basic_off8 = find_row(rows, ExecBackend::Basic, CachePolicy::Off, 8);
+  const AblationRow* basic_shared8 =
+      find_row(rows, ExecBackend::Basic, CachePolicy::Shared, 8);
+  const AblationRow* batched_off8 = find_row(rows, ExecBackend::Batched, CachePolicy::Off, 8);
+  const double serial_gain = basic_off1->cost.seconds / batched_off1->cost.seconds;
+  const double gain8 = basic_off8->cost.seconds / batched_off8->cost.seconds;
+  const double vs_serving = basic_shared8->cost.seconds / batched_off8->cost.seconds;
+  std::printf(
+      "\nbackend ablation (ball(r=%d), whole graph, n=%lld):\n"
+      "  batched off x1 vs basic off x1: %.2fx\n"
+      "  batched off x8 vs basic off x8: %.2fx\n"
+      "  batched off x8 vs basic shared x8 (the serving-config lever): %.2fx "
+      "(target >= 2x: %s)\n",
+      kRadius, static_cast<long long>(inst.node_count()), serial_gain, gain8, vs_serving,
+      vs_serving >= 2.0 ? "MET" : "MISSED");
+  print_batch_occupancy(*batched_off8);
 }
 
 template <typename FlatFn, typename MapFn>
@@ -279,6 +374,7 @@ void run(const Args& args) {
         table, report);
   }
   run_cache_ablation(args, table, report);
+  run_backend_ablation(args, table, report);
   table.print();
   std::printf(
       "\nAll engines produced identical sup-costs and total visited nodes\n"

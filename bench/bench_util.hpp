@@ -9,7 +9,7 @@
 //
 // Every bench main accepts the shared flag set of bench::Args (--json,
 // --trace, --chrome-trace, --metrics, --filter, --max-n, --threads, --cache,
-// --help);
+// --backend, --help);
 // curves print as tables and dump as JSON, and the observability flags attach
 // the obs/ layer (trace sinks + sweep metrics) to every measure() call.
 #pragma once
@@ -39,13 +39,6 @@
 #include "util/hash.hpp"
 
 namespace volcal::bench {
-
-// Deprecated 2026-08 (PR 5), scheduled for removal one release later: sweep
-// cost scalars live in runtime/sweep_stats.hpp (SweepStats), shared with
-// SweepResult::stats.  The field names are unchanged (max_volume,
-// max_distance, starts, total_queries, wall_seconds), so migrating is a
-// rename.  Removal timeline: DESIGN.md "API surface and deprecations".
-using Cost [[deprecated("use volcal::SweepStats")]] = ::volcal::SweepStats;
 
 class WallTimer {
  public:
@@ -90,6 +83,7 @@ struct Args {
   std::int64_t max_n = 0;              // --max-n <n>: skip larger instances
   int threads = 0;                     // --threads <t>
   const char* cache = nullptr;         // --cache off|perstart|shared
+  const char* backend = nullptr;       // --backend basic|batched
   bool help = false;
 
   bool observing() const {
@@ -111,6 +105,8 @@ struct Args {
         "  --threads <t>          worker threads (same as VOLCAL_THREADS=t)\n"
         "  --cache <policy>       ball-view cache: off|perstart|shared\n"
         "                         (same as VOLCAL_CACHE=<policy>)\n"
+        "  --backend <backend>    plan execution backend: basic|batched\n"
+        "                         (same as VOLCAL_BACKEND=<backend>)\n"
         "  --help                 this message\n\n"
         "Problem registry (--filter matches the first column):\n",
         tool);
@@ -161,6 +157,8 @@ struct Args {
         args.threads = std::atoi(v);
       } else if ((v = value_of(i, "--cache", 7)) != nullptr) {
         args.cache = v;
+      } else if ((v = value_of(i, "--backend", 9)) != nullptr) {
+        args.backend = v;
       } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
         args.help = true;
       } else {
@@ -187,6 +185,16 @@ struct Args {
       // Exported rather than stored: every ParallelRunner the binary builds
       // picks the policy up through CacheConfig::from_env().
       setenv("VOLCAL_CACHE", args.cache, /*overwrite=*/1);
+    }
+    if (args.backend != nullptr) {
+      ExecBackend parsed = ExecBackend::Batched;
+      if (!backend_from_name(args.backend, &parsed)) {
+        std::fprintf(stderr, "%s: unknown --backend '%s' (basic|batched)\n", tool,
+                     args.backend);
+        std::exit(2);
+      }
+      // Exported like --cache: every runner picks it up via backend_from_env().
+      setenv("VOLCAL_BACKEND", args.backend, /*overwrite=*/1);
     }
     install(args);
     return args;
@@ -225,10 +233,12 @@ class Observer {
   bool tracing() const { return !trace_path_.empty() || !chrome_path_.empty(); }
 
   void note_traced_sweep(std::int64_t n, std::vector<obs::ExecutionTrace> traces,
-                         const SweepProfile* profile) {
+                         const SweepProfile* profile,
+                         const ProbePlan& plan = ProbePlan::independent()) {
     obs::SweepTrace sweep;
     sweep.label = tool_ + "/sweep-" + std::to_string(sweep_seq_);
     sweep.n = n;
+    sweep.plan = plan.name();
     sweep.traces = std::move(traces);
     if (profile != nullptr) sweep.profile = *profile;
     sweeps_.push_back(std::move(sweep));
@@ -280,7 +290,10 @@ class Observer {
 // Runs `solve(exec)` from each start on the parallel sweep engine and
 // aggregates sup-costs (Defs. 2.1-2.2 restricted to the sample).  `tape`, if
 // given, gets per-worker bit-usage accounting; `threads` overrides the
-// VOLCAL_THREADS default.
+// VOLCAL_THREADS default.  `plan` is the family's ProbePlan (registry
+// entries carry one): batchable plans ride the batched backend when the
+// environment allows (--backend / VOLCAL_BACKEND), with identical measured
+// costs either way.
 //
 // Observability: when an Observer is installed, the sweep is profiled and
 // folded into its metrics; when tracing was requested *and* the solver is
@@ -292,7 +305,8 @@ class Observer {
 template <typename Fn>
 SweepStats measure(const Graph& g, const IdAssignment& ids,
                    const std::vector<NodeIndex>& starts, Fn&& solve,
-                   RandomTape* tape = nullptr, int threads = 0) {
+                   RandomTape* tape = nullptr, int threads = 0,
+                   const ProbePlan& plan = ProbePlan::independent()) {
   Observer* obs = Observer::current();
   ParallelRunner runner(threads);
   SweepProfile profile;
@@ -313,13 +327,14 @@ SweepStats measure(const Graph& g, const IdAssignment& ids,
       obs::TraceRecorder recorder;
       auto run = obs::run_at_traced(runner, g, ids, std::span<const NodeIndex>(starts),
                                     wrapped, recorder, /*budget=*/0, tape, prof);
-      obs->note_traced_sweep(g.node_count(), std::move(recorder.traces()), prof);
+      run.stats.plan = plan.kind;  // traces must see every query: always basic
+      obs->note_traced_sweep(g.node_count(), std::move(recorder.traces()), prof, plan);
       obs->note_metrics(run, prof, tape);
       return run.stats;
     }
   }
-  auto run = runner.run_at(g, ids, std::span<const NodeIndex>(starts), wrapped,
-                           /*budget=*/0, tape, prof);
+  auto run = runner.run_planned(g, ids, std::span<const NodeIndex>(starts), plan, wrapped,
+                                /*budget=*/0, tape, prof);
   if (obs != nullptr) obs->note_metrics(run, prof, tape);
   return run.stats;
 }

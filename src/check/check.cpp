@@ -471,4 +471,103 @@ CheckResult check_cache_case(const FuzzCase& c) {
   return {};
 }
 
+CheckResult check_backend_case(const FuzzCase& c) {
+  const RegistryEntry* entry = ProblemRegistry::global().find(c.family);
+  if (entry == nullptr) return fail("unknown registry family: " + c.family);
+  if (c.variant < 0 || c.variant >= entry->variants) {
+    return fail("variant " + std::to_string(c.variant) + " out of range for " + c.family);
+  }
+  const ErasedInstance inst = entry->make_variant(c.n_target, c.instance_seed, c.variant);
+  const NodeIndex n = inst.node_count();
+  if (n <= 0) return fail("generator produced an empty instance");
+  const std::vector<NodeIndex> starts = case_starts(c, n);
+  const std::span<const NodeIndex> span(starts);
+  const ProbePlan plan = entry->plan;
+
+  auto solve = [&](auto& exec) { return inst.solve(exec); };
+  auto config = [](CachePolicy p) {
+    CacheConfig cfg;
+    cfg.policy = p;
+    return cfg;
+  };
+
+  // Reference row: Basic backend, cache off, serial, no budget / no tape (the
+  // configuration in which a batchable plan is batched-eligible).
+  ParallelRunner base_runner(1, config(CachePolicy::Off));
+  base_runner.set_backend(ExecBackend::Basic);
+  const auto baseline = base_runner.run_planned(inst.graph(), inst.ids(), span, plan, solve);
+  if (baseline.stats.backend != ExecBackend::Basic) {
+    return fail("backend: basic sweep mis-tagged as batched");
+  }
+  if (baseline.stats.plan != plan.kind) {
+    return fail("backend: basic sweep lost its plan tag");
+  }
+
+  for (const CachePolicy policy :
+       {CachePolicy::Off, CachePolicy::PerStart, CachePolicy::Shared}) {
+    for (const int threads : {1, 8}) {
+      ParallelRunner runner(threads, config(policy));
+      runner.set_backend(ExecBackend::Batched);
+      const auto run = runner.run_planned(inst.graph(), inst.ids(), span, plan, solve);
+      const std::string where = std::string(plan.name()) + " under " +
+                                cache_policy_name(policy) + " at " +
+                                std::to_string(threads) + " thread(s)";
+      if (baseline.output != run.output) {
+        return fail("backend: outputs diverge for " + where);
+      }
+      if (baseline.volume != run.volume || baseline.distance != run.distance ||
+          baseline.queries != run.queries) {
+        return fail("backend: per-start costs diverge for " + where);
+      }
+      if (!same_costs(baseline.stats, run.stats)) {
+        return fail("backend: aggregate costs diverge for " + where);
+      }
+      if (run.stats.plan != plan.kind) {
+        return fail("backend: sweep tagged with the wrong plan for " + where);
+      }
+      if (plan.batchable()) {
+        if (run.stats.backend != ExecBackend::Batched) {
+          return fail("backend: batchable sweep did not take the batched path for " + where);
+        }
+        // Every start is either executed in a batch or served from the shared
+        // cache — exactly once.  (Starts are strictly increasing, so within a
+        // sweep-scoped cache the hit count can only come from re-serving.)
+        if (run.stats.batch.batched_starts + run.stats.cache.hits !=
+            static_cast<std::int64_t>(starts.size())) {
+          return fail("backend: batch start accounting wrong for " + where);
+        }
+        if (!starts.empty() && run.stats.batch.batches < 1) {
+          return fail("backend: batched sweep recorded zero batches for " + where);
+        }
+      } else if (run.stats.backend != ExecBackend::Basic) {
+        return fail("backend: non-batchable plan tagged batched for " + where);
+      }
+    }
+  }
+
+  // A budget or an attached tape makes the sweep batched-ineligible: the
+  // runner must fall back to the per-start basic path and stay bit-identical
+  // to a Basic-backend runner under the same configuration.
+  RandomTape base_tape(inst.ids(), c.tape_seed, c.model);
+  ParallelRunner fb_base(1, config(CachePolicy::Off));
+  fb_base.set_backend(ExecBackend::Basic);
+  const auto fb_baseline = fb_base.run_planned(inst.graph(), inst.ids(), span, plan, solve,
+                                               c.budget, &base_tape);
+  RandomTape tape(inst.ids(), c.tape_seed, c.model);
+  ParallelRunner fb_runner(8, config(CachePolicy::Off));
+  fb_runner.set_backend(ExecBackend::Batched);
+  const auto fallback = fb_runner.run_planned(inst.graph(), inst.ids(), span, plan, solve,
+                                              c.budget, &tape);
+  if (fallback.stats.backend != ExecBackend::Basic) {
+    return fail("backend: taped sweep did not fall back to the basic path");
+  }
+  if (fb_baseline.output != fallback.output || fb_baseline.volume != fallback.volume ||
+      fb_baseline.distance != fallback.distance ||
+      fb_baseline.queries != fallback.queries ||
+      !same_costs(fb_baseline.stats, fallback.stats)) {
+    return fail("backend: taped fallback diverges from the basic backend");
+  }
+  return {};
+}
+
 }  // namespace volcal::check

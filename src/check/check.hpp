@@ -73,6 +73,16 @@ CheckResult check_case(const FuzzCase& c);
 // identical results).  Run by the driver when --cache is set.
 CheckResult check_cache_case(const FuzzCase& c);
 
+// Backend differential (plan/probe_plan.hpp + runtime/batched_execution.hpp):
+// the family's registered probe plan executed on the Batched backend, under
+// every cache policy at 1 and 8 threads, must be bit-identical to the Basic
+// backend in outputs and per-start/aggregate costs.  Also asserts the sweep
+// stats are tagged with the right plan/backend, that every start is accounted
+// for exactly once by the batch counters on batchable plans, and that a
+// budgeted/taped sweep (batched-ineligible) falls back to the basic path
+// bit-identically.  Run by the driver when --backend is set.
+CheckResult check_backend_case(const FuzzCase& c);
+
 // Model <-> name, shared by the reproducer format and the driver's output.
 const char* model_name(RandomnessModel m);
 bool model_from_name(const std::string& name, RandomnessModel* out);

@@ -35,6 +35,7 @@ struct FuzzOptions {
   std::string out_dir;        // reproducer directory; empty = none written
   bool log_cases = false;     // print every case before checking it
   bool cache = false;         // also run check_cache_case on every case
+  bool backend = false;       // also run check_backend_case on every case
 };
 
 // The deterministic case for iteration `iter` of run `seed`.  `family_index`

@@ -213,6 +213,9 @@ ProblemRegistry::ProblemRegistry() {
     e.title = "BallCensus(4) (query-model pin)";
     e.theta = "R-DIST = D-DIST Th(1), R-VOL = D-VOL Th(1)";
     e.algorithm = "bare explore_ball(v, 4); verifier recomputes N_v(4) offline";
+    // The solver *is* explore_ball(v, 4) with the ball size as output — the
+    // BatchedBall contract verbatim, so sweeps of this family batch.
+    e.plan = ProbePlan::batched_ball(4);
     e.variants = 4;  // same instance shapes as leaf-coloring
     e.make_variant = [](NodeIndex n_target, std::uint64_t seed, int variant) {
       auto built = [&]() -> LeafColoringInstance {

@@ -24,6 +24,7 @@
 
 #include "lcl/lcl.hpp"
 #include "obs/trace.hpp"
+#include "plan/probe_plan.hpp"
 #include "runtime/execution.hpp"
 
 namespace volcal {
@@ -67,6 +68,14 @@ struct RegistryEntry {
   std::string title;      // human name, e.g. "LeafColoring (Def. 3.4)"
   std::string theta;      // paper Θ-claims for the four measures
   std::string algorithm;  // which upper-bound algorithm solve() runs
+
+  // The family's probe plan (plan/probe_plan.hpp), chosen at registration:
+  // what the solver's access pattern is, statically.  IndependentStarts by
+  // default; a family declaring BatchedBall{r} promises its solve() is
+  // exactly explore_ball(v, r) with the ball size as output, which lets the
+  // engine run whole-graph sweeps on the batched backend (the fuzz
+  // differential cross-checks the promise on every case).
+  ProbePlan plan = ProbePlan::independent();
 
   // Builds an instance of roughly n_target nodes (clamped to the family's
   // sane range; exact size is family-shaped).  Equivalent to

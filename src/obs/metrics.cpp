@@ -47,6 +47,8 @@ void SweepMetrics::merge(const SweepMetrics& other) {
   stats.truncated += other.stats.truncated;
   stats.wall_seconds += other.stats.wall_seconds;
   stats.cache += other.stats.cache;
+  stats.batch += other.stats.batch;
+  batched_sweeps += other.batched_sweeps;
   volume_hist.merge(other.volume_hist);
   distance_hist.merge(other.distance_hist);
   queries_hist.merge(other.queries_hist);
@@ -54,6 +56,9 @@ void SweepMetrics::merge(const SweepMetrics& other) {
   for (std::size_t w = 0; w < worker_busy_ns.size(); ++w) {
     worker_busy_ns[w] += other.worker_busy_ns[w];
     worker_starts[w] += other.worker_starts[w];
+    worker_batches[w] += other.worker_batches[w];
+    worker_batched_starts[w] += other.worker_batched_starts[w];
+    worker_waves[w] += other.worker_waves[w];
   }
   workers_seen = std::max(workers_seen, other.workers_seen);
   tape_max_bits = std::max(tape_max_bits, other.tape_max_bits);
@@ -107,10 +112,20 @@ std::string SweepMetrics::to_json(const std::string& tool) const {
   append_histogram(out, "start_wall_us", start_wall_us_hist);
   out += ", \"workers\": [";
   for (int w = 0; w < workers_seen; ++w) {
-    std::snprintf(buf, sizeof buf, "%s{\"worker\": %d, \"starts\": %" PRId64
-                  ", \"busy_ns\": %" PRId64 "}",
-                  w ? ", " : "", w, worker_starts[static_cast<std::size_t>(w)],
-                  worker_busy_ns[static_cast<std::size_t>(w)]);
+    const auto ws = static_cast<std::size_t>(w);
+    // Batch occupancy = batched starts per wave: how full the worker's
+    // 64-slot frontier actually ran.
+    const double occupancy =
+        worker_waves[ws] > 0 ? static_cast<double>(worker_batched_starts[ws]) /
+                                   static_cast<double>(worker_waves[ws])
+                             : 0.0;
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"worker\": %d, \"starts\": %" PRId64 ", \"busy_ns\": %" PRId64
+                  ", \"batches\": %" PRId64 ", \"batched_starts\": %" PRId64
+                  ", \"waves\": %" PRId64 ", \"batch_occupancy\": %.3f}",
+                  w ? ", " : "", w, worker_starts[ws], worker_busy_ns[ws],
+                  worker_batches[ws], worker_batched_starts[ws], worker_waves[ws],
+                  occupancy);
     out += buf;
   }
   out += "], \"phases\": [";
@@ -126,6 +141,13 @@ std::string SweepMetrics::to_json(const std::string& tool) const {
                 ", \"served_nodes\": %" PRId64 ", \"inserted_bytes\": %" PRId64 "}",
                 cache_policy_name(stats.cache.policy), stats.cache.hits, stats.cache.misses,
                 stats.cache.evictions, stats.cache.served_nodes, stats.cache.inserted_bytes);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                ", \"batch\": {\"batched_sweeps\": %" PRId64 ", \"batches\": %" PRId64
+                ", \"batched_starts\": %" PRId64 ", \"waves\": %" PRId64
+                ", \"expanded_nodes\": %" PRId64 "}",
+                batched_sweeps, stats.batch.batches, stats.batch.batched_starts,
+                stats.batch.waves, stats.batch.expanded_nodes);
   out += buf;
   // Process-global probe samples, taken at serialization time.
   const perf::AllocStats alloc = perf::alloc_snapshot();

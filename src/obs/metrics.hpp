@@ -55,6 +55,14 @@ struct SweepMetrics {
   std::array<std::int64_t, 256> worker_busy_ns{};  // per-worker total
   std::array<std::int64_t, 256> worker_starts{};
   int workers_seen = 0;
+  // Batched-backend accounting: sweeps executed on the batched backend and,
+  // when a SweepProfile was attached, the per-worker batch columns from
+  // which occupancy (starts per wave) is derived.  stats.batch holds the
+  // sweep-level totals.
+  std::int64_t batched_sweeps = 0;
+  std::array<std::int64_t, 256> worker_batches{};
+  std::array<std::int64_t, 256> worker_batched_starts{};
+  std::array<std::int64_t, 256> worker_waves{};
   // RandomTape high-water mark: max bits consumed at any node (§2.2 fn. 1).
   std::uint64_t tape_max_bits = 0;
   // Perf probes (wall-clock / process-global, non-deterministic like the
@@ -78,6 +86,8 @@ struct SweepMetrics {
     stats.truncated += result.stats.truncated;
     stats.wall_seconds += result.stats.wall_seconds;
     stats.cache += result.stats.cache;
+    stats.batch += result.stats.batch;
+    if (result.stats.backend == ExecBackend::Batched) ++batched_sweeps;
     for (std::size_t i = 0; i < result.volume.size(); ++i) {
       volume_hist.add(result.volume[i]);
       distance_hist.add(result.distance[i]);
@@ -92,6 +102,19 @@ struct SweepMetrics {
           ++worker_starts[static_cast<std::size_t>(w)];
           workers_seen = std::max(workers_seen, w + 1);
         }
+      }
+    }
+    if (profile != nullptr) {
+      const auto seen = static_cast<int>(
+          std::min(profile->worker_batches.size(), worker_batches.size()));
+      for (int w = 0; w < seen; ++w) {
+        worker_batches[static_cast<std::size_t>(w)] +=
+            profile->worker_batches[static_cast<std::size_t>(w)];
+        worker_batched_starts[static_cast<std::size_t>(w)] +=
+            profile->worker_batched_starts[static_cast<std::size_t>(w)];
+        worker_waves[static_cast<std::size_t>(w)] +=
+            profile->worker_waves[static_cast<std::size_t>(w)];
+        workers_seen = std::max(workers_seen, w + 1);
       }
     }
     if (tape != nullptr) {

@@ -53,8 +53,9 @@ bool write_trace_jsonl(const std::string& path, std::span<const SweepTrace> swee
     const SweepTrace& sweep = sweeps[s];
     std::fprintf(file.f,
                  "{\"type\":\"sweep\",\"seq\":%zu,\"label\":\"%s\",\"n\":%" PRId64
-                 ",\"starts\":%zu}\n",
-                 s, escaped(sweep.label).c_str(), sweep.n, sweep.traces.size());
+                 ",\"plan\":\"%s\",\"starts\":%zu}\n",
+                 s, escaped(sweep.label).c_str(), sweep.n, escaped(sweep.plan).c_str(),
+                 sweep.traces.size());
     for (const ExecutionTrace& t : sweep.traces) {
       std::fprintf(file.f,
                    "{\"type\":\"exec\",\"sweep\":%zu,\"start\":%" PRId64

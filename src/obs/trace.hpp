@@ -147,6 +147,10 @@ auto run_at_traced(const ParallelRunner& runner, const Graph& g, const IdAssignm
 struct SweepTrace {
   std::string label;        // e.g. "bench_table1/leaf-coloring/det"
   std::int64_t n = 0;       // instance size
+  // ProbePlan kind the sweep was dispatched with (plan_kind_name).  Traced
+  // sweeps always *execute* per-start — a trace must contain every query —
+  // but the plan identifies what the engine would batch.
+  std::string plan = "independent-starts";
   std::vector<ExecutionTrace> traces;
   SweepProfile profile;     // empty vectors if profiling was off
 };

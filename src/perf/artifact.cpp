@@ -71,7 +71,8 @@ void append_env(std::string& out, const EnvFingerprint& env) {
   out += "\"env\": {\"git_sha\": \"" + json_escape(env.git_sha) + "\", \"compiler\": \"" +
          json_escape(env.compiler) + "\", \"flags\": \"" + json_escape(env.flags) +
          "\", \"build_type\": \"" + json_escape(env.build_type) + "\", \"os\": \"" +
-         json_escape(env.os) + "\", \"threads\": " + std::to_string(env.threads) + "}";
+         json_escape(env.os) + "\", \"threads\": " + std::to_string(env.threads) +
+         ", \"backend\": \"" + json_escape(env.backend) + "\"}";
 }
 
 void append_curve(std::string& out, const ArtifactCurve& c) {
@@ -148,6 +149,9 @@ EnvFingerprint env_from_json(const JsonValue& v) {
   env.build_type = v.string_at("build_type");
   env.os = v.string_at("os");
   env.threads = static_cast<int>(v.int_at("threads", 1));
+  // Pre-backend artifacts (through PR 5) predate the plan layer: every sweep
+  // ran per-start, so the tolerant default is "basic".
+  env.backend = v.string_at("backend", "basic");
   return env;
 }
 

@@ -12,7 +12,8 @@
 //     "tool": "...",                      // emitting binary
 //     "family": "...", "title": "...",    // bench-family only: registry
 //     "theta": "...", "algorithm": "...", //   metadata (Θ-claims included)
-//     "env": {"git_sha", "compiler", "flags", "build_type", "os", "threads"},
+//     "env": {"git_sha", "compiler", "flags", "build_type", "os", "threads",
+//             "backend"},                      // v2: plan execution backend
 //     "curves": [{"name", "claim", "fitted", "exponent", "r_squared",
 //                 "points": [{"n", "cost", "wall_seconds"}, ...]}, ...],
 //     "phases": [{"name", "wall_seconds"}, ...],

@@ -127,6 +127,11 @@ void diff_artifact(const BenchArtifact& base, const BenchArtifact& cand,
         fmt("env differs: %d threads vs %d (cost curves are thread-count invariant)",
             base.env.threads, cand.env.threads));
   }
+  if (base.env.backend != cand.env.backend) {
+    add(out, Sev::Note, key,
+        "env differs: backend '" + base.env.backend + "' vs '" + cand.env.backend +
+            "' (cost curves are backend-invariant; wall times not comparable 1:1)");
+  }
   // View-cache counters are wall-time bookkeeping (scheduling-dependent under
   // parallel sweeps), never gated — but a policy change explains wall-time
   // movement, so say so.

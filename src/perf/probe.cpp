@@ -1,5 +1,7 @@
 #include "perf/probe.hpp"
 
+#include "plan/probe_plan.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
@@ -69,6 +71,7 @@ EnvFingerprint current_env(int threads) {
   env.os = "unknown";
 #endif
   env.threads = threads;
+  env.backend = backend_name(backend_from_env());
   return env;
 }
 

@@ -1,0 +1,27 @@
+#include "plan/probe_plan.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace volcal {
+
+bool backend_from_name(const char* name, ExecBackend* out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "basic") == 0) {
+    *out = ExecBackend::Basic;
+    return true;
+  }
+  if (std::strcmp(name, "batched") == 0) {
+    *out = ExecBackend::Batched;
+    return true;
+  }
+  return false;
+}
+
+ExecBackend backend_from_env() {
+  ExecBackend backend = ExecBackend::Batched;
+  backend_from_name(std::getenv("VOLCAL_BACKEND"), &backend);
+  return backend;
+}
+
+}  // namespace volcal

@@ -14,7 +14,7 @@
 // RandomTape is supplied, one RandomTape::ScopedUsage ledger (lock-free bit
 // accounting, merged when the worker finishes).
 //
-// Determinism: RunResult is bit-identical regardless of thread count or
+// Determinism: SweepResult is bit-identical regardless of thread count or
 // scheduling, because
 //   * each execution is a pure function of (instance, start, budget, tape)
 //     — workers share nothing hot;
@@ -36,6 +36,12 @@
 // for the Chrome-trace exporter and SweepMetrics; attaching one does not
 // change any deterministic output.
 //
+// Plan dispatch: run_planned() takes a ProbePlan (plan/probe_plan.hpp) and
+// routes batchable plans to the wave-synchronous BatchedBallExecutor
+// (runtime/batched_execution.hpp) when the runner's backend allows it — same
+// outputs and per-start costs, bit for bit, amortized graph traversal.  Every
+// other combination falls back to the per-start loop below.
+//
 // Thread count: explicit constructor argument, else the VOLCAL_THREADS
 // environment variable, else 1 (determinism-by-default; parallelism is an
 // explicit opt-in).  Solvers run concurrently and so must be safe to invoke
@@ -55,6 +61,8 @@
 #include <utility>
 #include <vector>
 
+#include "plan/probe_plan.hpp"
+#include "runtime/batched_execution.hpp"
 #include "runtime/execution.hpp"
 #include "runtime/randomness.hpp"
 #include "runtime/sweep_stats.hpp"
@@ -71,25 +79,32 @@ struct SweepResult {
   SweepStats stats;                    // sup-costs + totals over the sweep
 };
 
-// Deprecated 2026-08 (PR 5), scheduled for removal one release later — the
-// engine's result was renamed to SweepResult to match SweepStats/SweepProfile.
-// Removal timeline: DESIGN.md "API surface and deprecations".
-template <typename Label>
-using RunResult [[deprecated("use volcal::SweepResult<Label>")]] = SweepResult<Label>;
-
 // Per-start wall-clock timing and worker assignment, filled by the engine
 // when attached to a sweep.  Feeds the Chrome trace_event exporter and the
 // per-worker breakdown in SweepMetrics; inherently non-deterministic (it is
-// time), so it lives outside RunResult.
+// time), so it lives outside SweepResult.
+//
+// Batched sweeps amortize one batch's wall time uniformly over its starts
+// (per-start times inside a fused BFS are not separable) and additionally
+// fill the per-worker batch columns, from which batch occupancy — starts per
+// wave — is derived (worker_batched_starts[w] / worker_waves[w]).
 struct SweepProfile {
   std::vector<std::int64_t> begin_ns;  // per start, since sweep begin
   std::vector<std::int64_t> duration_ns;
   std::vector<int> worker;  // executing worker index
 
+  // Per-worker batched-backend columns (empty for per-start sweeps).
+  std::vector<std::int64_t> worker_batches;
+  std::vector<std::int64_t> worker_batched_starts;
+  std::vector<std::int64_t> worker_waves;
+
   void reset(std::size_t count) {
     begin_ns.assign(count, 0);
     duration_ns.assign(count, 0);
     worker.assign(count, 0);
+    worker_batches.clear();
+    worker_batched_starts.clear();
+    worker_waves.clear();
   }
 };
 
@@ -118,6 +133,13 @@ class ParallelRunner {
 
   int threads() const { return threads_; }
   const CacheConfig& cache_config() const { return cache_config_; }
+
+  // Execution backend for plan-dispatched sweeps (run_planned).  Defaults to
+  // the environment (VOLCAL_BACKEND, Batched unless overridden — the batched
+  // backend is bit-identical by contract); plain run_at sweeps carry no plan
+  // and never batch.
+  void set_backend(ExecBackend backend) { backend_ = backend; }
+  ExecBackend backend() const { return backend_; }
 
   // Routes Shared-policy sweeps through a caller-owned ViewCache instead of
   // a sweep-scoped one, so warm entries persist across sweeps on the same
@@ -283,10 +305,179 @@ class ParallelRunner {
     return run_at(g, ids, starts, std::forward<Solver>(solver), budget, tape, profile);
   }
 
+  // Plan-dispatched sweep.  Batchable plans (BatchedBall / SharedFrontier)
+  // run on the wave-synchronous backend when the runner's backend is Batched
+  // and the sweep is eligible: no query budget (the truncating query must
+  // fire at the identical point, so budgeted runs stay per-start), no random
+  // tape (a batchable plan's solver is deterministic by promise), and an
+  // integral output (the plan's contract is output == ball size).  Everything
+  // else takes the per-start loop with the plan recorded in the stats.
+  //
+  // CachePolicy composition on the batched path: Shared serves full hits
+  // from the cache, batches only the misses, and inserts every completed
+  // expansion; PerStart — a per-start-scoped cache — is semantically a no-op
+  // for a single-ball solver and runs uncached.
+  template <typename Solver>
+  auto run_planned(const Graph& g, const IdAssignment& ids,
+                   std::span<const NodeIndex> starts, const ProbePlan& plan,
+                   Solver&& solver, std::int64_t budget = 0, RandomTape* tape = nullptr,
+                   SweepProfile* profile = nullptr) const {
+    using Label = std::decay_t<std::invoke_result_t<Solver&, Execution&>>;
+    if constexpr (std::is_integral_v<Label> && !std::is_same_v<Label, bool>) {
+      if (backend_ == ExecBackend::Batched && plan.batchable() && budget == 0 &&
+          tape == nullptr) {
+        return run_batched_balls<Label>(g, starts, plan, profile);
+      }
+    }
+    auto result =
+        run_at(g, ids, starts, std::forward<Solver>(solver), budget, tape, profile);
+    result.stats.plan = plan.kind;
+    return result;
+  }
+
  private:
+  // The batched engine loop: workers pull 64-start batches of *consecutive*
+  // starts (neighboring balls overlap most) off the atomic counter, serve
+  // full cache hits, fuse the misses into one BatchedBallExecutor run, and
+  // write per-start meters to disjoint slots.  Structure mirrors
+  // run_at_observed; the reduction is the same serial scan.
+  template <typename Label>
+  SweepResult<Label> run_batched_balls(const Graph& g, std::span<const NodeIndex> starts,
+                                       const ProbePlan& plan,
+                                       SweepProfile* profile) const {
+    const auto sweep_begin = std::chrono::steady_clock::now();
+    SweepResult<Label> result;
+    const std::int64_t count = static_cast<std::int64_t>(starts.size());
+    result.output.resize(static_cast<std::size_t>(count));
+    result.volume.resize(static_cast<std::size_t>(count));
+    result.distance.resize(static_cast<std::size_t>(count));
+    result.queries.resize(static_cast<std::size_t>(count));
+    if (profile != nullptr) profile->reset(static_cast<std::size_t>(count));
+
+    const int workers =
+        static_cast<int>(std::min<std::int64_t>(threads_, std::max<std::int64_t>(count, 1)));
+    constexpr std::int64_t kBatch = BatchedBallExecutor::kMaxBatch;
+    std::atomic<std::int64_t> next{0};
+
+    ViewCache* shared_cache = external_cache_;
+    std::optional<ViewCache> sweep_cache;
+    if (shared_cache == nullptr && cache_config_.policy == CachePolicy::Shared) {
+      sweep_cache.emplace(cache_config_);
+      shared_cache = &*sweep_cache;
+    }
+    if (shared_cache != nullptr) shared_cache->bind(g);
+    const CacheStats cache_before =
+        shared_cache != nullptr ? shared_cache->stats() : CacheStats{};
+    std::vector<BatchStats> worker_batch(static_cast<std::size_t>(workers));
+
+    detail::run_on_workers(workers, [&](const int worker) {
+      BatchedBallExecutor exec;
+      exec.bind(g);
+      NodeIndex centers[BatchedBallExecutor::kMaxBatch];
+      std::int64_t slot_of[BatchedBallExecutor::kMaxBatch];
+      BatchStats local;
+      for (std::int64_t begin = next.fetch_add(kBatch, std::memory_order_relaxed);
+           begin < count; begin = next.fetch_add(kBatch, std::memory_order_relaxed)) {
+        const std::int64_t end = std::min(count, begin + kBatch);
+        const auto batch_begin = profile ? std::chrono::steady_clock::now() : sweep_begin;
+        const std::uint64_t epoch = shared_cache != nullptr ? shared_cache->epoch() : 0;
+        int b = 0;
+        for (std::int64_t i = begin; i < end; ++i) {
+          const NodeIndex center = starts[static_cast<std::size_t>(i)];
+          if (shared_cache != nullptr) {
+            BallCosts costs;
+            if (shared_cache->serve_costs(g, center, plan.radius, &costs)) {
+              result.output[static_cast<std::size_t>(i)] = static_cast<Label>(costs.volume);
+              result.volume[static_cast<std::size_t>(i)] = costs.volume;
+              result.distance[static_cast<std::size_t>(i)] = costs.distance;
+              result.queries[static_cast<std::size_t>(i)] = costs.queries;
+              continue;
+            }
+          }
+          centers[b] = center;
+          slot_of[b] = i;
+          ++b;
+        }
+        if (b > 0) {
+          exec.run({centers, static_cast<std::size_t>(b)}, plan.radius);
+          for (int s = 0; s < b; ++s) {
+            const auto i = static_cast<std::size_t>(slot_of[s]);
+            result.output[i] = static_cast<Label>(exec.volume(s));
+            result.volume[i] = exec.volume(s);
+            result.distance[i] = exec.distance(s);
+            result.queries[i] = exec.queries(s);
+          }
+          if (shared_cache != nullptr) {
+            for (int s = 0; s < b; ++s) {
+              shared_cache->store(centers[s], exec.take_ball(s), epoch);
+            }
+          }
+          ++local.batches;
+          local.batched_starts += b;
+          local.waves += exec.waves();
+          local.expanded_nodes += exec.expanded_nodes();
+        }
+        if (profile != nullptr) {
+          const auto batch_end = std::chrono::steady_clock::now();
+          const std::int64_t begin_ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(batch_begin - sweep_begin)
+                  .count();
+          const std::int64_t per_start_ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(batch_end - batch_begin)
+                  .count() /
+              std::max<std::int64_t>(end - begin, 1);
+          for (std::int64_t i = begin; i < end; ++i) {
+            profile->begin_ns[static_cast<std::size_t>(i)] = begin_ns;
+            profile->duration_ns[static_cast<std::size_t>(i)] = per_start_ns;
+            profile->worker[static_cast<std::size_t>(i)] = worker;
+          }
+        }
+      }
+      worker_batch[static_cast<std::size_t>(worker)] = local;
+    });
+
+    result.stats.starts = count;
+    for (std::int64_t i = 0; i < count; ++i) {
+      result.stats.max_volume =
+          std::max(result.stats.max_volume, result.volume[static_cast<std::size_t>(i)]);
+      result.stats.max_distance =
+          std::max(result.stats.max_distance, result.distance[static_cast<std::size_t>(i)]);
+      result.stats.total_volume += result.volume[static_cast<std::size_t>(i)];
+      result.stats.total_queries += result.queries[static_cast<std::size_t>(i)];
+    }
+    if (shared_cache != nullptr) {
+      result.stats.cache = shared_cache->stats() - cache_before;
+      result.stats.cache.policy = cache_config_.policy == CachePolicy::Off
+                                      ? CachePolicy::Shared  // attached external cache
+                                      : cache_config_.policy;
+    } else {
+      result.stats.cache.policy = cache_config_.policy;
+    }
+    result.stats.plan = plan.kind;
+    result.stats.backend = ExecBackend::Batched;
+    for (int w = 0; w < workers; ++w) {
+      result.stats.batch += worker_batch[static_cast<std::size_t>(w)];
+    }
+    if (profile != nullptr) {
+      profile->worker_batches.resize(static_cast<std::size_t>(workers));
+      profile->worker_batched_starts.resize(static_cast<std::size_t>(workers));
+      profile->worker_waves.resize(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        const BatchStats& wb = worker_batch[static_cast<std::size_t>(w)];
+        profile->worker_batches[static_cast<std::size_t>(w)] = wb.batches;
+        profile->worker_batched_starts[static_cast<std::size_t>(w)] = wb.batched_starts;
+        profile->worker_waves[static_cast<std::size_t>(w)] = wb.waves;
+      }
+    }
+    result.stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_begin).count();
+    return result;
+  }
+
   int threads_;
   CacheConfig cache_config_;
   ViewCache* external_cache_ = nullptr;
+  ExecBackend backend_ = backend_from_env();
 };
 
 // Whole-graph convenience wrapper over the sweep engine: serial (and

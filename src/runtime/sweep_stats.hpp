@@ -1,10 +1,10 @@
 // SweepStats — the one cost-aggregate for whole-graph (or sampled) sweeps.
 //
-// Historically the runner's RunResult carried four loose scalars and the
-// bench layer kept its own `bench::Cost` copy of the same fields; both now
-// share this struct (bench::Cost remains as a deprecated alias for one
-// release).  The sup fields are the paper's Definitions 2.1-2.2 evaluated
-// over the swept start set:
+// Historically the runner's result carried four loose scalars and the bench
+// layer kept its own `bench::Cost` copy of the same fields; both were folded
+// into this struct in PR 5 (the deprecated aliases have since been removed).
+// The sup fields are the paper's Definitions 2.1-2.2 evaluated over the
+// swept start set:
 //
 //   max_volume   = VOL_n(A)  restricted to the starts,
 //   max_distance = DIST_n(A) restricted to the starts.
@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+
+#include "plan/probe_plan.hpp"
 
 namespace volcal {
 
@@ -71,6 +73,27 @@ struct CacheStats {
   }
 };
 
+// Batched-backend counters for one sweep (runtime/batched_execution.hpp).
+// Like CacheStats these describe how the work was performed, not what it
+// computed: batch composition follows the engine's chunking, which depends on
+// the thread count, so every field here is excluded from same_costs.
+struct BatchStats {
+  std::int64_t batches = 0;         // multi-start BFS batches executed
+  std::int64_t batched_starts = 0;  // starts that ran inside a batch
+  std::int64_t waves = 0;           // BFS waves summed over batches
+  std::int64_t expanded_nodes = 0;  // union-frontier nodes gathered (the CSE:
+                                    // each counts one adjacency walk serving
+                                    // every start of its batch)
+
+  BatchStats& operator+=(const BatchStats& o) {
+    batches += o.batches;
+    batched_starts += o.batched_starts;
+    waves += o.waves;
+    expanded_nodes += o.expanded_nodes;
+    return *this;
+  }
+};
+
 struct SweepStats {
   std::int64_t starts = 0;         // executions performed
   std::int64_t max_volume = 0;     // sup volume cost (Def. 2.2)
@@ -85,6 +108,13 @@ struct SweepStats {
   // wall_seconds these describe how the work was performed, not what it
   // computed, and are excluded from same_costs.
   CacheStats cache;
+  // How the sweep was executed (filled by ParallelRunner::run_planned; plain
+  // run_at sweeps keep the defaults).  Tags and counters, not costs — all
+  // excluded from same_costs: the whole point of the plan layer is that the
+  // backend choice never changes a deterministic output.
+  PlanKind plan = PlanKind::IndependentStarts;
+  ExecBackend backend = ExecBackend::Basic;
+  BatchStats batch;
 
   // Deterministic fields only — the comparison the engine-equivalence tests
   // and benches use (wall_seconds and the cache counters are intentionally

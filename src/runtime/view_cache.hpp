@@ -94,6 +94,15 @@ struct CachedBall {
   }
 };
 
+// The three cost meters of one served ball (ViewCache::serve_costs) —
+// exactly what a BasicExecution running explore_ball(center, radius) would
+// report as volume() / distance() / query_count().
+struct BallCosts {
+  std::int64_t volume = 0;
+  std::int64_t distance = 0;
+  std::int64_t queries = 0;
+};
+
 namespace detail {
 
 // Expands `ball` in place from its stored depth toward `target` with real
@@ -252,6 +261,42 @@ class ViewCache {
     std::vector<NodeIndex> out = work.order;
     store(center, std::move(work), epoch);
     return out;
+  }
+
+  // Cost-only full-hit service for the batched backend: when the cache holds
+  // a full expansion of N_center(radius), writes the exact meters a served
+  // execution would report (volume / distance / queries) and counts a hit;
+  // otherwise counts a miss and returns false so the caller rebuilds the
+  // ball (partial entries are not resumed on this path — the batched
+  // executor rebuilds from scratch and store() keeps the deeper result).
+  // Caller must have bound the cache to `g` first.
+  bool serve_costs(const Graph& g, NodeIndex center, std::int64_t radius,
+                   BallCosts* out) {
+    if (bound_.load(std::memory_order_acquire) != &g || radius < 0) return false;
+    Shard& shard = shard_of(center);
+    const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    {
+      std::shared_lock lock(shard.mu);
+      if (shard.epoch == epoch) {
+        auto it = shard.map.find(center);
+        if (it != shard.map.end()) {
+          Entry& entry = *it->second;
+          const CachedBall& ball = entry.ball;
+          if (ball.depth >= radius || ball.exhausted) {
+            entry.last_used.store(tick(), std::memory_order_relaxed);
+            const std::int64_t d = std::min(radius, ball.depth);
+            out->volume = ball.level_end[static_cast<std::size_t>(d)];
+            out->distance = ball.max_layer(radius);
+            out->queries = ball.cum_queries[static_cast<std::size_t>(d)];
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            served_nodes_.fetch_add(out->volume, std::memory_order_relaxed);
+            return true;
+          }
+        }
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
 
   // Inserts (or deepens) the entry for `center`, evicting LRU entries of the

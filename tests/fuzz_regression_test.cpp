@@ -32,7 +32,7 @@ TEST(FuzzCorpus, HasTheCommittedReproducers) {
   // The corpus ships with at least the three satellite-bug reproducers plus
   // per-family scenario pins; an empty directory means the build is pointing
   // at the wrong place, which would turn the replay test into a silent no-op.
-  EXPECT_GE(corpus_files().size(), 9u);
+  EXPECT_GE(corpus_files().size(), 11u);
 }
 
 TEST(FuzzCorpus, EveryReproducerParsesAndPasses) {
@@ -43,7 +43,12 @@ TEST(FuzzCorpus, EveryReproducerParsesAndPasses) {
     ASSERT_TRUE(load_repro_file(path.string(), &c, &recorded_error, &why))
         << path << ": " << why;
     ASSERT_FALSE(c.family.empty()) << path;
-    const CheckResult result = check_case(c);
+    // The full differential stack — base invariants plus the cache-policy and
+    // execution-backend differentials, exactly what
+    // `volcal_fuzz --cache --backend` runs per case.
+    CheckResult result = check_case(c);
+    if (result.ok) result = check_cache_case(c);
+    if (result.ok) result = check_backend_case(c);
     EXPECT_TRUE(result.ok) << path << "\n  case: " << describe(c)
                            << "\n  originally: " << recorded_error
                            << "\n  now: " << result.error;
@@ -56,7 +61,9 @@ TEST(FuzzCorpus, CoversTheSatelliteBugs) {
   for (const auto& path : corpus_files()) names.push_back(path.filename().string());
   for (const char* expected : {"sampled-starts-count1.repro", "tape-word-bit-aliasing.repro",
                                "stats-median-even-count.repro",
-                               "stats-p95-nearest-rank.repro"}) {
+                               "stats-p95-nearest-rank.repro",
+                               "batched-ball-exhausted-component.repro",
+                               "batched-shared-cache-batch-boundary.repro"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "corpus lost " << expected;
   }

@@ -30,6 +30,9 @@ MIN_ARTIFACT_SCHEMA_VERSION = 1  # v1 = pre-view-cache, no "cache" block
 CACHE_POLICIES = ("off", "perstart", "shared")
 CACHE_COUNTERS = ("hits", "misses", "evictions", "served_nodes",
                   "inserted_bytes")
+BACKENDS = ("basic", "batched")
+BATCH_COUNTERS = ("batched_sweeps", "batches", "batched_starts", "waves",
+                  "expanded_nodes")
 
 failures = []
 
@@ -79,13 +82,21 @@ def check_artifact_body(doc, where, kind, monotone_n):
     require_keys(doc, ["schema_version", "kind", "tool", "env", "curves",
                        "phases", "alloc", "rss_high_water_kb",
                        "total_wall_seconds"], where)
-    if check_schema_version(doc, where) == 2:
+    version = check_schema_version(doc, where)
+    if version == 2:
         check_cache_block(doc, where)
     check(doc.get("kind") == kind,
           f"{where}: kind {doc.get('kind')!r} != {kind!r}")
     require_keys(doc.get("env", {}),
                  ["git_sha", "compiler", "flags", "build_type", "os",
                   "threads"], f"{where} env")
+    if version == 2:
+        # v2 artifacts stamp the plan execution backend; v1 readers default
+        # it to "basic".
+        require_keys(doc.get("env", {}), ["backend"], f"{where} env")
+        check(doc.get("env", {}).get("backend") in BACKENDS,
+              f"{where} env: unknown backend "
+              f"{doc.get('env', {}).get('backend')!r}")
     check(isinstance(doc.get("curves"), list) and doc["curves"],
           f"{where}: 'curves' must be a non-empty list")
     for curve in doc.get("curves", []):
@@ -150,9 +161,41 @@ def check_metrics_json(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     require_keys(doc, ["tool", "sweeps", "totals", "tape_max_bits",
-                       "volume", "distance", "queries", "workers", "cache"],
-                 path)
+                       "volume", "distance", "queries", "workers", "cache",
+                       "batch"], path)
     check_cache_block(doc, path)
+    batch = doc.get("batch", {})
+    if check(isinstance(batch, dict), f"{path}: 'batch' must be an object"):
+        require_keys(batch, BATCH_COUNTERS, f"{path} batch")
+        for k in BATCH_COUNTERS:
+            v = batch.get(k, -1)
+            check(isinstance(v, int) and v >= 0,
+                  f"{path} batch: {k} must be a non-negative integer, got {v!r}")
+        check(batch.get("batched_sweeps", 0) <= doc.get("sweeps", 0),
+              f"{path}: batched_sweeps {batch.get('batched_sweeps')} exceeds "
+              f"sweeps {doc.get('sweeps')}")
+    workers = doc.get("workers", [])
+    worker_batches = 0
+    worker_waves = 0
+    for w in workers:
+        wwhere = f"{path} worker {w.get('worker', '?')}"
+        require_keys(w, ["worker", "starts", "busy_ns", "batches",
+                         "batched_starts", "waves", "batch_occupancy"], wwhere)
+        waves = w.get("waves", 0)
+        expected = w.get("batched_starts", 0) / waves if waves > 0 else 0.0
+        # batch_occupancy (starts per wave) is emitted with %.3f precision.
+        check(abs(w.get("batch_occupancy", -1.0) - expected) < 2e-3,
+              f"{wwhere}: batch_occupancy {w.get('batch_occupancy')} != "
+              f"batched_starts/waves {expected:.3f}")
+        worker_batches += w.get("batches", 0)
+        worker_waves += w.get("waves", 0)
+    # Per-worker columns fold only profiled sweeps; the batch block folds all.
+    check(worker_batches <= batch.get("batches", 0),
+          f"{path}: worker batches {worker_batches} exceed batch total "
+          f"{batch.get('batches')}")
+    check(worker_waves <= batch.get("waves", 0),
+          f"{path}: worker waves {worker_waves} exceed batch total "
+          f"{batch.get('waves')}")
     totals = doc.get("totals", {})
     require_keys(totals, ["starts", "max_volume", "max_distance",
                           "total_queries", "total_volume", "truncated",
@@ -191,7 +234,8 @@ def check_trace_jsonl(path):
             where = f"{path}:{lineno}"
             t = rec.get("type")
             if t == "sweep":
-                require_keys(rec, ["seq", "label", "n", "starts"], where)
+                require_keys(rec, ["seq", "label", "n", "plan", "starts"],
+                             where)
                 sweeps[rec["seq"]] = rec["starts"]
             elif t == "exec":
                 require_keys(rec, ["sweep", "start", "volume", "distance",

@@ -88,7 +88,8 @@ perf::BenchArtifact run_family(const RegistryEntry& entry, std::int64_t max_n,
       auto scope = phases.scope("sweep");
       const auto starts = sampled_starts(inst.node_count(), kStartSample);
       cost = measure(inst.graph(), inst.ids(), starts,
-                     [&](Execution& exec) { return inst.solve(exec); });
+                     [&](Execution& exec) { return inst.solve(exec); },
+                     /*tape=*/nullptr, /*threads=*/0, entry.plan);
     }
     art.cache += cost.cache;
     const auto nd = static_cast<double>(n);

@@ -32,11 +32,12 @@ void print_help() {
       "  --out-dir <d>   write minimized reproducers (*.repro) into <d>\n"
       "  --replay <f>    replay one reproducer file instead of fuzzing\n"
       "  --cache         also run the view-cache policy differential per case\n"
+      "  --backend       also run the basic-vs-batched backend differential per case\n"
       "  --log           print every generated case\n"
       "  --help          this message\n");
 }
 
-int replay_file(const std::string& path, bool cache) {
+int replay_file(const std::string& path, bool cache, bool backend) {
   volcal::check::FuzzCase c;
   std::string recorded_error;
   std::string why;
@@ -50,6 +51,7 @@ int replay_file(const std::string& path, bool cache) {
   }
   volcal::check::CheckResult result = volcal::check::check_case(c);
   if (result.ok && cache) result = volcal::check::check_cache_case(c);
+  if (result.ok && backend) result = volcal::check::check_backend_case(c);
   if (!result.ok) {
     std::printf("  STILL FAILING: %s\n", result.error.c_str());
     return 1;
@@ -87,6 +89,8 @@ int main(int argc, char** argv) {
       replays.push_back(v);
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       opts.cache = true;
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      opts.backend = true;
     } else if (std::strcmp(argv[i], "--log") == 0) {
       opts.log_cases = true;
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -101,7 +105,7 @@ int main(int argc, char** argv) {
   if (!replays.empty()) {
     int status = 0;
     for (const std::string& path : replays) {
-      status = std::max(status, replay_file(path, opts.cache));
+      status = std::max(status, replay_file(path, opts.cache, opts.backend));
     }
     return status;
   }
