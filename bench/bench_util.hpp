@@ -303,7 +303,7 @@ class Observer {
 // are bit-identical either way.  Solvers hard-typed on Execution& degrade
 // gracefully to metrics-only.
 template <typename Fn>
-SweepStats measure(const Graph& g, const IdAssignment& ids,
+SweepStats measure(GraphView g, const IdAssignment& ids,
                    const std::vector<NodeIndex>& starts, Fn&& solve,
                    RandomTape* tape = nullptr, int threads = 0,
                    const ProbePlan& plan = ProbePlan::independent()) {

@@ -12,9 +12,9 @@
 #include <iostream>
 
 #include "graph/bfs.hpp"
-#include "io/serialize.hpp"
 #include "labels/generators.hpp"
 #include "labels/hierarchy.hpp"
+#include "volcal/io.hpp"
 
 namespace {
 

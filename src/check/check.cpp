@@ -7,7 +7,13 @@
 #include <sstream>
 #include <vector>
 
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <unistd.h>
+
 #include "bench_util.hpp"
+#include "io/instance_io.hpp"
 #include "lcl/registry.hpp"
 #include "obs/replay.hpp"
 #include "obs/trace.hpp"
@@ -229,7 +235,7 @@ CheckResult check_trace_invariants(const obs::ExecutionTrace& t, std::int64_t bu
 // demands identical revelations — the third leg of the differential (flat and
 // traced executions are compared via SweepResults; this pins both against the
 // reference semantics).
-CheckResult check_against_reference(const Graph& g, const IdAssignment& ids,
+CheckResult check_against_reference(GraphView g, const IdAssignment& ids,
                                     const obs::ExecutionTrace& t, std::int64_t budget,
                                     std::size_t slot) {
   ReferenceMapExecution ref(g, ids, t.start, budget);
@@ -566,6 +572,106 @@ CheckResult check_backend_case(const FuzzCase& c) {
       fb_baseline.queries != fallback.queries ||
       !same_costs(fb_baseline.stats, fallback.stats)) {
     return fail("backend: taped fallback diverges from the basic backend");
+  }
+  return {};
+}
+
+CheckResult check_snapshot_case(const FuzzCase& c) {
+  const RegistryEntry* entry = ProblemRegistry::global().find(c.family);
+  if (entry == nullptr) return fail("unknown registry family: " + c.family);
+  if (c.variant < 0 || c.variant >= entry->variants) {
+    return fail("variant " + std::to_string(c.variant) + " out of range for " + c.family);
+  }
+  const ErasedInstance inst = entry->make_variant(c.n_target, c.instance_seed, c.variant);
+  const NodeIndex n = inst.node_count();
+  if (n <= 0) return fail("generator produced an empty instance");
+
+  // Round-trip through a uniquely named temp file; the mapping survives the
+  // unlink (POSIX), so the file is removed as soon as the load returns.
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("volcal-fuzz-" + c.family + "-v" + std::to_string(c.variant) + "-n" +
+        std::to_string(c.n_target) + "-s" + std::to_string(c.instance_seed) + "-p" +
+        std::to_string(static_cast<long long>(::getpid())) + ".vsnap"))
+          .string();
+  ErasedInstance loaded = [&] {
+    inst.save_snapshot(path);
+    ErasedInstance l = io::load_instance(path);
+    std::remove(path.c_str());
+    return l;
+  }();
+
+  if (loaded.family() != inst.family()) {
+    return fail("snapshot: family round-tripped as '" + loaded.family() + "'");
+  }
+  if (loaded.node_count() != n) {
+    return fail("snapshot: node count round-tripped as " +
+                std::to_string(loaded.node_count()));
+  }
+  const GraphView a = inst.graph();
+  const GraphView b = loaded.graph();
+  if (a.max_degree() != b.max_degree() || a.edge_count() != b.edge_count()) {
+    return fail("snapshot: graph shape (max degree / edge count) diverged");
+  }
+  if (std::memcmp(a.offsets_data(), b.offsets_data(),
+                  sizeof(std::size_t) * static_cast<std::size_t>(n + 1)) != 0) {
+    return fail("snapshot: CSR offsets are not bit-identical");
+  }
+  if (a.edge_count() > 0 &&
+      std::memcmp(a.adjacency_data(), b.adjacency_data(),
+                  sizeof(NodeIndex) * static_cast<std::size_t>(2 * a.edge_count())) != 0) {
+    return fail("snapshot: CSR adjacency is not bit-identical");
+  }
+  for (NodeIndex v = 0; v < n; ++v) {
+    if (inst.ids().id_of(v) != loaded.ids().id_of(v)) {
+      return fail("snapshot: ID table diverged at node " + std::to_string(v));
+    }
+  }
+
+  // Differential sweeps: the loaded instance must be bit-identical to the
+  // in-RAM one in outputs and costs, serial and 8-thread, and on the
+  // family's planned backend.
+  const std::vector<NodeIndex> starts = case_starts(c, n);
+  const std::span<const NodeIndex> span(starts);
+  auto solve_a = [&](auto& exec) { return inst.solve(exec); };
+  auto solve_b = [&](auto& exec) { return loaded.solve(exec); };
+  const auto base = ParallelRunner(1).run_at(a, inst.ids(), span, solve_a, c.budget);
+  for (const int threads : {1, 8}) {
+    const auto run =
+        ParallelRunner(threads).run_at(b, loaded.ids(), span, solve_b, c.budget);
+    const std::string where = "at " + std::to_string(threads) + " thread(s)";
+    if (base.output != run.output) {
+      return fail("snapshot: outputs diverge from the in-RAM instance " + where);
+    }
+    if (base.volume != run.volume || base.distance != run.distance ||
+        base.queries != run.queries) {
+      return fail("snapshot: per-start costs diverge from the in-RAM instance " + where);
+    }
+    if (!same_costs(base.stats, run.stats)) {
+      return fail("snapshot: aggregate costs diverge from the in-RAM instance " + where);
+    }
+  }
+  {
+    ParallelRunner runner(8);
+    runner.set_backend(ExecBackend::Batched);
+    const auto planned =
+        runner.run_planned(b, loaded.ids(), span, entry->plan, solve_b, c.budget);
+    if (base.output != planned.output || base.volume != planned.volume ||
+        base.distance != planned.distance || base.queries != planned.queries ||
+        !same_costs(base.stats, planned.stats)) {
+      return fail("snapshot: planned-backend sweep on the loaded instance diverges");
+    }
+  }
+
+  // Self-verification through the loaded instance's own wiring.
+  if (c.budget == 0) {
+    const auto whole = run_at_all_nodes(b, loaded.ids(), solve_b);
+    const VerifyResult verdict = loaded.verify(whole.output);
+    if (!verdict.ok) {
+      return fail("snapshot: loaded instance fails its verifier (" +
+                  std::to_string(verdict.violations) + " violations, first at node " +
+                  std::to_string(verdict.first_bad) + ")");
+    }
   }
   return {};
 }

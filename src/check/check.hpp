@@ -83,6 +83,14 @@ CheckResult check_cache_case(const FuzzCase& c);
 // bit-identically.  Run by the driver when --backend is set.
 CheckResult check_backend_case(const FuzzCase& c);
 
+// Snapshot round-trip differential (io/snapshot.hpp): the case's instance
+// written as a binary snapshot, mmap-loaded back, must carry bit-identical
+// CSR/ID arrays and produce bit-identical outputs and costs on the same
+// sweep — basic serial, 8-thread, and the family's planned backend — and the
+// loaded instance's whole-graph output must pass the family's verifier.
+// Run by the driver when --snapshot is set.
+CheckResult check_snapshot_case(const FuzzCase& c);
+
 // Model <-> name, shared by the reproducer format and the driver's output.
 const char* model_name(RandomnessModel m);
 bool model_from_name(const std::string& name, RandomnessModel* out);

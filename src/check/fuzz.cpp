@@ -144,13 +144,15 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     report.failures.push_back(std::move(f));
     return report;
   }
-  // With --cache / --backend every case additionally runs the cache-policy /
-  // execution-backend differential; shrinking uses the same combined
-  // predicate so minimized cases still fail for the reported reason.
+  // With --cache / --backend / --snapshot every case additionally runs the
+  // cache-policy / execution-backend / snapshot round-trip differential;
+  // shrinking uses the same combined predicate so minimized cases still fail
+  // for the reported reason.
   const auto predicate = [&opts](const FuzzCase& candidate) -> CheckResult {
     CheckResult r = check_case(candidate);
     if (r.ok && opts.cache) r = check_cache_case(candidate);
     if (r.ok && opts.backend) r = check_backend_case(candidate);
+    if (r.ok && opts.snapshot) r = check_snapshot_case(candidate);
     return r;
   };
   for (int iter = 0; iter < opts.iters; ++iter) {

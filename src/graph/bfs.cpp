@@ -5,7 +5,7 @@
 
 namespace volcal {
 
-std::vector<std::int64_t> bfs_distances(const Graph& g, NodeIndex source) {
+std::vector<std::int64_t> bfs_distances(GraphView g, NodeIndex source) {
   std::vector<std::int64_t> dist(g.node_count(), kUnreachable);
   std::deque<NodeIndex> frontier{source};
   dist[source] = 0;
@@ -22,7 +22,7 @@ std::vector<std::int64_t> bfs_distances(const Graph& g, NodeIndex source) {
   return dist;
 }
 
-BallWithDistances ball_with_distances(const Graph& g, NodeIndex center, std::int64_t radius) {
+BallWithDistances ball_with_distances(GraphView g, NodeIndex center, std::int64_t radius) {
   BallWithDistances out;
   if (radius < 0) return out;
   // Local visited map keyed by node; a full vector<bool> of size n would make
@@ -52,18 +52,18 @@ BallWithDistances ball_with_distances(const Graph& g, NodeIndex center, std::int
   return out;
 }
 
-std::vector<NodeIndex> ball(const Graph& g, NodeIndex center, std::int64_t radius) {
+std::vector<NodeIndex> ball(GraphView g, NodeIndex center, std::int64_t radius) {
   return ball_with_distances(g, center, radius).nodes;
 }
 
-std::int64_t eccentricity(const Graph& g, NodeIndex source) {
+std::int64_t eccentricity(GraphView g, NodeIndex source) {
   auto dist = bfs_distances(g, source);
   std::int64_t ecc = 0;
   for (auto d : dist) ecc = std::max(ecc, d);
   return ecc;
 }
 
-Components connected_components(const Graph& g) {
+Components connected_components(GraphView g) {
   Components out;
   out.component_of.assign(g.node_count(), -1);
   for (NodeIndex v = 0; v < g.node_count(); ++v) {

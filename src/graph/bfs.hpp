@@ -13,11 +13,11 @@ namespace volcal {
 
 // Distances from `source` to every node, kUnreachable where disconnected.
 inline constexpr std::int64_t kUnreachable = -1;
-std::vector<std::int64_t> bfs_distances(const Graph& g, NodeIndex source);
+std::vector<std::int64_t> bfs_distances(GraphView g, NodeIndex source);
 
 // Nodes within distance `radius` of `center`, in BFS (hence distance) order.
 // This is the vertex set of the paper's N_v(d).
-std::vector<NodeIndex> ball(const Graph& g, NodeIndex center, std::int64_t radius);
+std::vector<NodeIndex> ball(GraphView g, NodeIndex center, std::int64_t radius);
 
 // Like `ball` but also reports each node's distance from the center
 // (parallel arrays: result.nodes[i] is at distance result.dist[i]).
@@ -25,10 +25,10 @@ struct BallWithDistances {
   std::vector<NodeIndex> nodes;
   std::vector<std::int64_t> dist;
 };
-BallWithDistances ball_with_distances(const Graph& g, NodeIndex center, std::int64_t radius);
+BallWithDistances ball_with_distances(GraphView g, NodeIndex center, std::int64_t radius);
 
 // Eccentricity of `source` within its connected component.
-std::int64_t eccentricity(const Graph& g, NodeIndex source);
+std::int64_t eccentricity(GraphView g, NodeIndex source);
 
 // component_of[v] = id of v's connected component (ids are 0-based, assigned
 // in order of smallest contained node index).
@@ -36,6 +36,6 @@ struct Components {
   std::vector<std::int64_t> component_of;
   std::int64_t count = 0;
 };
-Components connected_components(const Graph& g);
+Components connected_components(GraphView g);
 
 }  // namespace volcal

@@ -4,21 +4,24 @@
 // edges by "ports" 1..deg(v).  Port numbers are the only way algorithms in the
 // query model address edges, so they are first-class here: neighbor(v, p)
 // answers "who is v's p-th neighbor" in O(1).
+//
+// Graph either owns its CSR arrays (the Builder path) or borrows them from an
+// external mapping via Graph::adopt (the snapshot path).  Either way, all
+// reads go through the GraphView it hands out, so the two storage modes are
+// indistinguishable to callers — including the exception contracts, which
+// live in one place (graph_view.hpp, detail::csr_neighbor).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "graph/graph_view.hpp"
+
 namespace volcal {
-
-using NodeIndex = std::int64_t;
-using Port = int;  // 1-based; 0 is reserved for "no port" (the label ⊥)
-
-inline constexpr NodeIndex kNoNode = -1;
-inline constexpr Port kNoPort = 0;
 
 class Graph {
  public:
@@ -26,76 +29,68 @@ class Graph {
 
   Graph() = default;
 
-  NodeIndex node_count() const { return static_cast<NodeIndex>(offsets_.size()) - 1; }
-  std::int64_t edge_count() const { return static_cast<std::int64_t>(adjacency_.size()) / 2; }
-
-  int degree(NodeIndex v) const {
-    check_node(v);
-    return static_cast<int>(offsets_[v + 1] - offsets_[v]);
+  // Borrow externally owned CSR storage (e.g. an mmap-ed snapshot section).
+  // The caller must keep that storage alive and unmodified for the lifetime
+  // of the returned Graph and every view taken from it; see
+  // io/snapshot.hpp for the keep-alive pattern used by the loader.
+  static Graph adopt(GraphView v) {
+    Graph g;
+    g.adopted_ = v;
+    g.offsets_.clear();
+    return g;
   }
 
-  int max_degree() const { return max_degree_; }
+  // The borrowed view of this graph's storage (owned vectors or adopted
+  // mapping).  Cheap: four words, computed on access so copies and moves of
+  // Graph never need fix-up.
+  GraphView view() const {
+    if (adopted_.offsets_data() != nullptr) return adopted_;
+    return GraphView(offsets_.data(), adjacency_.data(),
+                     static_cast<NodeIndex>(offsets_.size()) - 1, max_degree_);
+  }
+
+  // Every engine entry point takes GraphView; an owning Graph converts
+  // implicitly so call sites don't care which one they hold.
+  operator GraphView() const { return view(); }  // NOLINT(google-explicit-constructor)
+
+  NodeIndex node_count() const { return view().node_count(); }
+  std::int64_t edge_count() const { return view().edge_count(); }
+
+  int degree(NodeIndex v) const { return view().degree(v); }
+
+  int max_degree() const { return view().max_degree(); }
 
   // v's neighbor on port p (1-based).  Throws on an out-of-range port: in the
   // query model a malformed query is a programming error of the algorithm.
-  NodeIndex neighbor(NodeIndex v, Port p) const {
-    check_node(v);
-    if (p < 1 || p > degree(v)) {
-      throw std::out_of_range("Graph::neighbor: port " + std::to_string(p) +
-                              " out of range for node " + std::to_string(v) +
-                              " with degree " + std::to_string(degree(v)));
-    }
-    return adjacency_[offsets_[v] + p - 1];
-  }
+  NodeIndex neighbor(NodeIndex v, Port p) const { return view().neighbor(v, p); }
 
   // Same contract and errors as neighbor(), for callers that have already
   // established v is valid (the query engine validates the node through its
   // visited set first): skips only the node-validity rechecks, keeping the
   // port check and its exception.
   NodeIndex neighbor_prevalidated(NodeIndex v, Port p) const {
-    const std::size_t off = offsets_[v];
-    const std::size_t deg = offsets_[v + 1] - off;
-    if (p < 1 || static_cast<std::size_t>(p) > deg) {
-      throw std::out_of_range("Graph::neighbor: port " + std::to_string(p) +
-                              " out of range for node " + std::to_string(v) +
-                              " with degree " + std::to_string(deg));
-    }
-    return adjacency_[off + static_cast<std::size_t>(p) - 1];
+    return view().neighbor_prevalidated(v, p);
   }
 
   // All neighbors of v in port order.
-  std::span<const NodeIndex> neighbors(NodeIndex v) const {
-    check_node(v);
-    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
-  }
+  std::span<const NodeIndex> neighbors(NodeIndex v) const { return view().neighbors(v); }
 
   // The port number p with neighbor(v, p) == w, or kNoPort if w is not
   // adjacent to v.  Linear in deg(v), which is O(Δ) = O(1).
-  Port port_to(NodeIndex v, NodeIndex w) const {
-    check_node(v);
-    auto nbrs = neighbors(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (nbrs[i] == w) return static_cast<Port>(i + 1);
-    }
-    return kNoPort;
-  }
+  Port port_to(NodeIndex v, NodeIndex w) const { return view().port_to(v, w); }
 
-  bool adjacent(NodeIndex v, NodeIndex w) const { return port_to(v, w) != kNoPort; }
+  bool adjacent(NodeIndex v, NodeIndex w) const { return view().adjacent(v, w); }
 
-  bool valid_node(NodeIndex v) const { return v >= 0 && v < node_count(); }
+  bool valid_node(NodeIndex v) const { return view().valid_node(v); }
 
  private:
-  void check_node(NodeIndex v) const {
-    if (!valid_node(v)) {
-      throw std::out_of_range("Graph: node " + std::to_string(v) + " out of range");
-    }
-  }
-
   // CSR layout: neighbors of v are adjacency_[offsets_[v] .. offsets_[v+1]),
-  // stored in port order (port p at offset p-1).
+  // stored in port order (port p at offset p-1).  Empty (offsets_ cleared)
+  // when the storage is adopted from elsewhere.
   std::vector<std::size_t> offsets_{0};
   std::vector<NodeIndex> adjacency_;
   int max_degree_ = 0;
+  GraphView adopted_{};
 
   friend class Builder;
 };

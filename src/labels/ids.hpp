@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -18,8 +19,27 @@ class IdAssignment {
   IdAssignment() = default;
   explicit IdAssignment(std::vector<NodeId> ids);
 
-  NodeId id_of(NodeIndex v) const { return ids_[v]; }
-  NodeIndex node_count() const { return static_cast<NodeIndex>(ids_.size()); }
+  // Borrow an externally owned ID array (e.g. an mmap-ed snapshot section).
+  // Same lifetime contract as Graph::adopt: the storage must outlive the
+  // assignment and every copy of it.
+  static IdAssignment adopt(const NodeId* ids, NodeIndex n) {
+    IdAssignment a;
+    a.adopted_ = ids;
+    a.adopted_count_ = n;
+    return a;
+  }
+
+  NodeId id_of(NodeIndex v) const { return adopted_ != nullptr ? adopted_[v] : ids_[v]; }
+  NodeIndex node_count() const {
+    return adopted_ != nullptr ? adopted_count_ : static_cast<NodeIndex>(ids_.size());
+  }
+
+  // The full assignment as a borrowed span (owned vector or adopted mapping);
+  // what the snapshot writer serializes.
+  std::span<const NodeId> span() const {
+    if (adopted_ != nullptr) return {adopted_, static_cast<std::size_t>(adopted_count_)};
+    return {ids_.data(), ids_.size()};
+  }
 
   // Sequential IDs 1..n (the canonical assignment used in the paper's
   // lower-bound constructions, e.g. Prop. 3.12 where the root has ID 1).
@@ -31,6 +51,8 @@ class IdAssignment {
 
  private:
   std::vector<NodeId> ids_;
+  const NodeId* adopted_ = nullptr;
+  NodeIndex adopted_count_ = 0;
 };
 
 }  // namespace volcal

@@ -2,8 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
+// This file *is* part of the io consolidation surface (it wires the text and
+// snapshot serializers into the erased instances), so the direct include is
+// intentional; everyone else goes through volcal/io.hpp.
+#define VOLCAL_ALLOW_DIRECT_SERIALIZE_INCLUDE
+#include "io/serialize.hpp"
+#include "io/snapshot.hpp"
 #include "labels/generators.hpp"
 #include "lcl/algorithms/balanced_tree_algos.hpp"
 #include "lcl/algorithms/hh_algos.hpp"
@@ -59,25 +66,34 @@ HybridOutput decode_hybrid(int e) {
 // Owns the instance and the problem built over it.  The problem is
 // constructed *after* the instance has landed at its final address (several
 // problem constructors snapshot a Hierarchy over the instance's graph).
+// `keep` is an opaque retainer destroyed *after* the instance — snapshot
+// loads park the file mapping here, so adopted CSR views stay valid for the
+// instance's whole lifetime.
 template <typename Labels, typename Problem>
 struct Held {
+  std::shared_ptr<const void> keep;  // declared first => destroyed last
   Instance<Labels> inst;
   Problem problem;
 
   template <typename MakeProblem>
-  Held(Instance<Labels>&& i, MakeProblem make_problem)
-      : inst(std::move(i)), problem(make_problem(inst)) {}
+  Held(Instance<Labels>&& i, MakeProblem make_problem,
+       std::shared_ptr<const void> keep_alive = nullptr)
+      : keep(std::move(keep_alive)), inst(std::move(i)), problem(make_problem(inst)) {}
 };
 
 // Builds the Impl from a held instance+problem, a generic solver functor
 // (callable on an InstanceSource over either execution type, returning the
-// problem's per-node output value), and an encode/decode pair.
+// problem's per-node output value), and an encode/decode pair.  This is the
+// single wiring point shared by the generator path (registry entries) and
+// the deserialization paths (erase_instance / load_snapshot_instance), so a
+// loaded instance gets exactly the closures a generated one gets.
 template <typename Labels, typename Problem, typename Solve, typename Encode,
           typename Decode>
-ErasedInstance erase(std::shared_ptr<Held<Labels, Problem>> held, Solve solve, Encode enc,
-                     Decode dec) {
+ErasedInstance erase(std::string family, std::shared_ptr<Held<Labels, Problem>> held,
+                     Solve solve, Encode enc, Decode dec) {
   typename ErasedInstance::Impl impl;
-  impl.graph = &held->inst.graph;
+  impl.family = family;
+  impl.graph = held->inst.graph;
   impl.ids = &held->inst.ids;
   impl.solve = [held, solve, enc](Execution& exec) {
     InstanceSource<Labels, Execution> src(held->inst, exec);
@@ -93,6 +109,14 @@ ErasedInstance erase(std::shared_ptr<Held<Labels, Problem>> held, Solve solve, E
     for (const int e : encoded) out.push_back(dec(e));
     return verify_all(held->problem, held->inst, out);
   };
+  impl.save_snapshot = [held, family](const std::string& path) {
+    io::write_snapshot(path, family, held->inst);
+  };
+  if constexpr (requires(std::ostream& os, const Instance<Labels>& i) {
+                  io::write_instance(os, i);
+                }) {
+    impl.save_text = [held](std::ostream& os) { io::write_instance(os, held->inst); };
+  }
   impl.held = std::move(held);
   return ErasedInstance(std::move(impl));
 }
@@ -100,9 +124,11 @@ ErasedInstance erase(std::shared_ptr<Held<Labels, Problem>> held, Solve solve, E
 // --- n_target -> family parameter maps --------------------------------------
 
 int tree_depth_for(NodeIndex n_target) {
-  // Complete binary tree of depth d has 2^{d+1} - 1 nodes.
+  // Complete binary tree of depth d has 2^{d+1} - 1 nodes.  The cap bounds
+  // single-instance RAM/disk (depth 26 = 2^27-1 nodes ~ a 6.4 GB snapshot),
+  // comfortably past the extended out-of-core sweeps.
   int depth = 1;
-  while (depth < 24 && ((NodeIndex{1} << (depth + 2)) - 1) <= n_target) ++depth;
+  while (depth < 27 && ((NodeIndex{1} << (depth + 2)) - 1) <= n_target) ++depth;
   return depth;
 }
 
@@ -113,7 +139,164 @@ NodeIndex backbone_for(int k, NodeIndex n_target) {
   return std::max<NodeIndex>(3, static_cast<NodeIndex>(std::llround(b)));
 }
 
+// --- per-family wiring ------------------------------------------------------
+//
+// One function per registry family, taking an already built typed instance.
+// Generators, the text reader, and the snapshot loader all funnel through
+// these, so every path yields identically wired ErasedInstances.
+
+[[noreturn]] void unknown_family(std::string_view family, const char* labels) {
+  throw std::invalid_argument("erase_instance: family '" + std::string(family) +
+                              "' is unknown or does not use " + labels + " labels");
+}
+
+ErasedInstance erase_colored_tree(std::string_view family, LeafColoringInstance&& inst,
+                                  std::shared_ptr<const void> keep) {
+  if (family == "leaf-coloring") {
+    auto held = std::make_shared<Held<ColoredTreeLabeling, LeafColoringProblem>>(
+        std::move(inst), [](const auto&) { return LeafColoringProblem{}; },
+        std::move(keep));
+    return erase("leaf-coloring", std::move(held),
+                 [](auto& src) { return leafcoloring_nearest_leaf(src); }, encode_color,
+                 decode_color);
+  }
+  if (family == "ball-4") {
+    auto held = std::make_shared<Held<ColoredTreeLabeling, BallCensusProblem>>(
+        std::move(inst), [](const auto&) { return BallCensusProblem(4); },
+        std::move(keep));
+    // Output is the ball size itself.  Identity encoding: counts are
+    // family-local (enc/dec pairs never cross entries), so the packed bit
+    // layout above does not apply.
+    return erase(
+        "ball-4", std::move(held),
+        [](auto& src) {
+          return static_cast<int>(explore_ball(src.execution(), 4).size());
+        },
+        [](int size) { return size; }, [](int e) { return e; });
+  }
+  if (family == "hthc-2" || family == "hthc-3") {
+    const int k = family.back() - '0';
+    auto held = std::make_shared<Held<ColoredTreeLabeling, HierarchicalTHCProblem>>(
+        std::move(inst),
+        [k](const auto& i) { return HierarchicalTHCProblem(i, k); }, std::move(keep));
+    const HthcConfig cfg = HthcConfig::make(k, held->inst.node_count(), false, nullptr);
+    return erase(
+        std::string(family), std::move(held),
+        [cfg](auto& src) {
+          HthcSolver<std::decay_t<decltype(src)>> solver(src, cfg);
+          return solver.solve();
+        },
+        encode_thc, decode_thc);
+  }
+  unknown_family(family, "colored-tree");
+}
+
 }  // namespace
+
+ErasedInstance erase_instance(std::string_view family, LeafColoringInstance&& inst,
+                              std::shared_ptr<const void> keep_alive) {
+  return erase_colored_tree(family, std::move(inst), std::move(keep_alive));
+}
+
+ErasedInstance erase_instance(std::string_view family, BalancedTreeInstance&& inst,
+                              std::shared_ptr<const void> keep_alive) {
+  if (family != "balanced-tree") unknown_family(family, "balanced-tree");
+  auto held = std::make_shared<Held<BalancedTreeLabeling, BalancedTreeProblem>>(
+      std::move(inst), [](const auto&) { return BalancedTreeProblem{}; },
+      std::move(keep_alive));
+  return erase("balanced-tree", std::move(held),
+               [](auto& src) { return balancedtree_solve(src); }, encode_bt, decode_bt);
+}
+
+ErasedInstance erase_instance(std::string_view family, HybridInstance&& inst,
+                              std::shared_ptr<const void> keep_alive) {
+  if (family != "hybrid-2") unknown_family(family, "hybrid");
+  auto held = std::make_shared<Held<HybridLabeling, HybridTHCProblem>>(
+      std::move(inst), [](const auto& i) { return HybridTHCProblem(i, 2); },
+      std::move(keep_alive));
+  const HybridConfig cfg = HybridConfig::make(2, held->inst.node_count());
+  return erase("hybrid-2", std::move(held),
+               [cfg](auto& src) { return hybrid_solve_distance(src, cfg); },
+               encode_hybrid, decode_hybrid);
+}
+
+ErasedInstance erase_instance(std::string_view family, HHInstance&& inst,
+                              std::shared_ptr<const void> keep_alive) {
+  if (family != "hh-2-3") unknown_family(family, "hh");
+  auto held = std::make_shared<Held<HHLabeling, HHTHCProblem>>(
+      std::move(inst), [](const auto& i) { return HHTHCProblem(i, 2, 3); },
+      std::move(keep_alive));
+  const HHConfig cfg = HHConfig::make(2, 3, held->inst.node_count());
+  return erase("hh-2-3", std::move(held),
+               [cfg](auto& src) { return hh_solve_distance(src, cfg); }, encode_hybrid,
+               decode_hybrid);
+}
+
+ErasedInstance load_snapshot_instance(io::Snapshot&& snap) {
+  const NodeIndex n = snap.node_count();
+  const std::string family = snap.family();
+  std::shared_ptr<const void> keep = snap.mapping();
+
+  // Graph + IDs stay zero-copy views into the mapping (kept alive through
+  // the erased instance's retainer); label tables are small O(n) arrays and
+  // are decoded into the typed labeling vectors.
+  auto assign_ports = [&snap](std::vector<Port>& dst, const char* tag) {
+    const auto s = snap.ports(tag);
+    dst.assign(s.begin(), s.end());
+  };
+  auto assign_tree = [&](TreeLabeling& t) {
+    assign_ports(t.parent, "parent");
+    assign_ports(t.left, "left");
+    assign_ports(t.right, "right");
+  };
+  auto assign_colors = [&snap](std::vector<Color>& dst) {
+    const auto s = snap.bytes("color");
+    dst.resize(s.size());
+    std::memcpy(dst.data(), s.data(), s.size());
+  };
+  auto base = [&](auto& inst) {
+    inst.graph = Graph::adopt(snap.graph());
+    inst.ids = IdAssignment::adopt(snap.ids().data(), n);
+  };
+
+  // The labeling shape is determined by which label sections are present —
+  // erase_instance then cross-checks it against what `family` expects.
+  if (snap.has_section("side")) {
+    HHInstance inst;
+    base(inst);
+    assign_tree(inst.labels.hybrid.bal.tree);
+    assign_ports(inst.labels.hybrid.bal.left_nbr, "leftnbr");
+    assign_ports(inst.labels.hybrid.bal.right_nbr, "rightnbr");
+    assign_colors(inst.labels.hybrid.color);
+    assign_ports(inst.labels.hybrid.level_in, "levelin");
+    const auto side = snap.bytes("side");
+    inst.labels.side.assign(side.begin(), side.end());
+    return erase_instance(family, std::move(inst), std::move(keep));
+  }
+  if (snap.has_section("levelin")) {
+    HybridInstance inst;
+    base(inst);
+    assign_tree(inst.labels.bal.tree);
+    assign_ports(inst.labels.bal.left_nbr, "leftnbr");
+    assign_ports(inst.labels.bal.right_nbr, "rightnbr");
+    assign_colors(inst.labels.color);
+    assign_ports(inst.labels.level_in, "levelin");
+    return erase_instance(family, std::move(inst), std::move(keep));
+  }
+  if (snap.has_section("leftnbr")) {
+    BalancedTreeInstance inst;
+    base(inst);
+    assign_tree(inst.labels.tree);
+    assign_ports(inst.labels.left_nbr, "leftnbr");
+    assign_ports(inst.labels.right_nbr, "rightnbr");
+    return erase_instance(family, std::move(inst), std::move(keep));
+  }
+  LeafColoringInstance inst;
+  base(inst);
+  assign_tree(inst.labels.tree);
+  assign_colors(inst.labels.color);
+  return erase_instance(family, std::move(inst), std::move(keep));
+}
 
 const ProblemRegistry& ProblemRegistry::global() {
   static const ProblemRegistry registry;
@@ -145,11 +328,30 @@ ProblemRegistry::ProblemRegistry() {
   // Every entry is registered through its make_variant; make is derived as
   // variant 0, so the canonical shapes are unchanged.  Each non-canonical
   // variant reuses a generator whose solver/verifier compatibility is pinned
-  // by that family's unit tests.
+  // by that family's unit tests.  Solver/verifier wiring lives in the
+  // erase_instance overloads above, shared with the snapshot/text loaders.
   auto add = [this](RegistryEntry e) {
     auto mv = e.make_variant;
     e.make = [mv](NodeIndex n_target, std::uint64_t seed) { return mv(n_target, seed, 0); };
     entries_.push_back(std::move(e));
+  };
+
+  // The colored-tree instance shapes shared by leaf-coloring and ball-4.
+  auto colored_tree_variant = [](NodeIndex n_target, std::uint64_t seed,
+                                 int variant) -> LeafColoringInstance {
+    switch (variant) {
+      case 1:
+        return make_random_full_binary_tree(std::max<NodeIndex>(n_target, 3), seed);
+      case 2:
+        return make_caterpillar(std::max<NodeIndex>(n_target / 2, 2), seed);
+      case 3:
+        // ~16 nodes per cycle node at hang_depth 3.
+        return make_cycle_pseudotree(
+            static_cast<int>(std::max<NodeIndex>(n_target / 16, 3)), 3, seed);
+      default:
+        return make_complete_binary_tree(tree_depth_for(n_target), Color::Red,
+                                         Color::Blue);
+    }
   };
 
   {
@@ -159,27 +361,9 @@ ProblemRegistry::ProblemRegistry() {
     e.theta = "R-DIST = D-DIST Th(log n), R-VOL Th(log n), D-VOL Th(n)";
     e.algorithm = "deterministic nearest-leaf (Prop. 3.9)";
     e.variants = 4;  // complete / random full / caterpillar / cycle pseudotree
-    e.make_variant = [](NodeIndex n_target, std::uint64_t seed, int variant) {
-      auto built = [&]() -> LeafColoringInstance {
-        switch (variant) {
-          case 1:
-            return make_random_full_binary_tree(std::max<NodeIndex>(n_target, 3), seed);
-          case 2:
-            return make_caterpillar(std::max<NodeIndex>(n_target / 2, 2), seed);
-          case 3:
-            // ~16 nodes per cycle node at hang_depth 3.
-            return make_cycle_pseudotree(
-                static_cast<int>(std::max<NodeIndex>(n_target / 16, 3)), 3, seed);
-          default:
-            return make_complete_binary_tree(tree_depth_for(n_target), Color::Red,
-                                             Color::Blue);
-        }
-      }();
-      auto held = std::make_shared<Held<ColoredTreeLabeling, LeafColoringProblem>>(
-          std::move(built), [](const auto&) { return LeafColoringProblem{}; });
-      return erase(std::move(held),
-                   [](auto& src) { return leafcoloring_nearest_leaf(src); },
-                   encode_color, decode_color);
+    e.make_variant = [colored_tree_variant](NodeIndex n_target, std::uint64_t seed,
+                                            int variant) {
+      return erase_instance("leaf-coloring", colored_tree_variant(n_target, seed, variant));
     };
     add(std::move(e));
   }
@@ -199,10 +383,7 @@ ProblemRegistry::ProblemRegistry() {
         }
         return make_balanced_instance(tree_depth_for(n_target));
       }();
-      auto held = std::make_shared<Held<BalancedTreeLabeling, BalancedTreeProblem>>(
-          std::move(built), [](const auto&) { return BalancedTreeProblem{}; });
-      return erase(std::move(held), [](auto& src) { return balancedtree_solve(src); },
-                   encode_bt, decode_bt);
+      return erase_instance("balanced-tree", std::move(built));
     };
     add(std::move(e));
   }
@@ -217,32 +398,9 @@ ProblemRegistry::ProblemRegistry() {
     // BatchedBall contract verbatim, so sweeps of this family batch.
     e.plan = ProbePlan::batched_ball(4);
     e.variants = 4;  // same instance shapes as leaf-coloring
-    e.make_variant = [](NodeIndex n_target, std::uint64_t seed, int variant) {
-      auto built = [&]() -> LeafColoringInstance {
-        switch (variant) {
-          case 1:
-            return make_random_full_binary_tree(std::max<NodeIndex>(n_target, 3), seed);
-          case 2:
-            return make_caterpillar(std::max<NodeIndex>(n_target / 2, 2), seed);
-          case 3:
-            return make_cycle_pseudotree(
-                static_cast<int>(std::max<NodeIndex>(n_target / 16, 3)), 3, seed);
-          default:
-            return make_complete_binary_tree(tree_depth_for(n_target), Color::Red,
-                                             Color::Blue);
-        }
-      }();
-      auto held = std::make_shared<Held<ColoredTreeLabeling, BallCensusProblem>>(
-          std::move(built), [](const auto&) { return BallCensusProblem(4); });
-      // Output is the ball size itself.  Identity encoding: counts are
-      // family-local (enc/dec pairs never cross entries), so the packed bit
-      // layout above does not apply.
-      return erase(
-          std::move(held),
-          [](auto& src) {
-            return static_cast<int>(explore_ball(src.execution(), 4).size());
-          },
-          [](int size) { return size; }, [](int e) { return e; });
+    e.make_variant = [colored_tree_variant](NodeIndex n_target, std::uint64_t seed,
+                                            int variant) {
+      return erase_instance("ball-4", colored_tree_variant(n_target, seed, variant));
     };
     add(std::move(e));
   }
@@ -255,7 +413,8 @@ ProblemRegistry::ProblemRegistry() {
               std::to_string(k) + "}), D-VOL Th~(n)";
     e.algorithm = "RecursiveHTHC (Alg. 2, Prop. 5.12)";
     e.variants = 3;  // uniform backbones / per-level lens mix / top-cycle (Obs. 5.4)
-    e.make_variant = [k](NodeIndex n_target, std::uint64_t seed, int variant) {
+    const std::string name = e.name;
+    e.make_variant = [k, name](NodeIndex n_target, std::uint64_t seed, int variant) {
       auto built = [&]() -> HierarchicalInstance {
         const NodeIndex b = backbone_for(k, n_target);
         switch (variant) {
@@ -276,16 +435,7 @@ ProblemRegistry::ProblemRegistry() {
             return make_hierarchical_instance(k, b, seed);
         }
       }();
-      auto held = std::make_shared<Held<ColoredTreeLabeling, HierarchicalTHCProblem>>(
-          std::move(built), [k](const auto& inst) { return HierarchicalTHCProblem(inst, k); });
-      const HthcConfig cfg = HthcConfig::make(k, held->inst.node_count(), false, nullptr);
-      return erase(
-          std::move(held),
-          [cfg](auto& src) {
-            HthcSolver<std::decay_t<decltype(src)>> solver(src, cfg);
-            return solver.solve();
-          },
-          encode_thc, decode_thc);
+      return erase_instance(name, std::move(built));
     };
     add(std::move(e));
   }
@@ -308,13 +458,7 @@ ProblemRegistry::ProblemRegistry() {
         d = std::max(2, d - 1);       // shallower BalancedTree floors...
         backbone = b + b / 2;         // ...under a relatively longer backbone
       }
-      auto held = std::make_shared<Held<HybridLabeling, HybridTHCProblem>>(
-          make_hybrid_instance(2, backbone, d, seed),
-          [](const auto& inst) { return HybridTHCProblem(inst, 2); });
-      const HybridConfig cfg = HybridConfig::make(2, held->inst.node_count());
-      return erase(std::move(held),
-                   [cfg](auto& src) { return hybrid_solve_distance(src, cfg); },
-                   encode_hybrid, decode_hybrid);
+      return erase_instance("hybrid-2", make_hybrid_instance(2, backbone, d, seed));
     };
     add(std::move(e));
   }
@@ -329,13 +473,7 @@ ProblemRegistry::ProblemRegistry() {
     e.make_variant = [](NodeIndex n_target, std::uint64_t seed, int variant) {
       const NodeIndex n_half = variant == 1 ? std::max<NodeIndex>(n_target / 4, 48)
                                             : std::max<NodeIndex>(n_target / 2, 64);
-      auto held = std::make_shared<Held<HHLabeling, HHTHCProblem>>(
-          make_hh_instance(2, 3, n_half, seed),
-          [](const auto& inst) { return HHTHCProblem(inst, 2, 3); });
-      const HHConfig cfg = HHConfig::make(2, 3, held->inst.node_count());
-      return erase(std::move(held),
-                   [cfg](auto& src) { return hh_solve_distance(src, cfg); },
-                   encode_hybrid, decode_hybrid);
+      return erase_instance("hh-2-3", make_hh_instance(2, 3, n_half, seed));
     };
     add(std::move(e));
   }

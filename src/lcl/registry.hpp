@@ -17,11 +17,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "labels/instances.hpp"
 #include "lcl/lcl.hpp"
 #include "obs/trace.hpp"
 #include "plan/probe_plan.hpp"
@@ -29,24 +31,44 @@
 
 namespace volcal {
 
+namespace io {
+class Snapshot;
+}  // namespace io
+
 // A generated instance with its problem machinery erased to:
 // graph/ids + solve (output encoded as int) + verify (decodes internally).
 class ErasedInstance {
  public:
   struct Impl {
     std::shared_ptr<const void> held;  // keeps the instance (+ problem) alive
-    const Graph* graph = nullptr;
+    std::string family;                // registry key the instance belongs to
+    GraphView graph{};
     const IdAssignment* ids = nullptr;
     std::function<int(Execution&)> solve;
     std::function<int(obs::TracedExecution&)> solve_traced;
     std::function<VerifyResult(const std::vector<int>&)> verify;
+    // Serializers for the held typed instance; save_text is null for
+    // families without a text form (the binary snapshot covers everything).
+    std::function<void(const std::string& path)> save_snapshot;
+    std::function<void(std::ostream& os)> save_text;
   };
 
   explicit ErasedInstance(Impl impl) : impl_(std::move(impl)) {}
 
-  const Graph& graph() const { return *impl_.graph; }
+  // The registry key this instance was built for ("leaf-coloring", ...).
+  const std::string& family() const { return impl_.family; }
+
+  GraphView graph() const { return impl_.graph; }
   const IdAssignment& ids() const { return *impl_.ids; }
-  NodeIndex node_count() const { return impl_.graph->node_count(); }
+  NodeIndex node_count() const { return impl_.graph.node_count(); }
+
+  // Writes the instance as a versioned binary snapshot (io/snapshot.hpp);
+  // io::load_instance() round-trips it into an equivalent ErasedInstance.
+  void save_snapshot(const std::string& path) const { impl_.save_snapshot(path); }
+
+  // The line-oriented text form (io/serialize.hpp), where the family has one.
+  bool has_text_format() const { return static_cast<bool>(impl_.save_text); }
+  void save_text(std::ostream& os) const { impl_.save_text(os); }
 
   // The family's upper-bound algorithm from one start node; the returned int
   // is the encoded output label (encoding is entry-private — only verify()
@@ -93,6 +115,26 @@ struct RegistryEntry {
   std::function<ErasedInstance(NodeIndex n_target, std::uint64_t seed, int variant)>
       make_variant;
 };
+
+// Wraps an externally built typed instance (text reader, snapshot loader,
+// tests) in the named family's solver/verifier machinery — the same closures
+// the family's generator path installs.  Throws std::invalid_argument if the
+// family is unknown or uses a different labeling type.  `keep_alive` is
+// retained for the instance's lifetime (the snapshot loader parks the file
+// mapping here; see io/snapshot.hpp for the adoption contract).
+ErasedInstance erase_instance(std::string_view family, LeafColoringInstance&& inst,
+                              std::shared_ptr<const void> keep_alive = nullptr);
+ErasedInstance erase_instance(std::string_view family, BalancedTreeInstance&& inst,
+                              std::shared_ptr<const void> keep_alive = nullptr);
+ErasedInstance erase_instance(std::string_view family, HybridInstance&& inst,
+                              std::shared_ptr<const void> keep_alive = nullptr);
+ErasedInstance erase_instance(std::string_view family, HHInstance&& inst,
+                              std::shared_ptr<const void> keep_alive = nullptr);
+
+// Rehydrates a loaded snapshot into an ErasedInstance of its recorded family:
+// the CSR graph and the ID table stay zero-copy views into the mapping (kept
+// alive by the instance), label tables are decoded into the typed labeling.
+ErasedInstance load_snapshot_instance(io::Snapshot&& snap);
 
 class ProblemRegistry {
  public:

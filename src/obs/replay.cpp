@@ -18,7 +18,7 @@ std::string probe_error(const ExecutionTrace& trace, std::size_t seq, const char
 
 }  // namespace
 
-ReplayReport replay_trace(const Graph& g, const IdAssignment& ids, const ExecutionTrace& trace,
+ReplayReport replay_trace(GraphView g, const IdAssignment& ids, const ExecutionTrace& trace,
                           std::int64_t budget) {
   ReplayReport report;
   auto fail = [&](std::string message) {
@@ -89,7 +89,7 @@ ReplayReport replay_trace(const Graph& g, const IdAssignment& ids, const Executi
   return report;
 }
 
-ReplayReport replay_sweep(const Graph& g, const IdAssignment& ids,
+ReplayReport replay_sweep(GraphView g, const IdAssignment& ids,
                           const std::vector<ExecutionTrace>& traces, std::int64_t budget) {
   ReplayReport total;
   for (const ExecutionTrace& t : traces) {

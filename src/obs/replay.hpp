@@ -29,11 +29,11 @@ struct ReplayReport {
 
 // `budget` must be the budget the trace was recorded under (0 = unlimited);
 // it is needed to reproduce truncation faithfully.
-ReplayReport replay_trace(const Graph& g, const IdAssignment& ids, const ExecutionTrace& trace,
+ReplayReport replay_trace(GraphView g, const IdAssignment& ids, const ExecutionTrace& trace,
                           std::int64_t budget = 0);
 
 // Replays every trace of a recorded sweep; stops at the first failure.
-ReplayReport replay_sweep(const Graph& g, const IdAssignment& ids,
+ReplayReport replay_sweep(GraphView g, const IdAssignment& ids,
                           const std::vector<ExecutionTrace>& traces, std::int64_t budget = 0);
 
 }  // namespace volcal::obs

@@ -73,7 +73,7 @@ class RecordingSink {
 
   explicit RecordingSink(ExecutionTrace* trace) : trace_(trace) {}
 
-  void on_begin(const Graph&, const IdAssignment&, NodeIndex start) {
+  void on_begin(GraphView, const IdAssignment&, NodeIndex start) {
     trace_->start = start;
     trace_->events.clear();
     trace_->truncated = false;
@@ -81,7 +81,7 @@ class RecordingSink {
     trace_->truncated_at_port = kNoPort;
   }
 
-  void on_query(const Graph& g, const IdAssignment& ids, NodeIndex w, Port j, NodeIndex u,
+  void on_query(GraphView g, const IdAssignment& ids, NodeIndex w, Port j, NodeIndex u,
                 bool /*fresh*/, std::int64_t layer, std::int64_t volume) {
     trace_->events.push_back(
         {w, j, u, ids.id_of(u), g.degree(u), layer, volume});
@@ -130,7 +130,7 @@ class TraceRecorder {
 // bench::measure for the dispatch).  Costs and outputs are bit-identical to
 // the untraced sweep — tests/obs_test.cpp asserts it.
 template <typename Solver>
-auto run_at_traced(const ParallelRunner& runner, const Graph& g, const IdAssignment& ids,
+auto run_at_traced(const ParallelRunner& runner, GraphView g, const IdAssignment& ids,
                    std::span<const NodeIndex> starts, Solver&& solver,
                    TraceRecorder& recorder, std::int64_t budget = 0,
                    RandomTape* tape = nullptr, SweepProfile* profile = nullptr) {

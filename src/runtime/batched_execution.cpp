@@ -4,8 +4,9 @@
 
 namespace volcal {
 
-void BatchedBallExecutor::bind(const Graph& g) {
-  g_ = &g;
+void BatchedBallExecutor::bind(GraphView g) {
+  g_ = g;
+  bound_ = true;
   const auto n = static_cast<std::size_t>(g.node_count());
   if (visited_mask_.size() < n) {
     visited_mask_.resize(n, 0);
@@ -16,9 +17,9 @@ void BatchedBallExecutor::bind(const Graph& g) {
 }
 
 void BatchedBallExecutor::run(std::span<const NodeIndex> centers, std::int64_t radius) {
-  assert(g_ != nullptr && !centers.empty() &&
+  assert(bound_ && !centers.empty() &&
          centers.size() <= static_cast<std::size_t>(kMaxBatch));
-  const Graph& g = *g_;
+  const GraphView g = g_;
   const int batch = static_cast<int>(centers.size());
   radius_ = radius;
   waves_ = 0;

@@ -52,7 +52,7 @@ class BatchedBallExecutor {
   BatchedBallExecutor& operator=(const BatchedBallExecutor&) = delete;
 
   // Sizes the per-node arrays for `g` and pins the executor to it.
-  void bind(const Graph& g);
+  void bind(GraphView g);
 
   // Expands N_center(radius) for every center simultaneously (1 <= size <=
   // kMaxBatch; duplicate centers are fine — slots are independent).  Requires
@@ -88,7 +88,8 @@ class BatchedBallExecutor {
   std::int64_t expanded_nodes() const { return expanded_nodes_; }
 
  private:
-  const Graph* g_ = nullptr;
+  GraphView g_{};
+  bool bound_ = false;
   std::int64_t radius_ = 0;
   std::int64_t waves_ = 0;
   std::int64_t expanded_nodes_ = 0;

@@ -112,8 +112,8 @@ class ExecutionScratch {
 struct NullQuerySink {
   static constexpr bool enabled = false;
 
-  void on_begin(const Graph&, const IdAssignment&, NodeIndex /*start*/) {}
-  void on_query(const Graph&, const IdAssignment&, NodeIndex /*w*/, Port /*j*/,
+  void on_begin(GraphView, const IdAssignment&, NodeIndex /*start*/) {}
+  void on_query(GraphView, const IdAssignment&, NodeIndex /*w*/, Port /*j*/,
                 NodeIndex /*u*/, bool /*fresh*/, std::int64_t /*layer*/,
                 std::int64_t /*volume*/) {}
   void on_truncated(NodeIndex /*w*/, Port /*j*/) {}
@@ -132,11 +132,11 @@ class BasicExecution {
   // scratch-taking form borrows the caller's, making repeated executions
   // allocation-free.  Sinks are taken by value (recording sinks are thin
   // handles onto an externally owned trace buffer).
-  BasicExecution(const Graph& g, const IdAssignment& ids, NodeIndex start,
+  BasicExecution(GraphView g, const IdAssignment& ids, NodeIndex start,
                  std::int64_t budget = 0, Sink sink = Sink{})
       : BasicExecution(g, ids, start, budget, nullptr, std::move(sink)) {}
 
-  BasicExecution(const Graph& g, const IdAssignment& ids, NodeIndex start,
+  BasicExecution(GraphView g, const IdAssignment& ids, NodeIndex start,
                  std::int64_t budget, ExecutionScratch& scratch, Sink sink = Sink{})
       : BasicExecution(g, ids, start, budget, &scratch, std::move(sink)) {}
 
@@ -150,14 +150,14 @@ class BasicExecution {
   BasicExecution& operator=(const BasicExecution&) = delete;
 
   NodeIndex start() const { return start_; }
-  const Graph& graph() const { return *g_; }
+  GraphView graph() const { return g_; }
 
-  bool visited(NodeIndex v) const { return g_->valid_node(v) && scratch_->stamped(v); }
+  bool visited(NodeIndex v) const { return g_.valid_node(v) && scratch_->stamped(v); }
 
   // Degree of a visited node is part of what its discovery revealed.
   int degree(NodeIndex v) const {
     require_visited(v);
-    return g_->degree(v);
+    return g_.degree(v);
   }
   NodeId id(NodeIndex v) const {
     require_visited(v);
@@ -169,7 +169,7 @@ class BasicExecution {
   NodeIndex query(NodeIndex w, Port j) {
     require_visited(w);
     ++query_count_;
-    const NodeIndex u = g_->neighbor_prevalidated(w, j);
+    const NodeIndex u = g_.neighbor_prevalidated(w, j);
     const std::int64_t candidate = scratch_->layer_[static_cast<std::size_t>(w)] + 1;
     const bool fresh = !scratch_->stamped(u);
     if (fresh) {
@@ -185,7 +185,7 @@ class BasicExecution {
       scratch_->layer_[static_cast<std::size_t>(u)] = candidate;  // tighter layer seen later; no propagation
     }
     if constexpr (Sink::enabled) {
-      sink_.on_query(*g_, *ids_, w, j, u, fresh,
+      sink_.on_query(g_, *ids_, w, j, u, fresh,
                      scratch_->layer_[static_cast<std::size_t>(u)], volume());
     }
     return u;
@@ -266,9 +266,9 @@ class BasicExecution {
     query_count_ += queries;
   }
 
-  BasicExecution(const Graph& g, const IdAssignment& ids, NodeIndex start,
+  BasicExecution(GraphView g, const IdAssignment& ids, NodeIndex start,
                  std::int64_t budget, ExecutionScratch* scratch, Sink sink)
-      : g_(&g),
+      : g_(g),
         ids_(&ids),
         start_(start),
         budget_(budget),
@@ -286,7 +286,7 @@ class BasicExecution {
     if constexpr (Sink::enabled) sink_.on_begin(g, ids, start);
   }
 
-  const Graph* g_;
+  GraphView g_;
   const IdAssignment* ids_;
   NodeIndex start_;
   std::int64_t budget_;

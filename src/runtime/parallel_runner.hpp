@@ -283,12 +283,12 @@ class ParallelRunner {
   // Sweep an explicit start list; result vectors are indexed by position in
   // `starts`.
   template <typename Solver>
-  auto run_at(const Graph& g, const IdAssignment& ids, std::span<const NodeIndex> starts,
+  auto run_at(GraphView g, const IdAssignment& ids, std::span<const NodeIndex> starts,
               Solver&& solver, std::int64_t budget = 0, RandomTape* tape = nullptr,
               SweepProfile* profile = nullptr) const {
     return run_at_observed(g.node_count(), starts, std::forward<Solver>(solver), tape,
                            profile,
-                           [&g, &ids, starts, budget](std::int64_t i, ExecutionScratch& s) {
+                           [g, &ids, starts, budget](std::int64_t i, ExecutionScratch& s) {
                              return Execution(g, ids, starts[static_cast<std::size_t>(i)],
                                               budget, s);
                            });
@@ -296,7 +296,7 @@ class ParallelRunner {
 
   // Sweep every node of the graph; result vectors are indexed by NodeIndex.
   template <typename Solver>
-  auto run_at_all_nodes(const Graph& g, const IdAssignment& ids, Solver&& solver,
+  auto run_at_all_nodes(GraphView g, const IdAssignment& ids, Solver&& solver,
                         std::int64_t budget = 0, RandomTape* tape = nullptr,
                         SweepProfile* profile = nullptr) const {
     const NodeIndex n = g.node_count();
@@ -318,7 +318,7 @@ class ParallelRunner {
   // expansion; PerStart — a per-start-scoped cache — is semantically a no-op
   // for a single-ball solver and runs uncached.
   template <typename Solver>
-  auto run_planned(const Graph& g, const IdAssignment& ids,
+  auto run_planned(GraphView g, const IdAssignment& ids,
                    std::span<const NodeIndex> starts, const ProbePlan& plan,
                    Solver&& solver, std::int64_t budget = 0, RandomTape* tape = nullptr,
                    SweepProfile* profile = nullptr) const {
@@ -342,7 +342,7 @@ class ParallelRunner {
   // write per-start meters to disjoint slots.  Structure mirrors
   // run_at_observed; the reduction is the same serial scan.
   template <typename Label>
-  SweepResult<Label> run_batched_balls(const Graph& g, std::span<const NodeIndex> starts,
+  SweepResult<Label> run_batched_balls(GraphView g, std::span<const NodeIndex> starts,
                                        const ProbePlan& plan,
                                        SweepProfile* profile) const {
     const auto sweep_begin = std::chrono::steady_clock::now();
@@ -486,7 +486,7 @@ class ParallelRunner {
 // solver's RandomTape to route its bit-usage accounting through
 // worker-local ledgers (lock-free in parallel sweeps).
 template <typename Solver>
-auto run_at_all_nodes(const Graph& g, const IdAssignment& ids, Solver&& solver,
+auto run_at_all_nodes(GraphView g, const IdAssignment& ids, Solver&& solver,
                       std::int64_t budget = 0, RandomTape* tape = nullptr) {
   return ParallelRunner().run_at_all_nodes(g, ids, std::forward<Solver>(solver), budget,
                                            tape);
@@ -496,7 +496,7 @@ auto run_at_all_nodes(const Graph& g, const IdAssignment& ids, Solver&& solver,
 // DIST <= VOL and VOL <= Δ^DIST + 1 (the latter evaluated with overflow
 // guard).  Returns true iff both inequalities hold for every node.
 template <typename Label>
-bool satisfies_lemma_2_5(const Graph& g, const SweepResult<Label>& r) {
+bool satisfies_lemma_2_5(GraphView g, const SweepResult<Label>& r) {
   const double delta = std::max(2, g.max_degree());
   for (std::size_t i = 0; i < r.volume.size(); ++i) {
     // DIST <= VOL: a connected visited set of m nodes spans distance <= m.

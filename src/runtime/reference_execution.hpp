@@ -29,21 +29,21 @@ namespace volcal {
 
 class ReferenceMapExecution {
  public:
-  ReferenceMapExecution(const Graph& g, const IdAssignment& ids, NodeIndex start,
+  ReferenceMapExecution(GraphView g, const IdAssignment& ids, NodeIndex start,
                         std::int64_t budget = 0)
-      : g_(&g), ids_(&ids), start_(start), budget_(budget) {
+      : g_(g), ids_(&ids), start_(start), budget_(budget) {
     if (!g.valid_node(start)) throw std::out_of_range("Execution: bad start node");
     layer_[start] = 0;
   }
 
   NodeIndex start() const { return start_; }
-  const Graph& graph() const { return *g_; }
+  GraphView graph() const { return g_; }
 
   bool visited(NodeIndex v) const { return layer_.contains(v); }
 
   int degree(NodeIndex v) const {
     require_visited(v);
-    return g_->degree(v);
+    return g_.degree(v);
   }
   NodeId id(NodeIndex v) const {
     require_visited(v);
@@ -53,7 +53,7 @@ class ReferenceMapExecution {
   NodeIndex query(NodeIndex w, Port j) {
     require_visited(w);
     ++query_count_;
-    const NodeIndex u = g_->neighbor(w, j);
+    const NodeIndex u = g_.neighbor(w, j);
     auto it = layer_.find(u);
     const std::int64_t candidate = layer_.at(w) + 1;
     if (it == layer_.end()) {
@@ -87,7 +87,7 @@ class ReferenceMapExecution {
   }
 
  private:
-  const Graph* g_;
+  GraphView g_;
   const IdAssignment* ids_;
   NodeIndex start_;
   std::int64_t budget_;

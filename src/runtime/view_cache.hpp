@@ -154,12 +154,15 @@ class ViewCache {
   // Binds the cache to one graph.  Entries are only valid for the bound
   // graph; binding a different one invalidates everything first.  Callers
   // reusing a persistent cache across graphs must re-bind (or invalidate)
-  // between them — the engine binds on first explore.
-  void bind(const Graph& g) {
-    const Graph* cur = bound_.load(std::memory_order_acquire);
-    if (cur == &g) return;
+  // between them — the engine binds on first explore.  Identity is the
+  // view's storage (the offsets array), which is unique per allocation or
+  // file mapping — so an owning Graph and a snapshot mapping of the same
+  // instance are, correctly, different cache bindings.
+  void bind(GraphView g) {
+    const void* cur = bound_.load(std::memory_order_acquire);
+    if (cur == g.storage_identity()) return;
     if (cur != nullptr) invalidate();
-    bound_.store(&g, std::memory_order_release);
+    bound_.store(g.storage_identity(), std::memory_order_release);
   }
 
   // O(1) full invalidation: epoch bump; shards clear lazily on next touch.
@@ -196,12 +199,12 @@ class ViewCache {
   // has already checked the execution is eligible.
   template <typename Exec>
   std::vector<NodeIndex> explore(Exec& exec, std::int64_t radius) {
-    const Graph* cur = bound_.load(std::memory_order_acquire);
+    const void* cur = bound_.load(std::memory_order_acquire);
     if (cur == nullptr) {
       bind(exec.graph());
       cur = bound_.load(std::memory_order_acquire);
     }
-    if (cur != &exec.graph() || radius < 0) {
+    if (cur != exec.graph().storage_identity() || radius < 0) {
       // Unknown graph (caller forgot to re-bind a persistent cache): stay
       // exact by ignoring the cache for this execution.
       CachedBall ball = seed(exec.start());
@@ -270,9 +273,11 @@ class ViewCache {
   // ball (partial entries are not resumed on this path — the batched
   // executor rebuilds from scratch and store() keeps the deeper result).
   // Caller must have bound the cache to `g` first.
-  bool serve_costs(const Graph& g, NodeIndex center, std::int64_t radius,
+  bool serve_costs(GraphView g, NodeIndex center, std::int64_t radius,
                    BallCosts* out) {
-    if (bound_.load(std::memory_order_acquire) != &g || radius < 0) return false;
+    if (bound_.load(std::memory_order_acquire) != g.storage_identity() || radius < 0) {
+      return false;
+    }
     Shard& shard = shard_of(center);
     const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
     {
@@ -400,7 +405,7 @@ class ViewCache {
 
   CacheConfig config_;
   std::unique_ptr<Shard[]> shards_;
-  std::atomic<const Graph*> bound_{nullptr};
+  std::atomic<const void*> bound_{nullptr};
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::uint64_t> tick_{1};
   std::atomic<std::int64_t> hits_{0};

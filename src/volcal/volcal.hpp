@@ -2,6 +2,7 @@
 //
 //   volcal/runtime.hpp   graphs, executions, sweep engine, view cache
 //   volcal/problems.hpp  LCL formalization, instance generators, registry
+//   volcal/io.hpp        instance persistence: snapshots + text + sniffing
 //   volcal/bench.hpp     observability, perf artifacts, growth fitting
 //
 // Include the narrower umbrella when the translation unit only needs one
@@ -9,5 +10,6 @@
 #pragma once
 
 #include "volcal/bench.hpp"
+#include "volcal/io.hpp"
 #include "volcal/problems.hpp"
 #include "volcal/runtime.hpp"

@@ -32,7 +32,7 @@ TEST(FuzzCorpus, HasTheCommittedReproducers) {
   // The corpus ships with at least the three satellite-bug reproducers plus
   // per-family scenario pins; an empty directory means the build is pointing
   // at the wrong place, which would turn the replay test into a silent no-op.
-  EXPECT_GE(corpus_files().size(), 11u);
+  EXPECT_GE(corpus_files().size(), 12u);
 }
 
 TEST(FuzzCorpus, EveryReproducerParsesAndPasses) {
@@ -43,12 +43,13 @@ TEST(FuzzCorpus, EveryReproducerParsesAndPasses) {
     ASSERT_TRUE(load_repro_file(path.string(), &c, &recorded_error, &why))
         << path << ": " << why;
     ASSERT_FALSE(c.family.empty()) << path;
-    // The full differential stack — base invariants plus the cache-policy and
-    // execution-backend differentials, exactly what
-    // `volcal_fuzz --cache --backend` runs per case.
+    // The full differential stack — base invariants plus the cache-policy,
+    // execution-backend and snapshot round-trip differentials, exactly what
+    // `volcal_fuzz --cache --backend --snapshot` runs per case.
     CheckResult result = check_case(c);
     if (result.ok) result = check_cache_case(c);
     if (result.ok) result = check_backend_case(c);
+    if (result.ok) result = check_snapshot_case(c);
     EXPECT_TRUE(result.ok) << path << "\n  case: " << describe(c)
                            << "\n  originally: " << recorded_error
                            << "\n  now: " << result.error;

@@ -120,6 +120,25 @@ def check_artifact_body(doc, where, kind, monotone_n):
                  f"{where} alloc")
     for ph in doc.get("phases", []):
         require_keys(ph, ["name", "wall_seconds"], f"{where} phase")
+        check(bool(ph.get("name")), f"{where}: phase with an empty name")
+        wall = ph.get("wall_seconds")
+        check(isinstance(wall, (int, float)) and math.isfinite(wall) and wall >= 0,
+              f"{where} phase {ph.get('name', '?')!r}: wall_seconds must be "
+              f"finite and >= 0, got {wall}")
+
+
+def check_expected_phases(doc, where, expect_phases):
+    """--expect-phase: the artifact must have spent wall time in each named
+    phase (how CI asserts a --snapshot-dir bench actually took the mmap-load
+    path rather than silently regenerating)."""
+    present = {ph.get("name"): ph.get("wall_seconds", 0)
+               for ph in doc.get("phases", [])}
+    for name in expect_phases:
+        check(name in present,
+              f"{where}: expected phase {name!r}, have {sorted(present)}")
+        if name in present:
+            check(present[name] > 0,
+                  f"{where}: phase {name!r} recorded no wall time")
 
 
 def check_bench_json(path):
@@ -129,12 +148,13 @@ def check_bench_json(path):
     print(f"ok  {path}: {len(doc.get('curves', []))} curves")
 
 
-def check_bench_family(path):
+def check_bench_family(path, expect_phases=()):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     check_artifact_body(doc, path, kind="bench-family", monotone_n=True)
     require_keys(doc, ["family", "title", "theta", "algorithm"], path)
     check(bool(doc.get("family")), f"{path}: empty family name")
+    check_expected_phases(doc, path, expect_phases)
     print(f"ok  {path}: family {doc.get('family', '?')!r}, "
           f"{len(doc.get('curves', []))} curves")
 
@@ -300,6 +320,10 @@ def main():
                         help="volcal_bench BENCH_<family>.json (repeatable)")
     parser.add_argument("--bench-summary", dest="bench_summary",
                         help="volcal_bench BENCH_SUMMARY.json")
+    parser.add_argument("--expect-phase", dest="expect_phase",
+                        action="append", default=[],
+                        help="require each --bench-family artifact to have "
+                             "spent wall time in this phase (repeatable)")
     opts = parser.parse_args()
     if not any([opts.json, opts.metrics, opts.trace, opts.chrome_trace,
                 opts.bench_family, opts.bench_summary]):
@@ -313,7 +337,7 @@ def main():
     if opts.chrome_trace:
         check_chrome_trace(opts.chrome_trace)
     for path in opts.bench_family:
-        check_bench_family(path)
+        check_bench_family(path, expect_phases=opts.expect_phase)
     if opts.bench_summary:
         check_bench_summary(opts.bench_summary)
     if failures:

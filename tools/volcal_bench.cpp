@@ -9,7 +9,15 @@
 // seeded, so committed baselines (bench/baselines/) reproduce exactly on any
 // machine and tools/volcal_bench_diff treats any drift as a hard regression.
 //
-// Usage: volcal_bench [--out-dir DIR] [--seed S] [bench::Args flags]
+// With --snapshot-dir, each sweep point first looks for the volcal_gen
+// snapshot <dir>/<family>-t<target>-s<seed>.vsnap and mmap-loads it instead
+// of regenerating; the wall time lands in a "load" phase (vs "generate"), so
+// schema-v2 artifacts record the load-vs-generate comparison directly.  Cost
+// curves are identical either way — snapshots round-trip bit-identically —
+// which is what lets sweeps extend past RAM-comfortable generator sizes.
+//
+// Usage: volcal_bench [--out-dir DIR] [--seed S] [--snapshot-dir DIR]
+//                     [bench::Args flags]
 //   --max-n N     largest instance target (default 4096)
 //   --filter S    restrict to registry entries whose name contains S
 #include <cstdio>
@@ -20,6 +28,7 @@
 
 #include "bench_util.hpp"
 #include "lcl/registry.hpp"
+#include "volcal/io.hpp"
 #include "perf/artifact.hpp"
 #include "perf/probe.hpp"
 #include "volcal/runtime.hpp"
@@ -36,7 +45,7 @@ constexpr std::uint64_t kSeed = 7;
 // verify once at the smallest size, sweep sampled starts at every size, and
 // fit the three cost curves.
 perf::BenchArtifact run_family(const RegistryEntry& entry, std::int64_t max_n,
-                               std::uint64_t seed) {
+                               std::uint64_t seed, const std::string& snapshot_dir) {
   perf::BenchArtifact art;
   art.kind = "bench-family";
   art.tool = "volcal_bench";
@@ -56,7 +65,16 @@ perf::BenchArtifact run_family(const RegistryEntry& entry, std::int64_t max_n,
   bool verified = false;
   std::int64_t last_node_count = -1;
   for (std::int64_t target = kMinN; target <= max_n; target *= 2) {
-    ErasedInstance inst = [&] {
+    ErasedInstance inst = [&]() -> ErasedInstance {
+      if (!snapshot_dir.empty()) {
+        const std::string snap = snapshot_dir + "/" + entry.name + "-t" +
+                                 std::to_string(target) + "-s" + std::to_string(seed) +
+                                 ".vsnap";
+        if (io::sniff_snapshot(snap)) {
+          auto scope = phases.scope("load");
+          return io::load_instance(snap);
+        }
+      }
       auto scope = phases.scope("generate");
       return entry.make(static_cast<NodeIndex>(target), seed);
     }();
@@ -118,6 +136,7 @@ perf::BenchArtifact run_family(const RegistryEntry& entry, std::int64_t max_n,
 int run(int argc, char** argv) {
   auto args = Args::parse(&argc, argv, "volcal_bench");
   std::string out_dir = ".";
+  std::string snapshot_dir;
   std::uint64_t seed = kSeed;
   for (int i = 1; i < argc; ++i) {
     auto value_of = [&](const char* name, std::size_t len) -> const char* {
@@ -129,6 +148,8 @@ int run(int argc, char** argv) {
     };
     if (const char* v = value_of("--out-dir", 9)) {
       out_dir = v;
+    } else if (const char* v = value_of("--snapshot-dir", 14)) {
+      snapshot_dir = v;
     } else if (const char* v = value_of("--seed", 6)) {
       seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
     } else {
@@ -156,7 +177,7 @@ int run(int argc, char** argv) {
   WallTimer total;
   for (const RegistryEntry* entry : entries) {
     std::printf("== %s (%s) ==\n", entry->name.c_str(), entry->title.c_str());
-    perf::BenchArtifact art = run_family(*entry, max_n, seed);
+    perf::BenchArtifact art = run_family(*entry, max_n, seed, snapshot_dir);
     for (const perf::ArtifactCurve& c : art.curves) {
       std::printf("  %-9s fitted %-14s (claim: %s)\n", c.name.c_str(), c.fitted.c_str(),
                   c.claim.c_str());

@@ -33,11 +33,12 @@ void print_help() {
       "  --replay <f>    replay one reproducer file instead of fuzzing\n"
       "  --cache         also run the view-cache policy differential per case\n"
       "  --backend       also run the basic-vs-batched backend differential per case\n"
+      "  --snapshot      also run the snapshot save/mmap-load round-trip differential\n"
       "  --log           print every generated case\n"
       "  --help          this message\n");
 }
 
-int replay_file(const std::string& path, bool cache, bool backend) {
+int replay_file(const std::string& path, bool cache, bool backend, bool snapshot) {
   volcal::check::FuzzCase c;
   std::string recorded_error;
   std::string why;
@@ -52,6 +53,7 @@ int replay_file(const std::string& path, bool cache, bool backend) {
   volcal::check::CheckResult result = volcal::check::check_case(c);
   if (result.ok && cache) result = volcal::check::check_cache_case(c);
   if (result.ok && backend) result = volcal::check::check_backend_case(c);
+  if (result.ok && snapshot) result = volcal::check::check_snapshot_case(c);
   if (!result.ok) {
     std::printf("  STILL FAILING: %s\n", result.error.c_str());
     return 1;
@@ -91,6 +93,8 @@ int main(int argc, char** argv) {
       opts.cache = true;
     } else if (std::strcmp(argv[i], "--backend") == 0) {
       opts.backend = true;
+    } else if (std::strcmp(argv[i], "--snapshot") == 0) {
+      opts.snapshot = true;
     } else if (std::strcmp(argv[i], "--log") == 0) {
       opts.log_cases = true;
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -105,7 +109,7 @@ int main(int argc, char** argv) {
   if (!replays.empty()) {
     int status = 0;
     for (const std::string& path : replays) {
-      status = std::max(status, replay_file(path, opts.cache, opts.backend));
+      status = std::max(status, replay_file(path, opts.cache, opts.backend, opts.snapshot));
     }
     return status;
   }
