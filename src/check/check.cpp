@@ -168,9 +168,13 @@ CheckResult check_summarize(const std::vector<std::int64_t>& per_start) {
   for (const double v : sorted) sum += v;
   const double median = cnt % 2 == 1 ? sorted[cnt / 2]
                                      : 0.5 * (sorted[cnt / 2 - 1] + sorted[cnt / 2]);
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(0.95 * static_cast<double>(cnt)));
-  const double p95 = sorted[std::max<std::size_t>(rank, 1) - 1];
+  const auto nearest_rank = [&](double q) {
+    const std::size_t rank =
+        static_cast<std::size_t>(std::ceil(q * static_cast<double>(cnt)));
+    return sorted[std::max<std::size_t>(rank, 1) - 1];
+  };
+  const double p95 = nearest_rank(0.95);
+  const double p99 = nearest_rank(0.99);
   auto close = [](double a, double b) {
     return std::abs(a - b) <= 1e-9 * std::max({std::abs(a), std::abs(b), 1.0});
   };
@@ -185,6 +189,9 @@ CheckResult check_summarize(const std::vector<std::int64_t>& per_start) {
   }
   if (!close(s.p95, p95)) {
     return fail("summarize: p95 disagrees with nearest-rank recomputation");
+  }
+  if (!close(s.p99, p99)) {
+    return fail("summarize: p99 disagrees with nearest-rank recomputation");
   }
   return {};
 }

@@ -29,25 +29,55 @@ class Graph {
 
   Graph() = default;
 
+  // Storage-token bookkeeping: owned storage is unique to this object, so
+  // copying an owning Graph copies the CSR arrays into fresh storage and
+  // mints a fresh identity.  Adopted storage is shared with the external
+  // owner, so copies of an adopted Graph keep the same identity (they alias
+  // the same bytes).  Moves transfer the storage, so the identity moves too.
+  Graph(const Graph& other)
+      : offsets_(other.offsets_),
+        adjacency_(other.adjacency_),
+        max_degree_(other.max_degree_),
+        adopted_(other.adopted_),
+        token_(other.adopted() ? other.token_ : mint_storage_token()) {}
+  Graph& operator=(const Graph& other) {
+    if (this == &other) return *this;
+    offsets_ = other.offsets_;
+    adjacency_ = other.adjacency_;
+    max_degree_ = other.max_degree_;
+    adopted_ = other.adopted_;
+    token_ = other.adopted() ? other.token_ : mint_storage_token();
+    return *this;
+  }
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
   // Borrow externally owned CSR storage (e.g. an mmap-ed snapshot section).
   // The caller must keep that storage alive and unmodified for the lifetime
   // of the returned Graph and every view taken from it; see
-  // io/snapshot.hpp for the keep-alive pattern used by the loader.
+  // io/snapshot.hpp for the keep-alive pattern used by the loader.  If the
+  // incoming view already carries a storage token (a snapshot view), that
+  // identity is preserved; an anonymous view gets a fresh token minted for
+  // this adoption.
   static Graph adopt(GraphView v) {
     Graph g;
-    g.adopted_ = v;
+    if (v.storage_identity() != kAnonymousStorage) g.token_ = v.storage_identity();
+    g.adopted_ = GraphView(v.offsets_data(), v.adjacency_data(), v.node_count(),
+                           v.max_degree(), g.token_);
     g.offsets_.clear();
     return g;
   }
 
   // The borrowed view of this graph's storage (owned vectors or adopted
-  // mapping).  Cheap: four words, computed on access so copies and moves of
+  // mapping).  Cheap: five words, computed on access so copies and moves of
   // Graph never need fix-up.
   GraphView view() const {
     if (adopted_.offsets_data() != nullptr) return adopted_;
     return GraphView(offsets_.data(), adjacency_.data(),
-                     static_cast<NodeIndex>(offsets_.size()) - 1, max_degree_);
+                     static_cast<NodeIndex>(offsets_.size()) - 1, max_degree_, token_);
   }
+
+  bool adopted() const { return adopted_.offsets_data() != nullptr; }
 
   // Every engine entry point takes GraphView; an owning Graph converts
   // implicitly so call sites don't care which one they hold.
@@ -91,6 +121,7 @@ class Graph {
   std::vector<NodeIndex> adjacency_;
   int max_degree_ = 0;
   GraphView adopted_{};
+  StorageToken token_ = mint_storage_token();
 
   friend class Builder;
 };

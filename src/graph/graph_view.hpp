@@ -13,6 +13,7 @@
 // lifetime of the sweep it was bound for.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -27,6 +28,25 @@ using Port = int;  // 1-based; 0 is reserved for "no port" (the label ⊥)
 
 inline constexpr NodeIndex kNoNode = -1;
 inline constexpr Port kNoPort = 0;
+
+// Process-unique identity of one logical graph storage (one Builder::build,
+// one Graph::adopt of a fresh mapping, one snapshot load).  Raw pointers are
+// NOT identity: munmap/mmap recycles addresses, so a persistent ViewCache
+// keyed on a pointer can serve balls from a previous snapshot that happened
+// to land at the same address (pointer ABA).  Tokens are minted from a
+// monotonic counter and never reused within a process.
+//
+// Token 0 is reserved for "anonymous" storage — a bare GraphView constructed
+// over raw arrays with no minting owner.  The ViewCache refuses to bind to or
+// serve anonymous views (it cannot tell two of them apart).
+using StorageToken = std::uint64_t;
+
+inline constexpr StorageToken kAnonymousStorage = 0;
+
+inline StorageToken mint_storage_token() {
+  static std::atomic<StorageToken> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 namespace detail {
 
@@ -62,6 +82,13 @@ class GraphView {
   constexpr GraphView(const std::size_t* offsets, const NodeIndex* adjacency,
                       NodeIndex node_count, int max_degree)
       : offsets_(offsets), adjacency_(adjacency), n_(node_count), max_degree_(max_degree) {}
+  constexpr GraphView(const std::size_t* offsets, const NodeIndex* adjacency,
+                      NodeIndex node_count, int max_degree, StorageToken token)
+      : offsets_(offsets),
+        adjacency_(adjacency),
+        n_(node_count),
+        max_degree_(max_degree),
+        token_(token) {}
 
   NodeIndex node_count() const { return n_; }
   std::int64_t edge_count() const {
@@ -113,11 +140,13 @@ class GraphView {
   const std::size_t* offsets_data() const { return offsets_; }
   const NodeIndex* adjacency_data() const { return adjacency_; }
 
-  // Identity of the underlying storage.  The offsets array always has at
-  // least one element for a non-empty graph and is unique per allocation or
-  // file mapping, so this pointer is what ViewCache keys its binding on
-  // (the adjacency pointer can be null/shared for edgeless graphs).
-  const void* storage_identity() const { return static_cast<const void*>(offsets_); }
+  // Identity of the underlying storage: the token minted when the storage
+  // was built or adopted (Graph, io::Snapshot).  This is what ViewCache keys
+  // its binding on.  Pointer equality is deliberately NOT used — munmap/mmap
+  // recycles addresses across snapshot swaps, so two distinct graphs can
+  // share an offsets pointer over a process lifetime.  kAnonymousStorage (0)
+  // means "no minting owner"; the cache treats such views as uncacheable.
+  StorageToken storage_identity() const { return token_; }
 
  private:
   void check_node(NodeIndex v) const {
@@ -130,6 +159,7 @@ class GraphView {
   const NodeIndex* adjacency_ = nullptr;
   NodeIndex n_ = 0;
   int max_degree_ = 0;
+  StorageToken token_ = kAnonymousStorage;
 };
 
 static_assert(std::is_trivially_copyable_v<GraphView>,

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 namespace volcal::io {
 
@@ -173,11 +174,24 @@ std::shared_ptr<const MappedFile> MappedFile::map(const std::string& path) {
     ::close(fd);
     fail(path, "stat failed: " + std::string(std::strerror(err)));
   }
-  const auto size = static_cast<std::size_t>(st.st_size);
-  if (size == 0) {
+  // Distinct diagnostics for the distinct misuses: a directory opens fine on
+  // Linux but cannot be mapped, a zero-size file maps to nothing (mmap would
+  // return EINVAL), and a file larger than the address space cannot be mapped
+  // whole.  Each used to surface as a generic mmap/size error.
+  if (S_ISDIR(st.st_mode)) {
     ::close(fd);
-    fail(path, "empty file");
+    fail(path, "is a directory, not a snapshot file");
   }
+  if (st.st_size == 0) {
+    ::close(fd);
+    fail(path, "empty file (zero bytes; not a snapshot)");
+  }
+  if (static_cast<std::uint64_t>(st.st_size) >
+      std::numeric_limits<std::size_t>::max() / 2) {
+    ::close(fd);
+    fail(path, "file too large to map (" + std::to_string(st.st_size) + " bytes)");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
   void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
   const int err = errno;
   ::close(fd);  // the mapping holds its own reference
@@ -217,6 +231,11 @@ Snapshot Snapshot::load(const std::string& path, Options opts) {
   Snapshot snap;
   snap.path_ = path;
   snap.map_ = MappedFile::map(path);
+  // One identity per load: views handed out by this snapshot all carry the
+  // same token, and a reload of the same file (or a different file mapped at
+  // a recycled address) gets a different one.  This is what keeps a
+  // persistent ViewCache from serving balls across snapshot swaps.
+  snap.token_ = mint_storage_token();
   const std::uint8_t* base = snap.map_->data();
   const std::uint64_t file_size = snap.map_->size();
 
@@ -317,7 +336,7 @@ GraphView Snapshot::graph() const {
   const Section& adj = require("adj", 8, adjacency_count_);
   return GraphView(reinterpret_cast<const std::size_t*>(map_->data() + off.offset),
                    reinterpret_cast<const NodeIndex*>(map_->data() + adj.offset),
-                   node_count_, max_degree_);
+                   node_count_, max_degree_, token_);
 }
 
 std::span<const NodeId> Snapshot::ids() const {

@@ -120,6 +120,21 @@ void append_body(std::string& out, const BenchArtifact& a) {
                 cache_policy_name(a.cache.policy), a.cache.hits, a.cache.misses,
                 a.cache.evictions, a.cache.served_nodes, a.cache.inserted_bytes);
   out += buf;
+  if (a.serve.has_value()) {
+    const ServeStatsBlock& s = *a.serve;
+    char sbuf[512];
+    std::snprintf(sbuf, sizeof sbuf,
+                  ", \"serve\": {\"accepted\": %" PRId64 ", \"completed\": %" PRId64
+                  ", \"shed\": %" PRId64 ", \"invalid\": %" PRId64
+                  ", \"swaps\": %" PRId64 ", \"latency_samples\": %" PRId64
+                  ", \"p50_ns\": %.17g, \"p95_ns\": %.17g, \"p99_ns\": %.17g"
+                  ", \"mean_ns\": %.17g, \"max_ns\": %.17g, \"qps\": %.17g"
+                  ", \"wall_seconds\": %.6g}",
+                  s.accepted, s.completed, s.shed, s.invalid, s.swaps,
+                  s.latency_samples, s.p50_ns, s.p95_ns, s.p99_ns, s.mean_ns,
+                  s.max_ns, s.qps, s.wall_seconds);
+    out += sbuf;
+  }
   std::snprintf(buf, sizeof buf,
                 ", \"alloc\": {\"instrumented\": %s, \"allocs\": %" PRIu64
                 ", \"frees\": %" PRIu64 ", \"bytes\": %" PRIu64 ", \"peak_bytes\": %" PRIu64
@@ -226,6 +241,23 @@ std::optional<BenchArtifact> BenchArtifact::from_json(const JsonValue& doc,
     a.cache.evictions = cache->int_at("evictions");
     a.cache.served_nodes = cache->int_at("served_nodes");
     a.cache.inserted_bytes = cache->int_at("inserted_bytes");
+  }
+  if (const JsonValue* serve = doc.find("serve")) {
+    ServeStatsBlock s;
+    s.accepted = serve->int_at("accepted");
+    s.completed = serve->int_at("completed");
+    s.shed = serve->int_at("shed");
+    s.invalid = serve->int_at("invalid");
+    s.swaps = serve->int_at("swaps");
+    s.latency_samples = serve->int_at("latency_samples");
+    s.p50_ns = serve->number_at("p50_ns");
+    s.p95_ns = serve->number_at("p95_ns");
+    s.p99_ns = serve->number_at("p99_ns");
+    s.mean_ns = serve->number_at("mean_ns");
+    s.max_ns = serve->number_at("max_ns");
+    s.qps = serve->number_at("qps");
+    s.wall_seconds = serve->number_at("wall_seconds");
+    a.serve = s;
   }
   if (const JsonValue* alloc = doc.find("alloc")) {
     a.alloc_instrumented = alloc->find("instrumented") != nullptr &&

@@ -19,6 +19,11 @@
 //     "phases": [{"name", "wall_seconds"}, ...],
 //     "cache": {"policy", "hits", "misses", "evictions",   // v2: view-cache
 //               "served_nodes", "inserted_bytes"},         //   counters
+//     "serve": {"accepted", "completed", "shed", "invalid", "swaps",
+//               "latency_samples", "p50_ns", "p95_ns", "p99_ns", "mean_ns",
+//               "max_ns", "qps", "wall_seconds"},  // optional: query-service
+//                                                  //   runs (volcal_serve /
+//                                                  //   volcal_load) only
 //     "alloc": {"instrumented", "allocs", "frees", "bytes", "peak_bytes"},
 //     "rss_high_water_kb": N,
 //     "total_wall_seconds": S,
@@ -82,6 +87,28 @@ struct ArtifactCurve {
   void refit();
 };
 
+// Query-service telemetry (tools/volcal_serve server-side, tools/volcal_load
+// client-side): request counters, nearest-rank latency percentiles in
+// nanoseconds, and sustained throughput.  Optional and additive within
+// schema v2 — artifacts without the block load with has_value() == false.
+struct ServeStatsBlock {
+  std::int64_t accepted = 0;
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;
+  std::int64_t invalid = 0;
+  std::int64_t swaps = 0;
+  std::int64_t latency_samples = 0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  double mean_ns = 0.0;
+  double max_ns = 0.0;
+  double qps = 0.0;           // completed / wall_seconds
+  double wall_seconds = 0.0;  // measured serving window
+
+  friend bool operator==(const ServeStatsBlock&, const ServeStatsBlock&) = default;
+};
+
 struct BenchArtifact {
   int schema_version = kArtifactSchemaVersion;
   std::string kind = "bench-report";
@@ -98,6 +125,8 @@ struct BenchArtifact {
   // View-cache counters accumulated over the tool's measured sweeps (schema
   // v2; zeros with policy Off for v1 artifacts and cache-less runs).
   CacheStats cache;
+  // Query-service block — present only for serve/load runs.
+  std::optional<ServeStatsBlock> serve;
   AllocStats alloc;
   bool alloc_instrumented = false;
   std::int64_t rss_high_water_kb = 0;

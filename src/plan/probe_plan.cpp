@@ -1,7 +1,8 @@
 #include "plan/probe_plan.hpp"
 
-#include <cstdlib>
 #include <cstring>
+
+#include "util/env.hpp"
 
 namespace volcal {
 
@@ -20,7 +21,15 @@ bool backend_from_name(const char* name, ExecBackend* out) {
 
 ExecBackend backend_from_env() {
   ExecBackend backend = ExecBackend::Batched;
-  backend_from_name(std::getenv("VOLCAL_BACKEND"), &backend);
+  if (const auto name = env::raw("VOLCAL_BACKEND")) {
+    if (!backend_from_name(name->c_str(), &backend)) {
+      // Typos keep the (safe, bit-identical) default — but say so once:
+      // `VOLCAL_BACKEND=basick` silently benchmarking the batched backend
+      // invalidates an ablation.
+      env::warn_invalid("VOLCAL_BACKEND", *name, "not one of basic|batched",
+                        "backend batched");
+    }
+  }
   return backend;
 }
 

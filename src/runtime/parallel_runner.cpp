@@ -1,18 +1,18 @@
 #include "runtime/parallel_runner.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <exception>
 #include <thread>
+
+#include "util/env.hpp"
 
 namespace volcal::detail {
 
 int resolve_thread_count(int requested) {
   if (requested > 0) return std::min(requested, 256);
-  if (const char* env = std::getenv("VOLCAL_THREADS")) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && parsed > 0) return static_cast<int>(std::min<long>(parsed, 256));
+  // Strict parse: `VOLCAL_THREADS=eight` used to run serial without a word.
+  if (const auto parsed = env::positive_int("VOLCAL_THREADS", 256, "1 thread")) {
+    return static_cast<int>(*parsed);
   }
   return 1;
 }

@@ -1,7 +1,8 @@
 #include "runtime/view_cache.hpp"
 
-#include <cstdlib>
 #include <cstring>
+
+#include "util/env.hpp"
 
 namespace volcal {
 
@@ -24,15 +25,22 @@ bool CacheConfig::policy_from_name(const char* name, CachePolicy* out) {
 
 CacheConfig CacheConfig::from_env() {
   CacheConfig config;
-  if (const char* policy = std::getenv("VOLCAL_CACHE")) {
+  if (const auto policy = env::raw("VOLCAL_CACHE")) {
     // Unrecognized values keep the safe default (Off) rather than aborting a
-    // bench run over a typo — the policy in effect is visible in the stats.
+    // bench run over a typo — but loudly, exactly once: `VOLCAL_CACHE=sharde`
+    // silently running uncached wastes a whole measurement session.
     CachePolicy parsed = CachePolicy::Off;
-    if (policy_from_name(policy, &parsed)) config.policy = parsed;
+    if (policy_from_name(policy->c_str(), &parsed)) {
+      config.policy = parsed;
+    } else {
+      env::warn_invalid("VOLCAL_CACHE", *policy, "not one of off|perstart|shared",
+                        "policy off");
+    }
   }
-  if (const char* mb = std::getenv("VOLCAL_CACHE_MB")) {
-    const long long v = std::atoll(mb);
-    if (v > 0) config.byte_budget = static_cast<std::size_t>(v) << 20;
+  // 1 TiB cap: far above any real budget, far below size_t overflow.
+  if (const auto mb = env::positive_int("VOLCAL_CACHE_MB", std::int64_t{1} << 20,
+                                        "default budget 256 MiB")) {
+    config.byte_budget = env::mb_to_bytes(*mb);
   }
   return config;
 }

@@ -155,14 +155,19 @@ class ViewCache {
   // graph; binding a different one invalidates everything first.  Callers
   // reusing a persistent cache across graphs must re-bind (or invalidate)
   // between them — the engine binds on first explore.  Identity is the
-  // view's storage (the offsets array), which is unique per allocation or
-  // file mapping — so an owning Graph and a snapshot mapping of the same
-  // instance are, correctly, different cache bindings.
+  // view's storage *token* (graph_view.hpp), minted once per build / adopt /
+  // snapshot load and never reused in a process — so an owning Graph and a
+  // snapshot mapping of the same instance are, correctly, different cache
+  // bindings, and a new snapshot mmap'ed at a recycled address can never
+  // alias a previous binding (the pointer-ABA case).  Anonymous views
+  // (token 0) are uncacheable and leave the binding untouched.
   void bind(GraphView g) {
-    const void* cur = bound_.load(std::memory_order_acquire);
-    if (cur == g.storage_identity()) return;
-    if (cur != nullptr) invalidate();
-    bound_.store(g.storage_identity(), std::memory_order_release);
+    const StorageToken id = g.storage_identity();
+    if (id == kAnonymousStorage) return;
+    const StorageToken cur = bound_.load(std::memory_order_acquire);
+    if (cur == id) return;
+    if (cur != kAnonymousStorage) invalidate();
+    bound_.store(id, std::memory_order_release);
   }
 
   // O(1) full invalidation: epoch bump; shards clear lazily on next touch.
@@ -199,14 +204,16 @@ class ViewCache {
   // has already checked the execution is eligible.
   template <typename Exec>
   std::vector<NodeIndex> explore(Exec& exec, std::int64_t radius) {
-    const void* cur = bound_.load(std::memory_order_acquire);
-    if (cur == nullptr) {
+    const StorageToken id = exec.graph().storage_identity();
+    StorageToken cur = bound_.load(std::memory_order_acquire);
+    if (cur == kAnonymousStorage && id != kAnonymousStorage) {
       bind(exec.graph());
       cur = bound_.load(std::memory_order_acquire);
     }
-    if (cur != exec.graph().storage_identity() || radius < 0) {
-      // Unknown graph (caller forgot to re-bind a persistent cache): stay
-      // exact by ignoring the cache for this execution.
+    if (id == kAnonymousStorage || cur != id || radius < 0) {
+      // Anonymous storage (no token to key on) or an unknown graph (caller
+      // forgot to re-bind a persistent cache): stay exact by ignoring the
+      // cache for this execution.
       CachedBall ball = seed(exec.start());
       detail::extend_cached_ball(exec, ball, radius);
       return std::move(ball.order);
@@ -275,7 +282,9 @@ class ViewCache {
   // Caller must have bound the cache to `g` first.
   bool serve_costs(GraphView g, NodeIndex center, std::int64_t radius,
                    BallCosts* out) {
-    if (bound_.load(std::memory_order_acquire) != g.storage_identity() || radius < 0) {
+    const StorageToken id = g.storage_identity();
+    if (id == kAnonymousStorage ||
+        bound_.load(std::memory_order_acquire) != id || radius < 0) {
       return false;
     }
     Shard& shard = shard_of(center);
@@ -405,7 +414,7 @@ class ViewCache {
 
   CacheConfig config_;
   std::unique_ptr<Shard[]> shards_;
-  std::atomic<const void*> bound_{nullptr};
+  std::atomic<StorageToken> bound_{kAnonymousStorage};
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::uint64_t> tick_{1};
   std::atomic<std::int64_t> hits_{0};

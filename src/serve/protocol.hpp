@@ -1,0 +1,263 @@
+// Wire protocol of the volcal_serve query front-end: length-prefixed binary
+// frames over a byte stream (Unix-domain socket in the shipped tools; the
+// codec itself is transport-agnostic and unit-tested without sockets).
+//
+// Frame layout (all integers little-endian, matching the snapshot format's
+// endianness stance — snapshot.cpp refuses to build big-endian):
+//
+//   u32  frame_bytes     length of everything after this prefix
+//   u8   type            FrameType
+//   ...  payload         fixed layout per type, below
+//
+//   Query  (client -> server):  u64 request_id | i64 node
+//   Result (server -> client):  u64 request_id | u8 status | i64 node |
+//                               i64 label | i64 volume | i64 distance |
+//                               i64 queries | i64 latency_ns
+//   Shed   (server -> client):  u64 request_id | u32 retry_after_ms
+//                               (retry_after_ms == 0: the service is
+//                               draining and will not accept a retry)
+//   Bye    (server -> client):  u8 reason (0 = graceful drain)
+//
+// Every Query is answered by exactly one Result or Shed carrying the same
+// request_id; ids are client-chosen and opaque to the server (responses may
+// arrive out of submission order — the service batches and reorders).
+//
+// FrameReader is the stream-side decoder: feed() whatever bytes arrived,
+// next() yields complete frames and buffers partials across reads.  A frame
+// whose declared length exceeds kMaxFrameBytes or whose payload does not
+// match its type marks the stream corrupt — the transport must drop the
+// connection (there is no resynchronization in a length-prefixed stream).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace volcal::serve {
+
+enum class FrameType : std::uint8_t {
+  Query = 1,
+  Result = 2,
+  Shed = 3,
+  Bye = 4,
+};
+
+enum class QueryStatus : std::uint8_t {
+  Ok = 0,
+  InvalidNode = 1,  // node outside [0, n): label/meters are zero
+};
+
+struct QueryFrame {
+  std::uint64_t request_id = 0;
+  std::int64_t node = 0;
+};
+
+struct ResultFrame {
+  std::uint64_t request_id = 0;
+  QueryStatus status = QueryStatus::Ok;
+  std::int64_t node = 0;
+  std::int64_t label = 0;
+  std::int64_t volume = 0;
+  std::int64_t distance = 0;
+  std::int64_t queries = 0;
+  std::int64_t latency_ns = 0;
+};
+
+struct ShedFrame {
+  std::uint64_t request_id = 0;
+  std::uint32_t retry_after_ms = 0;
+};
+
+struct ByeFrame {
+  std::uint8_t reason = 0;
+};
+
+// Decoded frame: `type` selects which member is meaningful.
+struct Frame {
+  FrameType type = FrameType::Bye;
+  QueryFrame query;
+  ResultFrame result;
+  ShedFrame shed;
+  ByeFrame bye;
+};
+
+// Largest legal frame_bytes value.  Result is the biggest frame (1 + 8 + 1 +
+// 6*8 = 58); anything bigger than this bound is stream corruption, not a
+// future extension (extensions bump the protocol by adding types, and the
+// bound with them).
+inline constexpr std::size_t kMaxFrameBytes = 64;
+
+namespace wire {
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline std::int64_t get_i64(const std::uint8_t* p) {
+  return static_cast<std::int64_t>(get_u64(p));
+}
+
+}  // namespace wire
+
+// Encoders — each returns a complete frame including the length prefix,
+// ready to write to the stream.
+inline std::vector<std::uint8_t> encode_query(const QueryFrame& f) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 1 + 16);
+  wire::put_u32(out, 1 + 16);
+  wire::put_u8(out, static_cast<std::uint8_t>(FrameType::Query));
+  wire::put_u64(out, f.request_id);
+  wire::put_i64(out, f.node);
+  return out;
+}
+
+inline std::vector<std::uint8_t> encode_result(const ResultFrame& f) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 1 + 57);
+  wire::put_u32(out, 1 + 8 + 1 + 6 * 8);
+  wire::put_u8(out, static_cast<std::uint8_t>(FrameType::Result));
+  wire::put_u64(out, f.request_id);
+  wire::put_u8(out, static_cast<std::uint8_t>(f.status));
+  wire::put_i64(out, f.node);
+  wire::put_i64(out, f.label);
+  wire::put_i64(out, f.volume);
+  wire::put_i64(out, f.distance);
+  wire::put_i64(out, f.queries);
+  wire::put_i64(out, f.latency_ns);
+  return out;
+}
+
+inline std::vector<std::uint8_t> encode_shed(const ShedFrame& f) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 1 + 12);
+  wire::put_u32(out, 1 + 8 + 4);
+  wire::put_u8(out, static_cast<std::uint8_t>(FrameType::Shed));
+  wire::put_u64(out, f.request_id);
+  wire::put_u32(out, f.retry_after_ms);
+  return out;
+}
+
+inline std::vector<std::uint8_t> encode_bye(const ByeFrame& f) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 2);
+  wire::put_u32(out, 2);
+  wire::put_u8(out, static_cast<std::uint8_t>(FrameType::Bye));
+  wire::put_u8(out, f.reason);
+  return out;
+}
+
+// Decodes the body of one frame (everything after the length prefix).
+// Returns false — without touching `out` beyond its type field — when the
+// type is unknown or the payload length does not match the type.
+inline bool decode_frame(const std::uint8_t* body, std::size_t len, Frame* out) {
+  if (len < 1) return false;
+  const auto type = static_cast<FrameType>(body[0]);
+  const std::uint8_t* p = body + 1;
+  const std::size_t payload = len - 1;
+  switch (type) {
+    case FrameType::Query:
+      if (payload != 16) return false;
+      out->type = type;
+      out->query.request_id = wire::get_u64(p);
+      out->query.node = wire::get_i64(p + 8);
+      return true;
+    case FrameType::Result:
+      if (payload != 8 + 1 + 6 * 8) return false;
+      out->type = type;
+      out->result.request_id = wire::get_u64(p);
+      out->result.status = static_cast<QueryStatus>(p[8]);
+      out->result.node = wire::get_i64(p + 9);
+      out->result.label = wire::get_i64(p + 17);
+      out->result.volume = wire::get_i64(p + 25);
+      out->result.distance = wire::get_i64(p + 33);
+      out->result.queries = wire::get_i64(p + 41);
+      out->result.latency_ns = wire::get_i64(p + 49);
+      return true;
+    case FrameType::Shed:
+      if (payload != 12) return false;
+      out->type = type;
+      out->shed.request_id = wire::get_u64(p);
+      out->shed.retry_after_ms = wire::get_u32(p + 8);
+      return true;
+    case FrameType::Bye:
+      if (payload != 1) return false;
+      out->type = type;
+      out->bye.reason = p[0];
+      return true;
+  }
+  return false;
+}
+
+// Incremental stream decoder: buffers partial frames across feed() calls.
+class FrameReader {
+ public:
+  void feed(const std::uint8_t* data, std::size_t len) {
+    buf_.insert(buf_.end(), data, data + len);
+  }
+
+  // Pops the next complete frame.  False when the buffer holds no complete
+  // frame yet — or the stream is corrupt (check corrupt(); once set, no
+  // further frame is ever produced).
+  bool next(Frame* out) {
+    if (corrupt_) return false;
+    if (buf_.size() - pos_ < 4) {
+      compact();
+      return false;
+    }
+    const std::uint32_t frame_bytes = wire::get_u32(buf_.data() + pos_);
+    if (frame_bytes == 0 || frame_bytes > kMaxFrameBytes) {
+      corrupt_ = true;
+      return false;
+    }
+    if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(frame_bytes)) {
+      compact();
+      return false;
+    }
+    if (!decode_frame(buf_.data() + pos_ + 4, frame_bytes, out)) {
+      corrupt_ = true;
+      return false;
+    }
+    pos_ += 4 + frame_bytes;
+    return true;
+  }
+
+  bool corrupt() const { return corrupt_; }
+
+ private:
+  // Drop consumed bytes when nothing is in flight (keeps the buffer from
+  // growing across a long-lived connection).
+  void compact() {
+    if (pos_ > 0) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+      pos_ = 0;
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace volcal::serve

@@ -1,0 +1,263 @@
+#include "serve/query_service.hpp"
+
+#include <algorithm>
+
+#include "runtime/batched_execution.hpp"
+#include "runtime/execution.hpp"
+#include "runtime/parallel_runner.hpp"
+
+namespace volcal::serve {
+
+ServeTarget make_serve_target(std::shared_ptr<const ErasedInstance> instance) {
+  ServeTarget target;
+  const RegistryEntry* entry =
+      instance ? ProblemRegistry::global().find(instance->family()) : nullptr;
+  target.plan = entry != nullptr ? entry->plan : ProbePlan::independent();
+  target.instance = std::move(instance);
+  return target;
+}
+
+QueryService::QueryService(ServeTarget target, ServeConfig config)
+    : config_(config),
+      threads_(detail::resolve_thread_count(config.threads)),
+      batch_max_(std::clamp(config.batch_max, 1, BatchedBallExecutor::kMaxBatch)),
+      target_(std::make_shared<const ServeTarget>(std::move(target))),
+      cache_(config.cache) {
+  workers_.reserve(static_cast<std::size_t>(threads_));
+  for (int w = 0; w < threads_; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+QueryService::~QueryService() { drain_and_stop(); }
+
+std::shared_ptr<const ServeTarget> QueryService::current_target() const {
+  std::lock_guard lock(target_mu_);
+  return target_;
+}
+
+NodeIndex QueryService::node_count() const {
+  return current_target()->instance->node_count();
+}
+
+Admission QueryService::submit(std::uint64_t request_id, std::int64_t node,
+                               std::function<void(const QueryResult&)> done) {
+  {
+    std::lock_guard lock(mu_);
+    if (draining_ || stop_) {
+      std::lock_guard slock(stats_mu_);
+      ++counters_.shed;
+      return Admission::Stopped;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      std::lock_guard slock(stats_mu_);
+      ++counters_.shed;
+      return Admission::Shed;
+    }
+    Request req;
+    req.id = request_id;
+    req.node = node;
+    req.done = std::move(done);
+    req.enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(req));
+  }
+  not_empty_.notify_one();
+  {
+    std::lock_guard slock(stats_mu_);
+    ++counters_.accepted;
+  }
+  return Admission::Accepted;
+}
+
+void QueryService::swap_target(ServeTarget next) {
+  auto holder = std::make_shared<const ServeTarget>(std::move(next));
+  {
+    std::lock_guard lock(target_mu_);
+    target_ = std::move(holder);
+  }
+  // No explicit cache invalidation: the next batch binds the cache to the
+  // new view, and bind() invalidates on the token change.  A swap to a view
+  // with the *same* token (a copy sharing the mapping) correctly keeps every
+  // warm entry.
+  std::lock_guard slock(stats_mu_);
+  ++counters_.swaps;
+}
+
+void QueryService::drain_and_stop() {
+  {
+    std::unique_lock lock(mu_);
+    draining_ = true;
+    idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    stop_ = true;
+  }
+  not_empty_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+ServeCounters QueryService::counters() const {
+  std::lock_guard lock(stats_mu_);
+  return counters_;
+}
+
+std::vector<std::int64_t> QueryService::latencies_ns() const {
+  std::lock_guard lock(stats_mu_);
+  return latencies_;
+}
+
+stats::Summary QueryService::latency_summary() const {
+  std::vector<double> values;
+  {
+    std::lock_guard lock(stats_mu_);
+    values.assign(latencies_.begin(), latencies_.end());
+  }
+  return stats::summarize(std::move(values));
+}
+
+void QueryService::finish(Request& req, QueryResult result,
+                          std::vector<std::int64_t>& local_latencies) {
+  result.request_id = req.id;
+  result.node = req.node;
+  result.latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - req.enqueued)
+                          .count();
+  local_latencies.push_back(result.latency_ns);
+  if (req.done) req.done(result);
+}
+
+void QueryService::worker_loop() {
+  ExecutionScratch scratch;
+  BatchedBallExecutor exec;
+  StorageToken exec_token = kAnonymousStorage;
+  bool exec_bound = false;
+  std::vector<Request> batch;
+  std::vector<std::int64_t> local_latencies;
+  NodeIndex centers[BatchedBallExecutor::kMaxBatch];
+  std::size_t slot_of[BatchedBallExecutor::kMaxBatch];
+
+  const bool use_cache = config_.cache.policy == CachePolicy::Shared;
+
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock lock(mu_);
+      not_empty_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      const std::size_t take =
+          std::min(queue_.size(), static_cast<std::size_t>(batch_max_));
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ += take;
+    }
+
+    // Snapshot the target for this whole batch: a concurrent swap_target
+    // cannot pull the mapping out from under us, and every request in the
+    // batch is answered against one consistent instance.
+    const std::shared_ptr<const ServeTarget> target = current_target();
+    const ErasedInstance& inst = *target->instance;
+    const GraphView g = inst.graph();
+    const NodeIndex n = g.node_count();
+    scratch.reserve(n);
+    ViewCache* cache = use_cache ? &cache_ : nullptr;
+    if (cache != nullptr) cache->bind(g);
+
+    local_latencies.clear();
+    std::int64_t local_invalid = 0;
+
+    if (target->plan.batchable()) {
+      // The fused path, mirroring ParallelRunner::run_batched_balls: serve
+      // full cache hits, run the misses as one wave-synchronous expansion,
+      // store completed expansions at the epoch captured before the batch.
+      if (!exec_bound || exec_token != g.storage_identity() ||
+          exec_token == kAnonymousStorage) {
+        exec.bind(g);
+        exec_token = g.storage_identity();
+        exec_bound = true;
+      }
+      const std::uint64_t epoch = cache != nullptr ? cache->epoch() : 0;
+      int b = 0;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        Request& req = batch[i];
+        if (req.node < 0 || req.node >= static_cast<std::int64_t>(n)) {
+          QueryResult result;
+          result.status = QueryStatus::InvalidNode;
+          ++local_invalid;
+          finish(req, result, local_latencies);
+          continue;
+        }
+        const auto center = static_cast<NodeIndex>(req.node);
+        if (cache != nullptr) {
+          BallCosts costs;
+          if (cache->serve_costs(g, center, target->plan.radius, &costs)) {
+            QueryResult result;
+            result.label = static_cast<int>(costs.volume);
+            result.volume = costs.volume;
+            result.distance = costs.distance;
+            result.queries = costs.queries;
+            finish(req, result, local_latencies);
+            continue;
+          }
+        }
+        centers[b] = center;
+        slot_of[b] = i;
+        ++b;
+      }
+      if (b > 0) {
+        exec.run({centers, static_cast<std::size_t>(b)}, target->plan.radius);
+        for (int s = 0; s < b; ++s) {
+          QueryResult result;
+          result.label = static_cast<int>(exec.volume(s));
+          result.volume = exec.volume(s);
+          result.distance = exec.distance(s);
+          result.queries = exec.queries(s);
+          finish(batch[slot_of[s]], result, local_latencies);
+        }
+        if (cache != nullptr) {
+          for (int s = 0; s < b; ++s) {
+            cache->store(centers[s], exec.take_ball(s), epoch);
+          }
+        }
+      }
+    } else {
+      // Per-request path: the family's own solve() on a plain Execution —
+      // by definition the offline per-start loop's answer.
+      for (Request& req : batch) {
+        QueryResult result;
+        if (req.node < 0 || req.node >= static_cast<std::int64_t>(n)) {
+          result.status = QueryStatus::InvalidNode;
+          ++local_invalid;
+        } else {
+          Execution e(g, inst.ids(), static_cast<NodeIndex>(req.node), 0, scratch);
+          if (cache != nullptr) e.attach_view_cache(cache);
+          result.label = inst.solve(e);
+          result.volume = e.volume();
+          result.distance = e.distance();
+          result.queries = e.query_count();
+        }
+        finish(req, result, local_latencies);
+      }
+    }
+
+    {
+      std::lock_guard slock(stats_mu_);
+      counters_.completed += static_cast<std::int64_t>(batch.size());
+      counters_.invalid += local_invalid;
+      latencies_.insert(latencies_.end(), local_latencies.begin(),
+                        local_latencies.end());
+    }
+    {
+      std::lock_guard lock(mu_);
+      in_flight_ -= batch.size();
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace volcal::serve

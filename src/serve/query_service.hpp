@@ -1,0 +1,188 @@
+// QueryService — the long-running concurrent query core behind volcal_serve.
+//
+// The offline engine (ParallelRunner) answers "label every node" sweeps; the
+// service answers the online form of the same question: per-node label
+// queries arriving one at a time, from many clients, against a loaded
+// instance (typically a .vsnap mapping).  Three properties carry over from
+// the sweep engine, by construction:
+//
+//   * Bit-identical answers.  The batched path below mirrors
+//     ParallelRunner::run_batched_balls query-for-query (cache full hits via
+//     serve_costs, misses fused into one BatchedBallExecutor run, completed
+//     expansions stored back at the captured epoch); the basic path runs the
+//     family's solve() on a plain Execution.  Either way a served label
+//     equals the offline run_at_all_nodes output for that node — volcal_load
+//     --verify asserts this end to end.
+//
+//   * Exact cost meters.  Each result carries the volume / distance /
+//     query-count the paper's Definitions 2.1-2.2 assign to that start,
+//     cache or no cache.
+//
+//   * Safe hot swap.  swap_target() atomically replaces the served instance;
+//     in-flight batches finish against the target they snapshotted (the
+//     shared_ptr keeps the old mapping alive until the last batch drops it),
+//     new batches bind the cache to the new view.  Because cache identity is
+//     the storage *token* (graph_view.hpp) — never an address — a new
+//     snapshot mmap'ed at a recycled address cannot be served stale balls
+//     (the pointer-ABA case this PR's regression tests pin).
+//
+// Admission control: a bounded FIFO queue.  submit() returns Shed when the
+// queue is full (the caller answers with retry_after_ms) and Stopped once
+// draining — accepted requests are never dropped.  drain_and_stop() stops
+// admission, waits for the queue and all in-flight batches to finish (every
+// accepted callback has run by return), then joins the workers.
+//
+// Threading: `threads` workers pop up to `batch_max` requests at a time;
+// completion callbacks run on worker threads and must be fast and
+// thread-safe (the socket layer serializes per-connection writes).  Latency
+// is measured enqueue -> callback-dispatch per request and summarized with
+// stats::summarize (nearest-rank p50/p95/p99, same definition everywhere in
+// this repo).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "lcl/registry.hpp"
+#include "plan/probe_plan.hpp"
+#include "runtime/view_cache.hpp"
+#include "serve/protocol.hpp"
+#include "stats/growth.hpp"
+
+namespace volcal::serve {
+
+// What the service answers queries against: a loaded instance plus the
+// family's probe plan (the registry's plan for the instance's family —
+// batchable plans take the fused multi-start path).  The shared_ptr is the
+// hot-swap unit: workers snapshot it per batch, so an old target's mapping
+// stays alive exactly until the last batch against it completes.
+struct ServeTarget {
+  std::shared_ptr<const ErasedInstance> instance;
+  ProbePlan plan = ProbePlan::independent();
+};
+
+// Builds a ServeTarget from an instance by looking the family's plan up in
+// the global registry (IndependentStarts when the family is unknown).
+ServeTarget make_serve_target(std::shared_ptr<const ErasedInstance> instance);
+
+struct ServeConfig {
+  // Worker threads; 0 resolves like the sweep engine (VOLCAL_THREADS, else 1).
+  int threads = 0;
+  // Bounded admission queue; submits beyond this are shed.
+  std::size_t queue_capacity = 1024;
+  // Requests a worker pops per wave, clamped to [1, BatchedBallExecutor::
+  // kMaxBatch] (the visited-mask width of the fused backend).
+  int batch_max = 64;
+  // Advisory retry hint attached to shed responses.
+  std::uint32_t retry_after_ms = 50;
+  // Cross-request ball cache (policy Shared to enable; Off serves uncached).
+  CacheConfig cache;
+};
+
+// One answered query; `status == InvalidNode` leaves label/meters zero.
+struct QueryResult {
+  std::uint64_t request_id = 0;
+  std::int64_t node = 0;
+  int label = 0;
+  std::int64_t volume = 0;
+  std::int64_t distance = 0;
+  std::int64_t queries = 0;
+  std::int64_t latency_ns = 0;
+  QueryStatus status = QueryStatus::Ok;
+};
+
+enum class Admission {
+  Accepted,  // callback will run exactly once
+  Shed,      // queue full — retry after ServeConfig::retry_after_ms
+  Stopped,   // draining/stopped — no retry
+};
+
+// Monotonic counters (swaps counts completed swap_target calls).
+struct ServeCounters {
+  std::int64_t accepted = 0;
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;
+  std::int64_t invalid = 0;
+  std::int64_t swaps = 0;
+};
+
+class QueryService {
+ public:
+  QueryService(ServeTarget target, ServeConfig config);
+  ~QueryService();  // drains if the caller has not
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Enqueues one query.  On Accepted, `done` runs exactly once, on a worker
+  // thread, before drain_and_stop() returns.  On Shed/Stopped, `done` never
+  // runs (the transport answers with a Shed frame).
+  Admission submit(std::uint64_t request_id, std::int64_t node,
+                   std::function<void(const QueryResult&)> done);
+
+  // Atomically replaces the served target.  In-flight batches complete
+  // against the old target; the old mapping is released when its last
+  // holder drops it.  Safe under full load.
+  void swap_target(ServeTarget next);
+
+  // Stops admission, completes every accepted request, joins the workers.
+  // Idempotent; submit() returns Stopped from the moment this starts.
+  void drain_and_stop();
+
+  int threads() const { return threads_; }
+  const ServeConfig& config() const { return config_; }
+  NodeIndex node_count() const;
+
+  ServeCounters counters() const;
+  CacheStats cache_stats() const { return cache_.stats(); }
+
+  // Enqueue->completion latencies of every completed request, and their
+  // nearest-rank summary.  Snapshot under lock; callable at any time.
+  std::vector<std::int64_t> latencies_ns() const;
+  stats::Summary latency_summary() const;
+
+ private:
+  struct Request {
+    std::uint64_t id = 0;
+    std::int64_t node = 0;
+    std::function<void(const QueryResult&)> done;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  std::shared_ptr<const ServeTarget> current_target() const;
+  void worker_loop();
+  void finish(Request& req, QueryResult result,
+              std::vector<std::int64_t>& local_latencies);
+
+  ServeConfig config_;
+  int threads_ = 1;
+  int batch_max_ = 64;
+
+  mutable std::mutex target_mu_;
+  std::shared_ptr<const ServeTarget> target_;
+
+  ViewCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;  // workers wait for requests / stop
+  std::condition_variable idle_;       // drain waits for queue+in-flight == 0
+  std::deque<Request> queue_;
+  std::size_t in_flight_ = 0;
+  bool draining_ = false;
+  bool stop_ = false;
+
+  mutable std::mutex stats_mu_;
+  ServeCounters counters_;
+  std::vector<std::int64_t> latencies_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace volcal::serve

@@ -1,0 +1,234 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace volcal::serve {
+
+namespace {
+
+// Full write with EINTR retry; false once the peer is gone.
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t wrote = ::write(fd, data, len);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += wrote;
+    len -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool fill_sockaddr(const std::string& path, sockaddr_un* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr->sun_path)) {
+    std::fprintf(stderr, "volcal_serve: socket path too long (%zu bytes, max %zu): %s\n",
+                 path.size(), sizeof(addr->sun_path) - 1, path.c_str());
+    return false;
+  }
+  std::memcpy(addr->sun_path, path.c_str(), path.size());
+  return true;
+}
+
+}  // namespace
+
+// One accepted connection: the fd, a write mutex (service workers write
+// responses concurrently), and a closed flag.  Held via shared_ptr by the
+// reader thread and by every in-flight completion callback, so the fd stays
+// valid until the last response for this connection has been written.
+struct SocketServer::Connection {
+  int fd = -1;
+  std::mutex write_mu;
+  bool closed = false;
+
+  void send(const std::vector<std::uint8_t>& bytes) {
+    std::lock_guard lock(write_mu);
+    if (closed) return;
+    if (!write_all(fd, bytes.data(), bytes.size())) closed = true;
+  }
+
+  void shutdown_both() {
+    std::lock_guard lock(write_mu);
+    closed = true;
+    ::shutdown(fd, SHUT_RDWR);
+  }
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+bool SocketServer::start(QueryService& service, const std::string& socket_path) {
+  sockaddr_un addr;
+  if (!fill_sockaddr(socket_path, &addr)) return false;
+  service_ = &service;
+  path_ = socket_path;
+  ::unlink(socket_path.c_str());
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::perror("volcal_serve: socket");
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "volcal_serve: cannot bind %s: %s\n", socket_path.c_str(),
+                 std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    std::perror("volcal_serve: listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void SocketServer::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket closed: shutting down
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard lock(conns_mu_);
+    if (stopped_) {
+      // Raced with stop(): refuse late connections.
+      return;
+    }
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void SocketServer::reader_loop(std::shared_ptr<Connection> conn) {
+  FrameReader reader;
+  std::uint8_t buf[4096];
+  while (true) {
+    const ssize_t got = ::read(conn->fd, buf, sizeof buf);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;  // EOF or error: client went away
+    reader.feed(buf, static_cast<std::size_t>(got));
+    Frame frame;
+    while (reader.next(&frame)) {
+      if (frame.type != FrameType::Query) continue;  // clients only send queries
+      const QueryFrame q = frame.query;
+      const Admission adm = service_->submit(
+          q.request_id, q.node, [conn](const QueryResult& r) {
+            ResultFrame rf;
+            rf.request_id = r.request_id;
+            rf.status = r.status;
+            rf.node = r.node;
+            rf.label = r.label;
+            rf.volume = r.volume;
+            rf.distance = r.distance;
+            rf.queries = r.queries;
+            rf.latency_ns = r.latency_ns;
+            conn->send(encode_result(rf));
+          });
+      if (adm != Admission::Accepted) {
+        ShedFrame sf;
+        sf.request_id = q.request_id;
+        // retry_after_ms == 0 tells the client the service is draining for
+        // good; a transient full queue advertises the configured backoff.
+        sf.retry_after_ms =
+            adm == Admission::Shed ? service_->config().retry_after_ms : 0;
+        conn->send(encode_shed(sf));
+      }
+    }
+    if (reader.corrupt()) break;  // no resync in a length-prefixed stream
+  }
+  conn->shutdown_both();
+}
+
+void SocketServer::stop() {
+  {
+    std::lock_guard lock(conns_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  if (listen_fd_ >= 0) {
+    // Closing the listening socket fails the blocking accept() and ends the
+    // acceptor; shutdown first for kernels that keep accept() sleeping on a
+    // closed fd.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::shared_ptr<Connection>> conns;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard lock(conns_mu_);
+    conns.swap(conns_);
+    readers.swap(readers_);
+  }
+  for (auto& conn : conns) {
+    conn->send(encode_bye(ByeFrame{0}));
+    conn->shutdown_both();
+  }
+  for (std::thread& t : readers) {
+    if (t.joinable()) t.join();
+  }
+  if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+SocketClient::~SocketClient() { close(); }
+
+bool SocketClient::connect(const std::string& socket_path) {
+  sockaddr_un addr;
+  if (!fill_sockaddr(socket_path, &addr)) return false;
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void SocketClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SocketClient::send_query(std::uint64_t request_id, std::int64_t node) {
+  if (fd_ < 0) return false;
+  QueryFrame q;
+  q.request_id = request_id;
+  q.node = node;
+  const std::vector<std::uint8_t> bytes = encode_query(q);
+  return write_all(fd_, bytes.data(), bytes.size());
+}
+
+bool SocketClient::recv_frame(Frame* out) {
+  if (fd_ < 0) return false;
+  std::uint8_t buf[4096];
+  while (true) {
+    if (reader_.next(out)) return true;
+    if (reader_.corrupt()) return false;
+    const ssize_t got = ::read(fd_, buf, sizeof buf);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) return false;
+    reader_.feed(buf, static_cast<std::size_t>(got));
+  }
+}
+
+}  // namespace volcal::serve

@@ -1,0 +1,87 @@
+// SocketServer — the transport in front of QueryService: a Unix-domain
+// stream socket speaking the length-prefixed frame protocol
+// (serve/protocol.hpp).
+//
+// One accept thread plus one reader thread per connection.  Queries are
+// submitted to the service as they decode; completion callbacks run on
+// service worker threads and write Result frames under the connection's
+// write mutex (responses interleave across requests — the request_id is the
+// correlation key).  Shed/Stopped admissions answer immediately with a Shed
+// frame (retry_after_ms == 0 when the service is draining for good).
+//
+// Shutdown: stop() closes the listening socket, shuts down every live
+// connection (reader threads see EOF), and joins them.  The caller drains
+// the service first — the callbacks of accepted requests hold connection
+// handles via shared_ptr, so a connection's fd outlives every response that
+// still has to be written through it.
+//
+// SocketClient is the matching blocking client used by volcal_load and the
+// serve tests: connect(), send queries (fire-and-forget), poll responses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/query_service.hpp"
+
+namespace volcal::serve {
+
+class SocketServer {
+ public:
+  // Binds and listens on `socket_path` (an existing file at the path is
+  // unlinked first — serve sockets are owned by their server).  Returns
+  // false with a message on stderr if the socket cannot be set up.
+  bool start(QueryService& service, const std::string& socket_path);
+
+  // Stops accepting, closes every connection, joins all threads.  Drain the
+  // service before calling (accepted requests must have answered).
+  void stop();
+
+  ~SocketServer();
+
+  const std::string& socket_path() const { return path_; }
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+
+  QueryService* service_ = nullptr;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> readers_;
+  bool stopped_ = false;
+};
+
+// Blocking client for one serve connection.  Not thread-safe; volcal_load
+// uses one client per connection thread.
+class SocketClient {
+ public:
+  ~SocketClient();
+
+  bool connect(const std::string& socket_path);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Writes one Query frame (fire-and-forget; responses arrive via recv).
+  bool send_query(std::uint64_t request_id, std::int64_t node);
+
+  // Blocks until one complete frame arrives (Result, Shed, or Bye).  False
+  // on EOF / error / corrupt stream.
+  bool recv_frame(Frame* out);
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace volcal::serve

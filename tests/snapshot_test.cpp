@@ -176,6 +176,49 @@ TEST_F(SnapshotTest, RejectsCorruptHeadersAndPayloads) {
   }
 }
 
+// MappedFile::map must say *what kind* of wrong target it was handed — a
+// directory, an empty file, and a sub-header file each get their own
+// diagnostic instead of a generic mmap/size error.
+TEST_F(SnapshotTest, MappedFileEdgeDiagnostics) {
+  {  // directory target (opens fine on Linux; used to die inside mmap)
+    expect_load_error(dir_.string(), "is a directory");
+  }
+  {  // zero-size file
+    const std::string file = path("empty.vsnap");
+    write_file(file, {});
+    expect_load_error(file, "empty file");
+  }
+  {  // nonexistent path
+    expect_load_error(path("does-not-exist.vsnap"), "cannot open");
+  }
+  {  // present but smaller than the 104-byte header
+    const std::string file = path("stub.vsnap");
+    write_file(file, std::vector<std::uint8_t>(16, 0x56));
+    expect_load_error(file, "truncated header");
+  }
+}
+
+// Each load mints its own storage identity: a persistent ViewCache bound to
+// one mapping can never confuse it with a later mapping of the same (or any
+// other) file, even if mmap recycles the address range.
+TEST_F(SnapshotTest, EachLoadMintsADistinctStorageToken) {
+  const ErasedInstance inst = ProblemRegistry::global().find("ball-4")->make(64, 5);
+  const std::string file = path("token.vsnap");
+  inst.save_snapshot(file);
+
+  const io::Snapshot first = io::Snapshot::load(file);
+  const io::Snapshot second = io::Snapshot::load(file);
+  EXPECT_NE(first.graph().storage_identity(), kAnonymousStorage);
+  EXPECT_NE(second.graph().storage_identity(), kAnonymousStorage);
+  EXPECT_NE(first.graph().storage_identity(), second.graph().storage_identity());
+  // One snapshot's views all share its token; copies share the mapping and
+  // therefore the identity.
+  EXPECT_EQ(first.graph().storage_identity(), first.graph().storage_identity());
+  EXPECT_EQ(first.storage_token(), first.graph().storage_identity());
+  const io::Snapshot copy = first;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(copy.graph().storage_identity(), first.graph().storage_identity());
+}
+
 // --- byte-layout pins --------------------------------------------------------
 
 TEST_F(SnapshotTest, HeaderLayoutIsLittleEndianAtFixedOffsets) {

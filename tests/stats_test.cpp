@@ -118,6 +118,23 @@ TEST(Summarize, P95IsNearestRank) {
   EXPECT_DOUBLE_EQ(summarize({7.0}).p95, 7.0);
 }
 
+// p99 follows the same nearest-rank definition as p95 (it feeds the serve
+// layer's tail-latency reporting, where p99 is the headline number).
+TEST(Summarize, P99IsNearestRank) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.p99, 99);  // rank ceil(99) = 99
+  v.push_back(101);
+  v.push_back(102);
+  // 102 values: rank ceil(100.98) = 101 -> the 101st order statistic.
+  EXPECT_DOUBLE_EQ(summarize(v).p99, 101);
+  EXPECT_DOUBLE_EQ(summarize({7.0}).p99, 7.0);
+  EXPECT_DOUBLE_EQ(summarize({3, 1}).p99, 3);
+  // p99 >= p95 always (both nearest-rank over the same sorted data).
+  EXPECT_GE(summarize(v).p99, summarize(v).p95);
+}
+
 TEST(Summarize, Empty) {
   auto s = summarize({});
   EXPECT_EQ(s.count, 0u);

@@ -14,6 +14,7 @@
 #include "labels/generators.hpp"
 #include "lcl/registry.hpp"
 #include "obs/trace.hpp"
+#include "util/env.hpp"
 #include "volcal/runtime.hpp"
 
 namespace volcal {
@@ -189,6 +190,40 @@ TEST(ViewCache, CacheConfigFromEnvParsing) {
   EXPECT_EQ(CacheConfig::from_env().policy, CachePolicy::Off);
 }
 
+// Misconfigured cache env vars keep their safe defaults but warn exactly
+// once per variable (util/env.hpp): a typo'd policy or a non-numeric /
+// non-positive budget used to be swallowed silently.
+TEST(ViewCache, CacheConfigFromEnvWarnsOnMisconfiguration) {
+  env::reset_warnings_for_testing();
+  ASSERT_EQ(setenv("VOLCAL_CACHE", "sharde", 1), 0);
+  ASSERT_EQ(setenv("VOLCAL_CACHE_MB", "lots", 1), 0);
+  CacheConfig c = CacheConfig::from_env();
+  EXPECT_EQ(c.policy, CachePolicy::Off);
+  EXPECT_EQ(c.byte_budget, std::size_t{256} << 20);  // default kept
+  EXPECT_EQ(env::warning_count_for_testing(), 2);
+  // Re-reading does not warn again (one-time per variable per process).
+  c = CacheConfig::from_env();
+  EXPECT_EQ(env::warning_count_for_testing(), 2);
+
+  env::reset_warnings_for_testing();
+  ASSERT_EQ(unsetenv("VOLCAL_CACHE"), 0);
+  ASSERT_EQ(setenv("VOLCAL_CACHE_MB", "0", 1), 0);
+  EXPECT_EQ(CacheConfig::from_env().byte_budget, std::size_t{256} << 20);
+  ASSERT_EQ(setenv("VOLCAL_CACHE_MB", "-5", 1), 0);
+  EXPECT_EQ(CacheConfig::from_env().byte_budget, std::size_t{256} << 20);
+  ASSERT_EQ(setenv("VOLCAL_CACHE_MB", "12junk", 1), 0);
+  EXPECT_EQ(CacheConfig::from_env().byte_budget, std::size_t{256} << 20);
+  EXPECT_EQ(env::warning_count_for_testing(), 1);  // same variable: once
+
+  env::reset_warnings_for_testing();
+  ASSERT_EQ(unsetenv("VOLCAL_CACHE"), 0);
+  ASSERT_EQ(unsetenv("VOLCAL_CACHE_MB"), 0);
+  CacheConfig d = CacheConfig::from_env();
+  EXPECT_EQ(d.policy, CachePolicy::Off);
+  EXPECT_EQ(d.byte_budget, std::size_t{256} << 20);
+  EXPECT_EQ(env::warning_count_for_testing(), 0);  // unset is not an error
+}
+
 // --- Sweep-level equivalence: every registry family, every policy, 1 and 8
 // --- threads, bit-identical to the uncached serial sweep.
 
@@ -301,6 +336,92 @@ TEST(ViewCacheSweep, TracedSweepsBypassTheCache) {
     EXPECT_EQ(static_cast<std::int64_t>(recorder.traces()[i].events.size()),
               plain.queries[i]);
   }
+}
+
+// --- Storage-identity tokens (the pointer-ABA regression) ------------------
+
+// Simulates munmap/mmap address reuse across a snapshot swap: two different
+// graphs occupy the *same* CSR storage addresses in turn, with a persistent
+// cache attached across the swap.  Under the old pointer-valued
+// storage_identity() the cache believed the second graph was the first and
+// served graph A's ball for graph B; token identity mints a fresh token per
+// adoption, so the rebind invalidates and the cache rebuilds.
+TEST(ViewCache, RemapAtSameAddressDoesNotServeStaleBalls) {
+  auto build = [](std::initializer_list<std::pair<NodeIndex, NodeIndex>> edges) {
+    Graph::Builder b(4);
+    for (auto [v, w] : edges) b.add_edge(v, w);
+    return std::move(b).build();
+  };
+  // Same degree sequence (so the offsets arrays are byte-identical), but the
+  // ball around node 0 differs: {0,1} on A vs {0,2} on B.
+  const Graph a = build({{0, 1}, {1, 2}, {2, 3}});
+  const Graph b = build({{0, 2}, {2, 1}, {1, 3}});
+  const GraphView av = a.view();
+  const GraphView bv = b.view();
+  ASSERT_EQ(av.node_count(), bv.node_count());
+  ASSERT_EQ(av.edge_count(), bv.edge_count());
+
+  // The shared storage both graphs occupy in turn — fixed addresses, exactly
+  // what a recycled mmap region looks like to the cache.
+  std::vector<std::size_t> off(av.offsets_data(), av.offsets_data() + 5);
+  std::vector<NodeIndex> adj(av.adjacency_data(), av.adjacency_data() + 6);
+  const IdAssignment ids = IdAssignment::sequential(4);
+  ViewCache cache(policy_config(CachePolicy::Shared));
+
+  {
+    Graph first =
+        Graph::adopt(GraphView(off.data(), adj.data(), 4, av.max_degree()));
+    const BallObservation warm = cached_ball(first, ids, cache, 0, 1);
+    EXPECT_EQ(warm, direct_ball(a, ids, 0, 1));
+    EXPECT_EQ(cache.stats().misses, 1);
+  }
+
+  // The swap: graph B's bytes land at the same addresses.
+  std::copy(bv.offsets_data(), bv.offsets_data() + 5, off.begin());
+  std::copy(bv.adjacency_data(), bv.adjacency_data() + 6, adj.begin());
+  Graph second =
+      Graph::adopt(GraphView(off.data(), adj.data(), 4, bv.max_degree()));
+  ASSERT_NE(second.view().storage_identity(), kAnonymousStorage);
+
+  const BallObservation swapped = cached_ball(second, ids, cache, 0, 1);
+  EXPECT_EQ(swapped, direct_ball(b, ids, 0, 1))
+      << "cache served a stale ball from the pre-swap graph (pointer ABA)";
+}
+
+TEST(ViewCache, StorageTokenSemantics) {
+  auto inst = make_complete_binary_tree(4, Color::Red, Color::Blue);
+  const GraphView v = inst.graph.view();
+  EXPECT_NE(v.storage_identity(), kAnonymousStorage);
+  // Views of the same Graph share its identity; a bare view over raw arrays
+  // is anonymous; owned-storage copies are new storage, adopted copies alias.
+  EXPECT_EQ(inst.graph.view().storage_identity(), v.storage_identity());
+  const GraphView raw(v.offsets_data(), v.adjacency_data(), v.node_count(),
+                      v.max_degree());
+  EXPECT_EQ(raw.storage_identity(), kAnonymousStorage);
+  const Graph owned_copy = inst.graph;  // copies the CSR arrays
+  EXPECT_NE(owned_copy.view().storage_identity(), v.storage_identity());
+  const Graph adopted = Graph::adopt(v);
+  EXPECT_EQ(adopted.view().storage_identity(), v.storage_identity());
+  const Graph adopted_copy = adopted;  // aliases the same storage
+  EXPECT_EQ(adopted_copy.view().storage_identity(), v.storage_identity());
+
+  // Anonymous views are uncacheable: the cache must neither bind to them nor
+  // serve them (it could not tell two anonymous graphs apart).  Exploring
+  // through the cache with anonymous storage stays exact via the direct path
+  // and leaves the cache untouched.
+  ViewCache cache(policy_config(CachePolicy::Shared));
+  cache.bind(raw);
+  BallCosts costs;
+  EXPECT_FALSE(cache.serve_costs(raw, 0, 2, &costs));
+  Execution exec(raw, inst.ids, 0);
+  exec.attach_view_cache(&cache);
+  const auto order = explore_ball(exec, 2);
+  const BallObservation direct = direct_ball(inst.graph, inst.ids, 0, 2);
+  EXPECT_EQ(order, direct.order);
+  EXPECT_EQ(exec.volume(), direct.volume);
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().misses, 0);
+  EXPECT_EQ(cache.entry_count(), 0u);
 }
 
 }  // namespace

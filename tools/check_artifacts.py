@@ -17,7 +17,9 @@ Usage:
                      --bench-family BENCH_leaf-coloring.json \
                      --bench-summary BENCH_SUMMARY.json
 All flags optional; at least one must be given.  --bench-family may be
-repeated once per family artifact.
+repeated once per family artifact.  --serve-report validates a
+volcal_serve / volcal_load artifact, whose schema-v2 'serve' block
+(admission counters + latency percentiles) is mandatory; repeatable.
 """
 
 import argparse
@@ -31,6 +33,10 @@ CACHE_POLICIES = ("off", "perstart", "shared")
 CACHE_COUNTERS = ("hits", "misses", "evictions", "served_nodes",
                   "inserted_bytes")
 BACKENDS = ("basic", "batched")
+SERVE_COUNTERS = ("accepted", "completed", "shed", "invalid", "swaps",
+                  "latency_samples")
+SERVE_GAUGES = ("p50_ns", "p95_ns", "p99_ns", "mean_ns", "max_ns", "qps",
+                "wall_seconds")
 BATCH_COUNTERS = ("batched_sweeps", "batches", "batched_starts", "waves",
                   "expanded_nodes")
 
@@ -69,6 +75,36 @@ def check_cache_block(doc, where):
         v = cache.get(k, -1)
         check(isinstance(v, int) and v >= 0,
               f"{where} cache: {k} must be a non-negative integer, got {v!r}")
+
+
+def check_serve_block(doc, where):
+    """Schema v2 optional block: volcal_serve / volcal_load query-service
+    counters and latency percentiles.  Required only under --serve-report."""
+    serve = doc.get("serve")
+    if not check(isinstance(serve, dict), f"{where}: missing 'serve' block"):
+        return
+    require_keys(serve, SERVE_COUNTERS + SERVE_GAUGES, f"{where} serve")
+    for k in SERVE_COUNTERS:
+        v = serve.get(k, -1)
+        check(isinstance(v, int) and v >= 0,
+              f"{where} serve: {k} must be a non-negative integer, got {v!r}")
+    for k in SERVE_GAUGES:
+        v = serve.get(k, -1.0)
+        check(isinstance(v, (int, float)) and math.isfinite(v) and v >= 0,
+              f"{where} serve: {k} must be finite and >= 0, got {v!r}")
+    check(serve.get("completed", 0) <= serve.get("accepted", 0),
+          f"{where} serve: completed {serve.get('completed')} exceeds "
+          f"accepted {serve.get('accepted')}")
+    p50, p95, p99 = (serve.get("p50_ns", 0), serve.get("p95_ns", 0),
+                     serve.get("p99_ns", 0))
+    check(p50 <= p95 <= p99,
+          f"{where} serve: percentiles not monotone "
+          f"(p50 {p50}, p95 {p95}, p99 {p99})")
+    check(p99 <= serve.get("max_ns", 0),
+          f"{where} serve: p99 {p99} exceeds max {serve.get('max_ns')}")
+    if serve.get("latency_samples", 0) > 0:
+        check(serve.get("completed", 0) > 0,
+              f"{where} serve: latency samples without completed requests")
 
 
 def check_artifact_body(doc, where, kind, monotone_n):
@@ -146,6 +182,18 @@ def check_bench_json(path):
         doc = json.load(f)
     check_artifact_body(doc, path, kind="bench-report", monotone_n=False)
     print(f"ok  {path}: {len(doc.get('curves', []))} curves")
+
+
+def check_serve_report(path):
+    """A bench-report artifact from volcal_serve or volcal_load: the usual
+    body checks plus a mandatory, internally consistent 'serve' block."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    check_artifact_body(doc, path, kind="bench-report", monotone_n=False)
+    check_serve_block(doc, path)
+    serve = doc.get("serve", {}) if isinstance(doc.get("serve"), dict) else {}
+    print(f"ok  {path}: serve block, {serve.get('completed', 0)} completed, "
+          f"{serve.get('shed', 0)} shed, qps {serve.get('qps', 0.0):.1f}")
 
 
 def check_bench_family(path, expect_phases=()):
@@ -315,6 +363,10 @@ def main():
     parser.add_argument("--trace", help="query trace JSONL")
     parser.add_argument("--chrome-trace", dest="chrome_trace",
                         help="Chrome trace_event JSON")
+    parser.add_argument("--serve-report", dest="serve_report",
+                        action="append", default=[],
+                        help="volcal_serve / volcal_load artifact whose "
+                             "'serve' block is mandatory (repeatable)")
     parser.add_argument("--bench-family", dest="bench_family",
                         action="append", default=[],
                         help="volcal_bench BENCH_<family>.json (repeatable)")
@@ -326,10 +378,12 @@ def main():
                              "spent wall time in this phase (repeatable)")
     opts = parser.parse_args()
     if not any([opts.json, opts.metrics, opts.trace, opts.chrome_trace,
-                opts.bench_family, opts.bench_summary]):
+                opts.bench_family, opts.bench_summary, opts.serve_report]):
         parser.error("give at least one artifact to check")
     if opts.json:
         check_bench_json(opts.json)
+    for path in opts.serve_report:
+        check_serve_report(path)
     if opts.metrics:
         check_metrics_json(opts.metrics)
     if opts.trace:

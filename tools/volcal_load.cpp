@@ -1,0 +1,382 @@
+// volcal_load — open-loop load generator for volcal_serve.
+//
+// Drives a serve socket with Zipfian per-node queries (hot centers repeat —
+// the regime the cross-request ball cache exists for), measures client-side
+// latency and sustained throughput, and optionally verifies every response
+// against the offline engine.
+//
+// Open loop: requests are sent on a fixed schedule (--rate) regardless of
+// response progress, so an overloaded server sheds instead of silently
+// slowing the generator down — shed responses are counted, not retried.
+//
+// --verify FILE loads the same snapshot the server is serving, labels every
+// node offline with the per-start engine (run_at_all_nodes), and fails
+// unless every served label is bit-identical to the offline output for that
+// node — the end-to-end check that the serving path (batched backend + ball
+// cache + admission + hot swap) never changes an answer.
+//
+// Usage: volcal_load --socket PATH [--requests N] [--connections C]
+//                    [--rate QPS] [--zipf THETA] [--seed S] [--nodes N]
+//                    [--verify FILE] [--artifact FILE]
+#include <signal.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "perf/artifact.hpp"
+#include "util/hash.hpp"
+#include "volcal/io.hpp"
+#include "volcal/problems.hpp"
+#include "volcal/runtime.hpp"
+#include "volcal/serve.hpp"
+
+namespace volcal {
+namespace {
+
+// Zipfian(theta) sampler over [0, n): inverse-CDF by binary search on the
+// precomputed cumulative weights 1/(i+1)^theta.  theta == 0 is uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::int64_t n, double theta) : cdf_(static_cast<std::size_t>(n)) {
+    double total = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[static_cast<std::size_t>(i)] = total;
+    }
+    total_ = total;
+  }
+
+  std::int64_t sample(std::uint64_t* state) const {
+    *state = splitmix64(*state + 0x9e3779b97f4a7c15ull);
+    const double u =
+        static_cast<double>(*state >> 11) * (1.0 / 9007199254740992.0) * total_;
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const auto idx = static_cast<std::int64_t>(it - cdf_.begin());
+    return std::min<std::int64_t>(idx, static_cast<std::int64_t>(cdf_.size()) - 1);
+  }
+
+ private:
+  std::vector<double> cdf_;
+  double total_ = 0.0;
+};
+
+struct ConnectionTally {
+  std::int64_t sent = 0;
+  std::int64_t results = 0;
+  std::int64_t shed = 0;
+  std::int64_t invalid = 0;
+  std::int64_t mismatches = 0;
+  std::vector<std::int64_t> latencies_ns;
+};
+
+struct LoadPlan {
+  std::string socket_path;
+  std::int64_t requests = 2000;
+  int connections = 1;
+  double rate = 0.0;  // total target QPS across connections; 0 = max speed
+  double zipf = 0.99;
+  std::uint64_t seed = 7;
+  std::int64_t nodes = 0;
+  const std::vector<int>* expected = nullptr;  // offline labels, when verifying
+};
+
+// One connection: a sender on this thread, a receiver on a helper thread.
+// Every query is answered by exactly one Result or Shed, so the receiver
+// exits after `sent` responses (Bye frames are ignored).
+bool run_connection(const LoadPlan& plan, int conn_index, ConnectionTally* tally) {
+  serve::SocketClient client;
+  if (!client.connect(plan.socket_path)) {
+    std::fprintf(stderr, "volcal_load: cannot connect to %s\n",
+                 plan.socket_path.c_str());
+    return false;
+  }
+  const std::int64_t base = plan.requests / plan.connections;
+  const std::int64_t extra = plan.requests % plan.connections;
+  const std::int64_t to_send = base + (conn_index < extra ? 1 : 0);
+  if (to_send == 0) return true;
+
+  // Send timestamps by request id, shared between sender and receiver.
+  std::mutex inflight_mu;
+  std::unordered_map<std::uint64_t, std::chrono::steady_clock::time_point> inflight;
+  std::unordered_map<std::uint64_t, std::int64_t> node_of;
+
+  bool receiver_ok = true;
+  std::thread receiver([&] {
+    serve::Frame frame;
+    std::int64_t answered = 0;
+    while (answered < to_send) {
+      if (!client.recv_frame(&frame)) {
+        receiver_ok = false;
+        return;
+      }
+      if (frame.type == serve::FrameType::Bye) continue;
+      std::uint64_t id = 0;
+      if (frame.type == serve::FrameType::Result) {
+        id = frame.result.request_id;
+      } else if (frame.type == serve::FrameType::Shed) {
+        id = frame.shed.request_id;
+      } else {
+        continue;
+      }
+      std::chrono::steady_clock::time_point sent_at;
+      std::int64_t node = -1;
+      {
+        std::lock_guard lock(inflight_mu);
+        const auto it = inflight.find(id);
+        if (it == inflight.end()) {
+          receiver_ok = false;  // response for a request we never sent
+          return;
+        }
+        sent_at = it->second;
+        inflight.erase(it);
+        node = node_of[id];
+        node_of.erase(id);
+      }
+      ++answered;
+      if (frame.type == serve::FrameType::Shed) {
+        ++tally->shed;
+        continue;
+      }
+      ++tally->results;
+      tally->latencies_ns.push_back(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - sent_at)
+              .count());
+      if (frame.result.status != serve::QueryStatus::Ok) {
+        ++tally->invalid;
+        continue;
+      }
+      if (plan.expected != nullptr) {
+        if (node < 0 || node >= static_cast<std::int64_t>(plan.expected->size()) ||
+            frame.result.label !=
+                (*plan.expected)[static_cast<std::size_t>(node)]) {
+          ++tally->mismatches;
+        }
+      }
+    }
+  });
+
+  ZipfSampler sampler(plan.nodes, plan.zipf);
+  std::uint64_t rng = splitmix64(plan.seed + static_cast<std::uint64_t>(conn_index));
+  const double per_conn_rate = plan.rate / static_cast<double>(plan.connections);
+  const auto begin = std::chrono::steady_clock::now();
+  bool sender_ok = true;
+  for (std::int64_t i = 0; i < to_send; ++i) {
+    if (per_conn_rate > 0.0) {
+      const auto due =
+          begin + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(static_cast<double>(i) /
+                                                    per_conn_rate));
+      std::this_thread::sleep_until(due);  // open loop: never waits on responses
+    }
+    const std::int64_t node = sampler.sample(&rng);
+    const std::uint64_t id =
+        (static_cast<std::uint64_t>(conn_index) << 48) | static_cast<std::uint64_t>(i);
+    {
+      std::lock_guard lock(inflight_mu);
+      inflight.emplace(id, std::chrono::steady_clock::now());
+      node_of.emplace(id, node);
+    }
+    if (!client.send_query(id, node)) {
+      std::fprintf(stderr, "volcal_load: send failed on connection %d\n", conn_index);
+      {
+        std::lock_guard lock(inflight_mu);
+        inflight.erase(id);
+        node_of.erase(id);
+      }
+      sender_ok = false;
+      break;
+    }
+    ++tally->sent;
+  }
+  if (!sender_ok) client.close();  // unblocks the receiver via EOF
+  receiver.join();
+  client.close();
+  return sender_ok && receiver_ok;
+}
+
+bool write_artifact(const std::string& path, const ConnectionTally& total,
+                    const stats::Summary& latency, double wall_seconds) {
+  perf::BenchArtifact artifact;
+  artifact.kind = "bench-report";
+  artifact.tool = "volcal_load";
+  artifact.stamp_probes(1);
+  artifact.total_wall_seconds = wall_seconds;
+  artifact.phases.push_back({"load", wall_seconds});
+
+  perf::ServeStatsBlock serve_block;
+  serve_block.accepted = total.sent;
+  serve_block.completed = total.results;
+  serve_block.shed = total.shed;
+  serve_block.invalid = total.invalid;
+  serve_block.swaps = 0;
+  serve_block.latency_samples = static_cast<std::int64_t>(latency.count);
+  serve_block.p50_ns = latency.median;
+  serve_block.p95_ns = latency.p95;
+  serve_block.p99_ns = latency.p99;
+  serve_block.mean_ns = latency.mean;
+  serve_block.max_ns = latency.max;
+  serve_block.wall_seconds = wall_seconds;
+  serve_block.qps =
+      wall_seconds > 0.0 ? static_cast<double>(total.results) / wall_seconds : 0.0;
+  artifact.serve = serve_block;
+
+  perf::ArtifactCurve curve;
+  curve.name = "latency-percentiles";
+  curve.points.push_back({50.0, latency.median, 0.0});
+  curve.points.push_back({95.0, latency.p95, 0.0});
+  curve.points.push_back({99.0, latency.p99, 0.0});
+  curve.refit();
+  artifact.curves.push_back(std::move(curve));
+  return artifact.write_file(path);
+}
+
+int run(int argc, char** argv) {
+  ::signal(SIGPIPE, SIG_IGN);  // a dying server surfaces as a send error
+  LoadPlan plan;
+  std::string verify_path;
+  std::string artifact_path;
+  for (int i = 1; i < argc; ++i) {
+    auto value_of = [&](const char* name) -> const char* {
+      const std::size_t len = std::strlen(name);
+      if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+        return argv[i] + len + 1;
+      }
+      if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = value_of("--socket")) {
+      plan.socket_path = v;
+    } else if (const char* v = value_of("--requests")) {
+      plan.requests = std::atoll(v);
+    } else if (const char* v = value_of("--connections")) {
+      plan.connections = std::atoi(v);
+    } else if (const char* v = value_of("--rate")) {
+      plan.rate = std::atof(v);
+    } else if (const char* v = value_of("--zipf")) {
+      plan.zipf = std::atof(v);
+    } else if (const char* v = value_of("--seed")) {
+      plan.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--nodes")) {
+      plan.nodes = std::atoll(v);
+    } else if (const char* v = value_of("--verify")) {
+      verify_path = v;
+    } else if (const char* v = value_of("--artifact")) {
+      artifact_path = v;
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "volcal_load — open-loop Zipfian load generator for volcal_serve\n\n"
+          "  --socket <p>       serve socket to drive (required)\n"
+          "  --requests <n>     total queries across connections [2000]\n"
+          "  --connections <c>  parallel connections [1]\n"
+          "  --rate <qps>       open-loop send rate, 0 = max speed [0]\n"
+          "  --zipf <theta>     Zipf exponent, 0 = uniform [0.99]\n"
+          "  --seed <s>         traffic seed [7]\n"
+          "  --nodes <n>        node universe (required unless --verify)\n"
+          "  --verify <f>       offline-label this snapshot and compare every\n"
+          "                     response bit-for-bit\n"
+          "  --artifact <f>     write the client-side perf artifact\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "volcal_load: unknown argument '%s' (try --help)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (plan.socket_path.empty()) {
+    std::fprintf(stderr, "volcal_load: --socket is required (try --help)\n");
+    return 2;
+  }
+  if (plan.connections < 1 || plan.requests < 1) {
+    std::fprintf(stderr, "volcal_load: need >= 1 connection and >= 1 request\n");
+    return 2;
+  }
+
+  // Offline ground truth: label every node with the per-start engine (the
+  // serving path must match it bit for bit regardless of backend/cache).
+  std::vector<int> expected;
+  if (!verify_path.empty()) {
+    try {
+      const ErasedInstance inst = io::load_instance(verify_path);
+      const auto offline = run_at_all_nodes(
+          inst.graph(), inst.ids(), [&](Execution& e) { return inst.solve(e); });
+      expected = offline.output;
+      plan.nodes = static_cast<std::int64_t>(inst.node_count());
+      plan.expected = &expected;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "volcal_load: cannot verify against %s: %s\n",
+                   verify_path.c_str(), e.what());
+      return 1;
+    }
+  }
+  if (plan.nodes < 1) {
+    std::fprintf(stderr, "volcal_load: give --nodes (or --verify) to size the traffic\n");
+    return 2;
+  }
+
+  std::vector<ConnectionTally> tallies(static_cast<std::size_t>(plan.connections));
+  std::vector<std::thread> threads;
+  std::vector<char> ok(static_cast<std::size_t>(plan.connections), 1);
+  const auto begin = std::chrono::steady_clock::now();
+  for (int c = 0; c < plan.connections; ++c) {
+    threads.emplace_back([&, c] {
+      ok[static_cast<std::size_t>(c)] =
+          run_connection(plan, c, &tallies[static_cast<std::size_t>(c)]) ? 1 : 0;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+
+  ConnectionTally total;
+  std::vector<double> latencies;
+  for (const ConnectionTally& t : tallies) {
+    total.sent += t.sent;
+    total.results += t.results;
+    total.shed += t.shed;
+    total.invalid += t.invalid;
+    total.mismatches += t.mismatches;
+    total.latencies_ns.insert(total.latencies_ns.end(), t.latencies_ns.begin(),
+                              t.latencies_ns.end());
+  }
+  latencies.assign(total.latencies_ns.begin(), total.latencies_ns.end());
+  const stats::Summary latency = stats::summarize(std::move(latencies));
+
+  std::printf(
+      "volcal_load: sent %lld, results %lld, shed %lld, invalid %lld in %.3f s "
+      "(%.0f qps)\n",
+      static_cast<long long>(total.sent), static_cast<long long>(total.results),
+      static_cast<long long>(total.shed), static_cast<long long>(total.invalid),
+      wall_seconds,
+      wall_seconds > 0 ? static_cast<double>(total.results) / wall_seconds : 0.0);
+  std::printf("volcal_load: latency p50 %.0f ns, p95 %.0f ns, p99 %.0f ns (%zu samples)\n",
+              latency.median, latency.p95, latency.p99, latency.count);
+  if (plan.expected != nullptr) {
+    std::printf("volcal_load: verify %s — %lld mismatch(es) across %lld result(s)\n",
+                total.mismatches == 0 ? "OK" : "FAILED",
+                static_cast<long long>(total.mismatches),
+                static_cast<long long>(total.results));
+  }
+
+  if (!artifact_path.empty() &&
+      !write_artifact(artifact_path, total, latency, wall_seconds)) {
+    return 1;
+  }
+  for (const char c : ok) {
+    if (c == 0) return 1;
+  }
+  if (total.mismatches > 0) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace volcal
+
+int main(int argc, char** argv) { return volcal::run(argc, argv); }

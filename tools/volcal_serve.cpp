@@ -1,0 +1,297 @@
+// volcal_serve — long-running query front-end over a loaded instance.
+//
+// Loads a .vsnap snapshot (or generates a registry instance), then serves
+// per-node label queries over a Unix-domain socket speaking the
+// length-prefixed frame protocol (src/serve/protocol.hpp).  Queries are
+// batched onto the fused multi-start backend where the family's probe plan
+// allows, share one cross-request ball cache, and are admission-controlled
+// by a bounded queue (overload answers Shed + retry-after instead of
+// building unbounded backlog).
+//
+// Signals:
+//   SIGTERM / SIGINT  graceful drain: stop admission, answer every accepted
+//                     request, write the perf artifact, exit 0.
+//   SIGHUP            hot swap: reload --snapshot and atomically replace the
+//                     served instance; in-flight batches finish against the
+//                     old mapping, the ball cache re-keys via the new
+//                     storage token (never by address — see the pointer-ABA
+//                     notes in runtime/view_cache.hpp).
+//
+// Usage: volcal_serve --snapshot FILE | --family NAME [--n N] [--seed S]
+//                     --socket PATH [--threads N] [--queue N] [--batch N]
+//                     [--cache off|shared] [--cache-mb N]
+//                     [--retry-after-ms N] [--artifact FILE]
+//
+// The artifact (--artifact) is a schema-v2 bench-report with the "serve"
+// block: accepted/completed/shed counters, nearest-rank p50/p95/p99 latency,
+// sustained QPS, and the shared cache's hit counters —
+// tools/check_artifacts.py --serve-report validates it in CI.
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "perf/artifact.hpp"
+#include "volcal/io.hpp"
+#include "volcal/problems.hpp"
+#include "volcal/serve.hpp"
+
+namespace volcal {
+namespace {
+
+// Self-pipe signal plumbing: handlers record the signal and poke the pipe;
+// the main loop polls the read end.
+int g_signal_pipe[2] = {-1, -1};
+std::atomic<int> g_drain_signal{0};
+std::atomic<int> g_reload_signal{0};
+
+void on_drain_signal(int) {
+  g_drain_signal.store(1, std::memory_order_relaxed);
+  const char byte = 'q';
+  [[maybe_unused]] const ssize_t rc = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void on_reload_signal(int) {
+  g_reload_signal.store(1, std::memory_order_relaxed);
+  const char byte = 'r';
+  [[maybe_unused]] const ssize_t rc = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+serve::ServeTarget load_target(const std::string& snapshot_path,
+                               const std::string& family, NodeIndex n,
+                               std::uint64_t seed) {
+  if (!snapshot_path.empty()) {
+    ErasedInstance inst = io::load_instance(snapshot_path);
+    return serve::make_serve_target(
+        std::make_shared<const ErasedInstance>(std::move(inst)));
+  }
+  const RegistryEntry* entry = ProblemRegistry::global().find(family);
+  if (entry == nullptr) {
+    throw std::runtime_error("unknown family '" + family + "'");
+  }
+  return serve::make_serve_target(
+      std::make_shared<const ErasedInstance>(entry->make(n, seed)));
+}
+
+bool write_artifact(const std::string& path, const serve::QueryService& service,
+                    double wall_seconds) {
+  const serve::ServeCounters counters = service.counters();
+  const stats::Summary latency = service.latency_summary();
+
+  perf::BenchArtifact artifact;
+  artifact.kind = "bench-report";
+  artifact.tool = "volcal_serve";
+  artifact.stamp_probes(service.threads());
+  artifact.cache = service.cache_stats();
+  artifact.total_wall_seconds = wall_seconds;
+  artifact.phases.push_back({"serve", wall_seconds});
+
+  perf::ServeStatsBlock serve_block;
+  serve_block.accepted = counters.accepted;
+  serve_block.completed = counters.completed;
+  serve_block.shed = counters.shed;
+  serve_block.invalid = counters.invalid;
+  serve_block.swaps = counters.swaps;
+  serve_block.latency_samples = static_cast<std::int64_t>(latency.count);
+  serve_block.p50_ns = latency.median;
+  serve_block.p95_ns = latency.p95;
+  serve_block.p99_ns = latency.p99;
+  serve_block.mean_ns = latency.mean;
+  serve_block.max_ns = latency.max;
+  serve_block.wall_seconds = wall_seconds;
+  serve_block.qps =
+      wall_seconds > 0.0 ? static_cast<double>(counters.completed) / wall_seconds : 0.0;
+  artifact.serve = serve_block;
+
+  // The latency percentiles double as the artifact's curve (schema requires
+  // at least one): abscissa = percentile, cost = nanoseconds.
+  perf::ArtifactCurve curve;
+  curve.name = "latency-percentiles";
+  curve.claim = "";
+  curve.points.push_back({50.0, latency.median, 0.0});
+  curve.points.push_back({95.0, latency.p95, 0.0});
+  curve.points.push_back({99.0, latency.p99, 0.0});
+  curve.refit();
+  artifact.curves.push_back(std::move(curve));
+  return artifact.write_file(path);
+}
+
+int run(int argc, char** argv) {
+  std::string snapshot_path;
+  std::string family;
+  std::string socket_path;
+  std::string artifact_path;
+  NodeIndex n = 4096;
+  std::uint64_t seed = 7;
+  serve::ServeConfig config;
+  config.cache.policy = CachePolicy::Shared;
+
+  for (int i = 1; i < argc; ++i) {
+    auto value_of = [&](const char* name) -> const char* {
+      const std::size_t len = std::strlen(name);
+      if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+        return argv[i] + len + 1;
+      }
+      if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = value_of("--snapshot")) {
+      snapshot_path = v;
+    } else if (const char* v = value_of("--family")) {
+      family = v;
+    } else if (const char* v = value_of("--socket")) {
+      socket_path = v;
+    } else if (const char* v = value_of("--artifact")) {
+      artifact_path = v;
+    } else if (const char* v = value_of("--n")) {
+      n = static_cast<NodeIndex>(std::atoll(v));
+    } else if (const char* v = value_of("--seed")) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--threads")) {
+      config.threads = std::atoi(v);
+    } else if (const char* v = value_of("--queue")) {
+      config.queue_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--batch")) {
+      config.batch_max = std::atoi(v);
+    } else if (const char* v = value_of("--retry-after-ms")) {
+      config.retry_after_ms = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (const char* v = value_of("--cache")) {
+      if (!CacheConfig::policy_from_name(v, &config.cache.policy)) {
+        std::fprintf(stderr, "volcal_serve: unknown cache policy '%s'\n", v);
+        return 2;
+      }
+    } else if (const char* v = value_of("--cache-mb")) {
+      config.cache.byte_budget = static_cast<std::size_t>(std::atoll(v)) << 20;
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "volcal_serve — per-node label query service over a loaded instance\n\n"
+          "  --snapshot <f>       serve this .vsnap (SIGHUP reloads it in place)\n"
+          "  --family <s>         generate and serve a registry instance instead\n"
+          "  --n <n>              generated instance size [4096]\n"
+          "  --seed <s>           generator seed [7]\n"
+          "  --socket <p>         Unix socket path to listen on (required)\n"
+          "  --threads <n>        worker threads [VOLCAL_THREADS, else 1]\n"
+          "  --queue <n>          admission queue capacity [1024]\n"
+          "  --batch <n>          max requests fused per wave [64]\n"
+          "  --retry-after-ms <n> shed backoff hint [50]\n"
+          "  --cache <p>          off | shared [shared]\n"
+          "  --cache-mb <n>       ball-cache budget in MiB [256]\n"
+          "  --artifact <f>       write the serve perf artifact on drain\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "volcal_serve: unknown argument '%s' (try --help)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "volcal_serve: --socket is required (try --help)\n");
+    return 2;
+  }
+  if (snapshot_path.empty() == family.empty()) {
+    std::fprintf(stderr, "volcal_serve: give exactly one of --snapshot / --family\n");
+    return 2;
+  }
+
+  serve::ServeTarget target;
+  try {
+    target = load_target(snapshot_path, family, n, seed);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "volcal_serve: cannot load instance: %s\n", e.what());
+    return 1;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("volcal_serve: pipe");
+    return 1;
+  }
+  // Non-blocking read end: the main loop drains whatever bytes handlers
+  // wrote without ever sleeping inside read().
+  ::fcntl(g_signal_pipe[0], F_SETFL, O_NONBLOCK);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = on_drain_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  sa.sa_handler = on_reload_signal;
+  ::sigaction(SIGHUP, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // dead clients surface as write errors
+
+  serve::QueryService service(std::move(target), config);
+  serve::SocketServer server;
+  if (!server.start(service, socket_path)) return 1;
+  std::printf("volcal_serve: serving %s (n=%lld) on %s, %d thread(s)\n",
+              snapshot_path.empty() ? family.c_str() : snapshot_path.c_str(),
+              static_cast<long long>(service.node_count()), socket_path.c_str(),
+              service.threads());
+  std::fflush(stdout);
+
+  const auto serve_begin = std::chrono::steady_clock::now();
+  while (true) {
+    pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, -1);
+    if (rc < 0 && errno != EINTR) break;
+    char drain_buf[64];
+    while (::read(g_signal_pipe[0], drain_buf, sizeof drain_buf) > 0) {
+    }
+    if (g_reload_signal.exchange(0, std::memory_order_relaxed) != 0) {
+      if (snapshot_path.empty()) {
+        std::fprintf(stderr, "volcal_serve: SIGHUP ignored (no --snapshot to reload)\n");
+      } else {
+        try {
+          service.swap_target(load_target(snapshot_path, family, n, seed));
+          std::printf("volcal_serve: reloaded %s (swap #%lld)\n", snapshot_path.c_str(),
+                      static_cast<long long>(service.counters().swaps));
+          std::fflush(stdout);
+        } catch (const std::exception& e) {
+          // Keep serving the old target: a bad reload must not take the
+          // service down.
+          std::fprintf(stderr, "volcal_serve: reload failed, keeping old target: %s\n",
+                       e.what());
+        }
+      }
+    }
+    if (g_drain_signal.load(std::memory_order_relaxed) != 0) break;
+  }
+
+  // Graceful drain: stop admission and answer everything accepted, then
+  // close the transport and report.
+  service.drain_and_stop();
+  server.stop();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - serve_begin)
+          .count();
+
+  const serve::ServeCounters counters = service.counters();
+  const stats::Summary latency = service.latency_summary();
+  const CacheStats cache = service.cache_stats();
+  std::printf(
+      "volcal_serve: drained — accepted %lld, completed %lld, shed %lld, "
+      "invalid %lld, swaps %lld\n",
+      static_cast<long long>(counters.accepted),
+      static_cast<long long>(counters.completed),
+      static_cast<long long>(counters.shed), static_cast<long long>(counters.invalid),
+      static_cast<long long>(counters.swaps));
+  std::printf(
+      "volcal_serve: latency p50 %.0f ns, p95 %.0f ns, p99 %.0f ns over %zu "
+      "samples; cache hits %lld / misses %lld\n",
+      latency.median, latency.p95, latency.p99, latency.count,
+      static_cast<long long>(cache.hits), static_cast<long long>(cache.misses));
+
+  if (!artifact_path.empty() && !write_artifact(artifact_path, service, wall_seconds)) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace volcal
+
+int main(int argc, char** argv) { return volcal::run(argc, argv); }
