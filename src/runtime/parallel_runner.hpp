@@ -409,7 +409,8 @@ class ParallelRunner {
           }
           if (shared_cache != nullptr) {
             for (int s = 0; s < b; ++s) {
-              shared_cache->store(centers[s], exec.take_ball(s), epoch);
+              shared_cache->store(centers[s], exec.take_ball(s), epoch,
+                                  g.storage_identity());
             }
           }
           ++local.batches;

@@ -32,6 +32,12 @@
 // Memory is bounded by a byte budget split across shards with
 // LRU-by-shard eviction, so n = 2^20 sweeps cannot blow RSS.  Invalidation
 // is O(1): an epoch bump, with shards lazily cleared on next touch.
+// Hot-swap safety: epochs alone cannot order a store against a concurrent
+// re-bind (a worker whose binding went stale before it captured the epoch
+// would park old-graph balls at the post-swap epoch), so every entry also
+// carries the StorageToken its ball was computed against — store() rejects
+// a token that no longer matches the binding, and lookups only serve
+// entries whose token equals the queried view's.
 #pragma once
 
 #include <algorithm>
@@ -232,7 +238,13 @@ class ViewCache {
         stale = true;  // reconcile below, outside the shared lock
       } else {
         auto it = shard.map.find(center);
-        if (it != shard.map.end()) {
+        // entry.token == id closes the hot-swap race window: between this
+        // worker's binding check above and this lookup, a concurrent bind()
+        // can have re-bound the cache and let another worker repopulate the
+        // shard with balls for a *different* graph at the epoch we captured.
+        // The entry's own token records which graph its ball was computed
+        // on; a mismatch is a miss, never a served ball.
+        if (it != shard.map.end() && it->second->token == id) {
           Entry& entry = *it->second;
           entry.last_used.store(tick(), std::memory_order_relaxed);
           const CachedBall& ball = entry.ball;
@@ -269,7 +281,7 @@ class ViewCache {
     }
     detail::extend_cached_ball(exec, work, radius);
     std::vector<NodeIndex> out = work.order;
-    store(center, std::move(work), epoch);
+    store(center, std::move(work), epoch, id);
     return out;
   }
 
@@ -293,7 +305,9 @@ class ViewCache {
       std::shared_lock lock(shard.mu);
       if (shard.epoch == epoch) {
         auto it = shard.map.find(center);
-        if (it != shard.map.end()) {
+        // Same token guard as explore(): an entry stored for a different
+        // graph during a racing hot swap must read as a miss, not a hit.
+        if (it != shard.map.end() && it->second->token == id) {
           Entry& entry = *it->second;
           const CachedBall& ball = entry.ball;
           if (ball.depth >= radius || ball.exhausted) {
@@ -314,9 +328,17 @@ class ViewCache {
   }
 
   // Inserts (or deepens) the entry for `center`, evicting LRU entries of the
-  // shard until the shard byte budget holds.  Public so tests can exercise
-  // eviction directly.
-  void store(NodeIndex center, CachedBall&& ball, std::uint64_t at_epoch) {
+  // shard until the shard byte budget holds.  `token` is the storage identity
+  // the ball was computed against; a store whose token no longer matches the
+  // current binding is dropped.  The epoch check alone cannot catch a worker
+  // whose binding went stale *before* it captured the epoch (it would store
+  // old-graph balls at the post-swap epoch); the token check under the shard
+  // lock rejects that store, and the per-entry token validated on lookup
+  // covers the residual window where bound_ has not yet moved.  Public so
+  // tests can exercise eviction and the rejection paths directly.
+  void store(NodeIndex center, CachedBall&& ball, std::uint64_t at_epoch,
+             StorageToken token) {
+    if (token == kAnonymousStorage) return;
     Shard& shard = shard_of(center);
     ball.order.shrink_to_fit();
     ball.level_end.shrink_to_fit();
@@ -325,10 +347,13 @@ class ViewCache {
     const std::size_t budget = std::max<std::size_t>(config_.byte_budget / kShards, 1);
     std::unique_lock lock(shard.mu);
     if (at_epoch != epoch_.load(std::memory_order_acquire)) return;  // stale build
+    if (bound_.load(std::memory_order_acquire) != token) return;     // stale binding
     reconcile_epoch_locked(shard, at_epoch);
     auto it = shard.map.find(center);
     if (it != shard.map.end()) {
-      if (it->second->ball.depth >= ball.depth) return;  // raced with a deeper store
+      if (it->second->token == token && it->second->ball.depth >= ball.depth) {
+        return;  // raced with a deeper store of the same graph's ball
+      }
       shard.bytes -= it->second->ball.bytes();
       shard.map.erase(it);
     }
@@ -342,6 +367,7 @@ class ViewCache {
     }
     auto entry = std::make_unique<Entry>();
     entry->ball = std::move(ball);
+    entry->token = token;
     entry->last_used.store(tick(), std::memory_order_relaxed);
     shard.bytes += size;
     inserted_bytes_.fetch_add(static_cast<std::int64_t>(size), std::memory_order_relaxed);
@@ -353,6 +379,10 @@ class ViewCache {
  private:
   struct Entry {
     CachedBall ball;
+    // Storage identity the ball was computed against — lookups serve an
+    // entry only when it matches the queried view's token, so balls parked
+    // by a worker racing a hot swap can never answer for the wrong graph.
+    StorageToken token = kAnonymousStorage;
     std::atomic<std::uint64_t> last_used{0};
   };
 

@@ -220,8 +220,11 @@ void QueryService::worker_loop() {
           finish(batch[slot_of[s]], result, local_latencies);
         }
         if (cache != nullptr) {
+          // exec_token is the storage identity of the snapshotted target;
+          // store() drops these balls if a hot swap re-bound the cache after
+          // we captured the epoch (entry tokens cover the residual window).
           for (int s = 0; s < b; ++s) {
-            cache->store(centers[s], exec.take_ball(s), epoch);
+            cache->store(centers[s], exec.take_ball(s), epoch, exec_token);
           }
         }
       }

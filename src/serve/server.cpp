@@ -1,10 +1,13 @@
 #include "serve/server.hpp"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -12,10 +15,14 @@ namespace volcal::serve {
 
 namespace {
 
-// Full write with EINTR retry; false once the peer is gone.
+// Full write with EINTR retry; false once the peer is gone or the socket's
+// send timeout (SO_SNDTIMEO, surfacing as EAGAIN) expired.  MSG_NOSIGNAL:
+// a dead peer must surface as EPIPE here, not as a process-wide SIGPIPE —
+// this runs inside servers, tests, and clients that have not installed the
+// SIG_IGN disposition volcal_serve does.
 bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
   while (len > 0) {
-    const ssize_t wrote = ::write(fd, data, len);
+    const ssize_t wrote = ::send(fd, data, len, MSG_NOSIGNAL);
     if (wrote < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -24,6 +31,14 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
     len -= static_cast<std::size_t>(wrote);
   }
   return true;
+}
+
+void set_write_timeout(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }
 
 bool fill_sockaddr(const std::string& path, sockaddr_un* addr) {
@@ -52,7 +67,14 @@ struct SocketServer::Connection {
   void send(const std::vector<std::uint8_t>& bytes) {
     std::lock_guard lock(write_mu);
     if (closed) return;
-    if (!write_all(fd, bytes.data(), bytes.size())) closed = true;
+    if (!write_all(fd, bytes.data(), bytes.size())) {
+      // Peer gone or send timeout (a client that stopped reading): drop the
+      // connection.  The shutdown wakes the reader so it reaps immediately;
+      // later sends return without touching the socket, so one stuck client
+      // costs each worker at most one timeout, never a wedge.
+      closed = true;
+      ::shutdown(fd, SHUT_RDWR);
+    }
   }
 
   void shutdown_both() {
@@ -66,11 +88,13 @@ struct SocketServer::Connection {
   }
 };
 
-bool SocketServer::start(QueryService& service, const std::string& socket_path) {
+bool SocketServer::start(QueryService& service, const std::string& socket_path,
+                         int write_timeout_ms) {
   sockaddr_un addr;
   if (!fill_sockaddr(socket_path, &addr)) return false;
   service_ = &service;
   path_ = socket_path;
+  write_timeout_ms_ = write_timeout_ms;
   ::unlink(socket_path.c_str());
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -95,21 +119,39 @@ bool SocketServer::start(QueryService& service, const std::string& socket_path) 
 }
 
 void SocketServer::accept_loop() {
-  while (true) {
+  while (!stopped_.load(std::memory_order_acquire)) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listening socket closed: shutting down
+      if (stopped_.load(std::memory_order_acquire)) return;  // socket closed by stop()
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource pressure is transient (fds free as dead connections
+        // reap): keep the acceptor alive instead of silently refusing every
+        // future client, but back off so the retry loop does not spin.
+        std::fprintf(stderr, "volcal_serve: accept: %s (retrying)\n",
+                     std::strerror(errno));
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      return;  // genuinely fatal (EBADF/EINVAL outside shutdown is a bug)
     }
+    set_write_timeout(fd, write_timeout_ms_);
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
-    std::lock_guard lock(conns_mu_);
-    if (stopped_) {
-      // Raced with stop(): refuse late connections.
-      return;
+    std::vector<std::thread> finished;
+    {
+      std::lock_guard lock(conns_mu_);
+      if (stopped_.load(std::memory_order_acquire)) {
+        return;  // raced with stop(): ~Connection closes the late fd
+      }
+      conns_.push_back(conn);
+      readers_.emplace(conn.get(), std::thread([this, conn] { reader_loop(conn); }));
+      finished.swap(finished_readers_);
     }
-    conns_.push_back(conn);
-    readers_.emplace_back([this, conn] { reader_loop(conn); });
+    // Join readers of already-disconnected clients (they have exited; the
+    // join is immediate) so thread objects do not pile up until stop().
+    for (std::thread& t : finished) t.join();
   }
 }
 
@@ -151,14 +193,22 @@ void SocketServer::reader_loop(std::shared_ptr<Connection> conn) {
     if (reader.corrupt()) break;  // no resync in a length-prefixed stream
   }
   conn->shutdown_both();
+  // Reap: drop the server's handle (the fd closes when the last in-flight
+  // response releases its shared_ptr) and park this thread's object for the
+  // accept loop / stop() to join — a disconnected client must not hold an
+  // fd slot or a thread object for the server's lifetime.
+  std::lock_guard lock(conns_mu_);
+  if (stopped_.load(std::memory_order_acquire)) return;  // stop() owns cleanup
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
+  auto it = readers_.find(conn.get());
+  if (it != readers_.end()) {
+    finished_readers_.push_back(std::move(it->second));
+    readers_.erase(it);
+  }
 }
 
 void SocketServer::stop() {
-  {
-    std::lock_guard lock(conns_mu_);
-    if (stopped_) return;
-    stopped_ = true;
-  }
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
   if (listen_fd_ >= 0) {
     // Closing the listening socket fails the blocking accept() and ends the
     // acceptor; shutdown first for kernels that keep accept() sleeping on a
@@ -169,20 +219,30 @@ void SocketServer::stop() {
   }
   if (acceptor_.joinable()) acceptor_.join();
   std::vector<std::shared_ptr<Connection>> conns;
-  std::vector<std::thread> readers;
+  std::unordered_map<const Connection*, std::thread> readers;
+  std::vector<std::thread> finished;
   {
     std::lock_guard lock(conns_mu_);
     conns.swap(conns_);
     readers.swap(readers_);
+    finished.swap(finished_readers_);
   }
   for (auto& conn : conns) {
     conn->send(encode_bye(ByeFrame{0}));
     conn->shutdown_both();
   }
-  for (std::thread& t : readers) {
+  for (auto& [_, t] : readers) {
+    if (t.joinable()) t.join();
+  }
+  for (std::thread& t : finished) {
     if (t.joinable()) t.join();
   }
   if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+std::size_t SocketServer::connection_count() const {
+  std::lock_guard lock(conns_mu_);
+  return conns_.size();
 }
 
 SocketServer::~SocketServer() { stop(); }

@@ -9,6 +9,20 @@
 // correlation key).  Shed/Stopped admissions answer immediately with a Shed
 // frame (retry_after_ms == 0 when the service is draining for good).
 //
+// Lifecycle of a connection: when the client disconnects, its reader thread
+// reaps the connection immediately — it drops the server's handle (the fd
+// closes once the last in-flight response releases its shared_ptr) and
+// parks its own thread object for an opportunistic join — so a long-running
+// server's fd/thread footprint tracks *live* clients, not total ever
+// accepted.  The accept loop survives transient failures (ECONNABORTED,
+// and EMFILE/ENFILE/ENOBUFS fd pressure, retried after a short sleep); it
+// exits only when stop() closes the listening socket.
+//
+// Writes carry a send timeout (SO_SNDTIMEO): a client that submits queries
+// but never reads its responses fills its socket buffer, times the next
+// write out, and gets its connection dropped — it cannot wedge a service
+// worker inside a completion callback or block graceful drain.
+//
 // Shutdown: stop() closes the listening socket, shuts down every live
 // connection (reader threads see EOF), and joins them.  The caller drains
 // the service first — the callbacks of accepted requests hold connection
@@ -19,11 +33,13 @@
 // serve tests: connect(), send queries (fire-and-forget), poll responses.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/protocol.hpp"
@@ -36,7 +52,11 @@ class SocketServer {
   // Binds and listens on `socket_path` (an existing file at the path is
   // unlinked first — serve sockets are owned by their server).  Returns
   // false with a message on stderr if the socket cannot be set up.
-  bool start(QueryService& service, const std::string& socket_path);
+  // `write_timeout_ms` bounds how long a response write may block on a
+  // client that stopped reading before the connection is dropped (<= 0
+  // disables the timeout; tests use small values).
+  bool start(QueryService& service, const std::string& socket_path,
+             int write_timeout_ms = 5000);
 
   // Stops accepting, closes every connection, joins all threads.  Drain the
   // service before calling (accepted requests must have answered).
@@ -45,6 +65,9 @@ class SocketServer {
   ~SocketServer();
 
   const std::string& socket_path() const { return path_; }
+
+  // Live (not yet reaped) connections — introspection for tests.
+  std::size_t connection_count() const;
 
  private:
   struct Connection;
@@ -55,11 +78,16 @@ class SocketServer {
   QueryService* service_ = nullptr;
   std::string path_;
   int listen_fd_ = -1;
+  int write_timeout_ms_ = 5000;
   std::thread acceptor_;
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
-  std::vector<std::thread> readers_;
-  bool stopped_ = false;
+  // Reader threads of live connections, keyed by their connection; a reader
+  // that sees its client disconnect moves its own entry to finished_readers_
+  // (it cannot join itself), which the accept loop and stop() drain.
+  std::unordered_map<const Connection*, std::thread> readers_;
+  std::vector<std::thread> finished_readers_;
+  std::atomic<bool> stopped_{false};
 };
 
 // Blocking client for one serve connection.  Not thread-safe; volcal_load

@@ -155,7 +155,8 @@ TEST(BatchedBallExecutor, CanonicalBallsInstallIntoViewCache) {
   std::vector<BallMeters> expected;
   for (std::size_t s = 0; s < centers.size(); ++s) {
     expected.push_back({exec.volume(s), exec.distance(s), exec.queries(s)});
-    cache.store(centers[s], exec.take_ball(s), cache.epoch());
+    cache.store(centers[s], exec.take_ball(s), cache.epoch(),
+                inst.graph.view().storage_identity());
   }
   for (std::size_t s = 0; s < centers.size(); ++s) {
     BallCosts costs;

@@ -10,7 +10,10 @@
 // unit-level pin).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <filesystem>
@@ -18,6 +21,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "volcal/io.hpp"
@@ -371,6 +375,96 @@ TEST(QueryService, HotSwapUnderWarmCacheServesTheNewSnapshotExactly) {
 
   std::error_code ec;
   fs::remove_all(dir, ec);
+}
+
+// --- Socket transport ------------------------------------------------------
+
+std::string unique_socket_path(const char* tag) {
+  return (fs::temp_directory_path() /
+          (std::string("volcal-") + tag + "-" +
+           std::to_string(::getpid()) + "-" +
+           std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+           ".sock"))
+      .string();
+}
+
+// Disconnected clients must be reaped as they leave, not accumulated until
+// stop(): a long-running server otherwise leaks one fd + thread object per
+// connection ever accepted and eventually hits EMFILE.
+TEST(SocketServer, ReapsDisconnectedClientsWhileRunning) {
+  ServeTarget target = target_for("ball-4", 200, 7);
+  ServeConfig config;
+  config.threads = 1;
+  QueryService service(std::move(target), config);
+  SocketServer server;
+  const std::string path = unique_socket_path("reap");
+  ASSERT_TRUE(server.start(service, path));
+
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    SocketClient client;
+    ASSERT_TRUE(client.connect(path));
+    ASSERT_TRUE(client.send_query(i, 0));
+    Frame f;
+    ASSERT_TRUE(client.recv_frame(&f));
+    EXPECT_EQ(f.type, FrameType::Result);
+    client.close();
+  }
+  // The reader threads notice the EOFs asynchronously; give them a moment.
+  for (int spin = 0; spin < 500 && server.connection_count() > 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.connection_count(), 0u)
+      << "disconnected connections held until stop()";
+
+  // The acceptor is still alive after the churn: a fresh client round-trips.
+  SocketClient again;
+  ASSERT_TRUE(again.connect(path));
+  ASSERT_TRUE(again.send_query(99, 1));
+  Frame f;
+  ASSERT_TRUE(again.recv_frame(&f));
+  EXPECT_EQ(f.type, FrameType::Result);
+  EXPECT_EQ(f.result.request_id, 99u);
+  again.close();
+
+  service.drain_and_stop();
+  server.stop();
+}
+
+// A client that submits queries but never reads responses fills its socket
+// buffer.  The send timeout must convert that into a dropped connection —
+// workers may block inside a completion callback for at most one timeout,
+// and graceful drain still completes every accepted request.
+TEST(SocketServer, SlowClientTimesOutInsteadOfWedgingDrain) {
+  ServeTarget target = target_for("ball-4", 400, 7);
+  const auto n = static_cast<std::int64_t>(target.instance->node_count());
+  ServeConfig config;
+  config.threads = 2;
+  config.queue_capacity = 1 << 15;
+  config.cache.policy = CachePolicy::Shared;
+  QueryService service(std::move(target), config);
+  SocketServer server;
+  const std::string path = unique_socket_path("slow");
+  ASSERT_TRUE(server.start(service, path, /*write_timeout_ms=*/100));
+
+  SocketClient client;
+  ASSERT_TRUE(client.connect(path));
+  // Far more responses than a Unix-socket buffer holds, and we never read.
+  constexpr std::uint64_t kQueries = 20000;
+  for (std::uint64_t i = 0; i < kQueries; ++i) {
+    if (!client.send_query(i, static_cast<std::int64_t>(i) % n)) break;
+  }
+
+  // The load-bearing assertion is that this returns at all: before the send
+  // timeout, a worker wedged forever inside write() and in_flight_ never
+  // drained.  Every accepted request still completes (its callback runs;
+  // the write is simply dropped on the closed connection).
+  service.drain_and_stop();
+  const ServeCounters counters = service.counters();
+  EXPECT_EQ(counters.completed, counters.accepted);
+  EXPECT_GT(counters.accepted, 0);
+
+  client.close();
+  server.stop();
 }
 
 }  // namespace

@@ -388,6 +388,57 @@ TEST(ViewCache, RemapAtSameAddressDoesNotServeStaleBalls) {
       << "cache served a stale ball from the pre-swap graph (pointer ABA)";
 }
 
+// The hot-swap store race: a worker that snapshotted the old target, passed
+// bind()'s fast path, and only then lost a rebind race captures its epoch
+// *after* the swap's invalidation — so the epoch check alone would let it
+// park old-graph balls at the post-swap epoch, where serve_costs would hand
+// them out for the new graph.  store() must validate the storage token the
+// ball was computed against and drop the stale store.
+TEST(ViewCache, StoreRejectsStaleBindingAtThePostSwapEpoch) {
+  const auto a = make_complete_binary_tree(5, Color::Red, Color::Blue);
+  const auto b = make_random_full_binary_tree(201, /*seed=*/3);
+  ViewCache cache(policy_config(CachePolicy::Shared));
+  cache.bind(a.graph.view());
+  const StorageToken stale = a.graph.view().storage_identity();
+
+  // The concurrent swap the worker lost against, then the worker's (too
+  // late) epoch capture — exactly the interleaving of the race.
+  cache.bind(b.graph.view());
+  const std::uint64_t epoch = cache.epoch();
+
+  CachedBall ball;  // "computed on A" — the token is the identity that counts
+  ball.order = {0};
+  ball.level_end = {1};
+  ball.cum_queries = {0};
+  cache.store(0, std::move(ball), epoch, stale);
+  EXPECT_EQ(cache.entry_count(), 0u)
+      << "old-graph ball stored at the post-swap epoch";
+  BallCosts costs;
+  EXPECT_FALSE(cache.serve_costs(b.graph.view(), 0, 0, &costs))
+      << "stale ball served for the new graph";
+
+  // The same store tagged with the *current* binding's token is accepted and
+  // served — the rejection above was the token check, not a broken store().
+  CachedBall fresh;
+  fresh.order = {0};
+  fresh.level_end = {1};
+  fresh.cum_queries = {0};
+  cache.store(0, std::move(fresh), cache.epoch(),
+              b.graph.view().storage_identity());
+  EXPECT_EQ(cache.entry_count(), 1u);
+  ASSERT_TRUE(cache.serve_costs(b.graph.view(), 0, 0, &costs));
+  EXPECT_EQ(costs.volume, 1);
+  EXPECT_EQ(costs.queries, 0);
+
+  // Anonymous storage can never be a store identity.
+  CachedBall anon;
+  anon.order = {1};
+  anon.level_end = {1};
+  anon.cum_queries = {0};
+  cache.store(1, std::move(anon), cache.epoch(), kAnonymousStorage);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
 TEST(ViewCache, StorageTokenSemantics) {
   auto inst = make_complete_binary_tree(4, Color::Red, Color::Blue);
   const GraphView v = inst.graph.view();
