@@ -1,0 +1,205 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace volcal::obs {
+
+namespace detail {
+
+unsigned thread_shard_slot() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+std::int64_t HistogramSnapshot::approx_quantile(double q) const {
+  if (count <= 0) return 0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest rank covering fraction q of the samples.
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(clamped * static_cast<double>(count))));
+  std::int64_t cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cum += buckets[b];
+    if (cum >= rank) {
+      // Upper bound of bucket b: 0 for b == 0, else 2^b - 1.
+      return b == 0 ? 0 : static_cast<std::int64_t>((std::uint64_t{1} << b) - 1);
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  for (std::size_t s = 0; s < detail::kMetricShards; ++s) {
+    const Slot& slot = slots_[s];
+    const std::int64_t n = slot.count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    out.count += n;
+    out.sum += slot.sum.load(std::memory_order_relaxed);
+    out.min = out.count == n ? slot.min.load(std::memory_order_relaxed)
+                             : std::min(out.min, slot.min.load(std::memory_order_relaxed));
+    out.max = out.count == n ? slot.max.load(std::memory_order_relaxed)
+                             : std::max(out.max, slot.max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < out.buckets.size(); ++b) {
+      out.buckets[b] += slot.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::int64_t MetricsSnapshot::counter(const std::string& name,
+                                      std::int64_t fallback) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+std::int64_t MetricsSnapshot::gauge(const std::string& name,
+                                    std::int64_t fallback) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+namespace {
+
+// Metric names are code-chosen identifiers plus a family name; escape the
+// JSON-special characters anyway so a hostile family name cannot break the
+// document.
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+template <typename T>
+void append_scalar_map(std::string& out, const char* key,
+                       const std::vector<std::pair<std::string, T>>& entries) {
+  out += '"';
+  out += key;
+  out += "\": {";
+  bool first = true;
+  char buf[32];
+  for (const auto& [name, value] : entries) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\": ";
+    std::snprintf(buf, sizeof buf, "%" PRId64, static_cast<std::int64_t>(value));
+    out += buf;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+void MetricsSnapshot::append_json(std::string& out) const {
+  out += '{';
+  append_scalar_map(out, "counters", counters);
+  out += ", ";
+  append_scalar_map(out, "gauges", gauges);
+  out += ", \"histograms\": {";
+  char buf[128];
+  bool first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    std::snprintf(buf, sizeof buf,
+                  "\": {\"count\": %" PRId64 ", \"min\": %" PRId64 ", \"max\": %" PRId64
+                  ", \"sum\": %" PRId64 ", \"buckets\": {",
+                  h.count, h.count > 0 ? h.min : 0, h.count > 0 ? h.max : 0, h.sum);
+    out += buf;
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      std::snprintf(buf, sizeof buf, "%s\"%zu\": %" PRId64,
+                    first_bucket ? "" : ", ", b, h.buckets[b]);
+      out += buf;
+      first_bucket = false;
+    }
+    out += "}}";
+  }
+  out += "}}";
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out;
+  append_json(out);
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::gauge_fn(const std::string& name,
+                               std::function<std::int64_t()> fn) {
+  std::lock_guard lock(mu_);
+  gauge_fns_[name] = std::move(fn);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard lock(mu_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.counters.emplace_back(name, c->value());
+  // Owned gauges and callback gauges share one namespace in the snapshot; a
+  // callback re-registered under an owned gauge's name wins (callbacks read
+  // live state, which is the point of registering one).
+  std::map<std::string, std::int64_t> gauges;
+  for (const auto& [name, g] : gauges_) gauges[name] = g->value();
+  for (const auto& [name, fn] : gauge_fns_) gauges[name] = fn ? fn() : 0;
+  out.gauges.assign(gauges.begin(), gauges.end());
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.emplace_back(name, h->snapshot());
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+}  // namespace volcal::obs

@@ -21,9 +21,11 @@
 //               "served_nodes", "inserted_bytes"},         //   counters
 //     "serve": {"accepted", "completed", "shed", "invalid", "swaps",
 //               "latency_samples", "p50_ns", "p95_ns", "p99_ns", "mean_ns",
-//               "max_ns", "qps", "wall_seconds"},  // optional: query-service
-//                                                  //   runs (volcal_serve /
-//                                                  //   volcal_load) only
+//               "max_ns", "qps", "wall_seconds",   // optional: query-service
+//               "shed_latency_samples",            //   runs (volcal_serve /
+//               "shed_p50_ns", "shed_p95_ns",      //   volcal_load) only;
+//               "shed_p99_ns", "retries",          //   shed_* / retr* fields
+//               "retry_compliant"},                //   additive (default 0)
 //     "alloc": {"instrumented", "allocs", "frees", "bytes", "peak_bytes"},
 //     "rss_high_water_kb": N,
 //     "total_wall_seconds": S,
@@ -105,6 +107,15 @@ struct ServeStatsBlock {
   double max_ns = 0.0;
   double qps = 0.0;           // completed / wall_seconds
   double wall_seconds = 0.0;  // measured serving window
+  // Client-side shed accounting (volcal_load): shed round-trips are timed
+  // separately so the query percentiles above stay pure, and retried sheds
+  // record whether the client honored the advertised retry_after_ms.
+  std::int64_t shed_latency_samples = 0;
+  double shed_p50_ns = 0.0;
+  double shed_p95_ns = 0.0;
+  double shed_p99_ns = 0.0;
+  std::int64_t retries = 0;          // shed requests re-submitted
+  std::int64_t retry_compliant = 0;  // retries waiting >= retry_after_ms
 
   friend bool operator==(const ServeStatsBlock&, const ServeStatsBlock&) = default;
 };

@@ -117,6 +117,12 @@ std::int64_t sweep_chunk(std::int64_t items, int workers);
 // and rethrows the first captured exception (lowest worker index).
 void run_on_workers(int workers, const std::function<void(int)>& body);
 
+// Folds one finished sweep's totals into obs::MetricsRegistry::global()
+// ("sweep.runs", "sweep.starts", "sweep.total_queries", ...): once per
+// sweep, off the per-start hot path, so long-running processes that embed
+// the engine expose sweep throughput in the same Stats snapshot namespace.
+void note_sweep(const SweepStats& stats);
+
 }  // namespace detail
 
 class ParallelRunner {
@@ -277,6 +283,7 @@ class ParallelRunner {
     }
     result.stats.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_begin).count();
+    detail::note_sweep(result.stats);
     return result;
   }
 
@@ -472,6 +479,7 @@ class ParallelRunner {
     }
     result.stats.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_begin).count();
+    detail::note_sweep(result.stats);
     return result;
   }
 

@@ -29,6 +29,9 @@
 // Concurrency: the table is sharded by mix64(center); lookups take a shard
 // shared_mutex in shared mode (the hit path never takes an exclusive lock —
 // LRU ticks are relaxed atomics), inserts/evictions take it exclusive.
+// The hit/miss/eviction meters are obs::Counter (per-thread sharded), so
+// concurrent hits on different worker threads never contend on one counter
+// cache line; stats() sums the shards.
 // Memory is bounded by a byte budget split across shards with
 // LRU-by-shard eviction, so n = 2^20 sweeps cannot blow RSS.  Invalidation
 // is O(1): an epoch bump, with shards lazily cleared on next touch.
@@ -52,6 +55,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/registry.hpp"
 #include "runtime/sweep_stats.hpp"
 #include "util/hash.hpp"
 
@@ -184,11 +188,11 @@ class ViewCache {
   CacheStats stats() const {
     CacheStats s;
     s.policy = config_.policy;
-    s.hits = hits_.load(std::memory_order_relaxed);
-    s.misses = misses_.load(std::memory_order_relaxed);
-    s.evictions = evictions_.load(std::memory_order_relaxed);
-    s.served_nodes = served_nodes_.load(std::memory_order_relaxed);
-    s.inserted_bytes = inserted_bytes_.load(std::memory_order_relaxed);
+    s.hits = hits_.value();
+    s.misses = misses_.value();
+    s.evictions = evictions_.value();
+    s.served_nodes = served_nodes_.value();
+    s.inserted_bytes = inserted_bytes_.value();
     return s;
   }
 
@@ -256,9 +260,8 @@ class ViewCache {
                 ball.level_end[static_cast<std::size_t>(d)]);
             exec.install_ball_prefix(ball.order.data(), ball.level_end.data(), d,
                                      ball.cum_queries[static_cast<std::size_t>(d)]);
-            hits_.fetch_add(1, std::memory_order_relaxed);
-            served_nodes_.fetch_add(static_cast<std::int64_t>(count),
-                                    std::memory_order_relaxed);
+            hits_.inc();
+            served_nodes_.inc(static_cast<std::int64_t>(count));
             return {ball.order.begin(),
                     ball.order.begin() + static_cast<std::ptrdiff_t>(count)};
           }
@@ -268,15 +271,14 @@ class ViewCache {
                                    ball.cum_queries[static_cast<std::size_t>(ball.depth)]);
           work = ball;
           resumed = true;
-          hits_.fetch_add(1, std::memory_order_relaxed);
-          served_nodes_.fetch_add(static_cast<std::int64_t>(work.order.size()),
-                                  std::memory_order_relaxed);
+          hits_.inc();
+          served_nodes_.inc(static_cast<std::int64_t>(work.order.size()));
         }
       }
     }
     if (stale) reconcile_epoch(shard, epoch);
     if (!resumed) {
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      misses_.inc();
       work = seed(center);
     }
     detail::extend_cached_ball(exec, work, radius);
@@ -316,14 +318,14 @@ class ViewCache {
             out->volume = ball.level_end[static_cast<std::size_t>(d)];
             out->distance = ball.max_layer(radius);
             out->queries = ball.cum_queries[static_cast<std::size_t>(d)];
-            hits_.fetch_add(1, std::memory_order_relaxed);
-            served_nodes_.fetch_add(out->volume, std::memory_order_relaxed);
+            hits_.inc();
+            served_nodes_.inc(out->volume);
             return true;
           }
         }
       }
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.inc();
     return false;
   }
 
@@ -359,7 +361,7 @@ class ViewCache {
     }
     if (size > budget) {
       // A single ball larger than the shard budget is never cached.
-      evictions_.fetch_add(1, std::memory_order_relaxed);
+      evictions_.inc();
       return;
     }
     while (shard.bytes + size > budget && !shard.map.empty()) {
@@ -370,7 +372,7 @@ class ViewCache {
     entry->token = token;
     entry->last_used.store(tick(), std::memory_order_relaxed);
     shard.bytes += size;
-    inserted_bytes_.fetch_add(static_cast<std::int64_t>(size), std::memory_order_relaxed);
+    inserted_bytes_.inc(static_cast<std::int64_t>(size));
     shard.map.emplace(center, std::move(entry));
   }
 
@@ -439,7 +441,7 @@ class ViewCache {
     }
     shard.bytes -= victim->second->ball.bytes();
     shard.map.erase(victim);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.inc();
   }
 
   CacheConfig config_;
@@ -447,11 +449,11 @@ class ViewCache {
   std::atomic<StorageToken> bound_{kAnonymousStorage};
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::uint64_t> tick_{1};
-  std::atomic<std::int64_t> hits_{0};
-  std::atomic<std::int64_t> misses_{0};
-  std::atomic<std::int64_t> evictions_{0};
-  std::atomic<std::int64_t> served_nodes_{0};
-  std::atomic<std::int64_t> inserted_bytes_{0};
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Counter served_nodes_;
+  obs::Counter inserted_bytes_;
 };
 
 }  // namespace volcal

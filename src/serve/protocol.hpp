@@ -17,20 +17,30 @@
 //                               (retry_after_ms == 0: the service is
 //                               draining and will not accept a retry)
 //   Bye    (server -> client):  u8 reason (0 = graceful drain)
+//   StatsRequest (client -> server):  u64 request_id
+//   Stats  (server -> client):  u64 request_id | UTF-8 JSON (rest of frame)
+//                               — the live metrics snapshot, answered off
+//                               the reader thread without touching the
+//                               query queue
 //
 // Every Query is answered by exactly one Result or Shed carrying the same
-// request_id; ids are client-chosen and opaque to the server (responses may
-// arrive out of submission order — the service batches and reorders).
+// request_id; every StatsRequest by exactly one Stats.  Ids are
+// client-chosen and opaque to the server (responses may arrive out of
+// submission order — the service batches and reorders).
 //
 // FrameReader is the stream-side decoder: feed() whatever bytes arrived,
 // next() yields complete frames and buffers partials across reads.  A frame
-// whose declared length exceeds kMaxFrameBytes or whose payload does not
-// match its type marks the stream corrupt — the transport must drop the
-// connection (there is no resynchronization in a length-prefixed stream).
+// whose declared length exceeds its type's bound (kMaxFrameBytes for the
+// fixed-layout types, kMaxStatsFrameBytes for the variable-length Stats
+// response) or whose payload does not match its type marks the stream
+// corrupt — the transport must drop the connection (there is no
+// resynchronization in a length-prefixed stream).
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace volcal::serve {
@@ -40,6 +50,8 @@ enum class FrameType : std::uint8_t {
   Result = 2,
   Shed = 3,
   Bye = 4,
+  StatsRequest = 5,
+  Stats = 6,
 };
 
 enum class QueryStatus : std::uint8_t {
@@ -72,6 +84,15 @@ struct ByeFrame {
   std::uint8_t reason = 0;
 };
 
+struct StatsRequestFrame {
+  std::uint64_t request_id = 0;
+};
+
+struct StatsFrame {
+  std::uint64_t request_id = 0;
+  std::string json;  // one JSON object — the metrics snapshot
+};
+
 // Decoded frame: `type` selects which member is meaningful.
 struct Frame {
   FrameType type = FrameType::Bye;
@@ -79,13 +100,19 @@ struct Frame {
   ResultFrame result;
   ShedFrame shed;
   ByeFrame bye;
+  StatsRequestFrame stats_request;
+  StatsFrame stats;
 };
 
-// Largest legal frame_bytes value.  Result is the biggest frame (1 + 8 + 1 +
-// 6*8 = 58); anything bigger than this bound is stream corruption, not a
-// future extension (extensions bump the protocol by adding types, and the
-// bound with them).
+// Largest legal frame_bytes value for the fixed-layout types.  Result is the
+// biggest such frame (1 + 8 + 1 + 6*8 = 58); anything bigger than this bound
+// is stream corruption unless its type byte says Stats — the one
+// variable-length frame, bounded separately below.
 inline constexpr std::size_t kMaxFrameBytes = 64;
+// The Stats response carries a JSON document (counters + gauges + per-family
+// histograms); 1 MiB is orders of magnitude above any real snapshot while
+// still bounding a hostile length prefix.
+inline constexpr std::size_t kMaxStatsFrameBytes = std::size_t{1} << 20;
 
 namespace wire {
 
@@ -168,6 +195,31 @@ inline std::vector<std::uint8_t> encode_bye(const ByeFrame& f) {
   return out;
 }
 
+inline std::vector<std::uint8_t> encode_stats_request(std::uint64_t request_id) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 1 + 8);
+  wire::put_u32(out, 1 + 8);
+  wire::put_u8(out, static_cast<std::uint8_t>(FrameType::StatsRequest));
+  wire::put_u64(out, request_id);
+  return out;
+}
+
+inline std::vector<std::uint8_t> encode_stats(std::uint64_t request_id,
+                                              std::string_view json) {
+  // A snapshot that would overflow the frame bound is replaced by an error
+  // object — truncated JSON would corrupt the stream for the peer.
+  if (1 + 8 + json.size() > kMaxStatsFrameBytes) {
+    json = "{\"error\": \"stats snapshot exceeds frame bound\"}";
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 1 + 8 + json.size());
+  wire::put_u32(out, static_cast<std::uint32_t>(1 + 8 + json.size()));
+  wire::put_u8(out, static_cast<std::uint8_t>(FrameType::Stats));
+  wire::put_u64(out, request_id);
+  out.insert(out.end(), json.begin(), json.end());
+  return out;
+}
+
 // Decodes the body of one frame (everything after the length prefix).
 // Returns false — without touching `out` beyond its type field — when the
 // type is unknown or the payload length does not match the type.
@@ -206,6 +258,17 @@ inline bool decode_frame(const std::uint8_t* body, std::size_t len, Frame* out) 
       out->type = type;
       out->bye.reason = p[0];
       return true;
+    case FrameType::StatsRequest:
+      if (payload != 8) return false;
+      out->type = type;
+      out->stats_request.request_id = wire::get_u64(p);
+      return true;
+    case FrameType::Stats:
+      if (payload < 8) return false;
+      out->type = type;
+      out->stats.request_id = wire::get_u64(p);
+      out->stats.json.assign(reinterpret_cast<const char*>(p + 8), payload - 8);
+      return true;
   }
   return false;
 }
@@ -227,9 +290,23 @@ class FrameReader {
       return false;
     }
     const std::uint32_t frame_bytes = wire::get_u32(buf_.data() + pos_);
-    if (frame_bytes == 0 || frame_bytes > kMaxFrameBytes) {
+    if (frame_bytes == 0) {
       corrupt_ = true;
       return false;
+    }
+    if (frame_bytes > kMaxFrameBytes) {
+      // Only the Stats response may exceed the fixed-layout bound; peek the
+      // type byte (wait for it if the prefix arrived alone) before deciding
+      // between "large but legal" and corruption.
+      if (buf_.size() - pos_ < 5) {
+        compact();
+        return false;
+      }
+      const auto peeked = static_cast<FrameType>(buf_[pos_ + 4]);
+      if (peeked != FrameType::Stats || frame_bytes > kMaxStatsFrameBytes) {
+        corrupt_ = true;
+        return false;
+      }
     }
     if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(frame_bytes)) {
       compact();

@@ -1,12 +1,23 @@
 #include "serve/query_service.hpp"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 
 #include "runtime/batched_execution.hpp"
 #include "runtime/execution.hpp"
 #include "runtime/parallel_runner.hpp"
 
 namespace volcal::serve {
+
+namespace {
+
+// Bound on the sliding-window sample ring.  At 2^16 completions the window
+// covers the newest 65536 requests — more than stats_window_seconds of
+// traffic at any rate the percentiles are meaningful for.
+constexpr std::size_t kWindowRingCapacity = std::size_t{1} << 16;
+
+}  // namespace
 
 ServeTarget make_serve_target(std::shared_ptr<const ErasedInstance> instance) {
   ServeTarget target;
@@ -21,11 +32,38 @@ QueryService::QueryService(ServeTarget target, ServeConfig config)
     : config_(config),
       threads_(detail::resolve_thread_count(config.threads)),
       batch_max_(std::clamp(config.batch_max, 1, BatchedBallExecutor::kMaxBatch)),
+      start_(std::chrono::steady_clock::now()),
       target_(std::make_shared<const ServeTarget>(std::move(target))),
       cache_(config.cache) {
+  c_accepted_ = metrics_.counter("serve.accepted");
+  c_completed_ = metrics_.counter("serve.completed");
+  c_shed_ = metrics_.counter("serve.shed");
+  c_invalid_ = metrics_.counter("serve.invalid");
+  c_swaps_ = metrics_.counter("serve.swaps");
+  c_batches_ = metrics_.counter("serve.batched_runs");
+  c_waves_ = metrics_.counter("serve.waves");
+  c_batched_starts_ = metrics_.counter("serve.batched_starts");
+  c_cache_hit_serves_ = metrics_.counter("serve.cache_hit_serves");
+  c_slow_ = metrics_.counter("serve.slow_queries");
+  h_latency_us_ = metrics_.histogram("serve.latency_us");
+  // Live levels: evaluated at snapshot time.  The callbacks take mu_ (or the
+  // cache's shard state) *after* the registry mutex — nothing in the service
+  // takes those locks and then re-enters the registry, so the order is safe.
+  metrics_.gauge_fn("serve.queue_depth",
+                    [this] { return static_cast<std::int64_t>(queue_depth()); });
+  metrics_.gauge_fn("serve.in_flight",
+                    [this] { return static_cast<std::int64_t>(in_flight()); });
+  metrics_.gauge_fn("serve.cache.hits", [this] { return cache_.stats().hits; });
+  metrics_.gauge_fn("serve.cache.misses", [this] { return cache_.stats().misses; });
+  metrics_.gauge_fn("serve.cache.evictions",
+                    [this] { return cache_.stats().evictions; });
+  metrics_.gauge_fn("serve.cache.served_nodes",
+                    [this] { return cache_.stats().served_nodes; });
+  metrics_.gauge_fn("serve.cache.inserted_bytes",
+                    [this] { return cache_.stats().inserted_bytes; });
   workers_.reserve(static_cast<std::size_t>(threads_));
   for (int w = 0; w < threads_; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, w] { worker_loop(w); });
   }
 }
 
@@ -45,13 +83,11 @@ Admission QueryService::submit(std::uint64_t request_id, std::int64_t node,
   {
     std::lock_guard lock(mu_);
     if (draining_ || stop_) {
-      std::lock_guard slock(stats_mu_);
-      ++counters_.shed;
+      c_shed_->inc();
       return Admission::Stopped;
     }
     if (queue_.size() >= config_.queue_capacity) {
-      std::lock_guard slock(stats_mu_);
-      ++counters_.shed;
+      c_shed_->inc();
       return Admission::Shed;
     }
     Request req;
@@ -59,13 +95,15 @@ Admission QueryService::submit(std::uint64_t request_id, std::int64_t node,
     req.node = node;
     req.done = std::move(done);
     req.enqueued = std::chrono::steady_clock::now();
+    req.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Bump accepted before the request becomes poppable: once the lock drops
+    // a worker may run the whole request, and a completion must never be
+    // observable before its admission (stats readers check completed <=
+    // accepted).
+    c_accepted_->inc();
     queue_.push_back(std::move(req));
   }
   not_empty_.notify_one();
-  {
-    std::lock_guard slock(stats_mu_);
-    ++counters_.accepted;
-  }
   return Admission::Accepted;
 }
 
@@ -79,8 +117,7 @@ void QueryService::swap_target(ServeTarget next) {
   // new view, and bind() invalidates on the token change.  A swap to a view
   // with the *same* token (a copy sharing the mapping) correctly keeps every
   // warm entry.
-  std::lock_guard slock(stats_mu_);
-  ++counters_.swaps;
+  c_swaps_->inc();
 }
 
 void QueryService::drain_and_stop() {
@@ -98,8 +135,18 @@ void QueryService::drain_and_stop() {
 }
 
 ServeCounters QueryService::counters() const {
-  std::lock_guard lock(stats_mu_);
-  return counters_;
+  ServeCounters out;
+  // Read completed before accepted: the reads race with live traffic, and a
+  // request finishing between them then skews accepted high — the harmless
+  // direction, since every completion was an admission first.  The reverse
+  // order could snapshot completed > accepted, which readers rightly treat
+  // as impossible.
+  out.completed = c_completed_->value();
+  out.invalid = c_invalid_->value();
+  out.shed = c_shed_->value();
+  out.swaps = c_swaps_->value();
+  out.accepted = c_accepted_->value();
+  return out;
 }
 
 std::vector<std::int64_t> QueryService::latencies_ns() const {
@@ -116,26 +163,196 @@ stats::Summary QueryService::latency_summary() const {
   return stats::summarize(std::move(values));
 }
 
-void QueryService::finish(Request& req, QueryResult result,
-                          std::vector<std::int64_t>& local_latencies) {
-  result.request_id = req.id;
-  result.node = req.node;
-  result.latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                          std::chrono::steady_clock::now() - req.enqueued)
-                          .count();
-  local_latencies.push_back(result.latency_ns);
-  if (req.done) req.done(result);
+stats::Summary QueryService::window_latency_summary() const {
+  const std::int64_t now_ns = since_start_ns(std::chrono::steady_clock::now());
+  const auto span_ns =
+      static_cast<std::int64_t>(config_.stats_window_seconds * 1e9);
+  const std::int64_t cutoff = now_ns - span_ns;
+  std::vector<double> values;
+  {
+    std::lock_guard lock(stats_mu_);
+    values.reserve(window_ring_.size());
+    for (const LatencySample& s : window_ring_) {
+      if (s.done_ns >= cutoff) values.push_back(static_cast<double>(s.latency_ns));
+    }
+  }
+  return stats::summarize(std::move(values));
 }
 
-void QueryService::worker_loop() {
+std::size_t QueryService::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+std::size_t QueryService::in_flight() const {
+  std::lock_guard lock(mu_);
+  return in_flight_;
+}
+
+double QueryService::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+std::vector<SlowQuery> QueryService::slow_queries() const {
+  std::lock_guard lock(slow_mu_);
+  return {slow_.begin(), slow_.end()};
+}
+
+namespace {
+
+void append_summary(std::string& out, const char* key, const stats::Summary& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "\"%s\": {\"count\": %zu, \"p50_ns\": %.0f, \"p95_ns\": %.0f"
+                ", \"p99_ns\": %.0f, \"mean_ns\": %.1f, \"max_ns\": %.0f}",
+                key, s.count, s.median, s.p95, s.p99, s.mean, s.max);
+  out += buf;
+}
+
+}  // namespace
+
+std::string QueryService::stats_json() const {
+  const double uptime = uptime_seconds();
+  const std::size_t depth = queue_depth();
+  const std::size_t inflight = in_flight();
+  const ServeCounters c = counters();
+  // Both latency views under one lock hold: read separately, a batch landing
+  // between the reads could give the window more samples than "since start"
+  // claims to have — an impossible state for consumers that cross-check the
+  // two (check_artifacts.py does).
+  std::vector<double> lat_values, win_values;
+  {
+    const std::int64_t now_ns = since_start_ns(std::chrono::steady_clock::now());
+    const std::int64_t cutoff =
+        now_ns - static_cast<std::int64_t>(config_.stats_window_seconds * 1e9);
+    std::lock_guard lock(stats_mu_);
+    lat_values.assign(latencies_.begin(), latencies_.end());
+    win_values.reserve(window_ring_.size());
+    for (const LatencySample& s : window_ring_) {
+      if (s.done_ns >= cutoff) win_values.push_back(static_cast<double>(s.latency_ns));
+    }
+  }
+  const stats::Summary lat = stats::summarize(std::move(lat_values));
+  const stats::Summary win = stats::summarize(std::move(win_values));
+  const CacheStats cache = cache_.stats();
+  const std::int64_t waves = c_waves_->value();
+  const std::int64_t batched_runs = c_batches_->value();
+  const std::int64_t batched_starts = c_batched_starts_->value();
+
+  std::string out;
+  out.reserve(4096);
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\"kind\": \"serve-stats\", \"schema_version\": 1"
+                ", \"uptime_seconds\": %.6f, \"queue_depth\": %zu"
+                ", \"in_flight\": %zu, \"accepted\": %" PRId64
+                ", \"completed\": %" PRId64 ", \"shed\": %" PRId64
+                ", \"invalid\": %" PRId64 ", \"swaps\": %" PRId64
+                ", \"slow_queries\": %" PRId64 ", ",
+                uptime, depth, inflight, c.accepted, c.completed, c.shed,
+                c.invalid, c.swaps, c_slow_->value());
+  out += buf;
+  append_summary(out, "latency", lat);
+  out += ", \"window\": {";
+  std::snprintf(buf, sizeof buf, "\"seconds\": %.3f, ",
+                config_.stats_window_seconds);
+  out += buf;
+  append_summary(out, "latency", win);
+  out += "}, ";
+  std::snprintf(buf, sizeof buf,
+                "\"cache\": {\"hits\": %" PRId64 ", \"misses\": %" PRId64
+                ", \"evictions\": %" PRId64 ", \"served_nodes\": %" PRId64
+                ", \"inserted_bytes\": %" PRId64 "}, ",
+                cache.hits, cache.misses, cache.evictions, cache.served_nodes,
+                cache.inserted_bytes);
+  out += buf;
+  const double occupancy =
+      batched_runs > 0
+          ? static_cast<double>(batched_starts) / static_cast<double>(batched_runs)
+          : 0.0;
+  std::snprintf(buf, sizeof buf,
+                "\"batch\": {\"waves\": %" PRId64 ", \"batched_runs\": %" PRId64
+                ", \"batched_starts\": %" PRId64 ", \"batch_max\": %d"
+                ", \"mean_occupancy\": %.3f}, \"metrics\": ",
+                waves, batched_runs, batched_starts, batch_max_, occupancy);
+  out += buf;
+  metrics_.snapshot().append_json(out);
+  out += '}';
+  return out;
+}
+
+void QueryService::finish(Request& req, QueryResult result,
+                          const FinishContext& ctx,
+                          std::vector<LatencySample>& local_samples) {
+  result.request_id = req.id;
+  result.node = req.node;
+  const auto now = std::chrono::steady_clock::now();
+  result.latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          now - req.enqueued)
+                          .count();
+  local_samples.push_back({since_start_ns(now), result.latency_ns});
+  const bool invalid = result.status == QueryStatus::InvalidNode;
+  c_completed_->inc();
+  if (invalid) c_invalid_->inc();
+  if (ctx.cache_hit) c_cache_hit_serves_->inc();
+  h_latency_us_->add(result.latency_ns / 1000);
+  if (ctx.volume_hist != nullptr && !invalid) {
+    ctx.volume_hist->add(result.volume);
+  }
+  if (config_.slow_threshold_ns >= 0 &&
+      result.latency_ns >= config_.slow_threshold_ns) {
+    c_slow_->inc();
+    SlowQuery q;
+    q.seq = req.seq;
+    q.client_id = req.id;
+    q.node = req.node;
+    q.wave = ctx.wave;
+    q.latency_ns = result.latency_ns;
+    q.volume = result.volume;
+    q.cache_hit = ctx.cache_hit;
+    q.invalid = invalid;
+    std::lock_guard lock(slow_mu_);
+    slow_.push_back(q);
+    while (slow_.size() > config_.slow_log_capacity) slow_.pop_front();
+  }
+  if (req.done) req.done(result);
+  if (config_.tracer != nullptr) {
+    // done_ns stamps *after* the callback so the "write" slice covers the
+    // response write; latency_ns keeps the repo-wide enqueue->dispatch
+    // definition.
+    RequestSpan span;
+    span.seq = req.seq;
+    span.client_id = req.id;
+    span.node = req.node;
+    span.worker = ctx.worker;
+    span.wave = ctx.wave;
+    span.admit_ns = config_.tracer->to_ns(req.enqueued);
+    span.dequeue_ns = config_.tracer->to_ns(ctx.dequeued);
+    span.exec_end_ns = config_.tracer->to_ns(ctx.exec_end);
+    span.done_ns = config_.tracer->now_ns();
+    span.volume = result.volume;
+    span.latency_ns = result.latency_ns;
+    span.cache_hit = ctx.cache_hit;
+    span.invalid = invalid;
+    config_.tracer->record(span);
+  }
+}
+
+void QueryService::worker_loop(int worker) {
   ExecutionScratch scratch;
   BatchedBallExecutor exec;
   StorageToken exec_token = kAnonymousStorage;
   bool exec_bound = false;
   std::vector<Request> batch;
-  std::vector<std::int64_t> local_latencies;
+  std::vector<LatencySample> local_samples;
   NodeIndex centers[BatchedBallExecutor::kMaxBatch];
   std::size_t slot_of[BatchedBallExecutor::kMaxBatch];
+  // Per-family volume histogram handle, re-resolved only when the served
+  // family changes (i.e. across a hot swap) — lookups take the registry
+  // mutex, so keep them off the per-wave path.
+  std::string volume_family;
+  obs::Histogram* volume_hist = nullptr;
 
   const bool use_cache = config_.cache.policy == CachePolicy::Shared;
 
@@ -156,6 +373,7 @@ void QueryService::worker_loop() {
       }
       in_flight_ += take;
     }
+    c_waves_->inc();
 
     // Snapshot the target for this whole batch: a concurrent swap_target
     // cannot pull the mapping out from under us, and every request in the
@@ -168,8 +386,18 @@ void QueryService::worker_loop() {
     ViewCache* cache = use_cache ? &cache_ : nullptr;
     if (cache != nullptr) cache->bind(g);
 
-    local_latencies.clear();
-    std::int64_t local_invalid = 0;
+    if (inst.family() != volume_family) {
+      volume_family = inst.family();
+      volume_hist = metrics_.histogram("serve.volume." + volume_family);
+    }
+
+    FinishContext ctx;
+    ctx.worker = worker;
+    ctx.wave = wave_.fetch_add(1, std::memory_order_relaxed) + 1;
+    ctx.dequeued = std::chrono::steady_clock::now();
+    ctx.volume_hist = volume_hist;
+
+    local_samples.clear();
 
     if (target->plan.batchable()) {
       // The fused path, mirroring ParallelRunner::run_batched_balls: serve
@@ -188,8 +416,9 @@ void QueryService::worker_loop() {
         if (req.node < 0 || req.node >= static_cast<std::int64_t>(n)) {
           QueryResult result;
           result.status = QueryStatus::InvalidNode;
-          ++local_invalid;
-          finish(req, result, local_latencies);
+          ctx.cache_hit = false;
+          ctx.exec_end = std::chrono::steady_clock::now();
+          finish(req, result, ctx, local_samples);
           continue;
         }
         const auto center = static_cast<NodeIndex>(req.node);
@@ -201,7 +430,10 @@ void QueryService::worker_loop() {
             result.volume = costs.volume;
             result.distance = costs.distance;
             result.queries = costs.queries;
-            finish(req, result, local_latencies);
+            // A cache hit's execute slice collapses to its triage instant.
+            ctx.cache_hit = true;
+            ctx.exec_end = std::chrono::steady_clock::now();
+            finish(req, result, ctx, local_samples);
             continue;
           }
         }
@@ -209,15 +441,19 @@ void QueryService::worker_loop() {
         slot_of[b] = i;
         ++b;
       }
+      ctx.cache_hit = false;
       if (b > 0) {
         exec.run({centers, static_cast<std::size_t>(b)}, target->plan.radius);
+        c_batches_->inc();
+        c_batched_starts_->inc(b);
+        ctx.exec_end = std::chrono::steady_clock::now();
         for (int s = 0; s < b; ++s) {
           QueryResult result;
           result.label = static_cast<int>(exec.volume(s));
           result.volume = exec.volume(s);
           result.distance = exec.distance(s);
           result.queries = exec.queries(s);
-          finish(batch[slot_of[s]], result, local_latencies);
+          finish(batch[slot_of[s]], result, ctx, local_samples);
         }
         if (cache != nullptr) {
           // exec_token is the storage identity of the snapshotted target;
@@ -231,11 +467,11 @@ void QueryService::worker_loop() {
     } else {
       // Per-request path: the family's own solve() on a plain Execution —
       // by definition the offline per-start loop's answer.
+      ctx.cache_hit = false;
       for (Request& req : batch) {
         QueryResult result;
         if (req.node < 0 || req.node >= static_cast<std::int64_t>(n)) {
           result.status = QueryStatus::InvalidNode;
-          ++local_invalid;
         } else {
           Execution e(g, inst.ids(), static_cast<NodeIndex>(req.node), 0, scratch);
           if (cache != nullptr) e.attach_view_cache(cache);
@@ -244,16 +480,23 @@ void QueryService::worker_loop() {
           result.distance = e.distance();
           result.queries = e.query_count();
         }
-        finish(req, result, local_latencies);
+        ctx.exec_end = std::chrono::steady_clock::now();
+        finish(req, result, ctx, local_samples);
       }
     }
 
     {
       std::lock_guard slock(stats_mu_);
-      counters_.completed += static_cast<std::int64_t>(batch.size());
-      counters_.invalid += local_invalid;
-      latencies_.insert(latencies_.end(), local_latencies.begin(),
-                        local_latencies.end());
+      latencies_.reserve(latencies_.size() + local_samples.size());
+      for (const LatencySample& s : local_samples) {
+        latencies_.push_back(s.latency_ns);
+        if (window_ring_.size() < kWindowRingCapacity) {
+          window_ring_.push_back(s);
+        } else {
+          window_ring_[window_next_] = s;
+          window_next_ = (window_next_ + 1) % kWindowRingCapacity;
+        }
+      }
     }
     {
       std::lock_guard lock(mu_);

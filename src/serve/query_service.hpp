@@ -38,6 +38,17 @@
 // is measured enqueue -> callback-dispatch per request and summarized with
 // stats::summarize (nearest-rank p50/p95/p99, same definition everywhere in
 // this repo).
+//
+// Observability: every counter lives in the service's obs::MetricsRegistry
+// (per-thread sharded atomics — the query path bumps them without taking a
+// lock), readable at any moment via metrics() or as one JSON snapshot via
+// stats_json(): uptime, queue depth, in-flight, admission counters, exact
+// since-start latency percentiles, windowed percentiles over the last
+// stats_window_seconds, cache counters, wave/batch occupancy, and the
+// per-family volume histograms ("serve.volume.<family>").  The transport
+// answers the protocol's Stats frame with exactly this snapshot.  Optional
+// per-request spans (ServeConfig::tracer) and a bounded slow-query log
+// (slow_threshold_ns) attribute tail latency to specific requests.
 #pragma once
 
 #include <chrono>
@@ -51,9 +62,11 @@
 #include <vector>
 
 #include "lcl/registry.hpp"
+#include "obs/registry.hpp"
 #include "plan/probe_plan.hpp"
 #include "runtime/view_cache.hpp"
 #include "serve/protocol.hpp"
+#include "serve/trace.hpp"
 #include "stats/growth.hpp"
 
 namespace volcal::serve {
@@ -84,6 +97,15 @@ struct ServeConfig {
   std::uint32_t retry_after_ms = 50;
   // Cross-request ball cache (policy Shared to enable; Off serves uncached).
   CacheConfig cache;
+  // Sliding window for the windowed percentiles in stats_json().
+  double stats_window_seconds = 10.0;
+  // Slow-query log: completed requests with latency_ns >= slow_threshold_ns
+  // are kept (newest slow_log_capacity of them); < 0 disables the log.
+  std::int64_t slow_threshold_ns = -1;
+  std::size_t slow_log_capacity = 1024;
+  // Optional per-request span collection (caller-owned, must outlive the
+  // service); see serve/trace.hpp.
+  ServeTracer* tracer = nullptr;
 };
 
 // One answered query; `status == InvalidNode` leaves label/meters zero.
@@ -104,7 +126,9 @@ enum class Admission {
   Stopped,   // draining/stopped — no retry
 };
 
-// Monotonic counters (swaps counts completed swap_target calls).
+// Monotonic counter snapshot (swaps counts completed swap_target calls).
+// The live values are registry counters ("serve.accepted", ...); this struct
+// is the point-in-time read counters() returns.
 struct ServeCounters {
   std::int64_t accepted = 0;
   std::int64_t completed = 0;
@@ -147,6 +171,27 @@ class QueryService {
   // nearest-rank summary.  Snapshot under lock; callable at any time.
   std::vector<std::int64_t> latencies_ns() const;
   stats::Summary latency_summary() const;
+  // Nearest-rank summary over completions of the last
+  // config().stats_window_seconds (bounded ring — under sustained load the
+  // window may cover only the newest samples).
+  stats::Summary window_latency_summary() const;
+
+  // The service's metric namespace.  The transport registers its own
+  // gauges/counters here (serve.connections, serve.accept_retries) so one
+  // Stats snapshot covers the whole serving stack.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  std::size_t queue_depth() const;
+  std::size_t in_flight() const;
+  double uptime_seconds() const;
+
+  // The slow-query log, oldest first (empty unless slow_threshold_ns >= 0).
+  std::vector<SlowQuery> slow_queries() const;
+
+  // One JSON object: the live metrics snapshot served as the Stats frame
+  // payload and written per --stats-interval tick.  Layout documented in
+  // DESIGN.md "Live observability".
+  std::string stats_json() const;
 
  private:
   struct Request {
@@ -154,16 +199,39 @@ class QueryService {
     std::int64_t node = 0;
     std::function<void(const QueryResult&)> done;
     std::chrono::steady_clock::time_point enqueued;
+    std::uint64_t seq = 0;  // admission sequence — the tracing request ID
+  };
+
+  // Per-request completion context the worker threads hand to finish():
+  // which wave the request rode, its timeline so far, and its cache outcome.
+  struct FinishContext {
+    int worker = -1;
+    std::uint64_t wave = 0;
+    std::chrono::steady_clock::time_point dequeued;
+    std::chrono::steady_clock::time_point exec_end;
+    bool cache_hit = false;
+    obs::Histogram* volume_hist = nullptr;
+  };
+
+  // One completed latency sample with its completion time (steady ns since
+  // start_), feeding both the exact since-start vector and the window ring.
+  struct LatencySample {
+    std::int64_t done_ns = 0;
+    std::int64_t latency_ns = 0;
   };
 
   std::shared_ptr<const ServeTarget> current_target() const;
-  void worker_loop();
-  void finish(Request& req, QueryResult result,
-              std::vector<std::int64_t>& local_latencies);
+  void worker_loop(int worker);
+  void finish(Request& req, QueryResult result, const FinishContext& ctx,
+              std::vector<LatencySample>& local_samples);
+  std::int64_t since_start_ns(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(tp - start_).count();
+  }
 
   ServeConfig config_;
   int threads_ = 1;
   int batch_max_ = 64;
+  std::chrono::steady_clock::time_point start_;
 
   mutable std::mutex target_mu_;
   std::shared_ptr<const ServeTarget> target_;
@@ -178,9 +246,34 @@ class QueryService {
   bool draining_ = false;
   bool stop_ = false;
 
+  // Metric namespace of this service instance (per-instance so tests and
+  // multi-service processes keep exact per-service counts); handles cached
+  // at construction, bumped lock-free on the query path.
+  obs::MetricsRegistry metrics_;
+  obs::Counter* c_accepted_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_shed_ = nullptr;
+  obs::Counter* c_invalid_ = nullptr;
+  obs::Counter* c_swaps_ = nullptr;
+  obs::Counter* c_batches_ = nullptr;
+  obs::Counter* c_waves_ = nullptr;
+  obs::Counter* c_batched_starts_ = nullptr;
+  obs::Counter* c_cache_hit_serves_ = nullptr;
+  obs::Counter* c_slow_ = nullptr;
+  obs::Histogram* h_latency_us_ = nullptr;
+
+  std::atomic<std::uint64_t> seq_{0};   // admission sequence
+  std::atomic<std::uint64_t> wave_{0};  // wave (popped batch) sequence
+
+  // Exact latency samples (since-start percentiles) plus a bounded ring of
+  // recent completions for the sliding window.
   mutable std::mutex stats_mu_;
-  ServeCounters counters_;
   std::vector<std::int64_t> latencies_;
+  std::vector<LatencySample> window_ring_;
+  std::size_t window_next_ = 0;
+
+  mutable std::mutex slow_mu_;
+  std::deque<SlowQuery> slow_;
 
   std::vector<std::thread> workers_;
 };

@@ -95,6 +95,11 @@ bool SocketServer::start(QueryService& service, const std::string& socket_path,
   service_ = &service;
   path_ = socket_path;
   write_timeout_ms_ = write_timeout_ms;
+  c_connections_total_ = service.metrics().counter("serve.connections_total");
+  c_accept_retries_ = service.metrics().counter("serve.accept_retries");
+  service.metrics().gauge_fn("serve.connections", [this] {
+    return static_cast<std::int64_t>(connection_count());
+  });
   ::unlink(socket_path.c_str());
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -129,6 +134,7 @@ void SocketServer::accept_loop() {
         // Resource pressure is transient (fds free as dead connections
         // reap): keep the acceptor alive instead of silently refusing every
         // future client, but back off so the retry loop does not spin.
+        c_accept_retries_->inc();
         std::fprintf(stderr, "volcal_serve: accept: %s (retrying)\n",
                      std::strerror(errno));
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -137,6 +143,7 @@ void SocketServer::accept_loop() {
       return;  // genuinely fatal (EBADF/EINVAL outside shutdown is a bug)
     }
     set_write_timeout(fd, write_timeout_ms_);
+    c_connections_total_->inc();
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     std::vector<std::thread> finished;
@@ -165,7 +172,14 @@ void SocketServer::reader_loop(std::shared_ptr<Connection> conn) {
     reader.feed(buf, static_cast<std::size_t>(got));
     Frame frame;
     while (reader.next(&frame)) {
-      if (frame.type != FrameType::Query) continue;  // clients only send queries
+      if (frame.type == FrameType::StatsRequest) {
+        // Answered here, on the reader thread: a stats poll never enters the
+        // admission queue, so it cannot displace (or be shed like) a query.
+        conn->send(encode_stats(frame.stats_request.request_id,
+                                service_->stats_json()));
+        continue;
+      }
+      if (frame.type != FrameType::Query) continue;  // queries and stats polls only
       const QueryFrame q = frame.query;
       const Admission adm = service_->submit(
           q.request_id, q.node, [conn](const QueryResult& r) {
@@ -218,6 +232,12 @@ void SocketServer::stop() {
     listen_fd_ = -1;
   }
   if (acceptor_.joinable()) acceptor_.join();
+  if (service_ != nullptr) {
+    // Replace the connection-count callback with a constant: a snapshot
+    // taken after the transport is gone must not call into a dead server.
+    service_->metrics().gauge_fn("serve.connections",
+                                 [] { return std::int64_t{0}; });
+  }
   std::vector<std::shared_ptr<Connection>> conns;
   std::unordered_map<const Connection*, std::thread> readers;
   std::vector<std::thread> finished;
@@ -275,6 +295,12 @@ bool SocketClient::send_query(std::uint64_t request_id, std::int64_t node) {
   q.request_id = request_id;
   q.node = node;
   const std::vector<std::uint8_t> bytes = encode_query(q);
+  return write_all(fd_, bytes.data(), bytes.size());
+}
+
+bool SocketClient::send_stats_request(std::uint64_t request_id) {
+  if (fd_ < 0) return false;
+  const std::vector<std::uint8_t> bytes = encode_stats_request(request_id);
   return write_all(fd_, bytes.data(), bytes.size());
 }
 

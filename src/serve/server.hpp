@@ -23,6 +23,17 @@
 // write out, and gets its connection dropped — it cannot wedge a service
 // worker inside a completion callback or block graceful drain.
 //
+// Observability: a StatsRequest frame is answered directly on the reader
+// thread with a Stats frame carrying service_->stats_json() — it never
+// enters the admission queue, so polling a loaded server cannot displace a
+// query or be shed.  The server registers its own metrics in the service's
+// registry at start(): the "serve.connections" live gauge, and the
+// "serve.connections_total" / "serve.accept_retries" counters (accepts
+// survived and transient accept failures retried) — one Stats snapshot
+// covers transport and service together.  Declare the server after the
+// service (the usual pattern) so the registered callback never outlives the
+// registry.
+//
 // Shutdown: stop() closes the listening socket, shuts down every live
 // connection (reader threads see EOF), and joins them.  The caller drains
 // the service first — the callbacks of accepted requests hold connection
@@ -76,6 +87,8 @@ class SocketServer {
   void reader_loop(std::shared_ptr<Connection> conn);
 
   QueryService* service_ = nullptr;
+  obs::Counter* c_connections_total_ = nullptr;
+  obs::Counter* c_accept_retries_ = nullptr;
   std::string path_;
   int listen_fd_ = -1;
   int write_timeout_ms_ = 5000;
@@ -103,8 +116,12 @@ class SocketClient {
   // Writes one Query frame (fire-and-forget; responses arrive via recv).
   bool send_query(std::uint64_t request_id, std::int64_t node);
 
-  // Blocks until one complete frame arrives (Result, Shed, or Bye).  False
-  // on EOF / error / corrupt stream.
+  // Writes one StatsRequest frame; the matching Stats frame arrives via
+  // recv_frame (interleaved with any in-flight query responses).
+  bool send_stats_request(std::uint64_t request_id);
+
+  // Blocks until one complete frame arrives (Result, Shed, Stats, or Bye).
+  // False on EOF / error / corrupt stream.
   bool recv_frame(Frame* out);
 
  private:

@@ -1,0 +1,70 @@
+#include "serve/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace volcal::serve {
+namespace {
+
+struct FileHandle {
+  explicit FileHandle(const std::string& path) : f(std::fopen(path.c_str(), "w")) {
+    if (f == nullptr) {
+      std::fprintf(stderr, "serve: cannot open %s for writing\n", path.c_str());
+    }
+  }
+  ~FileHandle() {
+    if (f != nullptr) std::fclose(f);
+  }
+  FileHandle(const FileHandle&) = delete;
+  FileHandle& operator=(const FileHandle&) = delete;
+
+  std::FILE* f;
+};
+
+void emit_slice(std::FILE* f, bool* first, const RequestSpan& s, const char* name,
+                std::int64_t begin_ns, std::int64_t end_ns) {
+  const double ts_us = static_cast<double>(begin_ns) / 1000.0;
+  const double dur_us = static_cast<double>(end_ns - begin_ns < 0 ? 0 : end_ns - begin_ns) / 1000.0;
+  std::fprintf(f,
+               "%s{\"name\":\"%s\",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":%.3f"
+               ",\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"seq\":%" PRIu64
+               ",\"id\":%" PRIu64 ",\"node\":%" PRId64 ",\"wave\":%" PRIu64
+               ",\"volume\":%" PRId64 ",\"cache_hit\":%s}}",
+               *first ? "" : ",", name, ts_us, dur_us, s.worker < 0 ? 0 : s.worker,
+               s.seq, s.client_id, s.node, s.wave, s.volume,
+               s.cache_hit ? "true" : "false");
+  *first = false;
+}
+
+}  // namespace
+
+bool write_serve_chrome_trace(const std::string& path,
+                              std::span<const RequestSpan> spans) {
+  FileHandle file(path);
+  if (file.f == nullptr) return false;
+  std::fprintf(file.f, "{\"traceEvents\":[");
+  bool first = true;
+  for (const RequestSpan& s : spans) {
+    emit_slice(file.f, &first, s, "queue", s.admit_ns, s.dequeue_ns);
+    emit_slice(file.f, &first, s, "execute", s.dequeue_ns, s.exec_end_ns);
+    emit_slice(file.f, &first, s, "write", s.exec_end_ns, s.done_ns);
+  }
+  std::fprintf(file.f, "],\"displayTimeUnit\":\"ms\"}\n");
+  return true;
+}
+
+bool write_slow_query_log(const std::string& path, std::span<const SlowQuery> slow) {
+  FileHandle file(path);
+  if (file.f == nullptr) return false;
+  for (const SlowQuery& q : slow) {
+    std::fprintf(file.f,
+                 "{\"seq\":%" PRIu64 ",\"id\":%" PRIu64 ",\"node\":%" PRId64
+                 ",\"wave\":%" PRIu64 ",\"latency_ns\":%" PRId64 ",\"volume\":%" PRId64
+                 ",\"cache_hit\":%s,\"invalid\":%s}\n",
+                 q.seq, q.client_id, q.node, q.wave, q.latency_ns, q.volume,
+                 q.cache_hit ? "true" : "false", q.invalid ? "true" : "false");
+  }
+  return true;
+}
+
+}  // namespace volcal::serve

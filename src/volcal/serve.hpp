@@ -3,12 +3,13 @@
 // One include for everything the serving regime needs: the wire protocol
 // (length-prefixed frames + stream decoder), the concurrent QueryService
 // (batched execution, admission control, hot snapshot swap, cross-request
-// ball cache), and the Unix-socket transport used by tools/volcal_serve and
-// tools/volcal_load.  The fine-grained serve/... headers remain valid
-// includes but are internal layout (see DESIGN.md "API surface and
-// deprecations").
+// ball cache), the per-request tracer / slow-query log, and the Unix-socket
+// transport used by tools/volcal_serve and tools/volcal_load.  The
+// fine-grained serve/... headers remain valid includes but are internal
+// layout (see DESIGN.md "API surface and deprecations").
 #pragma once
 
 #include "serve/protocol.hpp"
 #include "serve/query_service.hpp"
 #include "serve/server.hpp"
+#include "serve/trace.hpp"

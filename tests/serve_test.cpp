@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "perf/json.hpp"
 #include "volcal/io.hpp"
 #include "volcal/problems.hpp"
 #include "volcal/runtime.hpp"
@@ -93,10 +94,29 @@ TEST(ServeProtocol, FramesRoundTripThroughAChunkedStream) {
 
 TEST(ServeProtocol, OversizedOrMalformedFramesMarkTheStreamCorrupt) {
   {
-    // Declared length beyond kMaxFrameBytes: corruption, not a frame.
+    // Declared length beyond kMaxFrameBytes: corruption for every type but
+    // Stats.  The reader withholds judgement until the type byte arrives
+    // (a lone oversized prefix could still become a legal Stats frame), then
+    // condemns the stream.
     FrameReader reader;
     std::vector<std::uint8_t> bytes;
     wire::put_u32(bytes, static_cast<std::uint32_t>(kMaxFrameBytes + 1));
+    reader.feed(bytes.data(), bytes.size());
+    Frame f;
+    EXPECT_FALSE(reader.next(&f));
+    EXPECT_FALSE(reader.corrupt());  // prefix alone: undecided, not corrupt
+    const auto type = static_cast<std::uint8_t>(FrameType::Result);
+    reader.feed(&type, 1);
+    EXPECT_FALSE(reader.next(&f));
+    EXPECT_TRUE(reader.corrupt());
+  }
+  {
+    // Even a Stats type byte cannot legitimize a length beyond the Stats
+    // bound.
+    FrameReader reader;
+    std::vector<std::uint8_t> bytes;
+    wire::put_u32(bytes, static_cast<std::uint32_t>(kMaxStatsFrameBytes + 1));
+    wire::put_u8(bytes, static_cast<std::uint8_t>(FrameType::Stats));
     reader.feed(bytes.data(), bytes.size());
     Frame f;
     EXPECT_FALSE(reader.next(&f));
@@ -115,6 +135,37 @@ TEST(ServeProtocol, OversizedOrMalformedFramesMarkTheStreamCorrupt) {
     EXPECT_FALSE(reader.next(&f));
     EXPECT_TRUE(reader.corrupt());
   }
+}
+
+TEST(ServeProtocol, StatsFramesRoundTripAndMayExceedTheQueryFrameBound) {
+  // A stats payload bigger than kMaxFrameBytes (but under the stats bound)
+  // must pass: the reader admits oversized frames for the Stats type only.
+  const std::string big(kMaxFrameBytes + 100, 'x');
+  std::vector<std::uint8_t> stream = encode_stats_request(9);
+  const std::vector<std::uint8_t> stats =
+      encode_stats(9, "{\"payload\": \"" + big + "\"}");
+  stream.insert(stream.end(), stats.begin(), stats.end());
+
+  FrameReader reader;
+  reader.feed(stream.data(), stream.size());
+  Frame f;
+  ASSERT_TRUE(reader.next(&f));
+  EXPECT_EQ(f.type, FrameType::StatsRequest);
+  EXPECT_EQ(f.stats_request.request_id, 9u);
+  ASSERT_TRUE(reader.next(&f));
+  EXPECT_EQ(f.type, FrameType::Stats);
+  EXPECT_EQ(f.stats.request_id, 9u);
+  EXPECT_NE(f.stats.json.find(big), std::string::npos);
+  EXPECT_FALSE(reader.corrupt());
+
+  // The same oversized length under a Query type byte stays corruption.
+  FrameReader strict;
+  std::vector<std::uint8_t> bytes;
+  wire::put_u32(bytes, static_cast<std::uint32_t>(kMaxFrameBytes + 1));
+  wire::put_u8(bytes, static_cast<std::uint8_t>(FrameType::Query));
+  strict.feed(bytes.data(), bytes.size());
+  EXPECT_FALSE(strict.next(&f));
+  EXPECT_TRUE(strict.corrupt());
 }
 
 // Collects completion callbacks so tests can wait for a specific number of
@@ -377,6 +428,175 @@ TEST(QueryService, HotSwapUnderWarmCacheServesTheNewSnapshotExactly) {
   fs::remove_all(dir, ec);
 }
 
+// --- Observability ---------------------------------------------------------
+
+// stats_json() is the payload every consumer parses (Stats frame, volcal_top,
+// --stats-log); its counters must agree with the typed accessors and its
+// percentiles must be ordered.
+TEST(QueryService, StatsJsonReconcilesWithTypedCountersAfterDrain) {
+  ServeTarget target = target_for("ball-4", 400, 7);
+  const auto n = static_cast<std::int64_t>(target.instance->node_count());
+  ServeConfig config;
+  config.threads = 4;
+  config.queue_capacity = static_cast<std::size_t>(n);
+  config.cache.policy = CachePolicy::Shared;
+  QueryService service(std::move(target), config);
+
+  ResultCollector collector;
+  for (std::int64_t v = 0; v < n; ++v) {
+    ASSERT_EQ(service.submit(static_cast<std::uint64_t>(v), v, collector.sink()),
+              Admission::Accepted);
+  }
+  service.drain_and_stop();
+
+  std::string err;
+  const perf::JsonValue doc = perf::parse_json(service.stats_json(), &err);
+  ASSERT_FALSE(doc.is_null()) << err;
+  EXPECT_EQ(doc.string_at("kind"), "serve-stats");
+
+  const ServeCounters counters = service.counters();
+  EXPECT_EQ(doc.int_at("accepted"), counters.accepted);
+  EXPECT_EQ(doc.int_at("completed"), counters.completed);
+  EXPECT_EQ(doc.int_at("shed"), counters.shed);
+  EXPECT_EQ(doc.int_at("invalid"), counters.invalid);
+  EXPECT_EQ(doc.int_at("queue_depth"), 0);
+  EXPECT_EQ(doc.int_at("in_flight"), 0);
+  EXPECT_GT(doc.number_at("uptime_seconds"), 0.0);
+
+  const perf::JsonValue* lat = doc.find("latency");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->int_at("count"), n);
+  EXPECT_LE(lat->number_at("p50_ns"), lat->number_at("p95_ns"));
+  EXPECT_LE(lat->number_at("p95_ns"), lat->number_at("p99_ns"));
+
+  // Registry sub-object: per-family volume histogram with one entry per
+  // completed request, and the admission counters under their metric names.
+  const perf::JsonValue* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const perf::JsonValue* hists = metrics->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const perf::JsonValue* volume = hists->find("serve.volume.ball-4");
+  ASSERT_NE(volume, nullptr) << "per-family volume histogram missing";
+  EXPECT_EQ(volume->int_at("count"), n);
+  EXPECT_GE(volume->int_at("min"), 1);
+  const perf::JsonValue* counters_obj = metrics->find("counters");
+  ASSERT_NE(counters_obj, nullptr);
+  EXPECT_EQ(counters_obj->int_at("serve.accepted"), counters.accepted);
+  EXPECT_EQ(counters_obj->int_at("serve.completed"), counters.completed);
+
+  // The windowed summary covers the run we just finished (it all happened
+  // well inside the default 10 s window).
+  const stats::Summary window = service.window_latency_summary();
+  EXPECT_EQ(window.count, static_cast<std::size_t>(n));
+  EXPECT_LE(window.median, window.p95);
+}
+
+// Slow-query log threshold edges: 0 records everything (bounded by
+// capacity), a huge threshold records nothing, negative disables the log.
+TEST(QueryService, SlowQueryLogThresholdEdges) {
+  struct Case {
+    std::int64_t threshold_ns;
+    std::size_t capacity;
+  };
+  const Case cases[] = {
+      {0, 1024},          // everything is slow
+      {0, 16},            // everything is slow, capacity-bounded
+      {INT64_MAX, 1024},  // nothing is slow
+      {-1, 1024},         // log disabled
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.threshold_ns);
+    ServeTarget target = target_for("ball-4", 200, 7);
+    const auto n = static_cast<std::int64_t>(target.instance->node_count());
+    ServeConfig config;
+    config.threads = 2;
+    config.queue_capacity = static_cast<std::size_t>(n);
+    config.slow_threshold_ns = c.threshold_ns;
+    config.slow_log_capacity = c.capacity;
+    QueryService service(std::move(target), config);
+
+    ResultCollector collector;
+    for (std::int64_t v = 0; v < n; ++v) {
+      ASSERT_EQ(service.submit(static_cast<std::uint64_t>(v), v, collector.sink()),
+                Admission::Accepted);
+    }
+    service.drain_and_stop();
+
+    const std::vector<SlowQuery> slow = service.slow_queries();
+    if (c.threshold_ns == 0) {
+      // Latency >= 0 always holds, so every completion is recorded — newest
+      // kept once the capacity bound kicks in.
+      EXPECT_EQ(slow.size(), std::min(c.capacity, static_cast<std::size_t>(n)));
+      for (const SlowQuery& q : slow) {
+        EXPECT_GE(q.latency_ns, 0);
+        EXPECT_GE(q.node, 0);
+        EXPECT_LT(q.node, n);
+      }
+    } else {
+      EXPECT_TRUE(slow.empty());
+    }
+    // The slow counter tracks threshold matches, not log retention: with
+    // threshold 0 every completion counts even after eviction.
+    std::string err;
+    const perf::JsonValue doc = perf::parse_json(service.stats_json(), &err);
+    ASSERT_FALSE(doc.is_null()) << err;
+    EXPECT_EQ(doc.int_at("slow_queries"), c.threshold_ns == 0 ? n : 0);
+  }
+}
+
+// An attached tracer collects one span per completed request with a
+// monotone admit <= dequeue <= exec_end <= done timeline.
+TEST(QueryService, TracerRecordsOneOrderedSpanPerRequest) {
+  ServeTarget target = target_for("ball-4", 200, 7);
+  const auto n = static_cast<std::int64_t>(target.instance->node_count());
+  ServeTracer tracer;
+  ServeConfig config;
+  config.threads = 2;
+  config.queue_capacity = static_cast<std::size_t>(2 * n);
+  config.cache.policy = CachePolicy::Shared;
+  config.tracer = &tracer;
+  QueryService service(std::move(target), config);
+
+  ResultCollector collector;
+  for (std::int64_t round = 0; round < 2; ++round) {
+    for (std::int64_t v = 0; v < n; ++v) {
+      const auto id = static_cast<std::uint64_t>(round * n + v);
+      ASSERT_EQ(service.submit(id, v, collector.sink()), Admission::Accepted);
+    }
+  }
+  service.drain_and_stop();
+
+  const std::vector<RequestSpan> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), static_cast<std::size_t>(2 * n));
+  EXPECT_EQ(tracer.dropped(), 0);
+  std::uint64_t seq_seen = 0;
+  bool any_cache_hit = false;
+  for (const RequestSpan& span : spans) {
+    EXPECT_GE(span.seq, 1u);
+    seq_seen = std::max(seq_seen, span.seq);
+    EXPECT_LE(span.admit_ns, span.dequeue_ns);
+    EXPECT_LE(span.dequeue_ns, span.exec_end_ns);
+    EXPECT_LE(span.exec_end_ns, span.done_ns);
+    EXPECT_GE(span.worker, 0);
+    EXPECT_GE(span.volume, 1);
+    EXPECT_FALSE(span.invalid);
+    any_cache_hit |= span.cache_hit;
+  }
+  // Admission sequence numbers are dense 1..2n.
+  EXPECT_EQ(seq_seen, static_cast<std::uint64_t>(2 * n));
+  // Round two re-queries warm centers: some spans must be cache hits.
+  EXPECT_TRUE(any_cache_hit);
+
+  // The Chrome export accepts the collected spans.
+  const fs::path trace_path =
+      fs::temp_directory_path() /
+      ("volcal-trace-test-" + std::to_string(::getpid()) + ".json");
+  EXPECT_TRUE(write_serve_chrome_trace(trace_path.string(), spans));
+  std::error_code ec;
+  EXPECT_GT(fs::file_size(trace_path, ec), 0u);
+  fs::remove(trace_path, ec);
+}
+
 // --- Socket transport ------------------------------------------------------
 
 std::string unique_socket_path(const char* tag) {
@@ -465,6 +685,136 @@ TEST(SocketServer, SlowClientTimesOutInsteadOfWedgingDrain) {
 
   client.close();
   server.stop();
+}
+
+// The Stats frame answers live, mid-load, on the reader thread — polls must
+// round-trip while query traffic is in flight, return monotone counters
+// across polls, and reconcile with the service's final numbers.
+TEST(SocketServer, StatsFrameRoundTripsUnderConcurrentLoad) {
+  ServeTarget target = target_for("ball-4", 400, 7);
+  const auto n = static_cast<std::int64_t>(target.instance->node_count());
+  ServeConfig config;
+  config.threads = 2;
+  config.queue_capacity = 1 << 14;
+  config.cache.policy = CachePolicy::Shared;
+  QueryService service(std::move(target), config);
+  SocketServer server;
+  const std::string path = unique_socket_path("stats");
+  ASSERT_TRUE(server.start(service, path));
+
+  // Query clients: each drives its own connection synchronously.
+  std::atomic<bool> load_ok{true};
+  std::vector<std::thread> loaders;
+  const int kLoaders = 3;
+  const std::uint64_t kPerLoader = 400;
+  for (int t = 0; t < kLoaders; ++t) {
+    loaders.emplace_back([&, t] {
+      SocketClient client;
+      if (!client.connect(path)) {
+        load_ok = false;
+        return;
+      }
+      for (std::uint64_t i = 0; i < kPerLoader; ++i) {
+        const std::uint64_t id = (static_cast<std::uint64_t>(t) << 32) | i;
+        if (!client.send_query(id, static_cast<std::int64_t>(i) % n)) {
+          load_ok = false;
+          return;
+        }
+        Frame f;
+        if (!client.recv_frame(&f) || f.type != FrameType::Result ||
+            f.result.request_id != id) {
+          load_ok = false;
+          return;
+        }
+      }
+      client.close();
+    });
+  }
+
+  // Stats poller: interleaves Stats frames with the load, one fresh
+  // connection per poll exactly like volcal_top.
+  std::int64_t prev_completed = -1;
+  std::int64_t polls_answered = 0;
+  for (std::uint64_t poll = 1; poll <= 20; ++poll) {
+    SocketClient probe;
+    ASSERT_TRUE(probe.connect(path));
+    ASSERT_TRUE(probe.send_stats_request(poll));
+    Frame f;
+    ASSERT_TRUE(probe.recv_frame(&f));
+    ASSERT_EQ(f.type, FrameType::Stats);
+    EXPECT_EQ(f.stats.request_id, poll);
+    std::string err;
+    const perf::JsonValue doc = perf::parse_json(f.stats.json, &err);
+    ASSERT_FALSE(doc.is_null()) << err;
+    // Monotone counters across polls, consistent ordering within one.
+    const std::int64_t completed = doc.int_at("completed");
+    EXPECT_GE(completed, prev_completed);
+    prev_completed = completed;
+    EXPECT_GE(doc.int_at("accepted"), completed);
+    if (const perf::JsonValue* lat = doc.find("latency")) {
+      EXPECT_LE(lat->number_at("p50_ns"), lat->number_at("p99_ns"));
+    }
+    ++polls_answered;
+    probe.close();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  for (auto& th : loaders) th.join();
+  EXPECT_TRUE(load_ok.load());
+  EXPECT_EQ(polls_answered, 20);
+
+  service.drain_and_stop();
+  // Final reconciliation: one last poll equals the service's own counters.
+  const ServeCounters counters = service.counters();
+  EXPECT_EQ(counters.completed, kLoaders * static_cast<std::int64_t>(kPerLoader));
+  std::string err;
+  const perf::JsonValue final_doc = perf::parse_json(service.stats_json(), &err);
+  ASSERT_FALSE(final_doc.is_null()) << err;
+  EXPECT_EQ(final_doc.int_at("completed"), counters.completed);
+  EXPECT_EQ(final_doc.int_at("accepted"), counters.accepted);
+  server.stop();
+}
+
+// The transport registers its connection metrics in the service's registry:
+// the connection-count gauge tracks live clients and the total counter every
+// accept since start.
+TEST(SocketServer, ConnectionMetricsAppearInTheServiceRegistry) {
+  ServeTarget target = target_for("ball-4", 200, 7);
+  ServeConfig config;
+  config.threads = 1;
+  QueryService service(std::move(target), config);
+  SocketServer server;
+  const std::string path = unique_socket_path("connmetrics");
+  ASSERT_TRUE(server.start(service, path));
+
+  SocketClient a, b;
+  ASSERT_TRUE(a.connect(path));
+  ASSERT_TRUE(b.connect(path));
+  // One round-trip each so the accepts are definitely processed.
+  Frame f;
+  ASSERT_TRUE(a.send_query(1, 0));
+  ASSERT_TRUE(a.recv_frame(&f));
+  ASSERT_TRUE(b.send_query(2, 1));
+  ASSERT_TRUE(b.recv_frame(&f));
+
+  obs::MetricsSnapshot snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.counter("serve.connections_total"), 2);
+  EXPECT_EQ(snap.gauge("serve.connections"), 2);
+
+  a.close();
+  b.close();
+  for (int spin = 0; spin < 500 && server.connection_count() > 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.gauge("serve.connections"), 0);
+  EXPECT_EQ(snap.counter("serve.connections_total"), 2);
+
+  service.drain_and_stop();
+  server.stop();
+  // After stop the gauge callback is re-pointed at a constant 0 — snapshots
+  // of the outliving registry must not dereference the dead server.
+  EXPECT_EQ(service.metrics().snapshot().gauge("serve.connections"), 0);
 }
 
 }  // namespace

@@ -20,6 +20,13 @@ All flags optional; at least one must be given.  --bench-family may be
 repeated once per family artifact.  --serve-report validates a
 volcal_serve / volcal_load artifact, whose schema-v2 'serve' block
 (admission counters + latency percentiles) is mandatory; repeatable.
+
+Live-observability artifacts: --stats-jsonl validates a volcal_serve
+--stats-log stream (every counter monotone across lines, percentiles
+ordered within each), --stats-snapshot a single captured Stats poll, and
+--against-serve reconciles both with the end-of-run serve artifact — no
+snapshot may exceed the final totals, and the last JSONL line (written
+after drain) must equal them exactly.
 """
 
 import argparse
@@ -105,6 +112,21 @@ def check_serve_block(doc, where):
     if serve.get("latency_samples", 0) > 0:
         check(serve.get("completed", 0) > 0,
               f"{where} serve: latency samples without completed requests")
+    # Optional shed-accounting fields (volcal_load --retry-sheds); absent in
+    # older artifacts, defaulting to zero.
+    sp50, sp95, sp99 = (serve.get("shed_p50_ns", 0),
+                        serve.get("shed_p95_ns", 0),
+                        serve.get("shed_p99_ns", 0))
+    check(sp50 <= sp95 <= sp99,
+          f"{where} serve: shed percentiles not monotone "
+          f"(p50 {sp50}, p95 {sp95}, p99 {sp99})")
+    check(serve.get("shed_latency_samples", 0) <= serve.get("shed", 0),
+          f"{where} serve: more shed latency samples "
+          f"({serve.get('shed_latency_samples')}) than shed responses "
+          f"({serve.get('shed')})")
+    check(serve.get("retry_compliant", 0) <= serve.get("retries", 0),
+          f"{where} serve: retry_compliant {serve.get('retry_compliant')} "
+          f"exceeds retries {serve.get('retries')}")
 
 
 def check_artifact_body(doc, where, kind, monotone_n):
@@ -338,6 +360,131 @@ def check_trace_jsonl(path):
           f"{sum(queries.values())} queries")
 
 
+STATS_MONOTONE = ("accepted", "completed", "shed", "invalid", "swaps",
+                  "slow_queries")
+
+
+def check_stats_line(doc, where):
+    """One serve-stats JSON object (a --stats-log line, a Stats frame
+    payload, or volcal_top --raw output)."""
+    require_keys(doc, ["kind", "schema_version", "uptime_seconds",
+                       "queue_depth", "in_flight", "latency", "window",
+                       "cache", "batch", "metrics"] + list(STATS_MONOTONE),
+                 where)
+    check(doc.get("kind") == "serve-stats",
+          f"{where}: kind {doc.get('kind')!r} != 'serve-stats'")
+    for k in STATS_MONOTONE + ("queue_depth", "in_flight"):
+        v = doc.get(k, -1)
+        check(isinstance(v, int) and v >= 0,
+              f"{where}: {k} must be a non-negative integer, got {v!r}")
+    check(doc.get("completed", 0) <= doc.get("accepted", 0),
+          f"{where}: completed {doc.get('completed')} exceeds accepted "
+          f"{doc.get('accepted')}")
+    for block in ("latency", ("window", "latency")):
+        if isinstance(block, tuple):
+            lat = doc.get(block[0], {}).get(block[1], {})
+            lwhere = f"{where} window latency"
+        else:
+            lat = doc.get(block, {})
+            lwhere = f"{where} latency"
+        if not check(isinstance(lat, dict), f"{lwhere}: missing"):
+            continue
+        p50, p95, p99 = (lat.get("p50_ns", 0), lat.get("p95_ns", 0),
+                         lat.get("p99_ns", 0))
+        check(p50 <= p95 <= p99,
+              f"{lwhere}: percentiles not monotone "
+              f"(p50 {p50}, p95 {p95}, p99 {p99})")
+        check(lat.get("count", -1) >= 0, f"{lwhere}: negative sample count")
+    # The window is a subset of history: it can never hold more samples than
+    # ever completed.
+    win = doc.get("window", {}).get("latency", {})
+    check(win.get("count", 0) <= doc.get("latency", {}).get("count", 0),
+          f"{where}: window holds more samples than exist since start")
+
+
+def stats_vs_serve_block(doc, serve, where, final):
+    """Counters of one stats snapshot against an end-of-run artifact's serve
+    block: <= mid-run (counters only grow), == for the final snapshot."""
+    for k in ("accepted", "completed", "shed", "invalid", "swaps"):
+        snap, total = doc.get(k, 0), serve.get(k, 0)
+        if final:
+            check(snap == total,
+                  f"{where}: final {k} {snap} != artifact total {total}")
+        else:
+            check(snap <= total,
+                  f"{where}: mid-run {k} {snap} exceeds artifact total {total}")
+    if final:
+        check(doc.get("latency", {}).get("count", 0)
+              == serve.get("latency_samples", 0),
+              f"{where}: final latency count "
+              f"{doc.get('latency', {}).get('count')} != artifact "
+              f"latency_samples {serve.get('latency_samples')}")
+        check(doc.get("queue_depth", -1) == 0 and doc.get("in_flight", -1) == 0,
+              f"{where}: final snapshot not quiescent (queue "
+              f"{doc.get('queue_depth')}, in-flight {doc.get('in_flight')})")
+
+
+def load_serve_block(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    serve = doc.get("serve")
+    if not check(isinstance(serve, dict),
+                 f"{path}: missing 'serve' block for stats reconciliation"):
+        return {}
+    return serve
+
+
+def check_stats_jsonl(path, against=None):
+    """A --stats-interval JSONL: every line well-formed, every counter
+    monotone non-decreasing across lines, uptime strictly advancing; with
+    --against-serve, the final (post-drain) line must equal the artifact's
+    serve totals and earlier lines must never exceed them."""
+    lines = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            where = f"{path}:{lineno}"
+            check_stats_line(doc, where)
+            lines.append((where, doc))
+    if not check(bool(lines), f"{path}: no stats lines"):
+        return
+    prev_where, prev = lines[0]
+    for where, doc in lines[1:]:
+        for k in STATS_MONOTONE:
+            check(doc.get(k, 0) >= prev.get(k, 0),
+                  f"{where}: {k} went backwards "
+                  f"({prev.get(k)} at {prev_where} then {doc.get(k)})")
+        check(doc.get("uptime_seconds", 0) > prev.get("uptime_seconds", 0),
+              f"{where}: uptime did not advance")
+        prev_where, prev = where, doc
+    if against is not None:
+        serve = load_serve_block(against)
+        if serve:
+            for where, doc in lines[:-1]:
+                stats_vs_serve_block(doc, serve, where, final=False)
+            stats_vs_serve_block(lines[-1][1], serve, lines[-1][0], final=True)
+    print(f"ok  {path}: {len(lines)} stats lines, "
+          f"{lines[-1][1].get('completed', 0)} completed at shutdown")
+
+
+def check_stats_snapshot(path, against=None):
+    """A single mid-load stats snapshot (volcal_top --once --raw): live
+    values, each counter bounded by the end-of-run artifact totals."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.loads(f.read().strip())
+    check_stats_line(doc, path)
+    if against is not None:
+        serve = load_serve_block(against)
+        if serve:
+            stats_vs_serve_block(doc, serve, path, final=False)
+    print(f"ok  {path}: snapshot at uptime "
+          f"{doc.get('uptime_seconds', 0.0):.2f}s, "
+          f"{doc.get('completed', 0)} completed")
+
+
 def check_chrome_trace(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
@@ -367,6 +514,18 @@ def main():
                         action="append", default=[],
                         help="volcal_serve / volcal_load artifact whose "
                              "'serve' block is mandatory (repeatable)")
+    parser.add_argument("--stats-jsonl", dest="stats_jsonl",
+                        help="volcal_serve --stats-log JSONL (periodic live "
+                             "snapshots; counters must be monotone)")
+    parser.add_argument("--stats-snapshot", dest="stats_snapshot",
+                        action="append", default=[],
+                        help="single mid-load stats snapshot, e.g. captured "
+                             "volcal_top --once --raw output (repeatable)")
+    parser.add_argument("--against-serve", dest="against_serve",
+                        help="volcal_serve artifact to reconcile "
+                             "--stats-jsonl / --stats-snapshot against: "
+                             "snapshots never exceed its serve totals and "
+                             "the final JSONL line equals them")
     parser.add_argument("--bench-family", dest="bench_family",
                         action="append", default=[],
                         help="volcal_bench BENCH_<family>.json (repeatable)")
@@ -378,7 +537,8 @@ def main():
                              "spent wall time in this phase (repeatable)")
     opts = parser.parse_args()
     if not any([opts.json, opts.metrics, opts.trace, opts.chrome_trace,
-                opts.bench_family, opts.bench_summary, opts.serve_report]):
+                opts.bench_family, opts.bench_summary, opts.serve_report,
+                opts.stats_jsonl, opts.stats_snapshot]):
         parser.error("give at least one artifact to check")
     if opts.json:
         check_bench_json(opts.json)
@@ -390,6 +550,10 @@ def main():
         check_trace_jsonl(opts.trace)
     if opts.chrome_trace:
         check_chrome_trace(opts.chrome_trace)
+    if opts.stats_jsonl:
+        check_stats_jsonl(opts.stats_jsonl, against=opts.against_serve)
+    for path in opts.stats_snapshot:
+        check_stats_snapshot(path, against=opts.against_serve)
     for path in opts.bench_family:
         check_bench_family(path, expect_phases=opts.expect_phase)
     if opts.bench_summary:

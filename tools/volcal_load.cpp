@@ -7,7 +7,12 @@
 //
 // Open loop: requests are sent on a fixed schedule (--rate) regardless of
 // response progress, so an overloaded server sheds instead of silently
-// slowing the generator down — shed responses are counted, not retried.
+// slowing the generator down.  Shed responses are accounted separately from
+// query latency — their round-trips get their own summary (shed_* artifact
+// fields), so the query percentiles measure served work only.  With
+// --retry-sheds each shed request is replayed once after honoring the
+// server's advertised retry_after_ms, and the artifact records how many
+// retries actually waited the full backoff ("retries" / "retry_compliant").
 //
 // --verify FILE loads the same snapshot the server is serving, labels every
 // node offline with the per-start engine (run_at_all_nodes), and fails
@@ -17,7 +22,7 @@
 //
 // Usage: volcal_load --socket PATH [--requests N] [--connections C]
 //                    [--rate QPS] [--zipf THETA] [--seed S] [--nodes N]
-//                    [--verify FILE] [--artifact FILE]
+//                    [--retry-sheds] [--verify FILE] [--artifact FILE]
 #include <signal.h>
 
 #include <chrono>
@@ -74,7 +79,10 @@ struct ConnectionTally {
   std::int64_t shed = 0;
   std::int64_t invalid = 0;
   std::int64_t mismatches = 0;
-  std::vector<std::int64_t> latencies_ns;
+  std::int64_t retries = 0;          // shed requests replayed (--retry-sheds)
+  std::int64_t retry_compliant = 0;  // replays that waited >= retry_after_ms
+  std::vector<std::int64_t> latencies_ns;       // served results only
+  std::vector<std::int64_t> shed_latencies_ns;  // shed round-trips, separately
 };
 
 struct LoadPlan {
@@ -85,7 +93,16 @@ struct LoadPlan {
   double zipf = 0.99;
   std::uint64_t seed = 7;
   std::int64_t nodes = 0;
+  bool retry_sheds = false;
   const std::vector<int>* expected = nullptr;  // offline labels, when verifying
+};
+
+// One shed response eligible for replay: the node, the advertised backoff,
+// and when the shed arrived (compliance = replay waited >= the backoff).
+struct ShedRetry {
+  std::int64_t node = 0;
+  std::uint32_t retry_after_ms = 0;
+  std::chrono::steady_clock::time_point shed_at;
 };
 
 // One connection: a sender on this thread, a receiver on a helper thread.
@@ -107,6 +124,7 @@ bool run_connection(const LoadPlan& plan, int conn_index, ConnectionTally* tally
   std::mutex inflight_mu;
   std::unordered_map<std::uint64_t, std::chrono::steady_clock::time_point> inflight;
   std::unordered_map<std::uint64_t, std::int64_t> node_of;
+  std::vector<ShedRetry> retry_queue;  // filled by the receiver under inflight_mu
 
   bool receiver_ok = true;
   std::thread receiver([&] {
@@ -141,14 +159,25 @@ bool run_connection(const LoadPlan& plan, int conn_index, ConnectionTally* tally
         node_of.erase(id);
       }
       ++answered;
+      const auto received_at = std::chrono::steady_clock::now();
       if (frame.type == serve::FrameType::Shed) {
         ++tally->shed;
+        // Shed round-trips are timed into their own series — never into the
+        // query latency summary.
+        tally->shed_latencies_ns.push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(received_at -
+                                                                 sent_at)
+                .count());
+        if (plan.retry_sheds && frame.shed.retry_after_ms > 0) {
+          std::lock_guard lock(inflight_mu);
+          retry_queue.push_back({node, frame.shed.retry_after_ms, received_at});
+        }
         continue;
       }
       ++tally->results;
       tally->latencies_ns.push_back(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - sent_at)
+          std::chrono::duration_cast<std::chrono::nanoseconds>(received_at -
+                                                               sent_at)
               .count());
       if (frame.result.status != serve::QueryStatus::Ok) {
         ++tally->invalid;
@@ -199,12 +228,75 @@ bool run_connection(const LoadPlan& plan, int conn_index, ConnectionTally* tally
   }
   if (!sender_ok) client.close();  // unblocks the receiver via EOF
   receiver.join();
+
+  // Replay phase (--retry-sheds): after the open-loop window every shed
+  // request is re-sent exactly once, honoring the advertised backoff.
+  // Synchronous — one request in flight — so it cannot perturb what the
+  // open-loop phase measured.
+  if (sender_ok && receiver_ok && plan.retry_sheds && !retry_queue.empty()) {
+    std::uint64_t retry_seq = 0;
+    serve::Frame frame;
+    for (const ShedRetry& r : retry_queue) {
+      std::this_thread::sleep_until(r.shed_at +
+                                    std::chrono::milliseconds(r.retry_after_ms));
+      ++tally->retries;
+      if (std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - r.shed_at)
+              .count() >= static_cast<std::int64_t>(r.retry_after_ms)) {
+        ++tally->retry_compliant;
+      }
+      const std::uint64_t id = (static_cast<std::uint64_t>(conn_index) << 48) |
+                               (std::uint64_t{1} << 40) | retry_seq++;
+      const auto sent_at = std::chrono::steady_clock::now();
+      if (!client.send_query(id, r.node)) {
+        sender_ok = false;
+        break;
+      }
+      ++tally->sent;
+      bool got = false;
+      while (client.recv_frame(&frame)) {
+        const auto received_at = std::chrono::steady_clock::now();
+        const auto rtt_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                received_at - sent_at)
+                                .count();
+        if (frame.type == serve::FrameType::Result &&
+            frame.result.request_id == id) {
+          ++tally->results;
+          tally->latencies_ns.push_back(rtt_ns);
+          if (frame.result.status != serve::QueryStatus::Ok) {
+            ++tally->invalid;
+          } else if (plan.expected != nullptr &&
+                     (r.node >= static_cast<std::int64_t>(plan.expected->size()) ||
+                      frame.result.label !=
+                          (*plan.expected)[static_cast<std::size_t>(r.node)])) {
+            ++tally->mismatches;
+          }
+          got = true;
+          break;
+        }
+        if (frame.type == serve::FrameType::Shed && frame.shed.request_id == id) {
+          // Shed again: count it, replay only once.
+          ++tally->shed;
+          tally->shed_latencies_ns.push_back(rtt_ns);
+          got = true;
+          break;
+        }
+        // Bye or stray frame between replays: keep reading.
+      }
+      if (!got) {
+        receiver_ok = false;
+        break;
+      }
+    }
+  }
+
   client.close();
   return sender_ok && receiver_ok;
 }
 
 bool write_artifact(const std::string& path, const ConnectionTally& total,
-                    const stats::Summary& latency, double wall_seconds) {
+                    const stats::Summary& latency,
+                    const stats::Summary& shed_latency, double wall_seconds) {
   perf::BenchArtifact artifact;
   artifact.kind = "bench-report";
   artifact.tool = "volcal_load";
@@ -227,6 +319,12 @@ bool write_artifact(const std::string& path, const ConnectionTally& total,
   serve_block.wall_seconds = wall_seconds;
   serve_block.qps =
       wall_seconds > 0.0 ? static_cast<double>(total.results) / wall_seconds : 0.0;
+  serve_block.shed_latency_samples = static_cast<std::int64_t>(shed_latency.count);
+  serve_block.shed_p50_ns = shed_latency.median;
+  serve_block.shed_p95_ns = shed_latency.p95;
+  serve_block.shed_p99_ns = shed_latency.p99;
+  serve_block.retries = total.retries;
+  serve_block.retry_compliant = total.retry_compliant;
   artifact.serve = serve_block;
 
   perf::ArtifactCurve curve;
@@ -267,6 +365,8 @@ int run(int argc, char** argv) {
       plan.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value_of("--nodes")) {
       plan.nodes = std::atoll(v);
+    } else if (std::strcmp(argv[i], "--retry-sheds") == 0) {
+      plan.retry_sheds = true;
     } else if (const char* v = value_of("--verify")) {
       verify_path = v;
     } else if (const char* v = value_of("--artifact")) {
@@ -281,6 +381,7 @@ int run(int argc, char** argv) {
           "  --zipf <theta>     Zipf exponent, 0 = uniform [0.99]\n"
           "  --seed <s>         traffic seed [7]\n"
           "  --nodes <n>        node universe (required unless --verify)\n"
+          "  --retry-sheds      replay each shed once after its retry-after\n"
           "  --verify <f>       offline-label this snapshot and compare every\n"
           "                     response bit-for-bit\n"
           "  --artifact <f>     write the client-side perf artifact\n");
@@ -337,17 +438,23 @@ int run(int argc, char** argv) {
 
   ConnectionTally total;
   std::vector<double> latencies;
+  std::vector<double> shed_latencies;
   for (const ConnectionTally& t : tallies) {
     total.sent += t.sent;
     total.results += t.results;
     total.shed += t.shed;
     total.invalid += t.invalid;
     total.mismatches += t.mismatches;
+    total.retries += t.retries;
+    total.retry_compliant += t.retry_compliant;
     total.latencies_ns.insert(total.latencies_ns.end(), t.latencies_ns.begin(),
                               t.latencies_ns.end());
+    shed_latencies.insert(shed_latencies.end(), t.shed_latencies_ns.begin(),
+                          t.shed_latencies_ns.end());
   }
   latencies.assign(total.latencies_ns.begin(), total.latencies_ns.end());
   const stats::Summary latency = stats::summarize(std::move(latencies));
+  const stats::Summary shed_latency = stats::summarize(std::move(shed_latencies));
 
   std::printf(
       "volcal_load: sent %lld, results %lld, shed %lld, invalid %lld in %.3f s "
@@ -358,6 +465,14 @@ int run(int argc, char** argv) {
       wall_seconds > 0 ? static_cast<double>(total.results) / wall_seconds : 0.0);
   std::printf("volcal_load: latency p50 %.0f ns, p95 %.0f ns, p99 %.0f ns (%zu samples)\n",
               latency.median, latency.p95, latency.p99, latency.count);
+  if (shed_latency.count > 0) {
+    std::printf(
+        "volcal_load: shed round-trips p50 %.0f ns, p99 %.0f ns (%zu samples)"
+        "; retries %lld (%lld honored retry-after)\n",
+        shed_latency.median, shed_latency.p99, shed_latency.count,
+        static_cast<long long>(total.retries),
+        static_cast<long long>(total.retry_compliant));
+  }
   if (plan.expected != nullptr) {
     std::printf("volcal_load: verify %s — %lld mismatch(es) across %lld result(s)\n",
                 total.mismatches == 0 ? "OK" : "FAILED",
@@ -366,7 +481,7 @@ int run(int argc, char** argv) {
   }
 
   if (!artifact_path.empty() &&
-      !write_artifact(artifact_path, total, latency, wall_seconds)) {
+      !write_artifact(artifact_path, total, latency, shed_latency, wall_seconds)) {
     return 1;
   }
   for (const char c : ok) {

@@ -21,16 +21,30 @@
 //                     --socket PATH [--threads N] [--queue N] [--batch N]
 //                     [--cache off|shared] [--cache-mb N]
 //                     [--retry-after-ms N] [--artifact FILE]
+//                     [--stats-interval SEC] [--stats-log FILE]
+//                     [--stats-window SEC] [--trace-serve FILE]
+//                     [--slow-ms MS] [--slow-log FILE]
 //
 // The artifact (--artifact) is a schema-v2 bench-report with the "serve"
 // block: accepted/completed/shed counters, nearest-rank p50/p95/p99 latency,
 // sustained QPS, and the shared cache's hit counters —
 // tools/check_artifacts.py --serve-report validates it in CI.
+//
+// Live observability: --stats-interval writes the service's stats_json()
+// snapshot as one JSONL line per tick (to --stats-log, else stdout) plus one
+// final line after the drain — so the log's last line reconciles exactly
+// with the artifact's end-of-run totals (check_artifacts.py --stats-jsonl
+// asserts counters are monotone across lines and percentiles are ordered
+// within each).  The same snapshot answers the protocol's Stats frame at any
+// moment (tools/volcal_top polls it).  --trace-serve collects per-request
+// spans and exports a Chrome trace on drain; --slow-ms enables the bounded
+// slow-query log (written as JSONL by --slow-log).
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -129,6 +143,10 @@ int run(int argc, char** argv) {
   std::string family;
   std::string socket_path;
   std::string artifact_path;
+  std::string stats_log_path;
+  std::string trace_path;
+  std::string slow_log_path;
+  double stats_interval_s = 0.0;  // 0 disables the periodic export
   NodeIndex n = 4096;
   std::uint64_t seed = 7;
   serve::ServeConfig config;
@@ -170,6 +188,19 @@ int run(int argc, char** argv) {
       }
     } else if (const char* v = value_of("--cache-mb")) {
       config.cache.byte_budget = static_cast<std::size_t>(std::atoll(v)) << 20;
+    } else if (const char* v = value_of("--stats-interval")) {
+      stats_interval_s = std::atof(v);
+    } else if (const char* v = value_of("--stats-log")) {
+      stats_log_path = v;
+    } else if (const char* v = value_of("--stats-window")) {
+      config.stats_window_seconds = std::atof(v);
+    } else if (const char* v = value_of("--trace-serve")) {
+      trace_path = v;
+    } else if (const char* v = value_of("--slow-ms")) {
+      config.slow_threshold_ns =
+          static_cast<std::int64_t>(std::atof(v) * 1e6);
+    } else if (const char* v = value_of("--slow-log")) {
+      slow_log_path = v;
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "volcal_serve — per-node label query service over a loaded instance\n\n"
@@ -184,7 +215,13 @@ int run(int argc, char** argv) {
           "  --retry-after-ms <n> shed backoff hint [50]\n"
           "  --cache <p>          off | shared [shared]\n"
           "  --cache-mb <n>       ball-cache budget in MiB [256]\n"
-          "  --artifact <f>       write the serve perf artifact on drain\n");
+          "  --artifact <f>       write the serve perf artifact on drain\n"
+          "  --stats-interval <s> write a stats JSONL line every s seconds\n"
+          "  --stats-log <f>      periodic stats destination [stdout]\n"
+          "  --stats-window <s>   sliding window for windowed percentiles [10]\n"
+          "  --trace-serve <f>    collect request spans, write Chrome trace on drain\n"
+          "  --slow-ms <ms>       slow-query threshold (enables the slow log)\n"
+          "  --slow-log <f>       write the slow-query JSONL on drain\n");
       return 0;
     } else {
       std::fprintf(stderr, "volcal_serve: unknown argument '%s' (try --help)\n", argv[i]);
@@ -224,9 +261,32 @@ int run(int argc, char** argv) {
   ::sigaction(SIGHUP, &sa, nullptr);
   ::signal(SIGPIPE, SIG_IGN);  // dead clients surface as write errors
 
+  // The tracer must outlive the service (workers record spans until drain).
+  std::unique_ptr<serve::ServeTracer> tracer;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<serve::ServeTracer>();
+    config.tracer = tracer.get();
+  }
+
   serve::QueryService service(std::move(target), config);
   serve::SocketServer server;
   if (!server.start(service, socket_path)) return 1;
+
+  std::FILE* stats_file = stdout;
+  if (stats_interval_s > 0.0 && !stats_log_path.empty()) {
+    stats_file = std::fopen(stats_log_path.c_str(), "w");
+    if (stats_file == nullptr) {
+      std::fprintf(stderr, "volcal_serve: cannot open %s for writing\n",
+                   stats_log_path.c_str());
+      return 1;
+    }
+  }
+  auto emit_stats_line = [&] {
+    const std::string line = service.stats_json();
+    std::fwrite(line.data(), 1, line.size(), stats_file);
+    std::fputc('\n', stats_file);
+    std::fflush(stats_file);
+  };
   std::printf("volcal_serve: serving %s (n=%lld) on %s, %d thread(s)\n",
               snapshot_path.empty() ? family.c_str() : snapshot_path.c_str(),
               static_cast<long long>(service.node_count()), socket_path.c_str(),
@@ -234,10 +294,30 @@ int run(int argc, char** argv) {
   std::fflush(stdout);
 
   const auto serve_begin = std::chrono::steady_clock::now();
+  auto next_stats = serve_begin + std::chrono::duration_cast<
+                                      std::chrono::steady_clock::duration>(
+                                      std::chrono::duration<double>(
+                                          stats_interval_s > 0.0 ? stats_interval_s
+                                                                 : 0.0));
   while (true) {
+    int timeout_ms = -1;
+    if (stats_interval_s > 0.0) {
+      const auto until = next_stats - std::chrono::steady_clock::now();
+      timeout_ms = std::max(
+          0, static_cast<int>(
+                 std::chrono::duration_cast<std::chrono::milliseconds>(until)
+                     .count()));
+    }
     pollfd pfd{g_signal_pipe[0], POLLIN, 0};
-    const int rc = ::poll(&pfd, 1, -1);
+    const int rc = ::poll(&pfd, 1, timeout_ms);
     if (rc < 0 && errno != EINTR) break;
+    if (stats_interval_s > 0.0 &&
+        std::chrono::steady_clock::now() >= next_stats) {
+      emit_stats_line();
+      next_stats += std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(stats_interval_s));
+    }
     char drain_buf[64];
     while (::read(g_signal_pipe[0], drain_buf, sizeof drain_buf) > 0) {
     }
@@ -268,6 +348,31 @@ int run(int argc, char** argv) {
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - serve_begin)
           .count();
+
+  if (stats_interval_s > 0.0) {
+    // One final post-drain line: the log's last snapshot equals the
+    // artifact's end-of-run totals exactly (everything accepted has
+    // completed, the queue is empty).
+    emit_stats_line();
+  }
+  if (stats_file != stdout && stats_file != nullptr) std::fclose(stats_file);
+
+  if (tracer) {
+    const std::vector<serve::RequestSpan> spans = tracer->spans();
+    if (serve::write_serve_chrome_trace(trace_path, spans)) {
+      std::printf("volcal_serve: wrote %zu request spans to %s%s\n", spans.size(),
+                  trace_path.c_str(),
+                  tracer->dropped() > 0 ? " (capacity hit; newest spans dropped)"
+                                        : "");
+    }
+  }
+  if (!slow_log_path.empty()) {
+    const std::vector<serve::SlowQuery> slow = service.slow_queries();
+    if (serve::write_slow_query_log(slow_log_path, slow)) {
+      std::printf("volcal_serve: wrote %zu slow-query records to %s\n",
+                  slow.size(), slow_log_path.c_str());
+    }
+  }
 
   const serve::ServeCounters counters = service.counters();
   const stats::Summary latency = service.latency_summary();
