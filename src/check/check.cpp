@@ -13,12 +13,15 @@
 #include <unistd.h>
 
 #include "bench_util.hpp"
+#include "graph/mutation.hpp"
 #include "io/instance_io.hpp"
 #include "lcl/registry.hpp"
 #include "obs/replay.hpp"
 #include "obs/trace.hpp"
+#include "runtime/batched_execution.hpp"
 #include "runtime/parallel_runner.hpp"
 #include "runtime/reference_execution.hpp"
+#include "runtime/view_cache.hpp"
 #include "stats/growth.hpp"
 
 namespace volcal::check {
@@ -320,7 +323,9 @@ std::string describe(const FuzzCase& c) {
   os << "family=" << c.family << " variant=" << c.variant << " n_target=" << c.n_target
      << " instance_seed=" << c.instance_seed << " model=" << model_name(c.model)
      << " budget=" << c.budget << " start_count=" << c.start_count
-     << " tape_seed=" << c.tape_seed;
+     << " tape_seed=" << c.tape_seed << " mutation_seed=" << c.mutation_seed
+     << " mutation_rewires=" << c.mutation_rewires
+     << " mutation_labels=" << c.mutation_labels;
   return os.str();
 }
 
@@ -679,6 +684,218 @@ CheckResult check_snapshot_case(const FuzzCase& c) {
                   std::to_string(verdict.violations) + " violations, first at node " +
                   std::to_string(verdict.first_bad) + ")");
     }
+  }
+  return {};
+}
+
+CheckResult check_mutation_case(const FuzzCase& c) {
+  const RegistryEntry* entry = ProblemRegistry::global().find(c.family);
+  if (entry == nullptr) return fail("unknown registry family: " + c.family);
+  if (c.variant < 0 || c.variant >= entry->variants) {
+    return fail("variant " + std::to_string(c.variant) + " out of range for " + c.family);
+  }
+  if (c.mutation_rewires < 0 || c.mutation_labels < 0) {
+    return fail("mutation: negative batch size in case");
+  }
+  const ErasedInstance inst = entry->make_variant(c.n_target, c.instance_seed, c.variant);
+  const NodeIndex n = inst.node_count();
+  if (n <= 0) return fail("generator produced an empty instance");
+  const GraphView g0 = inst.graph();
+
+  // Pre-mutation CSR copies — the copy-on-write contract says the old
+  // instance's storage is untouched by everything below.
+  const std::vector<std::size_t> offsets_before(
+      g0.offsets_data(), g0.offsets_data() + static_cast<std::size_t>(n + 1));
+  const std::vector<NodeIndex> adjacency_before(
+      g0.adjacency_data(),
+      g0.adjacency_data() + static_cast<std::size_t>(2 * g0.edge_count()));
+
+  const MutationBatch batch =
+      inst.propose_mutation(c.mutation_seed, c.mutation_rewires, c.mutation_labels);
+  std::vector<NodeIndex> touched;
+  const ErasedInstance mut = [&] {
+    std::vector<NodeIndex> t;
+    ErasedInstance m = inst.mutated(batch, &t);
+    touched = std::move(t);
+    return m;
+  }();
+  const ErasedInstance naive = inst.mutated_naive(batch);
+
+  // --- representation differential: fast CSR path vs Builder rebuild -------
+  const GraphView gm = mut.graph();
+  const GraphView gn = naive.graph();
+  if (mut.node_count() != n || naive.node_count() != n) {
+    return fail("mutation: node count changed by a leaf rewire");
+  }
+  if (gm.max_degree() != gn.max_degree() || gm.edge_count() != gn.edge_count()) {
+    return fail("mutation: fast and naive paths disagree on graph shape");
+  }
+  if (std::memcmp(gm.offsets_data(), gn.offsets_data(),
+                  sizeof(std::size_t) * static_cast<std::size_t>(n + 1)) != 0) {
+    return fail("mutation: fast and naive CSR offsets are not bit-identical");
+  }
+  if (gm.edge_count() > 0 &&
+      std::memcmp(gm.adjacency_data(), gn.adjacency_data(),
+                  sizeof(NodeIndex) * static_cast<std::size_t>(2 * gm.edge_count())) != 0) {
+    return fail("mutation: fast and naive CSR adjacency is not bit-identical");
+  }
+
+  // --- identity and touched-set contracts ----------------------------------
+  if (gm.storage_identity() == kAnonymousStorage ||
+      gn.storage_identity() == kAnonymousStorage ||
+      gm.storage_identity() == g0.storage_identity() ||
+      gn.storage_identity() == g0.storage_identity() ||
+      gm.storage_identity() == gn.storage_identity()) {
+    return fail("mutation: mutated instances must own fresh storage tokens");
+  }
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    if (touched[i] < 0 || touched[i] >= n) return fail("mutation: touched node out of range");
+    if (i > 0 && touched[i] <= touched[i - 1]) {
+      return fail("mutation: touched set not sorted/deduplicated");
+    }
+  }
+  if (batch.rewires.empty() && !touched.empty()) {
+    return fail("mutation: label-only batch reported structural endpoints");
+  }
+  for (const LeafRewire& r : batch.rewires) {
+    if (!std::binary_search(touched.begin(), touched.end(), r.leaf) ||
+        !std::binary_search(touched.begin(), touched.end(), r.new_parent)) {
+      return fail("mutation: rewire endpoint missing from the touched set");
+    }
+  }
+  for (NodeIndex v = 0; v < n; ++v) {
+    if (mut.ids().id_of(v) != inst.ids().id_of(v)) {
+      return fail("mutation: ID table changed at node " + std::to_string(v));
+    }
+  }
+
+  // --- sweep differential: mutated vs naive-rebuilt, both backends, every
+  // cache policy, 1 and 8 threads --------------------------------------------
+  const std::vector<NodeIndex> starts = case_starts(c, n);
+  const std::span<const NodeIndex> span(starts);
+  auto solve_mut = [&](auto& exec) { return mut.solve(exec); };
+  auto solve_naive = [&](auto& exec) { return naive.solve(exec); };
+  auto config = [](CachePolicy p) {
+    CacheConfig cfg;
+    cfg.policy = p;
+    return cfg;
+  };
+  const auto base_mut = ParallelRunner(1, config(CachePolicy::Off))
+                            .run_at(gm, mut.ids(), span, solve_mut, c.budget);
+  const auto base_naive = ParallelRunner(1, config(CachePolicy::Off))
+                              .run_at(gn, naive.ids(), span, solve_naive, c.budget);
+  if (base_mut.output != base_naive.output) {
+    return fail("mutation: mutate-then-query diverges from rebuild-then-query");
+  }
+  if (base_mut.volume != base_naive.volume || base_mut.distance != base_naive.distance ||
+      base_mut.queries != base_naive.queries ||
+      !same_costs(base_mut.stats, base_naive.stats)) {
+    return fail("mutation: mutate-then-query costs diverge from rebuild-then-query");
+  }
+  for (const CachePolicy policy :
+       {CachePolicy::Off, CachePolicy::PerStart, CachePolicy::Shared}) {
+    for (const int threads : {1, 8}) {
+      ParallelRunner runner(threads, config(policy));
+      runner.set_backend(ExecBackend::Batched);
+      const auto run =
+          runner.run_planned(gm, mut.ids(), span, entry->plan, solve_mut, c.budget);
+      const std::string where = std::string(cache_policy_name(policy)) + " at " +
+                                std::to_string(threads) + " thread(s)";
+      if (base_mut.output != run.output) {
+        return fail("mutation: planned-backend outputs diverge under " + where);
+      }
+      if (base_mut.volume != run.volume || base_mut.distance != run.distance ||
+          base_mut.queries != run.queries || !same_costs(base_mut.stats, run.stats)) {
+        return fail("mutation: planned-backend costs diverge under " + where);
+      }
+    }
+  }
+
+  // --- warm cache + region invalidation: retained entries must serve the
+  // new graph bit-identically to cold recomputation -------------------------
+  const std::int64_t radius = entry->plan.batchable() ? entry->plan.radius : 64;
+  ViewCache cache(config(CachePolicy::Shared));
+  cache.bind(g0);
+  ExecutionScratch scratch;
+  if (entry->plan.batchable()) {
+    BatchedBallExecutor warm;
+    warm.bind(g0);
+    NodeIndex centers[BatchedBallExecutor::kMaxBatch];
+    for (NodeIndex at = 0; at < n;) {
+      int b = 0;
+      for (; b < BatchedBallExecutor::kMaxBatch && at < n; ++b, ++at) centers[b] = at;
+      warm.run({centers, static_cast<std::size_t>(b)}, radius);
+      for (int s = 0; s < b; ++s) {
+        cache.store(centers[s], warm.take_ball(s), cache.epoch(), g0.storage_identity());
+      }
+    }
+  } else {
+    for (NodeIndex v = 0; v < n; ++v) {
+      Execution e(g0, inst.ids(), v, 0, scratch);
+      e.attach_view_cache(&cache);
+      (void)inst.solve(e);
+    }
+  }
+  const std::size_t warm_entries = cache.entry_count();
+  const auto inv =
+      cache.invalidate_region(g0, touched, radius, gm.storage_identity());
+  if (inv.fell_back_to_flush) {
+    return fail("mutation: invalidate_region fell back to the full flush");
+  }
+  if (inv.evicted + inv.retained != warm_entries) {
+    return fail("mutation: invalidate_region accounting does not cover the warm set");
+  }
+  if (touched.empty() && inv.evicted != 0) {
+    return fail("mutation: label-only batch evicted cached balls");
+  }
+  if (entry->plan.batchable()) {
+    BatchedBallExecutor cold;
+    cold.bind(gm);
+    std::size_t hits = 0;
+    NodeIndex center[1];
+    for (NodeIndex v = 0; v < n; ++v) {
+      center[0] = v;
+      cold.run({center, 1}, radius);
+      BallCosts costs;
+      if (!cache.serve_costs(gm, v, radius, &costs)) continue;
+      ++hits;
+      if (costs.volume != cold.volume(0) || costs.distance != cold.distance(0) ||
+          costs.queries != cold.queries(0)) {
+        return fail(
+            "mutation: a ball retained across invalidate_region serves stale costs "
+            "at node " +
+            std::to_string(v));
+      }
+    }
+    if (hits != inv.retained) {
+      return fail("mutation: " + std::to_string(inv.retained) +
+                  " retained full-depth balls but " + std::to_string(hits) +
+                  " post-mutation cache hits");
+    }
+  } else {
+    for (NodeIndex v = 0; v < n; ++v) {
+      Execution cold(gm, mut.ids(), v, 0, scratch);
+      const int cold_label = mut.solve(cold);
+      Execution warm_exec(gm, mut.ids(), v, 0, scratch);
+      warm_exec.attach_view_cache(&cache);
+      const int warm_label = mut.solve(warm_exec);
+      if (cold_label != warm_label || cold.volume() != warm_exec.volume() ||
+          cold.distance() != warm_exec.distance() ||
+          cold.query_count() != warm_exec.query_count()) {
+        return fail(
+            "mutation: region-invalidated cache diverges from cold execution at node " +
+            std::to_string(v));
+      }
+    }
+  }
+
+  // --- copy-on-write: the pre-mutation instance is byte-identical ----------
+  if (std::memcmp(g0.offsets_data(), offsets_before.data(),
+                  sizeof(std::size_t) * offsets_before.size()) != 0 ||
+      (!adjacency_before.empty() &&
+       std::memcmp(g0.adjacency_data(), adjacency_before.data(),
+                   sizeof(NodeIndex) * adjacency_before.size()) != 0)) {
+    return fail("mutation: the pre-mutation instance's CSR storage was modified");
   }
   return {};
 }

@@ -51,6 +51,11 @@ struct FuzzCase {
   std::int64_t budget = 0;                         // query budget, 0 = unlimited
   NodeIndex start_count = 0;                       // sampled starts, 0 = every node
   std::uint64_t tape_seed = 1;                     // RandomTape seed
+  // Mutation-differential knobs (consumed by check_mutation_case only): the
+  // seed and size of the MutationBatch propose_mutation draws for the case.
+  std::uint64_t mutation_seed = 1;
+  int mutation_rewires = 2;                        // leaf rewires requested
+  int mutation_labels = 2;                         // label updates requested
 
   friend bool operator==(const FuzzCase&, const FuzzCase&) = default;
 };
@@ -90,6 +95,19 @@ CheckResult check_backend_case(const FuzzCase& c);
 // loaded instance's whole-graph output must pass the family's verifier.
 // Run by the driver when --snapshot is set.
 CheckResult check_snapshot_case(const FuzzCase& c);
+
+// Dynamic-graph differential (graph/mutation.hpp + ViewCache::
+// invalidate_region): draws a deterministic MutationBatch for the case's
+// instance and asserts mutate-then-query equals rebuild-from-scratch-then-
+// query — the CSR fast path and the Builder-based naive path produce
+// byte-identical graphs, the mutated instance sweeps bit-identically to the
+// naive rebuild on the Basic and Batched backends under every cache policy
+// at 1 and 8 threads, the pre-mutation instance is untouched (copy-on-
+// write), and a Shared cache warmed on the old graph then region-invalidated
+// serves post-mutation queries bit-identical to cold recomputation, with
+// eviction/retention accounting exact.  Run by the driver when --mutate is
+// set.
+CheckResult check_mutation_case(const FuzzCase& c);
 
 // Model <-> name, shared by the reproducer format and the driver's output.
 const char* model_name(RandomnessModel m);

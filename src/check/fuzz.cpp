@@ -24,6 +24,9 @@ enum Field : std::uint64_t {
   kStartCoin,
   kStartCount,
   kTapeSeed,
+  kMutationSeed,
+  kMutationRewires,
+  kMutationLabels,
 };
 
 std::uint64_t draw(std::uint64_t seed, std::uint64_t iter, Field field) {
@@ -71,6 +74,12 @@ FuzzCase generate_case(std::uint64_t seed, std::uint64_t iter, const std::string
                       ? 0
                       : 1 + static_cast<NodeIndex>(draw(seed, iter, kStartCount) % 32);
   c.tape_seed = draw(seed, iter, kTapeSeed);
+  // Mutation batches stay small — the differential is about correctness of
+  // the delta path, not bulk churn — but cover the label-only (rewires may
+  // still be dropped to 0 by shrinking) and structural shapes.
+  c.mutation_seed = draw(seed, iter, kMutationSeed);
+  c.mutation_rewires = 1 + static_cast<int>(draw(seed, iter, kMutationRewires) % 3);
+  c.mutation_labels = static_cast<int>(draw(seed, iter, kMutationLabels) % 4);
   return c;
 }
 
@@ -131,6 +140,22 @@ FuzzCase shrink_case(FuzzCase c,
         changed = true;
       }
     }
+    if (c.mutation_labels > 0) {
+      FuzzCase candidate = c;
+      candidate.mutation_labels = 0;
+      if (still_fails(candidate)) {
+        c = candidate;
+        changed = true;
+      }
+    }
+    if (c.mutation_rewires > 1) {
+      FuzzCase candidate = c;
+      candidate.mutation_rewires = 1;
+      if (still_fails(candidate)) {
+        c = candidate;
+        changed = true;
+      }
+    }
   }
   return c;
 }
@@ -144,15 +169,16 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     report.failures.push_back(std::move(f));
     return report;
   }
-  // With --cache / --backend / --snapshot every case additionally runs the
-  // cache-policy / execution-backend / snapshot round-trip differential;
-  // shrinking uses the same combined predicate so minimized cases still fail
-  // for the reported reason.
+  // With --cache / --backend / --snapshot / --mutate every case additionally
+  // runs the cache-policy / execution-backend / snapshot round-trip /
+  // dynamic-graph differential; shrinking uses the same combined predicate so
+  // minimized cases still fail for the reported reason.
   const auto predicate = [&opts](const FuzzCase& candidate) -> CheckResult {
     CheckResult r = check_case(candidate);
     if (r.ok && opts.cache) r = check_cache_case(candidate);
     if (r.ok && opts.backend) r = check_backend_case(candidate);
     if (r.ok && opts.snapshot) r = check_snapshot_case(candidate);
+    if (r.ok && opts.mutate) r = check_mutation_case(candidate);
     return r;
   };
   for (int iter = 0; iter < opts.iters; ++iter) {

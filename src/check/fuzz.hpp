@@ -37,6 +37,7 @@ struct FuzzOptions {
   bool cache = false;         // also run check_cache_case on every case
   bool backend = false;       // also run check_backend_case on every case
   bool snapshot = false;      // also run check_snapshot_case on every case
+  bool mutate = false;        // also run check_mutation_case on every case
 };
 
 // The deterministic case for iteration `iter` of run `seed`.  `family_index`

@@ -27,6 +27,9 @@ std::string to_repro(const FuzzCase& c, const std::string& error) {
   os << "budget " << c.budget << "\n";
   os << "start_count " << c.start_count << "\n";
   os << "tape_seed " << c.tape_seed << "\n";
+  os << "mutation_seed " << c.mutation_seed << "\n";
+  os << "mutation_rewires " << c.mutation_rewires << "\n";
+  os << "mutation_labels " << c.mutation_labels << "\n";
   if (!error.empty()) {
     // The error is one line by construction (check_case emits single-line
     // messages); flatten defensively so the file stays parseable.
@@ -74,6 +77,12 @@ bool parse_repro(const std::string& text, FuzzCase* out, std::string* error_out,
         c.start_count = static_cast<NodeIndex>(std::stoll(value));
       } else if (key == "tape_seed") {
         c.tape_seed = std::stoull(value);
+      } else if (key == "mutation_seed") {
+        c.mutation_seed = std::stoull(value);
+      } else if (key == "mutation_rewires") {
+        c.mutation_rewires = std::stoi(value);
+      } else if (key == "mutation_labels") {
+        c.mutation_labels = std::stoi(value);
       } else if (key == "error") {
         if (error_out != nullptr) *error_out = value;
       }  // unknown keys: forward compatibility

@@ -52,6 +52,26 @@ class Graph {
   Graph(Graph&&) = default;
   Graph& operator=(Graph&&) = default;
 
+  // Wrap already-laid-out CSR arrays in an owning Graph.  `offsets` must have
+  // n+1 entries with offsets[0] == 0, monotone, offsets[n] == adjacency.size();
+  // adjacency holds each node's neighbors in port order.  The port-bijectivity
+  // invariant is the caller's responsibility (Builder::build validates it; the
+  // mutation fast path in graph/mutation.cpp maintains it edit-by-edit and is
+  // cross-checked against the Builder path by check_mutation_case).  A fresh
+  // StorageToken is minted: the result is a *different* cache identity from
+  // whatever the arrays were derived from.
+  static Graph from_csr(std::vector<std::size_t> offsets, std::vector<NodeIndex> adjacency,
+                        int max_degree) {
+    if (offsets.empty() || offsets.front() != 0 || offsets.back() != adjacency.size()) {
+      throw std::invalid_argument("Graph::from_csr: malformed offsets array");
+    }
+    Graph g;
+    g.offsets_ = std::move(offsets);
+    g.adjacency_ = std::move(adjacency);
+    g.max_degree_ = max_degree;
+    return g;
+  }
+
   // Borrow externally owned CSR storage (e.g. an mmap-ed snapshot section).
   // The caller must keep that storage alive and unmodified for the lifetime
   // of the returned Graph and every view taken from it; see

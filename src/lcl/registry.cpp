@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <span>
 #include <utility>
 
 // This file *is* part of the io consolidation surface (it wires the text and
@@ -12,6 +13,7 @@
 #include "io/serialize.hpp"
 #include "io/snapshot.hpp"
 #include "labels/generators.hpp"
+#include "labels/label_mutation.hpp"
 #include "lcl/algorithms/balanced_tree_algos.hpp"
 #include "lcl/algorithms/hh_algos.hpp"
 #include "lcl/algorithms/hthc_algos.hpp"
@@ -59,6 +61,123 @@ int encode_hybrid(HybridOutput o) {
 HybridOutput decode_hybrid(int e) {
   if ((e >> 20) & 1) return HybridOutput::balanced(decode_bt(e));
   return HybridOutput::symbol(decode_thc(e));
+}
+
+// --- mutation plumbing ------------------------------------------------------
+//
+// Which LabelUpdate channels each labeling carries, and how an in-domain
+// value for a channel is drawn.  propose_mutation keeps every draw inside
+// the claim domains the family's solver and verifier are specified for: port
+// claims range over [0, Δ] (0 = ⊥; dangling claims are ordinary
+// inconsistencies), color/side are bits, and level values are sampled from
+// the levels already present in the instance.
+
+std::span<const LabelChannel> mutable_channels(const ColoredTreeLabeling&) {
+  static constexpr LabelChannel k[] = {LabelChannel::Parent, LabelChannel::Left,
+                                       LabelChannel::Right, LabelChannel::InColor};
+  return k;
+}
+std::span<const LabelChannel> mutable_channels(const BalancedTreeLabeling&) {
+  static constexpr LabelChannel k[] = {LabelChannel::Parent, LabelChannel::Left,
+                                       LabelChannel::Right, LabelChannel::LeftNbr,
+                                       LabelChannel::RightNbr};
+  return k;
+}
+std::span<const LabelChannel> mutable_channels(const HybridLabeling&) {
+  static constexpr LabelChannel k[] = {
+      LabelChannel::Parent,  LabelChannel::Left,     LabelChannel::Right,
+      LabelChannel::InColor, LabelChannel::LeftNbr,  LabelChannel::RightNbr,
+      LabelChannel::Level};
+  return k;
+}
+std::span<const LabelChannel> mutable_channels(const HHLabeling&) {
+  static constexpr LabelChannel k[] = {
+      LabelChannel::Parent,  LabelChannel::Left,     LabelChannel::Right,
+      LabelChannel::InColor, LabelChannel::LeftNbr,  LabelChannel::RightNbr,
+      LabelChannel::Level,   LabelChannel::Side};
+  return k;
+}
+
+int channel_value(const ColoredTreeLabeling&, LabelChannel c, GraphView g,
+                  std::uint64_t h) {
+  if (c == LabelChannel::InColor) return static_cast<int>(h & 1);
+  return static_cast<int>(h % static_cast<std::uint64_t>(g.max_degree() + 1));
+}
+int channel_value(const BalancedTreeLabeling&, LabelChannel, GraphView g,
+                  std::uint64_t h) {
+  return static_cast<int>(h % static_cast<std::uint64_t>(g.max_degree() + 1));
+}
+int channel_value(const HybridLabeling& l, LabelChannel c, GraphView g,
+                  std::uint64_t h) {
+  if (c == LabelChannel::InColor) return static_cast<int>(h & 1);
+  if (c == LabelChannel::Level) {
+    return l.level_in[static_cast<std::size_t>(h % l.level_in.size())];
+  }
+  return static_cast<int>(h % static_cast<std::uint64_t>(g.max_degree() + 1));
+}
+int channel_value(const HHLabeling& l, LabelChannel c, GraphView g, std::uint64_t h) {
+  if (c == LabelChannel::Side) return static_cast<int>(h & 1);
+  return channel_value(l.hybrid, c, g, h);
+}
+
+// Deterministic in-domain batch for fuzzing / load generation.  Rewired
+// leaves are pairwise non-adjacent (so each is still degree-1 at its turn in
+// the sequential application) and reattachment targets avoid the chosen leaf
+// set (so no chosen leaf gains degree before its turn).
+template <typename Labels>
+MutationBatch propose_batch(const Instance<Labels>& inst, std::uint64_t seed,
+                            int rewires, int label_updates) {
+  MutationBatch batch;
+  const GraphView g = inst.graph.view();
+  const NodeIndex n = g.node_count();
+  if (n < 2) return batch;
+
+  if (rewires > 0) {
+    std::vector<NodeIndex> leaves;
+    for (NodeIndex v = 0; v < n; ++v) {
+      if (g.degree(v) == 1) leaves.push_back(v);
+    }
+    std::vector<char> blocked(static_cast<std::size_t>(n), 0);
+    std::vector<char> chosen(static_cast<std::size_t>(n), 0);
+    std::vector<NodeIndex> picked;
+    for (int i = 0; i < rewires * 4 && static_cast<int>(picked.size()) < rewires &&
+                    !leaves.empty();
+         ++i) {
+      const std::uint64_t h = mix64(seed, 0x6c656166ull, static_cast<std::uint64_t>(i));
+      const NodeIndex leaf = leaves[h % leaves.size()];
+      const NodeIndex parent = g.neighbor(leaf, 1);
+      if (blocked[static_cast<std::size_t>(leaf)] ||
+          blocked[static_cast<std::size_t>(parent)]) {
+        continue;
+      }
+      blocked[static_cast<std::size_t>(leaf)] = 1;
+      blocked[static_cast<std::size_t>(parent)] = 1;
+      chosen[static_cast<std::size_t>(leaf)] = 1;
+      picked.push_back(leaf);
+    }
+    for (std::size_t i = 0; i < picked.size(); ++i) {
+      const NodeIndex leaf = picked[i];
+      const std::uint64_t h = mix64(seed, 0x74677464ull, static_cast<std::uint64_t>(i));
+      NodeIndex target = static_cast<NodeIndex>(h % static_cast<std::uint64_t>(n));
+      while (target == leaf || chosen[static_cast<std::size_t>(target)]) {
+        target = (target + 1) % n;
+      }
+      batch.rewires.push_back({leaf, target});
+    }
+  }
+
+  for (int i = 0; i < label_updates; ++i) {
+    const std::uint64_t h0 = mix64(seed, 0x6c61626cull, static_cast<std::uint64_t>(i));
+    const std::uint64_t h1 = mix64(seed, 0x6368616eull, static_cast<std::uint64_t>(i));
+    const std::uint64_t h2 = mix64(seed, 0x76616c75ull, static_cast<std::uint64_t>(i));
+    const auto channels = mutable_channels(inst.labels);
+    LabelUpdate u;
+    u.node = static_cast<NodeIndex>(h0 % static_cast<std::uint64_t>(n));
+    u.channel = channels[h1 % channels.size()];
+    u.value = channel_value(inst.labels, u.channel, g, h2);
+    batch.label_updates.push_back(u);
+  }
+  return batch;
 }
 
 // --- erasure plumbing -------------------------------------------------------
@@ -117,6 +236,34 @@ ErasedInstance erase(std::string family, std::shared_ptr<Held<Labels, Problem>> 
                 }) {
     impl.save_text = [held](std::ostream& os) { io::write_instance(os, held->inst); };
   }
+  // Dynamic-graph hooks.  Each returned instance re-enters erase_instance, so
+  // a mutation of a mutation is wired exactly like the original — and the new
+  // Held owns fresh graph/ids/labels with no retainer chained to the old one
+  // (repeated mutations must not accumulate dead generations).
+  impl.mutate = [held, family](const MutationBatch& batch,
+                               std::vector<NodeIndex>* touched) {
+    AppliedMutation applied = apply_mutation(held->inst.graph.view(), batch);
+    Instance<Labels> next;
+    next.graph = std::move(applied.graph);
+    const auto ids = held->inst.ids.span();
+    next.ids = IdAssignment(std::vector<NodeId>(ids.begin(), ids.end()));
+    next.labels = held->inst.labels;
+    apply_label_updates(next.labels, batch);
+    if (touched != nullptr) *touched = std::move(applied.touched);
+    return erase_instance(family, std::move(next));
+  };
+  impl.mutate_naive = [held, family](const MutationBatch& batch) {
+    Instance<Labels> next;
+    next.graph = apply_mutation_naive(held->inst.graph.view(), batch);
+    const auto ids = held->inst.ids.span();
+    next.ids = IdAssignment(std::vector<NodeId>(ids.begin(), ids.end()));
+    next.labels = held->inst.labels;
+    apply_label_updates(next.labels, batch);
+    return erase_instance(family, std::move(next));
+  };
+  impl.propose_mutation = [held](std::uint64_t seed, int rewires, int label_updates) {
+    return propose_batch(held->inst, seed, rewires, label_updates);
+  };
   impl.held = std::move(held);
   return ErasedInstance(std::move(impl));
 }

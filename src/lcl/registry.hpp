@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "graph/mutation.hpp"
 #include "labels/instances.hpp"
 #include "lcl/lcl.hpp"
 #include "obs/trace.hpp"
@@ -51,6 +52,17 @@ class ErasedInstance {
     // families without a text form (the binary snapshot covers everything).
     std::function<void(const std::string& path)> save_snapshot;
     std::function<void(std::ostream& os)> save_text;
+    // Dynamic-graph hooks (graph/mutation.hpp), installed by the one erase()
+    // wiring point so generated, text-loaded and snapshot-loaded instances
+    // all mutate identically.  `mutate` applies a batch copy-on-write and
+    // returns a freshly wired instance (optionally reporting the structural
+    // endpoints); `mutate_naive` is the Builder-based reference path the
+    // differential harness compares against; `propose_mutation` draws a
+    // deterministic in-domain batch for fuzzing and load generation.
+    std::function<ErasedInstance(const MutationBatch&, std::vector<NodeIndex>*)> mutate;
+    std::function<ErasedInstance(const MutationBatch&)> mutate_naive;
+    std::function<MutationBatch(std::uint64_t seed, int rewires, int label_updates)>
+        propose_mutation;
   };
 
   explicit ErasedInstance(Impl impl) : impl_(std::move(impl)) {}
@@ -79,6 +91,37 @@ class ErasedInstance {
   // Whole-graph verification of encoded per-node outputs (Def. 2.6).
   VerifyResult verify(const std::vector<int>& encoded_outputs) const {
     return impl_.verify(encoded_outputs);
+  }
+
+  // --- dynamic graphs (graph/mutation.hpp) ---------------------------------
+
+  // Applies `batch` copy-on-write: this instance (and every view borrowed
+  // from it) is untouched; the returned instance owns fresh graph storage
+  // under a fresh StorageToken, carries copies of the ids and the mutated
+  // labels, and is wired through the same solver/verifier closures.  If
+  // `touched` is non-null it receives the batch's structural endpoints,
+  // sorted — the set ViewCache::invalidate_region certifies distances
+  // against.  Throws std::invalid_argument on an invalid rewire or a label
+  // channel the family does not carry.
+  ErasedInstance mutated(const MutationBatch& batch,
+                         std::vector<NodeIndex>* touched = nullptr) const {
+    return impl_.mutate(batch, touched);
+  }
+
+  // Reference path for the differential harness: identical semantics replayed
+  // through Graph::Builder (port bijectivity re-validated from scratch).
+  ErasedInstance mutated_naive(const MutationBatch& batch) const {
+    return impl_.mutate_naive(batch);
+  }
+
+  // Draws a deterministic, in-domain batch: up to `rewires` pairwise
+  // non-adjacent degree-1 leaves re-hung on nodes outside the leaf set, plus
+  // `label_updates` channel writes within the family's claim domains.  Fewer
+  // rewires than requested are returned when the instance has too few
+  // eligible leaves.
+  MutationBatch propose_mutation(std::uint64_t seed, int rewires,
+                                 int label_updates) const {
+    return impl_.propose_mutation(seed, rewires, label_updates);
   }
 
  private:

@@ -141,6 +141,20 @@ void append_body(std::string& out, const BenchArtifact& a) {
                   s.retry_compliant);
     out += sbuf;
   }
+  if (a.mutate.has_value()) {
+    const MutateStatsBlock& m = *a.mutate;
+    char mbuf[512];
+    std::snprintf(mbuf, sizeof mbuf,
+                  ", \"mutate\": {\"updates\": %" PRId64 ", \"applied\": %" PRId64
+                  ", \"rejected\": %" PRId64 ", \"cache_evicted\": %" PRId64
+                  ", \"cache_retained\": %" PRId64 ", \"flushes\": %" PRId64
+                  ", \"update_p50_ns\": %.17g, \"update_p95_ns\": %.17g"
+                  ", \"update_p99_ns\": %.17g, \"apply_p50_ns\": %.17g}",
+                  m.updates, m.applied, m.rejected, m.cache_evicted,
+                  m.cache_retained, m.flushes, m.update_p50_ns, m.update_p95_ns,
+                  m.update_p99_ns, m.apply_p50_ns);
+    out += mbuf;
+  }
   std::snprintf(buf, sizeof buf,
                 ", \"alloc\": {\"instrumented\": %s, \"allocs\": %" PRIu64
                 ", \"frees\": %" PRIu64 ", \"bytes\": %" PRIu64 ", \"peak_bytes\": %" PRIu64
@@ -271,6 +285,20 @@ std::optional<BenchArtifact> BenchArtifact::from_json(const JsonValue& doc,
     s.retries = serve->int_at("retries");
     s.retry_compliant = serve->int_at("retry_compliant");
     a.serve = s;
+  }
+  if (const JsonValue* mutate = doc.find("mutate")) {
+    MutateStatsBlock m;
+    m.updates = mutate->int_at("updates");
+    m.applied = mutate->int_at("applied");
+    m.rejected = mutate->int_at("rejected");
+    m.cache_evicted = mutate->int_at("cache_evicted");
+    m.cache_retained = mutate->int_at("cache_retained");
+    m.flushes = mutate->int_at("flushes");
+    m.update_p50_ns = mutate->number_at("update_p50_ns");
+    m.update_p95_ns = mutate->number_at("update_p95_ns");
+    m.update_p99_ns = mutate->number_at("update_p99_ns");
+    m.apply_p50_ns = mutate->number_at("apply_p50_ns");
+    a.mutate = m;
   }
   if (const JsonValue* alloc = doc.find("alloc")) {
     a.alloc_instrumented = alloc->find("instrumented") != nullptr &&

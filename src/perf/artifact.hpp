@@ -26,6 +26,11 @@
 //               "shed_p50_ns", "shed_p95_ns",      //   volcal_load) only;
 //               "shed_p99_ns", "retries",          //   shed_* / retr* fields
 //               "retry_compliant"},                //   additive (default 0)
+//     "mutate": {"updates", "applied", "rejected",    // optional: dynamic-
+//                "cache_evicted", "cache_retained",   //   graph runs only
+//                "flushes", "update_p50_ns",          //   (volcal_load
+//                "update_p95_ns", "update_p99_ns",    //   --update-rate,
+//                "apply_p50_ns"},                     //   churn ablation)
 //     "alloc": {"instrumented", "allocs", "frees", "bytes", "peak_bytes"},
 //     "rss_high_water_kb": N,
 //     "total_wall_seconds": S,
@@ -120,6 +125,26 @@ struct ServeStatsBlock {
   friend bool operator==(const ServeStatsBlock&, const ServeStatsBlock&) = default;
 };
 
+// Dynamic-graph telemetry (volcal_load --update-rate client-side, the churn
+// ablation bench-side): update counts, the region-invalidation eviction /
+// retention totals reported by UpdateResult frames, and client-observed
+// update round-trip / server-reported apply-time percentiles in nanoseconds.
+// Optional and additive within schema v2, exactly like the serve block.
+struct MutateStatsBlock {
+  std::int64_t updates = 0;         // update requests issued
+  std::int64_t applied = 0;         // acknowledged Ok
+  std::int64_t rejected = 0;        // acknowledged Invalid
+  std::int64_t cache_evicted = 0;   // summed over UpdateResult frames
+  std::int64_t cache_retained = 0;
+  std::int64_t flushes = 0;         // region invalidations that fell back
+  double update_p50_ns = 0.0;       // client round-trip
+  double update_p95_ns = 0.0;
+  double update_p99_ns = 0.0;
+  double apply_p50_ns = 0.0;        // server-side apply_mutations time
+
+  friend bool operator==(const MutateStatsBlock&, const MutateStatsBlock&) = default;
+};
+
 struct BenchArtifact {
   int schema_version = kArtifactSchemaVersion;
   std::string kind = "bench-report";
@@ -138,6 +163,8 @@ struct BenchArtifact {
   CacheStats cache;
   // Query-service block — present only for serve/load runs.
   std::optional<ServeStatsBlock> serve;
+  // Dynamic-graph block — present only for mixed update/query runs.
+  std::optional<MutateStatsBlock> mutate;
   AllocStats alloc;
   bool alloc_instrumented = false;
   std::int64_t rss_high_water_kb = 0;

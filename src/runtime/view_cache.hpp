@@ -51,6 +51,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -181,8 +182,137 @@ class ViewCache {
   }
 
   // O(1) full invalidation: epoch bump; shards clear lazily on next touch.
+  // This is the *engine-internal* flush — bind()'s graph-change path and the
+  // PerStart policy's per-start scoping.  It is NOT the data-mutation signal:
+  // mutations go through graph/mutation.hpp and invalidate_region(), which
+  // evicts only the balls a structural delta can actually reach (and migrates
+  // the rest to the new storage identity).  The old public spelling,
+  // invalidate_all(), is a deprecated shim below (DESIGN.md ledger).
   void invalidate() {
     epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  [[deprecated(
+      "full flush is not the mutation signal anymore: apply deltas via "
+      "MutationBatch (graph/mutation.hpp) and call invalidate_region(); "
+      "see the DESIGN.md deprecation ledger")]]
+  void invalidate_all() {
+    invalidate();
+  }
+
+  // Outcome of one invalidate_region sweep (entry counts across all shards).
+  struct RegionInvalidation {
+    std::size_t evicted = 0;
+    std::size_t retained = 0;
+    bool fell_back_to_flush = false;  // preconditions unmet: full flush instead
+  };
+
+  // Scoped invalidation for a structural mutation, replacing the global epoch
+  // bump.  `old_view` is the pre-mutation graph this cache is bound to;
+  // `touched` are the mutation's structural endpoints (AppliedMutation::
+  // touched); `new_token` is the post-mutation storage identity.  A cached
+  // ball of depth d centered at c is *certified unchanged* when no touched
+  // node lies within old-graph distance d of c:
+  //
+  //   Every adjacency list the canonical BFS replay of that ball reads
+  //   belongs to a node at distance < d, and by induction on path length any
+  //   new-graph path from c into the touched set must first enter the touched
+  //   set over edges that exist unchanged in the old graph — so
+  //   dist_old(c, touched) > d implies dist_new(c, touched) > d and
+  //   ball_new(c, e) == ball_old(c, e) query-for-query at every e <= d.
+  //   Exhausted entries are covered too: the ball is its whole component, so
+  //   a touched node anywhere in the component sits at dist <= d and evicts.
+  //
+  // Distances come from one multi-source BFS from `touched`, bounded at
+  // max_radius levels; entries deeper than max_radius cannot be certified
+  // inside that horizon and are evicted outright (callers pass the deepest
+  // radius their workload caches — the serve path uses its plan's radius).
+  //
+  // Surviving entries are re-stamped to `new_token` and the binding moves to
+  // `new_token` with NO epoch bump — they go on serving the new graph, which
+  // is the whole point.  The binding is moved *before* the shard sweep, so a
+  // racing store of an old-graph ball is rejected by store()'s binding check
+  // and a racing lookup through the old view misses on the per-entry token;
+  // neither can slip a stale ball past the sweep.  (The serve path
+  // additionally serializes this against worker re-binds under its target
+  // lock; see QueryService::apply_mutations.)
+  //
+  // Preconditions: the cache is bound to old_view's token and both tokens are
+  // real.  Otherwise nothing is certifiable and the call degrades to the full
+  // flush (fell_back_to_flush in the result), binding to `new_token`.
+  RegionInvalidation invalidate_region(GraphView old_view,
+                                       std::span<const NodeIndex> touched,
+                                       std::int64_t max_radius, StorageToken new_token) {
+    RegionInvalidation out;
+    const StorageToken old_token = old_view.storage_identity();
+    if (old_token == kAnonymousStorage || new_token == kAnonymousStorage ||
+        bound_.load(std::memory_order_acquire) != old_token || max_radius < 0) {
+      invalidate();
+      bound_.store(new_token, std::memory_order_release);
+      out.fell_back_to_flush = true;
+      return out;
+    }
+    bound_.store(new_token, std::memory_order_release);
+
+    // dist[v] = old-graph distance from the touched set, -1 beyond the
+    // max_radius horizon (or unreachable).
+    const NodeIndex n = old_view.node_count();
+    std::vector<std::int32_t> dist(static_cast<std::size_t>(n), -1);
+    std::vector<NodeIndex> frontier;
+    std::vector<NodeIndex> next;
+    for (const NodeIndex v : touched) {
+      if (v >= 0 && v < n && dist[static_cast<std::size_t>(v)] < 0) {
+        dist[static_cast<std::size_t>(v)] = 0;
+        frontier.push_back(v);
+      }
+    }
+    for (std::int32_t d = 0; d < max_radius && !frontier.empty(); ++d) {
+      for (const NodeIndex v : frontier) {
+        for (const NodeIndex u : old_view.neighbors(v)) {
+          auto& du = dist[static_cast<std::size_t>(u)];
+          if (du < 0) {
+            du = d + 1;
+            next.push_back(u);
+          }
+        }
+      }
+      frontier.swap(next);
+      next.clear();
+    }
+
+    const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    for (std::size_t s = 0; s < kShards; ++s) {
+      Shard& shard = shards_[s];
+      std::unique_lock lock(shard.mu);
+      reconcile_epoch_locked(shard, epoch);
+      for (auto it = shard.map.begin(); it != shard.map.end();) {
+        Entry& entry = *it->second;
+        if (entry.token == new_token) {  // already a new-graph ball
+          ++out.retained;
+          ++it;
+          continue;
+        }
+        const NodeIndex center = it->first;
+        const std::int64_t d =
+            (center >= 0 && center < n)
+                ? static_cast<std::int64_t>(dist[static_cast<std::size_t>(center)])
+                : 0;
+        const bool certified = entry.token == old_token &&
+                               entry.ball.depth <= max_radius &&
+                               (d < 0 || d > entry.ball.depth);
+        if (certified) {
+          entry.token = new_token;
+          ++out.retained;
+          ++it;
+        } else {
+          shard.bytes -= entry.ball.bytes();
+          it = shard.map.erase(it);
+          evictions_.inc();
+          ++out.evicted;
+        }
+      }
+    }
+    return out;
   }
 
   CacheStats stats() const {

@@ -1,0 +1,147 @@
+// ServeClient — the typed client for one volcal_serve connection.
+//
+// SocketClient (serve/server.hpp) is the transport: it moves frames.  This
+// wrapper is the protocol: each call sends one request and returns the
+// matching typed reply, so tools and tests stop hand-rolling the
+// send-frame / switch-on-frame-type / match-request-id dance.
+//
+//   ServeClient client;
+//   client.connect(path);
+//   auto q = client.query(7);                 // Result or Shed, typed
+//   std::string json;
+//   client.stats(&json);                      // the live metrics snapshot
+//   auto u = client.update(batch);            // apply a MutationBatch
+//   client.bye();                             // done
+//
+// Two usage modes, per connection:
+//
+//   * Synchronous (query/stats/update): one request in flight; the call
+//     blocks until its own reply arrives.  Request ids are drawn from a
+//     private high-bit-tagged counter so they can never collide with
+//     pipelined ids.
+//   * Pipelined (post_query/poll): the open-loop load-generator shape —
+//     fire-and-forget sends from one thread, a receiver thread polling
+//     typed frames and correlating request ids itself.  The two modes must
+//     not be interleaved concurrently (the client is not thread-safe; the
+//     pipelined split is exactly one sender plus one poller).
+//
+// Replies are matched by request id; stray frames from earlier pipelined
+// traffic are skipped, a Bye frame (server draining) fails the call.  Every
+// `ok == false` reply means the connection is no longer usable — the server
+// is gone, draining, or the stream corrupted — and the caller should close().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace volcal::serve {
+
+class ServeClient {
+ public:
+  // One answered query.  `ok == false`: transport failure / server draining.
+  // `shed == true`: the service shed the request (retry_after_ms == 0 means
+  // draining for good); `result` is meaningful only when ok && !shed.
+  struct QueryReply {
+    bool ok = false;
+    bool shed = false;
+    std::uint32_t retry_after_ms = 0;
+    ResultFrame result;
+  };
+
+  // One answered update.  `ok == false`: transport failure; `result.status`
+  // distinguishes an applied batch from one the service rejected.
+  struct UpdateReply {
+    bool ok = false;
+    UpdateResultFrame result;
+  };
+
+  bool connect(const std::string& socket_path) { return sock_.connect(socket_path); }
+  void close() { sock_.close(); }
+  bool connected() const { return sock_.connected(); }
+
+  // --- synchronous calls: one request, one matched reply -------------------
+
+  QueryReply query(std::int64_t node) {
+    QueryReply out;
+    const std::uint64_t id = next_id();
+    if (!sock_.send_query(id, node)) return out;
+    Frame frame;
+    while (sock_.recv_frame(&frame)) {
+      if (frame.type == FrameType::Result && frame.result.request_id == id) {
+        out.ok = true;
+        out.result = frame.result;
+        return out;
+      }
+      if (frame.type == FrameType::Shed && frame.shed.request_id == id) {
+        out.ok = true;
+        out.shed = true;
+        out.retry_after_ms = frame.shed.retry_after_ms;
+        return out;
+      }
+      if (frame.type == FrameType::Bye) return out;
+    }
+    return out;
+  }
+
+  // Fetches the live metrics snapshot (the Stats frame payload) into *json.
+  bool stats(std::string* json) {
+    const std::uint64_t id = next_id();
+    if (!sock_.send_stats_request(id)) return false;
+    Frame frame;
+    while (sock_.recv_frame(&frame)) {
+      if (frame.type == FrameType::Stats && frame.stats.request_id == id) {
+        *json = std::move(frame.stats.json);
+        return true;
+      }
+      if (frame.type == FrameType::Bye) return false;
+    }
+    return false;
+  }
+
+  // Applies one MutationBatch server-side (QueryService::apply_mutations)
+  // and returns the typed outcome.  Throws std::length_error if the batch
+  // exceeds the protocol's update-frame bound.
+  UpdateReply update(const MutationBatch& batch) {
+    UpdateReply out;
+    const std::uint64_t id = next_id();
+    if (!sock_.send_update(id, batch)) return out;
+    Frame frame;
+    while (sock_.recv_frame(&frame)) {
+      if (frame.type == FrameType::UpdateResult &&
+          frame.update_result.request_id == id) {
+        out.ok = true;
+        out.result = frame.update_result;
+        return out;
+      }
+      if (frame.type == FrameType::Bye) return out;
+    }
+    return out;
+  }
+
+  // Ends the conversation.  The protocol has no client-side farewell frame —
+  // the server's reader treats EOF as the goodbye — so this just closes.
+  void bye() { sock_.close(); }
+
+  // --- pipelined primitives: many requests in flight -----------------------
+
+  // Fire-and-forget query with a caller-chosen id.  Keep caller ids below
+  // the top bit (bit 63 tags the synchronous counter above).
+  bool post_query(std::uint64_t request_id, std::int64_t node) {
+    return sock_.send_query(request_id, node);
+  }
+
+  // Blocks until one complete typed frame arrives.  False on EOF / error /
+  // corrupt stream.
+  bool poll(Frame* out) { return sock_.recv_frame(out); }
+
+ private:
+  std::uint64_t next_id() { return (std::uint64_t{1} << 63) | next_seq_++; }
+
+  SocketClient sock_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace volcal::serve

@@ -22,26 +22,40 @@
 //                               — the live metrics snapshot, answered off
 //                               the reader thread without touching the
 //                               query queue
+//   Update (client -> server):  u64 request_id | u32 rewires | u32 labels |
+//                               rewires × (i64 leaf | i64 new_parent) |
+//                               labels × (i64 node | u8 channel | i32 value)
+//                               — one MutationBatch (graph/mutation.hpp),
+//                               applied copy-on-write through
+//                               QueryService::apply_mutations
+//   UpdateResult (server -> client):  u64 request_id | u8 status |
+//                               u64 cache_evicted | u64 cache_retained |
+//                               u8 flushed | i64 apply_ns
 //
 // Every Query is answered by exactly one Result or Shed carrying the same
-// request_id; every StatsRequest by exactly one Stats.  Ids are
-// client-chosen and opaque to the server (responses may arrive out of
-// submission order — the service batches and reorders).
+// request_id; every StatsRequest by exactly one Stats; every Update by
+// exactly one UpdateResult.  Ids are client-chosen and opaque to the server
+// (responses may arrive out of submission order — the service batches and
+// reorders).
 //
 // FrameReader is the stream-side decoder: feed() whatever bytes arrived,
 // next() yields complete frames and buffers partials across reads.  A frame
 // whose declared length exceeds its type's bound (kMaxFrameBytes for the
-// fixed-layout types, kMaxStatsFrameBytes for the variable-length Stats
-// response) or whose payload does not match its type marks the stream
+// fixed-layout types, kMaxStatsFrameBytes / kMaxUpdateFrameBytes for the
+// variable-length Stats and Update frames) or whose payload does not match
+// its type marks the stream
 // corrupt — the transport must drop the connection (there is no
 // resynchronization in a length-prefixed stream).
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "graph/mutation.hpp"
 
 namespace volcal::serve {
 
@@ -52,6 +66,8 @@ enum class FrameType : std::uint8_t {
   Bye = 4,
   StatsRequest = 5,
   Stats = 6,
+  Update = 7,
+  UpdateResult = 8,
 };
 
 enum class QueryStatus : std::uint8_t {
@@ -93,6 +109,25 @@ struct StatsFrame {
   std::string json;  // one JSON object — the metrics snapshot
 };
 
+struct UpdateFrame {
+  std::uint64_t request_id = 0;
+  MutationBatch batch;
+};
+
+enum class UpdateStatus : std::uint8_t {
+  Ok = 0,
+  Invalid = 1,  // batch rejected (bad rewire / unsupported label channel)
+};
+
+struct UpdateResultFrame {
+  std::uint64_t request_id = 0;
+  UpdateStatus status = UpdateStatus::Ok;
+  std::uint64_t cache_evicted = 0;
+  std::uint64_t cache_retained = 0;
+  std::uint8_t flushed = 0;  // 1: invalidation fell back to the full flush
+  std::int64_t apply_ns = 0;
+};
+
 // Decoded frame: `type` selects which member is meaningful.
 struct Frame {
   FrameType type = FrameType::Bye;
@@ -102,6 +137,8 @@ struct Frame {
   ByeFrame bye;
   StatsRequestFrame stats_request;
   StatsFrame stats;
+  UpdateFrame update;
+  UpdateResultFrame update_result;
 };
 
 // Largest legal frame_bytes value for the fixed-layout types.  Result is the
@@ -113,6 +150,10 @@ inline constexpr std::size_t kMaxFrameBytes = 64;
 // histograms); 1 MiB is orders of magnitude above any real snapshot while
 // still bounding a hostile length prefix.
 inline constexpr std::size_t kMaxStatsFrameBytes = std::size_t{1} << 20;
+// The Update frame carries a whole MutationBatch; 1 MiB bounds it at ~65k
+// rewires or ~80k label writes per frame — far above any sane delta while
+// keeping a hostile length prefix from allocating unbounded memory.
+inline constexpr std::size_t kMaxUpdateFrameBytes = std::size_t{1} << 20;
 
 namespace wire {
 
@@ -220,6 +261,45 @@ inline std::vector<std::uint8_t> encode_stats(std::uint64_t request_id,
   return out;
 }
 
+inline std::vector<std::uint8_t> encode_update(const UpdateFrame& f) {
+  const std::size_t body = 1 + 8 + 4 + 4 + f.batch.rewires.size() * 16 +
+                           f.batch.label_updates.size() * 13;
+  if (body > kMaxUpdateFrameBytes) {
+    throw std::length_error("encode_update: batch exceeds kMaxUpdateFrameBytes");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + body);
+  wire::put_u32(out, static_cast<std::uint32_t>(body));
+  wire::put_u8(out, static_cast<std::uint8_t>(FrameType::Update));
+  wire::put_u64(out, f.request_id);
+  wire::put_u32(out, static_cast<std::uint32_t>(f.batch.rewires.size()));
+  wire::put_u32(out, static_cast<std::uint32_t>(f.batch.label_updates.size()));
+  for (const LeafRewire& r : f.batch.rewires) {
+    wire::put_i64(out, static_cast<std::int64_t>(r.leaf));
+    wire::put_i64(out, static_cast<std::int64_t>(r.new_parent));
+  }
+  for (const LabelUpdate& u : f.batch.label_updates) {
+    wire::put_i64(out, static_cast<std::int64_t>(u.node));
+    wire::put_u8(out, static_cast<std::uint8_t>(u.channel));
+    wire::put_u32(out, static_cast<std::uint32_t>(u.value));
+  }
+  return out;
+}
+
+inline std::vector<std::uint8_t> encode_update_result(const UpdateResultFrame& f) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 1 + 8 + 1 + 8 + 8 + 1 + 8);
+  wire::put_u32(out, 1 + 8 + 1 + 8 + 8 + 1 + 8);
+  wire::put_u8(out, static_cast<std::uint8_t>(FrameType::UpdateResult));
+  wire::put_u64(out, f.request_id);
+  wire::put_u8(out, static_cast<std::uint8_t>(f.status));
+  wire::put_u64(out, f.cache_evicted);
+  wire::put_u64(out, f.cache_retained);
+  wire::put_u8(out, f.flushed);
+  wire::put_i64(out, f.apply_ns);
+  return out;
+}
+
 // Decodes the body of one frame (everything after the length prefix).
 // Returns false — without touching `out` beyond its type field — when the
 // type is unknown or the payload length does not match the type.
@@ -269,6 +349,46 @@ inline bool decode_frame(const std::uint8_t* body, std::size_t len, Frame* out) 
       out->stats.request_id = wire::get_u64(p);
       out->stats.json.assign(reinterpret_cast<const char*>(p + 8), payload - 8);
       return true;
+    case FrameType::Update: {
+      if (payload < 16) return false;
+      const std::uint64_t request_id = wire::get_u64(p);
+      const std::uint32_t rewires = wire::get_u32(p + 8);
+      const std::uint32_t labels = wire::get_u32(p + 12);
+      if (payload != 16 + std::uint64_t{rewires} * 16 + std::uint64_t{labels} * 13) {
+        return false;
+      }
+      out->type = type;
+      out->update.request_id = request_id;
+      out->update.batch.rewires.clear();
+      out->update.batch.label_updates.clear();
+      out->update.batch.rewires.reserve(rewires);
+      out->update.batch.label_updates.reserve(labels);
+      const std::uint8_t* q = p + 16;
+      for (std::uint32_t i = 0; i < rewires; ++i, q += 16) {
+        LeafRewire r;
+        r.leaf = static_cast<NodeIndex>(wire::get_i64(q));
+        r.new_parent = static_cast<NodeIndex>(wire::get_i64(q + 8));
+        out->update.batch.rewires.push_back(r);
+      }
+      for (std::uint32_t i = 0; i < labels; ++i, q += 13) {
+        LabelUpdate u;
+        u.node = static_cast<NodeIndex>(wire::get_i64(q));
+        u.channel = static_cast<LabelChannel>(q[8]);
+        u.value = static_cast<int>(static_cast<std::int32_t>(wire::get_u32(q + 9)));
+        out->update.batch.label_updates.push_back(u);
+      }
+      return true;
+    }
+    case FrameType::UpdateResult:
+      if (payload != 8 + 1 + 8 + 8 + 1 + 8) return false;
+      out->type = type;
+      out->update_result.request_id = wire::get_u64(p);
+      out->update_result.status = static_cast<UpdateStatus>(p[8]);
+      out->update_result.cache_evicted = wire::get_u64(p + 9);
+      out->update_result.cache_retained = wire::get_u64(p + 17);
+      out->update_result.flushed = p[25];
+      out->update_result.apply_ns = wire::get_i64(p + 26);
+      return true;
   }
   return false;
 }
@@ -295,15 +415,19 @@ class FrameReader {
       return false;
     }
     if (frame_bytes > kMaxFrameBytes) {
-      // Only the Stats response may exceed the fixed-layout bound; peek the
-      // type byte (wait for it if the prefix arrived alone) before deciding
-      // between "large but legal" and corruption.
+      // Only the variable-length types (Stats response, Update batch) may
+      // exceed the fixed-layout bound; peek the type byte (wait for it if the
+      // prefix arrived alone) before deciding between "large but legal" and
+      // corruption.
       if (buf_.size() - pos_ < 5) {
         compact();
         return false;
       }
       const auto peeked = static_cast<FrameType>(buf_[pos_ + 4]);
-      if (peeked != FrameType::Stats || frame_bytes > kMaxStatsFrameBytes) {
+      const bool legal =
+          (peeked == FrameType::Stats && frame_bytes <= kMaxStatsFrameBytes) ||
+          (peeked == FrameType::Update && frame_bytes <= kMaxUpdateFrameBytes);
+      if (!legal) {
         corrupt_ = true;
         return false;
       }

@@ -17,6 +17,13 @@ namespace {
 // traffic at any rate the percentiles are meaningful for.
 constexpr std::size_t kWindowRingCapacity = std::size_t{1} << 16;
 
+// Certification radius apply_mutations uses for solver-driven (non-batchable)
+// families when the caller passes -1: the cache can hold balls of any depth
+// the solver explored, so the bound must cover every plausible exploration
+// depth.  64 is far past the O(log n) depths the registry families reach at
+// servable sizes while keeping the BFS cheap.
+constexpr std::int64_t kDefaultMutationRadius = 64;
+
 }  // namespace
 
 ServeTarget make_serve_target(std::shared_ptr<const ErasedInstance> instance) {
@@ -45,6 +52,9 @@ QueryService::QueryService(ServeTarget target, ServeConfig config)
   c_batched_starts_ = metrics_.counter("serve.batched_starts");
   c_cache_hit_serves_ = metrics_.counter("serve.cache_hit_serves");
   c_slow_ = metrics_.counter("serve.slow_queries");
+  c_mutations_ = metrics_.counter("serve.mutations");
+  c_mut_evicted_ = metrics_.counter("serve.mutate.cache_evicted");
+  c_mut_retained_ = metrics_.counter("serve.mutate.cache_retained");
   h_latency_us_ = metrics_.histogram("serve.latency_us");
   // Live levels: evaluated at snapshot time.  The callbacks take mu_ (or the
   // cache's shard state) *after* the registry mutex — nothing in the service
@@ -71,6 +81,13 @@ QueryService::~QueryService() { drain_and_stop(); }
 
 std::shared_ptr<const ServeTarget> QueryService::current_target() const {
   std::lock_guard lock(target_mu_);
+  return target_;
+}
+
+std::shared_ptr<const ServeTarget> QueryService::snapshot_target_and_bind(
+    ViewCache* cache) {
+  std::lock_guard lock(target_mu_);
+  if (cache != nullptr) cache->bind(target_->instance->graph());
   return target_;
 }
 
@@ -118,6 +135,51 @@ void QueryService::swap_target(ServeTarget next) {
   // with the *same* token (a copy sharing the mapping) correctly keeps every
   // warm entry.
   c_swaps_->inc();
+}
+
+MutationOutcome QueryService::apply_mutations(const MutationBatch& batch,
+                                              std::int64_t max_radius) {
+  MutationOutcome out;
+  const auto t0 = std::chrono::steady_clock::now();
+  // One critical section covers mutate + invalidate + swap: workers snapshot
+  // the target and bind the cache under the same mutex
+  // (snapshot_target_and_bind), so no wave can bind to the new graph before
+  // the region invalidation has re-stamped the surviving entries — the
+  // token-change full flush inside bind() never fires on a mutation.
+  std::lock_guard lock(target_mu_);
+  const std::shared_ptr<const ServeTarget> old = target_;
+  std::vector<NodeIndex> touched;
+  std::shared_ptr<const ErasedInstance> next;
+  try {
+    next = std::make_shared<const ErasedInstance>(
+        old->instance->mutated(batch, &touched));
+  } catch (const std::invalid_argument& e) {
+    out.error = e.what();
+    return out;
+  }
+  if (config_.cache.policy == CachePolicy::Shared) {
+    std::int64_t radius = max_radius;
+    if (radius < 0) {
+      radius = old->plan.batchable() ? old->plan.radius : kDefaultMutationRadius;
+    }
+    const ViewCache::RegionInvalidation inv = cache_.invalidate_region(
+        old->instance->graph(), touched, radius, next->graph().storage_identity());
+    out.cache_evicted = inv.evicted;
+    out.cache_retained = inv.retained;
+    out.flushed = inv.fell_back_to_flush;
+  }
+  auto holder = std::make_shared<const ServeTarget>(
+      ServeTarget{std::move(next), old->plan});
+  target_ = std::move(holder);
+  c_swaps_->inc();
+  c_mutations_->inc();
+  c_mut_evicted_->inc(static_cast<std::int64_t>(out.cache_evicted));
+  c_mut_retained_->inc(static_cast<std::int64_t>(out.cache_retained));
+  out.apply_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  out.ok = true;
+  return out;
 }
 
 void QueryService::drain_and_stop() {
@@ -377,14 +439,14 @@ void QueryService::worker_loop(int worker) {
 
     // Snapshot the target for this whole batch: a concurrent swap_target
     // cannot pull the mapping out from under us, and every request in the
-    // batch is answered against one consistent instance.
-    const std::shared_ptr<const ServeTarget> target = current_target();
+    // batch is answered against one consistent instance.  Binding the cache
+    // happens inside the same target_mu_ hold — see snapshot_target_and_bind.
+    ViewCache* cache = use_cache ? &cache_ : nullptr;
+    const std::shared_ptr<const ServeTarget> target = snapshot_target_and_bind(cache);
     const ErasedInstance& inst = *target->instance;
     const GraphView g = inst.graph();
     const NodeIndex n = g.node_count();
     scratch.reserve(n);
-    ViewCache* cache = use_cache ? &cache_ : nullptr;
-    if (cache != nullptr) cache->bind(g);
 
     if (inst.family() != volume_family) {
       volume_family = inst.family();

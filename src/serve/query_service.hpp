@@ -108,6 +108,19 @@ struct ServeConfig {
   ServeTracer* tracer = nullptr;
 };
 
+// Outcome of one applied MutationBatch (apply_mutations).  On success the
+// service is serving the mutated instance and the cache counters say how the
+// radius-bounded invalidation went; on failure (`ok == false`) the batch was
+// rejected before any state changed and `error` carries the reason.
+struct MutationOutcome {
+  bool ok = false;
+  std::string error;
+  std::size_t cache_evicted = 0;
+  std::size_t cache_retained = 0;
+  bool flushed = false;  // invalidation fell back to the full flush
+  std::int64_t apply_ns = 0;
+};
+
 // One answered query; `status == InvalidNode` leaves label/meters zero.
 struct QueryResult {
   std::uint64_t request_id = 0;
@@ -155,6 +168,22 @@ class QueryService {
   // against the old target; the old mapping is released when its last
   // holder drops it.  Safe under full load.
   void swap_target(ServeTarget next);
+
+  // Applies `batch` to the served instance copy-on-write and swaps the
+  // mutated instance in, invalidating only the cache entries the mutation
+  // can reach: entries whose center is within their cached depth of a
+  // touched node (ViewCache::invalidate_region) are evicted, everything
+  // farther away stays warm.  In-flight waves finish against the old target
+  // exactly as under swap_target — the old mapping outlives its last batch.
+  //
+  // `max_radius` bounds the certification BFS; -1 resolves automatically
+  // (the plan radius for batchable families, a generous fixed bound for
+  // solver-driven ones).  An invalid batch (bad rewire, unsupported label
+  // channel) is rejected whole: `ok == false`, the served target and the
+  // cache are untouched.  Safe under full load and from any thread; calls
+  // serialize with each other and with swap_target.
+  MutationOutcome apply_mutations(const MutationBatch& batch,
+                                  std::int64_t max_radius = -1);
 
   // Stops admission, completes every accepted request, joins the workers.
   // Idempotent; submit() returns Stopped from the moment this starts.
@@ -221,6 +250,12 @@ class QueryService {
   };
 
   std::shared_ptr<const ServeTarget> current_target() const;
+  // Snapshots the target and (when `cache` is non-null) binds the cache to
+  // its view in one critical section on target_mu_.  Workers must use this
+  // rather than current_target() + bind(): bind() outside the lock could
+  // observe a *newer* graph than the snapshotted target after a racing
+  // swap/mutation and full-flush entries apply_mutations just certified.
+  std::shared_ptr<const ServeTarget> snapshot_target_and_bind(ViewCache* cache);
   void worker_loop(int worker);
   void finish(Request& req, QueryResult result, const FinishContext& ctx,
               std::vector<LatencySample>& local_samples);
@@ -260,6 +295,9 @@ class QueryService {
   obs::Counter* c_batched_starts_ = nullptr;
   obs::Counter* c_cache_hit_serves_ = nullptr;
   obs::Counter* c_slow_ = nullptr;
+  obs::Counter* c_mutations_ = nullptr;
+  obs::Counter* c_mut_evicted_ = nullptr;
+  obs::Counter* c_mut_retained_ = nullptr;
   obs::Histogram* h_latency_us_ = nullptr;
 
   std::atomic<std::uint64_t> seq_{0};   // admission sequence

@@ -179,7 +179,24 @@ void SocketServer::reader_loop(std::shared_ptr<Connection> conn) {
                                 service_->stats_json()));
         continue;
       }
-      if (frame.type != FrameType::Query) continue;  // queries and stats polls only
+      if (frame.type == FrameType::Update) {
+        // Also answered on the reader thread: apply_mutations serializes on
+        // the service's target mutex and must not ride the admission queue —
+        // an update shed under load would silently fork the client's view of
+        // the graph.  In-flight query waves keep running against the old
+        // target while this blocks; only this connection's reader waits.
+        const MutationOutcome mo = service_->apply_mutations(frame.update.batch);
+        UpdateResultFrame uf;
+        uf.request_id = frame.update.request_id;
+        uf.status = mo.ok ? UpdateStatus::Ok : UpdateStatus::Invalid;
+        uf.cache_evicted = mo.cache_evicted;
+        uf.cache_retained = mo.cache_retained;
+        uf.flushed = mo.flushed ? 1 : 0;
+        uf.apply_ns = mo.apply_ns;
+        conn->send(encode_update_result(uf));
+        continue;
+      }
+      if (frame.type != FrameType::Query) continue;  // queries, stats, updates only
       const QueryFrame q = frame.query;
       const Admission adm = service_->submit(
           q.request_id, q.node, [conn](const QueryResult& r) {
@@ -301,6 +318,15 @@ bool SocketClient::send_query(std::uint64_t request_id, std::int64_t node) {
 bool SocketClient::send_stats_request(std::uint64_t request_id) {
   if (fd_ < 0) return false;
   const std::vector<std::uint8_t> bytes = encode_stats_request(request_id);
+  return write_all(fd_, bytes.data(), bytes.size());
+}
+
+bool SocketClient::send_update(std::uint64_t request_id, const MutationBatch& batch) {
+  if (fd_ < 0) return false;
+  UpdateFrame u;
+  u.request_id = request_id;
+  u.batch = batch;
+  const std::vector<std::uint8_t> bytes = encode_update(u);
   return write_all(fd_, bytes.data(), bytes.size());
 }
 

@@ -120,8 +120,13 @@ class SocketClient {
   // recv_frame (interleaved with any in-flight query responses).
   bool send_stats_request(std::uint64_t request_id);
 
-  // Blocks until one complete frame arrives (Result, Shed, Stats, or Bye).
-  // False on EOF / error / corrupt stream.
+  // Writes one Update frame carrying a MutationBatch; the matching
+  // UpdateResult arrives via recv_frame.  Throws std::length_error if the
+  // batch exceeds kMaxUpdateFrameBytes.
+  bool send_update(std::uint64_t request_id, const MutationBatch& batch);
+
+  // Blocks until one complete frame arrives (Result, Shed, Stats,
+  // UpdateResult, or Bye).  False on EOF / error / corrupt stream.
   bool recv_frame(Frame* out);
 
  private:

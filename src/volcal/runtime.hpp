@@ -11,6 +11,7 @@
 
 #include "graph/bfs.hpp"
 #include "graph/graph.hpp"
+#include "graph/mutation.hpp"
 #include "labels/ids.hpp"
 #include "plan/probe_plan.hpp"
 #include "runtime/batched_execution.hpp"

@@ -2,13 +2,15 @@
 //
 // One include for everything the serving regime needs: the wire protocol
 // (length-prefixed frames + stream decoder), the concurrent QueryService
-// (batched execution, admission control, hot snapshot swap, cross-request
-// ball cache), the per-request tracer / slow-query log, and the Unix-socket
-// transport used by tools/volcal_serve and tools/volcal_load.  The
+// (batched execution, admission control, hot snapshot swap, live mutation
+// apply, cross-request ball cache), the per-request tracer / slow-query
+// log, the Unix-socket transport used by tools/volcal_serve, and the typed
+// ServeClient tools/volcal_load and tools/volcal_top talk through.  The
 // fine-grained serve/... headers remain valid includes but are internal
 // layout (see DESIGN.md "API surface and deprecations").
 #pragma once
 
+#include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/query_service.hpp"
 #include "serve/server.hpp"

@@ -92,6 +92,93 @@ TEST(ServeProtocol, FramesRoundTripThroughAChunkedStream) {
   EXPECT_EQ(frames[3].bye.reason, 0);
 }
 
+TEST(ServeProtocol, UpdateFramesRoundTripThroughAChunkedStream) {
+  UpdateFrame u;
+  u.request_id = 0xabcdef0123456789ull;
+  u.batch.rewires.push_back({3, 9});
+  u.batch.rewires.push_back({17, 2});
+  u.batch.label_updates.push_back({4, LabelChannel::InColor, 1});
+  u.batch.label_updates.push_back({-2, LabelChannel::Level, -5});
+  UpdateResultFrame ur;
+  ur.request_id = 77;
+  ur.status = UpdateStatus::Invalid;
+  ur.cache_evicted = 1ull << 33;
+  ur.cache_retained = 12345;
+  ur.flushed = 1;
+  ur.apply_ns = -9;  // sign must survive the wire
+
+  std::vector<std::uint8_t> stream = encode_update(u);
+  const std::vector<std::uint8_t> result_bytes = encode_update_result(ur);
+  stream.insert(stream.end(), result_bytes.begin(), result_bytes.end());
+
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (const std::uint8_t byte : stream) {  // byte-at-a-time: partial buffering
+    reader.feed(&byte, 1);
+    Frame f;
+    while (reader.next(&f)) frames.push_back(f);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_FALSE(reader.corrupt());
+
+  EXPECT_EQ(frames[0].type, FrameType::Update);
+  EXPECT_EQ(frames[0].update.request_id, u.request_id);
+  ASSERT_EQ(frames[0].update.batch.rewires.size(), 2u);
+  EXPECT_EQ(frames[0].update.batch.rewires[0].leaf, 3);
+  EXPECT_EQ(frames[0].update.batch.rewires[0].new_parent, 9);
+  EXPECT_EQ(frames[0].update.batch.rewires[1].leaf, 17);
+  ASSERT_EQ(frames[0].update.batch.label_updates.size(), 2u);
+  EXPECT_EQ(frames[0].update.batch.label_updates[0].node, 4);
+  EXPECT_EQ(frames[0].update.batch.label_updates[0].channel, LabelChannel::InColor);
+  EXPECT_EQ(frames[0].update.batch.label_updates[0].value, 1);
+  EXPECT_EQ(frames[0].update.batch.label_updates[1].node, -2);
+  EXPECT_EQ(frames[0].update.batch.label_updates[1].value, -5);
+
+  EXPECT_EQ(frames[1].type, FrameType::UpdateResult);
+  EXPECT_EQ(frames[1].update_result.request_id, ur.request_id);
+  EXPECT_EQ(frames[1].update_result.status, UpdateStatus::Invalid);
+  EXPECT_EQ(frames[1].update_result.cache_evicted, ur.cache_evicted);
+  EXPECT_EQ(frames[1].update_result.cache_retained, ur.cache_retained);
+  EXPECT_EQ(frames[1].update_result.flushed, 1);
+  EXPECT_EQ(frames[1].update_result.apply_ns, -9);
+}
+
+TEST(ServeProtocol, UpdateFrameBoundsAreEnforcedBothWays) {
+  // Encoder side: a batch whose wire size exceeds kMaxUpdateFrameBytes must
+  // throw, not emit a frame the peer will condemn.
+  UpdateFrame huge;
+  huge.batch.rewires.resize(70000);  // 70000 * 16 bytes > 1 MiB
+  EXPECT_THROW(encode_update(huge), std::length_error);
+
+  // Reader side: an Update type byte admits lengths beyond kMaxFrameBytes
+  // (like Stats) but only up to the update bound.
+  {
+    FrameReader reader;
+    std::vector<std::uint8_t> bytes;
+    wire::put_u32(bytes, static_cast<std::uint32_t>(kMaxUpdateFrameBytes + 1));
+    wire::put_u8(bytes, static_cast<std::uint8_t>(FrameType::Update));
+    reader.feed(bytes.data(), bytes.size());
+    Frame f;
+    EXPECT_FALSE(reader.next(&f));
+    EXPECT_TRUE(reader.corrupt());
+  }
+  {
+    // Declared counts that do not match the payload length: corrupt, never a
+    // partial decode.
+    FrameReader reader;
+    std::vector<std::uint8_t> bytes;
+    wire::put_u32(bytes, 17);  // type + id + counts, but counts claim content
+    wire::put_u8(bytes, static_cast<std::uint8_t>(FrameType::Update));
+    wire::put_u64(bytes, 1);
+    wire::put_u32(bytes, 5);  // 5 rewires that are not present
+    wire::put_u32(bytes, 0);
+    reader.feed(bytes.data(), bytes.size());
+    Frame f;
+    EXPECT_FALSE(reader.next(&f));
+    EXPECT_TRUE(reader.corrupt());
+  }
+}
+
 TEST(ServeProtocol, OversizedOrMalformedFramesMarkTheStreamCorrupt) {
   {
     // Declared length beyond kMaxFrameBytes: corruption for every type but
@@ -428,6 +515,94 @@ TEST(QueryService, HotSwapUnderWarmCacheServesTheNewSnapshotExactly) {
   fs::remove_all(dir, ec);
 }
 
+// Live mutation apply: after apply_mutations the service serves the mutated
+// instance bit-for-bit, retained cache entries keep serving (no full flush on
+// a localized delta), and an invalid batch is rejected whole with the served
+// target untouched.
+TEST(QueryService, AppliedMutationsServeTheMutatedGraphExactly) {
+  ServeTarget target = target_for("ball-4", 600, 7);
+  const std::shared_ptr<const ErasedInstance> inst = target.instance;
+  const std::vector<int> expected = offline_labels(*inst);
+  const auto n = static_cast<std::int64_t>(expected.size());
+
+  ServeConfig config;
+  config.threads = 4;
+  config.queue_capacity = static_cast<std::size_t>(2 * n);
+  config.cache.policy = CachePolicy::Shared;
+  QueryService service(std::move(target), config);
+
+  // Warm the shared cache across every node on the pre-mutation graph.
+  ResultCollector before;
+  for (std::int64_t v = 0; v < n; ++v) {
+    ASSERT_EQ(service.submit(static_cast<std::uint64_t>(v), v, before.sink()),
+              Admission::Accepted);
+  }
+  before.wait_for(static_cast<std::size_t>(n));
+  for (const auto& [id, r] : before.take()) {
+    ASSERT_EQ(r.label, expected[static_cast<std::size_t>(id)]) << "node " << id;
+  }
+
+  // One leaf rewire + two label writes: a localized delta.  The mutated
+  // oracle is the instance's own mutate path, the same one
+  // check_mutation_case pins against the naive rebuild.
+  const MutationBatch batch = inst->propose_mutation(/*seed=*/123, /*rewires=*/1,
+                                                     /*label_updates=*/2);
+  ASSERT_FALSE(batch.empty());
+  const ErasedInstance mutated = inst->mutated(batch);
+  const std::vector<int> expected_mut = offline_labels(mutated);
+
+  const MutationOutcome mo = service.apply_mutations(batch);
+  ASSERT_TRUE(mo.ok) << mo.error;
+  EXPECT_FALSE(mo.flushed);
+  EXPECT_GE(mo.apply_ns, 0);
+  // A radius-4 plan with one rewire touches a small region of a 600-node
+  // tree: some entries die, most survive.
+  EXPECT_GT(mo.cache_evicted, 0u);
+  EXPECT_GT(mo.cache_retained, mo.cache_evicted);
+
+  const std::int64_t hits_before_requery = service.cache_stats().hits;
+  ResultCollector after;
+  for (std::int64_t v = 0; v < n; ++v) {
+    const auto id = static_cast<std::uint64_t>(n + v);
+    ASSERT_EQ(service.submit(id, v, after.sink()), Admission::Accepted);
+  }
+  after.wait_for(static_cast<std::size_t>(n));
+  for (const auto& [id, r] : after.take()) {
+    const auto v = static_cast<std::int64_t>(id) - n;
+    ASSERT_EQ(r.status, QueryStatus::Ok);
+    ASSERT_EQ(r.label, expected_mut[static_cast<std::size_t>(v)])
+        << "post-mutation node " << v << " served a stale answer";
+  }
+  // The retained entries actually served: the re-query round hit the cache.
+  EXPECT_GT(service.cache_stats().hits, hits_before_requery);
+
+  // An invalid batch (rewire of a non-leaf: node 0 is the root of the
+  // complete binary tree, degree > 1) is rejected whole.
+  MutationBatch bad;
+  bad.rewires.push_back({0, 1});
+  const MutationOutcome rejected = service.apply_mutations(bad);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_FALSE(rejected.error.empty());
+
+  // Served answers are unchanged by the rejected batch.
+  ResultCollector still;
+  ASSERT_EQ(service.submit(static_cast<std::uint64_t>(3 * n), 1, still.sink()),
+            Admission::Accepted);
+  still.wait_for(1);
+  EXPECT_EQ(still.take().at(static_cast<std::uint64_t>(3 * n)).label,
+            expected_mut[1]);
+
+  service.drain_and_stop();
+
+  // The mutation counters made it into the registry snapshot.
+  const obs::MetricsSnapshot snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.counter("serve.mutations"), 1);
+  EXPECT_EQ(snap.counter("serve.mutate.cache_evicted"),
+            static_cast<std::int64_t>(mo.cache_evicted));
+  EXPECT_EQ(snap.counter("serve.mutate.cache_retained"),
+            static_cast<std::int64_t>(mo.cache_retained));
+}
+
 // --- Observability ---------------------------------------------------------
 
 // stats_json() is the payload every consumer parses (Stats frame, volcal_top,
@@ -621,13 +796,12 @@ TEST(SocketServer, ReapsDisconnectedClientsWhileRunning) {
   ASSERT_TRUE(server.start(service, path));
 
   for (std::uint64_t i = 0; i < 8; ++i) {
-    SocketClient client;
+    ServeClient client;
     ASSERT_TRUE(client.connect(path));
-    ASSERT_TRUE(client.send_query(i, 0));
-    Frame f;
-    ASSERT_TRUE(client.recv_frame(&f));
-    EXPECT_EQ(f.type, FrameType::Result);
-    client.close();
+    const ServeClient::QueryReply reply = client.query(0);
+    ASSERT_TRUE(reply.ok);
+    EXPECT_FALSE(reply.shed);
+    client.bye();
   }
   // The reader threads notice the EOFs asynchronously; give them a moment.
   for (int spin = 0; spin < 500 && server.connection_count() > 0; ++spin) {
@@ -637,14 +811,13 @@ TEST(SocketServer, ReapsDisconnectedClientsWhileRunning) {
       << "disconnected connections held until stop()";
 
   // The acceptor is still alive after the churn: a fresh client round-trips.
-  SocketClient again;
+  ServeClient again;
   ASSERT_TRUE(again.connect(path));
-  ASSERT_TRUE(again.send_query(99, 1));
-  Frame f;
-  ASSERT_TRUE(again.recv_frame(&f));
-  EXPECT_EQ(f.type, FrameType::Result);
-  EXPECT_EQ(f.result.request_id, 99u);
-  again.close();
+  const ServeClient::QueryReply reply = again.query(1);
+  ASSERT_TRUE(reply.ok);
+  EXPECT_FALSE(reply.shed);
+  EXPECT_EQ(reply.result.node, 1);
+  again.bye();
 
   service.drain_and_stop();
   server.stop();
@@ -666,12 +839,14 @@ TEST(SocketServer, SlowClientTimesOutInsteadOfWedgingDrain) {
   const std::string path = unique_socket_path("slow");
   ASSERT_TRUE(server.start(service, path, /*write_timeout_ms=*/100));
 
-  SocketClient client;
+  ServeClient client;
   ASSERT_TRUE(client.connect(path));
-  // Far more responses than a Unix-socket buffer holds, and we never read.
+  // Far more responses than a Unix-socket buffer holds, and we never poll():
+  // the pipelined fire-and-forget mode is exactly the misbehaving-client
+  // shape this test needs.
   constexpr std::uint64_t kQueries = 20000;
   for (std::uint64_t i = 0; i < kQueries; ++i) {
-    if (!client.send_query(i, static_cast<std::int64_t>(i) % n)) break;
+    if (!client.post_query(i, static_cast<std::int64_t>(i) % n)) break;
   }
 
   // The load-bearing assertion is that this returns at all: before the send
@@ -709,25 +884,21 @@ TEST(SocketServer, StatsFrameRoundTripsUnderConcurrentLoad) {
   const std::uint64_t kPerLoader = 400;
   for (int t = 0; t < kLoaders; ++t) {
     loaders.emplace_back([&, t] {
-      SocketClient client;
+      ServeClient client;
       if (!client.connect(path)) {
         load_ok = false;
         return;
       }
       for (std::uint64_t i = 0; i < kPerLoader; ++i) {
-        const std::uint64_t id = (static_cast<std::uint64_t>(t) << 32) | i;
-        if (!client.send_query(id, static_cast<std::int64_t>(i) % n)) {
-          load_ok = false;
-          return;
-        }
-        Frame f;
-        if (!client.recv_frame(&f) || f.type != FrameType::Result ||
-            f.result.request_id != id) {
+        const std::int64_t node = static_cast<std::int64_t>(i) % n;
+        const ServeClient::QueryReply reply = client.query(node);
+        if (!reply.ok || reply.shed || reply.result.node != node) {
           load_ok = false;
           return;
         }
       }
-      client.close();
+      (void)t;
+      client.bye();
     });
   }
 
@@ -736,15 +907,12 @@ TEST(SocketServer, StatsFrameRoundTripsUnderConcurrentLoad) {
   std::int64_t prev_completed = -1;
   std::int64_t polls_answered = 0;
   for (std::uint64_t poll = 1; poll <= 20; ++poll) {
-    SocketClient probe;
+    ServeClient probe;
     ASSERT_TRUE(probe.connect(path));
-    ASSERT_TRUE(probe.send_stats_request(poll));
-    Frame f;
-    ASSERT_TRUE(probe.recv_frame(&f));
-    ASSERT_EQ(f.type, FrameType::Stats);
-    EXPECT_EQ(f.stats.request_id, poll);
+    std::string json;
+    ASSERT_TRUE(probe.stats(&json));
     std::string err;
-    const perf::JsonValue doc = perf::parse_json(f.stats.json, &err);
+    const perf::JsonValue doc = perf::parse_json(json, &err);
     ASSERT_FALSE(doc.is_null()) << err;
     // Monotone counters across polls, consistent ordering within one.
     const std::int64_t completed = doc.int_at("completed");
@@ -775,6 +943,73 @@ TEST(SocketServer, StatsFrameRoundTripsUnderConcurrentLoad) {
   server.stop();
 }
 
+// Update frames over the wire: ServeClient::update applies a MutationBatch
+// through a live server and every subsequent query serves the mutated graph;
+// a rejected batch comes back Invalid without disturbing the stream.
+TEST(SocketServer, UpdateFramesApplyMutationsOverTheWire) {
+  ServeTarget target = target_for("ball-4", 300, 7);
+  const std::shared_ptr<const ErasedInstance> inst = target.instance;
+  const auto n = static_cast<std::int64_t>(inst->node_count());
+  ServeConfig config;
+  config.threads = 2;
+  config.queue_capacity = static_cast<std::size_t>(n);
+  config.cache.policy = CachePolicy::Shared;
+  QueryService service(std::move(target), config);
+  SocketServer server;
+  const std::string path = unique_socket_path("update");
+  ASSERT_TRUE(server.start(service, path));
+
+  const MutationBatch batch = inst->propose_mutation(/*seed=*/99, /*rewires=*/2,
+                                                     /*label_updates=*/1);
+  ASSERT_FALSE(batch.empty());
+  const std::vector<int> expected = offline_labels(*inst);
+  const std::vector<int> expected_mut = offline_labels(inst->mutated(batch));
+
+  ServeClient client;
+  ASSERT_TRUE(client.connect(path));
+  // Warm round on the pre-mutation graph: binds the shared cache to the old
+  // token, so the update below takes the region invalidation, not the
+  // cold-cache flush fallback.
+  for (std::int64_t v = 0; v < n; ++v) {
+    const ServeClient::QueryReply reply = client.query(v);
+    ASSERT_TRUE(reply.ok);
+    ASSERT_FALSE(reply.shed);
+    ASSERT_EQ(reply.result.label, expected[static_cast<std::size_t>(v)])
+        << "pre-update node " << v;
+  }
+
+  const ServeClient::UpdateReply applied = client.update(batch);
+  ASSERT_TRUE(applied.ok);
+  EXPECT_EQ(applied.result.status, UpdateStatus::Ok);
+  EXPECT_EQ(applied.result.flushed, 0);
+  EXPECT_GE(applied.result.apply_ns, 0);
+
+  // The same connection keeps working: every node now answers from the
+  // mutated graph.
+  for (std::int64_t v = 0; v < n; ++v) {
+    const ServeClient::QueryReply reply = client.query(v);
+    ASSERT_TRUE(reply.ok);
+    ASSERT_FALSE(reply.shed);
+    ASSERT_EQ(reply.result.label, expected_mut[static_cast<std::size_t>(v)])
+        << "post-update node " << v;
+  }
+
+  // A bad rewire (root is not a leaf) is rejected server-side; the reply is
+  // typed Invalid and the connection stays usable.
+  MutationBatch bad;
+  bad.rewires.push_back({0, 1});
+  const ServeClient::UpdateReply rejected = client.update(bad);
+  ASSERT_TRUE(rejected.ok);
+  EXPECT_EQ(rejected.result.status, UpdateStatus::Invalid);
+  const ServeClient::QueryReply still = client.query(0);
+  ASSERT_TRUE(still.ok);
+  EXPECT_EQ(still.result.label, expected_mut[0]);
+
+  client.bye();
+  service.drain_and_stop();
+  server.stop();
+}
+
 // The transport registers its connection metrics in the service's registry:
 // the connection-count gauge tracks live clients and the total counter every
 // accept since start.
@@ -787,15 +1022,12 @@ TEST(SocketServer, ConnectionMetricsAppearInTheServiceRegistry) {
   const std::string path = unique_socket_path("connmetrics");
   ASSERT_TRUE(server.start(service, path));
 
-  SocketClient a, b;
+  ServeClient a, b;
   ASSERT_TRUE(a.connect(path));
   ASSERT_TRUE(b.connect(path));
   // One round-trip each so the accepts are definitely processed.
-  Frame f;
-  ASSERT_TRUE(a.send_query(1, 0));
-  ASSERT_TRUE(a.recv_frame(&f));
-  ASSERT_TRUE(b.send_query(2, 1));
-  ASSERT_TRUE(b.recv_frame(&f));
+  ASSERT_TRUE(a.query(0).ok);
+  ASSERT_TRUE(b.query(1).ok);
 
   obs::MetricsSnapshot snap = service.metrics().snapshot();
   EXPECT_EQ(snap.counter("serve.connections_total"), 2);

@@ -439,6 +439,161 @@ TEST(ViewCache, StoreRejectsStaleBindingAtThePostSwapEpoch) {
   EXPECT_EQ(cache.entry_count(), 1u);
 }
 
+// --- Region invalidation (dynamic graphs) ----------------------------------
+
+// A path graph gives exact control over old-graph distances: rewiring the far
+// end leaf touches {0, N-2, N-1}, so a center c's distance to the touched set
+// is min(c, N-2-c).  A ball of depth R is certified exactly when that
+// distance exceeds R: distance == R evicts, distance == R + 1 (beyond the
+// bounded BFS horizon) retains.
+TEST(ViewCacheRegion, EvictsAtMaxRadiusRetainsBeyondIt) {
+  constexpr NodeIndex kNodes = 24;
+  constexpr std::int64_t kRadius = 3;
+  Graph::Builder builder(kNodes);
+  for (NodeIndex v = 0; v + 1 < kNodes; ++v) builder.add_edge(v, v + 1);
+  const Graph path = std::move(builder).build();
+  const IdAssignment ids = IdAssignment::sequential(kNodes);
+
+  MutationBatch batch;
+  batch.rewires.push_back({kNodes - 1, 0});  // re-hang the far leaf on node 0
+  const AppliedMutation applied = apply_mutation(path.view(), batch);
+  ASSERT_EQ(applied.touched, (std::vector<NodeIndex>{0, kNodes - 2, kNodes - 1}));
+
+  ViewCache cache(policy_config(CachePolicy::Shared));
+  cache.bind(path.view());
+  // Warm: distances to the touched set are 0, 3 (== R, evict), 4 (== R + 1,
+  // retain), 11 (deep interior, retain).
+  for (const NodeIndex center : {NodeIndex{0}, NodeIndex{3}, NodeIndex{4}, NodeIndex{11}}) {
+    cached_ball(path, ids, cache, center, kRadius);
+  }
+  ASSERT_EQ(cache.entry_count(), 4u);
+
+  const ViewCache::RegionInvalidation inv = cache.invalidate_region(
+      path.view(), applied.touched, kRadius, applied.graph.view().storage_identity());
+  EXPECT_FALSE(inv.fell_back_to_flush);
+  EXPECT_EQ(inv.evicted, 2u);   // centers 0 and 3
+  EXPECT_EQ(inv.retained, 2u);  // centers 4 and 11
+  EXPECT_EQ(cache.entry_count(), 2u);
+
+  // Retained balls serve the post-mutation graph bit-identically to a cold
+  // exploration of it; the evicted centers miss.
+  BallCosts costs;
+  for (const NodeIndex center : {NodeIndex{4}, NodeIndex{11}}) {
+    ASSERT_TRUE(cache.serve_costs(applied.graph.view(), center, kRadius, &costs))
+        << "center " << center;
+    const BallObservation fresh = direct_ball(applied.graph, ids, center, kRadius);
+    EXPECT_EQ(costs.volume, fresh.volume) << "center " << center;
+    EXPECT_EQ(costs.distance, fresh.distance);
+    EXPECT_EQ(costs.queries, fresh.queries);
+  }
+  EXPECT_FALSE(cache.serve_costs(applied.graph.view(), 0, kRadius, &costs));
+  EXPECT_FALSE(cache.serve_costs(applied.graph.view(), 3, kRadius, &costs));
+}
+
+// Multi-rewire batches certify against the union of their endpoints: the
+// bounded BFS is multi-source, so a center is evicted when ANY touched node
+// is within its depth.
+TEST(ViewCacheRegion, MultiTouchBatchEvictsAroundEveryEndpoint) {
+  constexpr NodeIndex kNodes = 30;
+  constexpr std::int64_t kRadius = 2;
+  Graph::Builder builder(kNodes);
+  for (NodeIndex v = 0; v + 1 < kNodes; ++v) builder.add_edge(v, v + 1);
+  const Graph path = std::move(builder).build();
+  const IdAssignment ids = IdAssignment::sequential(kNodes);
+
+  // Both end leaves re-hung onto interior nodes: touched =
+  // {0, 1, 14, 15, 28, 29}.
+  MutationBatch batch;
+  batch.rewires.push_back({0, 14});
+  batch.rewires.push_back({kNodes - 1, 15});
+  const AppliedMutation applied = apply_mutation(path.view(), batch);
+  ASSERT_EQ(applied.touched,
+            (std::vector<NodeIndex>{0, 1, 14, 15, kNodes - 2, kNodes - 1}));
+
+  ViewCache cache(policy_config(CachePolicy::Shared));
+  cache.bind(path.view());
+  // dist(4) = 3 > R (retain); dist(12) = 2 == R (evict — middle touch);
+  // dist(26) = 2 == R (evict — far-end touch); dist(25) = 3 (retain).
+  for (const NodeIndex center :
+       {NodeIndex{4}, NodeIndex{12}, NodeIndex{25}, NodeIndex{26}}) {
+    cached_ball(path, ids, cache, center, kRadius);
+  }
+  ASSERT_EQ(cache.entry_count(), 4u);
+  const ViewCache::RegionInvalidation inv = cache.invalidate_region(
+      path.view(), applied.touched, kRadius, applied.graph.view().storage_identity());
+  EXPECT_FALSE(inv.fell_back_to_flush);
+  EXPECT_EQ(inv.evicted, 2u);
+  EXPECT_EQ(inv.retained, 2u);
+  BallCosts costs;
+  EXPECT_TRUE(cache.serve_costs(applied.graph.view(), 4, kRadius, &costs));
+  EXPECT_TRUE(cache.serve_costs(applied.graph.view(), 25, kRadius, &costs));
+  EXPECT_FALSE(cache.serve_costs(applied.graph.view(), 12, kRadius, &costs));
+  EXPECT_FALSE(cache.serve_costs(applied.graph.view(), 26, kRadius, &costs));
+
+  // A label-only batch has no structural endpoints: nothing is evicted, the
+  // binding still moves to the new token.
+  ViewCache label_cache(policy_config(CachePolicy::Shared));
+  label_cache.bind(path.view());
+  cached_ball(path, ids, label_cache, 7, kRadius);
+  const ViewCache::RegionInvalidation none = label_cache.invalidate_region(
+      path.view(), {}, kRadius, applied.graph.view().storage_identity());
+  EXPECT_FALSE(none.fell_back_to_flush);
+  EXPECT_EQ(none.evicted, 0u);
+  EXPECT_EQ(none.retained, 1u);
+}
+
+// The StorageToken handshake around a region invalidation: retained entries
+// are re-stamped to the new token (the old view can no longer be served),
+// stores tagged with the old token are rejected by the moved binding, and an
+// invalidation against a cache bound elsewhere degrades to the full flush.
+TEST(ViewCacheRegion, TokenSwapRejectsStaleStoresAndOldViewLookups) {
+  constexpr NodeIndex kNodes = 16;
+  Graph::Builder builder(kNodes);
+  for (NodeIndex v = 0; v + 1 < kNodes; ++v) builder.add_edge(v, v + 1);
+  const Graph path = std::move(builder).build();
+  const IdAssignment ids = IdAssignment::sequential(kNodes);
+  MutationBatch batch;
+  batch.rewires.push_back({kNodes - 1, 0});
+  const AppliedMutation applied = apply_mutation(path.view(), batch);
+
+  ViewCache cache(policy_config(CachePolicy::Shared));
+  cache.bind(path.view());
+  cached_ball(path, ids, cache, 7, 2);  // dist to touched = 7: retained
+  const std::uint64_t epoch = cache.epoch();
+  const ViewCache::RegionInvalidation inv = cache.invalidate_region(
+      path.view(), applied.touched, 2, applied.graph.view().storage_identity());
+  ASSERT_EQ(inv.retained, 1u);
+
+  // The retained entry now belongs to the new graph: lookups through the old
+  // view must miss (its token no longer matches the entry).
+  BallCosts costs;
+  EXPECT_FALSE(cache.serve_costs(path.view(), 7, 2, &costs));
+  EXPECT_TRUE(cache.serve_costs(applied.graph.view(), 7, 2, &costs));
+
+  // A worker that raced the invalidation and computed its ball on the old
+  // graph cannot park it: store() validates against the moved binding.  The
+  // epoch did NOT change — region invalidation never bumps it — so this is
+  // purely the token check.
+  EXPECT_EQ(cache.epoch(), epoch);
+  CachedBall stale;
+  stale.order = {3};
+  stale.level_end = {1};
+  stale.cum_queries = {0};
+  cache.store(3, std::move(stale), epoch, path.view().storage_identity());
+  EXPECT_EQ(cache.entry_count(), 1u) << "old-graph ball stored past the token swap";
+
+  // Bound-elsewhere precondition: a cache not bound to old_view's token
+  // cannot certify anything and must flush.
+  ViewCache wrong(policy_config(CachePolicy::Shared));
+  wrong.bind(applied.graph.view());
+  cached_ball(applied.graph, ids, wrong, 7, 2);
+  ASSERT_EQ(wrong.entry_count(), 1u);
+  const ViewCache::RegionInvalidation flushed = wrong.invalidate_region(
+      path.view(), applied.touched, 2, applied.graph.view().storage_identity());
+  EXPECT_TRUE(flushed.fell_back_to_flush);
+  EXPECT_EQ(wrong.entry_count(), 0u);
+}
+
 TEST(ViewCache, StorageTokenSemantics) {
   auto inst = make_complete_binary_tree(4, Color::Red, Color::Blue);
   const GraphView v = inst.graph.view();

@@ -46,6 +46,10 @@ SERVE_GAUGES = ("p50_ns", "p95_ns", "p99_ns", "mean_ns", "max_ns", "qps",
                 "wall_seconds")
 BATCH_COUNTERS = ("batched_sweeps", "batches", "batched_starts", "waves",
                   "expanded_nodes")
+MUTATE_COUNTERS = ("updates", "applied", "rejected", "cache_evicted",
+                   "cache_retained", "flushes")
+MUTATE_GAUGES = ("update_p50_ns", "update_p95_ns", "update_p99_ns",
+                 "apply_p50_ns")
 
 failures = []
 
@@ -129,6 +133,46 @@ def check_serve_block(doc, where):
           f"exceeds retries {serve.get('retries')}")
 
 
+def check_mutate_block(doc, where, required=False):
+    """Schema v2 optional block: volcal_load --update-rate mutation tallies.
+    Validated whenever present; `required` (--expect-mutate) additionally
+    demands the block exists and records applied updates."""
+    mutate = doc.get("mutate")
+    if mutate is None:
+        check(not required, f"{where}: missing 'mutate' block "
+                            f"(--expect-mutate)")
+        return
+    if not check(isinstance(mutate, dict), f"{where}: 'mutate' is not an object"):
+        return
+    require_keys(mutate, MUTATE_COUNTERS + MUTATE_GAUGES, f"{where} mutate")
+    for k in MUTATE_COUNTERS:
+        v = mutate.get(k, -1)
+        check(isinstance(v, int) and v >= 0,
+              f"{where} mutate: {k} must be a non-negative integer, got {v!r}")
+    for k in MUTATE_GAUGES:
+        v = mutate.get(k, -1.0)
+        check(isinstance(v, (int, float)) and math.isfinite(v) and v >= 0,
+              f"{where} mutate: {k} must be finite and >= 0, got {v!r}")
+    updates = mutate.get("updates", 0)
+    applied = mutate.get("applied", 0)
+    rejected = mutate.get("rejected", 0)
+    check(applied + rejected <= updates,
+          f"{where} mutate: applied {applied} + rejected {rejected} "
+          f"exceeds updates {updates}")
+    check(mutate.get("flushes", 0) <= applied,
+          f"{where} mutate: flushes {mutate.get('flushes')} exceeds "
+          f"applied {applied}")
+    p50, p95, p99 = (mutate.get("update_p50_ns", 0),
+                     mutate.get("update_p95_ns", 0),
+                     mutate.get("update_p99_ns", 0))
+    check(p50 <= p95 <= p99,
+          f"{where} mutate: update percentiles not monotone "
+          f"(p50 {p50}, p95 {p95}, p99 {p99})")
+    if required:
+        check(applied > 0, f"{where} mutate: no applied updates "
+                           f"(--expect-mutate)")
+
+
 def check_artifact_body(doc, where, kind, monotone_n):
     """Shared checks for the canonical perf artifact (schema v1/v2).
 
@@ -206,16 +250,23 @@ def check_bench_json(path):
     print(f"ok  {path}: {len(doc.get('curves', []))} curves")
 
 
-def check_serve_report(path):
+def check_serve_report(path, expect_mutate=False):
     """A bench-report artifact from volcal_serve or volcal_load: the usual
-    body checks plus a mandatory, internally consistent 'serve' block."""
+    body checks plus a mandatory, internally consistent 'serve' block.  The
+    optional 'mutate' block (volcal_load --update-rate) is validated when
+    present and required under --expect-mutate."""
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     check_artifact_body(doc, path, kind="bench-report", monotone_n=False)
     check_serve_block(doc, path)
+    check_mutate_block(doc, path, required=expect_mutate)
     serve = doc.get("serve", {}) if isinstance(doc.get("serve"), dict) else {}
+    mutate = doc.get("mutate", {}) if isinstance(doc.get("mutate"), dict) else {}
+    extra = (f", {mutate.get('applied', 0)} updates applied"
+             if mutate else "")
     print(f"ok  {path}: serve block, {serve.get('completed', 0)} completed, "
-          f"{serve.get('shed', 0)} shed, qps {serve.get('qps', 0.0):.1f}")
+          f"{serve.get('shed', 0)} shed, qps {serve.get('qps', 0.0):.1f}"
+          f"{extra}")
 
 
 def check_bench_family(path, expect_phases=()):
@@ -514,6 +565,11 @@ def main():
                         action="append", default=[],
                         help="volcal_serve / volcal_load artifact whose "
                              "'serve' block is mandatory (repeatable)")
+    parser.add_argument("--expect-mutate", dest="expect_mutate",
+                        action="append", default=[],
+                        help="volcal_load artifact that must carry a "
+                             "'mutate' block with applied updates "
+                             "(repeatable; also run it as --serve-report)")
     parser.add_argument("--stats-jsonl", dest="stats_jsonl",
                         help="volcal_serve --stats-log JSONL (periodic live "
                              "snapshots; counters must be monotone)")
@@ -538,12 +594,15 @@ def main():
     opts = parser.parse_args()
     if not any([opts.json, opts.metrics, opts.trace, opts.chrome_trace,
                 opts.bench_family, opts.bench_summary, opts.serve_report,
-                opts.stats_jsonl, opts.stats_snapshot]):
+                opts.expect_mutate, opts.stats_jsonl, opts.stats_snapshot]):
         parser.error("give at least one artifact to check")
     if opts.json:
         check_bench_json(opts.json)
     for path in opts.serve_report:
-        check_serve_report(path)
+        check_serve_report(path, expect_mutate=path in opts.expect_mutate)
+    for path in opts.expect_mutate:
+        if path not in opts.serve_report:
+            check_serve_report(path, expect_mutate=True)
     if opts.metrics:
         check_metrics_json(opts.metrics)
     if opts.trace:

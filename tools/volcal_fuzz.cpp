@@ -34,11 +34,13 @@ void print_help() {
       "  --cache         also run the view-cache policy differential per case\n"
       "  --backend       also run the basic-vs-batched backend differential per case\n"
       "  --snapshot      also run the snapshot save/mmap-load round-trip differential\n"
+      "  --mutate        also run the dynamic-graph mutation differential per case\n"
       "  --log           print every generated case\n"
       "  --help          this message\n");
 }
 
-int replay_file(const std::string& path, bool cache, bool backend, bool snapshot) {
+int replay_file(const std::string& path, bool cache, bool backend, bool snapshot,
+                bool mutate) {
   volcal::check::FuzzCase c;
   std::string recorded_error;
   std::string why;
@@ -54,6 +56,7 @@ int replay_file(const std::string& path, bool cache, bool backend, bool snapshot
   if (result.ok && cache) result = volcal::check::check_cache_case(c);
   if (result.ok && backend) result = volcal::check::check_backend_case(c);
   if (result.ok && snapshot) result = volcal::check::check_snapshot_case(c);
+  if (result.ok && mutate) result = volcal::check::check_mutation_case(c);
   if (!result.ok) {
     std::printf("  STILL FAILING: %s\n", result.error.c_str());
     return 1;
@@ -95,6 +98,8 @@ int main(int argc, char** argv) {
       opts.backend = true;
     } else if (std::strcmp(argv[i], "--snapshot") == 0) {
       opts.snapshot = true;
+    } else if (std::strcmp(argv[i], "--mutate") == 0) {
+      opts.mutate = true;
     } else if (std::strcmp(argv[i], "--log") == 0) {
       opts.log_cases = true;
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -109,7 +114,8 @@ int main(int argc, char** argv) {
   if (!replays.empty()) {
     int status = 0;
     for (const std::string& path : replays) {
-      status = std::max(status, replay_file(path, opts.cache, opts.backend, opts.snapshot));
+      status = std::max(status, replay_file(path, opts.cache, opts.backend, opts.snapshot,
+                                            opts.mutate));
     }
     return status;
   }

@@ -20,9 +20,22 @@
 // node — the end-to-end check that the serving path (batched backend + ball
 // cache + admission + hot swap) never changes an answer.
 //
+// --update-rate F mixes mutations into the workload: F * --requests
+// MutationBatches (deterministic draws from propose_mutation) are applied
+// synchronously on a dedicated connection, spread across the load window,
+// while the query connections keep firing.  Requires --verify — the local
+// snapshot is what batches are proposed against and mutated in lockstep
+// with every server acknowledgment.  Per-response label verification is
+// suspended during churn (a query racing an update may legitimately see
+// either graph); instead, after the window drains, every node is re-queried
+// synchronously and must match the offline labels of the locally-mutated
+// instance bit for bit — the end-to-end differential that server-side
+// mutate-then-query equals client-side mutate-then-solve.
+//
 // Usage: volcal_load --socket PATH [--requests N] [--connections C]
 //                    [--rate QPS] [--zipf THETA] [--seed S] [--nodes N]
-//                    [--retry-sheds] [--verify FILE] [--artifact FILE]
+//                    [--retry-sheds] [--update-rate F] [--verify FILE]
+//                    [--artifact FILE]
 #include <signal.h>
 
 #include <chrono>
@@ -31,6 +44,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -94,7 +108,22 @@ struct LoadPlan {
   std::uint64_t seed = 7;
   std::int64_t nodes = 0;
   bool retry_sheds = false;
+  double update_rate = 0.0;   // fraction of --requests sent as MutationBatches
+  std::int64_t updates = 0;   // derived: llround(requests * update_rate)
   const std::vector<int>* expected = nullptr;  // offline labels, when verifying
+};
+
+// The updater connection's ledger: one entry per Update round-trip, plus the
+// eviction/retention totals the server reported for its region invalidations.
+struct UpdateTally {
+  std::int64_t updates = 0;
+  std::int64_t applied = 0;
+  std::int64_t rejected = 0;
+  std::int64_t cache_evicted = 0;
+  std::int64_t cache_retained = 0;
+  std::int64_t flushes = 0;
+  std::vector<std::int64_t> update_latencies_ns;  // client round-trip
+  std::vector<double> apply_ns;                   // server-side apply time
 };
 
 // One shed response eligible for replay: the node, the advertised backoff,
@@ -109,7 +138,7 @@ struct ShedRetry {
 // Every query is answered by exactly one Result or Shed, so the receiver
 // exits after `sent` responses (Bye frames are ignored).
 bool run_connection(const LoadPlan& plan, int conn_index, ConnectionTally* tally) {
-  serve::SocketClient client;
+  serve::ServeClient client;
   if (!client.connect(plan.socket_path)) {
     std::fprintf(stderr, "volcal_load: cannot connect to %s\n",
                  plan.socket_path.c_str());
@@ -131,7 +160,7 @@ bool run_connection(const LoadPlan& plan, int conn_index, ConnectionTally* tally
     serve::Frame frame;
     std::int64_t answered = 0;
     while (answered < to_send) {
-      if (!client.recv_frame(&frame)) {
+      if (!client.poll(&frame)) {
         receiver_ok = false;
         return;
       }
@@ -214,7 +243,7 @@ bool run_connection(const LoadPlan& plan, int conn_index, ConnectionTally* tally
       inflight.emplace(id, std::chrono::steady_clock::now());
       node_of.emplace(id, node);
     }
-    if (!client.send_query(id, node)) {
+    if (!client.post_query(id, node)) {
       std::fprintf(stderr, "volcal_load: send failed on connection %d\n", conn_index);
       {
         std::lock_guard lock(inflight_mu);
@@ -248,13 +277,13 @@ bool run_connection(const LoadPlan& plan, int conn_index, ConnectionTally* tally
       const std::uint64_t id = (static_cast<std::uint64_t>(conn_index) << 48) |
                                (std::uint64_t{1} << 40) | retry_seq++;
       const auto sent_at = std::chrono::steady_clock::now();
-      if (!client.send_query(id, r.node)) {
+      if (!client.post_query(id, r.node)) {
         sender_ok = false;
         break;
       }
       ++tally->sent;
       bool got = false;
-      while (client.recv_frame(&frame)) {
+      while (client.poll(&frame)) {
         const auto received_at = std::chrono::steady_clock::now();
         const auto rtt_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                                 received_at - sent_at)
@@ -294,9 +323,102 @@ bool run_connection(const LoadPlan& plan, int conn_index, ConnectionTally* tally
   return sender_ok && receiver_ok;
 }
 
+// The updater connection (--update-rate): `plan.updates` MutationBatches,
+// each a deterministic propose_mutation draw against `local`, applied
+// synchronously (one Update in flight) and mirrored onto `local` only after
+// the server acknowledges Ok — so client and server graphs stay in lockstep
+// batch-for-batch.  With a target --rate the updates are spread evenly
+// across the expected load window; at max speed the synchronous round-trips
+// pace themselves.
+bool run_updater(const LoadPlan& plan, ErasedInstance* local, UpdateTally* tally) {
+  serve::ServeClient client;
+  if (!client.connect(plan.socket_path)) {
+    std::fprintf(stderr, "volcal_load: updater cannot connect to %s\n",
+                 plan.socket_path.c_str());
+    return false;
+  }
+  const double window_seconds =
+      plan.rate > 0.0 ? static_cast<double>(plan.requests) / plan.rate : 0.0;
+  const auto begin = std::chrono::steady_clock::now();
+  for (std::int64_t u = 0; u < plan.updates; ++u) {
+    if (window_seconds > 0.0) {
+      const double at = window_seconds * (static_cast<double>(u) + 0.5) /
+                        static_cast<double>(plan.updates);
+      std::this_thread::sleep_until(
+          begin + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(at)));
+    }
+    const MutationBatch batch = local->propose_mutation(
+        splitmix64(plan.seed + 0x75706474ull /* "updt" */ + static_cast<std::uint64_t>(u)),
+        /*rewires=*/2, /*label_updates=*/2);
+    const auto sent_at = std::chrono::steady_clock::now();
+    const serve::ServeClient::UpdateReply reply = client.update(batch);
+    if (!reply.ok) {
+      std::fprintf(stderr, "volcal_load: update %lld lost its connection\n",
+                   static_cast<long long>(u));
+      return false;
+    }
+    ++tally->updates;
+    tally->update_latencies_ns.push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - sent_at)
+            .count());
+    if (reply.result.status != serve::UpdateStatus::Ok) {
+      // Batches are proposed against the acknowledged graph, so a rejection
+      // means the two sides disagree about the current structure — fatal.
+      ++tally->rejected;
+      std::fprintf(stderr, "volcal_load: server rejected update %lld\n",
+                   static_cast<long long>(u));
+      return false;
+    }
+    ++tally->applied;
+    tally->cache_evicted += static_cast<std::int64_t>(reply.result.cache_evicted);
+    tally->cache_retained += static_cast<std::int64_t>(reply.result.cache_retained);
+    if (reply.result.flushed != 0) ++tally->flushes;
+    tally->apply_ns.push_back(static_cast<double>(reply.result.apply_ns));
+    *local = local->mutated(batch);
+  }
+  client.bye();
+  return true;
+}
+
+// Post-churn differential: every node queried synchronously against the
+// offline labels of the final locally-mutated instance.  Sheds are retried
+// after the advertised backoff (the load window has drained; the server
+// should be idle).
+bool final_verify(const LoadPlan& plan, const std::vector<int>& expected,
+                  std::int64_t* mismatches) {
+  serve::ServeClient client;
+  if (!client.connect(plan.socket_path)) {
+    std::fprintf(stderr, "volcal_load: verifier cannot connect to %s\n",
+                 plan.socket_path.c_str());
+    return false;
+  }
+  for (std::int64_t node = 0; node < static_cast<std::int64_t>(expected.size()); ++node) {
+    serve::ServeClient::QueryReply reply;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      reply = client.query(node);
+      if (!reply.ok || !reply.shed) break;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max<std::uint32_t>(reply.retry_after_ms, 1)));
+    }
+    if (!reply.ok || reply.shed) {
+      std::fprintf(stderr, "volcal_load: verify query for node %lld got no answer\n",
+                   static_cast<long long>(node));
+      return false;
+    }
+    if (reply.result.status != serve::QueryStatus::Ok ||
+        reply.result.label != expected[static_cast<std::size_t>(node)]) {
+      ++*mismatches;
+    }
+  }
+  client.bye();
+  return true;
+}
+
 bool write_artifact(const std::string& path, const ConnectionTally& total,
-                    const stats::Summary& latency,
-                    const stats::Summary& shed_latency, double wall_seconds) {
+                    const stats::Summary& latency, const stats::Summary& shed_latency,
+                    const UpdateTally& updates, double wall_seconds) {
   perf::BenchArtifact artifact;
   artifact.kind = "bench-report";
   artifact.tool = "volcal_load";
@@ -334,6 +456,25 @@ bool write_artifact(const std::string& path, const ConnectionTally& total,
   curve.points.push_back({99.0, latency.p99, 0.0});
   curve.refit();
   artifact.curves.push_back(std::move(curve));
+
+  if (updates.updates > 0) {
+    perf::MutateStatsBlock mutate;
+    mutate.updates = updates.updates;
+    mutate.applied = updates.applied;
+    mutate.rejected = updates.rejected;
+    mutate.cache_evicted = updates.cache_evicted;
+    mutate.cache_retained = updates.cache_retained;
+    mutate.flushes = updates.flushes;
+    std::vector<double> rtts(updates.update_latencies_ns.begin(),
+                             updates.update_latencies_ns.end());
+    const stats::Summary rtt = stats::summarize(std::move(rtts));
+    mutate.update_p50_ns = rtt.median;
+    mutate.update_p95_ns = rtt.p95;
+    mutate.update_p99_ns = rtt.p99;
+    std::vector<double> applies(updates.apply_ns);
+    mutate.apply_p50_ns = stats::summarize(std::move(applies)).median;
+    artifact.mutate = mutate;
+  }
   return artifact.write_file(path);
 }
 
@@ -367,6 +508,8 @@ int run(int argc, char** argv) {
       plan.nodes = std::atoll(v);
     } else if (std::strcmp(argv[i], "--retry-sheds") == 0) {
       plan.retry_sheds = true;
+    } else if (const char* v = value_of("--update-rate")) {
+      plan.update_rate = std::atof(v);
     } else if (const char* v = value_of("--verify")) {
       verify_path = v;
     } else if (const char* v = value_of("--artifact")) {
@@ -382,8 +525,11 @@ int run(int argc, char** argv) {
           "  --seed <s>         traffic seed [7]\n"
           "  --nodes <n>        node universe (required unless --verify)\n"
           "  --retry-sheds      replay each shed once after its retry-after\n"
+          "  --update-rate <f>  mix in f * requests mutation batches on a\n"
+          "                     dedicated connection (requires --verify)\n"
           "  --verify <f>       offline-label this snapshot and compare every\n"
-          "                     response bit-for-bit\n"
+          "                     response bit-for-bit (with --update-rate: the\n"
+          "                     comparison runs post-churn on the mutated graph)\n"
           "  --artifact <f>     write the client-side perf artifact\n");
       return 0;
     } else {
@@ -399,18 +545,39 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "volcal_load: need >= 1 connection and >= 1 request\n");
     return 2;
   }
+  if (plan.update_rate < 0.0 || plan.update_rate >= 1.0) {
+    std::fprintf(stderr, "volcal_load: --update-rate must be in [0, 1)\n");
+    return 2;
+  }
+  if (plan.update_rate > 0.0 && verify_path.empty()) {
+    std::fprintf(stderr,
+                 "volcal_load: --update-rate needs --verify (mutation batches are "
+                 "proposed against the local snapshot)\n");
+    return 2;
+  }
+  if (plan.update_rate > 0.0) {
+    plan.updates = std::max<std::int64_t>(
+        1, std::llround(static_cast<double>(plan.requests) * plan.update_rate));
+  }
 
   // Offline ground truth: label every node with the per-start engine (the
   // serving path must match it bit for bit regardless of backend/cache).
+  // Under churn (--update-rate) the per-response comparison is suspended —
+  // an in-flight query may race an update and legitimately see either graph
+  // — and the offline labels are computed AFTER the run, from the locally
+  // mutated instance.
   std::vector<int> expected;
+  std::optional<ErasedInstance> local;
   if (!verify_path.empty()) {
     try {
-      const ErasedInstance inst = io::load_instance(verify_path);
-      const auto offline = run_at_all_nodes(
-          inst.graph(), inst.ids(), [&](Execution& e) { return inst.solve(e); });
-      expected = offline.output;
-      plan.nodes = static_cast<std::int64_t>(inst.node_count());
-      plan.expected = &expected;
+      local.emplace(io::load_instance(verify_path));
+      plan.nodes = static_cast<std::int64_t>(local->node_count());
+      if (plan.updates == 0) {
+        const auto offline = run_at_all_nodes(
+            local->graph(), local->ids(), [&](Execution& e) { return local->solve(e); });
+        expected = offline.output;
+        plan.expected = &expected;
+      }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "volcal_load: cannot verify against %s: %s\n",
                    verify_path.c_str(), e.what());
@@ -425,12 +592,18 @@ int run(int argc, char** argv) {
   std::vector<ConnectionTally> tallies(static_cast<std::size_t>(plan.connections));
   std::vector<std::thread> threads;
   std::vector<char> ok(static_cast<std::size_t>(plan.connections), 1);
+  UpdateTally updates;
+  bool updater_ok = true;
   const auto begin = std::chrono::steady_clock::now();
   for (int c = 0; c < plan.connections; ++c) {
     threads.emplace_back([&, c] {
       ok[static_cast<std::size_t>(c)] =
           run_connection(plan, c, &tallies[static_cast<std::size_t>(c)]) ? 1 : 0;
     });
+  }
+  if (plan.updates > 0) {
+    threads.emplace_back(
+        [&] { updater_ok = run_updater(plan, &*local, &updates); });
   }
   for (std::thread& t : threads) t.join();
   const double wall_seconds =
@@ -480,14 +653,41 @@ int run(int argc, char** argv) {
                 static_cast<long long>(total.results));
   }
 
+  // Post-churn differential: offline-label the locally-mutated instance and
+  // re-query every node synchronously against the post-update server.
+  std::int64_t churn_mismatches = 0;
+  bool churn_verify_ok = true;
+  if (plan.updates > 0) {
+    std::printf(
+        "volcal_load: updates %lld applied (%lld rejected), cache evicted %lld / "
+        "retained %lld, %lld full flushes\n",
+        static_cast<long long>(updates.applied),
+        static_cast<long long>(updates.rejected),
+        static_cast<long long>(updates.cache_evicted),
+        static_cast<long long>(updates.cache_retained),
+        static_cast<long long>(updates.flushes));
+    if (updater_ok) {
+      const auto offline = run_at_all_nodes(
+          local->graph(), local->ids(), [&](Execution& e) { return local->solve(e); });
+      churn_verify_ok = final_verify(plan, offline.output, &churn_mismatches);
+      std::printf(
+          "volcal_load: post-churn verify %s — %lld mismatch(es) across %lld node(s)\n",
+          churn_verify_ok && churn_mismatches == 0 ? "OK" : "FAILED",
+          static_cast<long long>(churn_mismatches),
+          static_cast<long long>(plan.nodes));
+    }
+  }
+
   if (!artifact_path.empty() &&
-      !write_artifact(artifact_path, total, latency, shed_latency, wall_seconds)) {
+      !write_artifact(artifact_path, total, latency, shed_latency, updates,
+                      wall_seconds)) {
     return 1;
   }
   for (const char c : ok) {
     if (c == 0) return 1;
   }
   if (total.mismatches > 0) return 1;
+  if (!updater_ok || !churn_verify_ok || churn_mismatches > 0) return 1;
   return 0;
 }
 

@@ -7,7 +7,8 @@
 // slow-query counts, cache hit ratio, batch occupancy, and connection
 // count.  Stats polls are answered on the server's reader thread — they
 // never enter the admission queue, so watching a loaded server does not
-// displace queries.
+// displace queries.  Derived columns subtract the dashboard's own footprint
+// (its poll connection); --raw prints the server's JSON verbatim.
 //
 // Modes:
 //   default        redraw every --interval seconds until ^C (ANSI clear
@@ -22,6 +23,7 @@
 //                   [--raw]
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -41,30 +43,23 @@ struct Snapshot {
   std::chrono::steady_clock::time_point at;
 };
 
-bool poll_stats(const std::string& socket_path, std::uint64_t request_id,
-                Snapshot* out) {
+bool poll_stats(const std::string& socket_path, Snapshot* out) {
   // One connection per poll: the dashboard must observe the server the way
-  // any client would, and a fresh connect doubles as a liveness check.
-  serve::SocketClient client;
+  // any client would, and a fresh connect doubles as a liveness check.  The
+  // snapshot therefore always contains the dashboard itself — its own live
+  // connection is up while the Stats frame is built — which render()
+  // subtracts back out of the derived columns.
+  serve::ServeClient client;
   if (!client.connect(socket_path)) return false;
-  if (!client.send_stats_request(request_id)) return false;
-  serve::Frame frame;
-  while (client.recv_frame(&frame)) {
-    if (frame.type == serve::FrameType::Stats &&
-        frame.stats.request_id == request_id) {
-      out->raw = frame.stats.json;
-      out->at = std::chrono::steady_clock::now();
-      std::string err;
-      out->doc = perf::parse_json(out->raw, &err);
-      if (out->doc.is_null()) {
-        std::fprintf(stderr, "volcal_top: bad stats payload: %s\n", err.c_str());
-        return false;
-      }
-      return true;
-    }
-    if (frame.type == serve::FrameType::Bye) return false;
+  if (!client.stats(&out->raw)) return false;
+  out->at = std::chrono::steady_clock::now();
+  std::string err;
+  out->doc = perf::parse_json(out->raw, &err);
+  if (out->doc.is_null()) {
+    std::fprintf(stderr, "volcal_top: bad stats payload: %s\n", err.c_str());
+    return false;
   }
-  return false;
+  return true;
 }
 
 void render(const Snapshot& snap, const Snapshot* prev, bool clear) {
@@ -81,16 +76,24 @@ void render(const Snapshot& snap, const Snapshot* prev, bool clear) {
     }
   }
 
+  // Self-poll correction: the dashboard's poll connection is live while the
+  // server builds the Stats frame, so the raw gauge always counts us.  The
+  // derived column subtracts that one connection — "conns" is the clients
+  // being served, not the instrument watching them.  (QPS needs no such
+  // correction: stats polls are answered on the reader thread and never
+  // touch the accepted/completed counters.)  The raw JSON (--raw) is left
+  // untouched so snapshots stay comparable with server-side artifacts.
+  const std::int64_t raw_conns = [&] {
+    const perf::JsonValue* m = d.find("metrics");
+    const perf::JsonValue* g = m ? m->find("gauges") : nullptr;
+    return g ? g->int_at("serve.connections") : std::int64_t{0};
+  }();
   std::printf("volcal_serve  up %.1f s  |  %.0f qps  |  queue %lld  in-flight %lld"
               "  conns %lld\n",
               d.number_at("uptime_seconds"), qps,
               static_cast<long long>(d.int_at("queue_depth")),
               static_cast<long long>(d.int_at("in_flight")),
-              static_cast<long long>([&] {
-                const perf::JsonValue* m = d.find("metrics");
-                const perf::JsonValue* g = m ? m->find("gauges") : nullptr;
-                return g ? g->int_at("serve.connections") : std::int64_t{0};
-              }()));
+              static_cast<long long>(std::max<std::int64_t>(0, raw_conns - 1)));
   std::printf("requests      accepted %lld  completed %lld  shed %lld  invalid %lld"
               "  slow %lld\n",
               static_cast<long long>(d.int_at("accepted")),
@@ -184,13 +187,12 @@ int run(int argc, char** argv) {
   const bool tty = ::isatty(STDOUT_FILENO) != 0;
   Snapshot prev;
   bool have_prev = false;
-  std::uint64_t request_id = 1;
   for (std::int64_t polls = 0; count < 0 || polls < count; ++polls) {
     if (polls > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
     }
     Snapshot snap;
-    if (!poll_stats(socket_path, request_id++, &snap)) {
+    if (!poll_stats(socket_path, &snap)) {
       std::fprintf(stderr, "volcal_top: cannot poll %s (server gone?)\n",
                    socket_path.c_str());
       return 1;
